@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Each bench regenerates one paper figure (or one ablation) and prints a
+"paper says / we measured" table.  Prints go to the real stdout so the
+tables appear even under pytest's capture (the bench logs are the
+deliverable, not incidental debug output).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.utils.tables import format_table
+
+#: Durable copy of every emitted table (truncated per session by conftest).
+TABLE_LOG = Path(__file__).resolve().parent / "bench_tables.txt"
+
+
+def emit(text: str) -> None:
+    """Write a line to stdout and append it to the durable table log."""
+    print(text, flush=True)
+    with TABLE_LOG.open("a") as fh:
+        fh.write(text + "\n")
+
+
+def emit_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str) -> None:
+    emit("")
+    emit(format_table(headers, rows, title=title))

@@ -1,0 +1,70 @@
+"""Extension — the §8 adaptive reallocation scenario.
+
+"The possibility also exists of using the algorithm to adaptively change
+the file allocation as the nodal file access characteristics change
+dynamically", contingent on nodes estimating their parameters.  The bench
+runs the rotating-hotspot workload and reports how much of the
+frozen-to-clairvoyant gap adaptation recovers at two estimation-noise
+levels.
+"""
+
+import numpy as np
+
+from repro.estimation import AdaptiveAllocationLoop
+from repro.network.builders import ring_graph
+from repro.network.shortest_paths import all_pairs_shortest_paths
+
+from _util import emit_table
+
+
+def _drift(epoch: int) -> np.ndarray:
+    rates = np.full(5, 0.08)
+    rates[epoch % 5] = 0.56
+    return rates
+
+
+def _run(window: float):
+    loop = AdaptiveAllocationLoop(
+        all_pairs_shortest_paths(ring_graph(5)),
+        _drift,
+        mu=1.6,
+        k=1.0,
+        iterations_per_epoch=10,
+        estimation_window=window,
+        alpha=0.3,
+        seed=7,
+    )
+    history = loop.run(epochs=10, initial_allocation=np.full(5, 0.2))
+    adaptive = float(np.mean([e.adapted_cost for e in history[1:]]))
+    frozen = float(np.mean([e.frozen_cost for e in history[1:]]))
+    optimal = float(np.mean([e.optimal_cost for e in history[1:]]))
+    recovered = (frozen - adaptive) / (frozen - optimal)
+    return adaptive, frozen, optimal, recovered
+
+
+def test_adaptive_tracks_drifting_workload(benchmark):
+    noisy, clean = benchmark.pedantic(
+        lambda: (_run(200.0), _run(5_000.0)), rounds=2, iterations=1
+    )
+
+    rows = []
+    for label, (adaptive, frozen, optimal, recovered) in (
+        ("short window (noisy estimates)", noisy),
+        ("long window (clean estimates)", clean),
+    ):
+        rows.append(
+            [label, f"{adaptive:.4f}", f"{frozen:.4f}", f"{optimal:.4f}",
+             f"{recovered:.0%}"]
+        )
+    emit_table(
+        ["estimation", "adaptive cost", "frozen cost", "clairvoyant", "gap recovered"],
+        rows,
+        "Extension: §8 adaptive reallocation under a rotating hotspot",
+    )
+
+    # Adaptation clearly beats freezing at either noise level...
+    for adaptive, frozen, optimal, recovered in (noisy, clean):
+        assert adaptive < frozen
+        assert recovered > 0.5
+    # ...and cleaner estimates close more of the gap.
+    assert clean[3] >= noisy[3] - 0.05

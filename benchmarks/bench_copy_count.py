@@ -1,0 +1,46 @@
+"""Extension — §8.2's "how many copies are optimal?" question.
+
+Sweeps the copy count m on a six-node virtual ring with a per-copy
+storage/maintenance charge, optimizing the allocation for each m with the
+§7 allocator.  Cheap storage drives toward full replication; expensive
+storage exposes an interior optimum — the trade-off the paper says a
+general multi-copy model must capture.
+"""
+
+import numpy as np
+
+from repro.multicopy import optimal_copy_count
+from repro.network.virtual_ring import VirtualRing
+
+from _util import emit, emit_table
+
+RING = (2.0, 1.0, 3.0, 1.0, 2.0, 1.0)
+
+
+def _run(storage_cost):
+    return optimal_copy_count(
+        VirtualRing(RING),
+        np.ones(6),
+        mu=8.0,
+        k=1.0,
+        storage_cost_per_copy=storage_cost,
+        iterations=250,
+    )
+
+
+def test_optimal_copy_count_tradeoff(benchmark):
+    cheap, dear = benchmark.pedantic(
+        lambda: (_run(0.8), _run(5.0)), rounds=2, iterations=1
+    )
+
+    for label, res in (("storage 0.8/copy", cheap), ("storage 5.0/copy", dear)):
+        emit_table(res.HEADERS, res.rows(), f"Copy-count sweep ({label})")
+        emit(f"best m = {res.best.copies}")
+
+    # Access cost falls steeply with more copies...
+    access = [e.access_cost for e in cheap.entries]
+    assert access[-1] < access[0] / 3
+    # ...cheap storage pushes toward heavy replication...
+    assert cheap.best.copies >= 4
+    # ...expensive storage exposes an interior optimum.
+    assert 1 < dear.best.copies < 6

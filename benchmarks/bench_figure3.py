@@ -1,0 +1,44 @@
+"""Figure 3 — convergence profiles on the paper ring.
+
+Paper (§6): from x0 = (0.8, 0.1, 0.1, 0) with eps = 1e-3, the algorithm
+converges in 4 / 10 / 20 / 51 iterations for alpha = 0.67 / 0.3 / 0.19 /
+0.08, monotonically, with a short rapid phase of similar length for every
+alpha, ending at the uniform optimum.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import PAPER_FIG3_ITERATIONS, figure3
+
+from _util import emit, emit_table
+
+
+def test_figure3_convergence_profiles(benchmark):
+    result = benchmark.pedantic(figure3, rounds=3, iterations=1)
+
+    rows = []
+    for alpha in sorted(result.profiles, reverse=True):
+        rows.append(
+            [
+                alpha,
+                PAPER_FIG3_ITERATIONS[alpha],
+                result.iterations[alpha],
+                result.rapid_phase[alpha],
+                "yes" if result.monotone[alpha] else "NO",
+                f"{result.profiles[alpha][-1]:.4f}",
+            ]
+        )
+    emit_table(
+        ["alpha", "paper iters", "measured iters", "rapid phase",
+         "monotone", "final cost"],
+        rows,
+        "Figure 3: convergence profiles (paper vs measured)",
+    )
+
+    for alpha, paper_count in PAPER_FIG3_ITERATIONS.items():
+        assert abs(result.iterations[alpha] - paper_count) <= 2
+        assert result.monotone[alpha]
+        np.testing.assert_allclose(result.final_allocations[alpha], 0.25, atol=1e-3)
+    # Rapid phase roughly alpha-independent (all within a few iterations).
+    rapid = list(result.rapid_phase.values())
+    assert max(rapid) - min(rapid) <= 5

@@ -1,0 +1,40 @@
+"""Figure 4 — fragmentation vs the best integral allocation.
+
+Paper (§6): starting from the whole file at one node (the optimal integer
+allocation on the symmetric ring), the algorithm reaches the fragmented
+optimum with a "significant (25%)" cost reduction.
+
+Measured note: with the §6 parameters as stated (mu = 1.5, k = 1,
+lambda = 1, unit ring), the paper's own formula gives integral cost 3.0
+and fragmented optimum 1.8 — a 40% reduction; the direction and the
+significance of the effect are what this bench checks.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure4
+
+from _util import emit_table
+
+
+def test_figure4_fragmentation_gain(benchmark):
+    result = benchmark.pedantic(figure4, rounds=3, iterations=1)
+
+    emit_table(
+        ["quantity", "paper", "measured"],
+        [
+            ["best integral cost", "-", f"{result.integral_cost:.4f}"],
+            ["fragmented optimum", "-", f"{result.optimal_cost:.4f}"],
+            ["cost reduction", "25%", f"{result.reduction:.1%}"],
+            ["final allocation", "(.25,.25,.25,.25)",
+             np.array2string(result.final_allocation, precision=3)],
+        ],
+        "Figure 4: fragmentation vs integral allocation",
+    )
+
+    assert result.integral_cost == 3.0
+    np.testing.assert_allclose(result.optimal_cost, 1.8, atol=1e-6)
+    # Significant reduction, at least the paper's 25%.
+    assert result.reduction >= 0.25
+    # Monotone profile from the integral vertex to the optimum.
+    assert np.all(np.diff(result.profile) <= 1e-12)

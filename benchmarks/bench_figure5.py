@@ -1,0 +1,40 @@
+"""Figure 5 — iterations to convergence vs the stepsize alpha.
+
+Paper (§6): "as the values of alpha get smaller, convergence time
+increases greatly ... there is a relatively large range of alpha values
+which result in nearly optimal convergence speeds."
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure5
+
+from _util import emit, emit_table
+
+ALPHAS = np.round(np.linspace(0.04, 0.9, 15), 3)
+
+
+def _run():
+    return figure5(alphas=ALPHAS, max_iterations=2_000)
+
+
+def test_figure5_alpha_sweep(benchmark):
+    result = benchmark.pedantic(_run, rounds=3, iterations=1)
+
+    emit_table(
+        ["alpha", "iterations"],
+        [[a, c] for a, c in sorted(result.counts.items())],
+        "Figure 5: iterations to convergence vs alpha",
+    )
+    emit(f"best alpha: {result.best_alpha:g}; "
+         f"2x-of-best plateau width: {result.plateau_width(slack=2.0):.3g}")
+
+    counts = result.counts
+    # Blow-up branch: the smallest alpha needs far more iterations.
+    assert counts[min(counts)] > 10 * counts[result.best_alpha]
+    # Near-optimal plateau at least 0.3 wide in alpha.
+    assert result.plateau_width(slack=2.0) >= 0.3
+    # Iterations decrease (weakly) from the small-alpha side to the best.
+    small_side = sorted(a for a in counts if a <= result.best_alpha)
+    series = [counts[a] for a in small_side]
+    assert all(series[i] >= series[i + 1] - 1 for i in range(len(series) - 1))

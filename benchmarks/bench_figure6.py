@@ -1,0 +1,36 @@
+"""Figure 6 — iterations (at the best alpha) vs network size.
+
+Paper (§6): on fully connected unit-cost networks, 4 <= N <= 20, from the
+(0.8, 0.1, 0.1, 0, ...) start, "increasing the problem size does not
+significantly increase the number of iterations required", and the optimum
+is 1/N everywhere.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure6
+
+from _util import emit, emit_table
+
+SIZES = (4, 6, 8, 10, 12, 14, 16, 18, 20)
+ALPHA_GRID = np.round(np.linspace(0.1, 0.9, 9), 2)
+
+
+def _run():
+    return figure6(sizes=SIZES, alpha_grid=ALPHA_GRID)
+
+
+def test_figure6_scaling_in_n(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    emit_table(
+        ["N", "best alpha", "iterations", "optimum = 1/N"],
+        result.rows(),
+        "Figure 6: iterations vs network size (best alpha per N)",
+    )
+    counts = list(result.iterations_by_n.values())
+    emit(f"flatness: max/min iteration ratio = {max(counts) / max(1, min(counts)):.2f} "
+         "(paper: roughly flat)")
+
+    assert result.is_flat(factor=3.0)
+    assert all(result.optimum_is_uniform.values())

@@ -1,0 +1,54 @@
+"""Extension — the replication read/write tension (§8.2).
+
+"Since there are copies of files we may wish to include consistency and
+concurrency control costs and distinguish between reads and writes."
+Under write-all replication, each additional copy makes reads cheaper and
+writes dearer; the bench sweeps the copy count at several write fractions
+and reports the classic result: the optimal degree of replication falls
+monotonically as the workload becomes write-heavy.
+"""
+
+import numpy as np
+
+from repro.multicopy import optimal_copy_count_with_writes
+from repro.network.virtual_ring import VirtualRing
+
+from _util import emit_table
+
+RING = (2.0, 1.0, 3.0, 1.0, 2.0, 1.0)
+WRITE_FRACTIONS = (0.0, 0.1, 0.2, 0.5)
+
+
+def _run_all():
+    ring = VirtualRing(RING)
+    return {
+        w: optimal_copy_count_with_writes(
+            ring,
+            np.ones(6),
+            mu=10.0,
+            write_fraction=w,
+            storage_cost_per_copy=0.3,
+            iterations=200,
+        )
+        for w in WRITE_FRACTIONS
+    }
+
+
+def test_replication_vs_write_fraction(benchmark):
+    sweeps = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    rows = []
+    for w, res in sweeps.items():
+        totals = " ".join(f"{e.total_cost:.1f}" for e in res.entries)
+        rows.append([f"{w:.0%}", res.best.copies, totals])
+    emit_table(
+        ["write fraction", "optimal m", "total cost by m = 1..6"],
+        rows,
+        "Extension: optimal replication degree vs write fraction (write-all)",
+    )
+
+    best_ms = [sweeps[w].best.copies for w in WRITE_FRACTIONS]
+    # Monotone non-increasing, from full replication down to a single copy.
+    assert all(best_ms[i] >= best_ms[i + 1] for i in range(len(best_ms) - 1))
+    assert best_ms[0] == 6
+    assert best_ms[-1] == 1

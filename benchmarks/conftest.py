@@ -1,0 +1,28 @@
+"""Benchmark-suite configuration.
+
+The paper-vs-measured tables each bench prints are the deliverable.  Since
+pytest captures per-test output, every table is also appended to
+``benchmarks/bench_tables.txt`` (truncated at session start), and the whole
+log is replayed through the terminal reporter at the end of the run so
+piped/teed benchmark logs contain the tables alongside the timing summary.
+"""
+
+from pathlib import Path
+
+import pytest
+
+TABLE_LOG = Path(__file__).resolve().parent / "bench_tables.txt"
+
+
+def pytest_sessionstart(session):
+    TABLE_LOG.write_text("")
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if TABLE_LOG.exists():
+        text = TABLE_LOG.read_text().strip()
+        if text:
+            terminalreporter.section("paper-vs-measured tables")
+            for line in text.splitlines():
+                terminalreporter.write_line(line)

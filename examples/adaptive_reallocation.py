@@ -1,0 +1,79 @@
+"""Adaptive reallocation under a drifting workload (§8 conclusions).
+
+The paper suggests running the algorithm "occasionally at night" to track
+changing access patterns, with nodes *estimating* the parameters they need.
+This example builds that scenario on a five-node ring: the workload hotspot
+rotates every epoch, each node estimates its access rate from a Poisson
+observation window, the algorithm runs a few iterations per epoch from the
+current allocation (safe, because every intermediate allocation is feasible
+and better — §5.3), and we compare three strategies:
+
+* frozen     — never re-optimize (the initial uniform allocation);
+* adaptive   — the §8 loop with estimated parameters;
+* clairvoyant — the exact optimum for each epoch's true workload.
+
+Run:  python examples/adaptive_reallocation.py
+"""
+
+import numpy as np
+
+from repro.estimation import AdaptiveAllocationLoop
+from repro.network.builders import ring_graph
+from repro.network.shortest_paths import all_pairs_shortest_paths
+from repro.utils.tables import format_table
+
+
+def rotating_hotspot(epoch: int) -> np.ndarray:
+    """Each epoch, one node generates most of the traffic."""
+    rates = np.full(5, 0.08)
+    rates[epoch % 5] = 0.56
+    return rates
+
+
+def main() -> None:
+    cost_matrix = all_pairs_shortest_paths(ring_graph(5))
+    loop = AdaptiveAllocationLoop(
+        cost_matrix,
+        rotating_hotspot,
+        mu=1.6,
+        k=1.0,
+        iterations_per_epoch=10,
+        estimation_window=2_000.0,  # how long each node observes per epoch
+        alpha=0.3,
+        seed=7,
+    )
+    history = loop.run(epochs=10, initial_allocation=np.full(5, 0.2))
+
+    rows = []
+    for epoch in history:
+        rows.append(
+            [
+                epoch.epoch,
+                int(np.argmax(epoch.true_rates)),
+                f"{epoch.adapted_cost:.4f}",
+                f"{epoch.frozen_cost:.4f}",
+                f"{epoch.optimal_cost:.4f}",
+                f"{(epoch.adapted_cost / epoch.optimal_cost - 1) * 100:.1f}%",
+            ]
+        )
+    print(
+        format_table(
+            ["epoch", "hot node", "adaptive", "frozen", "clairvoyant", "adaptive gap"],
+            rows,
+            title="Tracking a rotating hotspot (costs under the true workload)",
+        )
+    )
+
+    adaptive = np.mean([e.adapted_cost for e in history[1:]])
+    frozen = np.mean([e.frozen_cost for e in history[1:]])
+    optimal = np.mean([e.optimal_cost for e in history[1:]])
+    print(f"\nmean cost  adaptive:    {adaptive:.4f}")
+    print(f"mean cost  frozen:      {frozen:.4f}")
+    print(f"mean cost  clairvoyant: {optimal:.4f}")
+    print(f"\nadaptation recovers "
+          f"{(frozen - adaptive) / (frozen - optimal) * 100:.0f}% of the gap "
+          f"between frozen and clairvoyant, using only estimated parameters.")
+
+
+if __name__ == "__main__":
+    main()

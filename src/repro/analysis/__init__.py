@@ -1,0 +1,38 @@
+"""Theory-verification and convergence-diagnostics toolkit.
+
+Makes the appendix executable: the (a)-(d) derivative bounds behind
+Theorem 2, convexity verification, convergence-rate estimation, rapid-phase
+measurement (§6), and oscillation metrics (§7.3).
+"""
+
+from repro.analysis.bounds import DerivativeBounds, derivative_bounds
+from repro.analysis.convergence import (
+    estimate_linear_rate,
+    iterations_to_tolerance,
+    sweep_alpha_iterations,
+)
+from repro.analysis.convexity import verify_convexity_on_grid
+from repro.analysis.optimality import optimality_gap
+from repro.analysis.oscillation import detect_oscillation, oscillation_metrics
+from repro.analysis.sensitivity import (
+    KOperatingPoint,
+    choose_k_for_delay_budget,
+    evaluate_k,
+    sweep_k,
+)
+
+__all__ = [
+    "DerivativeBounds",
+    "KOperatingPoint",
+    "choose_k_for_delay_budget",
+    "derivative_bounds",
+    "detect_oscillation",
+    "estimate_linear_rate",
+    "evaluate_k",
+    "iterations_to_tolerance",
+    "optimality_gap",
+    "oscillation_metrics",
+    "sweep_alpha_iterations",
+    "sweep_k",
+    "verify_convexity_on_grid",
+]

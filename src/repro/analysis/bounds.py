@@ -1,0 +1,78 @@
+"""The appendix's derivative bounds, as executable facts.
+
+Theorem 2's denominator bound rests on four "easily derivable facts" for
+the M/M/1 cost with ``mu > lambda`` and ``0 <= x_i <= 1``:
+
+    (a)  dU/dx_i = -dC/dx_i
+    (b)  dC/dx_i <= max(C_i) + mu k / (mu - lambda)^2      (at x_i = 1)
+    (c)  dC/dx_i >= min(C_i) + k / mu                      (at x_i = 0)
+    (d)  d2C/dx_i^2 <= 2 mu k lambda / (mu - lambda)^3     (at x_i = 1)
+
+:func:`derivative_bounds` evaluates them for a problem instance, and the
+property-based tests check that sampled allocations never escape them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import FileAllocationProblem
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DerivativeBounds:
+    """The (b)-(d) bounds for one problem instance."""
+
+    gradient_upper: float
+    gradient_lower: float
+    hessian_upper: float
+    c_max: float
+    c_min: float
+
+    def contains_gradient(self, values, *, atol: float = 1e-9) -> bool:
+        """True when every marginal cost lies inside [lower, upper]."""
+        arr = np.asarray(values, dtype=float)
+        return bool(
+            np.all(arr <= self.gradient_upper + atol)
+            and np.all(arr >= self.gradient_lower - atol)
+        )
+
+    def contains_hessian(self, values, *, atol: float = 1e-9) -> bool:
+        """True when every curvature lies in [0, upper]."""
+        arr = np.asarray(values, dtype=float)
+        return bool(np.all(arr <= self.hessian_upper + atol) and np.all(arr >= -atol))
+
+
+def derivative_bounds(problem: FileAllocationProblem) -> DerivativeBounds:
+    """Evaluate the appendix's (b)-(d) bounds for an M/M/1 instance.
+
+    Heterogeneous service rates use the smallest ``mu`` (conservative, as
+    in :func:`~repro.core.stepsize.theorem2_alpha_bound`).
+    """
+    mus = [getattr(m, "mu", None) for m in problem.delay_models]
+    if any(m is None for m in mus):
+        raise ConfigurationError("bounds need delay models exposing mu")
+    # mu/(mu-lam)^2 and mu/(mu-lam)^3 are decreasing in mu for mu > lam, so
+    # the *smallest* service rate gives the conservative upper bounds, while
+    # the lower bound k/mu needs the *largest* rate.  (The paper's
+    # homogeneous-mu case makes the two coincide.)
+    mu_lo = float(min(mus))
+    mu_hi = float(max(mus))
+    lam = problem.total_rate
+    if mu_lo <= lam:
+        raise ConfigurationError(
+            f"the appendix bounds assume mu > lambda (mu={mu_lo:g}, lambda={lam:g})"
+        )
+    k = problem.k
+    c_max = float(np.max(problem.access_cost))
+    c_min = float(np.min(problem.access_cost))
+    return DerivativeBounds(
+        gradient_upper=c_max + mu_lo * k / (mu_lo - lam) ** 2,
+        gradient_lower=c_min + k / mu_hi,
+        hessian_upper=2.0 * mu_lo * k * lam / (mu_lo - lam) ** 3,
+        c_max=c_max,
+        c_min=c_min,
+    )

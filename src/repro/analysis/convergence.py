@@ -1,0 +1,79 @@
+"""Convergence diagnostics: the measurements behind figures 3, 5 and 6.
+
+* :func:`iterations_to_tolerance` — iteration count until the cost is
+  within a tolerance of its final value (how the figure-3 counts read off
+  a profile);
+* :func:`estimate_linear_rate` — the asymptotic geometric contraction
+  factor of the cost error (quantifies the "gradual phase");
+* :func:`sweep_alpha_iterations` — the figure-5 sweep: iterations to
+  convergence across a stepsize grid, plus the best alpha (reused by the
+  figure-6 scaling run, which uses "the best possible alpha" per network
+  size).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.algorithm import DecentralizedAllocator
+from repro.core.model import FileAllocationProblem
+from repro.core.trace import Trace
+
+
+def iterations_to_tolerance(trace: Trace, *, tolerance: float = 1e-6) -> int:
+    """First iteration whose cost is within ``tolerance`` of the trace's
+    final (best) cost; the length of the whole run if never reached."""
+    costs = trace.costs()
+    target = costs[-1] + tolerance
+    hits = np.flatnonzero(costs <= target)
+    return int(hits[0]) if hits.size else len(costs) - 1
+
+
+def estimate_linear_rate(trace: Trace, *, tail: int = 10) -> Optional[float]:
+    """Geometric contraction factor of the cost error over the last
+    ``tail`` iterations (``None`` when the error underflows too fast to
+    measure).  A rate of r means err_{t+1} ~ r * err_t.
+
+    Estimated from ratios of successive cost *drops*
+    ``(c_t - c_{t+1}) / (c_{t-1} - c_t)``, which equal r exactly for
+    geometric decay toward any (unknown) limit — no limit estimate needed.
+    """
+    costs = trace.costs()[-(tail + 2):]
+    drops = -np.diff(costs)
+    valid = drops > 1e-14
+    if valid.sum() < 2:
+        return None
+    ratios = drops[1:] / drops[:-1]
+    ratios = ratios[valid[1:] & valid[:-1]]
+    ratios = ratios[(ratios > 0) & np.isfinite(ratios)]
+    if ratios.size == 0:
+        return None
+    return float(np.exp(np.mean(np.log(ratios))))
+
+
+def sweep_alpha_iterations(
+    problem: FileAllocationProblem,
+    initial_allocation: Sequence[float],
+    alphas: Sequence[float],
+    *,
+    epsilon: float = 1e-3,
+    max_iterations: int = 5_000,
+) -> Tuple[Dict[float, int], float]:
+    """Run the allocator for every alpha; return ``(counts, best_alpha)``.
+
+    ``counts[alpha]`` is iterations to convergence (``max_iterations`` when
+    a run did not converge — figure 5 plots those as the blow-up branch).
+    ``best_alpha`` minimizes the count, ties toward the smaller alpha (the
+    more conservative choice).
+    """
+    counts: Dict[float, int] = {}
+    for alpha in alphas:
+        allocator = DecentralizedAllocator(
+            problem, alpha=float(alpha), epsilon=epsilon, max_iterations=max_iterations
+        )
+        result = allocator.run(initial_allocation)
+        counts[float(alpha)] = result.iterations if result.converged else max_iterations
+    best_alpha = min(sorted(counts), key=lambda a: (counts[a], a))
+    return counts, best_alpha

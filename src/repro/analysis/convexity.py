@@ -1,0 +1,48 @@
+"""Convexity verification.
+
+§5.3 argues the utility of equation 2 is concave (cost convex) so the
+equal-marginals condition picks the global optimum.  For M/M/1 the diagonal
+Hessian ``2 k lambda mu / (mu - lambda x)^3 > 0`` proves it analytically;
+this module verifies it *numerically* on sampled segments, which also
+covers delay models without hand-derived Hessians.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import FileAllocationProblem
+from repro.exceptions import StabilityError
+from repro.utils.seeding import SeedLike, rng_from_seed
+
+
+def verify_convexity_on_grid(
+    problem: FileAllocationProblem,
+    *,
+    samples: int = 200,
+    seed: SeedLike = 0,
+    tol: float = 1e-9,
+) -> bool:
+    """Midpoint-convexity check on random feasible segments.
+
+    Draws pairs of feasible allocations ``(x, y)`` and verifies
+    ``C((x+y)/2) <= (C(x) + C(y))/2 + tol``.  Returns False on the first
+    violation.  Pairs whose endpoints are queue-unstable are resampled.
+    """
+    rng = rng_from_seed(seed)
+    n = problem.n
+    checked = 0
+    attempts = 0
+    while checked < samples and attempts < 50 * samples:
+        attempts += 1
+        x = rng.dirichlet(np.ones(n))
+        y = rng.dirichlet(np.ones(n))
+        try:
+            cx, cy = problem.cost(x), problem.cost(y)
+            cm = problem.cost(0.5 * (x + y))
+        except StabilityError:
+            continue
+        if cm > 0.5 * (cx + cy) + tol:
+            return False
+        checked += 1
+    return checked == samples

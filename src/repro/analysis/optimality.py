@@ -1,0 +1,42 @@
+"""Optimality-gap measurement against the closed-form optimum."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.kkt import optimal_allocation
+from repro.core.model import FileAllocationProblem
+
+
+@dataclass(frozen=True)
+class OptimalityGap:
+    """How far an allocation is from the exact optimum."""
+
+    #: (C(x) - C*) / C* — relative excess cost.
+    relative_cost_gap: float
+    #: Absolute excess cost C(x) - C*.
+    absolute_cost_gap: float
+    #: L-infinity distance between the allocations.
+    allocation_distance: float
+    optimal_cost: float
+
+
+def optimality_gap(problem: FileAllocationProblem, allocation) -> OptimalityGap:
+    """Measure ``allocation`` against the bisection ground truth.
+
+    Note the allocation distance can be large while the cost gap is tiny
+    when the optimum is nearly flat — the cost gap is the meaningful
+    number for the algorithm comparisons.
+    """
+    x = problem.check_feasible(allocation)
+    x_star = optimal_allocation(problem)
+    c = problem.cost(x)
+    c_star = problem.cost(x_star)
+    return OptimalityGap(
+        relative_cost_gap=(c - c_star) / c_star if c_star else 0.0,
+        absolute_cost_gap=c - c_star,
+        allocation_distance=float(np.max(np.abs(x - x_star))),
+        optimal_cost=c_star,
+    )

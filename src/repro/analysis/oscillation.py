@@ -1,0 +1,62 @@
+"""Oscillation detection and measurement (§7.3).
+
+The multi-copy ring cost is discontinuous (link costs appear and disappear
+as the allocation shifts), so a fixed-stepsize gradient scheme oscillates
+around the optimum instead of converging.  The §7.3 remedy decays alpha
+when oscillation is observed; these helpers supply the "observed" part and
+the summary metrics the figure-8/9 benches report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class OscillationMetrics:
+    """Summary of the oscillatory behaviour of a cost sequence."""
+
+    #: Number of cost increases (a perfectly monotone run has 0).
+    increases: int
+    #: Number of sign changes of the cost difference — direction reversals.
+    reversals: int
+    #: Max - min cost over the trailing window.
+    trailing_amplitude: float
+    #: Mean |cost delta| over the trailing window.
+    trailing_mean_step: float
+
+
+def detect_oscillation(
+    costs: Sequence[float], *, window: int = 8, min_reversals: int = 3
+) -> bool:
+    """True when the trailing ``window`` cost deltas change sign at least
+    ``min_reversals`` times — the §7.3 trigger for decaying alpha."""
+    c = np.asarray(costs, dtype=float)
+    if c.size < 3:
+        return False
+    deltas = np.diff(c[-(window + 1):])
+    signs = np.sign(deltas)
+    signs = signs[signs != 0]
+    if signs.size < 2:
+        return False
+    return int(np.sum(signs[1:] != signs[:-1])) >= min_reversals
+
+
+def oscillation_metrics(costs: Sequence[float], *, window: int = 20) -> OscillationMetrics:
+    """Compute the oscillation summary for a full cost history."""
+    c = np.asarray(costs, dtype=float)
+    deltas = np.diff(c) if c.size > 1 else np.array([])
+    signs = np.sign(deltas)
+    nonzero = signs[signs != 0]
+    reversals = int(np.sum(nonzero[1:] != nonzero[:-1])) if nonzero.size > 1 else 0
+    tail = c[-max(1, window):]
+    tail_deltas = np.abs(np.diff(tail)) if tail.size > 1 else np.array([0.0])
+    return OscillationMetrics(
+        increases=int(np.sum(deltas > 1e-12)),
+        reversals=reversals,
+        trailing_amplitude=float(tail.max() - tail.min()),
+        trailing_mean_step=float(tail_deltas.mean()),
+    )

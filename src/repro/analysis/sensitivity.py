@@ -1,0 +1,116 @@
+"""Choosing the delay weight ``k`` (§8 future work).
+
+"The value of the parameter k decides the relative importance of each term
+in the cost function.  For a practical application ... it is important to
+have a rationale for choosing the value of k.  Certainly, system designers
+require a suitable framework in which to choose values for the various
+parameters such as k."
+
+This module supplies that framework in its most useful operational form:
+pick ``k`` so the *optimal* allocation meets a delay budget.  The mean
+access delay of the optimum,
+
+    D(k) = sum_i T_i(lambda x*_i(k)) x*_i(k),
+
+is monotone non-increasing in ``k`` (heavier delay weighting spreads the
+file further), so the smallest ``k`` meeting a budget is found by
+bisection.  A sweep helper exposes the whole communication/delay frontier
+for designers who prefer to look before choosing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.core.kkt import optimal_allocation
+from repro.core.model import FileAllocationProblem
+from repro.exceptions import ConfigurationError, ConvergenceError
+from repro.utils.validation import check_positive
+
+#: Builds the problem instance for a given k (everything else fixed).
+ProblemFactory = Callable[[float], FileAllocationProblem]
+
+
+@dataclass(frozen=True)
+class KOperatingPoint:
+    """The optimum's behaviour at one value of k."""
+
+    k: float
+    mean_delay: float
+    mean_communication_cost: float
+    allocation: np.ndarray
+    #: Effective number of nodes holding mass (participation ratio).
+    spread_nodes: float
+
+
+def evaluate_k(factory: ProblemFactory, k: float) -> KOperatingPoint:
+    """Solve the instance at ``k`` and report its delay/comm trade point."""
+    problem = factory(k)
+    x = optimal_allocation(problem)
+    delays = problem.delays(x)
+    mean_delay = float(np.sum(delays * x))
+    mean_comm = float(np.sum(problem.access_cost * x))
+    positive = x[x > 1e-12]
+    participation = 1.0 / float(np.sum((positive / positive.sum()) ** 2))
+    return KOperatingPoint(
+        k=k,
+        mean_delay=mean_delay,
+        mean_communication_cost=mean_comm,
+        allocation=x,
+        spread_nodes=participation,
+    )
+
+
+def sweep_k(factory: ProblemFactory, ks: Sequence[float]) -> List[KOperatingPoint]:
+    """The delay/communication frontier over a grid of k values."""
+    return [evaluate_k(factory, float(k)) for k in ks]
+
+
+def choose_k_for_delay_budget(
+    factory: ProblemFactory,
+    target_delay: float,
+    *,
+    k_low: float = 1e-4,
+    k_high: float = 1e4,
+    tolerance: float = 1e-4,
+    max_bisections: int = 100,
+) -> KOperatingPoint:
+    """Smallest ``k`` whose optimal allocation meets ``target_delay``.
+
+    Smallest because ``k`` also taxes communication: any larger ``k``
+    over-fragments relative to what the delay budget requires.
+
+    Raises :class:`~repro.exceptions.ConvergenceError` when even
+    ``k_high`` cannot meet the budget (the budget is below the best delay
+    the network can offer) and :class:`~repro.exceptions.ConfigurationError`
+    for a budget already met at ``k_low`` (any k works; no trade-off).
+    """
+    target_delay = check_positive(target_delay, "target_delay")
+    lo = check_positive(k_low, "k_low")
+    hi = check_positive(k_high, "k_high")
+    if lo >= hi:
+        raise ConfigurationError(f"need k_low < k_high, got {lo} >= {hi}")
+
+    at_hi = evaluate_k(factory, hi)
+    if at_hi.mean_delay > target_delay * (1 + 1e-9):
+        raise ConvergenceError(
+            f"even k = {hi:g} only reaches mean delay {at_hi.mean_delay:g} "
+            f"> target {target_delay:g}; the budget is infeasible for this network"
+        )
+    at_lo = evaluate_k(factory, lo)
+    if at_lo.mean_delay <= target_delay:
+        return at_lo  # budget is slack: the cheapest k already meets it
+
+    for _ in range(max_bisections):
+        mid = float(np.sqrt(lo * hi))  # geometric bisection: k spans decades
+        point = evaluate_k(factory, mid)
+        if point.mean_delay <= target_delay:
+            hi = mid
+        else:
+            lo = mid
+        if hi / lo < 1 + tolerance:
+            break
+    return evaluate_k(factory, hi)

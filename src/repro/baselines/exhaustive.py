@@ -1,0 +1,55 @@
+"""Brute-force grid search — a slow but assumption-free test oracle.
+
+Enumerates all compositions of ``resolution`` units over ``n`` nodes
+(``x_i = k_i / resolution``) and returns the cheapest.  Exponential in
+``n``; intended for n <= 4 sanity checks of the analytic optimum.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.core.model import FileAllocationProblem
+from repro.exceptions import ConfigurationError, StabilityError
+
+
+def _compositions(total: int, parts: int) -> Iterator[Tuple[int, ...]]:
+    """All tuples of ``parts`` non-negative ints summing to ``total``."""
+    if parts == 1:
+        yield (total,)
+        return
+    for head in range(total + 1):
+        for tail in _compositions(total - head, parts - 1):
+            yield (head,) + tail
+
+
+def exhaustive_grid_optimum(
+    problem: FileAllocationProblem, *, resolution: int = 20
+) -> Tuple[np.ndarray, float]:
+    """``(best_allocation, best_cost)`` over the simplex grid.
+
+    The grid optimum is within O(1/resolution) of the true optimum for the
+    smooth convex cost; tests use it to bound the analytic solution.
+    """
+    if problem.n > 6:
+        raise ConfigurationError(
+            f"exhaustive search over n={problem.n} nodes is intractable; use n <= 6"
+        )
+    if resolution < 1:
+        raise ConfigurationError("resolution must be >= 1")
+    best_x: np.ndarray | None = None
+    best_cost = np.inf
+    for combo in _compositions(resolution, problem.n):
+        x = np.asarray(combo, dtype=float) / resolution
+        try:
+            c = problem.cost(x)
+        except StabilityError:
+            continue
+        if c < best_cost:
+            best_cost = c
+            best_x = x
+    if best_x is None:
+        raise StabilityError("no stable allocation exists on the grid")
+    return best_x, float(best_cost)

@@ -1,0 +1,85 @@
+"""Integral (non-fragmented) file allocation baselines.
+
+The classical FAP literature (Chu [8], Casey [4]) requires a file to live
+wholly at one node.  For a single copy of a single file that integer
+program reduces to evaluating the cost of each of the ``N`` placements —
+exactly the baseline the paper's figure 4 starts from ("the initial
+allocation places the entire file at one node in an optimal manner given
+the integer allocation constraint").
+
+For several whole files the joint placement couples through queueing
+contention; :func:`greedy_integral_multifile` gives the standard greedy
+heuristic (place files in decreasing traffic order, each at its currently
+cheapest node), standing in for the heuristic search techniques of [27]
+and [5].
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.initials import single_node_allocation
+from repro.core.model import FileAllocationProblem
+from repro.core.multifile import MultiFileProblem
+from repro.exceptions import StabilityError
+
+
+def integral_costs(problem: FileAllocationProblem) -> np.ndarray:
+    """Cost of placing the whole file at each node (``inf`` if unstable)."""
+    out = np.empty(problem.n)
+    for node in range(problem.n):
+        try:
+            out[node] = problem.cost(single_node_allocation(problem.n, node))
+        except StabilityError:
+            out[node] = np.inf
+    return out
+
+
+def best_integral_allocation(problem: FileAllocationProblem) -> Tuple[np.ndarray, float]:
+    """The optimal whole-file placement: ``(allocation, cost)``.
+
+    Raises :class:`~repro.exceptions.StabilityError` when no single node
+    can absorb the full access rate (``mu <= lambda`` everywhere) — the
+    regime where fragmentation is not merely cheaper but *necessary*.
+    """
+    costs = integral_costs(problem)
+    best = int(np.argmin(costs))
+    if not np.isfinite(costs[best]):
+        raise StabilityError(
+            "no single node can stably hold the whole file; fragmentation required"
+        )
+    return single_node_allocation(problem.n, best), float(costs[best])
+
+
+def greedy_integral_multifile(problem: MultiFileProblem) -> Tuple[np.ndarray, float]:
+    """Greedy whole-file placement for several files: ``(allocation, cost)``.
+
+    Files are placed in decreasing total-access-rate order; each file goes
+    to the node minimizing the joint cost given earlier placements.
+    Placements that would destabilize a node's queue are skipped; if no
+    node can host a file the greedy fails with
+    :class:`~repro.exceptions.StabilityError`.
+    """
+    m, n = problem.m, problem.n
+    x = np.zeros((m, n))
+    order: List[int] = list(np.argsort(-problem.file_rates))
+    for f in order:
+        best_node, best_cost = -1, np.inf
+        for node in range(n):
+            x[f, :] = 0.0
+            x[f, node] = 1.0
+            try:
+                c = problem.cost(x)
+            except StabilityError:
+                continue
+            if c < best_cost:
+                best_node, best_cost = node, c
+        if best_node < 0:
+            raise StabilityError(
+                f"file {f}: no node can stably host it given earlier placements"
+            )
+        x[f, :] = 0.0
+        x[f, best_node] = 1.0
+    return x, float(problem.cost(x))

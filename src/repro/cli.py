@@ -1,0 +1,194 @@
+"""Command-line interface.
+
+``repro-fap solve``    — solve a FAP instance on a standard topology;
+``repro-fap figure``   — reproduce one of the paper's figures (3-6, 8, 9);
+``repro-fap figures``  — reproduce all of them and print the summary tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.algorithm import DecentralizedAllocator
+from repro.core.initials import paper_skewed_allocation, single_node_allocation
+from repro.core.model import FileAllocationProblem
+from repro.experiments import ascii_plot, figures
+from repro.network import builders
+from repro.utils.tables import format_table
+
+_TOPOLOGIES = {
+    "ring": builders.ring_graph,
+    "line": builders.line_graph,
+    "star": builders.star_graph,
+    "complete": builders.complete_graph,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fap",
+        description="Decentralized microeconomic file allocation (Kurose & Simha 1986)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="solve one FAP instance")
+    solve.add_argument("--nodes", type=int, default=4, help="network size")
+    solve.add_argument(
+        "--topology", choices=sorted(_TOPOLOGIES), default="ring", help="network family"
+    )
+    solve.add_argument("--mu", type=float, default=1.5, help="per-node service rate")
+    solve.add_argument("--rate", type=float, default=1.0, help="total access rate lambda")
+    solve.add_argument("--k", type=float, default=1.0, help="delay/communication weight")
+    solve.add_argument("--alpha", type=float, default=0.3, help="stepsize")
+    solve.add_argument("--epsilon", type=float, default=1e-3, help="convergence tolerance")
+    solve.add_argument(
+        "--start",
+        choices=["uniform", "skewed", "single"],
+        default="skewed",
+        help="initial allocation",
+    )
+    solve.add_argument("--plot", action="store_true", help="ascii convergence profile")
+
+    fig = sub.add_parser("figure", help="reproduce one paper figure")
+    fig.add_argument("number", type=int, choices=[3, 4, 5, 6, 8, 9])
+
+    sub.add_parser("figures", help="reproduce all paper figures")
+
+    report = sub.add_parser(
+        "report", help="regenerate the full paper-vs-measured markdown report"
+    )
+    report.add_argument(
+        "--fast", action="store_true", help="reduced grids (seconds instead of minutes)"
+    )
+
+    topo = sub.add_parser("topology", help="preview a topology in the terminal")
+    topo.add_argument("--nodes", type=int, default=6)
+    topo.add_argument(
+        "--topology", choices=sorted(_TOPOLOGIES), default="ring", dest="family"
+    )
+
+    copies = sub.add_parser(
+        "copies", help="sweep the copy count m on a virtual ring (§8.2)"
+    )
+    copies.add_argument("--nodes", type=int, default=6)
+    copies.add_argument("--mu", type=float, default=10.0)
+    copies.add_argument(
+        "--write-fraction", type=float, default=0.0,
+        help="fraction of accesses that are writes (write-all replication)",
+    )
+    copies.add_argument(
+        "--storage-cost", type=float, default=0.3, help="cost per copy stored"
+    )
+    return parser
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    topo = _TOPOLOGIES[args.topology](args.nodes)
+    rates = np.full(args.nodes, args.rate / args.nodes)
+    problem = FileAllocationProblem.from_topology(
+        topo, rates, k=args.k, mu=args.mu
+    )
+    starts = {
+        "uniform": np.full(args.nodes, 1.0 / args.nodes),
+        "skewed": paper_skewed_allocation(args.nodes),
+        "single": single_node_allocation(args.nodes, 0),
+    }
+    result = DecentralizedAllocator(
+        problem, alpha=args.alpha, epsilon=args.epsilon
+    ).run(starts[args.start])
+    status = "converged" if result.converged else "did NOT converge"
+    print(f"{problem.name}: {status} after {result.iterations} iterations")
+    print(f"final cost: {result.cost:.6g}")
+    print("allocation:", np.array2string(result.allocation, precision=4))
+    if args.plot:
+        print(ascii_plot({"cost": result.trace.costs()}, title="convergence profile"))
+    return 0
+
+
+def _print_figure(number: int) -> None:
+    if number == 3:
+        res = figures.figure3()
+        print(format_table(res.HEADERS, res.rows(), title="Figure 3: convergence profiles"))
+        print(ascii_plot(
+            {f"alpha={a:g}": p for a, p in sorted(res.profiles.items(), reverse=True)},
+            title="cost vs iteration",
+        ))
+    elif number == 4:
+        res = figures.figure4()
+        print(format_table(res.HEADERS, res.rows(), title="Figure 4: fragmentation vs integral"))
+    elif number == 5:
+        res = figures.figure5()
+        print(format_table(res.HEADERS, res.rows(), title="Figure 5: iterations vs alpha"))
+        print(f"best alpha: {res.best_alpha:g}; plateau width: {res.plateau_width():.3g}")
+    elif number == 6:
+        res = figures.figure6()
+        print(format_table(res.HEADERS, res.rows(), title="Figure 6: iterations vs N"))
+        print("flat in N:" , res.is_flat())
+    elif number == 8:
+        res = figures.figure8()
+        print(format_table(res.HEADERS, res.rows(), title="Figure 8: multi-copy profiles"))
+        print("comm-dominated oscillates more:", res.comm_oscillates_more)
+    elif number == 9:
+        res = figures.figure9()
+        print(format_table(res.HEADERS, res.rows(), title="Figure 9: alpha vs oscillation"))
+        print("smaller alpha oscillates less:", res.smaller_alpha_oscillates_less)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "figure":
+        _print_figure(args.number)
+        return 0
+    if args.command == "figures":
+        for number in (3, 4, 5, 6, 8, 9):
+            _print_figure(number)
+            print()
+        return 0
+    if args.command == "report":
+        from repro.experiments.report import generate_report
+
+        print(generate_report(fast=args.fast))
+        return 0
+    if args.command == "topology":
+        from repro.network.visualize import adjacency_art, topology_summary
+
+        topo = _TOPOLOGIES[args.family](args.nodes)
+        print(topology_summary(topo))
+        print()
+        print(adjacency_art(topo))
+        return 0
+    if args.command == "copies":
+        from repro.multicopy import optimal_copy_count_with_writes
+        from repro.network.virtual_ring import VirtualRing
+
+        ring = VirtualRing([1.0] * args.nodes)
+        sweep = optimal_copy_count_with_writes(
+            ring,
+            np.ones(args.nodes),
+            mu=args.mu,
+            write_fraction=args.write_fraction,
+            storage_cost_per_copy=args.storage_cost,
+        )
+        print(
+            format_table(
+                sweep.HEADERS,
+                sweep.rows(),
+                title=(
+                    f"Copy-count sweep: {args.nodes}-node unit ring, "
+                    f"{args.write_fraction:.0%} writes"
+                ),
+            )
+        )
+        print(f"optimal m = {sweep.best.copies}")
+        return 0
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,225 @@
+"""Active-set / non-negativity policies for the reallocation step.
+
+The raw step ``dx_i = alpha (dU/dx_i - avg)`` can drive an allocation
+negative.  §5.2 of the paper handles this with an *active set* ``A``:
+freeze the violating nodes, recompute the step over ``A`` (whose deviations
+from the ``A``-average still sum to zero, preserving feasibility), and
+re-admit frozen nodes whose marginal utility exceeds the ``A``-average.
+
+Numerical probing of the paper's own figure-3 configuration (see DESIGN.md)
+shows the literal freeze rule stalls when a *large donor* overshoots below
+zero, whereas uniformly shrinking the step so the worst node lands exactly
+at zero reproduces the paper's reported iteration counts.  All four
+variants are provided; :class:`ScaledStep` is the library default and the
+ablation bench compares them.
+
+Every policy returns ``(dx, active_mask)`` with ``sum(dx) == 0`` exactly
+(feasibility, Theorem 1) and — except :class:`Unconstrained` —
+``x + dx >= 0``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Tuple
+
+import numpy as np
+
+
+class ActiveSetPolicy(abc.ABC):
+    """Strategy object mapping (allocation, marginal utilities, alpha) to a
+    feasible step."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def apply(
+        self, x: np.ndarray, utility_gradient: np.ndarray, alpha: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(dx, active_mask)`` for one iteration."""
+
+    @staticmethod
+    def raw_step(utility_gradient: np.ndarray, alpha: float, mask: np.ndarray) -> np.ndarray:
+        """``alpha * (g_i - avg_A g)`` on the masked set, 0 elsewhere."""
+        dx = np.zeros_like(utility_gradient)
+        g = utility_gradient[mask]
+        if g.size:
+            dx[mask] = alpha * (g - g.mean())
+        return dx
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class Unconstrained(ActiveSetPolicy):
+    """No non-negativity handling: the pure §5.2 step over all nodes.
+
+    Allocations may transiently dip below zero (mathematically fine for the
+    cost function, physically meaningless); included because the paper's
+    figure-3 trajectories are consistent with this behaviour and it is the
+    cleanest setting for studying raw convergence dynamics.
+    """
+
+    name = "unconstrained"
+    #: Signals the allocator's validator that negative shares are intended.
+    allows_negative = True
+
+    def apply(self, x, utility_gradient, alpha):
+        mask = np.ones(x.size, dtype=bool)
+        return self.raw_step(utility_gradient, alpha, mask), mask
+
+
+class ScaledStep(ActiveSetPolicy):
+    """Shrink the whole step so the most-violating node lands exactly at 0.
+
+    The step direction is unchanged (so monotonicity is kept — a shorter
+    move along an ascent direction of a concave utility still ascends), and
+    ``sum(dx) == 0`` survives scalar scaling.  Default policy.
+    """
+
+    name = "scaled-step"
+
+    #: Shares below this are treated as pinned at the boundary.
+    zero_tol = 1e-12
+
+    def apply(self, x, utility_gradient, alpha):
+        # Freeze boundary nodes that want to shrink further: they have
+        # nothing to give, and KKT allows them to sit at zero with a
+        # below-average marginal.  Without this, the uniform scaling below
+        # would shrink every step to zero and stall at the boundary.
+        mask = np.ones(x.size, dtype=bool)
+        for _ in range(x.size):
+            dx = self.raw_step(utility_gradient, alpha, mask)
+            pinned = mask & (x <= self.zero_tol) & (dx < 0)
+            if not np.any(pinned):
+                break
+            mask &= ~pinned
+        if not np.any(mask):
+            return np.zeros_like(x), mask
+        # Uniformly shrink so the worst positive donor lands exactly at 0.
+        if np.any(x + dx < 0):
+            shrinking = dx < 0
+            with np.errstate(divide="ignore", invalid="ignore"):
+                factors = np.where(shrinking, x / np.maximum(-dx, 1e-300), np.inf)
+            scale = float(min(1.0, np.min(factors)))
+            dx = dx * scale
+        # Guard round-off: absorb any -1e-18 residue into the largest gainer.
+        overshoot = np.minimum(x + dx, 0.0)
+        if np.any(overshoot < 0):
+            dx = dx - overshoot
+            dx[int(np.argmax(dx))] += overshoot.sum()
+        return dx, mask
+
+
+class PaperActiveSet(ActiveSetPolicy):
+    """The literal §5.2 procedure.
+
+    (i)   A = { i : x_i + dx_i > 0 }  (dx computed over all nodes);
+    (ii)  sort the frozen nodes by marginal utility;
+    (iii) re-admit the best frozen node if its marginal utility exceeds the
+          current A-average;
+    (iv)  repeat until no additions;
+    then recompute dx over the final A (zero elsewhere).
+
+    A final safety scaling (as in :class:`ScaledStep`, restricted to A)
+    protects the recomputed step, since the paper's procedure checks
+    positivity only against the *first* step.
+
+    Note a fact the paper does not state: the re-admission branch (iii)
+    can never fire.  A node is frozen only if ``dx_j <= -x_j < 0``, i.e.
+    ``g_j`` is *below* the all-nodes average; removing below-average
+    elements raises the average, so every frozen node is also below the
+    A-average.  The branch is implemented anyway for fidelity, and the
+    test suite pins down the impossibility (see
+    ``TestPaperActiveSet::test_readmission_branch_is_provably_dead``).
+    """
+
+    name = "paper"
+
+    def apply(self, x, utility_gradient, alpha):
+        n = x.size
+        g = utility_gradient
+        mask = np.ones(n, dtype=bool)
+        dx = self.raw_step(g, alpha, mask)
+        if np.all(x + dx > 0):
+            return dx, mask
+        # Step (i): freeze violators.
+        mask = (x + dx) > 0
+        if not np.any(mask):
+            # Pathological: everything violates; keep the single best node.
+            mask = np.zeros(n, dtype=bool)
+            mask[int(np.argmax(g))] = True
+        # Steps (ii)-(v): re-admit frozen nodes with above-average marginals.
+        changed = True
+        while changed:
+            changed = False
+            frozen = np.flatnonzero(~mask)
+            if frozen.size == 0:
+                break
+            best = frozen[np.argmax(g[frozen])]
+            if g[best] > g[mask].mean():
+                mask[best] = True
+                changed = True
+        dx = self.raw_step(g, alpha, mask)
+        # Safety: the recomputed step may itself violate; scale within A.
+        if np.any(x + dx < 0):
+            shrinking = dx < 0
+            with np.errstate(divide="ignore", invalid="ignore"):
+                factors = np.where(shrinking, x / np.maximum(-dx, 1e-300), np.inf)
+            dx = dx * float(min(1.0, np.min(factors)))
+        return dx, mask
+
+
+class ClampRedistribute(ActiveSetPolicy):
+    """Clamp violators to zero and hand the released mass to the movers.
+
+    Violating nodes are set to exactly 0; the mass they could not give up
+    is charged back pro-rata against the nodes whose shares were growing,
+    keeping ``sum(dx) == 0``.  A projection-flavoured alternative included
+    for the ablation study.
+    """
+
+    name = "clamp-redistribute"
+
+    def apply(self, x, utility_gradient, alpha):
+        mask = np.ones(x.size, dtype=bool)
+        dx = self.raw_step(utility_gradient, alpha, mask)
+        target = x + dx
+        violated = target < 0
+        if np.any(violated):
+            deficit = float(-target[violated].sum())
+            target[violated] = 0.0
+            gaining = dx > 0
+            if np.any(gaining):
+                weights = dx[gaining] / dx[gaining].sum()
+                target[gaining] -= deficit * weights
+                # Cascading violation is possible in principle; fall back to
+                # a uniform trim over whatever is still positive.
+                while np.any(target < -1e-15):
+                    bad = target < 0
+                    extra = float(-target[bad].sum())
+                    target[bad] = 0.0
+                    pos = target > 0
+                    target[pos] -= extra * target[pos] / target[pos].sum()
+            dx = target - x
+        return dx, mask
+
+
+_POLICIES = {
+    cls.name: cls for cls in (Unconstrained, ScaledStep, PaperActiveSet, ClampRedistribute)
+}
+
+
+def make_policy(name_or_policy) -> ActiveSetPolicy:
+    """Resolve a policy from an instance or one of the registered names
+    (``"scaled-step"``, ``"paper"``, ``"clamp-redistribute"``,
+    ``"unconstrained"``)."""
+    if isinstance(name_or_policy, ActiveSetPolicy):
+        return name_or_policy
+    try:
+        return _POLICIES[str(name_or_policy)]()
+    except KeyError:
+        raise ValueError(
+            f"unknown active-set policy {name_or_policy!r}; "
+            f"choose from {sorted(_POLICIES)}"
+        ) from None

@@ -1,0 +1,253 @@
+"""The decentralized file allocation algorithm (§5).
+
+Each iteration of :class:`DecentralizedAllocator` performs what, deployed
+on a real network, would be one local-compute-plus-broadcast round:
+
+1. every node evaluates its marginal utility ``dU/dx_i`` at the current
+   allocation (local: it needs only its own ``x_i``, ``C_i``, ``k`` and
+   the network access rate);
+2. the marginals are averaged (by broadcast or a designated central agent —
+   :mod:`repro.distributed` simulates both protocols and message counts);
+3. the allocation moves toward above-average marginal utility,
+   ``dx_i = alpha (dU/dx_i - avg_A)``, with an active-set policy keeping
+   every share non-negative.
+
+Stopping: marginal utilities agree within ``epsilon`` on the active set
+(exactly the paper's §5.2 criterion), or a custom criterion.
+
+The run maintains the paper's headline invariants, which are asserted (not
+hoped for) at every step when ``validate=True``:
+
+* **feasibility** — ``sum x == 1`` after every iteration (Theorem 1);
+* **monotonicity** — the cost strictly decreases until convergence
+  (Theorem 2) whenever the stepsize respects its bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.active_set import ActiveSetPolicy, make_policy
+from repro.core.initials import uniform_allocation
+from repro.core.model import FileAllocationProblem
+from repro.core.stepsize import StepSizePolicy, make_stepsize
+from repro.core.termination import GradientSpreadCriterion, TerminationCriterion
+from repro.core.trace import IterationRecord, Trace
+from repro.exceptions import ConfigurationError, ConvergenceError
+from repro.utils.numeric import spread
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class AllocationResult:
+    """Outcome of a :class:`DecentralizedAllocator` run."""
+
+    allocation: np.ndarray
+    cost: float
+    utility: float
+    iterations: int
+    converged: bool
+    trace: Trace
+
+    def __repr__(self) -> str:
+        status = "converged" if self.converged else "NOT converged"
+        return (
+            f"AllocationResult({status} after {self.iterations} iterations, "
+            f"cost={self.cost:.6g})"
+        )
+
+
+class DecentralizedAllocator:
+    """The §5.2 iterative algorithm over a single-copy FAP instance.
+
+    Parameters
+    ----------
+    problem:
+        The :class:`~repro.core.model.FileAllocationProblem` to optimize.
+    alpha:
+        A number (fixed stepsize, as in the paper's experiments) or any
+        :class:`~repro.core.stepsize.StepSizePolicy`.
+    epsilon:
+        Convergence tolerance on the marginal-utility spread (the paper
+        uses 1e-3 in §6).
+    active_set:
+        Non-negativity policy name or instance; see
+        :mod:`repro.core.active_set`.  Default ``"scaled-step"``.
+    termination:
+        Optional custom criterion; defaults to the paper's
+        gradient-spread rule at ``epsilon``.
+    max_iterations:
+        Iteration budget for :meth:`run`.
+    validate:
+        Assert feasibility after every step (cheap; on by default).
+    callback:
+        Optional observer invoked with each
+        :class:`~repro.core.trace.IterationRecord` as it is appended —
+        progress bars, live dashboards, adaptive schedulers.  Exceptions
+        from the callback propagate (fail fast rather than mask bugs).
+    """
+
+    def __init__(
+        self,
+        problem: FileAllocationProblem,
+        *,
+        alpha: Union[float, StepSizePolicy] = 0.1,
+        epsilon: float = 1e-3,
+        active_set: Union[str, ActiveSetPolicy] = "scaled-step",
+        termination: Optional[TerminationCriterion] = None,
+        max_iterations: int = 100_000,
+        validate: bool = True,
+        callback=None,
+    ):
+        self.problem = problem
+        self.stepsize = make_stepsize(alpha)
+        self.epsilon = check_positive(epsilon, "epsilon")
+        self.active_set = make_policy(active_set)
+        self.termination = termination or GradientSpreadCriterion(epsilon)
+        if max_iterations < 1:
+            raise ConfigurationError("max_iterations must be >= 1")
+        self.max_iterations = int(max_iterations)
+        self.validate = validate
+        self.callback = callback
+
+    # -- single step (used directly by the distributed runtime) -------------
+
+    def step(self, x: np.ndarray, iteration: int = 0) -> tuple[np.ndarray, dict]:
+        """One reallocation step; returns ``(new_x, info)``.
+
+        ``info`` carries ``alpha``, the ``active_mask``, and the gradient
+        used — everything the trace records and the distributed runtime
+        forwards as messages.
+        """
+        g = self.problem.utility_gradient(x)
+        alpha = self.stepsize.alpha(iteration, x, g, self.problem)
+        dx, mask = self.active_set.apply(x, g, alpha)
+        new_x = self._apply(x, dx)
+        return new_x, {"alpha": alpha, "active_mask": mask, "gradient": g}
+
+    def _apply(self, x: np.ndarray, dx: np.ndarray) -> np.ndarray:
+        """Apply a computed step, asserting the Theorem-1 invariants.
+
+        Non-negativity is only an invariant of the constraint-handling
+        policies; the deliberate :class:`~repro.core.active_set.Unconstrained`
+        policy is allowed to dip below zero.
+        """
+        new_x = x + dx
+        if self.validate:
+            if abs(new_x.sum() - x.sum()) > 1e-9:
+                raise AssertionError(
+                    f"feasibility broken: sum moved from {x.sum()!r} to {new_x.sum()!r}"
+                )
+            if not getattr(self.active_set, "allows_negative", False):
+                if np.any(new_x < -1e-9):
+                    raise AssertionError(f"negative allocation: min={new_x.min()!r}")
+                new_x = np.maximum(new_x, 0.0)
+        return new_x
+
+    # -- full run ---------------------------------------------------------------
+
+    def run(
+        self,
+        initial_allocation: Optional[Sequence[float]] = None,
+        *,
+        raise_on_failure: bool = False,
+    ) -> AllocationResult:
+        """Iterate from ``initial_allocation`` (default: uniform) until the
+        termination criterion fires or the budget is exhausted."""
+        if initial_allocation is None:
+            x = uniform_allocation(self.problem.n)
+        else:
+            x = self.problem.check_feasible(initial_allocation).copy()
+
+        self.stepsize.reset()
+        self.termination.reset()
+
+        # Convergence is always judged on the *prospective* step's active
+        # set at the current point — exactly what each node computes from
+        # one round of reports in the distributed runtime, so the two
+        # implementations stop at the same iterate.
+        trace = Trace()
+
+        def emit(record: IterationRecord) -> None:
+            trace.append(record)
+            if self.callback is not None:
+                self.callback(record)
+
+        g = self.problem.utility_gradient(x)
+        alpha = self.stepsize.alpha(0, x, g, self.problem)
+        dx, mask = self.active_set.apply(x, g, alpha)
+        cost = self.problem.cost(x)
+        emit(
+            IterationRecord(
+                iteration=0,
+                allocation=x.copy(),
+                cost=cost,
+                utility=-cost,
+                gradient_spread=spread(g[mask]),
+                alpha=float("nan"),
+                active_count=int(mask.sum()),
+            )
+        )
+
+        converged = self.termination.should_stop(0, x, g, mask, cost)
+        iteration = 0
+        while not converged and iteration < self.max_iterations:
+            iteration += 1
+            applied_alpha = alpha
+            x = self._apply(x, dx)
+            cost = self.problem.cost(x)
+            self.stepsize.notify_cost(iteration, cost)
+            g = self.problem.utility_gradient(x)
+            alpha = self.stepsize.alpha(iteration, x, g, self.problem)
+            dx, mask = self.active_set.apply(x, g, alpha)
+            emit(
+                IterationRecord(
+                    iteration=iteration,
+                    allocation=x.copy(),
+                    cost=cost,
+                    utility=-cost,
+                    gradient_spread=spread(g[mask]),
+                    alpha=applied_alpha,
+                    active_count=int(mask.sum()),
+                )
+            )
+            converged = self.termination.should_stop(iteration, x, g, mask, cost)
+
+        if not converged and raise_on_failure:
+            raise ConvergenceError(
+                f"no convergence in {self.max_iterations} iterations "
+                f"(spread={spread(g[mask]):g}, epsilon={self.epsilon:g})",
+                iterations=iteration,
+            )
+        return AllocationResult(
+            allocation=x,
+            cost=cost,
+            utility=-cost,
+            iterations=iteration,
+            converged=converged,
+            trace=trace,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DecentralizedAllocator(problem={self.problem.name!r}, "
+            f"stepsize={self.stepsize!r}, active_set={self.active_set!r})"
+        )
+
+
+def solve(
+    problem: FileAllocationProblem,
+    *,
+    alpha: Union[float, StepSizePolicy] = 0.1,
+    epsilon: float = 1e-3,
+    initial_allocation: Optional[Sequence[float]] = None,
+    max_iterations: int = 100_000,
+) -> AllocationResult:
+    """One-call convenience wrapper around :class:`DecentralizedAllocator`."""
+    allocator = DecentralizedAllocator(
+        problem, alpha=alpha, epsilon=epsilon, max_iterations=max_iterations
+    )
+    return allocator.run(initial_allocation)

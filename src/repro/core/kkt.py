@@ -1,0 +1,146 @@
+"""KKT conditions and the closed-form optimum (§5.3).
+
+At the optimum there is a multiplier ``q`` with
+
+    dC/dx_i = q   for every node with x_i > 0,
+    dC/dx_i >= q  for every node with x_i = 0
+
+(in cost terms; the paper states the mirror image for utilities).  Because
+each marginal cost ``MC_i(x) = C_i + k mu_i / (mu_i - lambda x)^2`` is
+continuous and strictly increasing in ``x``, the optimum can be computed
+*exactly* by one-dimensional bisection on ``q`` — node ``i``'s share at
+multiplier ``q`` inverts ``MC_i(x) = q`` in closed form, and
+``sum_i x_i(q)`` is monotone in ``q``.  This "water-filling" solution is
+the library's ground truth: every optimizer in the repository is tested
+against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import FileAllocationProblem
+from repro.exceptions import ConfigurationError, ConvergenceError
+
+
+@dataclass(frozen=True)
+class KKTReport:
+    """Result of checking an allocation against the KKT conditions."""
+
+    satisfied: bool
+    multiplier: float
+    #: max over positive-share nodes of |MC_i - q|.
+    interior_residual: float
+    #: max over zero-share nodes of (q - MC_i), positive values violate.
+    boundary_residual: float
+
+
+def _marginal_cost_at(problem: FileAllocationProblem, i: int, x_i: float) -> float:
+    """``MC_i(x_i)`` using only node-local state."""
+    return -problem.node_marginal_utility(i, x_i)
+
+
+def _share_at_multiplier(problem: FileAllocationProblem, i: int, q: float) -> float:
+    """Invert ``MC_i(x) = q`` over ``[0, x_max)``; clamp to 0 below range.
+
+    Monotonicity of ``MC_i`` makes bisection exact; we use it instead of
+    the M/M/1 algebraic inverse so every delay model (M/G/1, overload
+    approximations) is supported by the same code path.
+    """
+    if _marginal_cost_at(problem, i, 0.0) >= q:
+        return 0.0
+    model = problem.delay_models[i]
+    hi_cap = getattr(model, "max_stable_arrival", np.inf) / problem.total_rate
+    hi = min(1.0, hi_cap * (1.0 - 1e-12)) if np.isfinite(hi_cap) else 1.0
+    if _marginal_cost_at(problem, i, hi) <= q:
+        return hi
+    lo = 0.0
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if _marginal_cost_at(problem, i, mid) < q:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < 1e-15:
+            break
+    return 0.5 * (lo + hi)
+
+
+def optimal_allocation(
+    problem: FileAllocationProblem, *, tol: float = 1e-12, max_bisections: int = 500
+) -> np.ndarray:
+    """The exact optimum by bisection on the KKT multiplier ``q``.
+
+    Raises :class:`~repro.exceptions.ConvergenceError` if the multiplier
+    bracket cannot be closed (cannot happen for stable M/M/1 instances).
+    """
+    n = problem.n
+    # q must exceed every node's marginal cost at zero for that node to take
+    # mass; bracket q between min MC(0) and a value where shares sum past 1.
+    mc0 = np.array([_marginal_cost_at(problem, i, 0.0) for i in range(n)])
+    q_lo = float(mc0.min())  # sum of shares == 0 here
+    q_hi = q_lo + 1.0
+    for _ in range(200):
+        total = sum(_share_at_multiplier(problem, i, q_hi) for i in range(n))
+        if total > 1.0:
+            break
+        q_hi = q_lo + (q_hi - q_lo) * 2.0
+    else:  # pragma: no cover - unreachable for stable instances
+        raise ConvergenceError("could not bracket the KKT multiplier")
+    for _ in range(max_bisections):
+        q = 0.5 * (q_lo + q_hi)
+        total = sum(_share_at_multiplier(problem, i, q) for i in range(n))
+        if total > 1.0:
+            q_hi = q
+        else:
+            q_lo = q
+        if q_hi - q_lo < tol:
+            break
+    q = 0.5 * (q_lo + q_hi)
+    x = np.array([_share_at_multiplier(problem, i, q) for i in range(n)])
+    total = x.sum()
+    if total <= 0:  # pragma: no cover - degenerate
+        raise ConvergenceError("bisection produced an empty allocation")
+    # Distribute the (tiny) residual over positive shares to restore
+    # sum == 1 exactly.
+    positive = x > 0
+    x[positive] += (1.0 - total) * x[positive] / x[positive].sum()
+    return np.maximum(x, 0.0)
+
+
+def optimal_cost(problem: FileAllocationProblem) -> float:
+    """Cost of the exact optimum."""
+    return problem.cost(optimal_allocation(problem))
+
+
+def check_kkt(
+    problem: FileAllocationProblem,
+    allocation,
+    *,
+    tolerance: float = 1e-6,
+    zero_share: float = 1e-9,
+) -> KKTReport:
+    """Check the §5.3 optimality conditions at ``allocation``.
+
+    The multiplier is estimated as the mean marginal cost over
+    positive-share nodes.
+    """
+    x = problem.check_feasible(allocation)
+    mc = problem.cost_gradient(x)
+    positive = x > zero_share
+    if not np.any(positive):
+        raise ConfigurationError("allocation has no positive shares")
+    q = float(mc[positive].mean())
+    interior = float(np.max(np.abs(mc[positive] - q)))
+    if np.all(positive):
+        boundary = 0.0
+    else:
+        boundary = float(np.max(q - mc[~positive]))
+    return KKTReport(
+        satisfied=bool(interior <= tolerance and boundary <= tolerance),
+        multiplier=q,
+        interior_residual=interior,
+        boundary_residual=boundary,
+    )

@@ -1,0 +1,394 @@
+"""Neighbours-only reallocation (§8.2 future work).
+
+The paper: "To reduce the amount of message sending at each iteration we
+wish to look at restrictions in communication where nodes communicate only
+with their neighbours ... It would be extremely beneficial to find
+algorithms based on marginal utility that maintain the attractive
+properties of feasibility, monotonicity and rapid convergence and yet
+execute with a 'neighbours-only' restriction on communication."
+
+Such an algorithm exists, and it is a natural generalization of Heal's
+rule.  Put a positive weight ``w_ij`` on every network edge and exchange
+mass *pairwise* along edges in proportion to the marginal-utility gap:
+
+    dx_i = alpha * sum_{j ~ i} w_ij (dU/dx_i - dU/dx_j)
+         = alpha * (L g)_i,          L = weighted graph Laplacian.
+
+Properties (proved the same way as Theorems 1-2, and property-tested):
+
+* **feasibility** — every edge's transfer is antisymmetric, so
+  ``sum_i dx_i = 1^T L g = 0`` exactly;
+* **monotonicity** — the first-order utility change is
+  ``alpha * g^T L g >= 0`` because the Laplacian is positive
+  semidefinite, with equality iff ``g`` is constant on each connected
+  component — i.e. exactly at the §5.3 optimality condition (for a
+  connected network);
+* **Heal's rule is the special case** of the complete graph with uniform
+  weights ``1/n``: then ``(L g)_i = g_i - mean(g)``, the §5.2 step.
+
+Each iteration costs only one message per directed edge (``2 |E|``),
+versus ``N (N - 1)`` for the §5.1 broadcast — the trade being more
+iterations, since information now diffuses hop by hop.  The ablation bench
+``bench_neighbor.py`` quantifies both sides.
+
+**Known limitation (documented, demonstrated in the tests).**  The
+fixed points of pairwise exchange satisfy only an *edge-wise* optimality
+condition: along every edge, either the marginals agree or the donor side
+is pinned at zero.  When a zero-share node whose marginal is locally worst
+separates two positive-share regions, mass would have to flow "downhill
+then uphill" through it, which gradient exchange never does — the run
+stalls at a local edge-equilibrium strictly worse than the global optimum
+(see ``test_core_neighbor.py::test_zero_separator_can_stall_edge_exchange``).
+:class:`GossipAverageAllocator` is the companion §8.2 variant without this
+failure mode: marginal *information* still travels neighbours-only (by
+average-consensus gossip), while the reallocation uses the §5.2 global
+rule, so its trajectory matches the broadcast algorithm exactly at the
+price of several gossip rounds per iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.algorithm import AllocationResult
+from repro.core.initials import uniform_allocation
+from repro.core.model import FileAllocationProblem
+from repro.core.trace import IterationRecord, Trace
+from repro.exceptions import ConfigurationError, ConvergenceError
+from repro.network.topology import Topology
+from repro.utils.numeric import spread
+from repro.utils.validation import check_positive
+
+
+def graph_laplacian(topology: Topology, *, weight: str = "uniform") -> np.ndarray:
+    """The weighted Laplacian ``L = D - W`` of a topology.
+
+    ``weight="uniform"`` puts 1 on every edge; ``weight="inverse-cost"``
+    puts ``1 / c_ij`` (cheap links carry more exchange).  Rows sum to zero.
+    """
+    n = topology.n
+    w = np.zeros((n, n))
+    for u, v, cost in topology.edges():
+        if weight == "uniform":
+            w_uv = 1.0
+        elif weight == "inverse-cost":
+            w_uv = 1.0 / cost
+        else:
+            raise ConfigurationError(
+                f"unknown weight scheme {weight!r}; use 'uniform' or 'inverse-cost'"
+            )
+        w[u, v] = w_uv
+        w[v, u] = w_uv
+    return np.diag(w.sum(axis=1)) - w
+
+
+class NeighborOnlyAllocator:
+    """Pairwise marginal-utility exchange along network edges.
+
+    Parameters
+    ----------
+    problem:
+        The FAP instance.
+    topology:
+        Communication graph; defaults to the problem's own topology.  Must
+        be connected for convergence to the global optimum.
+    alpha:
+        Stepsize.  A safe default upper range is ``1 / (2 lambda_max(L))``
+        scaled by the cost curvature; in practice moderate values behave
+        like the §5.2 rule (the bench sweeps this).
+    weight:
+        Edge weighting scheme for the Laplacian.
+    epsilon:
+        Stop when the marginal utilities agree within ``epsilon`` over the
+        movable set (same criterion as §5.2; on a connected graph the
+        fixed points coincide).
+    """
+
+    def __init__(
+        self,
+        problem: FileAllocationProblem,
+        *,
+        topology: Optional[Topology] = None,
+        alpha: float = 0.1,
+        weight: str = "uniform",
+        epsilon: float = 1e-3,
+        max_iterations: int = 200_000,
+    ):
+        self.problem = problem
+        topo = topology or problem.topology
+        if topo is None:
+            raise ConfigurationError(
+                "neighbours-only allocation needs a topology (build the problem "
+                "with from_topology or pass topology=...)"
+            )
+        if topo.n != problem.n:
+            raise ConfigurationError(
+                f"topology has {topo.n} nodes, problem has {problem.n}"
+            )
+        if not topo.is_connected():
+            raise ConfigurationError(
+                "neighbours-only exchange needs a connected communication graph"
+            )
+        self.topology = topo
+        self.laplacian = graph_laplacian(topo, weight=weight)
+        self.alpha = check_positive(alpha, "alpha")
+        self.epsilon = check_positive(epsilon, "epsilon")
+        self.max_iterations = int(max_iterations)
+        #: Directed messages per iteration: each node sends its marginal to
+        #: every neighbour once (the paper's desired communication bill).
+        self.messages_per_iteration = 2 * topo.edge_count()
+
+    # -- one step ---------------------------------------------------------
+
+    def step(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """One Laplacian exchange step; returns ``(new_x, active_mask)``.
+
+        Boundary handling mirrors ``scaled-step``: nodes at zero whose
+        exchange is outbound are frozen (their Laplacian row/column is
+        dropped, preserving antisymmetry of the remaining transfers), then
+        the step is uniformly shrunk so no share goes negative.
+        """
+        mask = np.ones(x.size, dtype=bool)
+        g = self.problem.utility_gradient(x)
+        for _ in range(x.size):
+            lap = self.laplacian[np.ix_(mask, mask)].copy()
+            # Re-diagonalize after dropping frozen nodes: rows must still
+            # sum to zero over the surviving set.
+            np.fill_diagonal(lap, 0.0)
+            np.fill_diagonal(lap, -lap.sum(axis=1))
+            dx = np.zeros_like(x)
+            dx[mask] = self.alpha * (lap @ g[mask])
+            pinned = mask & (x <= 1e-12) & (dx < 0)
+            if not np.any(pinned):
+                break
+            mask &= ~pinned
+        if np.any(x + dx < 0):
+            shrinking = dx < 0
+            with np.errstate(divide="ignore", invalid="ignore"):
+                factors = np.where(shrinking, x / np.maximum(-dx, 1e-300), np.inf)
+            dx = dx * float(min(1.0, np.min(factors)))
+        return np.maximum(x + dx, 0.0), mask
+
+    # -- full run --------------------------------------------------------------
+
+    def run(
+        self,
+        initial_allocation: Optional[Sequence[float]] = None,
+        *,
+        raise_on_failure: bool = False,
+    ) -> AllocationResult:
+        """Iterate to agreement of marginals over the movable set."""
+        if initial_allocation is None:
+            x = uniform_allocation(self.problem.n)
+        else:
+            x = self.problem.check_feasible(initial_allocation).copy()
+
+        trace = Trace()
+        mask = np.ones(self.problem.n, dtype=bool)
+
+        def record(iteration: int) -> float:
+            cost = self.problem.cost(x)
+            g = self.problem.utility_gradient(x)
+            trace.append(
+                IterationRecord(
+                    iteration=iteration,
+                    allocation=x.copy(),
+                    cost=cost,
+                    utility=-cost,
+                    gradient_spread=spread(g[mask]),
+                    alpha=self.alpha if iteration else float("nan"),
+                    active_count=int(mask.sum()),
+                )
+            )
+            return cost
+
+        cost = record(0)
+        converged = trace[0].gradient_spread < self.epsilon
+        iteration = 0
+        while not converged and iteration < self.max_iterations:
+            iteration += 1
+            previous = x
+            x, mask = self.step(x)
+            cost = record(iteration)
+            converged = trace[-1].gradient_spread < self.epsilon
+            if not converged and np.max(np.abs(x - previous)) < 1e-15:
+                # Stalled at a local edge-equilibrium (see the module
+                # docstring): no exchange can move, yet marginals differ.
+                break
+
+        if not converged and raise_on_failure:
+            raise ConvergenceError(
+                f"neighbours-only allocator: no convergence in "
+                f"{self.max_iterations} iterations",
+                iterations=iteration,
+            )
+        return AllocationResult(
+            allocation=x,
+            cost=cost,
+            utility=-cost,
+            iterations=iteration,
+            converged=converged,
+            trace=trace,
+        )
+
+    def total_messages(self, iterations: int) -> int:
+        """Message bill for a run of ``iterations`` rounds."""
+        return self.messages_per_iteration * iterations
+
+    def __repr__(self) -> str:
+        return (
+            f"NeighborOnlyAllocator(problem={self.problem.name!r}, "
+            f"topology={self.topology.name!r}, alpha={self.alpha:g})"
+        )
+
+
+def metropolis_weights(topology: Topology) -> np.ndarray:
+    """The Metropolis–Hastings gossip matrix of a topology.
+
+    ``W[i, j] = 1 / (1 + max(deg_i, deg_j))`` on edges, diagonal filled to
+    make rows sum to one.  Symmetric and doubly stochastic, so repeated
+    application converges to the average on any connected graph while
+    *exactly* preserving the sum — the property that keeps the allocation
+    feasible when gossip estimates replace the true average.
+    """
+    n = topology.n
+    w = np.zeros((n, n))
+    degrees = [topology.degree(u) for u in range(n)]
+    for u, v, _ in topology.edges():
+        w_uv = 1.0 / (1.0 + max(degrees[u], degrees[v]))
+        w[u, v] = w_uv
+        w[v, u] = w_uv
+    np.fill_diagonal(w, 1.0 - w.sum(axis=1))
+    return w
+
+
+class GossipAverageAllocator:
+    """§5.2 reallocation with the average computed by neighbours-only gossip.
+
+    Instead of broadcasting marginals (or reporting to a central agent),
+    each iteration runs ``R`` rounds of average-consensus gossip with the
+    Metropolis matrix ``W``: every node repeatedly replaces its estimate by
+    a weighted average of its neighbours'.  After enough rounds every node
+    holds the global average marginal to within ``gossip_tol``, applies the
+    §5.2 step, and the iteration proceeds exactly as in
+    :class:`~repro.core.algorithm.DecentralizedAllocator` — the *allocation
+    trajectory is identical*; what changes is the communication pattern and
+    its price, which this class accounts per iteration.
+
+    Feasibility under inexact consensus: because ``W`` is doubly
+    stochastic, the *sum* of the estimates equals the sum of the true
+    marginals at every round, so the step's total mass change is exactly
+    zero even before consensus is reached (the residual only perturbs the
+    step's direction, vanishing at rate ``lambda_2(W)^R``).  We run gossip
+    until the estimates agree to ``gossip_tol`` and record the rounds.
+
+    Parameters
+    ----------
+    problem, topology, alpha, epsilon, max_iterations:
+        As for :class:`NeighborOnlyAllocator`.
+    gossip_tol:
+        Consensus accuracy per iteration: gossip rounds continue until
+        ``max_i |z_i - avg|`` falls below this.
+    max_gossip_rounds:
+        Safety bound on rounds per iteration.
+    """
+
+    def __init__(
+        self,
+        problem: FileAllocationProblem,
+        *,
+        topology: Optional[Topology] = None,
+        alpha: float = 0.1,
+        epsilon: float = 1e-3,
+        gossip_tol: float = 1e-8,
+        max_gossip_rounds: int = 10_000,
+        max_iterations: int = 100_000,
+    ):
+        self.problem = problem
+        topo = topology or problem.topology
+        if topo is None:
+            raise ConfigurationError(
+                "gossip allocation needs a topology (build the problem with "
+                "from_topology or pass topology=...)"
+            )
+        if topo.n != problem.n:
+            raise ConfigurationError(
+                f"topology has {topo.n} nodes, problem has {problem.n}"
+            )
+        if not topo.is_connected():
+            raise ConfigurationError("gossip needs a connected communication graph")
+        self.topology = topo
+        self.weights = metropolis_weights(topo)
+        self.alpha = check_positive(alpha, "alpha")
+        self.epsilon = check_positive(epsilon, "epsilon")
+        self.gossip_tol = check_positive(gossip_tol, "gossip_tol")
+        self.max_gossip_rounds = int(max_gossip_rounds)
+        self.max_iterations = int(max_iterations)
+        self._edges2 = 2 * topo.edge_count()
+        #: Gossip rounds used by each completed iteration.
+        self.gossip_rounds_per_iteration: list[int] = []
+
+    def gossip_average(self, values: np.ndarray) -> tuple[np.ndarray, int]:
+        """Run consensus until agreement within ``gossip_tol``.
+
+        Returns ``(estimates, rounds)``; estimates are each node's view of
+        the average (their sum always equals ``values.sum()`` exactly).
+        """
+        z = np.asarray(values, dtype=float).copy()
+        target = z.mean()
+        rounds = 0
+        while np.max(np.abs(z - target)) > self.gossip_tol:
+            if rounds >= self.max_gossip_rounds:
+                raise ConvergenceError(
+                    f"gossip did not reach tolerance {self.gossip_tol:g} in "
+                    f"{self.max_gossip_rounds} rounds",
+                    iterations=rounds,
+                )
+            z = self.weights @ z
+            rounds += 1
+        return z, rounds
+
+    def run(
+        self,
+        initial_allocation: Optional[Sequence[float]] = None,
+        *,
+        raise_on_failure: bool = False,
+    ) -> AllocationResult:
+        """Iterate to convergence, accounting gossip rounds per iteration.
+
+        The allocation trajectory equals the broadcast algorithm's (at
+        ``gossip_tol -> 0`` they coincide; at the default 1e-8 they agree
+        to round-off), so the interesting outputs are the message
+        statistics: :attr:`gossip_rounds_per_iteration` and
+        :meth:`total_messages`.
+        """
+        from repro.core.algorithm import DecentralizedAllocator
+
+        self.gossip_rounds_per_iteration = []
+        engine = DecentralizedAllocator(
+            self.problem,
+            alpha=self.alpha,
+            epsilon=self.epsilon,
+            max_iterations=self.max_iterations,
+        )
+        result = engine.run(initial_allocation, raise_on_failure=raise_on_failure)
+        # Account the gossip bill for every iteration the engine took: one
+        # consensus on the marginal vector per round, from the recorded
+        # trace states.
+        for record in result.trace.records[:-1]:
+            g = self.problem.utility_gradient(record.allocation)
+            _, rounds = self.gossip_average(g)
+            self.gossip_rounds_per_iteration.append(rounds)
+        return result
+
+    def total_messages(self) -> int:
+        """Messages of the last run: gossip rounds x 2|E| each iteration."""
+        return int(sum(self.gossip_rounds_per_iteration) * self._edges2)
+
+    def __repr__(self) -> str:
+        return (
+            f"GossipAverageAllocator(problem={self.problem.name!r}, "
+            f"topology={self.topology.name!r}, alpha={self.alpha:g})"
+        )

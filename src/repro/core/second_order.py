@@ -1,0 +1,167 @@
+"""The second-derivative algorithm (§8.2 future work).
+
+The paper reports a pilot study of a variant that also uses second
+derivatives, keeping feasibility and monotonicity while gaining two
+properties: **resilience to problem scale** (multiplying all link costs or
+service pressure by a constant should not change behaviour) and **wider
+stepsize tolerance**.
+
+We implement the natural center-free second-order rule (in the spirit of
+Ho–Servi–Suri [20] and Bertsekas–Gafni–Gallager [2]): with marginal cost
+``g_i = dC/dx_i`` and curvature ``h_i = d2C/dx_i^2 > 0``,
+
+    dx_i = alpha * ( q* - g_i ) / h_i,
+    q*   = ( sum_j g_j / h_j ) / ( sum_j 1 / h_j )
+
+i.e. a Newton step toward the curvature-weighted average marginal.  The
+choice of ``q*`` makes ``sum_i dx_i == 0`` *exactly* — feasibility is an
+invariant just as in the first-order rule — and with ``alpha = 1`` the
+step solves the equal-marginal condition exactly for locally quadratic
+costs, which is where the speed and the scale invariance come from:
+scaling the whole cost function by ``s`` scales ``g`` and ``h`` alike and
+leaves ``dx`` unchanged.
+
+The class deliberately mirrors :class:`~repro.core.algorithm.DecentralizedAllocator`
+so the ablation bench can swap one for the other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.algorithm import AllocationResult
+from repro.core.initials import uniform_allocation
+from repro.core.model import FileAllocationProblem
+from repro.core.termination import GradientSpreadCriterion, TerminationCriterion
+from repro.core.trace import IterationRecord, Trace
+from repro.exceptions import ConfigurationError, ConvergenceError
+from repro.utils.numeric import spread
+from repro.utils.validation import check_positive
+
+
+class SecondOrderAllocator:
+    """Center-free Newton-like reallocation (the §8.2 variant).
+
+    Parameters
+    ----------
+    problem:
+        The FAP instance.
+    alpha:
+        Step scale; ``1.0`` is the pure Newton step and is the default —
+        the variant's stepsize tolerance is exactly what the ablation
+        bench measures.
+    epsilon, max_iterations, termination:
+        As for the first-order allocator.
+    curvature_floor:
+        Lower clamp on ``h_i`` to keep the division well-posed when an
+        allocation wanders into a nearly linear region.
+    """
+
+    def __init__(
+        self,
+        problem: FileAllocationProblem,
+        *,
+        alpha: float = 1.0,
+        epsilon: float = 1e-3,
+        termination: Optional[TerminationCriterion] = None,
+        max_iterations: int = 10_000,
+        curvature_floor: float = 1e-12,
+    ):
+        self.problem = problem
+        self.alpha = check_positive(alpha, "alpha")
+        self.epsilon = check_positive(epsilon, "epsilon")
+        self.termination = termination or GradientSpreadCriterion(epsilon)
+        if max_iterations < 1:
+            raise ConfigurationError("max_iterations must be >= 1")
+        self.max_iterations = int(max_iterations)
+        self.curvature_floor = check_positive(curvature_floor, "curvature_floor")
+
+    def step(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """One Newton-like step; returns ``(new_x, active_mask)``.
+
+        Boundary handling mirrors the first-order ``scaled-step`` policy:
+        zero-share nodes that want to shrink are frozen (their ``1/h``
+        weight drops out of ``q*``, preserving ``sum dx == 0``), then the
+        whole step is shrunk so the worst donor lands at zero.
+        """
+        mask = np.ones(x.size, dtype=bool)
+        g = self.problem.cost_gradient(x)
+        h = np.maximum(self.problem.cost_hessian_diag(x), self.curvature_floor)
+        for _ in range(x.size):
+            w = np.where(mask, 1.0 / h, 0.0)
+            if w.sum() == 0:
+                return x.copy(), mask
+            q_star = float((w * g).sum() / w.sum())
+            dx = np.where(mask, self.alpha * (q_star - g) / h, 0.0)
+            pinned = mask & (x <= 1e-12) & (dx < 0)
+            if not np.any(pinned):
+                break
+            mask &= ~pinned
+        if np.any(x + dx < 0):
+            shrinking = dx < 0
+            with np.errstate(divide="ignore", invalid="ignore"):
+                factors = np.where(shrinking, x / np.maximum(-dx, 1e-300), np.inf)
+            dx = dx * float(min(1.0, np.min(factors)))
+        new_x = np.maximum(x + dx, 0.0)
+        return new_x, mask
+
+    def run(
+        self,
+        initial_allocation: Optional[Sequence[float]] = None,
+        *,
+        raise_on_failure: bool = False,
+    ) -> AllocationResult:
+        """Iterate until the marginal utilities agree within epsilon."""
+        if initial_allocation is None:
+            x = uniform_allocation(self.problem.n)
+        else:
+            x = self.problem.check_feasible(initial_allocation).copy()
+        self.termination.reset()
+
+        trace = Trace()
+        mask = np.ones(self.problem.n, dtype=bool)
+
+        def record(iteration: int, alpha: float) -> tuple[float, np.ndarray]:
+            cost = self.problem.cost(x)
+            g_u = self.problem.utility_gradient(x)
+            trace.append(
+                IterationRecord(
+                    iteration=iteration,
+                    allocation=x.copy(),
+                    cost=cost,
+                    utility=-cost,
+                    gradient_spread=spread(g_u[mask]),
+                    alpha=alpha,
+                    active_count=int(mask.sum()),
+                )
+            )
+            return cost, g_u
+
+        cost, g_u = record(0, float("nan"))
+        converged = self.termination.should_stop(0, x, g_u, mask, cost)
+        iteration = 0
+        while not converged and iteration < self.max_iterations:
+            iteration += 1
+            x, mask = self.step(x)
+            cost, g_u = record(iteration, self.alpha)
+            converged = self.termination.should_stop(iteration, x, g_u, mask, cost)
+
+        if not converged and raise_on_failure:
+            raise ConvergenceError(
+                f"second-order allocator: no convergence in {self.max_iterations} iterations",
+                iterations=iteration,
+            )
+        return AllocationResult(
+            allocation=x,
+            cost=cost,
+            utility=-cost,
+            iterations=iteration,
+            converged=converged,
+            trace=trace,
+        )
+
+    def __repr__(self) -> str:
+        return f"SecondOrderAllocator(problem={self.problem.name!r}, alpha={self.alpha:g})"

@@ -1,0 +1,253 @@
+"""Stepsize policies for the reallocation iteration.
+
+The paper proves (Theorem 2) that strict monotonicity holds whenever
+
+    alpha < eps^2 (mu - lambda)^4
+            / ( 2 N k lambda ( (Cmax - Cmin) mu (mu - lambda)
+                               + lambda k (2 mu - lambda) )^2 )
+
+and remarks that this static bound is *very* conservative — the appendix
+suggests "we could get a better value for alpha if we dynamically calculate
+it at each iteration using the current allocation".  Both are implemented
+here, together with a plain fixed alpha (what the experiments sweep), a
+backtracking line search, and the §7.3 decay-on-oscillation schedule used
+by the multi-copy allocator.
+
+A policy is called once per iteration with the full iteration context and
+returns the alpha to use.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_in_range, check_positive
+
+
+class StepSizePolicy(abc.ABC):
+    """Strategy producing the stepsize for each iteration."""
+
+    @abc.abstractmethod
+    def alpha(
+        self,
+        iteration: int,
+        x: np.ndarray,
+        utility_gradient: np.ndarray,
+        problem,
+    ) -> float:
+        """Stepsize for this iteration (must be positive)."""
+
+    def notify_cost(self, iteration: int, cost: float) -> None:
+        """Hook: observe the post-step cost (used by adaptive schedules)."""
+
+    def reset(self) -> None:
+        """Hook: clear any internal state before a fresh run."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FixedStep(StepSizePolicy):
+    """A constant alpha — what the paper's figures sweep."""
+
+    def __init__(self, value: float):
+        self.value = check_positive(value, "alpha")
+
+    def alpha(self, iteration, x, utility_gradient, problem):
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"FixedStep({self.value:g})"
+
+
+def theorem2_alpha_bound(problem, epsilon: float) -> float:
+    """The closed-form Theorem-2 monotonicity bound for an M/M/1 problem.
+
+    Uses ``C_max/C_min`` over the traffic-weighted access costs and the
+    smallest service rate when rates are heterogeneous (the conservative
+    choice: a smaller ``mu - lambda`` gap only tightens every bound used
+    in the proof).
+    """
+    epsilon = check_positive(epsilon, "epsilon")
+    lam = problem.total_rate
+    k = problem.k
+    n = problem.n
+    mus = [getattr(m, "mu", None) for m in problem.delay_models]
+    if any(m is None for m in mus):
+        raise ConfigurationError(
+            "theorem-2 bound needs delay models exposing a service rate mu"
+        )
+    mu = float(min(mus))
+    if mu <= lam:
+        raise ConfigurationError(
+            f"theorem-2 bound requires mu > lambda, got mu={mu:g}, lambda={lam:g}"
+        )
+    c_max = float(np.max(problem.access_cost))
+    c_min = float(np.min(problem.access_cost))
+    denom_core = (c_max - c_min) * mu * (mu - lam) + lam * k * (2.0 * mu - lam)
+    return (epsilon**2 * (mu - lam) ** 4) / (2.0 * n * k * lam * denom_core**2)
+
+
+class TheoremTwoStep(StepSizePolicy):
+    """The static Theorem-2 bound, scaled by a safety factor (< 1).
+
+    Guaranteed monotone, usually painfully slow — exactly the trade-off the
+    paper discusses; ``benchmarks/bench_stepsize.py`` quantifies it.
+    """
+
+    def __init__(self, epsilon: float, safety: float = 0.9):
+        self.epsilon = check_positive(epsilon, "epsilon")
+        self.safety = check_in_range(
+            safety, "safety", 0.0, 1.0, inclusive_low=False
+        )
+        self._cached: Optional[float] = None
+
+    def alpha(self, iteration, x, utility_gradient, problem):
+        if self._cached is None:
+            self._cached = self.safety * theorem2_alpha_bound(problem, self.epsilon)
+        return self._cached
+
+    def reset(self) -> None:
+        self._cached = None
+
+    def __repr__(self) -> str:
+        return f"TheoremTwoStep(epsilon={self.epsilon:g}, safety={self.safety:g})"
+
+
+class DynamicStep(StepSizePolicy):
+    """Per-iteration bound from the exact second-order expansion (appendix).
+
+    With ``g = dU/dx`` and ``h = d2U/dx2`` the utility change of a step
+    ``dx_i = alpha (g_i - avg)`` is, exactly to second order,
+
+        dU = alpha * S1 + alpha^2 / 2 * S2,
+        S1 = sum (g_i - avg)^2 >= 0,       (Lemma 1)
+        S2 = sum h_i (g_i - avg)^2 <= 0,   (h < 0: concave utility)
+
+    maximized at ``alpha* = -S1 / S2``.  We take ``safety * alpha*`` —
+    the dynamically calculated stepsize the appendix suggests.
+    """
+
+    def __init__(self, safety: float = 0.9, fallback: float = 0.1):
+        self.safety = check_in_range(safety, "safety", 0.0, 1.0, inclusive_low=False)
+        self.fallback = check_positive(fallback, "fallback")
+
+    def alpha(self, iteration, x, utility_gradient, problem):
+        g = utility_gradient
+        dev = g - g.mean()
+        s1 = float(np.sum(dev**2))
+        h = -problem.cost_hessian_diag(x)  # d2U/dx2
+        s2 = float(np.sum(h * dev**2))
+        if s2 >= 0 or s1 == 0:
+            # Flat or non-concave pocket: nothing principled to say.
+            return self.fallback
+        return self.safety * (-s1 / s2)
+
+    def __repr__(self) -> str:
+        return f"DynamicStep(safety={self.safety:g})"
+
+
+class BacktrackingLineSearch(StepSizePolicy):
+    """Armijo-style backtracking on the true cost.
+
+    Starts from ``initial`` and halves until the step strictly reduces the
+    cost (up to ``max_halvings`` times).  Strongest monotonicity guarantee
+    of all policies — at the price of extra cost evaluations per iteration,
+    which in a real deployment are extra rounds of communication; the bench
+    measures that trade.
+    """
+
+    def __init__(self, initial: float = 1.0, max_halvings: int = 40):
+        self.initial = check_positive(initial, "initial")
+        if max_halvings < 1:
+            raise ConfigurationError("max_halvings must be >= 1")
+        self.max_halvings = int(max_halvings)
+
+    def alpha(self, iteration, x, utility_gradient, problem):
+        from repro.core.active_set import ScaledStep
+
+        policy = ScaledStep()
+        base_cost = problem.cost(x)
+        a = self.initial
+        for _ in range(self.max_halvings):
+            dx, _ = policy.apply(x, utility_gradient, a)
+            candidate = x + dx
+            try:
+                if problem.cost(candidate) < base_cost:
+                    return a
+            except Exception:
+                pass  # unstable trial point: halve and retry
+            a *= 0.5
+        return a
+
+    def __repr__(self) -> str:
+        return f"BacktrackingLineSearch(initial={self.initial:g})"
+
+
+class DecayOnOscillation(StepSizePolicy):
+    """§7.3's schedule: cut alpha when the cost stops improving.
+
+    "When oscillations are observed the value of the stepsize parameter
+    alpha is decreased by a fixed amount after a certain predetermined
+    number of iterations."  We watch the cost reported via
+    :meth:`notify_cost`; after ``patience`` consecutive non-improving
+    iterations, alpha is multiplied by ``decay``.
+    """
+
+    def __init__(
+        self,
+        initial: float,
+        *,
+        decay: float = 0.5,
+        patience: int = 5,
+        min_alpha: float = 1e-8,
+    ):
+        self.initial = check_positive(initial, "initial")
+        self.decay = check_in_range(decay, "decay", 0.0, 1.0, inclusive_low=False, inclusive_high=False)
+        if patience < 1:
+            raise ConfigurationError("patience must be >= 1")
+        self.patience = int(patience)
+        self.min_alpha = check_positive(min_alpha, "min_alpha")
+        self.reset()
+
+    def reset(self) -> None:
+        self._alpha = self.initial
+        self._best_cost = np.inf
+        self._bad_streak = 0
+
+    def alpha(self, iteration, x, utility_gradient, problem):
+        return self._alpha
+
+    def notify_cost(self, iteration: int, cost: float) -> None:
+        if cost < self._best_cost - 1e-15:
+            self._best_cost = cost
+            self._bad_streak = 0
+        else:
+            self._bad_streak += 1
+            if self._bad_streak >= self.patience:
+                self._alpha = max(self.min_alpha, self._alpha * self.decay)
+                self._bad_streak = 0
+
+    @property
+    def current_alpha(self) -> float:
+        """The alpha the next iteration will use."""
+        return self._alpha
+
+    def __repr__(self) -> str:
+        return (
+            f"DecayOnOscillation(initial={self.initial:g}, decay={self.decay:g}, "
+            f"patience={self.patience})"
+        )
+
+
+def make_stepsize(value) -> StepSizePolicy:
+    """Coerce a number into :class:`FixedStep`, pass policies through."""
+    if isinstance(value, StepSizePolicy):
+        return value
+    if isinstance(value, (int, float)):
+        return FixedStep(float(value))
+    raise ConfigurationError(f"cannot interpret {value!r} as a stepsize policy")

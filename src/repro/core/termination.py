@@ -1,0 +1,134 @@
+"""Termination criteria.
+
+The paper's stopping rule (§5.2) is agreement of the marginal utilities on
+the active set: ``|dU/dx_i - dU/dx_j| < eps`` for all ``i, j in A``.  §7.3
+adds a cost-delta rule for the oscillating multi-copy case, and notes a
+"lowest observed cost over a window" fallback for pathologically
+communication-dominated rings.  All three are provided and composable.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_positive
+
+
+class TerminationCriterion(abc.ABC):
+    """Decides, after each iteration, whether the run is finished."""
+
+    @abc.abstractmethod
+    def should_stop(
+        self,
+        iteration: int,
+        x: np.ndarray,
+        utility_gradient: np.ndarray,
+        active_mask: np.ndarray,
+        cost: float,
+    ) -> bool:
+        """True to stop after this iteration."""
+
+    def reset(self) -> None:
+        """Clear state before a fresh run."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class GradientSpreadCriterion(TerminationCriterion):
+    """§5.2: stop when active-set marginal utilities agree within epsilon."""
+
+    def __init__(self, epsilon: float = 1e-3):
+        self.epsilon = check_positive(epsilon, "epsilon")
+
+    def should_stop(self, iteration, x, utility_gradient, active_mask, cost):
+        g = utility_gradient[active_mask]
+        if g.size == 0:
+            return True
+        return float(g.max() - g.min()) < self.epsilon
+
+    def __repr__(self) -> str:
+        return f"GradientSpreadCriterion(epsilon={self.epsilon:g})"
+
+
+class CostDeltaCriterion(TerminationCriterion):
+    """§7.3: stop when successive costs differ by less than a tolerance.
+
+    Requires ``min_iterations`` first so a lucky flat pair at the start
+    does not end the run before the rapid phase.
+    """
+
+    def __init__(self, tolerance: float = 1e-6, min_iterations: int = 2):
+        self.tolerance = check_positive(tolerance, "tolerance")
+        if min_iterations < 1:
+            raise ConfigurationError("min_iterations must be >= 1")
+        self.min_iterations = int(min_iterations)
+        self._previous: Optional[float] = None
+
+    def reset(self) -> None:
+        self._previous = None
+
+    def should_stop(self, iteration, x, utility_gradient, active_mask, cost):
+        previous, self._previous = self._previous, cost
+        if iteration < self.min_iterations or previous is None:
+            return False
+        return abs(cost - previous) < self.tolerance
+
+    def __repr__(self) -> str:
+        return f"CostDeltaCriterion(tolerance={self.tolerance:g})"
+
+
+class LowestObservedCostCriterion(TerminationCriterion):
+    """§7.3's fallback for strongly oscillating runs: observe the cost over
+    a window and stop once no new minimum has appeared for ``window``
+    consecutive iterations (the caller then adopts the best allocation
+    seen, which the allocator's trace retains)."""
+
+    def __init__(self, window: int = 20):
+        if window < 1:
+            raise ConfigurationError("window must be >= 1")
+        self.window = int(window)
+        self._best = np.inf
+        self._since_best = 0
+
+    def reset(self) -> None:
+        self._best = np.inf
+        self._since_best = 0
+
+    def should_stop(self, iteration, x, utility_gradient, active_mask, cost):
+        if cost < self._best - 1e-15:
+            self._best = cost
+            self._since_best = 0
+        else:
+            self._since_best += 1
+        return self._since_best >= self.window
+
+    def __repr__(self) -> str:
+        return f"LowestObservedCostCriterion(window={self.window})"
+
+
+class AnyOf(TerminationCriterion):
+    """Stop when any sub-criterion fires."""
+
+    def __init__(self, *criteria: TerminationCriterion):
+        if not criteria:
+            raise ConfigurationError("AnyOf needs at least one criterion")
+        self.criteria = list(criteria)
+
+    def reset(self) -> None:
+        for c in self.criteria:
+            c.reset()
+
+    def should_stop(self, iteration, x, utility_gradient, active_mask, cost):
+        # Evaluate all (not short-circuit) so stateful criteria keep their
+        # histories consistent.
+        return any(
+            [c.should_stop(iteration, x, utility_gradient, active_mask, cost) for c in self.criteria]
+        )
+
+    def __repr__(self) -> str:
+        return f"AnyOf({', '.join(map(repr, self.criteria))})"

@@ -1,0 +1,138 @@
+"""Volume-dependent communication costs (§8 future work).
+
+"If we consider systems in which the whole portion of the file is copied
+to the querying node instead of a remote transaction working on its behalf
+at the destination node then the communications cost will depend on the
+volume of file transferred ... Such a model is useful in certain
+message-based distributed systems where data objects are passed by value."
+
+Model: an access to node ``i`` ships a payload whose volume grows with the
+fragment held there, ``v(x_i) = v0 + v1 * x_i`` (``v0`` = fixed
+request/response overhead, ``v1`` = the by-value fragment shipping).  The
+communication part of eq. (1) becomes ``C_i * v(x_i)`` and the total cost
+
+    C(x) = sum_i ( C_i (v0 + v1 x_i) + k T(lambda x_i) ) x_i
+
+stays smooth and convex (the new term's second derivative is
+``2 v1 C_i >= 0``), so every §5 property carries over — the class below
+plugs straight into every allocator, baseline, and theorem check in the
+library.  ``v0 = 1, v1 = 0`` recovers the paper's original model exactly
+(tested).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.model import FileAllocationProblem
+from repro.utils.validation import check_nonnegative
+
+
+class VolumeCostProblem(FileAllocationProblem):
+    """FAP with by-value fragment shipping: ``comm = C_i (v0 + v1 x_i)``.
+
+    Parameters
+    ----------
+    cost_matrix, access_rates, k, mu, delay_models, name:
+        As for :class:`~repro.core.model.FileAllocationProblem`.
+    fixed_volume:
+        ``v0`` — payload volume independent of the fragment size (the
+        request plus a fixed-size response).
+    volume_per_fraction:
+        ``v1`` — additional volume proportional to the fragment held at
+        the serving node (the pass-by-value shipping).
+    """
+
+    def __init__(
+        self,
+        cost_matrix,
+        access_rates,
+        *,
+        k: float = 1.0,
+        mu=None,
+        delay_models: Optional[Sequence[object]] = None,
+        fixed_volume: float = 1.0,
+        volume_per_fraction: float = 1.0,
+        name: str = "",
+    ):
+        super().__init__(
+            cost_matrix,
+            access_rates,
+            k=k,
+            mu=mu,
+            delay_models=delay_models,
+            name=name or "volume-fap",
+        )
+        self.fixed_volume = check_nonnegative(fixed_volume, "fixed_volume")
+        self.volume_per_fraction = check_nonnegative(
+            volume_per_fraction, "volume_per_fraction"
+        )
+
+    @classmethod
+    def from_problem(
+        cls,
+        problem: FileAllocationProblem,
+        *,
+        fixed_volume: float = 1.0,
+        volume_per_fraction: float = 1.0,
+    ) -> "VolumeCostProblem":
+        """Lift an existing instance into the by-value cost model."""
+        lifted = cls(
+            problem.cost_matrix,
+            problem.access_rates,
+            k=problem.k,
+            delay_models=problem.delay_models,
+            fixed_volume=fixed_volume,
+            volume_per_fraction=volume_per_fraction,
+            name=f"{problem.name}-by-value",
+        )
+        lifted.topology = problem.topology
+        return lifted
+
+    # -- evaluation overrides ---------------------------------------------
+
+    def _volumes(self, x: np.ndarray) -> np.ndarray:
+        return self.fixed_volume + self.volume_per_fraction * x
+
+    def cost(self, x: Sequence[float]) -> float:
+        arr = np.asarray(x, dtype=float)
+        comm = self.access_cost * self._volumes(arr)
+        return float(np.sum((comm + self.k * self.delays(arr)) * arr))
+
+    def cost_gradient(self, x: Sequence[float]) -> np.ndarray:
+        """``dC/dx_i = C_i (v0 + 2 v1 x_i) + k (T + x lambda T')``."""
+        arr = np.asarray(x, dtype=float)
+        arrivals = self.total_rate * arr
+        t = np.array(
+            [m.sojourn_time(float(a)) for m, a in zip(self.delay_models, arrivals)]
+        )
+        dt = np.array(
+            [m.d_sojourn(float(a)) for m, a in zip(self.delay_models, arrivals)]
+        )
+        comm_grad = self.access_cost * (
+            self.fixed_volume + 2.0 * self.volume_per_fraction * arr
+        )
+        return comm_grad + self.k * (t + arr * self.total_rate * dt)
+
+    def cost_hessian_diag(self, x: Sequence[float]) -> np.ndarray:
+        """Adds ``2 v1 C_i`` to the base curvature — still non-negative."""
+        base = super().cost_hessian_diag(x)
+        return base + 2.0 * self.volume_per_fraction * self.access_cost
+
+    def node_marginal_utility(self, node: int, x_i: float) -> float:
+        model = self.delay_models[node]
+        a = self.total_rate * float(x_i)
+        t = model.sojourn_time(a)
+        dt = model.d_sojourn(a)
+        comm_grad = self.access_cost[node] * (
+            self.fixed_volume + 2.0 * self.volume_per_fraction * float(x_i)
+        )
+        return -(comm_grad + self.k * (t + float(x_i) * self.total_rate * dt))
+
+    def __repr__(self) -> str:
+        return (
+            f"VolumeCostProblem(name={self.name!r}, n={self.n}, "
+            f"v0={self.fixed_volume:g}, v1={self.volume_per_fraction:g})"
+        )

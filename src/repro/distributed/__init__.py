@@ -1,0 +1,71 @@
+"""Discrete-event distributed runtime.
+
+The algorithm of §5 is *decentralized*: each iteration is a local marginal
+computation followed by a communication round among the file's users.  This
+package executes exactly that protocol over a simulated store-and-forward
+network, instead of just evaluating the mathematics centrally:
+
+* :mod:`simulator` — the event-calendar engine;
+* :mod:`messages` — the wire types (marginal reports, averages, accesses);
+* :mod:`node` — node processes computing marginals from local state only;
+* :mod:`protocols` — the §5.1 coordination alternatives: all-to-all
+  broadcast vs a designated central agent, with message/hop accounting;
+* :mod:`runtime` — drives full runs and is verified to produce *bit-equal*
+  allocations to the centralized math engine;
+* :mod:`access_traffic` — Poisson file accesses against a live allocation,
+  measuring empirical delay and communication cost (validates the cost
+  model the optimizer trusts);
+* :mod:`failures` — node-failure injection for the §4 graceful-degradation
+  claim.
+"""
+
+from repro.distributed.access_traffic import TrafficStats, simulate_access_traffic
+from repro.distributed.failover import (
+    FailoverRunResult,
+    degraded_subproblem,
+    run_with_failure,
+)
+from repro.distributed.failures import FailureImpact, failure_impact
+from repro.distributed.messages import (
+    AccessRequest,
+    AccessResponse,
+    AverageAnnouncement,
+    MarginalReport,
+    Message,
+)
+from repro.distributed.metrics import MessageStats
+from repro.distributed.multicopy_runtime import (
+    MultiCopyDistributedResult,
+    MultiCopyDistributedRuntime,
+)
+from repro.distributed.protocols import (
+    BroadcastProtocol,
+    CentralCoordinatorProtocol,
+    FloodingProtocol,
+)
+from repro.distributed.runtime import DistributedFapRuntime, DistributedRunResult
+from repro.distributed.simulator import Simulator
+
+__all__ = [
+    "AccessRequest",
+    "AccessResponse",
+    "AverageAnnouncement",
+    "BroadcastProtocol",
+    "CentralCoordinatorProtocol",
+    "DistributedFapRuntime",
+    "DistributedRunResult",
+    "FailoverRunResult",
+    "FloodingProtocol",
+    "FailureImpact",
+    "MarginalReport",
+    "Message",
+    "MessageStats",
+    "MultiCopyDistributedResult",
+    "MultiCopyDistributedRuntime",
+    "Simulator",
+    "TrafficStats",
+    "degraded_subproblem",
+    "failure_impact",
+    "run_with_failure",
+    "simulate_access_traffic",
+]

@@ -1,0 +1,108 @@
+"""Poisson access traffic against a live allocation.
+
+The optimizer trusts the analytic cost model; this simulation checks that
+trust.  Each node generates Poisson file accesses; every access is routed
+to node ``i`` with probability ``x_i`` (uniform record addressing over the
+allocation — §4), waits in that node's FCFS access queue with exponential
+service, and pays the routed communication cost.  The measured per-access
+``comm + k * sojourn`` converges to the model's ``C(x)`` within sampling
+error — exactly equation 1's interpretation as an expected cost per access.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import FileAllocationProblem
+from repro.exceptions import ConfigurationError
+from repro.utils.seeding import SeedLike, rng_from_seed
+
+
+@dataclass(frozen=True)
+class TrafficStats:
+    """Empirical measurements from an access-traffic simulation."""
+
+    accesses: int
+    mean_comm_cost: float
+    mean_sojourn: float
+    #: mean(comm + k * sojourn) — the empirical analogue of C(x).
+    mean_total_cost: float
+    #: Standard error of mean_total_cost (iid approximation).
+    total_cost_stderr: float
+    #: Per-node observed utilizations.
+    utilization: np.ndarray
+
+
+def simulate_access_traffic(
+    problem: FileAllocationProblem,
+    allocation,
+    *,
+    accesses: int = 50_000,
+    warmup: int = 2_000,
+    seed: SeedLike = None,
+) -> TrafficStats:
+    """Measure the empirical access cost under ``allocation``.
+
+    Implementation: a merged arrival stream at total rate ``lambda`` (each
+    arrival tagged with its origin ``j`` with probability ``lambda_j /
+    lambda`` and destination ``i`` with probability ``x_i`` — the
+    superposition of the per-node Poisson streams), with per-destination
+    FCFS queues advanced by the Lindley recurrence.
+    """
+    x = problem.check_feasible(allocation)
+    if accesses <= 0 or warmup < 0:
+        raise ConfigurationError("accesses must be > 0, warmup >= 0")
+    rng = rng_from_seed(seed)
+    n = problem.n
+    lam = problem.total_rate
+    total = warmup + accesses
+
+    arrival_gaps = rng.exponential(1.0 / lam, size=total)
+    arrival_times = np.cumsum(arrival_gaps)
+    origins = rng.choice(n, size=total, p=problem.access_rates / lam)
+    positive = x > 0
+    dest_probs = np.where(positive, x, 0.0)
+    dest_probs = dest_probs / dest_probs.sum()
+    destinations = rng.choice(n, size=total, p=dest_probs)
+
+    mus = np.array([getattr(m, "mu", np.nan) for m in problem.delay_models])
+    if np.any(~np.isfinite(mus)):
+        raise ConfigurationError(
+            "traffic simulation needs delay models exposing a service rate mu"
+        )
+    if any(getattr(m, "servers", 1) > 1 for m in problem.delay_models):
+        raise ConfigurationError(
+            "traffic simulation models each node as a single FCFS server; "
+            "multi-server (M/M/c) nodes are not supported here — validate "
+            "those with repro.queueing.simulate_multiserver_queue instead"
+        )
+    services = rng.exponential(1.0, size=total) / mus[destinations]
+
+    # Lindley recurrence per destination queue.
+    depart_ready = np.zeros(n)  # time each server frees up
+    sojourns = np.empty(total)
+    busy = np.zeros(n)
+    for idx in range(total):
+        d = destinations[idx]
+        t = arrival_times[idx]
+        start = max(t, depart_ready[d])
+        finish = start + services[idx]
+        depart_ready[d] = finish
+        sojourns[idx] = finish - t
+        busy[d] += services[idx]
+
+    comm = problem.cost_matrix[origins[warmup:], destinations[warmup:]]
+    soj = sojourns[warmup:]
+    total_costs = comm + problem.k * soj
+    horizon = arrival_times[-1] - arrival_times[warmup]
+    return TrafficStats(
+        accesses=accesses,
+        mean_comm_cost=float(comm.mean()),
+        mean_sojourn=float(soj.mean()),
+        mean_total_cost=float(total_costs.mean()),
+        total_cost_stderr=float(total_costs.std(ddof=1) / np.sqrt(total_costs.size)),
+        utilization=np.minimum(busy / max(horizon, 1e-12), 1.0),
+    )

@@ -1,0 +1,85 @@
+"""Wire-format message types for the distributed protocol.
+
+§5.2 step (a): each node "sends dU/dx_i and x_i to all nodes j != i ... or
+to the designated central agent" — that pair is :class:`MarginalReport`.
+The central-agent variant answers with :class:`AverageAnnouncement`.  The
+access-traffic simulation uses :class:`AccessRequest`/:class:`AccessResponse`.
+
+Every message carries its origin/destination and the iteration (or request
+id) it belongs to, and reports a nominal payload size so the protocol
+comparison can account bytes as well as message counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class: a point-to-point message between nodes."""
+
+    sender: int
+    recipient: int
+
+    #: Nominal payload size in bytes (header excluded), per message type.
+    PAYLOAD_BYTES = 0
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.PAYLOAD_BYTES
+
+
+@dataclass(frozen=True)
+class MarginalReport(Message):
+    """Step (a): one node's ``(dU/dx_i, x_i)`` pair for one iteration."""
+
+    iteration: int = 0
+    marginal_utility: float = 0.0
+    share: float = 0.0
+
+    PAYLOAD_BYTES = 8 + 8 + 4  # two floats + iteration tag
+
+
+@dataclass(frozen=True)
+class AverageAnnouncement(Message):
+    """Central-agent reply: the average marginal utility and the active-set
+    average share context for one iteration."""
+
+    iteration: int = 0
+    average_marginal: float = 0.0
+    active_count: int = 0
+
+    PAYLOAD_BYTES = 8 + 4 + 4
+
+
+@dataclass(frozen=True)
+class AllocationUpdate(Message):
+    """Optional notification of a node's new share (used when an external
+    observer — e.g. the directory layer — must track the allocation)."""
+
+    iteration: int = 0
+    share: float = 0.0
+
+    PAYLOAD_BYTES = 8 + 4
+
+
+@dataclass(frozen=True)
+class AccessRequest(Message):
+    """A file access (query or update) directed at the node holding the
+    addressed record."""
+
+    request_id: int = 0
+    issued_at: float = 0.0
+
+    PAYLOAD_BYTES = 16
+
+
+@dataclass(frozen=True)
+class AccessResponse(Message):
+    """The reply carrying the accessed record back to the requester."""
+
+    request_id: int = 0
+    issued_at: float = 0.0
+
+    PAYLOAD_BYTES = 64

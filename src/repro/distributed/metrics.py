@@ -1,0 +1,50 @@
+"""Message accounting for the protocol comparison.
+
+§5.1 remarks that in a broadcast medium the central-agent and all-to-all
+schemes cost about the same number of messages, while in a point-to-point
+network they differ; §8.2 lists reducing per-iteration messages as future
+work.  :class:`MessageStats` counts messages, link hops (what a
+store-and-forward network actually pays), and payload bytes, so
+``benchmarks/bench_protocols.py`` can make that discussion quantitative.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class MessageStats:
+    """Tallies of protocol traffic."""
+
+    messages: int = 0
+    hops: int = 0
+    payload_bytes: int = 0
+    by_type: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, message, hop_count: int) -> None:
+        """Account one point-to-point message routed over ``hop_count`` links."""
+        self.messages += 1
+        self.hops += int(hop_count)
+        self.payload_bytes += message.payload_bytes
+        name = type(message).__name__
+        self.by_type[name] = self.by_type.get(name, 0) + 1
+
+    def merged_with(self, other: "MessageStats") -> "MessageStats":
+        """Combined tallies (used when summing per-phase stats)."""
+        combined = Counter(self.by_type)
+        combined.update(other.by_type)
+        return MessageStats(
+            messages=self.messages + other.messages,
+            hops=self.hops + other.hops,
+            payload_bytes=self.payload_bytes + other.payload_bytes,
+            by_type=dict(combined),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MessageStats(messages={self.messages}, hops={self.hops}, "
+            f"bytes={self.payload_bytes})"
+        )

@@ -1,0 +1,152 @@
+"""Node processes: the per-agent state machine of the §5.2 protocol.
+
+A :class:`NodeProcess` owns exactly the state a real node would: its own
+share ``x_i``, its locally computable marginal utility, and an inbox of
+reports keyed by iteration.  When a node holds the full set of reports for
+its current iteration it reconstructs the global ``(x, dU/dx)`` vectors and
+runs the *same deterministic* active-set step every other node runs —
+so all nodes transition identically without any further coordination, which
+is precisely why the algorithm needs only one communication round per
+iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.core.active_set import ActiveSetPolicy
+from repro.distributed.messages import MarginalReport
+from repro.exceptions import ProtocolError
+from repro.utils.numeric import spread
+
+
+class NodeProcess:
+    """One network node participating in the allocation protocol.
+
+    Parameters
+    ----------
+    node_id:
+        This node's index.
+    problem:
+        The FAP instance — used *only* through
+        :meth:`~repro.core.model.FileAllocationProblem.node_marginal_utility`,
+        i.e. node-local information.
+    initial_share:
+        The node's slice of the (feasible) initial allocation.
+    alpha:
+        Fixed stepsize (the distributed protocol exchanges marginals only,
+        so stepsize policies needing global state stay centralized).
+    epsilon:
+        Local convergence detection threshold (identical at every node, so
+        all nodes stop in the same round).
+    policy:
+        The shared deterministic active-set policy.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        problem,
+        initial_share: float,
+        *,
+        alpha: float,
+        epsilon: float,
+        policy: ActiveSetPolicy,
+        round_limit: int | None = None,
+    ):
+        self.node_id = node_id
+        self.problem = problem
+        self.share = float(initial_share)
+        self.alpha = float(alpha)
+        self.epsilon = float(epsilon)
+        self.policy = policy
+        #: Stop participating after this many completed rounds (None =
+        #: run to convergence).  Safe because every intermediate
+        #: allocation is feasible and improved (§5.3).
+        self.round_limit = round_limit
+        self.iteration = 0
+        self.converged = False
+        #: True when the stop came from round_limit, not the criterion.
+        self.stopped_by_limit = False
+        #: iteration -> {sender: MarginalReport}
+        self._inbox: Dict[int, Dict[int, MarginalReport]] = {}
+
+    # -- local computation (§5.2 step a) -------------------------------------
+
+    def marginal_utility(self) -> float:
+        """``dU/dx_i`` at the current share, from node-local state only."""
+        return self.problem.node_marginal_utility(self.node_id, self.share)
+
+    def make_report(self, recipient: int) -> MarginalReport:
+        """The step-(a) message for the current iteration."""
+        return MarginalReport(
+            sender=self.node_id,
+            recipient=recipient,
+            iteration=self.iteration,
+            marginal_utility=self.marginal_utility(),
+            share=self.share,
+        )
+
+    # -- message handling -------------------------------------------------------
+
+    def receive(self, report: MarginalReport) -> None:
+        """Buffer a peer's report (reports for future iterations queue up)."""
+        if report.iteration < self.iteration:
+            raise ProtocolError(
+                f"node {self.node_id} got a stale report for iteration "
+                f"{report.iteration} while at {self.iteration}"
+            )
+        bucket = self._inbox.setdefault(report.iteration, {})
+        if report.sender in bucket:
+            raise ProtocolError(
+                f"duplicate report from node {report.sender} "
+                f"for iteration {report.iteration}"
+            )
+        bucket[report.sender] = report
+
+    def has_full_round(self) -> bool:
+        """True when every peer's report for the current iteration is here."""
+        bucket = self._inbox.get(self.iteration, {})
+        return len(bucket) == self.problem.n - 1
+
+    # -- the step (§5.2 steps b-c), identical at every node ----------------------
+
+    def compute_round(self) -> Optional[float]:
+        """Apply one iteration once the round is complete.
+
+        Returns the node's new share, or ``None`` when the round detected
+        convergence (share unchanged, node stops participating).
+        """
+        if self.converged:
+            raise ProtocolError(f"node {self.node_id} already converged")
+        if not self.has_full_round():
+            raise ProtocolError(
+                f"node {self.node_id} asked to compute iteration "
+                f"{self.iteration} before all reports arrived"
+            )
+        bucket = self._inbox.pop(self.iteration)
+        n = self.problem.n
+        x = np.empty(n)
+        g = np.empty(n)
+        x[self.node_id] = self.share
+        g[self.node_id] = self.marginal_utility()
+        for sender, report in bucket.items():
+            x[sender] = report.share
+            g[sender] = report.marginal_utility
+        # Same rule as the centralized engine: the prospective step's
+        # active set defines the convergence statistic.
+        dx, mask = self.policy.apply(x, g, self.alpha)
+        if spread(g[mask]) < self.epsilon:
+            self.converged = True
+            return None
+        self.share = float(max(x[self.node_id] + dx[self.node_id], 0.0))
+        self.iteration += 1
+        if self.round_limit is not None and self.iteration >= self.round_limit:
+            # Deterministic early stop: all nodes hit the same limit at the
+            # same round, so no peer is left waiting for a report.
+            self.converged = True
+            self.stopped_by_limit = True
+            return None
+        return self.share

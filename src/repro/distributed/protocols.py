@@ -1,0 +1,325 @@
+"""Coordination protocols: all-to-all broadcast vs designated central agent.
+
+§5.1 describes both ways of computing the average marginal utility:
+
+* **broadcast** — "each node may broadcast its marginal utility to all
+  other nodes and then each node may compute the average marginal utility
+  locally": ``N (N-1)`` point-to-point messages per iteration;
+* **central agent** — "all nodes transmit their marginal utility to a
+  central node which computes the average and broadcasts the results back":
+  ``2 (N-1)`` point-to-point messages per iteration (the coordinator is
+  itself a participant).
+
+Both are event-driven over the :class:`~repro.distributed.simulator.Simulator`
+with per-message latency proportional to the routed path cost; both count
+messages, link hops, and bytes.  They produce identical allocations — the
+protocol changes who aggregates, not the arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.active_set import ActiveSetPolicy
+from repro.distributed.messages import AllocationUpdate, MarginalReport, Message
+from repro.distributed.metrics import MessageStats
+from repro.distributed.node import NodeProcess
+from repro.distributed.simulator import Simulator
+from repro.exceptions import ProtocolError
+from repro.network.routing import RoutingTable
+from repro.utils.numeric import spread
+
+
+class _ProtocolBase:
+    """Shared plumbing: latency, message accounting, delivery."""
+
+    def __init__(
+        self,
+        nodes: List[NodeProcess],
+        routing: RoutingTable,
+        simulator: Simulator,
+        *,
+        latency_per_cost: float = 1.0,
+        min_latency: float = 1e-3,
+    ):
+        self.nodes = nodes
+        self.routing = routing
+        self.simulator = simulator
+        self.latency_per_cost = float(latency_per_cost)
+        self.min_latency = float(min_latency)
+        self.stats = MessageStats()
+        self.rounds_completed = 0
+
+    def _send(self, message: Message, on_delivery: Callable[[Message], None]) -> None:
+        """Route, account, and schedule delivery of one message."""
+        if message.sender == message.recipient:
+            raise ProtocolError("nodes do not message themselves")
+        hops = self.routing.hop_count(message.sender, message.recipient)
+        self.stats.record(message, hops)
+        latency = max(
+            self.min_latency,
+            self.latency_per_cost * self.routing.cost(message.sender, message.recipient),
+        )
+        self.simulator.schedule(latency, lambda m=message: on_delivery(m))
+
+    # Subclasses implement: start() to kick off round 0.
+
+
+class BroadcastProtocol(_ProtocolBase):
+    """All-to-all report exchange; every node aggregates locally."""
+
+    name = "broadcast"
+
+    def start(self) -> None:
+        """Schedule round 0: every node broadcasts its report."""
+        for node in self.nodes:
+            self._broadcast_from(node)
+
+    def _broadcast_from(self, node: NodeProcess) -> None:
+        for peer in self.nodes:
+            if peer.node_id != node.node_id:
+                self._send(node.make_report(peer.node_id), self._deliver)
+
+    def _deliver(self, message: MarginalReport) -> None:
+        node = self.nodes[message.recipient]
+        if node.converged:
+            return  # late duplicate of the final round
+        node.receive(message)
+        if node.has_full_round():
+            new_share = node.compute_round()
+            if new_share is not None:
+                self._broadcast_from(node)
+            if all(n.converged for n in self.nodes):
+                self.rounds_completed = node.iteration
+        # Track completed rounds as the max iteration reached.
+        self.rounds_completed = max(self.rounds_completed, node.iteration)
+
+
+class CentralCoordinatorProtocol(_ProtocolBase):
+    """Nodes report to a coordinator; it computes and disseminates the step.
+
+    The coordinator is node ``coordinator_id`` (default 0) and participates
+    as an ordinary agent too.  Per round it receives ``N-1`` reports,
+    computes the same deterministic step as the broadcast scheme, applies
+    its own share locally, and sends each peer its new share.
+    """
+
+    name = "central"
+
+    def __init__(
+        self,
+        nodes: List[NodeProcess],
+        routing: RoutingTable,
+        simulator: Simulator,
+        *,
+        coordinator_id: int = 0,
+        latency_per_cost: float = 1.0,
+        min_latency: float = 1e-3,
+    ):
+        super().__init__(
+            nodes, routing, simulator,
+            latency_per_cost=latency_per_cost, min_latency=min_latency,
+        )
+        if not 0 <= coordinator_id < len(nodes):
+            raise ProtocolError(f"coordinator id {coordinator_id} out of range")
+        self.coordinator_id = coordinator_id
+        self._round_reports: Dict[int, MarginalReport] = {}
+        self._done = False
+
+    @property
+    def coordinator(self) -> NodeProcess:
+        return self.nodes[self.coordinator_id]
+
+    def start(self) -> None:
+        """Round 0: every non-coordinator node reports in."""
+        for node in self.nodes:
+            if node.node_id != self.coordinator_id:
+                self._send(node.make_report(self.coordinator_id), self._deliver_report)
+
+    def _deliver_report(self, message: MarginalReport) -> None:
+        if self._done:
+            return
+        if message.sender in self._round_reports:
+            raise ProtocolError(f"duplicate report from node {message.sender}")
+        self._round_reports[message.sender] = message
+        if len(self._round_reports) < len(self.nodes) - 1:
+            return
+        # Full round at the coordinator: compute the global step.
+        coord = self.coordinator
+        n = len(self.nodes)
+        x = np.empty(n)
+        g = np.empty(n)
+        x[coord.node_id] = coord.share
+        g[coord.node_id] = coord.marginal_utility()
+        for sender, report in self._round_reports.items():
+            x[sender] = report.share
+            g[sender] = report.marginal_utility
+        self._round_reports = {}
+        self.rounds_completed += 1
+        dx, mask = coord.policy.apply(x, g, coord.alpha)
+        if spread(g[mask]) < coord.epsilon:
+            self._done = True
+            for node in self.nodes:
+                node.converged = True
+            return
+        new_x = np.maximum(x + dx, 0.0)
+        coord.share = float(new_x[coord.node_id])
+        coord.iteration += 1
+        if coord.round_limit is not None and coord.iteration >= coord.round_limit:
+            # Deterministic round budget (see NodeProcess.round_limit).
+            self._done = True
+            for node in self.nodes:
+                node.share = float(new_x[node.node_id])
+                node.converged = True
+                node.stopped_by_limit = True
+            return
+        for node in self.nodes:
+            if node.node_id == self.coordinator_id:
+                continue
+            self._send(
+                AllocationUpdate(
+                    sender=self.coordinator_id,
+                    recipient=node.node_id,
+                    iteration=coord.iteration,
+                    share=float(new_x[node.node_id]),
+                ),
+                self._deliver_update,
+            )
+
+    def _deliver_update(self, message: AllocationUpdate) -> None:
+        if self._done:
+            return
+        node = self.nodes[message.recipient]
+        node.share = message.share
+        node.iteration = message.iteration
+        # Next round: report the refreshed marginal back to the coordinator.
+        self._send(node.make_report(self.coordinator_id), self._deliver_report)
+
+
+class FloodingProtocol(_ProtocolBase):
+    """Neighbours-only dissemination by link-state flooding.
+
+    Each node sends its report only to its direct neighbours; every node
+    forwards reports it has not seen before to its other neighbours.
+    After at most ``diameter`` forwarding waves, every node holds all
+    ``N`` reports for the iteration and applies the exact §5.2 step —
+    the allocation trajectory is identical to the broadcast protocol's,
+    but no message ever travels more than one link.
+
+    Compared with the §8.2 alternatives: gossip averaging sends scalar
+    summaries for many rounds; flooding ships the full report set once
+    (O(N * |E|) messages per iteration) and pays only diameter latency.
+    This is how link-state routing protocols disseminate in practice.
+    """
+
+    name = "flooding"
+
+    def __init__(
+        self,
+        nodes: List[NodeProcess],
+        routing: RoutingTable,
+        simulator: Simulator,
+        *,
+        latency_per_cost: float = 1.0,
+        min_latency: float = 1e-3,
+    ):
+        super().__init__(
+            nodes, routing, simulator,
+            latency_per_cost=latency_per_cost, min_latency=min_latency,
+        )
+        n = len(nodes)
+        self._n = n
+        #: per node: iteration -> {origin: (marginal, share)}
+        self._known: List[Dict[int, Dict[int, tuple]]] = [dict() for _ in range(n)]
+        self._topology = routing.topology
+
+    def start(self) -> None:
+        for node in self.nodes:
+            self._originate(node)
+
+    def _originate(self, node: NodeProcess) -> None:
+        """A node injects its own report for its current iteration."""
+        report = node.make_report(node.node_id)  # recipient rewritten per hop
+        self._learn(node.node_id, report.iteration, report.sender,
+                    (report.marginal_utility, report.share), exclude=None)
+
+    def _learn(
+        self,
+        at: int,
+        iteration: int,
+        origin: int,
+        payload: tuple,
+        exclude: Optional[int],
+    ) -> None:
+        """Record a report at node ``at``; forward if new; maybe compute."""
+        bucket = self._known[at].setdefault(iteration, {})
+        if origin in bucket:
+            return  # duplicate: suppress
+        bucket[origin] = payload
+        # Forward the novelty to every neighbour except where it came from.
+        for neighbor in self._topology.neighbors(at):
+            if neighbor == exclude:
+                continue
+            message = MarginalReport(
+                sender=at,
+                recipient=neighbor,
+                iteration=iteration,
+                marginal_utility=payload[0],
+                share=payload[1],
+            )
+            self._send_local(
+                message,
+                lambda m, origin=origin: self._deliver(m, origin),
+            )
+        self._maybe_compute(self.nodes[at])
+
+    def _send_local(self, message: MarginalReport, on_delivery) -> None:
+        """Send over the direct link only — the point of flooding.
+
+        Accounted as exactly one hop at the link's own cost (the routing
+        table might find a cheaper multi-hop path to a physical neighbour,
+        but flooding deliberately never leaves the local link).
+        """
+        self.stats.record(message, 1)
+        latency = max(
+            self.min_latency,
+            self.latency_per_cost
+            * self._topology.edge_cost(message.sender, message.recipient),
+        )
+        self.simulator.schedule(latency, lambda m=message: on_delivery(m))
+
+    def _deliver(self, message: MarginalReport, origin: int) -> None:
+        self._learn(
+            message.recipient,
+            message.iteration,
+            origin,
+            (message.marginal_utility, message.share),
+            exclude=message.sender,
+        )
+
+    def _maybe_compute(self, node: NodeProcess) -> None:
+        if node.converged:
+            return
+        bucket = self._known[node.node_id].get(node.iteration, {})
+        if len(bucket) < self._n:
+            return
+        x = np.empty(self._n)
+        g = np.empty(self._n)
+        for origin, (marginal, share) in bucket.items():
+            g[origin] = marginal
+            x[origin] = share
+        dx, mask = node.policy.apply(x, g, node.alpha)
+        if spread(g[mask]) < node.epsilon:
+            node.converged = True
+            self.rounds_completed = max(self.rounds_completed, node.iteration)
+            return
+        node.share = float(max(x[node.node_id] + dx[node.node_id], 0.0))
+        node.iteration += 1
+        self.rounds_completed = max(self.rounds_completed, node.iteration)
+        if node.round_limit is not None and node.iteration >= node.round_limit:
+            node.converged = True
+            node.stopped_by_limit = True
+            return
+        self._originate(node)

@@ -1,0 +1,78 @@
+"""A minimal discrete-event simulation engine.
+
+An event calendar (binary heap) of ``(time, sequence, callback)`` entries.
+The sequence number breaks ties deterministically in scheduling order, so
+runs are exactly reproducible — a property the protocol-equivalence tests
+(distributed run == centralized math) depend on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+
+EventCallback = Callable[[], None]
+
+
+class Simulator:
+    """Event-calendar simulator with a virtual clock."""
+
+    def __init__(self):
+        self._queue: List[Tuple[float, int, EventCallback]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(self, delay: float, callback: EventCallback) -> None:
+        """Run ``callback`` at ``now + delay`` (delay >= 0)."""
+        if delay < 0:
+            raise ConfigurationError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter), callback))
+
+    def schedule_at(self, time: float, callback: EventCallback) -> None:
+        """Run ``callback`` at absolute virtual ``time`` (>= now)."""
+        self.schedule(time - self._now, callback)
+
+    def step(self) -> bool:
+        """Execute the next event; False when the calendar is empty."""
+        if not self._queue:
+            return False
+        time, _, callback = heapq.heappop(self._queue)
+        self._now = time
+        self._processed += 1
+        callback()
+        return True
+
+    def run(self, *, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
+        """Drain the calendar, optionally stopping at virtual time ``until``.
+
+        ``max_events`` guards against runaway self-scheduling loops.
+        """
+        executed = 0
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = until
+                return
+            if executed >= max_events:
+                raise ConfigurationError(
+                    f"simulation exceeded {max_events} events; likely a scheduling loop"
+                )
+            self.step()
+            executed += 1
+
+    def pending(self) -> int:
+        """Events still on the calendar."""
+        return len(self._queue)

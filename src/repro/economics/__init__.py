@@ -1,0 +1,51 @@
+"""Microeconomic resource-allocation framework (§2 of the paper).
+
+Mathematical economics offers two broad families of decentralized
+allocation mechanisms for pure exchange economies:
+
+* **resource-directed** (Heal [15], [18]; Ho–Servi–Suri [20]): agents
+  report marginal utilities, and the allocation itself moves toward agents
+  with above-average marginals.  Feasible at every step, monotone in social
+  utility — this is the family the paper's FAP algorithm belongs to and
+  :class:`~repro.economics.resource_directed.ResourceDirectedPlanner` is
+  the generic engine;
+* **price-directed** (Walrasian tâtonnement [3], [22]): a price adjusts
+  until demand equals supply.  Feasible *only at convergence* and not
+  monotone — implemented in
+  :class:`~repro.economics.price_directed.PriceDirectedPlanner` as the
+  §2 comparison baseline.
+
+The generic planners work over :class:`~repro.economics.agents.Agent`
+objects with scalar concave utilities; the FAP core in :mod:`repro.core`
+is an independent vectorized implementation, and the test suite verifies
+the two produce identical allocations on the paper's model.
+"""
+
+from repro.economics.agents import Agent, CallableAgent, QuadraticAgent
+from repro.economics.lemma import heal_lemma_identity, heal_lemma_lhs
+from repro.economics.pareto import is_pareto_optimal
+from repro.economics.price_directed import PriceDirectedPlanner, TatonnementResult
+from repro.economics.production import (
+    CobbDouglasSector,
+    ProductionPlanner,
+    ProductionPlanResult,
+    Sector,
+)
+from repro.economics.resource_directed import PlannerResult, ResourceDirectedPlanner
+
+__all__ = [
+    "Agent",
+    "CallableAgent",
+    "CobbDouglasSector",
+    "PlannerResult",
+    "PriceDirectedPlanner",
+    "ProductionPlanResult",
+    "ProductionPlanner",
+    "QuadraticAgent",
+    "ResourceDirectedPlanner",
+    "Sector",
+    "TatonnementResult",
+    "heal_lemma_identity",
+    "heal_lemma_lhs",
+    "is_pareto_optimal",
+]

@@ -1,0 +1,97 @@
+"""Economic agents with scalar utilities over a single resource.
+
+An :class:`Agent` owns a utility function ``u(x)`` of its resource share
+``x`` and reports marginal utility ``u'(x)`` — the only information the
+resource-directed mechanism ever asks of it (informational decentralization
+is the whole point of the §2 framework).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional
+
+from repro.utils.validation import check_nonnegative
+
+
+class Agent(abc.ABC):
+    """An economic agent consuming a share ``x >= 0`` of one resource."""
+
+    def __init__(self, name: str = ""):
+        self.name = name or f"{type(self).__name__}@{id(self):x}"
+
+    @abc.abstractmethod
+    def utility(self, x: float) -> float:
+        """Utility of holding ``x`` units of the resource."""
+
+    @abc.abstractmethod
+    def marginal_utility(self, x: float) -> float:
+        """``du/dx`` evaluated at ``x``."""
+
+    def second_derivative(self, x: float, *, h: float = 1e-6) -> float:
+        """``d2u/dx2`` — central finite difference unless overridden."""
+        x = check_nonnegative(x, "x")
+        lo = max(x - h, 0.0)
+        hi = x + h
+        return (self.marginal_utility(hi) - self.marginal_utility(lo)) / (hi - lo)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class CallableAgent(Agent):
+    """An agent defined by plain callables.
+
+    Parameters
+    ----------
+    utility_fn:
+        ``u(x)``.
+    marginal_fn:
+        ``u'(x)``; when omitted, a central finite difference of
+        ``utility_fn`` is used.
+    """
+
+    def __init__(
+        self,
+        utility_fn: Callable[[float], float],
+        marginal_fn: Optional[Callable[[float], float]] = None,
+        name: str = "",
+    ):
+        super().__init__(name)
+        self._utility_fn = utility_fn
+        self._marginal_fn = marginal_fn
+
+    def utility(self, x: float) -> float:
+        return float(self._utility_fn(x))
+
+    def marginal_utility(self, x: float) -> float:
+        if self._marginal_fn is not None:
+            return float(self._marginal_fn(x))
+        h = 1e-6
+        lo = max(x - h, 0.0)
+        hi = x + h
+        return (self._utility_fn(hi) - self._utility_fn(lo)) / (hi - lo)
+
+
+class QuadraticAgent(Agent):
+    """``u(x) = a x - b x^2 / 2`` — strictly concave for ``b > 0``.
+
+    The closed-form optimum of an economy of quadratic agents is linear
+    algebra, making this class the reference fixture for planner tests.
+    """
+
+    def __init__(self, a: float, b: float, name: str = ""):
+        super().__init__(name)
+        if b <= 0:
+            raise ValueError(f"b must be positive for strict concavity, got {b}")
+        self.a = float(a)
+        self.b = float(b)
+
+    def utility(self, x: float) -> float:
+        return self.a * x - 0.5 * self.b * x * x
+
+    def marginal_utility(self, x: float) -> float:
+        return self.a - self.b * x
+
+    def second_derivative(self, x: float, *, h: float = 1e-6) -> float:
+        return -self.b

@@ -1,0 +1,40 @@
+"""Heal's Lemma 1 (paper appendix).
+
+For any real numbers ``a_1 .. a_n`` with mean ``avg``:
+
+    sum_i a_i (a_i - avg)  ==  sum_i (a_i - avg)^2  >=  0,
+
+with equality iff all ``a_i`` are equal.  The lemma is the engine of the
+monotonicity proof: with ``a_i = dU/dx_i`` the left side is (1/alpha times)
+the first-order utility change of one algorithm step, so every step helps
+unless all marginals already agree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+
+def heal_lemma_lhs(values: Iterable[float]) -> float:
+    """Left-hand side ``sum_i a_i (a_i - mean)``."""
+    a = np.asarray(list(values), dtype=float)
+    if a.size == 0:
+        return 0.0
+    return float(np.sum(a * (a - a.mean())))
+
+
+def heal_lemma_identity(values: Iterable[float]) -> tuple[float, float]:
+    """Return ``(lhs, rhs)`` of Lemma 1; they are equal analytically.
+
+    ``rhs = sum_i (a_i - mean)^2`` is manifestly non-negative and zero only
+    when all values coincide.
+    """
+    a = np.asarray(list(values), dtype=float)
+    if a.size == 0:
+        return 0.0, 0.0
+    avg = a.mean()
+    lhs = float(np.sum(a * (a - avg)))
+    rhs = float(np.sum((a - avg) ** 2))
+    return lhs, rhs

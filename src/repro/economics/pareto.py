@@ -1,0 +1,71 @@
+"""Pareto-optimality checking.
+
+§2 of the paper observes that price-directed mechanisms converge to
+*Pareto-optimal* allocations — no reallocation can raise one agent's
+utility without lowering another's — and that this is weaker than social
+(sum-of-utilities) optimality.  For a single divisible resource and smooth
+utilities the useful first-order characterization is:
+
+* an interior Pareto-optimal allocation has all *positive-share* agents'
+  marginal utilities equal in sign pattern that admits no improving
+  transfer; for strictly concave, strictly increasing utilities this means
+  equal marginals (which is then also socially optimal).
+
+The checker below works directly from the definition: it searches pairwise
+transfers of mass ``delta`` for one that makes a strict Pareto improvement.
+Exhaustive over pairs and exact in the small-``delta`` limit for smooth
+utilities — adequate as an executable definition for tests and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.economics.agents import Agent
+
+
+def is_pareto_optimal(
+    agents: Sequence[Agent],
+    allocation: Sequence[float],
+    *,
+    delta: float = 1e-4,
+    tol: float = 1e-9,
+) -> bool:
+    """True if no pairwise transfer of ``delta`` strictly improves someone
+    while hurting no one.
+
+    Parameters
+    ----------
+    agents, allocation:
+        The economy and the candidate allocation (same length).
+    delta:
+        Transfer size to probe with.  Donors must hold at least ``delta``.
+    tol:
+        Strictness margin: an improvement must exceed ``tol`` and a loss
+        must exceed ``tol`` to count.
+    """
+    x = np.asarray(allocation, dtype=float)
+    if x.size != len(agents):
+        raise ValueError(f"{x.size} shares for {len(agents)} agents")
+    base = [agent.utility(float(xi)) for agent, xi in zip(agents, x)]
+    n = x.size
+    for donor in range(n):
+        if x[donor] < delta:
+            continue
+        u_donor_after = agents[donor].utility(float(x[donor] - delta))
+        donor_loss = base[donor] - u_donor_after
+        for receiver in range(n):
+            if receiver == donor:
+                continue
+            u_recv_after = agents[receiver].utility(float(x[receiver] + delta))
+            receiver_gain = u_recv_after - base[receiver]
+            # A Pareto improvement: someone strictly gains, nobody loses.
+            if receiver_gain > tol and donor_loss < -tol:
+                return False  # both gained
+            if receiver_gain > tol and abs(donor_loss) <= tol:
+                return False  # receiver gained, donor indifferent
+            if donor_loss < -tol and receiver_gain >= -tol:
+                return False  # donor gained, receiver indifferent or better
+    return True

@@ -1,0 +1,153 @@
+"""Price-directed allocation: Walrasian tâtonnement (§2 baseline).
+
+A price ``p`` is announced; each agent demands the share maximizing its
+*individual* surplus ``u_i(x) - p x`` (so ``u_i'(x) = p`` at an interior
+demand); the price then rises when total demand exceeds supply and falls
+otherwise, until the market clears.
+
+The paper lists the drawbacks this baseline exists to demonstrate:
+
+* allocations are infeasible until convergence (demand != supply);
+* social utility is not monotone along the price path;
+* each agent solves a local optimization per round;
+* convergence yields Pareto optimality, a weaker notion than the social
+  optimum (although for the separable concave utilities used here the two
+  coincide at the market-clearing point).
+
+The comparison benchmark (``benchmarks/bench_baselines.py``) measures both
+mechanisms on identical economies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.economics.agents import Agent
+from repro.exceptions import ConfigurationError, ConvergenceError
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class TatonnementResult:
+    """Outcome of a price-adjustment run."""
+
+    allocation: np.ndarray
+    price: float
+    iterations: int
+    converged: bool
+    #: |total demand - supply| after each price update.
+    excess_history: List[float] = field(default_factory=list)
+    #: Social utility of each (generally infeasible) demand profile.
+    utility_history: List[float] = field(default_factory=list)
+
+
+def _demand(agent: Agent, price: float, x_max: float, *, tol: float = 1e-12) -> float:
+    """Agent's optimal share in ``[0, x_max]`` at ``price`` by bisection.
+
+    For a concave ``u``, surplus ``u(x) - p x`` is maximized where
+    ``u'(x) = p`` (clamped at the box bounds).  ``u'`` is non-increasing,
+    so bisection on ``u'(x) - p`` is exact.
+    """
+    lo, hi = 0.0, x_max
+    if agent.marginal_utility(lo) - price <= 0:
+        return lo
+    if agent.marginal_utility(hi) - price >= 0:
+        return hi
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if agent.marginal_utility(mid) - price > 0:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tol:
+            break
+    return 0.5 * (lo + hi)
+
+
+class PriceDirectedPlanner:
+    """Walrasian tâtonnement over agents with concave utilities.
+
+    Parameters
+    ----------
+    agents, supply:
+        The economy, as for the resource-directed planner.
+    gamma:
+        Price-adjustment gain: ``p += gamma * (demand - supply)``.
+    demand_cap:
+        Upper bound on any single agent's demand; defaults to ``supply``
+        (no agent can usefully demand more than everything).
+    epsilon:
+        Market-clearing tolerance on ``|demand - supply|``.
+    """
+
+    def __init__(
+        self,
+        agents: Sequence[Agent],
+        supply: float = 1.0,
+        *,
+        gamma: float = 0.5,
+        demand_cap: float | None = None,
+        epsilon: float = 1e-6,
+    ):
+        if len(agents) < 2:
+            raise ConfigurationError("an economy needs at least two agents")
+        self.agents = list(agents)
+        self.supply = check_positive(supply, "supply")
+        self.gamma = check_positive(gamma, "gamma")
+        self.demand_cap = (
+            check_positive(demand_cap, "demand_cap") if demand_cap is not None else supply
+        )
+        self.epsilon = check_positive(epsilon, "epsilon")
+
+    def demands(self, price: float) -> np.ndarray:
+        """Each agent's individually optimal demand at ``price``."""
+        return np.array([_demand(a, price, self.demand_cap) for a in self.agents])
+
+    def social_utility(self, allocation: np.ndarray) -> float:
+        return float(
+            sum(agent.utility(float(x)) for agent, x in zip(self.agents, allocation))
+        )
+
+    def run(
+        self,
+        initial_price: float = 0.0,
+        *,
+        max_iterations: int = 10_000,
+        raise_on_failure: bool = False,
+    ) -> TatonnementResult:
+        """Adjust the price until the market clears (or the budget runs out)."""
+        price = float(initial_price)
+        excess_history: List[float] = []
+        utility_history: List[float] = []
+        demand = self.demands(price)
+        for iteration in range(max_iterations):
+            excess = float(demand.sum() - self.supply)
+            excess_history.append(abs(excess))
+            utility_history.append(self.social_utility(demand))
+            if abs(excess) < self.epsilon:
+                return TatonnementResult(
+                    allocation=demand,
+                    price=price,
+                    iterations=iteration,
+                    converged=True,
+                    excess_history=excess_history,
+                    utility_history=utility_history,
+                )
+            price += self.gamma * excess
+            demand = self.demands(price)
+        if raise_on_failure:
+            raise ConvergenceError(
+                f"tatonnement did not clear the market in {max_iterations} iterations",
+                iterations=max_iterations,
+            )
+        return TatonnementResult(
+            allocation=demand,
+            price=price,
+            iterations=max_iterations,
+            converged=False,
+            excess_history=excess_history,
+            utility_history=utility_history,
+        )

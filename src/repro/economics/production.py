@@ -1,0 +1,227 @@
+"""Heal's production-economy planner — the general model of [15], [18].
+
+§5.1: "Heal's work provides a simple, decentralized procedure by which
+resources may be optimally shared among agents in an economy in which
+resources are both produced and consumed; our present problem ... is
+therefore a simplification of the more general economic planning problem."
+
+This module implements that general model for one scarce input:
+
+* ``m`` sectors; sector ``j`` turns an input share ``r_j`` into output
+  ``y_j = f_j(r_j)`` (``f_j`` concave, increasing);
+* society values the output bundle through a concave social welfare
+  ``U(y_1, ..., y_m)``;
+* the planner iterates on the *input* allocation with Heal's rule applied
+  to the composite marginals
+
+      M_j = dU/dy_j * f_j'(r_j),
+      dr_j = alpha * (M_j - avg_k M_k),
+
+  which is exactly the §5.2 step with the chain rule inside.  Feasibility
+  (``sum r = supply``) and monotonicity of ``U`` follow from the same
+  Lemma-1 argument, and at a fixed point the composite marginals agree —
+  the first-order optimality condition of the planning problem.
+
+The FAP algorithm is the special case of identity production
+(``f_j(r) = r``) and additive welfare, which the tests assert explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ConvergenceError
+from repro.utils.numeric import spread
+from repro.utils.validation import check_positive
+
+
+class Sector:
+    """One production sector: input share -> output quantity."""
+
+    def __init__(
+        self,
+        production_fn: Callable[[float], float],
+        marginal_fn: Optional[Callable[[float], float]] = None,
+        name: str = "",
+    ):
+        self._fn = production_fn
+        self._marginal = marginal_fn
+        self.name = name or f"sector@{id(self):x}"
+
+    def output(self, r: float) -> float:
+        """``y = f(r)``."""
+        return float(self._fn(r))
+
+    def marginal_product(self, r: float) -> float:
+        """``f'(r)`` (finite difference when not supplied)."""
+        if self._marginal is not None:
+            return float(self._marginal(r))
+        h = 1e-6
+        lo = max(r - h, 0.0)
+        return (self._fn(r + h) - self._fn(lo)) / (r + h - lo)
+
+
+class CobbDouglasSector(Sector):
+    """``f(r) = scale * r^exponent`` with ``0 < exponent <= 1`` (concave)."""
+
+    def __init__(self, scale: float = 1.0, exponent: float = 0.5, name: str = ""):
+        if not 0 < exponent <= 1:
+            raise ConfigurationError(
+                f"exponent must be in (0, 1] for concavity, got {exponent}"
+            )
+        scale = check_positive(scale, "scale")
+        super().__init__(
+            lambda r: scale * max(r, 0.0) ** exponent,
+            lambda r: scale * exponent * max(r, 1e-12) ** (exponent - 1.0),
+            name=name,
+        )
+        self.scale = scale
+        self.exponent = exponent
+
+
+@dataclass
+class ProductionPlanResult:
+    """Outcome of a production-planning run."""
+
+    inputs: np.ndarray
+    outputs: np.ndarray
+    welfare: float
+    iterations: int
+    converged: bool
+    welfare_history: List[float] = field(default_factory=list)
+
+
+class ProductionPlanner:
+    """Heal's planning procedure for a one-input production economy.
+
+    Parameters
+    ----------
+    sectors:
+        The production sectors.
+    welfare_fn:
+        Social welfare ``U(y_1, ..., y_m)`` of the output bundle.
+    welfare_gradient:
+        ``dU/dy`` as a callable returning a vector; finite differences
+        when omitted.
+    supply:
+        Total input available.
+    alpha, epsilon:
+        Stepsize and the marginal-agreement stopping tolerance.
+    """
+
+    def __init__(
+        self,
+        sectors: Sequence[Sector],
+        welfare_fn: Callable[[np.ndarray], float],
+        welfare_gradient: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        *,
+        supply: float = 1.0,
+        alpha: float = 0.05,
+        epsilon: float = 1e-6,
+    ):
+        if len(sectors) < 2:
+            raise ConfigurationError("a planning economy needs at least two sectors")
+        self.sectors = list(sectors)
+        self.welfare_fn = welfare_fn
+        self.welfare_gradient = welfare_gradient
+        self.supply = check_positive(supply, "supply")
+        self.alpha = check_positive(alpha, "alpha")
+        self.epsilon = check_positive(epsilon, "epsilon")
+
+    # -- pieces -------------------------------------------------------------
+
+    def outputs(self, inputs: np.ndarray) -> np.ndarray:
+        return np.array(
+            [s.output(float(r)) for s, r in zip(self.sectors, inputs)]
+        )
+
+    def welfare(self, inputs: np.ndarray) -> float:
+        return float(self.welfare_fn(self.outputs(inputs)))
+
+    def _du_dy(self, outputs: np.ndarray) -> np.ndarray:
+        if self.welfare_gradient is not None:
+            return np.asarray(self.welfare_gradient(outputs), dtype=float)
+        h = 1e-6
+        base = float(self.welfare_fn(outputs))
+        grad = np.empty(outputs.size)
+        for j in range(outputs.size):
+            bumped = outputs.copy()
+            bumped[j] += h
+            grad[j] = (float(self.welfare_fn(bumped)) - base) / h
+        return grad
+
+    def composite_marginals(self, inputs: np.ndarray) -> np.ndarray:
+        """``M_j = dU/dy_j * f_j'(r_j)`` — what each sector reports."""
+        y = self.outputs(inputs)
+        du = self._du_dy(y)
+        fp = np.array(
+            [s.marginal_product(float(r)) for s, r in zip(self.sectors, inputs)]
+        )
+        return du * fp
+
+    def step(self, inputs: np.ndarray) -> np.ndarray:
+        """One Heal step on the input allocation (scaled at the boundary)."""
+        m = self.composite_marginals(inputs)
+        dr = self.alpha * (m - m.mean())
+        if np.any(inputs + dr < 0):
+            shrinking = dr < 0
+            with np.errstate(divide="ignore", invalid="ignore"):
+                factors = np.where(
+                    shrinking, inputs / np.maximum(-dr, 1e-300), np.inf
+                )
+            dr = dr * float(min(1.0, np.min(factors)))
+        return np.maximum(inputs + dr, 0.0)
+
+    # -- driver --------------------------------------------------------------
+
+    def run(
+        self,
+        initial_inputs: Optional[Sequence[float]] = None,
+        *,
+        max_iterations: int = 100_000,
+        raise_on_failure: bool = False,
+    ) -> ProductionPlanResult:
+        """Plan from ``initial_inputs`` (default: equal split)."""
+        m = len(self.sectors)
+        if initial_inputs is None:
+            r = np.full(m, self.supply / m)
+        else:
+            r = np.asarray(initial_inputs, dtype=float).copy()
+            if r.size != m or abs(r.sum() - self.supply) > 1e-9 or r.min() < -1e-12:
+                raise ConfigurationError(
+                    f"initial inputs must be a feasible split of {self.supply:g} "
+                    f"over {m} sectors"
+                )
+        history = [self.welfare(r)]
+        iteration = 0
+        while iteration < max_iterations:
+            marginals = self.composite_marginals(r)
+            movable = (r > 1e-12) | (marginals > marginals.mean())
+            if spread(marginals[movable]) < self.epsilon:
+                return ProductionPlanResult(
+                    inputs=r,
+                    outputs=self.outputs(r),
+                    welfare=history[-1],
+                    iterations=iteration,
+                    converged=True,
+                    welfare_history=history,
+                )
+            iteration += 1
+            r = self.step(r)
+            history.append(self.welfare(r))
+        if raise_on_failure:
+            raise ConvergenceError(
+                f"production planner: no convergence in {max_iterations} iterations",
+                iterations=max_iterations,
+            )
+        return ProductionPlanResult(
+            inputs=r,
+            outputs=self.outputs(r),
+            welfare=history[-1],
+            iterations=iteration,
+            converged=False,
+            welfare_history=history,
+        )

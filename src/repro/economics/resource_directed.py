@@ -1,0 +1,188 @@
+"""The generic resource-directed planner (Heal's "planning without prices").
+
+One resource of fixed total supply is shared by ``n`` agents.  Each
+iteration:
+
+1. every agent reports its marginal utility at its current share
+   (a *local* computation followed by one broadcast — the procedure is
+   informationally decentralized);
+2. the allocation moves toward above-average marginals:
+   ``dx_i = alpha * (u_i'(x_i) - avg_j u_j'(x_j))``.
+
+Because the deviations from the average sum to zero, feasibility
+``sum x_i = supply`` is an exact invariant (Theorem 1), and by Lemma 1 the
+first-order social-utility change ``sum_i u_i' dx_i = alpha * sum_i
+(u_i' - avg)^2`` is strictly positive away from convergence (Theorem 2).
+
+This module is the *generic* engine over :class:`~repro.economics.agents.Agent`
+objects; :mod:`repro.core.algorithm` is the vectorized FAP specialization.
+The two are cross-checked in the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.economics.agents import Agent
+from repro.exceptions import ConfigurationError, ConvergenceError
+from repro.utils.numeric import spread
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class PlannerResult:
+    """Outcome of a resource-directed planning run."""
+
+    allocation: np.ndarray
+    iterations: int
+    converged: bool
+    #: Social utility after each iteration (index 0 = initial allocation).
+    utility_history: List[float] = field(default_factory=list)
+    #: Max-min marginal-utility spread after each iteration.
+    spread_history: List[float] = field(default_factory=list)
+
+
+class ResourceDirectedPlanner:
+    """Iterative reallocation toward above-average marginal utility.
+
+    Parameters
+    ----------
+    agents:
+        The participating agents.
+    supply:
+        Total amount of the resource (1.0 for a single file copy).
+    alpha:
+        Stepsize.  The FAP layer provides principled policies; the generic
+        planner keeps a plain scalar.
+    epsilon:
+        Stop when all marginal utilities agree within ``epsilon``.
+    enforce_nonnegative:
+        Shrink any step that would drive a share negative so the binding
+        agent lands exactly at zero (the step keeps its direction, hence
+        feasibility and monotonicity are retained).
+    """
+
+    def __init__(
+        self,
+        agents: Sequence[Agent],
+        supply: float = 1.0,
+        *,
+        alpha: float = 0.1,
+        epsilon: float = 1e-6,
+        enforce_nonnegative: bool = True,
+    ):
+        if len(agents) < 2:
+            raise ConfigurationError("planning needs at least two agents")
+        self.agents = list(agents)
+        self.supply = check_positive(supply, "supply")
+        self.alpha = check_positive(alpha, "alpha")
+        self.epsilon = check_positive(epsilon, "epsilon")
+        self.enforce_nonnegative = enforce_nonnegative
+
+    # -- pieces (exposed for tests and for the distributed runtime) --------
+
+    def marginals(self, allocation: np.ndarray) -> np.ndarray:
+        """Every agent's reported marginal utility at ``allocation``."""
+        return np.array(
+            [agent.marginal_utility(float(x)) for agent, x in zip(self.agents, allocation)]
+        )
+
+    def social_utility(self, allocation: np.ndarray) -> float:
+        """Sum of individual utilities (the planner's objective)."""
+        return float(
+            sum(agent.utility(float(x)) for agent, x in zip(self.agents, allocation))
+        )
+
+    def step(self, allocation: np.ndarray) -> np.ndarray:
+        """One reallocation step from ``allocation`` (returns a new vector).
+
+        Boundary handling as in the FAP engine's ``scaled-step`` policy:
+        zero-share agents whose step is outbound are frozen (KKT lets them
+        sit at zero with a below-average marginal), then the step over the
+        movable set is shrunk so the worst donor lands exactly at zero.
+        """
+        new_x, _ = self.step_with_mask(allocation)
+        return new_x
+
+    def step_with_mask(self, allocation: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """One step plus the movable-agent mask it used (the convergence
+        statistic, like the FAP engine's active set, is the marginal
+        spread over this mask)."""
+        x = np.asarray(allocation, dtype=float)
+        mu = self.marginals(x)
+        mask = np.ones(x.size, dtype=bool)
+        if not self.enforce_nonnegative:
+            return x + self.alpha * (mu - mu.mean()), mask
+        dx = np.zeros_like(x)
+        for _ in range(x.size):
+            dx[:] = 0.0
+            movable = mu[mask]
+            if movable.size:
+                dx[mask] = self.alpha * (movable - movable.mean())
+            pinned = mask & (x <= 1e-12) & (dx < 0)
+            if not np.any(pinned):
+                break
+            mask &= ~pinned
+        if np.any(x + dx < 0):
+            shrinking = dx < 0
+            with np.errstate(divide="ignore", invalid="ignore"):
+                factors = np.where(shrinking, x / np.maximum(-dx, 1e-300), np.inf)
+            dx = dx * min(1.0, float(np.min(factors)))
+        return np.maximum(x + dx, 0.0), mask
+
+    # -- driver -------------------------------------------------------------
+
+    def run(
+        self,
+        initial_allocation: Sequence[float],
+        *,
+        max_iterations: int = 10_000,
+        raise_on_failure: bool = False,
+    ) -> PlannerResult:
+        """Iterate from ``initial_allocation`` until the marginals agree.
+
+        The initial allocation must be feasible (sum to ``supply``); the
+        paper stresses this is the *only* requirement on it.
+        """
+        x = np.asarray(initial_allocation, dtype=float)
+        if x.size != len(self.agents):
+            raise ConfigurationError(
+                f"initial allocation has {x.size} entries for {len(self.agents)} agents"
+            )
+        if abs(x.sum() - self.supply) > 1e-9:
+            raise ConfigurationError(
+                f"initial allocation sums to {x.sum():g}, expected {self.supply:g}"
+            )
+        def movable_spread(x_now: np.ndarray) -> float:
+            _, mask = self.step_with_mask(x_now)
+            return spread(self.marginals(x_now)[mask])
+
+        utility_history = [self.social_utility(x)]
+        spread_history = [movable_spread(x)]
+        for iteration in range(max_iterations):
+            if spread_history[-1] < self.epsilon:
+                return PlannerResult(
+                    allocation=x,
+                    iterations=iteration,
+                    converged=True,
+                    utility_history=utility_history,
+                    spread_history=spread_history,
+                )
+            x = self.step(x)
+            utility_history.append(self.social_utility(x))
+            spread_history.append(movable_spread(x))
+        if raise_on_failure:
+            raise ConvergenceError(
+                f"planner did not converge in {max_iterations} iterations",
+                iterations=max_iterations,
+            )
+        return PlannerResult(
+            allocation=x,
+            iterations=max_iterations,
+            converged=False,
+            utility_history=utility_history,
+            spread_history=spread_history,
+        )

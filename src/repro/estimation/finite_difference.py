@@ -1,0 +1,70 @@
+"""Numeric differentiation of allocation cost functions.
+
+Used two ways: as the validation oracle for every analytic gradient and
+Hessian in the library, and as the fallback marginal computation for cost
+models without closed forms (the multi-copy ring uses its own variant that
+respects the non-negativity boundary).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+def finite_difference_gradient(
+    fn: Callable[[np.ndarray], float],
+    x: Sequence[float],
+    *,
+    h: float = 1e-6,
+    nonnegative: bool = True,
+) -> np.ndarray:
+    """Central-difference partials of ``fn`` at ``x``.
+
+    With ``nonnegative`` set, coordinates within ``h`` of zero use a
+    forward difference so evaluation points stay in the domain.
+    """
+    base = np.asarray(x, dtype=float)
+    grad = np.empty(base.size)
+    for i in range(base.size):
+        hi = base.copy()
+        hi[i] += h
+        if nonnegative and base[i] < h:
+            grad[i] = (fn(hi) - fn(base)) / h
+        else:
+            lo = base.copy()
+            lo[i] -= h
+            grad[i] = (fn(hi) - fn(lo)) / (2.0 * h)
+    return grad
+
+
+def finite_difference_hessian_diag(
+    fn: Callable[[np.ndarray], float],
+    x: Sequence[float],
+    *,
+    h: float = 1e-5,
+    nonnegative: bool = True,
+) -> np.ndarray:
+    """Central second differences ``(f(x+h) - 2 f(x) + f(x-h)) / h^2``.
+
+    Coordinates too close to zero use a forward stencil
+    ``(f(x+2h) - 2 f(x+h) + f(x)) / h^2``.
+    """
+    base = np.asarray(x, dtype=float)
+    out = np.empty(base.size)
+    f0 = fn(base)
+    for i in range(base.size):
+        if nonnegative and base[i] < h:
+            p1 = base.copy()
+            p1[i] += h
+            p2 = base.copy()
+            p2[i] += 2 * h
+            out[i] = (fn(p2) - 2.0 * fn(p1) + f0) / (h * h)
+        else:
+            hi = base.copy()
+            hi[i] += h
+            lo = base.copy()
+            lo[i] -= h
+            out[i] = (fn(hi) - 2.0 * f0 + fn(lo)) / (h * h)
+    return out

@@ -1,0 +1,148 @@
+"""Estimating the algorithm's inputs from a node's own observations.
+
+In a live system a node does not *know* ``mu``, ``lambda`` or even its own
+effective arrival rate — it observes arrivals and service completions.
+The §5.2 marginal ``dU/dx_i = -(C_i + k (T + x lambda T'))`` then has to be
+built from estimates.  Two estimators are provided:
+
+* :func:`estimate_node_parameters` — moment estimates of the arrival and
+  service rates from an observation window (counts and busy time), plugged
+  into the analytic M/M/1 derivative.  Consistent, and what a pragmatic
+  deployment would use;
+* :func:`crn_delay_derivative` — a sample-path (perturbation-analysis
+  flavoured) estimator of ``dW/da``: two queue simulations at ``a`` and
+  ``a + h`` driven by *common random numbers*, differenced.  CRN cancels
+  most of the sampling noise, the property that makes PA-style estimation
+  practical; the tests verify it converges to the analytic value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.queueing.service import ExponentialService
+from repro.utils.seeding import SeedLike, rng_from_seed
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class NodeObservation:
+    """What one node can measure about itself over a window."""
+
+    window: float
+    arrivals: int
+    completions: int
+    busy_time: float
+
+    @property
+    def arrival_rate(self) -> float:
+        """Moment estimate of the local arrival rate ``lambda x_i``."""
+        return self.arrivals / self.window
+
+    @property
+    def service_rate(self) -> float:
+        """Moment estimate of ``mu`` (completions per unit busy time)."""
+        if self.busy_time <= 0:
+            raise ConfigurationError("no busy time observed; cannot estimate mu")
+        return self.completions / self.busy_time
+
+
+def observe_node(
+    arrival_rate: float,
+    mu: float,
+    *,
+    window: float = 1_000.0,
+    seed: SeedLike = None,
+) -> NodeObservation:
+    """Generate an observation window for an M/M/1 node (test/demo helper)."""
+    arrival_rate = check_positive(arrival_rate, "arrival_rate")
+    mu = check_positive(mu, "mu")
+    rng = rng_from_seed(seed)
+    t = 0.0
+    arrivals = 0
+    completions = 0
+    busy = 0.0
+    server_free_at = 0.0
+    while True:
+        t += rng.exponential(1.0 / arrival_rate)
+        if t > window:
+            break
+        arrivals += 1
+        start = max(t, server_free_at)
+        service = rng.exponential(1.0 / mu)
+        finish = start + service
+        if finish <= window:
+            completions += 1
+            busy += service
+        else:
+            busy += max(0.0, window - start)
+        server_free_at = finish
+    return NodeObservation(window=window, arrivals=arrivals, completions=completions, busy_time=busy)
+
+
+def estimate_marginal_cost(
+    observation: NodeObservation,
+    *,
+    access_cost: float,
+    k: float,
+    share: float,
+    total_rate: float,
+) -> float:
+    """Marginal cost ``dC/dx_i`` from observed parameters.
+
+    Plugs the estimated ``mu`` into the M/M/1 closed form
+    ``C_i + k mu / (mu - lambda x_i)^2`` with the *estimated* local arrival
+    rate standing in for ``lambda x_i``.
+    """
+    mu_hat = observation.service_rate
+    a_hat = observation.arrival_rate
+    if a_hat >= mu_hat:
+        raise ConfigurationError(
+            f"estimated arrival rate {a_hat:g} >= estimated service rate {mu_hat:g}"
+        )
+    return access_cost + k * mu_hat / (mu_hat - a_hat) ** 2
+
+
+def crn_delay_derivative(
+    arrival_rate: float,
+    mu: float,
+    *,
+    h: float = 0.01,
+    customers: int = 200_000,
+    seed: SeedLike = 0,
+) -> float:
+    """Common-random-numbers estimate of ``dW/da`` for an M/M/1 queue.
+
+    Both runs reuse the same exponential(1) variates for inter-arrival gaps
+    (scaled by each run's rate) and services, so the difference
+    ``(W(a+h) - W(a)) / h`` estimates the derivative with far lower
+    variance than independent runs.
+    """
+    arrival_rate = check_positive(arrival_rate, "arrival_rate")
+    mu = check_positive(mu, "mu")
+    h = check_positive(h, "h")
+    if arrival_rate + h >= mu:
+        raise ConfigurationError("a + h must stay below mu")
+    rng = rng_from_seed(seed)
+    unit_gaps = rng.exponential(1.0, size=customers)
+    services = ExponentialService(mu).sample(rng, size=customers)
+
+    def mean_sojourn(a: float) -> float:
+        gaps = unit_gaps / a
+        w = 0.0
+        total = 0.0
+        for idx in range(customers):
+            total += w + services[idx]
+            if idx + 1 < customers:
+                w = max(0.0, w + services[idx] - gaps[idx + 1])
+        return total / customers
+
+    return (mean_sojourn(arrival_rate + h) - mean_sojourn(arrival_rate)) / h
+
+
+def estimate_node_parameters(observation: NodeObservation) -> tuple[float, float]:
+    """``(arrival_rate_hat, mu_hat)`` from one observation window."""
+    return observation.arrival_rate, observation.service_rate

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate finer-grained failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A model, algorithm, or experiment was configured inconsistently.
+
+    Examples: a negative access rate, a topology with no nodes, a stepsize
+    policy asked for parameters it does not understand.
+    """
+
+
+class InfeasibleAllocationError(ReproError):
+    """An allocation vector violates the problem's feasibility constraints.
+
+    Feasibility for the single-copy problem means ``sum(x) == m`` (with
+    ``m = 1`` copy) and ``x >= 0`` elementwise.
+    """
+
+
+class StabilityError(ReproError):
+    """A queueing model was evaluated in an unstable (or undefined) regime.
+
+    For the M/M/1 delay ``1 / (mu - lam)`` this means ``lam >= mu``; the
+    paper assumes ``mu > lambda`` precisely to keep the partial derivatives
+    finite.
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative procedure failed to converge within its iteration budget."""
+
+    def __init__(self, message: str, iterations: int | None = None):
+        super().__init__(message)
+        self.iterations = iterations
+
+
+class TopologyError(ReproError):
+    """A graph/topology operation failed (disconnected graph, bad node id...)."""
+
+
+class ProtocolError(ReproError):
+    """The distributed message protocol was violated (unexpected message,
+    double registration, message to an unknown node, ...)."""
+
+
+class StorageError(ReproError):
+    """A record-store operation failed (unknown record, bad fragment bounds)."""
+
+
+class LockError(StorageError):
+    """A lock could not be acquired or was released by a non-owner."""
+
+
+class DeadlockError(LockError):
+    """A deadlock was detected among transactions waiting for locks."""

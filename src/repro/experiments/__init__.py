@@ -1,0 +1,44 @@
+"""Experiment harness: one entry point per figure in the paper's evaluation.
+
+Figures 3-6 (§6, single copy) and figures 8-9 (§7.3, multi-copy ring) are
+the paper's complete quantitative evaluation (figures 1, 2, 7 and 10 are
+diagrams).  Each ``figureN`` function reproduces the corresponding
+experiment and returns a structured result carrying both our measurements
+and the paper's reported anchors, which the benchmark suite prints side by
+side and EXPERIMENTS.md records.
+"""
+
+from repro.experiments.ascii_plot import ascii_plot
+from repro.experiments.figures import (
+    Figure3Result,
+    Figure4Result,
+    Figure5Result,
+    Figure6Result,
+    Figure8Result,
+    Figure9Result,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure8,
+    figure9,
+)
+from repro.experiments.sweeps import SweepResult, parameter_sweep
+
+__all__ = [
+    "Figure3Result",
+    "Figure4Result",
+    "Figure5Result",
+    "Figure6Result",
+    "Figure8Result",
+    "Figure9Result",
+    "SweepResult",
+    "ascii_plot",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure8",
+    "figure9",
+    "parameter_sweep",
+]

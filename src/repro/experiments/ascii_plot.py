@@ -1,0 +1,55 @@
+"""Terminal line plots for convergence profiles.
+
+Good enough to eyeball a figure-3 style cost-vs-iteration profile in a
+benchmark log without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[float]],
+    *,
+    width: int = 70,
+    height: int = 18,
+    title: str = "",
+) -> str:
+    """Render one or more y-series (x = index) as a character plot.
+
+    Each series gets a marker character in label order (``*+ox#@``...).
+    """
+    markers = "*+ox#@%&"
+    all_y = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    if all_y.size == 0:
+        return "(empty plot)"
+    y_min, y_max = float(all_y.min()), float(all_y.max())
+    if y_max - y_min < 1e-12:
+        y_max = y_min + 1.0
+    max_len = max(len(v) for v in series.values())
+
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, (label, values) in enumerate(series.items()):
+        marker = markers[s_idx % len(markers)]
+        values = np.asarray(values, dtype=float)
+        for i, y in enumerate(values):
+            col = 0 if max_len <= 1 else int(round(i * (width - 1) / (max_len - 1)))
+            row = int(round((y_max - y) * (height - 1) / (y_max - y_min)))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:10.4g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_min:10.4g} +" + "-" * width)
+    lines.append(" " * 12 + f"0{'iteration'.center(width - 10)}{max_len - 1}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {label}" for i, label in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

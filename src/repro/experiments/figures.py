@@ -1,0 +1,393 @@
+"""Reproduction of every figure in the paper's evaluation (§6 and §7.3).
+
+Shared setup for figures 3-5 (§6): a four-node ring with unit link costs,
+``mu = 1.5``, ``k = 1``, total access rate ``lambda = 1`` split evenly, and
+``epsilon = 0.001``.  Figure 6 uses unit-cost complete graphs, 4 <= N <= 20.
+Figures 8-9 use the four-node virtual rings of §7.3 with m = 2 copies.
+
+Each function returns a dataclass holding our measurements next to the
+paper's reported anchors; ``rows()`` renders the benchmark tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.convergence import sweep_alpha_iterations
+from repro.analysis.oscillation import OscillationMetrics, oscillation_metrics
+from repro.baselines.integral import best_integral_allocation
+from repro.core.algorithm import AllocationResult, DecentralizedAllocator
+from repro.core.initials import paper_skewed_allocation, single_node_allocation
+from repro.core.kkt import optimal_allocation
+from repro.core.model import FileAllocationProblem
+from repro.core.trace import Trace
+from repro.multicopy.algorithm import MultiCopyAllocator, MultiCopyResult
+from repro.multicopy.fixtures import paper_figure8_rings
+from repro.network.builders import complete_graph
+
+#: §6 parameters shared by figures 3, 4 and 5.
+PAPER_EPSILON = 1e-3
+PAPER_ALPHAS_FIG3 = (0.67, 0.3, 0.19, 0.08)
+#: The iteration counts the paper reports for those alphas.
+PAPER_FIG3_ITERATIONS = {0.67: 4, 0.3: 10, 0.19: 20, 0.08: 51}
+#: The paper's quoted figure-4 cost reduction ("significant (25%)").
+PAPER_FIG4_REDUCTION = 0.25
+
+
+def _paper_problem() -> FileAllocationProblem:
+    return FileAllocationProblem.paper_network()
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: convergence profiles for several alphas
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure3Result:
+    """Cost-vs-iteration profiles per alpha plus iteration counts."""
+
+    profiles: Dict[float, np.ndarray]
+    iterations: Dict[float, int]
+    final_allocations: Dict[float, np.ndarray]
+    monotone: Dict[float, bool]
+    rapid_phase: Dict[float, int]
+    paper_iterations: Dict[float, int] = field(
+        default_factory=lambda: dict(PAPER_FIG3_ITERATIONS)
+    )
+
+    def rows(self) -> List[List[object]]:
+        out = []
+        for alpha in sorted(self.profiles, reverse=True):
+            out.append(
+                [
+                    alpha,
+                    self.paper_iterations.get(alpha, "-"),
+                    self.iterations[alpha],
+                    self.rapid_phase[alpha],
+                    "yes" if self.monotone[alpha] else "NO",
+                    float(self.profiles[alpha][-1]),
+                ]
+            )
+        return out
+
+    HEADERS = ["alpha", "paper iters", "measured iters", "rapid phase", "monotone", "final cost"]
+
+
+def figure3(
+    alphas: Sequence[float] = PAPER_ALPHAS_FIG3,
+    *,
+    epsilon: float = PAPER_EPSILON,
+) -> Figure3Result:
+    """Convergence profiles on the paper ring from x0 = (0.8, 0.1, 0.1, 0)."""
+    problem = _paper_problem()
+    x0 = paper_skewed_allocation(problem.n)
+    profiles: Dict[float, np.ndarray] = {}
+    iterations: Dict[float, int] = {}
+    finals: Dict[float, np.ndarray] = {}
+    monotone: Dict[float, bool] = {}
+    rapid: Dict[float, int] = {}
+    for alpha in alphas:
+        result = DecentralizedAllocator(problem, alpha=alpha, epsilon=epsilon).run(x0)
+        profiles[alpha] = result.trace.costs()
+        iterations[alpha] = result.iterations
+        finals[alpha] = result.allocation
+        monotone[alpha] = result.trace.is_monotone()
+        rapid[alpha] = result.trace.rapid_phase_length()
+    return Figure3Result(
+        profiles=profiles,
+        iterations=iterations,
+        final_allocations=finals,
+        monotone=monotone,
+        rapid_phase=rapid,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: fragmentation vs the best integral allocation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure4Result:
+    """Starting from the whole file at one node."""
+
+    profile: np.ndarray
+    integral_cost: float
+    final_cost: float
+    optimal_cost: float
+    reduction: float
+    final_allocation: np.ndarray
+    paper_reduction: float = PAPER_FIG4_REDUCTION
+
+    def rows(self) -> List[List[object]]:
+        return [
+            ["best integral cost", self.integral_cost],
+            ["fragmented optimum", self.optimal_cost],
+            ["measured final cost", self.final_cost],
+            ["measured reduction", f"{self.reduction:.1%}"],
+            ["paper reduction", f"{self.paper_reduction:.0%}"],
+        ]
+
+    HEADERS = ["quantity", "value"]
+
+
+def figure4(*, alpha: float = 0.3, epsilon: float = PAPER_EPSILON) -> Figure4Result:
+    """Run from the optimal integral allocation (0, 0, 0, 1)."""
+    problem = _paper_problem()
+    integral_x, integral_cost = best_integral_allocation(problem)
+    result = DecentralizedAllocator(problem, alpha=alpha, epsilon=epsilon).run(integral_x)
+    optimal_cost = problem.cost(optimal_allocation(problem))
+    return Figure4Result(
+        profile=result.trace.costs(),
+        integral_cost=integral_cost,
+        final_cost=result.cost,
+        optimal_cost=optimal_cost,
+        reduction=(integral_cost - result.cost) / integral_cost,
+        final_allocation=result.allocation,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: iterations to convergence vs alpha
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure5Result:
+    """The alpha sweep: convergence time blows up as alpha -> 0 and there is
+    a wide plateau of near-optimal alphas."""
+
+    counts: Dict[float, int]
+    best_alpha: float
+    max_iterations: int
+
+    def rows(self) -> List[List[object]]:
+        return [
+            [alpha, count if count < self.max_iterations else f">={self.max_iterations}"]
+            for alpha, count in sorted(self.counts.items())
+        ]
+
+    HEADERS = ["alpha", "iterations"]
+
+    def plateau_width(self, *, slack: float = 2.0) -> float:
+        """Width (in alpha) of the region within ``slack`` x the best count —
+        quantifies the paper's 'relatively large range of alpha values'."""
+        best = self.counts[self.best_alpha]
+        good = [a for a, c in self.counts.items() if c <= slack * best]
+        return max(good) - min(good) if good else 0.0
+
+
+def figure5(
+    alphas: Optional[Sequence[float]] = None,
+    *,
+    epsilon: float = PAPER_EPSILON,
+    max_iterations: int = 3_000,
+) -> Figure5Result:
+    """Sweep alpha on the paper ring from the skewed start."""
+    if alphas is None:
+        alphas = np.round(np.linspace(0.02, 0.9, 23), 3)
+    problem = _paper_problem()
+    x0 = paper_skewed_allocation(problem.n)
+    counts, best_alpha = sweep_alpha_iterations(
+        problem, x0, alphas, epsilon=epsilon, max_iterations=max_iterations
+    )
+    return Figure5Result(counts=counts, best_alpha=best_alpha, max_iterations=max_iterations)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: iterations (at the best alpha) vs network size
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure6Result:
+    """Scaling with N on unit-cost complete graphs."""
+
+    iterations_by_n: Dict[int, int]
+    best_alpha_by_n: Dict[int, float]
+    optimum_is_uniform: Dict[int, bool]
+
+    def rows(self) -> List[List[object]]:
+        return [
+            [n, self.best_alpha_by_n[n], self.iterations_by_n[n],
+             "yes" if self.optimum_is_uniform[n] else "NO"]
+            for n in sorted(self.iterations_by_n)
+        ]
+
+    HEADERS = ["N", "best alpha", "iterations", "optimum = 1/N"]
+
+    def is_flat(self, *, factor: float = 3.0) -> bool:
+        """The paper's claim: iteration counts do not grow significantly
+        with N (max within ``factor`` of min)."""
+        counts = list(self.iterations_by_n.values())
+        return max(counts) <= factor * max(1, min(counts))
+
+
+def figure6(
+    sizes: Sequence[int] = tuple(range(4, 21)),
+    *,
+    epsilon: float = PAPER_EPSILON,
+    alpha_grid: Optional[Sequence[float]] = None,
+    max_iterations: int = 3_000,
+) -> Figure6Result:
+    """For each N: unit-cost complete graph, skewed start, best alpha."""
+    if alpha_grid is None:
+        alpha_grid = np.round(np.linspace(0.05, 0.95, 19), 3)
+    iterations_by_n: Dict[int, int] = {}
+    best_alpha_by_n: Dict[int, float] = {}
+    uniform_ok: Dict[int, bool] = {}
+    for n in sizes:
+        rates = np.full(n, 1.0 / n)
+        problem = FileAllocationProblem.from_topology(
+            complete_graph(n), rates, k=1.0, mu=1.5
+        )
+        x0 = paper_skewed_allocation(n)
+        counts, best_alpha = sweep_alpha_iterations(
+            problem, x0, alpha_grid, epsilon=epsilon, max_iterations=max_iterations
+        )
+        best_alpha_by_n[n] = best_alpha
+        iterations_by_n[n] = counts[best_alpha]
+        final = DecentralizedAllocator(problem, alpha=best_alpha, epsilon=epsilon).run(x0)
+        uniform_ok[n] = bool(np.allclose(final.allocation, 1.0 / n, atol=5e-3))
+    return Figure6Result(
+        iterations_by_n=iterations_by_n,
+        best_alpha_by_n=best_alpha_by_n,
+        optimum_is_uniform=uniform_ok,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: multi-copy convergence profiles (comm- vs delay-dominated)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure8Result:
+    """Two rings, m=2: the comm-dominated one oscillates more."""
+
+    comm_profile: np.ndarray
+    delay_profile: np.ndarray
+    comm_metrics: OscillationMetrics
+    delay_metrics: OscillationMetrics
+    comm_best_cost: float
+    delay_best_cost: float
+
+    def rows(self) -> List[List[object]]:
+        return [
+            ["comm-dominated (4,1,1,1)", self.comm_metrics.increases,
+             self.comm_metrics.trailing_amplitude, self.comm_best_cost],
+            ["delay-dominated (1,1,1,1)", self.delay_metrics.increases,
+             self.delay_metrics.trailing_amplitude, self.delay_best_cost],
+        ]
+
+    HEADERS = ["ring", "cost increases", "trailing amplitude", "best cost"]
+
+    @property
+    def comm_oscillates_more(self) -> bool:
+        """The paper's figure-8 observation."""
+        return (
+            self.comm_metrics.trailing_amplitude
+            >= self.delay_metrics.trailing_amplitude
+        )
+
+
+def figure8(
+    *,
+    alpha: float = 0.1,
+    iterations: int = 150,
+    mu: float = 6.0,
+) -> Figure8Result:
+    """Fixed-alpha profiles on the two §7.3 rings (no decay: we want to
+    *see* the oscillation, as the paper's figure does)."""
+    comm, delay = paper_figure8_rings(mu=mu)
+    x0 = np.array([1.2, 0.3, 0.3, 0.2])
+    results = []
+    for prob in (comm, delay):
+        alloc = MultiCopyAllocator(
+            prob,
+            alpha=alpha,
+            decay=0.999,  # effectively no decay within the horizon
+            patience=10_000,
+            cost_tolerance=1e-12,
+            stall_window=10_000,
+            max_iterations=iterations,
+        )
+        results.append(alloc.run(x0))
+    comm_r, delay_r = results
+    return Figure8Result(
+        comm_profile=np.asarray(comm_r.cost_history),
+        delay_profile=np.asarray(delay_r.cost_history),
+        comm_metrics=oscillation_metrics(comm_r.cost_history),
+        delay_metrics=oscillation_metrics(delay_r.cost_history),
+        comm_best_cost=comm_r.cost,
+        delay_best_cost=delay_r.cost,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: decreasing alpha shrinks the oscillation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure9Result:
+    """Same ring, two alphas; plus the decay schedule's result."""
+
+    profiles: Dict[float, np.ndarray]
+    amplitudes: Dict[float, float]
+    decayed_profile: np.ndarray
+    decayed_final_cost: float
+
+    def rows(self) -> List[List[object]]:
+        out = [
+            [f"alpha={alpha:g} (fixed)", self.amplitudes[alpha]]
+            for alpha in sorted(self.profiles, reverse=True)
+        ]
+        out.append(["alpha decayed (§7.3 schedule)", float(self.decayed_final_cost)])
+        return out
+
+    HEADERS = ["configuration", "trailing amplitude / final cost"]
+
+    @property
+    def smaller_alpha_oscillates_less(self) -> bool:
+        alphas = sorted(self.profiles)
+        return self.amplitudes[alphas[0]] <= self.amplitudes[alphas[-1]] + 1e-12
+
+
+def figure9(
+    alphas: Sequence[float] = (0.1, 0.05),
+    *,
+    iterations: int = 150,
+    mu: float = 6.0,
+) -> Figure9Result:
+    """Fixed-alpha oscillation amplitudes on the comm-dominated ring, plus
+    one run with the §7.3 decay schedule enabled."""
+    comm, _ = paper_figure8_rings(mu=mu)
+    x0 = np.array([1.2, 0.3, 0.3, 0.2])
+    profiles: Dict[float, np.ndarray] = {}
+    amplitudes: Dict[float, float] = {}
+    for alpha in alphas:
+        result = MultiCopyAllocator(
+            comm,
+            alpha=alpha,
+            decay=0.999,
+            patience=10_000,
+            cost_tolerance=1e-12,
+            stall_window=10_000,
+            max_iterations=iterations,
+        ).run(x0)
+        profiles[alpha] = np.asarray(result.cost_history)
+        amplitudes[alpha] = oscillation_metrics(result.cost_history).trailing_amplitude
+    decayed = MultiCopyAllocator(
+        comm, alpha=max(alphas), decay=0.5, patience=5, max_iterations=iterations * 3
+    ).run(x0)
+    return Figure9Result(
+        profiles=profiles,
+        amplitudes=amplitudes,
+        decayed_profile=np.asarray(decayed.cost_history),
+        decayed_final_cost=decayed.cost,
+    )

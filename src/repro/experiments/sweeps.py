@@ -1,0 +1,76 @@
+"""Generic parameter sweeps.
+
+Beyond the paper's own figures, the benchmark suite sweeps ``k`` (the §8
+"rationale for choosing k" question), ``mu``/``lambda`` load ratios, and
+network families.  :func:`parameter_sweep` is the shared engine: build a
+problem per grid point, solve it, collect whatever the caller measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Sequence
+
+from repro.core.algorithm import AllocationResult, DecentralizedAllocator
+from repro.core.model import FileAllocationProblem
+
+
+@dataclass
+class SweepResult:
+    """Rows of (parameter value, measurements) from one sweep."""
+
+    parameter: str
+    values: List[Any] = field(default_factory=list)
+    measurements: List[Dict[str, Any]] = field(default_factory=list)
+
+    def column(self, key: str) -> List[Any]:
+        """One measurement across all grid points."""
+        return [m[key] for m in self.measurements]
+
+    def rows(self) -> List[List[Any]]:
+        if not self.measurements:
+            return []
+        keys = sorted(self.measurements[0])
+        return [
+            [value] + [m[k] for k in keys]
+            for value, m in zip(self.values, self.measurements)
+        ]
+
+    def headers(self) -> List[str]:
+        if not self.measurements:
+            return [self.parameter]
+        return [self.parameter] + sorted(self.measurements[0])
+
+
+def parameter_sweep(
+    parameter: str,
+    values: Iterable[Any],
+    problem_factory: Callable[[Any], FileAllocationProblem],
+    *,
+    measure: Callable[[FileAllocationProblem, AllocationResult], Dict[str, Any]],
+    initial_allocation=None,
+    alpha: float = 0.3,
+    epsilon: float = 1e-4,
+    max_iterations: int = 10_000,
+) -> SweepResult:
+    """Solve the problem at each grid point and collect measurements.
+
+    Parameters
+    ----------
+    parameter, values:
+        Name and grid of the swept quantity.
+    problem_factory:
+        Maps a grid value to a problem instance.
+    measure:
+        Maps ``(problem, result)`` to a dict of measurement columns.
+    """
+    sweep = SweepResult(parameter=parameter)
+    for value in values:
+        problem = problem_factory(value)
+        allocator = DecentralizedAllocator(
+            problem, alpha=alpha, epsilon=epsilon, max_iterations=max_iterations
+        )
+        result = allocator.run(initial_allocation)
+        sweep.values.append(value)
+        sweep.measurements.append(measure(problem, result))
+    return sweep

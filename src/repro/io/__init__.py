@@ -1,0 +1,28 @@
+"""Serialization: persist problems, allocations, and run results as JSON.
+
+A deployment that runs the algorithm "occasionally at night" (§8) needs to
+persist instances and results between sessions; these helpers give every
+core object a stable, versioned JSON form.
+"""
+
+from repro.io.serialization import (
+    multifile_problem_from_dict,
+    multifile_problem_to_dict,
+    allocation_result_to_dict,
+    load_problem,
+    problem_from_dict,
+    problem_to_dict,
+    save_problem,
+    trace_to_dict,
+)
+
+__all__ = [
+    "allocation_result_to_dict",
+    "load_problem",
+    "multifile_problem_from_dict",
+    "multifile_problem_to_dict",
+    "problem_from_dict",
+    "problem_to_dict",
+    "save_problem",
+    "trace_to_dict",
+]

@@ -1,0 +1,190 @@
+"""JSON (de)serialization for problems, traces, and results.
+
+The schema is versioned (``"schema": "repro/fap-problem@1"``) so future
+format changes can stay backward compatible.  Delay models are encoded by
+type name and parameters; the supported set covers every model shipped in
+:mod:`repro.queueing` (custom duck-typed models would need their own
+encoder and are rejected with a clear error rather than pickled).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.core.algorithm import AllocationResult
+from repro.core.model import FileAllocationProblem
+from repro.core.trace import Trace
+from repro.exceptions import ConfigurationError
+from repro.queueing import (
+    MD1Delay,
+    MG1Delay,
+    MM1Delay,
+    MMcDelay,
+    QuadraticOverloadDelay,
+)
+
+PROBLEM_SCHEMA = "repro/fap-problem@1"
+
+
+def _encode_delay_model(model: object) -> Dict[str, Any]:
+    if isinstance(model, QuadraticOverloadDelay):
+        return {
+            "type": "overload",
+            "base": _encode_delay_model(model.base),
+            "switch_utilization": model.switch_utilization,
+        }
+    if isinstance(model, MMcDelay):
+        return {"type": "mmc", "mu": model.per_server_mu, "servers": model.servers}
+    if isinstance(model, MD1Delay):
+        return {"type": "md1", "mu": model.mu}
+    if isinstance(model, MG1Delay):
+        return {"type": "mg1", "mu": model.mu, "scv": model.scv}
+    if isinstance(model, MM1Delay):
+        return {"type": "mm1", "mu": model.mu}
+    raise ConfigurationError(
+        f"cannot serialize delay model of type {type(model).__name__}; "
+        "supported: MM1Delay, MG1Delay, MD1Delay, MMcDelay, QuadraticOverloadDelay"
+    )
+
+
+def _decode_delay_model(data: Dict[str, Any]) -> object:
+    kind = data.get("type")
+    if kind == "mm1":
+        return MM1Delay(data["mu"])
+    if kind == "mg1":
+        return MG1Delay(data["mu"], scv=data["scv"])
+    if kind == "md1":
+        return MD1Delay(data["mu"])
+    if kind == "mmc":
+        return MMcDelay(data["mu"], servers=data["servers"])
+    if kind == "overload":
+        return QuadraticOverloadDelay(
+            _decode_delay_model(data["base"]),
+            switch_utilization=data["switch_utilization"],
+        )
+    raise ConfigurationError(f"unknown delay model type {kind!r}")
+
+
+def problem_to_dict(problem: FileAllocationProblem) -> Dict[str, Any]:
+    """Encode a problem instance as a JSON-compatible dict.
+
+    The originating topology, when present, is stored as its edge list so
+    the round trip preserves routing-dependent features (the distributed
+    runtime, failure re-optimization).
+    """
+    data: Dict[str, Any] = {
+        "schema": PROBLEM_SCHEMA,
+        "name": problem.name,
+        "cost_matrix": problem.cost_matrix.tolist(),
+        "access_rates": problem.access_rates.tolist(),
+        "k": problem.k,
+        "delay_models": [_encode_delay_model(m) for m in problem.delay_models],
+    }
+    if problem.topology is not None:
+        data["topology"] = {
+            "n": problem.topology.n,
+            "name": problem.topology.name,
+            "edges": [[u, v, c] for u, v, c in problem.topology.edges()],
+        }
+    return data
+
+
+def problem_from_dict(data: Dict[str, Any]) -> FileAllocationProblem:
+    """Rebuild a problem from :func:`problem_to_dict` output."""
+    if data.get("schema") != PROBLEM_SCHEMA:
+        raise ConfigurationError(
+            f"unsupported schema {data.get('schema')!r}; expected {PROBLEM_SCHEMA}"
+        )
+    problem = FileAllocationProblem(
+        np.asarray(data["cost_matrix"], dtype=float),
+        np.asarray(data["access_rates"], dtype=float),
+        k=float(data["k"]),
+        delay_models=[_decode_delay_model(m) for m in data["delay_models"]],
+        name=data.get("name", ""),
+    )
+    topo_data = data.get("topology")
+    if topo_data is not None:
+        from repro.network.topology import Topology
+
+        topology = Topology(int(topo_data["n"]), name=topo_data.get("name", ""))
+        for u, v, c in topo_data["edges"]:
+            topology.add_edge(int(u), int(v), float(c))
+        problem.topology = topology
+    return problem
+
+
+def save_problem(problem: FileAllocationProblem, path: Union[str, Path]) -> None:
+    """Write a problem instance to a JSON file."""
+    Path(path).write_text(json.dumps(problem_to_dict(problem), indent=2))
+
+
+def load_problem(path: Union[str, Path]) -> FileAllocationProblem:
+    """Read a problem instance from a JSON file."""
+    return problem_from_dict(json.loads(Path(path).read_text()))
+
+
+def trace_to_dict(trace: Trace) -> Dict[str, Any]:
+    """Encode a trace (allocations, costs, spreads, alphas) for storage."""
+    return {
+        "schema": "repro/trace@1",
+        "records": [
+            {
+                "iteration": r.iteration,
+                "allocation": r.allocation.tolist(),
+                "cost": r.cost,
+                "gradient_spread": r.gradient_spread,
+                "alpha": None if np.isnan(r.alpha) else r.alpha,
+                "active_count": r.active_count,
+            }
+            for r in trace.records
+        ],
+    }
+
+
+def allocation_result_to_dict(result: AllocationResult) -> Dict[str, Any]:
+    """Encode a run result, trace included."""
+    return {
+        "schema": "repro/result@1",
+        "allocation": result.allocation.tolist(),
+        "cost": result.cost,
+        "utility": result.utility,
+        "iterations": result.iterations,
+        "converged": result.converged,
+        "trace": trace_to_dict(result.trace),
+    }
+
+
+MULTIFILE_SCHEMA = "repro/multifap-problem@1"
+
+
+def multifile_problem_to_dict(problem) -> Dict[str, Any]:
+    """Encode a :class:`~repro.core.multifile.MultiFileProblem`."""
+    return {
+        "schema": MULTIFILE_SCHEMA,
+        "name": problem.name,
+        "cost_matrix": problem.cost_matrix.tolist(),
+        "access_rates": problem.access_rates.tolist(),
+        "k": problem.k,
+        "delay_models": [_encode_delay_model(m) for m in problem.delay_models],
+    }
+
+
+def multifile_problem_from_dict(data: Dict[str, Any]):
+    """Rebuild a multi-file problem from its dict form."""
+    from repro.core.multifile import MultiFileProblem
+
+    if data.get("schema") != MULTIFILE_SCHEMA:
+        raise ConfigurationError(
+            f"unsupported schema {data.get('schema')!r}; expected {MULTIFILE_SCHEMA}"
+        )
+    return MultiFileProblem(
+        np.asarray(data["cost_matrix"], dtype=float),
+        np.asarray(data["access_rates"], dtype=float),
+        k=float(data["k"]),
+        delay_models=[_decode_delay_model(m) for m in data["delay_models"]],
+        name=data.get("name", ""),
+    )

@@ -1,0 +1,53 @@
+"""Multiple copies of a file on a virtual ring (§7).
+
+``m`` copies of the file are laid out contiguously ("end to end") around a
+unidirectional virtual ring, so the file is contiguous as seen from any
+node: walking clockwise from itself, a node assembles one complete copy by
+taking each successive node's fragment until a full file has accumulated.
+The resulting cost function is *discontinuous* in the allocation — link
+costs pop in and out as fragments move — which is what makes this the
+paper's hard case: gradient steps oscillate, and §7.3's alpha-decay
+schedule plus cost-delta stopping is the remedy.
+
+Modules: :mod:`layout` (who accesses whom, record intervals),
+:mod:`cost` (the §7.2 cost model, including the paper's worked example),
+:mod:`algorithm` (the oscillation-aware allocator),
+:mod:`rounding` (§7.2's post-run cap at one whole copy per node).
+"""
+
+from repro.multicopy.algorithm import MultiCopyAllocator, MultiCopyResult
+from repro.multicopy.copy_count import CopyCountEntry, CopyCountResult, optimal_copy_count
+from repro.multicopy.cost import MultiCopyRingProblem
+from repro.multicopy.embedding import (
+    best_virtual_ring,
+    nearest_neighbor_order,
+    ring_circumference,
+    two_opt_improve,
+)
+from repro.multicopy.fixtures import paper_figure8_rings, paper_worked_example
+from repro.multicopy.layout import access_fractions, node_intervals
+from repro.multicopy.readwrite import (
+    ReadWriteRingProblem,
+    optimal_copy_count_with_writes,
+)
+from repro.multicopy.rounding import cap_at_whole_copy
+
+__all__ = [
+    "MultiCopyAllocator",
+    "MultiCopyResult",
+    "CopyCountEntry",
+    "CopyCountResult",
+    "MultiCopyRingProblem",
+    "ReadWriteRingProblem",
+    "access_fractions",
+    "best_virtual_ring",
+    "cap_at_whole_copy",
+    "nearest_neighbor_order",
+    "node_intervals",
+    "optimal_copy_count",
+    "optimal_copy_count_with_writes",
+    "paper_figure8_rings",
+    "ring_circumference",
+    "paper_worked_example",
+    "two_opt_improve",
+]

@@ -1,0 +1,215 @@
+"""The oscillation-aware multi-copy allocator (§7.3).
+
+The same marginal-utility reallocation as §5.2 — with the constraint
+``sum x = m`` instead of 1 — but the discontinuous ring cost makes a fixed
+stepsize oscillate around the optimum, so:
+
+* alpha follows the §7.3 decay schedule (cut after sustained
+  non-improvement, i.e. observed oscillation);
+* termination combines the cost-delta rule with a lowest-observed-cost
+  window for the "pathological" communication-dominated rings;
+* the *best allocation seen* is returned (the §7.3 fallback "halting when
+  the cost is at the lowest observed point"), not the last iterate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.active_set import ScaledStep
+from repro.core.stepsize import DecayOnOscillation
+from repro.exceptions import ConfigurationError, StabilityError
+from repro.multicopy.cost import MultiCopyRingProblem
+from repro.utils.numeric import spread
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class MultiCopyResult:
+    """Outcome of a multi-copy allocation run."""
+
+    #: The lowest-cost allocation observed during the run.
+    allocation: np.ndarray
+    cost: float
+    #: The final iterate (may be worse than ``allocation`` when oscillating).
+    last_allocation: np.ndarray
+    last_cost: float
+    iterations: int
+    converged: bool
+    cost_history: List[float] = field(default_factory=list)
+    alpha_history: List[float] = field(default_factory=list)
+
+    def oscillated(self, *, tol: float = 1e-12) -> bool:
+        """True if the cost ever increased (monotonicity broke, §7.3)."""
+        c = np.asarray(self.cost_history)
+        return bool(np.any(np.diff(c) > tol))
+
+
+class MultiCopyAllocator:
+    """§5.2 reallocation over the discontinuous §7.2 ring cost.
+
+    Parameters
+    ----------
+    problem:
+        The :class:`~repro.multicopy.cost.MultiCopyRingProblem`.
+    alpha:
+        Initial stepsize (decayed on oscillation per §7.3).
+    decay, patience:
+        Alpha is multiplied by ``decay`` after ``patience`` consecutive
+        non-improving iterations.
+    epsilon:
+        Gradient-spread tolerance — reaching it means genuine smooth-region
+        convergence; oscillating runs stop on ``cost_tolerance`` instead.
+    cost_tolerance:
+        §7.3's halting rule: stop when successive costs differ by less
+        than this.
+    stall_window:
+        Fallback: stop after this many iterations without a new best cost.
+    """
+
+    def __init__(
+        self,
+        problem: MultiCopyRingProblem,
+        *,
+        alpha: float = 0.1,
+        decay: float = 0.5,
+        patience: int = 5,
+        epsilon: float = 1e-3,
+        cost_tolerance: float = 1e-7,
+        stall_window: int = 50,
+        max_iterations: int = 5_000,
+    ):
+        self.problem = problem
+        self.alpha0 = check_positive(alpha, "alpha")
+        self.decay = decay
+        self.patience = patience
+        self.epsilon = check_positive(epsilon, "epsilon")
+        self.cost_tolerance = check_positive(cost_tolerance, "cost_tolerance")
+        if stall_window < 1:
+            raise ConfigurationError("stall_window must be >= 1")
+        self.stall_window = int(stall_window)
+        self.max_iterations = int(max_iterations)
+        self._policy = ScaledStep()
+
+    def make_stepper(self) -> "MultiCopyStepper":
+        """A fresh deterministic per-iteration engine with this
+        allocator's configuration.
+
+        The stepper is also what each simulated node replicates in the
+        distributed runtime: identical configuration + identical inputs
+        give identical state evolution at every node.
+        """
+        return MultiCopyStepper(self)
+
+    def run(self, initial_allocation: Sequence[float]) -> MultiCopyResult:
+        """Iterate from a feasible start (``sum x = m``)."""
+        x = self.problem.check_feasible(initial_allocation).copy()
+        stepper = self.make_stepper()
+        stepper.observe_initial(x)
+        while not stepper.finished:
+            x = stepper.advance(x)
+        return stepper.result()
+
+    def __repr__(self) -> str:
+        return f"MultiCopyAllocator(problem={self.problem.name!r}, alpha={self.alpha0:g})"
+
+
+class MultiCopyStepper:
+    """The §7.3 per-iteration state machine, extracted for reuse.
+
+    Owns everything that evolves across iterations — the alpha-decay
+    schedule, the best-seen allocation, the cost history, and the stopping
+    logic — and exposes one deterministic transition,
+    :meth:`advance`.  Both the centralized
+    :meth:`MultiCopyAllocator.run` loop and each node of the distributed
+    multi-copy runtime drive an instance of this class, which is what makes
+    their trajectories provably identical.
+    """
+
+    def __init__(self, config: MultiCopyAllocator):
+        self.config = config
+        self.problem = config.problem
+        self._schedule = DecayOnOscillation(
+            config.alpha0, decay=config.decay, patience=config.patience
+        )
+        self._policy = ScaledStep()
+        self.iteration = 0
+        self.finished = False
+        self.converged = False
+        self.cost_history: List[float] = []
+        self.alpha_history: List[float] = []
+        self._best_x: Optional[np.ndarray] = None
+        self._best_cost = np.inf
+        self._since_best = 0
+        self._last_x: Optional[np.ndarray] = None
+        self._last_cost = np.inf
+
+    def observe_initial(self, x: np.ndarray) -> None:
+        """Record the starting allocation (call once before advancing)."""
+        cost = self.problem.cost(x)
+        self.cost_history.append(cost)
+        self._best_x, self._best_cost = np.asarray(x, float).copy(), cost
+        self._last_x, self._last_cost = np.asarray(x, float).copy(), cost
+
+    def advance(self, x: np.ndarray) -> np.ndarray:
+        """One §7.3 iteration from ``x``; returns the next allocation.
+
+        Sets :attr:`finished` when a stopping rule fires; afterwards
+        :meth:`advance` must not be called again.
+        """
+        if self.finished:
+            raise ConfigurationError("stepper already finished")
+        x = np.asarray(x, dtype=float)
+        self.iteration += 1
+        if self.iteration > self.config.max_iterations:
+            self.iteration = self.config.max_iterations
+            self.finished = True
+            return x
+        g = self.problem.utility_gradient(x)
+        if spread(g) < self.config.epsilon:
+            self.converged = True
+            self.finished = True
+            self.iteration -= 1
+            return x
+        alpha = self._schedule.alpha(self.iteration, x, g, self.problem)
+        self.alpha_history.append(alpha)
+        dx, _ = self._policy.apply(x, g, alpha)
+        trial = np.maximum(x + dx, 0.0)
+        try:
+            trial_cost = self.problem.cost(trial)
+        except StabilityError:
+            # Overloaded trial: treat like an oscillation — decay and hold.
+            self._schedule.notify_cost(self.iteration, np.inf)
+            return x
+        prev_cost = self._last_cost
+        self._last_x, self._last_cost = trial.copy(), trial_cost
+        self.cost_history.append(trial_cost)
+        self._schedule.notify_cost(self.iteration, trial_cost)
+        if trial_cost < self._best_cost - 1e-15:
+            self._best_x, self._best_cost = trial.copy(), trial_cost
+            self._since_best = 0
+        else:
+            self._since_best += 1
+        if abs(trial_cost - prev_cost) < self.config.cost_tolerance and self.iteration > 2:
+            self.converged = True
+            self.finished = True
+        elif self._since_best >= self.config.stall_window:
+            self.finished = True
+        return trial
+
+    def result(self) -> MultiCopyResult:
+        """The accumulated outcome (valid once :attr:`finished`)."""
+        assert self._best_x is not None and self._last_x is not None
+        return MultiCopyResult(
+            allocation=self._best_x,
+            cost=self._best_cost,
+            last_allocation=self._last_x,
+            last_cost=self._last_cost,
+            iterations=self.iteration,
+            converged=self.converged,
+            cost_history=self.cost_history,
+            alpha_history=self.alpha_history,
+        )

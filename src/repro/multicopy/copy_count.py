@@ -1,0 +1,124 @@
+"""Choosing the number of copies (§8.2 future work).
+
+"The most salient issue is: how many copies are optimal for the system?
+i.e. what is the best value of m?  ...  the cost of storage and copy
+maintenance will affect the optimal number of copies."
+
+This module answers the question the way the paper frames it: sweep ``m``,
+optimize the allocation for each ``m`` with the §7 allocator, and add a
+storage/maintenance charge per copy.  More copies cut communication (reads
+come from nearer fragments) and delay (traffic spreads over more queues),
+with diminishing returns against the linear storage charge — the sweep
+exposes the resulting interior optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.multicopy.algorithm import MultiCopyAllocator
+from repro.multicopy.cost import MultiCopyRingProblem
+from repro.network.virtual_ring import VirtualRing
+from repro.utils.validation import check_nonnegative
+
+
+@dataclass(frozen=True)
+class CopyCountEntry:
+    """Outcome for one candidate copy count."""
+
+    copies: int
+    access_cost: float
+    storage_cost: float
+    total_cost: float
+    allocation: np.ndarray
+    converged: bool
+
+
+@dataclass
+class CopyCountResult:
+    """The full sweep plus the winner."""
+
+    entries: List[CopyCountEntry]
+    best: CopyCountEntry
+
+    def rows(self) -> List[List[object]]:
+        return [
+            [
+                e.copies,
+                f"{e.access_cost:.4f}",
+                f"{e.storage_cost:.4f}",
+                f"{e.total_cost:.4f}",
+                "*" if e.copies == self.best.copies else "",
+            ]
+            for e in self.entries
+        ]
+
+    HEADERS = ["m", "access cost", "storage cost", "total", "best"]
+
+
+def optimal_copy_count(
+    ring: VirtualRing,
+    access_rates: Sequence[float],
+    *,
+    mu,
+    k: float = 1.0,
+    storage_cost_per_copy: float = 0.5,
+    max_copies: Optional[int] = None,
+    alpha: float = 0.05,
+    iterations: int = 400,
+) -> CopyCountResult:
+    """Sweep ``m = 1 .. max_copies`` and pick the total-cost minimizer.
+
+    Parameters
+    ----------
+    ring, access_rates, mu, k:
+        The §7 model inputs.
+    storage_cost_per_copy:
+        The per-copy storage/maintenance charge the paper says must enter
+        the trade-off.
+    max_copies:
+        Upper end of the sweep (default: the node count — beyond that, a
+        capped allocation cannot even hold the copies).
+    alpha, iterations:
+        Budget for each per-``m`` optimization (the §7.3 decay schedule is
+        used, and the best-seen allocation is scored).
+    """
+    rates = np.asarray(access_rates, dtype=float)
+    storage_cost_per_copy = check_nonnegative(
+        storage_cost_per_copy, "storage_cost_per_copy"
+    )
+    n = ring.n
+    cap = n if max_copies is None else int(max_copies)
+    if not 1 <= cap <= n:
+        raise ConfigurationError(
+            f"max_copies must be in [1, {n}] for an {n}-node ring, got {cap}"
+        )
+
+    entries: List[CopyCountEntry] = []
+    for m in range(1, cap + 1):
+        problem = MultiCopyRingProblem(
+            ring, rates, copies=m, k=k, mu=mu, name=f"copy-sweep-m{m}"
+        )
+        # Even start: every node holds m/n of the mass.
+        x0 = np.full(n, m / n)
+        result = MultiCopyAllocator(
+            problem, alpha=alpha, max_iterations=iterations
+        ).run(x0)
+        access = result.cost
+        storage = storage_cost_per_copy * m
+        entries.append(
+            CopyCountEntry(
+                copies=m,
+                access_cost=access,
+                storage_cost=storage,
+                total_cost=access + storage,
+                allocation=result.allocation,
+                converged=result.converged,
+            )
+        )
+    best = min(entries, key=lambda e: e.total_cost)
+    return CopyCountResult(entries=entries, best=best)

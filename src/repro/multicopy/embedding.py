@@ -1,0 +1,114 @@
+"""Choosing the virtual-ring ordering for an arbitrary network (§7.2/§8.2).
+
+A virtual ring "is constructed from an arbitrary network by imposing an
+ordering on the nodes"; the paper leaves open which ordering to impose and
+notes the restriction "may be construed as too severe" (§8.2).  The
+natural objective is the ring's circumference — the sum of successor-hop
+costs, each hop being a least-cost route in the underlying network —
+because every §7 access walks clockwise: a shorter lap means cheaper
+assembly for every reader.  Minimizing the circumference over orderings is
+exactly the traveling-salesman problem on the shortest-path metric, so we
+provide the standard heuristics:
+
+* :func:`nearest_neighbor_order` — greedy construction;
+* :func:`two_opt_improve` — local search by segment reversal;
+* :func:`best_virtual_ring` — nearest-neighbor from every start, then
+  2-opt, returning the cheapest embedding.
+
+On a physical ring the natural order is recovered exactly (tested), and
+the benchmark shows a good embedding materially cuts the optimized §7
+cost on irregular networks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.network.shortest_paths import all_pairs_shortest_paths
+from repro.network.topology import Topology
+from repro.network.virtual_ring import VirtualRing
+
+
+def ring_circumference(distances: np.ndarray, order: Sequence[int]) -> float:
+    """Total lap cost of visiting ``order`` cyclically under a metric."""
+    order = list(order)
+    return float(
+        sum(distances[order[i], order[(i + 1) % len(order)]] for i in range(len(order)))
+    )
+
+
+def nearest_neighbor_order(distances: np.ndarray, start: int = 0) -> List[int]:
+    """Greedy tour: repeatedly hop to the nearest unvisited node."""
+    n = distances.shape[0]
+    if not 0 <= start < n:
+        raise TopologyError(f"start node {start} out of range")
+    unvisited = set(range(n))
+    order = [start]
+    unvisited.discard(start)
+    while unvisited:
+        here = order[-1]
+        nxt = min(unvisited, key=lambda v: (distances[here, v], v))
+        order.append(nxt)
+        unvisited.discard(nxt)
+    return order
+
+
+def two_opt_improve(
+    distances: np.ndarray, order: Sequence[int], *, max_passes: int = 50
+) -> List[int]:
+    """2-opt local search: reverse segments while that shortens the lap.
+
+    Terminates at a local optimum of the reversal neighbourhood (or after
+    ``max_passes`` full sweeps).
+    """
+    order = list(order)
+    n = len(order)
+    for _ in range(max_passes):
+        improved = False
+        for i in range(n - 1):
+            for j in range(i + 2, n if i > 0 else n - 1):
+                a, b = order[i], order[(i + 1) % n]
+                c, d = order[j], order[(j + 1) % n]
+                delta = (
+                    distances[a, c] + distances[b, d]
+                    - distances[a, b] - distances[c, d]
+                )
+                if delta < -1e-12:
+                    order[i + 1 : j + 1] = reversed(order[i + 1 : j + 1])
+                    improved = True
+        if not improved:
+            break
+    return order
+
+
+def best_virtual_ring(
+    topology: Topology,
+    *,
+    starts: Optional[Sequence[int]] = None,
+    two_opt: bool = True,
+) -> VirtualRing:
+    """The cheapest virtual-ring embedding the heuristics can find.
+
+    Runs nearest-neighbor from each start (default: every node), optionally
+    polishes with 2-opt, and embeds the winner with
+    :meth:`~repro.network.virtual_ring.VirtualRing.from_topology`.
+    """
+    if topology.n < 3:
+        raise TopologyError("a virtual ring needs at least 3 nodes")
+    distances = all_pairs_shortest_paths(topology)
+    candidates = range(topology.n) if starts is None else starts
+    best_order: Optional[List[int]] = None
+    best_cost = np.inf
+    for start in candidates:
+        order = nearest_neighbor_order(distances, start)
+        if two_opt:
+            order = two_opt_improve(distances, order)
+        cost = ring_circumference(distances, order)
+        if cost < best_cost:
+            best_cost = cost
+            best_order = order
+    assert best_order is not None
+    return VirtualRing.from_topology(topology, best_order)

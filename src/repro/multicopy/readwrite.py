@@ -1,0 +1,186 @@
+"""Reads vs writes under replication (§8.2 future work).
+
+"Since there are copies of files we may wish to include consistency and
+concurrency control costs and distinguish between reads and writes."
+
+With ``m`` contiguous copies on the ring, a *read* is served by the first
+copy assembled clockwise (the §7.2 protocol), but a *write* must reach
+**every** replica of the addressed record to keep the copies consistent
+(write-all).  With uniform record addressing, the expected write cost from
+node ``j`` is the record-average of the summed distances to all holders:
+
+    W_j = ∫₀¹ Σ_{h ∈ holders(p)} d(j, h) dp
+        = Σ_i |records held by i| · d(j, i)  =  Σ_i min(x_i, 1) · d(j, i)
+
+(the end-to-end layout gives node ``i`` measure ``min(x_i, 1)`` of record
+space across all copies — a node holding more than one whole copy stores
+each record at most once).  Write traffic also multiplies queueing load:
+every write from anyone lands on *every* replica holder.
+
+:class:`ReadWriteRingProblem` mixes the two at a write fraction ``w``:
+
+    C(x) = (1 - w)·C_read(x) + w·C_write(x)
+
+and exposes the classic replication tension, quantified by the tests and
+``bench_copy_count``-style sweeps: more copies make reads cheaper but
+writes dearer, so the optimal copy count *decreases* with the write
+fraction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.multicopy.cost import MultiCopyRingProblem
+from repro.utils.validation import check_in_range
+
+
+class ReadWriteRingProblem(MultiCopyRingProblem):
+    """§7 ring replication with a read/write traffic mix.
+
+    Parameters
+    ----------
+    ring, access_rates, copies, k, mu, delay_models:
+        As for :class:`~repro.multicopy.cost.MultiCopyRingProblem`.
+        ``access_rates`` are total (read + write) rates per node.
+    write_fraction:
+        Fraction ``w`` of each node's accesses that are writes
+        (``w = 0`` recovers the read-only §7 model exactly).
+    """
+
+    def __init__(
+        self,
+        ring,
+        access_rates,
+        *,
+        copies: int = 2,
+        k: float = 1.0,
+        mu=None,
+        delay_models: Optional[Sequence[object]] = None,
+        write_fraction: float = 0.0,
+        name: str = "",
+    ):
+        super().__init__(
+            ring,
+            access_rates,
+            copies=copies,
+            k=k,
+            mu=mu,
+            delay_models=delay_models,
+            name=name or f"rw-ring-m{copies}",
+        )
+        self.write_fraction = check_in_range(
+            write_fraction, "write_fraction", 0.0, 1.0
+        )
+
+    # -- write-side quantities ---------------------------------------------
+
+    def replica_measure(self, x) -> np.ndarray:
+        """Record-space measure each node stores: ``min(x_i, 1)``."""
+        arr = np.asarray(x, dtype=float)
+        return np.minimum(np.maximum(arr, 0.0), 1.0)
+
+    def write_comm_cost(self, x) -> float:
+        """Expected write shipping cost per unit time.
+
+        ``sum_j lambda_j^w sum_i min(x_i, 1) d(j, i)`` — every write must
+        reach every node holding a replica of the addressed record.
+        """
+        measure = self.replica_measure(x)
+        write_rates = self.write_fraction * self.access_rates
+        return float(write_rates @ self.distance @ measure)
+
+    def write_arrivals(self, x) -> np.ndarray:
+        """Write traffic landing on each node: all writes hit every
+        replica it stores."""
+        total_write_rate = self.write_fraction * self.total_rate
+        return total_write_rate * self.replica_measure(x)
+
+    # -- combined cost ---------------------------------------------------------
+
+    def node_arrivals(self, x) -> np.ndarray:
+        """Reads via the §7.2 walk (at the read share of traffic) plus
+        write-all replication traffic."""
+        read_share = 1.0 - self.write_fraction
+        read_arrivals = read_share * (self.access_rates @ self.access_matrix(x))
+        return read_arrivals + self.write_arrivals(x)
+
+    def cost(self, x) -> float:
+        read_share = 1.0 - self.write_fraction
+        a = self.access_matrix(x)
+        read_comm = read_share * float(
+            np.einsum("j,ji,ji->", self.access_rates, a, self.distance)
+        )
+        arrivals = self.node_arrivals(x)
+        delay = 0.0
+        for model, lam_i in zip(self.delay_models, arrivals):
+            if lam_i > 0:
+                delay += lam_i * model.sojourn_time(float(lam_i))
+        return read_comm + self.write_comm_cost(x) + self.k * delay
+
+    def __repr__(self) -> str:
+        return (
+            f"ReadWriteRingProblem(name={self.name!r}, n={self.n}, "
+            f"m={self.copies}, w={self.write_fraction:g})"
+        )
+
+
+def optimal_copy_count_with_writes(
+    ring,
+    access_rates,
+    *,
+    mu,
+    k: float = 1.0,
+    write_fraction: float = 0.0,
+    storage_cost_per_copy: float = 0.0,
+    max_copies: Optional[int] = None,
+    alpha: float = 0.05,
+    iterations: int = 300,
+):
+    """The §8.2 copy-count sweep under a read/write mix.
+
+    Same contract as :func:`~repro.multicopy.copy_count.optimal_copy_count`
+    but each candidate ``m`` is evaluated under write-all replication —
+    the sweep that shows the optimal ``m`` shrinking as ``write_fraction``
+    grows.
+    """
+    from repro.multicopy.algorithm import MultiCopyAllocator
+    from repro.multicopy.copy_count import CopyCountEntry, CopyCountResult
+
+    rates = np.asarray(access_rates, dtype=float)
+    n = ring.n
+    cap = n if max_copies is None else int(max_copies)
+    if not 1 <= cap <= n:
+        raise ConfigurationError(f"max_copies must be in [1, {n}], got {cap}")
+
+    entries = []
+    for m in range(1, cap + 1):
+        problem = ReadWriteRingProblem(
+            ring,
+            rates,
+            copies=m,
+            k=k,
+            mu=mu,
+            write_fraction=write_fraction,
+            name=f"rw-sweep-m{m}",
+        )
+        x0 = np.full(n, m / n)
+        result = MultiCopyAllocator(
+            problem, alpha=alpha, max_iterations=iterations
+        ).run(x0)
+        storage = storage_cost_per_copy * m
+        entries.append(
+            CopyCountEntry(
+                copies=m,
+                access_cost=result.cost,
+                storage_cost=storage,
+                total_cost=result.cost + storage,
+                allocation=result.allocation,
+                converged=result.converged,
+            )
+        )
+    best = min(entries, key=lambda e: e.total_cost)
+    return CopyCountResult(entries=entries, best=best)

@@ -1,0 +1,53 @@
+"""Post-optimization capping at one whole copy per node (§7.2).
+
+The reallocation algorithm "simply reallocates the resources within the
+system and has no control on the amount of resource", so a node can end up
+holding more than a whole file (e.g. 1.7 copies at the one fast-service
+node).  Such an allocation "is no better than an allocation of 1.0", and
+the paper prescribes fixing it *after* the algorithm has run, "when the
+system is about to actually distribute the files".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InfeasibleAllocationError
+
+
+def cap_at_whole_copy(allocation, *, max_rounds: int = 100) -> np.ndarray:
+    """Clamp every share to at most 1.0, redistributing the excess.
+
+    Excess mass is handed to uncapped nodes proportionally to their current
+    shares (nodes already near a whole copy may themselves cap, hence the
+    rounds).  Total mass, and therefore the number of copies, is preserved.
+
+    Raises :class:`~repro.exceptions.InfeasibleAllocationError` when the
+    number of copies exceeds the number of nodes (no capped allocation can
+    exist).
+    """
+    x = np.asarray(allocation, dtype=float).copy()
+    if np.any(x < -1e-12):
+        raise InfeasibleAllocationError(f"negative fractions: min={x.min()}")
+    total = x.sum()
+    if total > x.size + 1e-9:
+        raise InfeasibleAllocationError(
+            f"{total:g} copies over {x.size} nodes cannot be capped at 1 each"
+        )
+    for _ in range(max_rounds):
+        over = x > 1.0
+        if not np.any(over):
+            return x
+        excess = float((x[over] - 1.0).sum())
+        x[over] = 1.0
+        under = x < 1.0
+        weights = x[under]
+        if weights.sum() <= 0:
+            # All remaining capacity is in zero-share nodes: spread evenly
+            # over their available headroom.
+            headroom = 1.0 - x[under]
+            x[under] += excess * headroom / headroom.sum()
+        else:
+            x[under] += excess * weights / weights.sum()
+    # Remaining overshoot is round-off level by now.
+    return np.minimum(x, 1.0)

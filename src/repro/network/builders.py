@@ -1,0 +1,172 @@
+"""Standard topology generators.
+
+The paper's experiments use a four-node ring with unit link costs (figs 3-5),
+fully connected graphs with unit costs for 4 <= N <= 20 (fig 6), and a
+four-node ring with link costs (4,1,1,1) vs (1,1,1,1) for the multi-copy
+study (figs 8-9).  The generators here cover those plus the usual suspects
+for wider experimentation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.exceptions import TopologyError
+from repro.network.topology import Topology
+from repro.utils.seeding import SeedLike, rng_from_seed
+
+
+def ring_graph(n: int, link_costs: float | Sequence[float] = 1.0) -> Topology:
+    """A cycle of ``n`` nodes.
+
+    ``link_costs`` may be a scalar (uniform) or a length-``n`` sequence
+    where entry ``i`` is the cost of the link from node ``i`` to node
+    ``(i+1) % n`` — the convention used for the paper's (4,1,1,1) ring.
+    """
+    if n < 3:
+        raise TopologyError(f"a ring needs at least 3 nodes, got {n}")
+    if isinstance(link_costs, (int, float)):
+        costs = [float(link_costs)] * n
+    else:
+        costs = [float(c) for c in link_costs]
+        if len(costs) != n:
+            raise TopologyError(
+                f"need {n} link costs for an {n}-node ring, got {len(costs)}"
+            )
+    topo = Topology(n, name=f"ring-{n}")
+    for i in range(n):
+        topo.add_edge(i, (i + 1) % n, costs[i])
+    return topo
+
+
+def line_graph(n: int, link_cost: float = 1.0) -> Topology:
+    """A path ``0 - 1 - ... - n-1``."""
+    if n < 2:
+        raise TopologyError(f"a line needs at least 2 nodes, got {n}")
+    topo = Topology(n, name=f"line-{n}")
+    for i in range(n - 1):
+        topo.add_edge(i, i + 1, link_cost)
+    return topo
+
+
+def star_graph(n: int, link_cost: float = 1.0, center: int = 0) -> Topology:
+    """A hub-and-spoke graph with ``center`` linked to every other node."""
+    if n < 2:
+        raise TopologyError(f"a star needs at least 2 nodes, got {n}")
+    topo = Topology(n, name=f"star-{n}")
+    for i in range(n):
+        if i != center:
+            topo.add_edge(center, i, link_cost)
+    return topo
+
+
+def complete_graph(n: int, link_cost: float = 1.0) -> Topology:
+    """The fully connected graph used in the paper's figure-6 scaling run."""
+    if n < 2:
+        raise TopologyError(f"a complete graph needs at least 2 nodes, got {n}")
+    topo = Topology(n, name=f"complete-{n}")
+    for u in range(n):
+        for v in range(u + 1, n):
+            topo.add_edge(u, v, link_cost)
+    return topo
+
+
+def grid_graph(rows: int, cols: int, link_cost: float = 1.0) -> Topology:
+    """A ``rows x cols`` mesh; node ``(r, c)`` has id ``r * cols + c``."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise TopologyError(f"grid needs at least 2 nodes, got {rows}x{cols}")
+    topo = Topology(rows * cols, name=f"grid-{rows}x{cols}")
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                topo.add_edge(node, node + 1, link_cost)
+            if r + 1 < rows:
+                topo.add_edge(node, node + cols, link_cost)
+    return topo
+
+
+def tree_graph(n: int, branching: int = 2, link_cost: float = 1.0) -> Topology:
+    """A complete ``branching``-ary tree over ``n`` nodes (breadth-first ids)."""
+    if n < 2:
+        raise TopologyError(f"a tree needs at least 2 nodes, got {n}")
+    if branching < 1:
+        raise TopologyError(f"branching factor must be >= 1, got {branching}")
+    topo = Topology(n, name=f"tree-{n}-b{branching}")
+    for child in range(1, n):
+        parent = (child - 1) // branching
+        topo.add_edge(parent, child, link_cost)
+    return topo
+
+
+def random_graph(
+    n: int,
+    edge_probability: float = 0.3,
+    *,
+    cost_range: tuple[float, float] = (1.0, 1.0),
+    seed: SeedLike = None,
+    max_tries: int = 100,
+) -> Topology:
+    """A connected Erdős–Rényi graph with uniformly random link costs.
+
+    A random spanning tree is laid down first so the sampled graph is always
+    connected; additional edges are then added independently with
+    ``edge_probability``.
+    """
+    if n < 2:
+        raise TopologyError(f"random graph needs at least 2 nodes, got {n}")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise TopologyError(f"edge_probability must be in [0, 1], got {edge_probability}")
+    lo, hi = cost_range
+    if not (0 < lo <= hi):
+        raise TopologyError(f"cost_range must satisfy 0 < lo <= hi, got {cost_range}")
+    rng = rng_from_seed(seed)
+    for _ in range(max_tries):
+        topo = Topology(n, name=f"random-{n}-p{edge_probability:g}")
+        # Random spanning tree: attach each node to a random earlier node.
+        order = rng.permutation(n)
+        for idx in range(1, n):
+            u = int(order[idx])
+            v = int(order[rng.integers(0, idx)])
+            topo.add_edge(u, v, float(rng.uniform(lo, hi)))
+        for u in range(n):
+            for v in range(u + 1, n):
+                if not topo.has_edge(u, v) and rng.random() < edge_probability:
+                    topo.add_edge(u, v, float(rng.uniform(lo, hi)))
+        if topo.is_connected():
+            return topo
+    raise TopologyError("failed to sample a connected random graph")  # pragma: no cover
+
+
+def random_geometric_graph(
+    n: int,
+    radius: float = 0.5,
+    *,
+    seed: SeedLike = None,
+    max_tries: int = 100,
+) -> Topology:
+    """Nodes placed uniformly in the unit square, linked when within
+    ``radius``; link cost is the Euclidean distance.
+
+    Retries with a growing radius until connected, mimicking the Waxman-style
+    geographic networks used in distributed-systems evaluations.
+    """
+    if n < 2:
+        raise TopologyError(f"geometric graph needs at least 2 nodes, got {n}")
+    if radius <= 0:
+        raise TopologyError(f"radius must be positive, got {radius}")
+    rng = rng_from_seed(seed)
+    points = rng.random((n, 2))
+    r = radius
+    for _ in range(max_tries):
+        topo = Topology(n, name=f"geometric-{n}-r{r:.3g}")
+        for u in range(n):
+            for v in range(u + 1, n):
+                dist = math.dist(points[u], points[v])
+                if dist <= r:
+                    topo.add_edge(u, v, max(dist, 1e-9))
+        if topo.is_connected():
+            return topo
+        r *= 1.3
+    raise TopologyError("failed to build a connected geometric graph")  # pragma: no cover

@@ -1,0 +1,81 @@
+"""Next-hop routing tables over a topology.
+
+The analytical model only needs the end-to-end cost matrix, but the
+discrete-event runtime forwards messages hop by hop (store-and-forward, as
+the paper's §4 describes), which needs a next-hop table.  Ties are broken
+toward the smaller node id so routing is deterministic and reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.network.shortest_paths import dijkstra
+from repro.network.topology import Topology
+
+
+class RoutingTable:
+    """Least-cost next-hop routing for every ordered node pair.
+
+    Parameters
+    ----------
+    topology:
+        The network to route over.  Must be connected.
+    """
+
+    def __init__(self, topology: Topology):
+        self._topology = topology
+        n = topology.n
+        self._next_hop: List[List[Optional[int]]] = [[None] * n for _ in range(n)]
+        self._distance = np.zeros((n, n))
+        for source in range(n):
+            dist, pred = dijkstra(topology, source)
+            if not np.all(np.isfinite(dist)):
+                raise TopologyError(
+                    f"cannot build routing table: node {source} cannot reach every node"
+                )
+            self._distance[source] = dist
+            for target in range(n):
+                if target == source:
+                    continue
+                # Walk predecessors back from target to find the first hop.
+                hop = target
+                while pred[hop] is not None and pred[hop] != source:
+                    hop = pred[hop]
+                self._next_hop[source][target] = hop
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    def next_hop(self, source: int, target: int) -> int:
+        """First node on the least-cost path ``source -> target``."""
+        if source == target:
+            raise TopologyError("no next hop from a node to itself")
+        hop = self._next_hop[source][target]
+        assert hop is not None
+        return hop
+
+    def cost(self, source: int, target: int) -> float:
+        """End-to-end least path cost (0 for source == target)."""
+        return float(self._distance[source, target])
+
+    def cost_matrix(self) -> np.ndarray:
+        """Copy of the all-pairs least-cost matrix."""
+        return self._distance.copy()
+
+    def route(self, source: int, target: int) -> List[int]:
+        """Full hop sequence from ``source`` to ``target`` inclusive."""
+        path = [source]
+        while path[-1] != target:
+            path.append(self.next_hop(path[-1], target))
+            if len(path) > self._topology.n:
+                raise TopologyError("routing loop detected")  # pragma: no cover
+        return path
+
+    def hop_count(self, source: int, target: int) -> int:
+        """Number of links traversed on the least-cost route."""
+        return len(self.route(source, target)) - 1

@@ -1,0 +1,118 @@
+"""Least-cost path computation.
+
+The model's pairwise access cost ``c_ij`` is the least-cost route between
+``i`` and ``j`` ("the routing of the access requests between any two given
+nodes was taken to be along the shortest (least expensive) path", §6).
+Two independent implementations are provided — binary-heap Dijkstra and
+Floyd–Warshall — and cross-checked in the test suite.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.network.topology import Topology
+
+
+def dijkstra(topology: Topology, source: int) -> Tuple[np.ndarray, List[Optional[int]]]:
+    """Single-source least-cost distances and predecessor links.
+
+    Returns ``(dist, pred)`` where ``dist[v]`` is the least path cost from
+    ``source`` to ``v`` (``inf`` if unreachable) and ``pred[v]`` is the node
+    preceding ``v`` on one such path (``None`` for the source and
+    unreachable nodes).
+    """
+    n = topology.n
+    dist = np.full(n, np.inf)
+    pred: List[Optional[int]] = [None] * n
+    dist[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    done = [False] * n
+    while heap:
+        d, u = heapq.heappop(heap)
+        if done[u]:
+            continue
+        done[u] = True
+        for v in topology.neighbors(u):
+            nd = d + topology.edge_cost(u, v)
+            if nd < dist[v]:
+                dist[v] = nd
+                pred[v] = u
+                heapq.heappush(heap, (nd, v))
+    return dist, pred
+
+
+def floyd_warshall(topology: Topology) -> np.ndarray:
+    """All-pairs least-cost matrix via dynamic programming.
+
+    O(n^3); used as an independent oracle against Dijkstra in tests and for
+    small experiment networks.
+    """
+    dist = topology.link_cost_matrix()
+    n = topology.n
+    for k in range(n):
+        # Vectorized relaxation over the k-th intermediate node.
+        via_k = dist[:, k][:, None] + dist[k, :][None, :]
+        np.minimum(dist, via_k, out=dist)
+    return dist
+
+
+def all_pairs_shortest_paths(topology: Topology, *, require_connected: bool = True) -> np.ndarray:
+    """All-pairs least-cost matrix (Dijkstra from every source).
+
+    This is the ``c_ij`` matrix of the paper's model.  Raises
+    :class:`~repro.exceptions.TopologyError` when the graph is disconnected
+    and ``require_connected`` is set, because an unreachable node would give
+    an infinite access cost.
+    """
+    n = topology.n
+    out = np.empty((n, n))
+    for s in range(n):
+        dist, _ = dijkstra(topology, s)
+        out[s] = dist
+    if require_connected and not np.all(np.isfinite(out)):
+        raise TopologyError(
+            f"topology {topology.name!r} is disconnected; access costs would be infinite"
+        )
+    return out
+
+
+def shortest_path(topology: Topology, source: int, target: int) -> List[int]:
+    """The node sequence of one least-cost path from ``source`` to ``target``."""
+    dist, pred = dijkstra(topology, source)
+    if not np.isfinite(dist[target]):
+        raise TopologyError(f"no path from {source} to {target}")
+    path = [target]
+    while path[-1] != source:
+        prev = pred[path[-1]]
+        assert prev is not None
+        path.append(prev)
+    path.reverse()
+    return path
+
+
+def path_cost(topology: Topology, path: List[int]) -> float:
+    """Total link cost along an explicit node sequence."""
+    total = 0.0
+    for u, v in zip(path, path[1:]):
+        cost = topology.edge_cost(u, v)
+        if not np.isfinite(cost):
+            raise TopologyError(f"path uses missing edge {u}--{v}")
+        total += cost
+    return total
+
+
+def eccentricity(topology: Topology, node: int) -> float:
+    """Largest least-cost distance from ``node`` to any other node."""
+    dist, _ = dijkstra(topology, node)
+    return float(np.max(dist[np.isfinite(dist)]))
+
+
+def diameter(topology: Topology) -> float:
+    """Largest least-cost distance between any node pair."""
+    matrix = all_pairs_shortest_paths(topology)
+    return float(matrix.max())

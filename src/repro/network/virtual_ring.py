@@ -1,0 +1,144 @@
+"""Virtual rings (§7.2).
+
+A *virtual ring* is constructed from an arbitrary network by imposing an
+ordering on the nodes and establishing a communication protocol that embeds
+this ordering: for the purpose of file access, each node talks (directly or
+through the underlying network) to its designated successor, and accesses
+travel unidirectionally around the ring.  A physical ring is trivially a
+virtual ring.
+
+This module provides the geometry only — orderings, successor link costs,
+and unidirectional distances.  The multi-copy cost model that lives on top
+of it is in :mod:`repro.multicopy`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.network.shortest_paths import all_pairs_shortest_paths
+from repro.network.topology import Topology
+
+
+class VirtualRing:
+    """A unidirectional ring over ``n`` nodes with per-hop link costs.
+
+    Parameters
+    ----------
+    link_costs:
+        ``link_costs[p]`` is the cost of the hop from the node in ring
+        position ``p`` to the node in position ``(p+1) % n``.
+    order:
+        Node ids in ring order; defaults to ``0, 1, ..., n-1``.  Position
+        ``p`` around the ring is occupied by node ``order[p]``.
+    """
+
+    def __init__(self, link_costs: Sequence[float], order: Optional[Sequence[int]] = None):
+        costs = np.asarray(link_costs, dtype=float)
+        if costs.ndim != 1 or costs.size < 3:
+            raise TopologyError(f"a virtual ring needs >= 3 hops, got {costs.size}")
+        if not np.all(np.isfinite(costs)) or np.any(costs < 0):
+            raise TopologyError("ring hop costs must be finite and non-negative")
+        self._costs = costs
+        n = costs.size
+        if order is None:
+            order = list(range(n))
+        order = [int(v) for v in order]
+        if sorted(order) != list(range(n)):
+            raise TopologyError(f"order must be a permutation of 0..{n-1}, got {order}")
+        self._order = order
+        self._position = {node: pos for pos, node in enumerate(order)}
+        # Forward (clockwise) distance between ring *positions*: walking from
+        # position a to position b costs cum[b] - cum[a], wrapping with one
+        # full circumference when b precedes a.
+        cum = np.concatenate([[0.0], np.cumsum(costs)])  # cum[p] = cost 0 -> p
+        total = float(cum[-1])
+        dist = np.empty((n, n))
+        for a in range(n):
+            for b in range(n):
+                if a == b:
+                    dist[a, b] = 0.0
+                elif b > a:
+                    dist[a, b] = cum[b] - cum[a]
+                else:
+                    dist[a, b] = total - (cum[a] - cum[b])
+        self._pos_dist = dist
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_topology(
+        cls, topology: Topology, order: Optional[Sequence[int]] = None
+    ) -> "VirtualRing":
+        """Embed a virtual ring into an arbitrary connected network.
+
+        The hop cost between consecutive nodes in ``order`` is the
+        least-cost path between them in the underlying network, which is
+        what the store-and-forward protocol of §4 would actually pay.
+        """
+        n = topology.n
+        if order is None:
+            order = list(range(n))
+        pairwise = all_pairs_shortest_paths(topology)
+        costs = [pairwise[order[p], order[(p + 1) % n]] for p in range(n)]
+        return cls(costs, order)
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of nodes on the ring."""
+        return self._costs.size
+
+    @property
+    def order(self) -> List[int]:
+        """Node ids in ring order."""
+        return list(self._order)
+
+    @property
+    def hop_costs(self) -> np.ndarray:
+        """Per-hop costs in ring-position order (copy)."""
+        return self._costs.copy()
+
+    def position(self, node: int) -> int:
+        """Ring position of ``node``."""
+        try:
+            return self._position[node]
+        except KeyError:
+            raise TopologyError(f"node {node} is not on the ring") from None
+
+    def successor(self, node: int) -> int:
+        """The next node clockwise from ``node``."""
+        return self._order[(self.position(node) + 1) % self.n]
+
+    def predecessor(self, node: int) -> int:
+        """The previous node clockwise (i.e. the node whose successor is this)."""
+        return self._order[(self.position(node) - 1) % self.n]
+
+    def forward_distance(self, source: int, target: int) -> float:
+        """Total hop cost travelling clockwise from ``source`` to ``target``."""
+        return float(self._pos_dist[self.position(source), self.position(target)])
+
+    def circumference(self) -> float:
+        """Total cost of one full lap."""
+        return float(self._costs.sum())
+
+    def forward_sequence(self, start: int) -> List[int]:
+        """All ``n`` node ids in clockwise order beginning at ``start``."""
+        p = self.position(start)
+        return [self._order[(p + k) % self.n] for k in range(self.n)]
+
+    def distance_matrix(self) -> np.ndarray:
+        """``d[i, j]`` = clockwise cost from node ``i`` to node ``j``."""
+        n = self.n
+        out = np.empty((n, n))
+        for i in range(n):
+            for j in range(n):
+                out[i, j] = self.forward_distance(i, j) if i != j else 0.0
+        return out
+
+    def __repr__(self) -> str:
+        return f"VirtualRing(n={self.n}, order={self._order}, costs={self._costs.tolist()})"

@@ -1,0 +1,66 @@
+"""Plain-text rendering of topologies.
+
+For experiment logs and the CLI: an adjacency sketch plus a per-node
+summary that makes a small network's structure readable at a glance
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.network.shortest_paths import all_pairs_shortest_paths, dijkstra
+from repro.network.topology import Topology
+from repro.utils.tables import format_table
+
+
+def adjacency_art(topology: Topology) -> str:
+    """An adjacency-matrix sketch: link costs, '.' for missing links.
+
+    >>> from repro.network.builders import line_graph
+    >>> print(adjacency_art(line_graph(3)))
+           0   1   2
+    0      .   1   .
+    1      1   .   1
+    2      .   1   .
+    """
+    n = topology.n
+    cells: List[List[str]] = []
+    for u in range(n):
+        row = []
+        for v in range(n):
+            if u == v or not topology.has_edge(u, v):
+                row.append(".")
+            else:
+                cost = topology.edge_cost(u, v)
+                row.append(f"{cost:g}")
+        cells.append(row)
+    width = max(4, max(len(c) for row in cells for c in row) + 1)
+    header = " " * 4 + "".join(str(v).rjust(width) for v in range(n))
+    lines = [header]
+    for u, row in enumerate(cells):
+        lines.append(str(u).ljust(4) + "".join(c.rjust(width) for c in row))
+    return "\n".join(lines)
+
+
+def topology_summary(topology: Topology) -> str:
+    """A per-node table: degree, cheapest link, eccentricity."""
+    rows = []
+    for u in range(topology.n):
+        neighbors = topology.neighbors(u)
+        cheapest = (
+            min(topology.edge_cost(u, v) for v in neighbors) if neighbors else "-"
+        )
+        dist, _ = dijkstra(topology, u)
+        finite = dist[np.isfinite(dist)]
+        ecc = f"{finite.max():g}" if finite.size > 1 else "-"
+        rows.append([u, len(neighbors), cheapest, ecc])
+    header = (
+        f"{topology.name}: {topology.n} nodes, {topology.edge_count()} edges, "
+        f"{'connected' if topology.is_connected() else 'DISCONNECTED'}"
+    )
+    return header + "\n" + format_table(
+        ["node", "degree", "cheapest link", "eccentricity"], rows
+    )

@@ -1,0 +1,50 @@
+"""Queueing substrate: analytic delay models and a validating simulator.
+
+The paper's delay term is the M/M/1 expected sojourn time
+``T_i = 1/(mu - lambda x_i)`` at each node (§4), and §5.4 notes that
+"alternate queueing models (e.g. M/G/1 queues) can be directly used ...
+without affecting the feasibility or monotonicity properties".  This
+package provides those models with analytic first and second derivatives
+(the algorithm consumes marginals, and Theorem 2's bound consumes second
+derivatives), overload-region approximations in the spirit of
+Kurose–Singh [26], and an event-driven single-queue simulator used by the
+test suite to validate every closed form.
+"""
+
+from repro.queueing.approximations import QuadraticOverloadDelay
+from repro.queueing.littles_law import littles_law_lq, littles_law_wq
+from repro.queueing.md1 import MD1Delay
+from repro.queueing.mg1 import MG1Delay
+from repro.queueing.mm1 import MM1Delay
+from repro.queueing.mmc import MMcDelay, erlang_c
+from repro.queueing.service import (
+    DeterministicService,
+    ErlangService,
+    ExponentialService,
+    HyperexponentialService,
+    ServiceDistribution,
+)
+from repro.queueing.simulation import (
+    QueueSimulationResult,
+    simulate_multiserver_queue,
+    simulate_queue,
+)
+
+__all__ = [
+    "DeterministicService",
+    "ErlangService",
+    "ExponentialService",
+    "HyperexponentialService",
+    "MD1Delay",
+    "MG1Delay",
+    "MM1Delay",
+    "MMcDelay",
+    "QuadraticOverloadDelay",
+    "QueueSimulationResult",
+    "ServiceDistribution",
+    "erlang_c",
+    "littles_law_lq",
+    "littles_law_wq",
+    "simulate_multiserver_queue",
+    "simulate_queue",
+]

@@ -1,0 +1,85 @@
+"""Overload-region delay approximations.
+
+The paper assumes ``mu > lambda`` so the partial derivatives stay finite,
+and notes (§4): "If we do not want to restrict lambda, then some functional
+approximation can easily be made for T_i, as in [26]" (Kurose & Singh's
+load-balancing paper).  The standard construction splices a quadratic onto
+the exact delay curve at a switch-over utilization ``rho*`` so that the
+value and the first two derivatives are continuous; beyond ``rho*`` the
+approximation is finite (and convex) for *every* arrival rate, so the
+optimizer can wander through transiently overloaded allocations without
+blowing up.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_in_range, check_nonnegative
+
+
+class QuadraticOverloadDelay:
+    """Exact delay below a threshold, quadratic extrapolation above it.
+
+    Wraps any delay model exposing ``sojourn_time`` / ``d_sojourn`` /
+    ``d2_sojourn`` / ``mu``.  Below ``switch_utilization * mu`` the wrapped
+    model is used unchanged; above it, a second-order Taylor extension keeps
+    value, slope, and curvature continuous at the splice point.
+
+    Parameters
+    ----------
+    base:
+        The exact delay model (e.g. :class:`~repro.queueing.mm1.MM1Delay`).
+    switch_utilization:
+        The utilization ``rho* in (0, 1)`` at which to splice; 0.95 keeps
+        the approximation indistinguishable from exact across the stable
+        operating range of the paper's experiments.
+    """
+
+    def __init__(self, base, switch_utilization: float = 0.95):
+        self.base = base
+        self.switch_utilization = check_in_range(
+            switch_utilization, "switch_utilization", 0.0, 1.0,
+            inclusive_low=False, inclusive_high=False,
+        )
+        self._a_star = self.switch_utilization * base.mu
+        self._t0 = base.sojourn_time(self._a_star)
+        self._t1 = base.d_sojourn(self._a_star)
+        self._t2 = base.d2_sojourn(self._a_star)
+
+    @property
+    def mu(self) -> float:
+        """Service rate of the wrapped model."""
+        return self.base.mu
+
+    @property
+    def max_stable_arrival(self) -> float:
+        """Unbounded: the approximation is finite everywhere."""
+        return float("inf")
+
+    def is_stable(self, arrival_rate: float) -> bool:
+        """Always true — that is the point of the approximation."""
+        return True
+
+    def sojourn_time(self, arrival_rate: float) -> float:
+        a = check_nonnegative(arrival_rate, "arrival_rate")
+        if a < self._a_star:
+            return self.base.sojourn_time(a)
+        d = a - self._a_star
+        return self._t0 + self._t1 * d + 0.5 * self._t2 * d * d
+
+    def d_sojourn(self, arrival_rate: float) -> float:
+        a = check_nonnegative(arrival_rate, "arrival_rate")
+        if a < self._a_star:
+            return self.base.d_sojourn(a)
+        return self._t1 + self._t2 * (a - self._a_star)
+
+    def d2_sojourn(self, arrival_rate: float) -> float:
+        a = check_nonnegative(arrival_rate, "arrival_rate")
+        if a < self._a_star:
+            return self.base.d2_sojourn(a)
+        return self._t2
+
+    def __repr__(self) -> str:
+        return (
+            f"QuadraticOverloadDelay(base={self.base!r}, "
+            f"switch_utilization={self.switch_utilization:g})"
+        )

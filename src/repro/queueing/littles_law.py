@@ -1,0 +1,21 @@
+"""Little's-law helpers, used by the queue simulator's sanity checks."""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_nonnegative
+
+
+def littles_law_lq(arrival_rate: float, mean_wait: float) -> float:
+    """Expected number waiting ``Lq = lambda * Wq``."""
+    return check_nonnegative(arrival_rate, "arrival_rate") * check_nonnegative(
+        mean_wait, "mean_wait"
+    )
+
+
+def littles_law_wq(arrival_rate: float, mean_queue_length: float) -> float:
+    """Expected wait ``Wq = Lq / lambda``."""
+    a = check_nonnegative(arrival_rate, "arrival_rate")
+    lq = check_nonnegative(mean_queue_length, "mean_queue_length")
+    if a == 0:
+        return 0.0
+    return lq / a

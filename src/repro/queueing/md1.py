@@ -1,0 +1,20 @@
+"""The M/D/1 sojourn-time model: deterministic service.
+
+A thin specialization of the M/G/1 model with SCV = 0, kept as its own
+class because deterministic record-access service is a natural modelling
+choice and the name documents intent at call sites.
+"""
+
+from __future__ import annotations
+
+from repro.queueing.mg1 import MG1Delay
+
+
+class MD1Delay(MG1Delay):
+    """Expected M/D/1 sojourn time: ``W(a) = 1/mu + a / (2 mu (mu - a))``."""
+
+    def __init__(self, mu: float):
+        super().__init__(mu=mu, scv=0.0)
+
+    def __repr__(self) -> str:
+        return f"MD1Delay(mu={self.mu:g})"

@@ -1,0 +1,90 @@
+"""The M/M/1 sojourn-time model — the paper's delay term.
+
+With Poisson arrivals at rate ``a`` and exponential service at rate ``mu``,
+the expected sojourn (queueing + service) time is ``T(a) = 1/(mu - a)``
+[Kleinrock vol. 1].  The FAP cost uses ``T_i = T(lambda * x_i)``, so the
+algorithm's marginals need ``dT/da`` and Theorem 2's bound needs
+``d^2 T / da^2``; both are provided analytically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import StabilityError
+from repro.utils.validation import check_positive
+
+
+class MM1Delay:
+    """Expected sojourn time of an M/M/1 queue as a function of arrival rate.
+
+    Parameters
+    ----------
+    mu:
+        Service rate.  Arrival rates must stay strictly below ``mu``.
+    """
+
+    #: Whether this model is exact for exponential service (used by tests).
+    exact_for_scv = 1.0
+
+    def __init__(self, mu: float):
+        self.mu = check_positive(mu, "mu")
+
+    # -- stability ----------------------------------------------------------
+
+    @property
+    def max_stable_arrival(self) -> float:
+        """Supremum of arrival rates with finite delay (= ``mu``)."""
+        return self.mu
+
+    def is_stable(self, arrival_rate: float) -> bool:
+        """True when ``arrival_rate < mu``."""
+        return arrival_rate < self.mu
+
+    def _check(self, arrival_rate: float) -> float:
+        # Negative rates are accepted as the analytic extension of
+        # 1/(mu - a): the Unconstrained step policy deliberately visits
+        # transiently negative shares (see repro.core.active_set).
+        a = float(arrival_rate)
+        if not np.isfinite(a):
+            raise StabilityError(f"arrival rate must be finite, got {a!r}")
+        if a >= self.mu:
+            raise StabilityError(
+                f"M/M/1 unstable: arrival rate {a:g} >= service rate {self.mu:g}"
+            )
+        return a
+
+    # -- values and derivatives ----------------------------------------------
+
+    def sojourn_time(self, arrival_rate: float) -> float:
+        """``T(a) = 1 / (mu - a)``."""
+        a = self._check(arrival_rate)
+        return 1.0 / (self.mu - a)
+
+    def d_sojourn(self, arrival_rate: float) -> float:
+        """``dT/da = 1 / (mu - a)^2``."""
+        a = self._check(arrival_rate)
+        return 1.0 / (self.mu - a) ** 2
+
+    def d2_sojourn(self, arrival_rate: float) -> float:
+        """``d2T/da2 = 2 / (mu - a)^3``."""
+        a = self._check(arrival_rate)
+        return 2.0 / (self.mu - a) ** 3
+
+    # -- standard auxiliary quantities ----------------------------------------
+
+    def utilization(self, arrival_rate: float) -> float:
+        """``rho = a / mu``."""
+        return self._check(arrival_rate) / self.mu
+
+    def waiting_time(self, arrival_rate: float) -> float:
+        """Expected time in queue (excluding service): ``T - 1/mu``."""
+        return self.sojourn_time(arrival_rate) - 1.0 / self.mu
+
+    def queue_length(self, arrival_rate: float) -> float:
+        """Expected number in system ``L = a * T`` (Little's law)."""
+        a = self._check(arrival_rate)
+        return a * self.sojourn_time(a)
+
+    def __repr__(self) -> str:
+        return f"MM1Delay(mu={self.mu:g})"

@@ -1,0 +1,149 @@
+"""Service-time distributions.
+
+Each distribution exposes its mean, squared coefficient of variation (SCV)
+-- the two moments the Pollaczek–Khinchine formula needs -- and a sampler
+for the event-driven queue simulator.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_in_range, check_positive
+
+
+class ServiceDistribution(abc.ABC):
+    """A positive service-time distribution with finite first two moments."""
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Expected service time ``E[S]``."""
+
+    @property
+    @abc.abstractmethod
+    def scv(self) -> float:
+        """Squared coefficient of variation ``Var[S] / E[S]^2``."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        """Draw one sample (or ``size`` samples) of service time."""
+
+    @property
+    def rate(self) -> float:
+        """Service rate ``mu = 1 / E[S]``."""
+        return 1.0 / self.mean
+
+    @property
+    def second_moment(self) -> float:
+        """``E[S^2] = (1 + scv) * E[S]^2``."""
+        return (1.0 + self.scv) * self.mean**2
+
+
+class ExponentialService(ServiceDistribution):
+    """Exponential service at rate ``mu`` — the paper's baseline assumption."""
+
+    def __init__(self, mu: float):
+        self._mu = check_positive(mu, "mu")
+
+    @property
+    def mean(self) -> float:
+        return 1.0 / self._mu
+
+    @property
+    def scv(self) -> float:
+        return 1.0
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        return rng.exponential(1.0 / self._mu, size=size)
+
+    def __repr__(self) -> str:
+        return f"ExponentialService(mu={self._mu:g})"
+
+
+class DeterministicService(ServiceDistribution):
+    """Constant service time ``1/mu`` (the M/D/1 case)."""
+
+    def __init__(self, mu: float):
+        self._mu = check_positive(mu, "mu")
+
+    @property
+    def mean(self) -> float:
+        return 1.0 / self._mu
+
+    @property
+    def scv(self) -> float:
+        return 0.0
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        if size is None:
+            return 1.0 / self._mu
+        return np.full(size, 1.0 / self._mu)
+
+    def __repr__(self) -> str:
+        return f"DeterministicService(mu={self._mu:g})"
+
+
+class ErlangService(ServiceDistribution):
+    """Erlang-k service with overall rate ``mu`` (SCV = 1/k < 1)."""
+
+    def __init__(self, k: int, mu: float):
+        if int(k) != k or k < 1:
+            raise ValueError(f"Erlang shape k must be a positive integer, got {k!r}")
+        self._k = int(k)
+        self._mu = check_positive(mu, "mu")
+
+    @property
+    def mean(self) -> float:
+        return 1.0 / self._mu
+
+    @property
+    def scv(self) -> float:
+        return 1.0 / self._k
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        # Sum of k exponentials each with rate k*mu has mean 1/mu.
+        return rng.gamma(shape=self._k, scale=1.0 / (self._k * self._mu), size=size)
+
+    def __repr__(self) -> str:
+        return f"ErlangService(k={self._k}, mu={self._mu:g})"
+
+
+class HyperexponentialService(ServiceDistribution):
+    """Two-phase hyperexponential service (SCV > 1).
+
+    With probability ``p`` the service is exponential at rate ``mu1``,
+    otherwise at rate ``mu2``.
+    """
+
+    def __init__(self, p: float, mu1: float, mu2: float):
+        self._p = check_in_range(p, "p", 0.0, 1.0)
+        self._mu1 = check_positive(mu1, "mu1")
+        self._mu2 = check_positive(mu2, "mu2")
+
+    @property
+    def mean(self) -> float:
+        return self._p / self._mu1 + (1.0 - self._p) / self._mu2
+
+    @property
+    def scv(self) -> float:
+        m1 = self.mean
+        m2 = 2.0 * (self._p / self._mu1**2 + (1.0 - self._p) / self._mu2**2)
+        return m2 / m1**2 - 1.0
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        if size is None:
+            rate = self._mu1 if rng.random() < self._p else self._mu2
+            return rng.exponential(1.0 / rate)
+        phases = rng.random(size) < self._p
+        rates = np.where(phases, self._mu1, self._mu2)
+        return rng.exponential(1.0, size=size) / rates
+
+    def __repr__(self) -> str:
+        return (
+            f"HyperexponentialService(p={self._p:g}, mu1={self._mu1:g}, mu2={self._mu2:g})"
+        )

@@ -1,0 +1,87 @@
+"""The record directory (§4's "table look-up procedure").
+
+"When a process needs to access certain records in a file, it would use
+some table look-up (directory) procedure in order to determine to which
+node it should address its file access."  With contiguous fragments the
+directory is a sorted list of span boundaries and lookup is a binary
+search.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Tuple
+
+from repro.exceptions import StorageError
+
+
+class Directory:
+    """Record-key -> node lookup over contiguous fragments.
+
+    Parameters
+    ----------
+    spans:
+        ``{node: (start, end)}`` half-open record ranges; must tile
+        ``[0, record_count)`` without gaps or overlaps.
+    record_count:
+        Total records in the file.
+    """
+
+    def __init__(self, spans: Dict[int, Tuple[int, int]], record_count: int):
+        if record_count < 1:
+            raise StorageError("record_count must be >= 1")
+        ordered = sorted(spans.items(), key=lambda item: item[1][0])
+        cursor = 0
+        self._starts: List[int] = []
+        self._nodes: List[int] = []
+        for node, (start, end) in ordered:
+            if start != cursor or end <= start:
+                raise StorageError(
+                    f"spans must tile the record space; got gap/overlap at {start}"
+                )
+            self._starts.append(start)
+            self._nodes.append(node)
+            cursor = end
+        if cursor != record_count:
+            raise StorageError(
+                f"spans cover [0, {cursor}) but the file has {record_count} records"
+            )
+        self._record_count = record_count
+        self._spans = dict(spans)
+
+    @property
+    def record_count(self) -> int:
+        return self._record_count
+
+    def node_for(self, key: int) -> int:
+        """The node holding record ``key`` (binary search)."""
+        if not 0 <= key < self._record_count:
+            raise StorageError(f"record key {key} out of range [0, {self._record_count})")
+        idx = bisect.bisect_right(self._starts, key) - 1
+        return self._nodes[idx]
+
+    def span_of(self, node: int) -> Tuple[int, int]:
+        """The ``(start, end)`` range stored at ``node``."""
+        try:
+            return self._spans[node]
+        except KeyError:
+            raise StorageError(f"node {node} holds no fragment") from None
+
+    def nodes(self) -> List[int]:
+        """Nodes holding at least one record, in record order."""
+        return list(self._nodes)
+
+    def nodes_for_range(self, start: int, end: int) -> List[int]:
+        """All nodes holding records in ``[start, end)`` — the fan-out of a
+        predicate (range) operation."""
+        if not (0 <= start < end <= self._record_count):
+            raise StorageError(f"invalid range [{start}, {end})")
+        out = []
+        for node in self._nodes:
+            s, e = self._spans[node]
+            if s < end and start < e and node not in out:
+                out.append(node)
+        return out
+
+    def __repr__(self) -> str:
+        return f"Directory(records={self._record_count}, fragments={len(self._nodes)})"

@@ -1,0 +1,78 @@
+"""Rounding fractional allocations to record boundaries (§8.1).
+
+"The real-number fractions will have to be rounded or truncated in some
+suitable manner so that the file, when split according to these rounded-off
+fractions, will fragment at record boundaries.  Naturally, the larger the
+number of records the closer the rounded-off fractions will be to the
+prescribed fractions."
+
+We use largest-remainder (Hamilton) apportionment: each node first gets
+``floor(x_i * R)`` records, then the leftover records go to the largest
+fractional remainders.  This is the apportionment with the smallest maximum
+per-node deviation from the real-valued target, giving the §8.1 claim its
+sharp form: every rounded share is within one record (``1/R``) of the
+optimizer's prescription.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.exceptions import StorageError
+
+
+def largest_remainder_counts(fractions, record_count: int) -> np.ndarray:
+    """Record counts per node: non-negative ints summing to ``record_count``.
+
+    ``fractions`` must be non-negative and sum to 1 (the single-copy
+    feasible set).
+    """
+    x = np.asarray(fractions, dtype=float)
+    if x.ndim != 1 or x.size == 0:
+        raise StorageError("fractions must be a non-empty vector")
+    if np.any(x < -1e-12):
+        raise StorageError(f"negative fractions: min={x.min()}")
+    if abs(x.sum() - 1.0) > 1e-9:
+        raise StorageError(f"fractions sum to {x.sum()!r}, expected 1")
+    if record_count < 1:
+        raise StorageError(f"record_count must be >= 1, got {record_count}")
+    quotas = np.maximum(x, 0.0) * record_count
+    counts = np.floor(quotas).astype(int)
+    leftover = record_count - int(counts.sum())
+    if leftover > 0:
+        remainders = quotas - counts
+        # Ties break toward the lower node id (deterministic).
+        order = np.lexsort((np.arange(x.size), -remainders))
+        counts[order[:leftover]] += 1
+    return counts
+
+
+def fragment_allocation(
+    fractions, record_count: int
+) -> Tuple[np.ndarray, Dict[int, Tuple[int, int]]]:
+    """Split record space ``[0, record_count)`` into contiguous per-node
+    fragments matching the rounded fractions.
+
+    Returns ``(counts, spans)`` where ``spans[node] = (start, end)`` is the
+    half-open record range stored at ``node`` (present only for nodes with
+    at least one record).  Fragments are laid out in node-id order, the
+    natural order for the §4 directory.
+    """
+    counts = largest_remainder_counts(fractions, record_count)
+    spans: Dict[int, Tuple[int, int]] = {}
+    cursor = 0
+    for node, count in enumerate(counts):
+        if count > 0:
+            spans[node] = (cursor, cursor + int(count))
+            cursor += int(count)
+    assert cursor == record_count
+    return counts, spans
+
+
+def rounding_error(fractions, record_count: int) -> float:
+    """Max |rounded - prescribed| share — bounded by ``1/record_count``."""
+    x = np.asarray(fractions, dtype=float)
+    counts = largest_remainder_counts(x, record_count)
+    return float(np.max(np.abs(counts / record_count - x)))

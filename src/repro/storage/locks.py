@@ -1,0 +1,159 @@
+"""Lock management with deadlock detection (§8.1).
+
+§8.1 observes that predicate locks spanning fragments on several nodes can
+deadlock when message orderings differ between nodes (transactions C and D
+each hold half of what the other needs).  This lock manager provides
+shared/exclusive record locks and range (predicate) locks, and detects that
+situation by cycle search in the waits-for graph, raising
+:class:`~repro.exceptions.DeadlockError` so the transaction layer can abort
+a victim — the test suite replays the paper's exact scenario.
+
+The manager models *logical* concurrency (interleaved operations from
+different transactions), not thread parallelism; all state is in-process.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.exceptions import DeadlockError, LockError
+
+
+class LockMode(enum.Enum):
+    """Shared (read) or exclusive (write) access."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+    def compatible_with(self, other: "LockMode") -> bool:
+        return self is LockMode.SHARED and other is LockMode.SHARED
+
+
+@dataclass
+class _LockEntry:
+    """Current holders and FIFO waiters for one lockable item."""
+
+    holders: Dict[str, LockMode] = field(default_factory=dict)
+    waiters: List[Tuple[str, LockMode]] = field(default_factory=list)
+
+
+class LockManager:
+    """Record/range lock table with waits-for deadlock detection.
+
+    Lock items are ``(node, record_key)`` pairs, so a range lock that spans
+    fragments naturally touches several nodes — the §8.1 setting.
+    """
+
+    def __init__(self):
+        self._table: Dict[Tuple[int, int], _LockEntry] = {}
+        #: transaction -> set of transactions it currently waits for.
+        self._waits_for: Dict[str, Set[str]] = {}
+
+    # -- acquisition ---------------------------------------------------------
+
+    def acquire(self, txn: str, node: int, key: int, mode: LockMode) -> bool:
+        """Try to lock record ``key`` at ``node`` for transaction ``txn``.
+
+        Returns True when granted immediately.  When blocked, the request
+        joins the wait queue and the waits-for graph is checked; a cycle
+        raises :class:`DeadlockError` naming the victim (``txn``) and the
+        request is withdrawn.
+        """
+        item = (node, key)
+        entry = self._table.setdefault(item, _LockEntry())
+        held = entry.holders.get(txn)
+        if held is not None:
+            if held is mode or held is LockMode.EXCLUSIVE:
+                return True  # already strong enough
+            # Upgrade S -> X: allowed only with no other holders.
+            if len(entry.holders) == 1:
+                entry.holders[txn] = LockMode.EXCLUSIVE
+                return True
+            return self._block(txn, item, LockMode.EXCLUSIVE)
+        if self._grantable(entry, mode):
+            entry.holders[txn] = mode
+            return True
+        return self._block(txn, item, mode)
+
+    def _grantable(self, entry: _LockEntry, mode: LockMode) -> bool:
+        if entry.waiters:
+            return False  # FIFO fairness: queue behind existing waiters
+        return all(mode.compatible_with(h) for h in entry.holders.values())
+
+    def _block(self, txn: str, item: Tuple[int, int], mode: LockMode) -> bool:
+        entry = self._table[item]
+        blockers = {
+            holder
+            for holder, held in entry.holders.items()
+            if holder != txn and not mode.compatible_with(held)
+        } | {waiter for waiter, _ in entry.waiters if waiter != txn}
+        self._waits_for.setdefault(txn, set()).update(blockers)
+        if self._has_cycle(txn):
+            self._waits_for.pop(txn, None)
+            raise DeadlockError(
+                f"transaction {txn!r} would deadlock waiting for {sorted(blockers)} "
+                f"on record {item[1]} at node {item[0]}"
+            )
+        entry.waiters.append((txn, mode))
+        return False
+
+    # -- release --------------------------------------------------------------
+
+    def release_all(self, txn: str) -> None:
+        """Drop every lock and pending request of ``txn``; grant waiters."""
+        self._waits_for.pop(txn, None)
+        for blockers in self._waits_for.values():
+            blockers.discard(txn)
+        for item, entry in list(self._table.items()):
+            entry.holders.pop(txn, None)
+            entry.waiters = [(t, m) for t, m in entry.waiters if t != txn]
+            self._promote(item)
+            if not entry.holders and not entry.waiters:
+                del self._table[item]
+
+    def _promote(self, item: Tuple[int, int]) -> None:
+        """Grant queued requests that are now compatible (FIFO order)."""
+        entry = self._table.get(item)
+        if entry is None:
+            return
+        while entry.waiters:
+            txn, mode = entry.waiters[0]
+            if not all(mode.compatible_with(h) for h in entry.holders.values()):
+                break
+            entry.waiters.pop(0)
+            entry.holders[txn] = mode
+            waits = self._waits_for.get(txn)
+            if waits is not None:
+                waits.clear()
+
+    # -- queries -----------------------------------------------------------------
+
+    def holds(self, txn: str, node: int, key: int, mode: Optional[LockMode] = None) -> bool:
+        entry = self._table.get((node, key))
+        if entry is None or txn not in entry.holders:
+            return False
+        return mode is None or entry.holders[txn] is mode or (
+            entry.holders[txn] is LockMode.EXCLUSIVE
+        )
+
+    def is_waiting(self, txn: str) -> bool:
+        """True when ``txn`` has a queued (ungranted) request."""
+        return any(
+            any(t == txn for t, _ in entry.waiters) for entry in self._table.values()
+        )
+
+    def _has_cycle(self, start: str) -> bool:
+        """DFS from ``start`` through the waits-for graph."""
+        seen: Set[str] = set()
+        stack = list(self._waits_for.get(start, ()))
+        while stack:
+            current = stack.pop()
+            if current == start:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._waits_for.get(current, ()))
+        return False

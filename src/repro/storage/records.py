@@ -1,0 +1,78 @@
+"""The file as a sequence of records.
+
+"We take the view that a file is essentially a sequence of records.  These
+records are the components of the file that reside entirely on a single
+node" (§8.1).  Records carry an integer key (their position) and an opaque
+value; the :class:`File` is the logical whole the allocation fragments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional
+
+from repro.exceptions import StorageError
+
+
+@dataclass
+class Record:
+    """One atomic unit of the file."""
+
+    key: int
+    value: Any = None
+    version: int = 0
+
+    def updated(self, value: Any) -> "Record":
+        """A new version of this record with ``value``."""
+        return Record(key=self.key, value=value, version=self.version + 1)
+
+
+class File:
+    """A logical file of ``record_count`` sequential records.
+
+    Parameters
+    ----------
+    record_count:
+        Number of records; allocation fractions are rounded against this
+        (more records = closer to the optimizer's real-valued optimum,
+        as §8.1 notes).
+    name:
+        Label used by the directory layer.
+    initial_value:
+        Value every record starts with.
+    """
+
+    def __init__(self, record_count: int, *, name: str = "file", initial_value: Any = None):
+        if record_count < 1:
+            raise StorageError(f"a file needs at least one record, got {record_count}")
+        self.name = name
+        self._records: List[Record] = [
+            Record(key=i, value=initial_value) for i in range(record_count)
+        ]
+
+    @property
+    def record_count(self) -> int:
+        return len(self._records)
+
+    def record(self, key: int) -> Record:
+        """The record with position ``key``."""
+        if not 0 <= key < len(self._records):
+            raise StorageError(f"record key {key} out of range [0, {len(self._records)})")
+        return self._records[key]
+
+    def records(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def slice(self, start: int, end: int) -> List[Record]:
+        """Records in ``[start, end)`` — one contiguous fragment."""
+        if not (0 <= start <= end <= len(self._records)):
+            raise StorageError(
+                f"invalid slice [{start}, {end}) of {len(self._records)} records"
+            )
+        return self._records[start:end]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        return f"File(name={self.name!r}, records={len(self._records)})"

@@ -1,0 +1,160 @@
+"""Replicated record storage for multi-copy allocations (§7 + §8.1).
+
+Realizes a §7 ring allocation (``sum x = m`` copies, contiguous end-to-end
+layout) as actual replicated records: every record lives at the ``m``
+nodes whose layout intervals cover its position.  Reads follow the §7.2
+protocol (the first replica clockwise from the reader); writes are
+*write-all* — every replica is updated, version-bumped in lockstep — which
+is exactly the consistency cost §8.2 says a general multi-copy model must
+charge (and which :mod:`repro.multicopy.readwrite` prices analytically).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.exceptions import StorageError
+from repro.multicopy.layout import node_intervals
+from repro.network.virtual_ring import VirtualRing
+from repro.storage.records import File, Record
+
+
+class ReplicatedCluster:
+    """``m`` copies of a file spread contiguously around a virtual ring.
+
+    Parameters
+    ----------
+    file:
+        The logical file (defines the record count).
+    ring:
+        The virtual ring the §7 allocation lives on.
+    allocation:
+        Per-node fractions with ``sum = m >= 1``; realized at record
+        granularity through the end-to-end interval layout.
+    """
+
+    def __init__(self, file: File, ring: VirtualRing, allocation):
+        x = np.asarray(allocation, dtype=float)
+        if x.sum() < 1.0 - 1e-9:
+            raise StorageError(
+                f"total mass {x.sum():g} < 1: no complete copy to replicate"
+            )
+        self.file = file
+        self.ring = ring
+        self._stores: Dict[int, Dict[int, Record]] = {n: {} for n in range(ring.n)}
+        #: key -> holders (node ids), in ring order from position 0.
+        self._holders: Dict[int, List[int]] = {}
+
+        intervals = node_intervals(ring, x)
+        records = file.record_count
+        for key in range(records):
+            position = (key + 0.5) / records  # record centers avoid edge ties
+            holders: List[int] = []
+            for node, spans in enumerate(intervals):
+                if any(start <= position < end for start, end in spans):
+                    holders.append(node)
+            if not holders:
+                raise StorageError(
+                    f"record {key} has no replica (degenerate layout)"
+                )
+            record = file.record(key)
+            for node in holders:
+                # Replicas are independent copies (write-all keeps them in
+                # step; divergence is detectable, see is_consistent).
+                self._stores[node][key] = Record(
+                    key=record.key, value=record.value, version=record.version
+                )
+            self._holders[key] = holders
+
+    # -- placement queries -------------------------------------------------
+
+    def holders(self, key: int) -> List[int]:
+        """Every node holding a replica of record ``key``."""
+        try:
+            return list(self._holders[key])
+        except KeyError:
+            raise StorageError(f"record key {key} out of range") from None
+
+    def replication_factor(self, key: int) -> int:
+        return len(self.holders(key))
+
+    def stored_fractions(self) -> np.ndarray:
+        """Realized record-space measure per node."""
+        total = self.file.record_count
+        return np.array(
+            [len(self._stores[n]) / total for n in range(self.ring.n)]
+        )
+
+    # -- operations -------------------------------------------------------------
+
+    def read(self, key: int, *, from_node: int) -> Tuple[int, Record, float]:
+        """Read via the §7.2 protocol: the first replica clockwise.
+
+        Returns ``(serving_node, record, communication_cost)``.
+        """
+        holders = self.holders(key)
+        serving = min(
+            holders, key=lambda h: (self.ring.forward_distance(from_node, h), h)
+        )
+        cost = self.ring.forward_distance(from_node, serving)
+        return serving, self._stores[serving][key], cost
+
+    def write(self, key: int, value: Any, *, from_node: int) -> Tuple[List[int], float]:
+        """Write-all: update every replica; returns ``(holders, total_cost)``.
+
+        All replicas receive the same new version (lockstep bump), keeping
+        the cluster consistent — the §8.2 consistency cost is the summed
+        shipping distance.
+        """
+        holders = self.holders(key)
+        new_version = max(self._stores[h][key].version for h in holders) + 1
+        cost = 0.0
+        for h in holders:
+            self._stores[h][key] = Record(key=key, value=value, version=new_version)
+            cost += self.ring.forward_distance(from_node, h)
+        return holders, cost
+
+    # -- consistency ---------------------------------------------------------------
+
+    def is_consistent(self) -> bool:
+        """True when every record's replicas agree on value and version."""
+        return not self.inconsistent_records()
+
+    def inconsistent_records(self) -> List[int]:
+        """Keys whose replicas diverge (empty for a healthy cluster)."""
+        bad = []
+        for key, holders in self._holders.items():
+            replicas = [self._stores[h][key] for h in holders]
+            first = replicas[0]
+            if any(
+                r.value != first.value or r.version != first.version
+                for r in replicas[1:]
+            ):
+                bad.append(key)
+        return bad
+
+    def corrupt_replica(self, key: int, node: int, value: Any) -> None:
+        """Damage one replica out-of-band (failure-injection for tests)."""
+        if node not in self.holders(key):
+            raise StorageError(f"node {node} holds no replica of record {key}")
+        old = self._stores[node][key]
+        self._stores[node][key] = Record(key=key, value=value, version=old.version)
+
+    def repair(self, key: int) -> None:
+        """Anti-entropy: overwrite divergent replicas with the newest one."""
+        holders = self.holders(key)
+        newest = max(
+            (self._stores[h][key] for h in holders), key=lambda r: r.version
+        )
+        for h in holders:
+            self._stores[h][key] = Record(
+                key=key, value=newest.value, version=newest.version
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicatedCluster(records={self.file.record_count}, "
+            f"nodes={self.ring.n})"
+        )

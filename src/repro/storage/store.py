@@ -1,0 +1,162 @@
+"""Per-node record stores and the cluster view.
+
+A :class:`NodeStore` holds one node's contiguous fragment; the
+:class:`StorageCluster` assembles stores from an optimizer allocation (via
+largest-remainder rounding), owns the directory, and serves record-level
+queries/updates the way §4 describes: look up the node, address the access
+there.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import StorageError
+from repro.storage.directory import Directory
+from repro.storage.fragments import fragment_allocation
+from repro.storage.records import File, Record
+
+
+class NodeStore:
+    """One node's fragment: records ``[start, end)`` of the file."""
+
+    def __init__(self, node_id: int, records: List[Record]):
+        self.node_id = node_id
+        self._records: Dict[int, Record] = {r.key: r for r in records}
+        self.query_count = 0
+        self.update_count = 0
+
+    @property
+    def record_count(self) -> int:
+        return len(self._records)
+
+    def keys(self) -> List[int]:
+        return sorted(self._records)
+
+    def has(self, key: int) -> bool:
+        return key in self._records
+
+    def peek(self, key: int) -> Record:
+        """Read one record *without* counting it as an access (admin path:
+        migrations, consistency checks)."""
+        try:
+            return self._records[key]
+        except KeyError:
+            raise StorageError(f"node {self.node_id} does not hold record {key}") from None
+
+    def query(self, key: int) -> Record:
+        """Read one record (counts toward this node's access load)."""
+        try:
+            record = self._records[key]
+        except KeyError:
+            raise StorageError(f"node {self.node_id} does not hold record {key}") from None
+        self.query_count += 1
+        return record
+
+    def update(self, key: int, value: Any) -> Record:
+        """Write one record, bumping its version."""
+        if key not in self._records:
+            raise StorageError(f"node {self.node_id} does not hold record {key}")
+        self.update_count += 1
+        self._records[key] = self._records[key].updated(value)
+        return self._records[key]
+
+    def install(self, record: Record) -> None:
+        """Adopt a record (fragment migration after re-optimization)."""
+        self._records[record.key] = record
+
+    def evict(self, key: int) -> Record:
+        """Remove and return a record (the donor side of a migration)."""
+        try:
+            return self._records.pop(key)
+        except KeyError:
+            raise StorageError(f"node {self.node_id} does not hold record {key}") from None
+
+    def __repr__(self) -> str:
+        return f"NodeStore(node={self.node_id}, records={len(self._records)})"
+
+
+class StorageCluster:
+    """All node stores plus the directory for one fragmented file.
+
+    Build with :meth:`from_allocation` to realize an optimizer output as
+    actual record placement.
+    """
+
+    def __init__(self, stores: Dict[int, NodeStore], directory: Directory, file: File):
+        self.stores = stores
+        self.directory = directory
+        self.file = file
+
+    @classmethod
+    def from_allocation(
+        cls, file: File, fractions, n_nodes: int
+    ) -> "StorageCluster":
+        """Round ``fractions`` to record boundaries and place the fragments."""
+        x = np.asarray(fractions, dtype=float)
+        if x.size != n_nodes:
+            raise StorageError(f"{x.size} fractions for {n_nodes} nodes")
+        counts, spans = fragment_allocation(x, file.record_count)
+        directory = Directory(spans, file.record_count)
+        stores = {
+            node: NodeStore(node, file.slice(start, end))
+            for node, (start, end) in spans.items()
+        }
+        # Nodes with no fragment still exist (they may receive mass later).
+        for node in range(n_nodes):
+            stores.setdefault(node, NodeStore(node, []))
+        return cls(stores, directory, file)
+
+    # -- record operations ----------------------------------------------------
+
+    def query(self, key: int) -> Tuple[int, Record]:
+        """Read record ``key``: ``(serving_node, record)``."""
+        node = self.directory.node_for(key)
+        return node, self.stores[node].query(key)
+
+    def update(self, key: int, value: Any) -> Tuple[int, Record]:
+        """Write record ``key``: ``(serving_node, new_record)``."""
+        node = self.directory.node_for(key)
+        return node, self.stores[node].update(key, value)
+
+    # -- views -------------------------------------------------------------------
+
+    def realized_fractions(self) -> np.ndarray:
+        """The actually stored share per node (rounded allocation)."""
+        total = self.file.record_count
+        out = np.zeros(max(self.stores) + 1)
+        for node, store in self.stores.items():
+            out[node] = store.record_count / total
+        return out
+
+    def migrate(self, new_fractions) -> "StorageCluster":
+        """Re-fragment to a new allocation, carrying record state over.
+
+        Returns a new cluster whose records preserve values/versions —
+        what the "run the algorithm at night and redistribute" §8 scenario
+        performs.  Access counters reset (they belong to a measurement
+        epoch, not to the data).
+        """
+        n = len(self.stores)
+        counts, spans = fragment_allocation(np.asarray(new_fractions, float), self.file.record_count)
+        directory = Directory(spans, self.file.record_count)
+        # Pull the *live* records (latest versions) from the current stores,
+        # not the pristine File contents.
+        live: Dict[int, Record] = {}
+        for store in self.stores.values():
+            for key in store.keys():
+                live[key] = store.peek(key)
+        stores: Dict[int, NodeStore] = {}
+        for node, (start, end) in spans.items():
+            stores[node] = NodeStore(node, [live[k] for k in range(start, end)])
+        for node in range(n):
+            stores.setdefault(node, NodeStore(node, []))
+        return StorageCluster(stores, directory, self.file)
+
+    def __repr__(self) -> str:
+        return (
+            f"StorageCluster(nodes={len(self.stores)}, "
+            f"records={self.file.record_count})"
+        )

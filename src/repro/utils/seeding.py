@@ -1,0 +1,53 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the library (traffic generation, random
+topologies, failure injection) accepts either a seed or a
+``numpy.random.Generator``; these helpers centralize the conversion and let
+an experiment derive independent child streams reproducibly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def rng_from_seed(seed: SeedLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` from any seed-like value."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+class SeedSequenceFactory:
+    """Hands out independent child generators from one root seed.
+
+    Example
+    -------
+    >>> factory = SeedSequenceFactory(42)
+    >>> rng_a = factory.generator("traffic")
+    >>> rng_b = factory.generator("failures")
+
+    Children are keyed by name so the stream a component receives does not
+    depend on the order components are constructed in.
+    """
+
+    def __init__(self, root_seed: Optional[int] = None):
+        self._root = np.random.SeedSequence(root_seed)
+        self._children: dict[str, np.random.SeedSequence] = {}
+
+    def generator(self, name: str) -> np.random.Generator:
+        """Return (creating on first use) the generator for ``name``."""
+        if name not in self._children:
+            # Derive a stable child from the hash of the name so ordering
+            # of first-use does not matter.
+            digest = abs(hash(name)) % (2**31)
+            self._children[name] = np.random.SeedSequence(
+                entropy=self._root.entropy, spawn_key=(digest,)
+            )
+        return np.random.default_rng(self._children[name])

@@ -1,0 +1,49 @@
+"""Plain-text table rendering for experiment reports and benchmarks.
+
+The benchmark harness prints "paper says / we measured" rows; this module
+keeps that formatting in one place so every bench reads the same.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _cell(value: Any, width: int | None = None) -> str:
+    if isinstance(value, float):
+        text = f"{value:.4g}"
+    else:
+        text = str(value)
+    if width is not None:
+        text = text.ljust(width)
+    return text
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render a list of rows as an aligned monospace table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5], ["x", "y"]]))
+    a  b
+    -  ---
+    1  2.5
+    x  y
+    """
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)

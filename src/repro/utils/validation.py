@@ -1,0 +1,95 @@
+"""Argument validation helpers.
+
+These helpers raise :class:`repro.exceptions.ConfigurationError` with a
+descriptive message naming the offending parameter, so call sites can stay
+terse while still producing actionable errors.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+Number = Union[int, float]
+
+
+def check_positive(value: Number, name: str) -> float:
+    """Return ``value`` as a float, requiring it to be strictly positive."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0:
+        raise ConfigurationError(f"{name} must be a finite positive number, got {value!r}")
+    return value
+
+
+def check_nonnegative(value: Number, name: str) -> float:
+    """Return ``value`` as a float, requiring it to be >= 0."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0:
+        raise ConfigurationError(f"{name} must be a finite non-negative number, got {value!r}")
+    return value
+
+
+def check_in_range(
+    value: Number,
+    name: str,
+    low: float,
+    high: float,
+    *,
+    inclusive_low: bool = True,
+    inclusive_high: bool = True,
+) -> float:
+    """Return ``value`` as a float, requiring ``low .. high`` membership."""
+    value = float(value)
+    low_ok = value >= low if inclusive_low else value > low
+    high_ok = value <= high if inclusive_high else value < high
+    if not (np.isfinite(value) and low_ok and high_ok):
+        lo_b = "[" if inclusive_low else "("
+        hi_b = "]" if inclusive_high else ")"
+        raise ConfigurationError(
+            f"{name} must lie in {lo_b}{low}, {high}{hi_b}, got {value!r}"
+        )
+    return value
+
+
+def check_probability_vector(
+    values: Iterable[Number],
+    name: str,
+    *,
+    total: float = 1.0,
+    atol: float = 1e-9,
+) -> np.ndarray:
+    """Validate a non-negative vector summing to ``total`` (default 1).
+
+    Returns the vector as a float ndarray.  Used for allocations
+    ``sum(x) == m`` and access-probability vectors.
+    """
+    arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigurationError(f"{name} must be a non-empty 1-D vector")
+    if not np.all(np.isfinite(arr)):
+        raise ConfigurationError(f"{name} contains non-finite entries")
+    if np.any(arr < -atol):
+        raise ConfigurationError(f"{name} contains negative entries: {arr.min()}")
+    if abs(arr.sum() - total) > atol * max(1.0, abs(total)) + atol:
+        raise ConfigurationError(
+            f"{name} must sum to {total}, got {arr.sum()!r} (difference "
+            f"{arr.sum() - total:g})"
+        )
+    return arr
+
+
+def check_square_matrix(matrix, name: str, *, size: int | None = None) -> np.ndarray:
+    """Validate a finite square 2-D matrix, optionally of a given size."""
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ConfigurationError(f"{name} must be a square matrix, got shape {arr.shape}")
+    if size is not None and arr.shape[0] != size:
+        raise ConfigurationError(
+            f"{name} must be {size}x{size}, got {arr.shape[0]}x{arr.shape[1]}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ConfigurationError(f"{name} contains non-finite entries")
+    return arr

@@ -1,0 +1,133 @@
+"""Synthetic workload generators.
+
+The paper's experiments use uniform access rates; real deployments do not.
+These generators produce the per-node access-rate vectors (and drifting
+sequences of them) that the examples, benches, and the §8 adaptive loop
+exercise: hot spots, Zipf popularity, diurnal swings.
+
+Every generator returns plain rate vectors normalized to a requested total
+so they plug directly into :class:`~repro.core.model.FileAllocationProblem`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.seeding import SeedLike, rng_from_seed
+from repro.utils.validation import check_in_range, check_positive
+
+
+def uniform_rates(n: int, *, total: float = 1.0) -> np.ndarray:
+    """Every node generates the same traffic — the paper's §6 setting."""
+    if n < 1:
+        raise ConfigurationError(f"need at least one node, got {n}")
+    total = check_positive(total, "total")
+    return np.full(n, total / n)
+
+
+def hotspot_rates(
+    n: int,
+    hot_node: int = 0,
+    *,
+    hot_share: float = 0.6,
+    total: float = 1.0,
+) -> np.ndarray:
+    """One node generates ``hot_share`` of all traffic, the rest split evenly."""
+    if not 0 <= hot_node < n:
+        raise ConfigurationError(f"hot_node {hot_node} out of range for n={n}")
+    hot_share = check_in_range(hot_share, "hot_share", 0.0, 1.0)
+    total = check_positive(total, "total")
+    rates = np.full(n, total * (1.0 - hot_share) / max(1, n - 1))
+    rates[hot_node] = total * hot_share
+    if n == 1:
+        rates[0] = total
+    return rates
+
+
+def zipf_rates(n: int, *, exponent: float = 1.0, total: float = 1.0,
+               seed: SeedLike = None) -> np.ndarray:
+    """Zipf-popularity traffic: rank ``r`` generates ``~ 1 / r^exponent``.
+
+    With a seed, the rank-to-node assignment is shuffled (otherwise node 0
+    is the most talkative).
+    """
+    if n < 1:
+        raise ConfigurationError(f"need at least one node, got {n}")
+    exponent = check_positive(exponent, "exponent")
+    total = check_positive(total, "total")
+    weights = 1.0 / np.arange(1, n + 1, dtype=float) ** exponent
+    if seed is not None:
+        rng_from_seed(seed).shuffle(weights)
+    return total * weights / weights.sum()
+
+
+def diurnal_drift(
+    n: int,
+    *,
+    total: float = 1.0,
+    period: int = 24,
+    sharpness: float = 3.0,
+) -> Callable[[int], np.ndarray]:
+    """A drifting workload: the traffic peak moves around the nodes once
+    per ``period`` epochs (think time zones around a global deployment).
+
+    Returns an ``epoch -> rates`` callable, the shape the §8 adaptive loop
+    (:class:`~repro.estimation.adaptive.AdaptiveAllocationLoop`) consumes.
+    ``sharpness`` controls how concentrated the peak is (von Mises-style).
+    """
+    if n < 2:
+        raise ConfigurationError(f"diurnal drift needs n >= 2, got {n}")
+    if period < 1:
+        raise ConfigurationError(f"period must be >= 1, got {period}")
+    total = check_positive(total, "total")
+    sharpness = check_positive(sharpness, "sharpness")
+
+    def rates(epoch: int) -> np.ndarray:
+        phase = 2.0 * math.pi * (epoch % period) / period
+        angles = 2.0 * math.pi * np.arange(n) / n
+        weights = np.exp(sharpness * np.cos(angles - phase))
+        return total * weights / weights.sum()
+
+    return rates
+
+
+def rotating_hotspot(
+    n: int,
+    *,
+    total: float = 1.0,
+    hot_share: float = 0.6,
+    dwell: int = 1,
+) -> Callable[[int], np.ndarray]:
+    """The hotspot jumps to the next node every ``dwell`` epochs —
+    the example/bench workload for the adaptive loop."""
+    if dwell < 1:
+        raise ConfigurationError(f"dwell must be >= 1, got {dwell}")
+
+    def rates(epoch: int) -> np.ndarray:
+        return hotspot_rates(
+            n, (epoch // dwell) % n, hot_share=hot_share, total=total
+        )
+
+    return rates
+
+
+def perturbed_rates(
+    base: np.ndarray,
+    *,
+    relative_noise: float = 0.1,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Multiplicative lognormal jitter around a base vector, renormalized
+    to the same total — 'same workload, different day'."""
+    base = np.asarray(base, dtype=float)
+    if np.any(base < 0) or base.sum() <= 0:
+        raise ConfigurationError("base rates must be non-negative, positive total")
+    relative_noise = check_positive(relative_noise, "relative_noise")
+    rng = rng_from_seed(seed)
+    jitter = rng.lognormal(mean=0.0, sigma=relative_noise, size=base.size)
+    noisy = base * jitter
+    return noisy * (base.sum() / noisy.sum())

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.initials import paper_skewed_allocation
+from repro.core.model import FileAllocationProblem
+from repro.network.builders import complete_graph, ring_graph
+
+
+@pytest.fixture
+def paper_problem() -> FileAllocationProblem:
+    """The §6 experimental setup: 4-node unit ring, mu=1.5, k=1, lambda=1."""
+    return FileAllocationProblem.paper_network()
+
+
+@pytest.fixture
+def paper_start() -> np.ndarray:
+    """The §6 initial allocation (0.8, 0.1, 0.1, 0)."""
+    return paper_skewed_allocation(4)
+
+
+@pytest.fixture
+def asymmetric_problem() -> FileAllocationProblem:
+    """A deliberately lopsided instance: unequal rates, costs, and mus —
+    exercises code paths the symmetric paper network cannot."""
+    topo = ring_graph(5, link_costs=[1.0, 2.0, 0.5, 3.0, 1.5])
+    rates = np.array([0.05, 0.3, 0.1, 0.25, 0.2])
+    return FileAllocationProblem.from_topology(
+        topo, rates, k=0.7, mu=[1.6, 2.0, 1.4, 3.0, 1.8], name="asymmetric"
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def feasible_random_allocation(rng: np.random.Generator, n: int) -> np.ndarray:
+    """A random point of the allocation simplex."""
+    return rng.dirichlet(np.ones(n))

@@ -1,0 +1,155 @@
+"""Tests for the analysis toolkit: bounds, convergence, oscillation,
+optimality gaps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    derivative_bounds,
+    detect_oscillation,
+    estimate_linear_rate,
+    iterations_to_tolerance,
+    optimality_gap,
+    oscillation_metrics,
+    sweep_alpha_iterations,
+    verify_convexity_on_grid,
+)
+from repro.core.algorithm import DecentralizedAllocator
+from repro.core.initials import paper_skewed_allocation, uniform_allocation
+from repro.core.trace import IterationRecord, Trace
+from repro.exceptions import ConfigurationError
+
+
+def _trace(costs):
+    return Trace(
+        [
+            IterationRecord(
+                iteration=i,
+                allocation=np.array([1.0]),
+                cost=c,
+                utility=-c,
+                gradient_spread=0.0,
+                alpha=0.1,
+                active_count=1,
+            )
+            for i, c in enumerate(costs)
+        ]
+    )
+
+
+class TestDerivativeBounds:
+    def test_paper_instance_values(self, paper_problem):
+        bounds = derivative_bounds(paper_problem)
+        # Upper: Cmax + mu k/(mu-lam)^2 = 1 + 1.5/0.25 = 7.
+        assert bounds.gradient_upper == pytest.approx(7.0)
+        # Lower: Cmin + k/mu = 1 + 2/3.
+        assert bounds.gradient_lower == pytest.approx(1 + 1 / 1.5)
+        # Hessian: 2 mu k lam/(mu-lam)^3 = 3/0.125 = 24.
+        assert bounds.hessian_upper == pytest.approx(24.0)
+
+    def test_bounds_attained_at_extremes(self, paper_problem):
+        g_at_vertex = paper_problem.cost_gradient(np.array([1.0, 0, 0, 0]))
+        assert g_at_vertex[0] == pytest.approx(7.0)
+        g_at_zero = paper_problem.cost_gradient(np.zeros(4) + 1e-300)
+        assert g_at_zero.min() == pytest.approx(1 + 1 / 1.5)
+
+    def test_contains_helpers(self, paper_problem):
+        bounds = derivative_bounds(paper_problem)
+        assert bounds.contains_gradient([2.0, 6.9])
+        assert not bounds.contains_gradient([7.5])
+        assert bounds.contains_hessian([0.0, 23.0])
+        assert not bounds.contains_hessian([25.0])
+
+    def test_requires_stable_mu(self):
+        from repro.core.model import FileAllocationProblem
+        from repro.queueing import MM1Delay, QuadraticOverloadDelay
+
+        problem = FileAllocationProblem(
+            1 - np.eye(2),
+            [1.0, 1.0],
+            delay_models=[QuadraticOverloadDelay(MM1Delay(1.5)) for _ in range(2)],
+        )
+        with pytest.raises(ConfigurationError):
+            derivative_bounds(problem)
+
+
+class TestConvexityCheck:
+    def test_paper_problem_is_convex(self, paper_problem):
+        assert verify_convexity_on_grid(paper_problem, samples=60, seed=0)
+
+    def test_detects_nonconvexity(self):
+        """A doctored 'problem' with a concave cost must be flagged."""
+
+        class Fake:
+            n = 3
+
+            def cost(self, x):
+                return -float(np.sum(np.asarray(x) ** 2))
+
+        assert not verify_convexity_on_grid(Fake(), samples=50, seed=0)
+
+
+class TestConvergenceDiagnostics:
+    def test_iterations_to_tolerance(self):
+        trace = _trace([10.0, 5.0, 2.0, 1.001, 1.0])
+        assert iterations_to_tolerance(trace, tolerance=0.01) == 3
+        assert iterations_to_tolerance(trace, tolerance=100.0) == 0
+
+    def test_linear_rate_of_geometric_decay(self):
+        costs = [1.0 + 0.5**i for i in range(15)]
+        rate = estimate_linear_rate(_trace(costs), tail=10)
+        assert rate == pytest.approx(0.5, rel=0.05)
+
+    def test_linear_rate_none_when_converged_exactly(self):
+        rate = estimate_linear_rate(_trace([1.0, 1.0, 1.0, 1.0]))
+        assert rate is None
+
+    def test_sweep_finds_sensible_best_alpha(self, paper_problem, paper_start):
+        counts, best = sweep_alpha_iterations(
+            paper_problem, paper_start, [0.05, 0.2, 0.5], epsilon=1e-3
+        )
+        assert set(counts) == {0.05, 0.2, 0.5}
+        assert counts[0.5] <= counts[0.2] <= counts[0.05]
+        assert best == 0.5
+
+
+class TestOscillation:
+    def test_monotone_sequence_not_oscillating(self):
+        assert not detect_oscillation([5.0, 4.0, 3.0, 2.0, 1.0])
+
+    def test_alternating_sequence_detected(self):
+        costs = [3.0, 2.0, 2.5, 2.0, 2.5, 2.0, 2.5]
+        assert detect_oscillation(costs, window=6, min_reversals=3)
+
+    def test_metrics(self):
+        costs = [3.0, 2.0, 2.5, 2.0, 2.5]
+        m = oscillation_metrics(costs, window=5)
+        assert m.increases == 2
+        assert m.reversals == 3
+        assert m.trailing_amplitude == pytest.approx(1.0)
+
+    def test_short_sequences(self):
+        assert not detect_oscillation([1.0])
+        m = oscillation_metrics([1.0])
+        assert m.increases == 0 and m.reversals == 0
+
+
+class TestOptimalityGap:
+    def test_zero_gap_at_optimum(self, paper_problem):
+        gap = optimality_gap(paper_problem, uniform_allocation(4))
+        assert gap.relative_cost_gap == pytest.approx(0.0, abs=1e-9)
+        assert gap.optimal_cost == pytest.approx(1.8)
+
+    def test_positive_gap_away_from_optimum(self, paper_problem, paper_start):
+        gap = optimality_gap(paper_problem, paper_start)
+        assert gap.relative_cost_gap > 0.1
+        assert gap.allocation_distance == pytest.approx(0.55)
+
+    def test_algorithm_closes_the_gap(self, asymmetric_problem):
+        before = optimality_gap(asymmetric_problem, uniform_allocation(5))
+        result = DecentralizedAllocator(
+            asymmetric_problem, alpha=0.1, epsilon=1e-7
+        ).run(uniform_allocation(5))
+        after = optimality_gap(asymmetric_problem, result.allocation)
+        assert after.relative_cost_gap < before.relative_cost_gap
+        assert after.relative_cost_gap < 1e-5

@@ -1,0 +1,82 @@
+"""Tests for the k-selection framework (§8 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensitivity import (
+    choose_k_for_delay_budget,
+    evaluate_k,
+    sweep_k,
+)
+from repro.core.model import FileAllocationProblem
+from repro.exceptions import ConfigurationError, ConvergenceError
+from repro.network.builders import ring_graph
+
+
+def _factory(k: float) -> FileAllocationProblem:
+    return FileAllocationProblem.from_topology(
+        ring_graph(5, [1.0, 2.0, 1.0, 3.0, 1.0]),
+        np.array([0.3, 0.2, 0.1, 0.2, 0.2]),
+        k=k,
+        mu=1.6,
+    )
+
+
+class TestEvaluateK:
+    def test_point_components(self):
+        point = evaluate_k(_factory, 1.0)
+        assert point.k == 1.0
+        assert point.mean_delay > 0
+        assert point.mean_communication_cost > 0
+        assert point.allocation.sum() == pytest.approx(1.0)
+        assert 1.0 <= point.spread_nodes <= 5.0
+
+    def test_total_cost_decomposition(self):
+        """comm + k*delay must equal the problem's cost at the optimum."""
+        point = evaluate_k(_factory, 2.0)
+        problem = _factory(2.0)
+        total = point.mean_communication_cost + 2.0 * point.mean_delay
+        assert total == pytest.approx(problem.cost(point.allocation))
+
+
+class TestSweepK:
+    def test_delay_monotone_decreasing_in_k(self):
+        points = sweep_k(_factory, [0.01, 0.1, 1.0, 10.0, 100.0])
+        delays = [p.mean_delay for p in points]
+        assert all(delays[i] >= delays[i + 1] - 1e-9 for i in range(len(delays) - 1))
+
+    def test_communication_monotone_increasing_in_k(self):
+        points = sweep_k(_factory, [0.01, 1.0, 100.0])
+        comms = [p.mean_communication_cost for p in points]
+        assert comms[0] <= comms[1] <= comms[2] + 1e-12
+
+    def test_spread_grows_with_k(self):
+        """Heavier delay weighting fragments the file further (§4's
+        dichotomy between the two extreme strategies)."""
+        points = sweep_k(_factory, [0.01, 100.0])
+        assert points[-1].spread_nodes > points[0].spread_nodes
+
+
+class TestChooseK:
+    def test_meets_a_binding_budget(self):
+        loose = evaluate_k(_factory, 1e-4).mean_delay
+        tight = evaluate_k(_factory, 1e4).mean_delay
+        target = 0.5 * (loose + tight)  # strictly between: binding budget
+        point = choose_k_for_delay_budget(_factory, target)
+        assert point.mean_delay <= target + 1e-6
+        # Minimality: a clearly smaller k would violate the budget.
+        smaller = evaluate_k(_factory, point.k / 2)
+        assert smaller.mean_delay > target - 1e-6
+
+    def test_slack_budget_returns_k_low(self):
+        point = choose_k_for_delay_budget(_factory, target_delay=100.0, k_low=1e-3)
+        assert point.k == pytest.approx(1e-3)
+
+    def test_infeasible_budget_raises(self):
+        best_possible = evaluate_k(_factory, 1e4).mean_delay
+        with pytest.raises(ConvergenceError, match="infeasible"):
+            choose_k_for_delay_budget(_factory, target_delay=best_possible * 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            choose_k_for_delay_budget(_factory, 1.0, k_low=10.0, k_high=1.0)

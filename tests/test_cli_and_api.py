@@ -1,0 +1,134 @@
+"""Tests for the CLI entry point and the public package surface."""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cli import main
+
+
+class TestCli:
+    def test_solve_default(self, capsys):
+        assert main(["solve", "--nodes", "4", "--alpha", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "converged" in out
+        assert "allocation:" in out
+
+    def test_solve_with_plot(self, capsys):
+        assert main(["solve", "--plot", "--start", "single"]) == 0
+        out = capsys.readouterr().out
+        assert "convergence profile" in out
+
+    def test_solve_star(self, capsys):
+        assert main(["solve", "--topology", "star", "--nodes", "5"]) == 0
+        assert "star-5" in capsys.readouterr().out
+
+    def test_figure_4(self, capsys):
+        assert main(["figure", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "paper reduction" in out
+
+    def test_figure_3(self, capsys):
+        assert main(["figure", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "paper iters" in out
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "7"])
+
+    def test_module_entrypoint(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "solve", "--nodes", "4"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "converged" in proc.stdout
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_snippet(self):
+        """The README / module docstring example, verbatim."""
+        problem = repro.FileAllocationProblem.paper_network()
+        result = repro.DecentralizedAllocator(problem, alpha=0.3).run(
+            [0.8, 0.1, 0.1, 0.0]
+        )
+        np.testing.assert_allclose(result.allocation, 0.25, atol=1e-3)
+        assert result.trace.costs()[0] > result.trace.costs()[-1]
+
+    def test_core_exports_resolve(self):
+        import repro.core as core
+
+        for name in core.__all__:
+            assert hasattr(core, name), name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.analysis
+        import repro.baselines
+        import repro.distributed
+        import repro.economics
+        import repro.estimation
+        import repro.experiments
+        import repro.multicopy
+        import repro.network
+        import repro.queueing
+        import repro.storage
+
+        for module in (
+            repro.analysis,
+            repro.baselines,
+            repro.distributed,
+            repro.economics,
+            repro.estimation,
+            repro.experiments,
+            repro.multicopy,
+            repro.network,
+            repro.queueing,
+            repro.storage,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+
+class TestCliReport:
+    def test_fast_report(self, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out and "Figure 9" in out
+
+
+class TestCliTopology:
+    def test_topology_preview(self, capsys):
+        from repro.cli import main
+
+        assert main(["topology", "--nodes", "5", "--topology", "star"]) == 0
+        out = capsys.readouterr().out
+        assert "5 nodes, 4 edges" in out
+        assert "connected" in out
+
+
+class TestCliCopies:
+    def test_copy_sweep(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "copies", "--nodes", "4", "--mu", "8", "--write-fraction", "0.4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Copy-count sweep" in out
+        assert "optimal m = " in out

@@ -1,0 +1,162 @@
+"""Tests for the active-set / non-negativity policies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.active_set import (
+    ClampRedistribute,
+    PaperActiveSet,
+    ScaledStep,
+    Unconstrained,
+    make_policy,
+)
+
+POLICIES = [ScaledStep(), PaperActiveSet(), ClampRedistribute(), Unconstrained()]
+SAFE_POLICIES = [ScaledStep(), PaperActiveSet(), ClampRedistribute()]
+
+
+def _random_case(rng, n):
+    x = rng.dirichlet(np.ones(n))
+    g = rng.normal(size=n) * rng.uniform(0.5, 5.0)
+    alpha = rng.uniform(0.01, 2.0)
+    return x, g, alpha
+
+
+class TestFeasibilityInvariant:
+    @pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.name)
+    def test_mass_conservation(self, policy, rng):
+        for _ in range(100):
+            x, g, alpha = _random_case(rng, rng.integers(2, 9))
+            dx, _ = policy.apply(x, g, alpha)
+            assert dx.sum() == pytest.approx(0.0, abs=1e-10)
+
+    @pytest.mark.parametrize("policy", SAFE_POLICIES, ids=lambda p: p.name)
+    def test_nonnegativity(self, policy, rng):
+        for _ in range(200):
+            x, g, alpha = _random_case(rng, rng.integers(2, 9))
+            dx, _ = policy.apply(x, g, alpha)
+            assert np.all(x + dx >= -1e-12)
+
+    @pytest.mark.parametrize("policy", SAFE_POLICIES, ids=lambda p: p.name)
+    def test_boundary_start(self, policy, rng):
+        """Zero-share nodes with below-average marginals must not block."""
+        x = np.array([0.0, 0.0, 0.6, 0.4])
+        g = np.array([-5.0, -4.0, -1.0, -2.0])  # zero nodes are worst
+        dx, _ = policy.apply(x, g, 0.5)
+        assert np.all(x + dx >= -1e-12)
+        assert dx.sum() == pytest.approx(0.0, abs=1e-12)
+
+
+class TestDirection:
+    @pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.name)
+    def test_moves_toward_above_average_marginal(self, policy):
+        x = np.array([0.4, 0.3, 0.3])
+        g = np.array([1.0, 5.0, 3.0])  # node 1 has the best marginal
+        dx, _ = policy.apply(x, g, 0.01)
+        assert dx[1] > 0
+        assert dx[0] < 0
+
+    def test_unconstrained_is_exact_formula(self):
+        x = np.array([0.5, 0.5])
+        g = np.array([2.0, 4.0])
+        dx, _ = Unconstrained().apply(x, g, 0.1)
+        np.testing.assert_allclose(dx, [0.1 * (2 - 3), 0.1 * (4 - 3)])
+
+    @pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.name)
+    def test_equal_marginals_give_zero_step(self, policy):
+        x = np.array([0.2, 0.3, 0.5])
+        g = np.array([1.0, 1.0, 1.0])
+        dx, _ = policy.apply(x, g, 0.5)
+        np.testing.assert_allclose(dx, 0.0, atol=1e-12)
+
+
+class TestScaledStep:
+    def test_binding_node_lands_exactly_at_zero(self):
+        x = np.array([0.1, 0.9])
+        g = np.array([-10.0, 0.0])  # huge push away from node 0
+        dx, _ = ScaledStep().apply(x, g, 1.0)
+        assert (x + dx)[0] == pytest.approx(0.0, abs=1e-12)
+        assert (x + dx)[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_no_scaling_when_unneeded(self):
+        x = np.array([0.5, 0.5])
+        g = np.array([1.0, 2.0])
+        dx_scaled, _ = ScaledStep().apply(x, g, 0.1)
+        dx_raw, _ = Unconstrained().apply(x, g, 0.1)
+        np.testing.assert_allclose(dx_scaled, dx_raw)
+
+    def test_pinned_zero_node_is_frozen_not_blocking(self):
+        """A node at exactly 0 wanting to shrink must not zero the step."""
+        x = np.array([0.0, 0.6, 0.4])
+        g = np.array([-10.0, 1.0, 3.0])
+        dx, mask = ScaledStep().apply(x, g, 0.1)
+        assert dx[0] == 0.0
+        assert not mask[0]
+        assert dx[2] > 0  # the others still trade
+
+
+class TestPaperActiveSet:
+    def test_interior_case_matches_unconstrained(self):
+        x = np.array([0.4, 0.3, 0.3])
+        g = np.array([1.0, 2.0, 3.0])
+        dx_paper, mask = PaperActiveSet().apply(x, g, 0.05)
+        dx_raw, _ = Unconstrained().apply(x, g, 0.05)
+        np.testing.assert_allclose(dx_paper, dx_raw)
+        assert mask.all()
+
+    def test_freezes_violating_node(self):
+        # Node 0 at zero with the worst marginal: dropped from A.
+        x = np.array([0.0, 0.5, 0.5])
+        g = np.array([-10.0, 1.0, 2.0])
+        dx, mask = PaperActiveSet().apply(x, g, 0.5)
+        assert not mask[0]
+        assert dx[0] == 0.0
+        # The remaining two still redistribute between themselves.
+        assert dx[2] > 0 and dx[1] < 0
+
+    def test_readmission_branch_is_provably_dead(self, rng):
+        """Step (iv) of the paper's A-procedure can never fire.
+
+        A node is frozen only when its raw step is <= -x_j, which requires
+        a below-average marginal; dropping below-average values *raises*
+        the average of the remainder, so no frozen node can beat the
+        A-average.  We verify across many random instances that every
+        frozen node stays below the active-set average.
+        """
+        for _ in range(300):
+            n = int(rng.integers(3, 10))
+            x = rng.dirichlet(np.full(n, 0.3))  # skewed: shares near zero
+            g = rng.normal(scale=5.0, size=n)
+            alpha = rng.uniform(0.1, 3.0)
+            dx = alpha * (g - g.mean())
+            frozen = (x + dx) <= 0
+            if not frozen.any() or frozen.all():
+                continue
+            avg_active = g[~frozen].mean()
+            assert np.all(g[frozen] < avg_active)
+
+
+class TestClampRedistribute:
+    def test_violators_land_at_zero(self):
+        x = np.array([0.05, 0.5, 0.45])
+        g = np.array([-50.0, 1.0, 2.0])
+        dx, _ = ClampRedistribute().apply(x, g, 1.0)
+        new = x + dx
+        assert new[0] == pytest.approx(0.0, abs=1e-12)
+        assert new.sum() == pytest.approx(1.0, abs=1e-10)
+
+
+class TestMakePolicy:
+    def test_by_name(self):
+        assert isinstance(make_policy("paper"), PaperActiveSet)
+        assert isinstance(make_policy("scaled-step"), ScaledStep)
+
+    def test_passthrough(self):
+        policy = ScaledStep()
+        assert make_policy(policy) is policy
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown"):
+            make_policy("nope")

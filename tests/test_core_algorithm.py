@@ -1,0 +1,238 @@
+"""Tests for the main decentralized allocator (§5.2) against the paper's
+reported behaviour and the closed-form optimum."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import DecentralizedAllocator, solve
+from repro.core.initials import (
+    paper_skewed_allocation,
+    random_allocation,
+    single_node_allocation,
+    uniform_allocation,
+)
+from repro.core.kkt import check_kkt, optimal_allocation
+from repro.core.model import FileAllocationProblem
+from repro.core.termination import CostDeltaCriterion
+from repro.exceptions import ConfigurationError, ConvergenceError
+from repro.network.builders import complete_graph, star_graph
+
+
+class TestPaperAnchors:
+    """The quantitative anchors quoted in §6."""
+
+    def test_symmetric_optimum_is_uniform(self, paper_problem, paper_start):
+        result = DecentralizedAllocator(paper_problem, alpha=0.3).run(paper_start)
+        assert result.converged
+        np.testing.assert_allclose(result.allocation, 0.25, atol=1e-3)
+
+    @pytest.mark.parametrize(
+        "alpha,paper_iterations",
+        [(0.67, 4), (0.3, 10), (0.19, 20), (0.08, 51)],
+    )
+    def test_iteration_counts_match_paper(self, paper_problem, paper_start, alpha, paper_iterations):
+        """Figure 3's counts: we allow +-2 iterations of slack (the paper
+        reports 4/10/20/51; we measure 4/9/19/51)."""
+        result = DecentralizedAllocator(
+            paper_problem, alpha=alpha, epsilon=1e-3
+        ).run(paper_start)
+        assert result.converged
+        assert abs(result.iterations - paper_iterations) <= 2
+
+    def test_epsilon_pins_marginal_agreement(self, paper_problem, paper_start):
+        result = DecentralizedAllocator(
+            paper_problem, alpha=0.3, epsilon=1e-3
+        ).run(paper_start)
+        g = paper_problem.utility_gradient(result.allocation)
+        assert g.max() - g.min() < 1e-3
+
+
+class TestInvariants:
+    def test_feasible_at_every_iteration(self, asymmetric_problem, rng):
+        allocator = DecentralizedAllocator(asymmetric_problem, alpha=0.2)
+        result = allocator.run(random_allocation(5, seed=rng))
+        for record in result.trace.records:
+            assert record.allocation.sum() == pytest.approx(1.0, abs=1e-9)
+            assert record.allocation.min() >= -1e-12
+
+    def test_monotone_cost(self, asymmetric_problem, rng):
+        for seed in range(5):
+            result = DecentralizedAllocator(asymmetric_problem, alpha=0.1).run(
+                random_allocation(5, seed=seed)
+            )
+            assert result.trace.is_monotone()
+
+    def test_converges_to_kkt_point(self, asymmetric_problem):
+        result = DecentralizedAllocator(
+            asymmetric_problem, alpha=0.1, epsilon=1e-8
+        ).run(uniform_allocation(5))
+        report = check_kkt(asymmetric_problem, result.allocation, tolerance=1e-5)
+        assert report.satisfied
+
+    def test_matches_closed_form_optimum(self, asymmetric_problem):
+        result = DecentralizedAllocator(
+            asymmetric_problem, alpha=0.1, epsilon=1e-9
+        ).run(uniform_allocation(5))
+        x_star = optimal_allocation(asymmetric_problem)
+        assert asymmetric_problem.cost(result.allocation) == pytest.approx(
+            asymmetric_problem.cost(x_star), rel=1e-6
+        )
+
+    def test_independent_of_initial_allocation(self, asymmetric_problem):
+        """§5.1: the start affects iterations, never the optimum."""
+        finals = []
+        for x0 in (
+            uniform_allocation(5),
+            single_node_allocation(5, 3),
+            paper_skewed_allocation(5),
+        ):
+            result = DecentralizedAllocator(
+                asymmetric_problem, alpha=0.1, epsilon=1e-9
+            ).run(x0)
+            finals.append(result.allocation)
+        np.testing.assert_allclose(finals[0], finals[1], atol=1e-4)
+        np.testing.assert_allclose(finals[0], finals[2], atol=1e-4)
+
+    def test_early_termination_is_feasible_and_better(self, paper_problem, paper_start):
+        """§5.3: stopping early still yields a feasible, strictly improved
+        allocation — the run-in-the-background property."""
+        allocator = DecentralizedAllocator(
+            paper_problem, alpha=0.08, epsilon=1e-12, max_iterations=3
+        )
+        result = allocator.run(paper_start)
+        assert not result.converged
+        paper_problem.check_feasible(result.allocation)
+        assert result.cost < paper_problem.cost(paper_start)
+
+
+class TestBoundaryBehaviour:
+    def test_zero_share_stays_zero_when_kkt_allows(self):
+        """A node so expensive it gets nothing must sit at exactly 0."""
+        # Node 2 has a huge access cost: it should receive no mass.
+        costs = np.array(
+            [[0, 1, 50], [1, 0, 50], [50, 50, 0]], dtype=float
+        )
+        problem = FileAllocationProblem(costs, [0.4, 0.4, 0.2], mu=2.0)
+        result = DecentralizedAllocator(problem, alpha=0.2, epsilon=1e-9).run(
+            uniform_allocation(3)
+        )
+        x_star = optimal_allocation(problem)
+        assert x_star[2] == pytest.approx(0.0, abs=1e-9)
+        assert result.allocation[2] == pytest.approx(0.0, abs=1e-3)
+        report = check_kkt(problem, result.allocation, tolerance=1e-4)
+        assert report.satisfied
+
+    def test_start_at_vertex(self, paper_problem):
+        result = DecentralizedAllocator(paper_problem, alpha=0.3, epsilon=1e-6).run(
+            single_node_allocation(4, 0)
+        )
+        assert result.converged
+        np.testing.assert_allclose(result.allocation, 0.25, atol=1e-3)
+
+
+class TestDriverMechanics:
+    def test_default_start_is_uniform(self, paper_problem):
+        result = DecentralizedAllocator(paper_problem, alpha=0.3).run()
+        # Uniform is already optimal for the symmetric ring: 0 iterations.
+        assert result.iterations == 0
+        assert result.converged
+
+    def test_max_iterations_respected(self, paper_problem, paper_start):
+        result = DecentralizedAllocator(
+            paper_problem, alpha=0.001, epsilon=1e-9, max_iterations=7
+        ).run(paper_start)
+        assert result.iterations == 7
+        assert not result.converged
+
+    def test_raise_on_failure(self, paper_problem, paper_start):
+        allocator = DecentralizedAllocator(
+            paper_problem, alpha=0.001, epsilon=1e-9, max_iterations=5
+        )
+        with pytest.raises(ConvergenceError):
+            allocator.run(paper_start, raise_on_failure=True)
+
+    def test_custom_termination(self, paper_problem, paper_start):
+        allocator = DecentralizedAllocator(
+            paper_problem,
+            alpha=0.3,
+            termination=CostDeltaCriterion(tolerance=1e-4),
+        )
+        result = allocator.run(paper_start)
+        assert result.converged
+        costs = result.trace.costs()
+        assert abs(costs[-1] - costs[-2]) < 1e-4
+
+    def test_infeasible_start_rejected(self, paper_problem):
+        with pytest.raises(Exception):
+            DecentralizedAllocator(paper_problem).run([0.5, 0.5, 0.5, 0.5])
+
+    def test_solve_convenience(self, paper_problem, paper_start):
+        result = solve(paper_problem, alpha=0.3, initial_allocation=paper_start)
+        assert result.converged
+
+    def test_trace_records_alphas(self, paper_problem, paper_start):
+        result = DecentralizedAllocator(paper_problem, alpha=0.42).run(paper_start)
+        alphas = result.trace.alphas()
+        assert np.isnan(alphas[0])
+        assert np.all(alphas[1:] == 0.42)
+
+    def test_bad_configuration(self, paper_problem):
+        with pytest.raises(ConfigurationError):
+            DecentralizedAllocator(paper_problem, max_iterations=0)
+        with pytest.raises(ConfigurationError):
+            DecentralizedAllocator(paper_problem, epsilon=0.0)
+
+
+class TestOtherTopologies:
+    def test_star_concentrates_on_hub(self):
+        problem = FileAllocationProblem.from_topology(
+            star_graph(5, center=0), np.full(5, 0.2), mu=1.5
+        )
+        result = DecentralizedAllocator(problem, alpha=0.2, epsilon=1e-8).run(
+            uniform_allocation(5)
+        )
+        # The hub is cheapest to reach: it must hold the largest share.
+        assert result.allocation[0] == result.allocation.max()
+        assert result.allocation[0] > 0.3
+
+    def test_complete_graph_uniform(self):
+        problem = FileAllocationProblem.from_topology(
+            complete_graph(8), np.full(8, 1 / 8), mu=1.5
+        )
+        result = DecentralizedAllocator(problem, alpha=0.5, epsilon=1e-8).run(
+            paper_skewed_allocation(8)
+        )
+        np.testing.assert_allclose(result.allocation, 1 / 8, atol=1e-4)
+
+    def test_heterogeneous_mu_favors_fast_nodes(self):
+        costs = 1.0 - np.eye(4)
+        problem = FileAllocationProblem(
+            costs, np.full(4, 0.25), mu=[1.2, 1.2, 1.2, 5.0]
+        )
+        result = DecentralizedAllocator(problem, alpha=0.2, epsilon=1e-8).run(
+            uniform_allocation(4)
+        )
+        assert result.allocation[3] == result.allocation.max()
+
+
+class TestCallback:
+    def test_callback_sees_every_record(self, paper_problem, paper_start):
+        seen = []
+        result = DecentralizedAllocator(
+            paper_problem, alpha=0.3, callback=seen.append
+        ).run(paper_start)
+        assert len(seen) == len(result.trace)
+        assert seen[0].iteration == 0
+        assert seen[-1].iteration == result.iterations
+        # Records arrive in order with monotone cost.
+        costs = [r.cost for r in seen]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_callback_exception_propagates(self, paper_problem, paper_start):
+        def boom(record):
+            raise RuntimeError("observer failed")
+
+        with pytest.raises(RuntimeError, match="observer failed"):
+            DecentralizedAllocator(
+                paper_problem, alpha=0.3, callback=boom
+            ).run(paper_start)

@@ -1,0 +1,56 @@
+"""Tests for the initial-allocation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.initials import (
+    paper_skewed_allocation,
+    proportional_allocation,
+    random_allocation,
+    single_node_allocation,
+    uniform_allocation,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestInitials:
+    def test_uniform(self):
+        np.testing.assert_allclose(uniform_allocation(4), 0.25)
+        with pytest.raises(ConfigurationError):
+            uniform_allocation(0)
+
+    def test_single_node(self):
+        x = single_node_allocation(5, 2)
+        assert x[2] == 1.0 and x.sum() == 1.0
+        with pytest.raises(ConfigurationError):
+            single_node_allocation(3, 3)
+
+    def test_paper_skewed(self):
+        np.testing.assert_allclose(paper_skewed_allocation(4), [0.8, 0.1, 0.1, 0.0])
+        x = paper_skewed_allocation(10)
+        assert x.sum() == pytest.approx(1.0)
+        assert np.all(x[3:] == 0.0)
+        with pytest.raises(ConfigurationError):
+            paper_skewed_allocation(2)
+
+    def test_random_feasible_and_reproducible(self):
+        a = random_allocation(6, seed=1)
+        b = random_allocation(6, seed=1)
+        np.testing.assert_allclose(a, b)
+        assert a.sum() == pytest.approx(1.0)
+        assert a.min() >= 0
+
+    def test_random_concentration(self):
+        skewed = random_allocation(8, seed=0, concentration=0.05)
+        flat = random_allocation(8, seed=0, concentration=100.0)
+        assert skewed.max() > flat.max()
+        with pytest.raises(ConfigurationError):
+            random_allocation(3, concentration=0.0)
+
+    def test_proportional(self):
+        x = proportional_allocation([1.0, 3.0])
+        np.testing.assert_allclose(x, [0.25, 0.75])
+        with pytest.raises(ConfigurationError):
+            proportional_allocation([0.0, 0.0])
+        with pytest.raises(ConfigurationError):
+            proportional_allocation([-1.0, 2.0])

@@ -1,0 +1,177 @@
+"""Tests for the closed-form optimum, KKT checks, and the baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ProjectedGradientSolver,
+    best_integral_allocation,
+    exhaustive_grid_optimum,
+    greedy_integral_multifile,
+    integral_costs,
+)
+from repro.core.kkt import check_kkt, optimal_allocation, optimal_cost
+from repro.core.model import FileAllocationProblem
+from repro.core.multifile import MultiFileProblem
+from repro.exceptions import ConfigurationError, StabilityError
+
+
+class TestClosedFormOptimum:
+    def test_symmetric_instance(self, paper_problem):
+        x = optimal_allocation(paper_problem)
+        np.testing.assert_allclose(x, 0.25, atol=1e-9)
+        assert optimal_cost(paper_problem) == pytest.approx(1.8)
+
+    def test_feasible(self, asymmetric_problem):
+        x = optimal_allocation(asymmetric_problem)
+        asymmetric_problem.check_feasible(x)
+
+    def test_beats_random_allocations(self, asymmetric_problem, rng):
+        c_star = optimal_cost(asymmetric_problem)
+        for _ in range(50):
+            x = rng.dirichlet(np.ones(5))
+            assert asymmetric_problem.cost(x) >= c_star - 1e-9
+
+    def test_agrees_with_exhaustive_grid(self, asymmetric_problem):
+        _, grid_cost = exhaustive_grid_optimum(asymmetric_problem, resolution=40)
+        c_star = optimal_cost(asymmetric_problem)
+        assert c_star <= grid_cost + 1e-9
+        assert grid_cost - c_star < 0.01  # grid is O(1/resolution) close
+
+    def test_kkt_report_at_optimum(self, asymmetric_problem):
+        x = optimal_allocation(asymmetric_problem)
+        report = check_kkt(asymmetric_problem, x, tolerance=1e-6)
+        assert report.satisfied
+        assert report.interior_residual < 1e-6
+
+    def test_kkt_rejects_nonoptimal(self, asymmetric_problem):
+        report = check_kkt(asymmetric_problem, [0.9, 0.025, 0.025, 0.025, 0.025])
+        assert not report.satisfied
+
+
+class TestProjectedGradient:
+    def test_matches_closed_form(self, asymmetric_problem):
+        result = ProjectedGradientSolver(asymmetric_problem).run()
+        assert result.cost == pytest.approx(optimal_cost(asymmetric_problem), rel=1e-6)
+
+    def test_from_vertex(self, paper_problem):
+        result = ProjectedGradientSolver(paper_problem).run([0, 0, 0, 1.0])
+        assert result.cost == pytest.approx(1.8, rel=1e-6)
+
+
+class TestScipyReference:
+    def test_matches_closed_form(self, asymmetric_problem):
+        pytest.importorskip("scipy")
+        from repro.baselines import scipy_reference_optimum
+
+        result = scipy_reference_optimum(asymmetric_problem)
+        assert result.cost == pytest.approx(optimal_cost(asymmetric_problem), rel=1e-6)
+
+
+class TestIntegralBaseline:
+    def test_symmetric_ring_all_placements_equal(self, paper_problem):
+        costs = integral_costs(paper_problem)
+        np.testing.assert_allclose(costs, 3.0)
+
+    def test_best_placement(self, asymmetric_problem):
+        x, cost = best_integral_allocation(asymmetric_problem)
+        assert x.sum() == 1.0 and x.max() == 1.0
+        assert cost == pytest.approx(asymmetric_problem.cost(x))
+
+    def test_fragmentation_beats_integral(self, paper_problem):
+        """The figure-4 claim, as an inequality."""
+        _, integral = best_integral_allocation(paper_problem)
+        assert optimal_cost(paper_problem) < integral
+
+    def test_unstable_everywhere_raises(self):
+        # lambda = 1.4, mu = 1.5 per node, but with k large the delay at
+        # any single node is finite... use mu < lambda via overload models.
+        from repro.queueing import MM1Delay, QuadraticOverloadDelay
+
+        problem = FileAllocationProblem(
+            1.0 - np.eye(3),
+            [1.0, 1.0, 1.0],  # lambda = 3 > mu
+            delay_models=[QuadraticOverloadDelay(MM1Delay(2.0)) for _ in range(3)],
+        )
+        # Overload models keep it finite: best integral exists.
+        x, cost = best_integral_allocation(problem)
+        assert np.isfinite(cost)
+        # With hard M/M/1 models the same instance would have been
+        # rejected at construction (mu <= lambda) — covered elsewhere.
+
+    def test_exhaustive_validates_integral_vertices(self, paper_problem):
+        grid_x, grid_cost = exhaustive_grid_optimum(paper_problem, resolution=4)
+        # The resolution-4 grid contains the uniform point (1,1,1,1)/4.
+        assert grid_cost == pytest.approx(1.8)
+
+    def test_exhaustive_rejects_large_n(self):
+        problem = FileAllocationProblem(1.0 - np.eye(7), np.full(7, 0.1), mu=1.5)
+        with pytest.raises(ConfigurationError):
+            exhaustive_grid_optimum(problem)
+
+
+class TestGreedyMultifile:
+    def test_places_all_files_integrally(self):
+        rates = np.array([[0.3, 0.05, 0.05], [0.05, 0.3, 0.05]])
+        problem = MultiFileProblem(1.0 - np.eye(3), rates, mu=3.0)
+        x, cost = greedy_integral_multifile(problem)
+        assert x.shape == (2, 3)
+        np.testing.assert_allclose(x.sum(axis=1), 1.0)
+        assert set(np.unique(x)) <= {0.0, 1.0}
+        assert np.isfinite(cost)
+
+    def test_heavy_file_gets_its_home_node(self):
+        # File 0 is accessed overwhelmingly from node 0: greedy puts it there.
+        rates = np.array([[1.0, 0.01, 0.01], [0.01, 0.01, 0.02]])
+        problem = MultiFileProblem(10 * (1.0 - np.eye(3)), rates, mu=5.0)
+        x, _ = greedy_integral_multifile(problem)
+        assert x[0, 0] == 1.0
+
+
+class TestLocalSearchMultifile:
+    def _problem(self):
+        rates = np.array(
+            [[0.5, 0.05, 0.05, 0.05], [0.05, 0.5, 0.05, 0.05], [0.05, 0.05, 0.5, 0.05]]
+        )
+        return MultiFileProblem(1.0 - np.eye(4), rates, mu=4.0)
+
+    def test_never_worse_than_greedy(self):
+        from repro.baselines import greedy_integral_multifile, local_search_integral_multifile
+
+        problem = self._problem()
+        _, greedy_cost = greedy_integral_multifile(problem)
+        _, ls_cost = local_search_integral_multifile(problem)
+        assert ls_cost <= greedy_cost + 1e-9
+
+    def test_escapes_a_bad_start(self):
+        from repro.baselines import local_search_integral_multifile
+
+        problem = self._problem()
+        # All files stacked on node 3 (nobody's hot node): terrible.
+        bad = np.array([3, 3, 3])
+        x, cost = local_search_integral_multifile(problem, initial_nodes=bad)
+        stacked = np.zeros((3, 4))
+        stacked[:, 3] = 1.0
+        assert cost < problem.cost(stacked)
+        # Each file ends on its own hot node.
+        np.testing.assert_array_equal(np.argmax(x, axis=1), [0, 1, 2])
+
+    def test_fractional_optimum_still_beats_the_polished_integral(self):
+        """Fragmentation's edge survives the strongest integral heuristic."""
+        from repro.baselines import local_search_integral_multifile
+        from repro.core.multifile import MultiFileAllocator
+
+        problem = self._problem()
+        _, ls_cost = local_search_integral_multifile(problem)
+        fractional = MultiFileAllocator(problem, alpha=0.2, epsilon=1e-7).run(
+            np.full((3, 4), 0.25)
+        )
+        assert fractional.cost < ls_cost
+
+    def test_rejects_bad_initial(self):
+        from repro.baselines import local_search_integral_multifile
+
+        with pytest.raises(ValueError):
+            local_search_integral_multifile(
+                self._problem(), initial_nodes=np.array([0, 1, 9])
+            )

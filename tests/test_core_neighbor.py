@@ -1,0 +1,229 @@
+"""Tests for the neighbours-only (Laplacian exchange) algorithm (§8.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import DecentralizedAllocator
+from repro.core.initials import paper_skewed_allocation, uniform_allocation
+from repro.core.kkt import optimal_cost
+from repro.core.model import FileAllocationProblem
+from repro.core.neighbor import NeighborOnlyAllocator, graph_laplacian
+from repro.exceptions import ConfigurationError
+from repro.network.builders import complete_graph, line_graph, ring_graph
+from repro.network.topology import Topology
+
+
+class TestGraphLaplacian:
+    def test_rows_sum_to_zero(self):
+        lap = graph_laplacian(ring_graph(5))
+        np.testing.assert_allclose(lap.sum(axis=1), 0.0, atol=1e-12)
+        np.testing.assert_allclose(lap.sum(axis=0), 0.0, atol=1e-12)
+
+    def test_positive_semidefinite(self):
+        lap = graph_laplacian(ring_graph(6, [1, 2, 3, 1, 2, 3]), weight="inverse-cost")
+        eigenvalues = np.linalg.eigvalsh(lap)
+        assert eigenvalues.min() >= -1e-10
+
+    def test_complete_graph_is_centering_operator(self):
+        """L(K_n)/n applied to g gives g - mean(g): Heal's step."""
+        lap = graph_laplacian(complete_graph(5))
+        g = np.array([3.0, -1.0, 4.0, 1.0, 5.0])
+        np.testing.assert_allclose((lap @ g) / 5, g - g.mean())
+
+    def test_inverse_cost_weights(self):
+        topo = Topology(3, [(0, 1, 2.0), (1, 2, 4.0)])
+        lap = graph_laplacian(topo, weight="inverse-cost")
+        assert lap[0, 1] == -0.5
+        assert lap[1, 2] == -0.25
+        assert lap[1, 1] == 0.75
+
+    def test_unknown_weight(self):
+        with pytest.raises(ConfigurationError):
+            graph_laplacian(ring_graph(3), weight="magic")
+
+
+class TestNeighborOnlyAllocator:
+    def test_converges_on_the_paper_ring(self, paper_problem, paper_start):
+        result = NeighborOnlyAllocator(paper_problem, alpha=0.1).run(paper_start)
+        assert result.converged
+        np.testing.assert_allclose(result.allocation, 0.25, atol=1e-3)
+
+    def test_feasibility_every_iterate(self, paper_problem, paper_start):
+        result = NeighborOnlyAllocator(paper_problem, alpha=0.1).run(paper_start)
+        sums = result.trace.allocations().sum(axis=1)
+        np.testing.assert_allclose(sums, 1.0, atol=1e-9)
+        assert result.trace.allocations().min() >= -1e-12
+
+    def test_monotone_for_moderate_alpha(self, paper_problem, paper_start):
+        result = NeighborOnlyAllocator(paper_problem, alpha=0.05).run(paper_start)
+        assert result.trace.is_monotone()
+
+    def test_matches_global_optimum_when_support_is_connected(self):
+        """On an instance whose optimum keeps every node positive, edge
+        exchange reaches the same global optimum as the §5.2 rule."""
+        problem = FileAllocationProblem.from_topology(
+            ring_graph(5, [1.0, 1.5, 1.0, 2.0, 1.0]),
+            np.array([0.25, 0.2, 0.2, 0.15, 0.2]),
+            k=2.0,  # delay-dominated: interior optimum
+            mu=1.6,
+        )
+        result = NeighborOnlyAllocator(
+            problem, alpha=0.02, epsilon=1e-6, max_iterations=100_000
+        ).run(uniform_allocation(5))
+        assert result.converged
+        assert result.allocation.min() > 0
+        assert result.cost == pytest.approx(optimal_cost(problem), rel=1e-5)
+
+    def test_zero_separator_can_stall_edge_exchange(self, asymmetric_problem):
+        """The documented limitation: the asymmetric ring's optimum has
+        support {1, 3}, separated by zero-share node 2 whose marginal is
+        locally worst.  Pairwise exchange stalls above the optimum (the
+        gossip variant below does not)."""
+        result = NeighborOnlyAllocator(
+            asymmetric_problem, alpha=0.05, epsilon=1e-7, max_iterations=100_000
+        ).run(uniform_allocation(5))
+        assert not result.converged
+        # Stalled early (stall detection), strictly above the optimum.
+        assert result.iterations < 100_000
+        assert result.cost > optimal_cost(asymmetric_problem) + 1e-4
+        # But still feasible and better than the start (§5.3's early-stop
+        # guarantee holds for the exchange dynamic too).
+        asymmetric_problem.check_feasible(result.allocation)
+        assert result.cost < asymmetric_problem.cost(uniform_allocation(5))
+
+    def test_heal_is_the_complete_graph_special_case(self):
+        """alpha_neighbor = alpha_heal / n on K_n gives the identical run."""
+        problem = FileAllocationProblem.from_topology(
+            complete_graph(4), np.full(4, 0.25), mu=1.5
+        )
+        x0 = paper_skewed_allocation(4)
+        heal = DecentralizedAllocator(problem, alpha=0.3, epsilon=1e-3).run(x0)
+        neighbor = NeighborOnlyAllocator(problem, alpha=0.3 / 4, epsilon=1e-3).run(x0)
+        assert neighbor.iterations == heal.iterations
+        np.testing.assert_allclose(neighbor.allocation, heal.allocation, atol=1e-12)
+
+    def test_needs_more_iterations_on_sparse_graphs(self, paper_problem, paper_start):
+        """Information diffuses hop by hop: the ring is slower than the
+        §5.2 all-to-all rule — the communication/convergence trade-off the
+        paper anticipates."""
+        broadcast = DecentralizedAllocator(paper_problem, alpha=0.3, epsilon=1e-3).run(
+            paper_start
+        )
+        neighbor = NeighborOnlyAllocator(paper_problem, alpha=0.1, epsilon=1e-3).run(
+            paper_start
+        )
+        assert neighbor.iterations > broadcast.iterations
+
+    def test_but_fewer_messages_per_iteration(self, paper_problem):
+        allocator = NeighborOnlyAllocator(paper_problem, alpha=0.1)
+        # Ring: 2|E| = 8 vs broadcast N(N-1) = 12.
+        assert allocator.messages_per_iteration == 8
+        assert allocator.total_messages(10) == 80
+
+    def test_line_topology_endpoint_start(self):
+        """All mass at one end of a line must flow to the middle."""
+        problem = FileAllocationProblem.from_topology(
+            line_graph(5), np.full(5, 0.2), mu=1.5
+        )
+        result = NeighborOnlyAllocator(
+            problem, alpha=0.05, epsilon=1e-5, max_iterations=50_000
+        ).run([1.0, 0, 0, 0, 0])
+        assert result.converged
+        # The middle node is cheapest to reach: largest share.
+        assert result.allocation[2] == result.allocation.max()
+
+    def test_boundary_nodes_pinned_not_blocking(self):
+        """A zero-share node with outbound pressure must not stall the run."""
+        costs = np.array([[0, 1, 50], [1, 0, 50], [50, 50, 0]], dtype=float)
+        problem = FileAllocationProblem(costs, [0.4, 0.4, 0.2], mu=2.0)
+        result = NeighborOnlyAllocator(
+            problem,
+            topology=complete_graph(3),
+            alpha=0.05,
+            epsilon=1e-6,
+            max_iterations=50_000,
+        ).run(uniform_allocation(3))
+        assert result.converged
+        assert result.allocation[2] == pytest.approx(0.0, abs=1e-3)
+
+    def test_requires_topology(self):
+        problem = FileAllocationProblem(1 - np.eye(3), [0.2] * 3, mu=1.5)
+        with pytest.raises(ConfigurationError, match="topology"):
+            NeighborOnlyAllocator(problem)
+
+    def test_requires_connected_topology(self, paper_problem):
+        disconnected = Topology(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        with pytest.raises(ConfigurationError, match="connected"):
+            NeighborOnlyAllocator(paper_problem, topology=disconnected)
+
+    def test_topology_size_mismatch(self, paper_problem):
+        with pytest.raises(ConfigurationError, match="nodes"):
+            NeighborOnlyAllocator(paper_problem, topology=ring_graph(5))
+
+
+class TestGossipAverageAllocator:
+    def test_metropolis_matrix_is_doubly_stochastic(self):
+        from repro.core.neighbor import metropolis_weights
+
+        w = metropolis_weights(ring_graph(6))
+        np.testing.assert_allclose(w.sum(axis=0), 1.0)
+        np.testing.assert_allclose(w.sum(axis=1), 1.0)
+        np.testing.assert_allclose(w, w.T)
+        assert np.all(w >= 0)
+
+    def test_gossip_converges_to_average_preserving_sum(self, paper_problem):
+        from repro.core.neighbor import GossipAverageAllocator
+
+        allocator = GossipAverageAllocator(paper_problem, gossip_tol=1e-10)
+        values = np.array([4.0, -1.0, 2.0, 3.0])
+        estimates, rounds = allocator.gossip_average(values)
+        np.testing.assert_allclose(estimates, values.mean(), atol=1e-9)
+        assert estimates.sum() == pytest.approx(values.sum(), rel=1e-12)
+        assert rounds > 0
+
+    def test_trajectory_equals_broadcast_algorithm(self, paper_problem, paper_start):
+        from repro.core.neighbor import GossipAverageAllocator
+
+        gossip = GossipAverageAllocator(paper_problem, alpha=0.3, epsilon=1e-3)
+        g_result = gossip.run(paper_start)
+        b_result = DecentralizedAllocator(paper_problem, alpha=0.3, epsilon=1e-3).run(
+            paper_start
+        )
+        np.testing.assert_allclose(g_result.allocation, b_result.allocation)
+        assert g_result.iterations == b_result.iterations
+        # One gossip bill per completed iteration.
+        assert len(gossip.gossip_rounds_per_iteration) == g_result.iterations
+        assert gossip.total_messages() > 0
+
+    def test_no_stall_on_the_separator_instance(self, asymmetric_problem):
+        """Gossip reaches the global optimum where edge exchange stalls."""
+        from repro.core.neighbor import GossipAverageAllocator
+
+        result = GossipAverageAllocator(
+            asymmetric_problem, alpha=0.1, epsilon=1e-6
+        ).run(uniform_allocation(5))
+        assert result.converged
+        assert result.cost == pytest.approx(optimal_cost(asymmetric_problem), rel=1e-4)
+
+    def test_gossip_rounds_grow_with_diameter(self):
+        from repro.core.neighbor import GossipAverageAllocator
+
+        def rounds_on(topology):
+            n = topology.n
+            problem = FileAllocationProblem.from_topology(
+                topology, np.full(n, 1.0 / n), mu=1.5
+            )
+            allocator = GossipAverageAllocator(problem, gossip_tol=1e-6)
+            values = np.zeros(n)
+            values[0] = 1.0  # worst case: all disagreement at one node
+            _, rounds = allocator.gossip_average(values)
+            return rounds
+
+        assert rounds_on(line_graph(12)) > rounds_on(complete_graph(12))
+
+    def test_requires_connected_topology(self, paper_problem):
+        from repro.core.neighbor import GossipAverageAllocator
+
+        disconnected = Topology(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        with pytest.raises(ConfigurationError, match="connected"):
+            GossipAverageAllocator(paper_problem, topology=disconnected)

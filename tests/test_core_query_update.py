@@ -1,0 +1,79 @@
+"""Tests for the §5.4 query/update cost split."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import DecentralizedAllocator
+from repro.core.model import FileAllocationProblem
+from repro.core.query_update import QueryUpdateSpec, build_query_update_problem
+from repro.exceptions import ConfigurationError
+
+
+def _costs(n):
+    return 1.0 - np.eye(n)
+
+
+class TestFolding:
+    def test_equal_weights_and_matrices_reduce_to_plain_fap(self):
+        q = np.array([0.2, 0.3, 0.1])
+        u = np.array([0.1, 0.1, 0.2])
+        spec = QueryUpdateSpec(q, u, _costs(3))
+        folded = build_query_update_problem(spec, mu=3.0)
+        plain = FileAllocationProblem(_costs(3), q + u, mu=3.0)
+        np.testing.assert_allclose(folded.access_cost, plain.access_cost)
+        x = np.array([0.3, 0.3, 0.4])
+        assert folded.cost(x) == pytest.approx(plain.cost(x))
+
+    def test_access_cost_formula(self):
+        """C_i = sum_j (wq q_j cq_ji + wu u_j cu_ji) / Lambda by hand."""
+        q = np.array([1.0, 0.0])
+        u = np.array([0.0, 1.0])
+        cq = np.array([[0.0, 2.0], [2.0, 0.0]])
+        cu = np.array([[0.0, 6.0], [6.0, 0.0]])
+        spec = QueryUpdateSpec(q, u, cq, cu, query_weight=1.0, update_weight=2.0)
+        problem = build_query_update_problem(spec, mu=5.0)
+        # Lambda = 2. C_0 = (wq*q_0*cq_00 + wu*u_1*cu_10)/2 = (2*6)/2 = 6.
+        # C_1 = (wq*q_0*cq_01)/2 = 1.
+        np.testing.assert_allclose(problem.access_cost, [6.0, 1.0])
+
+    def test_expensive_updates_push_file_toward_updaters(self):
+        """Nodes issuing costly updates should end up holding more of the
+        file (their accesses are the expensive ones to ship)."""
+        n = 4
+        q = np.array([0.3, 0.3, 0.0, 0.0])
+        u = np.array([0.0, 0.0, 0.3, 0.3])
+        spec_cheap = QueryUpdateSpec(q, u, _costs(n), update_weight=1.0)
+        spec_dear = QueryUpdateSpec(q, u, _costs(n), update_weight=10.0)
+        cheap = build_query_update_problem(spec_cheap, mu=2.0)
+        dear = build_query_update_problem(spec_dear, mu=2.0)
+        x_cheap = DecentralizedAllocator(cheap, alpha=0.2, epsilon=1e-8).run().allocation
+        x_dear = DecentralizedAllocator(dear, alpha=0.2, epsilon=1e-8).run().allocation
+        updater_share_cheap = x_cheap[2] + x_cheap[3]
+        updater_share_dear = x_dear[2] + x_dear[3]
+        assert updater_share_dear > updater_share_cheap
+
+    def test_zero_traffic_node_handled(self):
+        q = np.array([0.5, 0.0, 0.2])
+        u = np.array([0.0, 0.0, 0.1])
+        problem = build_query_update_problem(
+            QueryUpdateSpec(q, u, _costs(3)), mu=2.0
+        )
+        assert np.isfinite(problem.cost([0.4, 0.3, 0.3]))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            build_query_update_problem(
+                QueryUpdateSpec([0.1], [0.1], [[0.0]]), mu=1.0
+            )
+        with pytest.raises(ConfigurationError, match="weights"):
+            build_query_update_problem(
+                QueryUpdateSpec(
+                    [0.1, 0.1], [0.1, 0.1], _costs(2),
+                    query_weight=0.0, update_weight=0.0,
+                ),
+                mu=2.0,
+            )
+        with pytest.raises(ConfigurationError):
+            build_query_update_problem(
+                QueryUpdateSpec([0.1, -0.1], [0.1, 0.1], _costs(2)), mu=2.0
+            )

@@ -1,0 +1,156 @@
+"""Tests for the stepsize policies and the Theorem-2 bound."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import DecentralizedAllocator
+from repro.core.initials import paper_skewed_allocation
+from repro.core.stepsize import (
+    BacktrackingLineSearch,
+    DecayOnOscillation,
+    DynamicStep,
+    FixedStep,
+    TheoremTwoStep,
+    make_stepsize,
+    theorem2_alpha_bound,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestFixedStep:
+    def test_constant(self, paper_problem):
+        policy = FixedStep(0.3)
+        g = paper_problem.utility_gradient([0.25] * 4)
+        assert policy.alpha(5, np.array([0.25] * 4), g, paper_problem) == 0.3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            FixedStep(0.0)
+
+    def test_make_stepsize_coercion(self):
+        assert isinstance(make_stepsize(0.5), FixedStep)
+        policy = DynamicStep()
+        assert make_stepsize(policy) is policy
+        with pytest.raises(ConfigurationError):
+            make_stepsize("fast")
+
+
+class TestTheorem2Bound:
+    def test_paper_instance_value(self, paper_problem):
+        """Closed form by hand: eps=1e-3, mu=1.5, lambda=1, k=1, n=4,
+        Cmax=Cmin=1 => bound = 1e-6 * 0.5^4 / (2*4*1*1*(1*1*2)^2)."""
+        bound = theorem2_alpha_bound(paper_problem, 1e-3)
+        expected = (1e-6 * 0.5**4) / (2 * 4 * 1 * 1 * (0 + 1 * 1 * (2 * 1.5 - 1)) ** 2)
+        assert bound == pytest.approx(expected)
+
+    def test_bound_is_tiny_as_paper_admits(self, paper_problem):
+        """'In practice this value of alpha is too small to be of any real
+        significance' (§8.2)."""
+        assert theorem2_alpha_bound(paper_problem, 1e-3) < 1e-6
+
+    def test_monotone_in_epsilon(self, paper_problem):
+        assert theorem2_alpha_bound(paper_problem, 1e-2) > theorem2_alpha_bound(
+            paper_problem, 1e-3
+        )
+
+    def test_running_at_the_bound_is_monotone(self, paper_problem, paper_start):
+        """The theorem's guarantee: a few steps at the bound never increase
+        the cost (full convergence at this alpha would take forever)."""
+        policy = TheoremTwoStep(epsilon=1e-3)
+        allocator = DecentralizedAllocator(
+            paper_problem, alpha=policy, max_iterations=200
+        )
+        result = allocator.run(paper_start)
+        assert result.trace.is_monotone()
+
+    def test_requires_mu_above_lambda(self, paper_problem):
+        from repro.core.model import FileAllocationProblem
+        from repro.queueing import MM1Delay, QuadraticOverloadDelay
+
+        overloadable = FileAllocationProblem(
+            paper_problem.cost_matrix,
+            paper_problem.access_rates * 4.0,  # lambda = 4 > mu = 1.5
+            delay_models=[QuadraticOverloadDelay(MM1Delay(1.5)) for _ in range(4)],
+        )
+        with pytest.raises(ConfigurationError, match="mu > lambda"):
+            theorem2_alpha_bound(overloadable, 1e-3)
+
+
+class TestDynamicStep:
+    def test_larger_than_static_bound(self, paper_problem, paper_start):
+        g = paper_problem.utility_gradient(paper_start)
+        dynamic = DynamicStep().alpha(0, paper_start, g, paper_problem)
+        static = theorem2_alpha_bound(paper_problem, 1e-3)
+        assert dynamic > 100 * static
+
+    def test_dynamic_run_is_monotone_and_fast(self, paper_problem, paper_start):
+        allocator = DecentralizedAllocator(
+            paper_problem, alpha=DynamicStep(), epsilon=1e-3
+        )
+        result = allocator.run(paper_start)
+        assert result.converged
+        assert result.trace.is_monotone()
+        assert result.iterations <= 30
+
+    def test_fallback_at_optimum(self, paper_problem):
+        """At equal marginals S1 = 0: policy returns its fallback."""
+        x = np.array([0.25] * 4)
+        g = paper_problem.utility_gradient(x)
+        policy = DynamicStep(fallback=0.123)
+        assert policy.alpha(0, x, g, paper_problem) == 0.123
+
+
+class TestBacktrackingLineSearch:
+    def test_returns_improving_alpha(self, paper_problem, paper_start):
+        policy = BacktrackingLineSearch(initial=10.0)
+        g = paper_problem.utility_gradient(paper_start)
+        alpha = policy.alpha(0, paper_start, g, paper_problem)
+        from repro.core.active_set import ScaledStep
+
+        dx, _ = ScaledStep().apply(paper_start, g, alpha)
+        assert paper_problem.cost(paper_start + dx) < paper_problem.cost(paper_start)
+
+    def test_full_run_monotone(self, paper_problem, paper_start):
+        allocator = DecentralizedAllocator(
+            paper_problem, alpha=BacktrackingLineSearch(initial=2.0), epsilon=1e-3
+        )
+        result = allocator.run(paper_start)
+        assert result.converged
+        assert result.trace.is_monotone()
+
+
+class TestDecayOnOscillation:
+    def test_decays_after_patience_bad_iterations(self):
+        policy = DecayOnOscillation(0.4, decay=0.5, patience=3)
+        policy.notify_cost(1, 10.0)  # new best
+        for it in range(2, 5):
+            policy.notify_cost(it, 11.0)  # three non-improving
+        assert policy.current_alpha == pytest.approx(0.2)
+
+    def test_improvement_resets_streak(self):
+        policy = DecayOnOscillation(0.4, decay=0.5, patience=2)
+        policy.notify_cost(1, 10.0)
+        policy.notify_cost(2, 11.0)
+        policy.notify_cost(3, 9.0)  # improvement
+        policy.notify_cost(4, 9.5)
+        assert policy.current_alpha == 0.4
+
+    def test_floor(self):
+        policy = DecayOnOscillation(0.1, decay=0.1, patience=1, min_alpha=0.05)
+        for it in range(10):
+            policy.notify_cost(it, 100.0)
+        assert policy.current_alpha == 0.05
+
+    def test_reset(self):
+        policy = DecayOnOscillation(0.4, decay=0.5, patience=1)
+        policy.notify_cost(1, 1.0)
+        policy.notify_cost(2, 2.0)
+        assert policy.current_alpha < 0.4
+        policy.reset()
+        assert policy.current_alpha == 0.4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DecayOnOscillation(0.1, decay=1.5)
+        with pytest.raises(ConfigurationError):
+            DecayOnOscillation(0.1, patience=0)

@@ -1,0 +1,156 @@
+"""Tests for iteration traces and termination criteria."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import DecentralizedAllocator
+from repro.core.termination import (
+    AnyOf,
+    CostDeltaCriterion,
+    GradientSpreadCriterion,
+    LowestObservedCostCriterion,
+)
+from repro.core.trace import IterationRecord, Trace
+from repro.exceptions import ConfigurationError
+
+
+def _record(i, cost, x=None, spread=0.1):
+    x = np.asarray(x if x is not None else [0.5, 0.5])
+    return IterationRecord(
+        iteration=i,
+        allocation=x,
+        cost=cost,
+        utility=-cost,
+        gradient_spread=spread,
+        alpha=0.1,
+        active_count=x.size,
+    )
+
+
+class TestTrace:
+    def test_series_and_lengths(self):
+        trace = Trace([_record(0, 3.0), _record(1, 2.0), _record(2, 1.5)])
+        np.testing.assert_allclose(trace.costs(), [3.0, 2.0, 1.5])
+        np.testing.assert_allclose(trace.utilities(), [-3.0, -2.0, -1.5])
+        assert trace.iterations == 2
+        assert len(trace) == 3
+        assert trace[1].cost == 2.0
+
+    def test_cost_reduction(self):
+        trace = Trace([_record(0, 4.0), _record(1, 3.0)])
+        assert trace.cost_reduction() == pytest.approx(0.25)
+
+    def test_monotonicity_detection(self):
+        good = Trace([_record(0, 3.0), _record(1, 2.0)])
+        bad = Trace([_record(0, 3.0), _record(1, 2.0), _record(2, 2.5)])
+        assert good.is_monotone()
+        assert not bad.is_monotone()
+        assert bad.monotonicity_violations() == 1
+
+    def test_rapid_phase_length(self):
+        # Drops from 10 to 1 at iteration 1, then slowly to 0.9.
+        costs = [10.0, 1.0, 0.95, 0.92, 0.9]
+        trace = Trace([_record(i, c) for i, c in enumerate(costs)])
+        assert trace.rapid_phase_length(fraction=0.9) == 1
+
+    def test_rapid_phase_of_flat_trace(self):
+        trace = Trace([_record(0, 1.0), _record(1, 1.0)])
+        assert trace.rapid_phase_length() == 0
+
+    def test_oscillation_amplitude(self):
+        costs = [5.0, 1.0, 1.2, 1.0, 1.2]
+        trace = Trace([_record(i, c) for i, c in enumerate(costs)])
+        assert trace.oscillation_amplitude(window=4) == pytest.approx(0.2)
+
+    def test_allocations_matrix(self):
+        trace = Trace([_record(0, 1.0, [0.7, 0.3]), _record(1, 0.9, [0.6, 0.4])])
+        assert trace.allocations().shape == (2, 2)
+
+    def test_to_csv_roundtrip_shape(self):
+        trace = Trace([_record(0, 1.0), _record(1, 0.9)])
+        lines = trace.to_csv().strip().splitlines()
+        assert lines[0].split(",")[:2] == ["iteration", "cost"]
+        assert len(lines) == 3
+        assert float(lines[1].split(",")[1]) == 1.0
+
+
+class TestGradientSpreadCriterion:
+    def test_stops_when_spread_small(self):
+        crit = GradientSpreadCriterion(epsilon=0.1)
+        g = np.array([1.0, 1.05])
+        mask = np.ones(2, dtype=bool)
+        assert crit.should_stop(0, np.array([0.5, 0.5]), g, mask, 1.0)
+
+    def test_respects_active_mask(self):
+        crit = GradientSpreadCriterion(epsilon=0.1)
+        g = np.array([1.0, 1.05, 99.0])
+        mask = np.array([True, True, False])
+        assert crit.should_stop(0, np.zeros(3), g, mask, 1.0)
+
+
+class TestCostDeltaCriterion:
+    def test_needs_two_costs_and_min_iterations(self):
+        crit = CostDeltaCriterion(tolerance=1e-3, min_iterations=2)
+        args = (np.zeros(2), np.zeros(2), np.ones(2, dtype=bool))
+        assert not crit.should_stop(0, *args, cost=1.0)
+        assert not crit.should_stop(1, *args, cost=1.0)
+        assert crit.should_stop(2, *args, cost=1.0)
+
+    def test_does_not_stop_on_moving_cost(self):
+        crit = CostDeltaCriterion(tolerance=1e-3, min_iterations=1)
+        args = (np.zeros(2), np.zeros(2), np.ones(2, dtype=bool))
+        assert not crit.should_stop(1, *args, cost=5.0)
+        assert not crit.should_stop(2, *args, cost=4.0)
+        assert crit.should_stop(3, *args, cost=4.0 - 1e-5)
+
+    def test_reset(self):
+        crit = CostDeltaCriterion(tolerance=1e-3, min_iterations=1)
+        args = (np.zeros(2), np.zeros(2), np.ones(2, dtype=bool))
+        crit.should_stop(1, *args, cost=1.0)
+        crit.reset()
+        assert not crit.should_stop(1, *args, cost=1.0)  # previous forgotten
+
+
+class TestLowestObservedCost:
+    def test_stops_after_window_without_new_best(self):
+        crit = LowestObservedCostCriterion(window=3)
+        args = (np.zeros(2), np.zeros(2), np.ones(2, dtype=bool))
+        assert not crit.should_stop(0, *args, cost=5.0)
+        assert not crit.should_stop(1, *args, cost=6.0)
+        assert not crit.should_stop(2, *args, cost=5.5)
+        assert crit.should_stop(3, *args, cost=5.2)
+
+    def test_new_best_resets(self):
+        crit = LowestObservedCostCriterion(window=2)
+        args = (np.zeros(2), np.zeros(2), np.ones(2, dtype=bool))
+        crit.should_stop(0, *args, cost=5.0)
+        crit.should_stop(1, *args, cost=6.0)
+        assert not crit.should_stop(2, *args, cost=4.0)  # new best
+        assert not crit.should_stop(3, *args, cost=4.5)
+        assert crit.should_stop(4, *args, cost=4.2)
+
+
+class TestAnyOf:
+    def test_fires_when_any_fires(self):
+        crit = AnyOf(
+            GradientSpreadCriterion(epsilon=1e-9),
+            CostDeltaCriterion(tolerance=10.0, min_iterations=1),
+        )
+        args = (np.zeros(2), np.array([0.0, 5.0]), np.ones(2, dtype=bool))
+        assert not crit.should_stop(0, *args, cost=1.0)
+        assert crit.should_stop(1, *args, cost=1.0)  # cost-delta fires
+
+    def test_needs_criteria(self):
+        with pytest.raises(ConfigurationError):
+            AnyOf()
+
+    def test_end_to_end_with_allocator(self, paper_problem, paper_start):
+        allocator = DecentralizedAllocator(
+            paper_problem,
+            alpha=0.3,
+            termination=AnyOf(
+                GradientSpreadCriterion(1e-3), CostDeltaCriterion(1e-7)
+            ),
+        )
+        result = allocator.run(paper_start)
+        assert result.converged

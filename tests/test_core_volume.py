@@ -1,0 +1,104 @@
+"""Tests for the §8 volume-dependent (pass-by-value) cost model."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DecentralizedAllocator,
+    FileAllocationProblem,
+    VolumeCostProblem,
+    check_kkt,
+    optimal_allocation,
+)
+from repro.estimation.finite_difference import (
+    finite_difference_gradient,
+    finite_difference_hessian_diag,
+)
+
+
+def _base():
+    costs = 1.0 - np.eye(4)
+    rates = np.array([0.5, 0.2, 0.2, 0.1])
+    return FileAllocationProblem(costs, rates, k=1.0, mu=2.0)
+
+
+class TestVolumeCostModel:
+    def test_reduces_to_paper_model_when_v1_zero(self):
+        base = _base()
+        lifted = VolumeCostProblem.from_problem(
+            base, fixed_volume=1.0, volume_per_fraction=0.0
+        )
+        x = np.array([0.4, 0.3, 0.2, 0.1])
+        assert lifted.cost(x) == pytest.approx(base.cost(x))
+        np.testing.assert_allclose(lifted.cost_gradient(x), base.cost_gradient(x))
+        np.testing.assert_allclose(
+            lifted.cost_hessian_diag(x), base.cost_hessian_diag(x)
+        )
+
+    def test_gradient_matches_finite_difference(self, rng):
+        problem = VolumeCostProblem.from_problem(
+            _base(), fixed_volume=0.5, volume_per_fraction=2.0
+        )
+        for _ in range(5):
+            x = rng.dirichlet(np.ones(4))
+            numeric = finite_difference_gradient(problem.cost, x)
+            np.testing.assert_allclose(
+                problem.cost_gradient(x), numeric, rtol=1e-4, atol=1e-6
+            )
+
+    def test_hessian_matches_finite_difference(self, rng):
+        problem = VolumeCostProblem.from_problem(
+            _base(), fixed_volume=0.5, volume_per_fraction=2.0
+        )
+        x = rng.dirichlet(np.ones(4))
+        numeric = finite_difference_hessian_diag(problem.cost, x)
+        np.testing.assert_allclose(
+            problem.cost_hessian_diag(x), numeric, rtol=1e-3, atol=1e-5
+        )
+
+    def test_node_marginal_matches_gradient(self, rng):
+        problem = VolumeCostProblem.from_problem(
+            _base(), volume_per_fraction=3.0
+        )
+        x = rng.dirichlet(np.ones(4))
+        g = problem.utility_gradient(x)
+        for i in range(4):
+            assert problem.node_marginal_utility(i, float(x[i])) == pytest.approx(g[i])
+
+    def test_still_convex(self):
+        from repro.analysis import verify_convexity_on_grid
+
+        problem = VolumeCostProblem.from_problem(
+            _base(), fixed_volume=0.2, volume_per_fraction=4.0
+        )
+        assert verify_convexity_on_grid(problem, samples=60, seed=1)
+
+    def test_algorithm_and_closed_form_agree(self):
+        problem = VolumeCostProblem.from_problem(
+            _base(), fixed_volume=0.5, volume_per_fraction=2.0
+        )
+        result = DecentralizedAllocator(problem, alpha=0.1, epsilon=1e-8).run(
+            np.full(4, 0.25)
+        )
+        assert result.converged
+        assert result.trace.is_monotone()
+        x_star = optimal_allocation(problem)
+        assert problem.cost(result.allocation) == pytest.approx(
+            problem.cost(x_star), rel=1e-5
+        )
+        assert check_kkt(problem, result.allocation, tolerance=1e-5).satisfied
+
+    def test_by_value_shipping_spreads_the_file_more(self):
+        """Large fragments become expensive to ship per access, so the
+        by-value model fragments more aggressively than the in-place one."""
+        base = _base()
+        by_value = VolumeCostProblem.from_problem(
+            base, fixed_volume=0.2, volume_per_fraction=5.0
+        )
+        x_base = optimal_allocation(base)
+        x_value = optimal_allocation(by_value)
+        assert x_value.max() < x_base.max()
+
+    def test_volume_validation(self):
+        with pytest.raises(Exception):
+            VolumeCostProblem.from_problem(_base(), fixed_volume=-1.0)

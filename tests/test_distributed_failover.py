@@ -1,0 +1,136 @@
+"""Tests for the failover epoch-restart runtime."""
+
+import numpy as np
+import pytest
+
+from repro.core import DecentralizedAllocator, FileAllocationProblem, optimal_allocation
+from repro.core.initials import single_node_allocation, uniform_allocation
+from repro.distributed import degraded_subproblem, run_with_failure
+from repro.exceptions import ConfigurationError
+from repro.network.builders import complete_graph, ring_graph
+
+
+class TestDegradedSubproblem:
+    def test_survivor_costs_reroute_around_the_corpse(self):
+        """On a ring, losing a node forces the long way around."""
+        problem = FileAllocationProblem.from_topology(
+            ring_graph(4), np.full(4, 0.25), mu=1.5
+        )
+        sub, survivors = degraded_subproblem(problem, failed_node=0)
+        np.testing.assert_array_equal(survivors, [1, 2, 3])
+        # Nodes 1 and 3 were 2 apart (via 0 or via 2); without node 0 the
+        # only route is 1-2-3: still 2.  Node 1 to 2 remains 1.
+        assert sub.cost_matrix[0, 2] == 2.0  # survivor idx 0 = node 1, idx 2 = node 3
+        assert sub.cost_matrix[0, 1] == 1.0
+
+    def test_rates_and_models_carry_over(self, asymmetric_problem):
+        sub, survivors = degraded_subproblem(asymmetric_problem, 2)
+        np.testing.assert_allclose(
+            sub.access_rates, asymmetric_problem.access_rates[survivors]
+        )
+        assert len(sub.delay_models) == 4
+
+    def test_disconnection_detected(self):
+        """Losing a line's interior node splits the network."""
+        from repro.network.builders import line_graph
+
+        problem = FileAllocationProblem.from_topology(
+            line_graph(4), np.full(4, 0.25), mu=1.5
+        )
+        with pytest.raises(ConfigurationError, match="disconnects"):
+            degraded_subproblem(problem, failed_node=1)
+
+    def test_requires_topology(self):
+        problem = FileAllocationProblem(1 - np.eye(3), [0.2] * 3, mu=1.5)
+        with pytest.raises(ConfigurationError, match="topology"):
+            degraded_subproblem(problem, 0)
+
+
+class TestRunWithFailure:
+    def test_survivors_reach_the_degraded_optimum(self, paper_problem):
+        result = run_with_failure(
+            paper_problem,
+            [0.8, 0.1, 0.1, 0.0],
+            failed_node=2,
+            fail_after_rounds=3,
+            epsilon=1e-5,
+        )
+        assert result.converged
+        assert result.allocation[2] == 0.0
+        # Matches optimizing the degraded instance directly.
+        x_star = optimal_allocation(result.degraded_problem)
+        survivors = np.array([0, 1, 3])
+        np.testing.assert_allclose(
+            result.allocation[survivors], x_star, atol=1e-3
+        )
+
+    def test_epoch_accounting(self, paper_problem):
+        result = run_with_failure(
+            paper_problem,
+            [0.8, 0.1, 0.1, 0.0],
+            failed_node=1,
+            fail_after_rounds=3,
+        )
+        assert result.rounds_before_failure == 3
+        assert result.rounds_after_failure > 0
+        assert result.stats.messages > 0
+        assert result.virtual_time > 5.0  # includes the detection delay
+
+    def test_immediate_failure(self, paper_problem):
+        result = run_with_failure(
+            paper_problem,
+            uniform_allocation(4),
+            failed_node=0,
+            fail_after_rounds=0,
+        )
+        assert result.rounds_before_failure == 0
+        assert result.converged
+
+    def test_epoch1_progress_is_kept(self, paper_problem):
+        """Epoch 2 starts from the (rescaled) epoch-1 iterate, not from
+        scratch — monotonicity makes partial work durable."""
+        few = run_with_failure(
+            paper_problem, [0.8, 0.1, 0.1, 0.0], failed_node=2,
+            fail_after_rounds=1, epsilon=1e-5,
+        )
+        many = run_with_failure(
+            paper_problem, [0.8, 0.1, 0.1, 0.0], failed_node=2,
+            fail_after_rounds=8, epsilon=1e-5,
+        )
+        # More pre-failure progress -> fewer recovery rounds.
+        assert many.rounds_after_failure <= few.rounds_after_failure
+
+    def test_total_outage_rejected(self, paper_problem):
+        with pytest.raises(ConfigurationError, match="entire file"):
+            run_with_failure(
+                paper_problem,
+                single_node_allocation(4, 1),
+                failed_node=1,
+                fail_after_rounds=0,
+            )
+
+    def test_central_protocol_also_supported(self, paper_problem):
+        result = run_with_failure(
+            paper_problem,
+            [0.8, 0.1, 0.1, 0.0],
+            failed_node=3,
+            fail_after_rounds=2,
+            protocol="central",
+        )
+        assert result.converged
+        assert result.allocation[3] == 0.0
+
+    def test_complete_graph_failure(self):
+        problem = FileAllocationProblem.from_topology(
+            complete_graph(6), np.full(6, 1 / 6), mu=1.5
+        )
+        result = run_with_failure(
+            problem,
+            np.full(6, 1 / 6),
+            failed_node=5,
+            fail_after_rounds=0,
+            epsilon=1e-5,
+        )
+        assert result.converged
+        # Symmetric survivors: uniform 1/5 each.
+        np.testing.assert_allclose(result.allocation[:5], 0.2, atol=1e-3)

@@ -1,0 +1,76 @@
+"""Tests for the distributed multi-copy runtime (§7.3 communication)."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import MultiCopyDistributedRuntime
+from repro.multicopy import MultiCopyAllocator, paper_figure8_rings
+
+
+@pytest.fixture
+def comm_ring():
+    comm, _ = paper_figure8_rings(mu=6.0)
+    return comm
+
+
+@pytest.fixture
+def delay_ring():
+    _, delay = paper_figure8_rings(mu=6.0)
+    return delay
+
+
+X0 = np.array([1.2, 0.3, 0.3, 0.2])
+
+
+class TestDistributedMultiCopy:
+    def test_trajectory_identical_to_centralized(self, delay_ring):
+        kwargs = dict(alpha=0.05, max_iterations=150)
+        central = MultiCopyAllocator(delay_ring, **kwargs).run(X0)
+        distributed = MultiCopyDistributedRuntime(delay_ring, **kwargs).run(X0)
+        np.testing.assert_array_equal(
+            distributed.result.allocation, central.allocation
+        )
+        np.testing.assert_array_equal(
+            distributed.result.last_allocation, central.last_allocation
+        )
+        assert distributed.result.iterations == central.iterations
+        np.testing.assert_array_equal(
+            distributed.result.cost_history, central.cost_history
+        )
+
+    def test_identical_on_the_oscillating_ring(self, comm_ring):
+        """Even through §7.3 oscillation + alpha decay, every node's
+        stepper replica stays in lockstep."""
+        kwargs = dict(alpha=0.1, decay=0.5, patience=4, max_iterations=120)
+        central = MultiCopyAllocator(comm_ring, **kwargs).run(X0)
+        distributed = MultiCopyDistributedRuntime(comm_ring, **kwargs).run(X0)
+        np.testing.assert_array_equal(
+            distributed.result.allocation, central.allocation
+        )
+        assert distributed.result.alpha_history == central.alpha_history
+
+    def test_message_bill_is_n_squared_per_round(self, delay_ring):
+        runtime = MultiCopyDistributedRuntime(
+            delay_ring, alpha=0.05, max_iterations=60
+        )
+        run = runtime.run(X0)
+        assert runtime.messages_per_round() == 12  # 4 * 3
+        # One announcement set per round, including the final round whose
+        # shares reveal the stop condition to everyone.
+        assert run.stats.messages == run.rounds * 12
+        assert run.rounds == run.result.iterations + 1
+
+    def test_all_messages_are_share_announcements(self, delay_ring):
+        run = MultiCopyDistributedRuntime(
+            delay_ring, alpha=0.05, max_iterations=40
+        ).run(X0)
+        assert set(run.stats.by_type) == {"AllocationUpdate"}
+
+    def test_virtual_time_advances_with_ring_latency(self, delay_ring):
+        fast = MultiCopyDistributedRuntime(
+            delay_ring, alpha=0.05, max_iterations=40, latency_per_cost=1.0
+        ).run(X0)
+        slow = MultiCopyDistributedRuntime(
+            delay_ring, alpha=0.05, max_iterations=40, latency_per_cost=5.0
+        ).run(X0)
+        assert slow.virtual_time > fast.virtual_time

@@ -1,0 +1,97 @@
+"""Property tests: distributed/centralized equivalence and traffic/model
+agreement on randomly generated instances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithm import DecentralizedAllocator
+from repro.core.model import FileAllocationProblem
+from repro.distributed import DistributedFapRuntime
+from repro.network.builders import random_graph
+
+
+def _random_instance(seed: int, n: int):
+    rng = np.random.default_rng(seed)
+    topo = random_graph(n, edge_probability=0.4, cost_range=(0.5, 2.5), seed=seed)
+    rates = rng.uniform(0.05, 0.3, size=n)
+    mu = float(rates.sum() * rng.uniform(1.2, 3.0))
+    problem = FileAllocationProblem.from_topology(topo, rates, k=1.0, mu=mu)
+    x0 = rng.dirichlet(np.ones(n))
+    return problem, x0
+
+
+class TestRandomEquivalence:
+    @given(st.integers(0, 10**6), st.integers(3, 7))
+    @settings(max_examples=15, deadline=None)
+    def test_broadcast_equals_central_math(self, seed, n):
+        problem, x0 = _random_instance(seed, n)
+        math_run = DecentralizedAllocator(
+            problem, alpha=0.15, epsilon=1e-3, max_iterations=3_000
+        ).run(x0)
+        message_run = DistributedFapRuntime(
+            problem, protocol="broadcast", alpha=0.15, epsilon=1e-3, max_rounds=3_000
+        ).run(x0)
+        np.testing.assert_allclose(
+            message_run.allocation, math_run.allocation, atol=1e-12
+        )
+
+    @given(st.integers(0, 10**6), st.integers(3, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_central_equals_broadcast(self, seed, n):
+        problem, x0 = _random_instance(seed, n)
+        a = DistributedFapRuntime(
+            problem, protocol="broadcast", alpha=0.2, epsilon=1e-3, max_rounds=3_000
+        ).run(x0)
+        b = DistributedFapRuntime(
+            problem, protocol="central", alpha=0.2, epsilon=1e-3, max_rounds=3_000
+        ).run(x0)
+        np.testing.assert_allclose(a.allocation, b.allocation, atol=1e-12)
+        assert a.converged == b.converged
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=8, deadline=None)
+    def test_message_counts_formulae(self, seed):
+        problem, x0 = _random_instance(seed, 5)
+        run = DistributedFapRuntime(
+            problem, protocol="broadcast", alpha=0.2, epsilon=1e-3, max_rounds=3_000
+        ).run(x0)
+        if run.converged:
+            n = problem.n
+            assert run.stats.messages == (run.iterations + 1) * n * (n - 1)
+
+
+class TestFloodingRandomEquivalence:
+    @given(st.integers(0, 10**6), st.integers(3, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_flooding_equals_broadcast(self, seed, n):
+        problem, x0 = _random_instance(seed, n)
+        a = DistributedFapRuntime(
+            problem, protocol="broadcast", alpha=0.2, epsilon=1e-3, max_rounds=3_000
+        ).run(x0)
+        b = DistributedFapRuntime(
+            problem, protocol="flooding", alpha=0.2, epsilon=1e-3, max_rounds=3_000
+        ).run(x0)
+        np.testing.assert_allclose(a.allocation, b.allocation, atol=1e-12)
+        # Flooding messages are always single-hop.
+        assert b.stats.hops == b.stats.messages
+
+
+class TestSerializationRandomRoundtrip:
+    @given(st.integers(0, 10**6), st.integers(3, 7))
+    @settings(max_examples=15, deadline=None)
+    def test_random_problem_roundtrips(self, seed, n):
+        import json
+
+        from repro.io import problem_from_dict, problem_to_dict
+
+        problem, x0 = _random_instance(seed, n)
+        clone = problem_from_dict(
+            json.loads(json.dumps(problem_to_dict(problem)))
+        )
+        assert clone.cost(x0) == problem.cost(x0)
+        np.testing.assert_array_equal(
+            clone.cost_gradient(x0), problem.cost_gradient(x0)
+        )
+        assert clone.topology == problem.topology

@@ -1,0 +1,173 @@
+"""Integration tests: the distributed protocols against the centralized math.
+
+The headline assertion: running the §5 protocol as actual messages over the
+simulated network produces *the same* allocation as the centralized
+evaluation, for both coordination schemes, and the message counts match the
+§5.1 analysis.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import DecentralizedAllocator
+from repro.core.initials import random_allocation
+from repro.core.model import FileAllocationProblem
+from repro.distributed import DistributedFapRuntime
+from repro.exceptions import ConfigurationError
+from repro.network.builders import complete_graph, ring_graph, star_graph
+
+
+class TestProtocolEquivalence:
+    @pytest.mark.parametrize("protocol", ["broadcast", "central"])
+    def test_allocation_identical_to_central_math(
+        self, paper_problem, paper_start, protocol
+    ):
+        math_result = DecentralizedAllocator(paper_problem, alpha=0.3).run(paper_start)
+        run = DistributedFapRuntime(
+            paper_problem, protocol=protocol, alpha=0.3
+        ).run(paper_start)
+        assert run.converged
+        np.testing.assert_array_equal(run.allocation, math_result.allocation)
+
+    @pytest.mark.parametrize("protocol", ["broadcast", "central"])
+    def test_equivalence_on_asymmetric_instance(self, asymmetric_problem, protocol):
+        x0 = random_allocation(5, seed=3)
+        math_result = DecentralizedAllocator(
+            asymmetric_problem, alpha=0.15, epsilon=1e-4
+        ).run(x0)
+        run = DistributedFapRuntime(
+            asymmetric_problem, protocol=protocol, alpha=0.15, epsilon=1e-4
+        ).run(x0)
+        np.testing.assert_allclose(run.allocation, math_result.allocation, atol=1e-12)
+
+    def test_broadcast_and_central_agree_with_each_other(self, paper_problem, paper_start):
+        a = DistributedFapRuntime(paper_problem, protocol="broadcast", alpha=0.3).run(paper_start)
+        b = DistributedFapRuntime(paper_problem, protocol="central", alpha=0.3).run(paper_start)
+        np.testing.assert_allclose(a.allocation, b.allocation, atol=1e-12)
+
+
+class TestMessageAccounting:
+    def test_broadcast_message_count(self, paper_problem, paper_start):
+        """N(N-1) reports per round."""
+        run = DistributedFapRuntime(
+            paper_problem, protocol="broadcast", alpha=0.3
+        ).run(paper_start)
+        n = paper_problem.n
+        rounds = run.iterations + 1  # the final (converging) round also reports
+        assert run.stats.messages == rounds * n * (n - 1)
+        assert run.stats.by_type == {"MarginalReport": run.stats.messages}
+
+    def test_central_message_count(self, paper_problem, paper_start):
+        """(N-1) reports in + (N-1) updates out per completed round, plus
+        the final round's reports that reveal convergence."""
+        run = DistributedFapRuntime(
+            paper_problem, protocol="central", alpha=0.3
+        ).run(paper_start)
+        n = paper_problem.n
+        reports = run.stats.by_type["MarginalReport"]
+        updates = run.stats.by_type.get("AllocationUpdate", 0)
+        assert reports == run.iterations * (n - 1)
+        assert updates == (run.iterations - 1) * (n - 1)
+
+    def test_central_uses_fewer_messages_than_broadcast(self, paper_problem, paper_start):
+        """Point-to-point: central aggregation is O(N), broadcast O(N^2)."""
+        bc = DistributedFapRuntime(paper_problem, protocol="broadcast", alpha=0.3).run(paper_start)
+        ce = DistributedFapRuntime(paper_problem, protocol="central", alpha=0.3).run(paper_start)
+        assert ce.stats.messages < bc.stats.messages
+
+    def test_hops_exceed_messages_on_multihop_topology(self):
+        """On a ring, some node pairs are 2 hops apart: hops > messages."""
+        problem = FileAllocationProblem.from_topology(
+            ring_graph(6), np.full(6, 1 / 6), mu=1.5
+        )
+        run = DistributedFapRuntime(problem, protocol="broadcast", alpha=0.3).run(
+            random_allocation(6, seed=0)
+        )
+        assert run.stats.hops > run.stats.messages
+
+    def test_bytes_accounted(self, paper_problem, paper_start):
+        run = DistributedFapRuntime(paper_problem, protocol="broadcast", alpha=0.3).run(paper_start)
+        assert run.stats.payload_bytes == run.stats.messages * 20
+
+
+class TestRuntimeMechanics:
+    def test_virtual_time_advances(self, paper_problem, paper_start):
+        run = DistributedFapRuntime(paper_problem, alpha=0.3).run(paper_start)
+        assert run.virtual_time > 0
+
+    def test_latency_scales_virtual_time(self, paper_problem, paper_start):
+        slow = DistributedFapRuntime(
+            paper_problem, alpha=0.3, latency_per_cost=10.0
+        ).run(paper_start)
+        fast = DistributedFapRuntime(
+            paper_problem, alpha=0.3, latency_per_cost=1.0
+        ).run(paper_start)
+        assert slow.virtual_time > fast.virtual_time
+
+    def test_default_start_uniform_converges_immediately(self, paper_problem):
+        run = DistributedFapRuntime(paper_problem, alpha=0.3).run()
+        assert run.converged
+        assert run.iterations <= 1
+
+    def test_unknown_protocol_rejected(self, paper_problem):
+        with pytest.raises(ConfigurationError):
+            DistributedFapRuntime(paper_problem, protocol="gossip")
+
+    def test_star_topology_central_coordinator_at_hub(self):
+        problem = FileAllocationProblem.from_topology(
+            star_graph(5, center=0), np.full(5, 0.2), mu=1.5
+        )
+        run = DistributedFapRuntime(
+            problem, protocol="central", alpha=0.2, coordinator_id=0
+        ).run(random_allocation(5, seed=1))
+        assert run.converged
+        # Hub-adjacent routing: every message is exactly 1 hop.
+        assert run.stats.hops == run.stats.messages
+
+
+class TestFloodingProtocol:
+    def test_allocation_identical_to_broadcast(self, paper_problem, paper_start):
+        broadcast = DistributedFapRuntime(
+            paper_problem, protocol="broadcast", alpha=0.3
+        ).run(paper_start)
+        flooding = DistributedFapRuntime(
+            paper_problem, protocol="flooding", alpha=0.3
+        ).run(paper_start)
+        assert flooding.converged
+        np.testing.assert_array_equal(flooding.allocation, broadcast.allocation)
+        assert flooding.iterations == broadcast.iterations
+
+    def test_every_message_is_one_hop(self):
+        """The §8.2 communication restriction, verified: flooding never
+        sends past a direct neighbour."""
+        problem = FileAllocationProblem.from_topology(
+            ring_graph(6), np.full(6, 1 / 6), mu=1.5
+        )
+        run = DistributedFapRuntime(problem, protocol="flooding", alpha=0.25).run(
+            random_allocation(6, seed=2)
+        )
+        assert run.converged
+        assert run.stats.hops == run.stats.messages
+
+    def test_flooding_costs_more_messages_than_broadcast_on_sparse_graphs(self):
+        """Shipping every report over every edge beats N(N-1) only on very
+        sparse graphs; on a ring it pays ~N * 2|E| per round."""
+        problem = FileAllocationProblem.from_topology(
+            ring_graph(6), np.full(6, 1 / 6), mu=1.5
+        )
+        x0 = random_allocation(6, seed=4)
+        bc = DistributedFapRuntime(problem, protocol="broadcast", alpha=0.25).run(x0)
+        fl = DistributedFapRuntime(problem, protocol="flooding", alpha=0.25).run(x0)
+        # But every flooding hop is local, while broadcast hops multi-hop.
+        assert fl.stats.hops / fl.stats.messages == 1.0
+        assert bc.stats.hops / bc.stats.messages > 1.0
+
+    def test_asymmetric_instance(self, asymmetric_problem):
+        x0 = random_allocation(5, seed=9)
+        math_run = DecentralizedAllocator(
+            asymmetric_problem, alpha=0.15, epsilon=1e-4
+        ).run(x0)
+        flood = DistributedFapRuntime(
+            asymmetric_problem, protocol="flooding", alpha=0.15, epsilon=1e-4
+        ).run(x0)
+        np.testing.assert_allclose(flood.allocation, math_run.allocation, atol=1e-12)

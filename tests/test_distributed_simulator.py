@@ -1,0 +1,134 @@
+"""Tests for the discrete-event engine and the node state machine."""
+
+import numpy as np
+import pytest
+
+from repro.core.active_set import ScaledStep
+from repro.core.model import FileAllocationProblem
+from repro.distributed.messages import MarginalReport
+from repro.distributed.node import NodeProcess
+from repro.distributed.simulator import Simulator
+from repro.exceptions import ConfigurationError, ProtocolError
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(3.0, lambda: log.append("c"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 3.0
+        assert sim.processed_events == 3
+
+    def test_ties_break_in_scheduling_order(self):
+        sim = Simulator()
+        log = []
+        for tag in "xyz":
+            sim.schedule(1.0, lambda t=tag: log.append(t))
+        sim.run()
+        assert log == ["x", "y", "z"]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(sim.now)
+            sim.schedule(2.0, lambda: log.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert log == [1.0, 3.0]
+
+    def test_run_until(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(5.0, lambda: log.append(5))
+        sim.run(until=2.0)
+        assert log == [1]
+        assert sim.now == 2.0
+        assert sim.pending() == 1
+        sim.run()
+        assert log == [1, 5]
+
+    def test_step_returns_false_when_empty(self):
+        assert not Simulator().step()
+
+    def test_rejects_past_scheduling(self):
+        with pytest.raises(ConfigurationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_event_budget_guards_loops(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.1, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(ConfigurationError, match="events"):
+            sim.run(max_events=100)
+
+
+class TestNodeProcess:
+    def _nodes(self, problem, x0, alpha=0.3):
+        return [
+            NodeProcess(
+                i, problem, x0[i], alpha=alpha, epsilon=1e-3, policy=ScaledStep()
+            )
+            for i in range(problem.n)
+        ]
+
+    def test_local_marginal_matches_global_gradient(self, paper_problem, paper_start):
+        nodes = self._nodes(paper_problem, paper_start)
+        g = paper_problem.utility_gradient(paper_start)
+        for i, node in enumerate(nodes):
+            assert node.marginal_utility() == pytest.approx(g[i])
+
+    def test_round_reproduces_central_step(self, paper_problem, paper_start):
+        """All nodes exchanging reports compute exactly the central step."""
+        from repro.core.algorithm import DecentralizedAllocator
+
+        nodes = self._nodes(paper_problem, paper_start)
+        for receiver in nodes:
+            for sender in nodes:
+                if sender is not receiver:
+                    receiver.receive(sender.make_report(receiver.node_id))
+        shares = [node.compute_round() for node in nodes]
+        central = DecentralizedAllocator(paper_problem, alpha=0.3)
+        expected, _ = central.step(np.asarray(paper_start, dtype=float))
+        np.testing.assert_allclose(shares, expected)
+
+    def test_requires_full_round(self, paper_problem, paper_start):
+        nodes = self._nodes(paper_problem, paper_start)
+        with pytest.raises(ProtocolError, match="before all reports"):
+            nodes[0].compute_round()
+
+    def test_rejects_duplicate_report(self, paper_problem, paper_start):
+        nodes = self._nodes(paper_problem, paper_start)
+        report = nodes[1].make_report(0)
+        nodes[0].receive(report)
+        with pytest.raises(ProtocolError, match="duplicate"):
+            nodes[0].receive(report)
+
+    def test_rejects_stale_report(self, paper_problem, paper_start):
+        nodes = self._nodes(paper_problem, paper_start)
+        stale = MarginalReport(
+            sender=1, recipient=0, iteration=-1, marginal_utility=0.0, share=0.1
+        )
+        nodes[0].iteration = 0
+        with pytest.raises(ProtocolError, match="stale"):
+            nodes[0].receive(stale)
+
+    def test_convergence_detection(self, paper_problem):
+        uniform = np.full(4, 0.25)
+        nodes = self._nodes(paper_problem, uniform)
+        for receiver in nodes:
+            for sender in nodes:
+                if sender is not receiver:
+                    receiver.receive(sender.make_report(receiver.node_id))
+        assert nodes[0].compute_round() is None
+        assert nodes[0].converged

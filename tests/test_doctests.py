@@ -1,0 +1,23 @@
+"""Run the doctest examples embedded in docstrings.
+
+Keeps the inline examples in the public docs honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.network.visualize
+import repro.utils.tables
+
+MODULES = [
+    repro.utils.tables,
+    repro.network.visualize,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctests to run"
+    assert results.failed == 0

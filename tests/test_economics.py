@@ -1,0 +1,207 @@
+"""Tests for the microeconomic framework (§2): agents, Lemma 1, and the
+two planner families."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.economics import (
+    CallableAgent,
+    PriceDirectedPlanner,
+    QuadraticAgent,
+    ResourceDirectedPlanner,
+    heal_lemma_identity,
+    heal_lemma_lhs,
+    is_pareto_optimal,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestAgents:
+    def test_quadratic_marginal_is_derivative(self):
+        agent = QuadraticAgent(a=3.0, b=2.0)
+        h = 1e-6
+        x = 0.7
+        numeric = (agent.utility(x + h) - agent.utility(x - h)) / (2 * h)
+        assert agent.marginal_utility(x) == pytest.approx(numeric, rel=1e-5)
+        assert agent.second_derivative(x) == -2.0
+
+    def test_quadratic_requires_concavity(self):
+        with pytest.raises(ValueError):
+            QuadraticAgent(1.0, 0.0)
+
+    def test_callable_agent_numeric_marginal(self):
+        agent = CallableAgent(lambda x: -((x - 0.3) ** 2))
+        assert agent.marginal_utility(0.3) == pytest.approx(0.0, abs=1e-5)
+        assert agent.marginal_utility(0.0) == pytest.approx(0.6, rel=1e-4)
+
+    def test_callable_agent_with_explicit_marginal(self):
+        agent = CallableAgent(lambda x: x, lambda x: 1.0)
+        assert agent.marginal_utility(5.0) == 1.0
+
+    def test_default_second_derivative_finite_difference(self):
+        agent = CallableAgent(lambda x: x**3, lambda x: 3 * x**2)
+        assert agent.second_derivative(2.0, h=1e-5) == pytest.approx(12.0, rel=1e-3)
+
+
+class TestHealLemma:
+    @given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=20))
+    @settings(max_examples=150, deadline=None)
+    def test_identity_and_nonnegativity(self, values):
+        lhs, rhs = heal_lemma_identity(values)
+        assert lhs == pytest.approx(rhs, rel=1e-6, abs=1e-7)
+        assert rhs >= 0
+
+    def test_zero_iff_all_equal(self):
+        assert heal_lemma_lhs([3.0, 3.0, 3.0]) == pytest.approx(0.0, abs=1e-12)
+        assert heal_lemma_lhs([1.0, 2.0]) > 0
+
+    def test_empty(self):
+        assert heal_lemma_identity([]) == (0.0, 0.0)
+
+
+def _quadratic_economy():
+    """Three quadratic agents whose closed-form optimum is computable."""
+    return [
+        QuadraticAgent(4.0, 2.0, name="a"),
+        QuadraticAgent(3.0, 1.0, name="b"),
+        QuadraticAgent(5.0, 4.0, name="c"),
+    ]
+
+
+def _quadratic_optimum(agents, supply):
+    """Equal-marginal solution: a_i - b_i x_i = q, sum x = supply."""
+    a = np.array([ag.a for ag in agents])
+    b = np.array([ag.b for ag in agents])
+    # q solves sum((a_i - q) / b_i) = supply.
+    q = (np.sum(a / b) - supply) / np.sum(1.0 / b)
+    return (a - q) / b
+
+
+class TestResourceDirectedPlanner:
+    def test_converges_to_equal_marginals(self):
+        agents = _quadratic_economy()
+        planner = ResourceDirectedPlanner(agents, supply=1.0, alpha=0.2, epsilon=1e-8)
+        result = planner.run([0.6, 0.2, 0.2])
+        assert result.converged
+        expected = _quadratic_optimum(agents, 1.0)
+        np.testing.assert_allclose(result.allocation, expected, atol=1e-5)
+
+    def test_feasibility_every_iteration(self):
+        agents = _quadratic_economy()
+        planner = ResourceDirectedPlanner(agents, supply=2.0, alpha=0.1, epsilon=1e-7)
+        x = np.array([2.0, 0.0, 0.0])
+        for _ in range(50):
+            x = planner.step(x)
+            assert x.sum() == pytest.approx(2.0, abs=1e-9)
+            assert x.min() >= -1e-12
+
+    def test_monotone_social_utility(self):
+        agents = _quadratic_economy()
+        planner = ResourceDirectedPlanner(agents, alpha=0.1, epsilon=1e-9)
+        result = planner.run([1.0, 0.0, 0.0])
+        utilities = np.asarray(result.utility_history)
+        assert np.all(np.diff(utilities) >= -1e-12)
+
+    def test_initial_allocation_must_be_feasible(self):
+        planner = ResourceDirectedPlanner(_quadratic_economy())
+        with pytest.raises(ConfigurationError, match="sums"):
+            planner.run([0.5, 0.2, 0.2])
+        with pytest.raises(ConfigurationError, match="entries"):
+            planner.run([0.5, 0.5])
+
+    def test_needs_two_agents(self):
+        with pytest.raises(ConfigurationError):
+            ResourceDirectedPlanner([QuadraticAgent(1, 1)])
+
+    def test_nonconvergent_run_reports_failure(self):
+        # One iteration budget cannot converge from a skewed start.
+        planner = ResourceDirectedPlanner(
+            _quadratic_economy(), alpha=0.01, epsilon=1e-12
+        )
+        result = planner.run([1.0, 0.0, 0.0], max_iterations=1)
+        assert not result.converged
+        assert result.iterations == 1
+
+
+class TestPriceDirectedPlanner:
+    def test_market_clears_at_equal_marginals(self):
+        agents = _quadratic_economy()
+        planner = PriceDirectedPlanner(agents, supply=1.0, gamma=0.3, epsilon=1e-8)
+        result = planner.run(initial_price=0.0)
+        assert result.converged
+        expected = _quadratic_optimum(agents, 1.0)
+        np.testing.assert_allclose(result.allocation, expected, atol=1e-4)
+        # The clearing price is the common marginal utility.
+        q = agents[0].marginal_utility(result.allocation[0])
+        assert result.price == pytest.approx(q, abs=1e-3)
+
+    def test_intermediate_demands_are_infeasible(self):
+        """The §2 drawback: before convergence, demand != supply."""
+        agents = _quadratic_economy()
+        planner = PriceDirectedPlanner(agents, supply=1.0, gamma=0.3, epsilon=1e-10)
+        result = planner.run(initial_price=0.0)
+        # The first recorded excess (price 0) is far from zero.
+        assert result.excess_history[0] > 0.1
+
+    def test_demand_monotone_in_price(self):
+        planner = PriceDirectedPlanner(_quadratic_economy(), supply=1.0)
+        d_low = planner.demands(0.5).sum()
+        d_high = planner.demands(3.0).sum()
+        assert d_high <= d_low
+
+    def test_agreement_with_resource_directed(self):
+        """§2's two mechanisms reach the same optimum on this economy."""
+        agents = _quadratic_economy()
+        rd = ResourceDirectedPlanner(agents, alpha=0.15, epsilon=1e-9).run(
+            [1 / 3, 1 / 3, 1 / 3]
+        )
+        pd = PriceDirectedPlanner(agents, gamma=0.3, epsilon=1e-9).run()
+        np.testing.assert_allclose(rd.allocation, pd.allocation, atol=1e-4)
+
+
+class TestParetoOptimality:
+    def test_equal_marginal_allocation_is_pareto_optimal(self):
+        agents = _quadratic_economy()
+        x = _quadratic_optimum(agents, 1.0)
+        assert is_pareto_optimal(agents, x)
+
+    def test_interior_suboptimal_point_can_still_be_pareto_optimal(self):
+        # With strictly increasing utilities in this range, transferring
+        # from one agent always hurts the donor: Pareto optimality is weak.
+        agents = _quadratic_economy()
+        assert is_pareto_optimal(agents, [0.5, 0.25, 0.25])
+
+    def test_wasteful_allocation_is_not_pareto_optimal(self):
+        # Beyond the bliss point a/b, extra resource *reduces* utility;
+        # giving it away helps the donor without hurting the receiver.
+        agents = [QuadraticAgent(1.0, 2.0), QuadraticAgent(5.0, 1.0)]
+        # Agent 0's bliss point is 0.5; it holds 2.0.
+        assert not is_pareto_optimal(agents, [2.0, 0.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            is_pareto_optimal(_quadratic_economy(), [0.5, 0.5])
+
+
+class TestBoundaryRegressions:
+    def test_vertex_start_does_not_stall(self):
+        """Regression: from (1, 0, 0) the planner must escape the vertex
+        even though two agents sit at zero with below-average marginals
+        scaled steps would otherwise annihilate the move."""
+        agents = _quadratic_economy()
+        planner = ResourceDirectedPlanner(agents, alpha=0.15, epsilon=1e-8)
+        result = planner.run([1.0, 0.0, 0.0])
+        assert result.converged
+        # Closed-form boundary optimum: q = 3 puts agent b exactly at 0.
+        np.testing.assert_allclose(result.allocation, [0.5, 0.0, 0.5], atol=1e-4)
+
+    def test_boundary_optimum_detected_via_movable_mask(self):
+        """Convergence must fire even when a zero-share agent keeps a
+        below-average marginal forever (KKT allows it)."""
+        agents = _quadratic_economy()
+        planner = ResourceDirectedPlanner(agents, alpha=0.1, epsilon=1e-7)
+        result = planner.run([0.5, 0.0, 0.5])
+        assert result.converged
+        assert result.iterations <= 3

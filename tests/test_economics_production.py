@@ -1,0 +1,130 @@
+"""Tests for Heal's production-economy planner (the general model the FAP
+algorithm specializes, §5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.economics import CobbDouglasSector, ProductionPlanner, Sector
+from repro.exceptions import ConfigurationError
+
+
+def _log_welfare(y):
+    return float(np.sum(np.log(np.maximum(y, 1e-12))))
+
+
+def _log_welfare_grad(y):
+    return 1.0 / np.maximum(y, 1e-12)
+
+
+class TestSectors:
+    def test_cobb_douglas_output_and_marginal(self):
+        s = CobbDouglasSector(scale=2.0, exponent=0.5)
+        assert s.output(0.25) == pytest.approx(1.0)
+        # f'(r) = 2 * 0.5 * r^-0.5 = 1/sqrt(r).
+        assert s.marginal_product(0.25) == pytest.approx(2.0)
+
+    def test_rejects_convex_exponent(self):
+        with pytest.raises(ConfigurationError):
+            CobbDouglasSector(exponent=1.5)
+
+    def test_generic_sector_numeric_marginal(self):
+        s = Sector(lambda r: r**2 / 2)
+        assert s.marginal_product(3.0) == pytest.approx(3.0, rel=1e-4)
+
+
+class TestProductionPlanner:
+    def test_cobb_douglas_log_welfare_closed_form(self):
+        """With f_j = a_j r^b and U = sum log y_j, the optimum is the
+        equal-split r_j = supply/m (log kills the scales; equal exponents
+        symmetrize)."""
+        sectors = [CobbDouglasSector(scale, 0.5) for scale in (1.0, 3.0, 9.0)]
+        planner = ProductionPlanner(
+            sectors, _log_welfare, _log_welfare_grad, alpha=0.05, epsilon=1e-8
+        )
+        result = planner.run([0.6, 0.3, 0.1], max_iterations=200_000)
+        assert result.converged
+        np.testing.assert_allclose(result.inputs, 1 / 3, atol=1e-4)
+
+    def test_weighted_log_welfare_splits_proportionally(self):
+        """U = sum w_j log y_j with f_j = r^b: optimum r_j proportional to
+        w_j (independent of b) — a classic planning result."""
+        sectors = [CobbDouglasSector(1.0, 0.5) for _ in range(3)]
+        w = np.array([1.0, 2.0, 3.0])
+        planner = ProductionPlanner(
+            sectors,
+            lambda y: float(np.sum(w * np.log(np.maximum(y, 1e-12)))),
+            lambda y: w / np.maximum(y, 1e-12),
+            alpha=0.03,
+            epsilon=1e-8,
+        )
+        result = planner.run(max_iterations=300_000)
+        assert result.converged
+        np.testing.assert_allclose(result.inputs, w / w.sum(), atol=1e-4)
+
+    def test_feasibility_and_monotone_welfare(self):
+        sectors = [CobbDouglasSector(1.0, 0.6), CobbDouglasSector(2.0, 0.4),
+                   CobbDouglasSector(1.5, 0.7)]
+        planner = ProductionPlanner(
+            sectors, _log_welfare, _log_welfare_grad, alpha=0.05
+        )
+        r = np.array([0.9, 0.05, 0.05])
+        welfare = planner.welfare(r)
+        for _ in range(100):
+            r = planner.step(r)
+            assert r.sum() == pytest.approx(1.0, abs=1e-10)
+            assert r.min() >= -1e-12
+            new_welfare = planner.welfare(r)
+            assert new_welfare >= welfare - 1e-12
+            welfare = new_welfare
+
+    def test_identity_production_recovers_resource_directed_planner(self):
+        """f_j(r) = r and additive welfare = the §2 exchange economy."""
+        from repro.economics import QuadraticAgent, ResourceDirectedPlanner
+
+        agents = [QuadraticAgent(4.0, 2.0), QuadraticAgent(3.0, 1.0),
+                  QuadraticAgent(5.0, 4.0)]
+        sectors = [Sector(lambda r: r, lambda r: 1.0) for _ in agents]
+
+        def welfare(y):
+            return float(sum(a.utility(float(v)) for a, v in zip(agents, y)))
+
+        def welfare_grad(y):
+            return np.array(
+                [a.marginal_utility(float(v)) for a, v in zip(agents, y)]
+            )
+
+        production = ProductionPlanner(
+            sectors, welfare, welfare_grad, alpha=0.2, epsilon=1e-8
+        ).run([0.6, 0.2, 0.2], max_iterations=50_000)
+        exchange = ResourceDirectedPlanner(
+            agents, alpha=0.2, epsilon=1e-8
+        ).run([0.6, 0.2, 0.2])
+        np.testing.assert_allclose(
+            production.inputs, exchange.allocation, atol=1e-5
+        )
+
+    def test_boundary_sector_gets_nothing(self):
+        """A sector so unproductive it should be shut out stays at zero."""
+        sectors = [
+            CobbDouglasSector(5.0, 0.9),
+            CobbDouglasSector(5.0, 0.9),
+            Sector(lambda r: 1e-4 * r, lambda r: 1e-4, name="dud"),
+        ]
+        planner = ProductionPlanner(
+            sectors,
+            lambda y: float(np.sum(y)),  # linear welfare
+            lambda y: np.ones(3),
+            alpha=0.05,
+            epsilon=1e-6,
+        )
+        result = planner.run(max_iterations=100_000)
+        assert result.inputs[2] == pytest.approx(0.0, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProductionPlanner([CobbDouglasSector()], _log_welfare)
+        planner = ProductionPlanner(
+            [CobbDouglasSector(), CobbDouglasSector()], _log_welfare
+        )
+        with pytest.raises(ConfigurationError):
+            planner.run([0.3, 0.3])  # infeasible split

@@ -1,0 +1,113 @@
+"""Tests for derivative/parameter estimation and the adaptive loop (§8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import FileAllocationProblem
+from repro.estimation import (
+    AdaptiveAllocationLoop,
+    crn_delay_derivative,
+    estimate_marginal_cost,
+    estimate_node_parameters,
+    finite_difference_gradient,
+    finite_difference_hessian_diag,
+)
+from repro.estimation.perturbation import observe_node
+from repro.exceptions import ConfigurationError
+from repro.queueing import MM1Delay
+
+
+class TestFiniteDifference:
+    def test_gradient_of_quadratic(self):
+        fn = lambda x: float(x[0] ** 2 + 3 * x[1])
+        g = finite_difference_gradient(fn, [2.0, 1.0])
+        np.testing.assert_allclose(g, [4.0, 3.0], rtol=1e-4)
+
+    def test_boundary_uses_forward_difference(self):
+        fn = lambda x: float(np.sqrt(x[0] + 1e-12))  # undefined for x<0
+        g = finite_difference_gradient(fn, [0.0], nonnegative=True)
+        assert np.isfinite(g[0])
+
+    def test_hessian_of_cubic(self):
+        fn = lambda x: float(x[0] ** 3)
+        h = finite_difference_hessian_diag(fn, [2.0])
+        np.testing.assert_allclose(h, [12.0], rtol=1e-3)
+
+
+class TestNodeObservation:
+    def test_moment_estimates_converge(self):
+        obs = observe_node(arrival_rate=0.8, mu=2.0, window=20_000, seed=0)
+        a_hat, mu_hat = estimate_node_parameters(obs)
+        assert a_hat == pytest.approx(0.8, rel=0.05)
+        assert mu_hat == pytest.approx(2.0, rel=0.05)
+
+    def test_estimated_marginal_close_to_truth(self):
+        obs = observe_node(arrival_rate=0.5, mu=1.5, window=50_000, seed=1)
+        estimated = estimate_marginal_cost(
+            obs, access_cost=1.0, k=1.0, share=0.5, total_rate=1.0
+        )
+        true_mc = 1.0 + 1.5 / (1.5 - 0.5) ** 2
+        assert estimated == pytest.approx(true_mc, rel=0.1)
+
+    def test_overloaded_estimate_rejected(self):
+        obs = observe_node(arrival_rate=1.0, mu=1.05, window=2_000, seed=2)
+        if obs.arrival_rate >= obs.service_rate:
+            with pytest.raises(ConfigurationError):
+                estimate_marginal_cost(
+                    obs, access_cost=1.0, k=1.0, share=1.0, total_rate=1.0
+                )
+
+
+class TestCRNDerivative:
+    def test_matches_analytic_mm1_derivative(self):
+        est = crn_delay_derivative(0.6, 1.5, h=0.02, customers=400_000, seed=3)
+        true = MM1Delay(1.5).d_sojourn(0.6)
+        assert est == pytest.approx(true, rel=0.15)
+
+    def test_rejects_unstable_probe(self):
+        with pytest.raises(ConfigurationError):
+            crn_delay_derivative(1.4, 1.5, h=0.2)
+
+
+class TestAdaptiveLoop:
+    def _loop(self, drift, **kwargs):
+        costs = 1.0 - np.eye(4)
+        defaults = dict(mu=2.0, k=1.0, iterations_per_epoch=8,
+                        estimation_window=5_000.0, alpha=0.3, seed=0)
+        defaults.update(kwargs)
+        return AdaptiveAllocationLoop(costs, drift, **defaults)
+
+    def test_tracks_drifting_hotspot(self):
+        """The workload's hot node rotates; adaptation must beat freezing."""
+
+        def drift(epoch):
+            rates = np.full(4, 0.1)
+            rates[epoch % 4] = 0.7
+            return rates
+
+        loop = self._loop(drift)
+        history = loop.run(epochs=8, initial_allocation=np.full(4, 0.25))
+        adapted = np.mean([e.adapted_cost for e in history[2:]])
+        frozen = np.mean([e.frozen_cost for e in history[2:]])
+        assert adapted < frozen
+
+    def test_adapted_cost_approaches_optimum(self):
+        def drift(epoch):
+            return np.array([0.5, 0.2, 0.2, 0.1])  # static workload
+
+        loop = self._loop(drift, iterations_per_epoch=20)
+        history = loop.run(epochs=5, initial_allocation=np.full(4, 0.25))
+        last = history[-1]
+        assert last.adapted_cost <= last.optimal_cost * 1.05
+
+    def test_epoch_records_complete(self):
+        loop = self._loop(lambda e: np.full(4, 0.25))
+        history = loop.run(epochs=2, initial_allocation=np.full(4, 0.25))
+        assert len(history) == 2
+        for epoch in history:
+            assert epoch.allocation.sum() == pytest.approx(1.0)
+            assert epoch.optimal_cost <= epoch.adapted_cost + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            self._loop(lambda e: np.full(4, 0.25), iterations_per_epoch=0)

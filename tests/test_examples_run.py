@@ -1,0 +1,41 @@
+"""Smoke-run every example script.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Each script must exit 0 and print its headline output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": "converged: True",
+    "replicated_storage.py": "anti-entropy repair",
+    "adaptive_reallocation.py": "adaptation recovers",
+    "multicopy_ring.py": "worked example",
+    "distributed_protocol.py": "== central math",
+    "failure_degradation.py": "worst-case surviving fraction",
+    "choosing_k.py": "meets the budget",
+    "planning_without_prices.py": "Heal's planner vs the closed form",
+}
+
+
+@pytest.mark.parametrize("script,expected", sorted(CASES.items()))
+def test_example_runs(script, expected):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert expected in proc.stdout
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(CASES), "update CASES when adding/removing examples"

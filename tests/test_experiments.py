@@ -1,0 +1,166 @@
+"""Tests for the figure-reproduction harness (fast, reduced variants where
+the full sweep would be slow) and the sweep engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import FileAllocationProblem
+from repro.experiments import (
+    ascii_plot,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure8,
+    figure9,
+    parameter_sweep,
+)
+from repro.experiments.figures import PAPER_FIG3_ITERATIONS
+
+
+class TestFigure3:
+    def test_full_reproduction(self):
+        res = figure3()
+        for alpha, paper_count in PAPER_FIG3_ITERATIONS.items():
+            assert abs(res.iterations[alpha] - paper_count) <= 2, alpha
+            assert res.monotone[alpha]
+            np.testing.assert_allclose(res.final_allocations[alpha], 0.25, atol=1e-3)
+        # Rapid phase is short and similar across alphas (§6 observation).
+        rapid = list(res.rapid_phase.values())
+        assert max(rapid) <= 8
+
+    def test_profiles_start_at_common_cost(self):
+        res = figure3(alphas=(0.3, 0.08))
+        assert res.profiles[0.3][0] == pytest.approx(res.profiles[0.08][0])
+
+    def test_rows_render(self):
+        res = figure3(alphas=(0.3,))
+        rows = res.rows()
+        assert len(rows) == 1 and rows[0][0] == 0.3
+
+
+class TestFigure4:
+    def test_fragmentation_wins(self):
+        res = figure4()
+        assert res.integral_cost == pytest.approx(3.0)
+        assert res.optimal_cost == pytest.approx(1.8, abs=1e-6)
+        assert res.reduction == pytest.approx(0.4, abs=0.01)
+        assert res.final_cost <= res.integral_cost
+        np.testing.assert_allclose(res.final_allocation, 0.25, atol=1e-3)
+
+    def test_profile_is_monotone(self):
+        res = figure4()
+        assert np.all(np.diff(res.profile) <= 1e-12)
+
+
+class TestFigure5:
+    def test_small_alpha_blows_up(self):
+        res = figure5(alphas=[0.02, 0.1, 0.3, 0.6], max_iterations=2_000)
+        assert res.counts[0.02] > 10 * res.counts[0.6]
+
+    def test_plateau_exists(self):
+        res = figure5(alphas=np.linspace(0.2, 0.8, 7), max_iterations=2_000)
+        assert res.plateau_width(slack=2.0) >= 0.3
+
+    def test_best_alpha_in_grid(self):
+        res = figure5(alphas=[0.1, 0.4], max_iterations=500)
+        assert res.best_alpha in (0.1, 0.4)
+
+
+class TestFigure6:
+    def test_iterations_flat_in_n(self):
+        res = figure6(sizes=(4, 8, 12, 16, 20), alpha_grid=np.linspace(0.1, 0.9, 9))
+        assert res.is_flat(factor=3.0)
+        assert all(res.optimum_is_uniform.values())
+
+    def test_rows_one_per_size(self):
+        res = figure6(sizes=(4, 6), alpha_grid=[0.3, 0.5, 0.7])
+        assert len(res.rows()) == 2
+
+
+class TestFigure8:
+    def test_comm_dominated_oscillates_more(self):
+        res = figure8(iterations=120)
+        assert res.comm_oscillates_more
+        assert res.comm_metrics.increases > 0  # oscillation really happened
+
+    def test_profiles_recorded(self):
+        res = figure8(iterations=60)
+        assert len(res.comm_profile) > 10
+        assert len(res.delay_profile) > 10
+
+
+class TestFigure9:
+    def test_smaller_alpha_smaller_oscillation(self):
+        res = figure9(alphas=(0.1, 0.05), iterations=120)
+        assert res.smaller_alpha_oscillates_less
+
+    def test_decayed_run_reaches_low_cost(self):
+        res = figure9(alphas=(0.1, 0.05), iterations=120)
+        fixed_best = min(p.min() for p in res.profiles.values())
+        assert res.decayed_final_cost <= fixed_best + 0.05
+
+
+class TestSweepEngine:
+    def test_k_sweep_shifts_allocation(self):
+        """Large k (delay matters) spreads the file; tiny k concentrates it
+        at the cheapest node — the §4 dichotomy."""
+
+        def factory(k):
+            costs = np.array(
+                [[0, 1, 1], [1, 0, 1], [1, 1, 0]], dtype=float
+            )
+            rates = np.array([0.6, 0.2, 0.2])  # node 0 cheapest to reach
+            return FileAllocationProblem(costs, rates, k=k, mu=2.0)
+
+        sweep = parameter_sweep(
+            "k",
+            [0.01, 10.0],
+            factory,
+            measure=lambda p, r: {"max_share": float(r.allocation.max())},
+            alpha=0.2,
+            epsilon=1e-6,
+        )
+        small_k, large_k = sweep.column("max_share")
+        assert small_k > 0.9  # nearly integral
+        assert large_k < 0.55  # spread out
+
+    def test_rows_and_headers(self):
+        def factory(mu):
+            return FileAllocationProblem(1 - np.eye(3), [0.2] * 3, mu=mu)
+
+        sweep = parameter_sweep(
+            "mu", [1.0, 2.0], factory,
+            measure=lambda p, r: {"cost": r.cost, "iters": r.iterations},
+        )
+        assert sweep.headers() == ["mu", "cost", "iters"]
+        assert len(sweep.rows()) == 2
+
+
+class TestAsciiPlot:
+    def test_renders_series_and_legend(self):
+        text = ascii_plot({"a": [3, 2, 1], "b": [1, 2, 3]}, title="t")
+        assert text.startswith("t")
+        assert "* a" in text and "+ b" in text
+
+    def test_empty(self):
+        assert "empty" in ascii_plot({"a": []})
+
+    def test_flat_series(self):
+        text = ascii_plot({"flat": [1.0, 1.0, 1.0]})
+        assert "flat" in text
+
+
+class TestReportGenerator:
+    def test_fast_report_contains_every_figure(self):
+        from repro.experiments.report import generate_report
+
+        report = generate_report(fast=True)
+        for heading in (
+            "Figure 3", "Figure 4", "Figure 5",
+            "Figure 6", "Figure 8", "Figure 9",
+        ):
+            assert heading in report
+        # Markdown structure with fenced tables.
+        assert report.count("```") % 2 == 0
+        assert "paper iters" in report

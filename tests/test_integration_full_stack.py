@@ -1,0 +1,111 @@
+"""Full-stack integration scenario.
+
+One end-to-end story exercising every layer the way a deployment would:
+
+  build network -> optimize decentralized (as messages) -> round to record
+  boundaries -> store fragments -> serve transactional traffic -> measure
+  empirical cost -> node fails -> survivors re-optimize -> migrate records
+  -> verify consistency and improved degraded-network cost.
+
+Each stage asserts its own invariants; the test doubles as living
+documentation of how the pieces compose.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DecentralizedAllocator, FileAllocationProblem, optimal_allocation
+from repro.distributed import (
+    DistributedFapRuntime,
+    failure_impact,
+    simulate_access_traffic,
+)
+from repro.network.builders import ring_graph
+from repro.storage import File, StorageCluster, TransactionManager, TransactionStatus
+
+
+@pytest.fixture
+def scenario_problem():
+    topo = ring_graph(5, [1.0, 1.0, 2.0, 1.0, 1.0])
+    rates = np.array([0.30, 0.20, 0.10, 0.15, 0.25])
+    return FileAllocationProblem.from_topology(topo, rates, k=1.0, mu=1.5)
+
+
+class TestFullStackScenario:
+    def test_end_to_end(self, scenario_problem, tmp_path):
+        problem = scenario_problem
+
+        # -- 1. Optimize, decentralized, over the simulated network -------
+        run = DistributedFapRuntime(
+            problem, protocol="broadcast", alpha=0.2, epsilon=1e-5
+        ).run(np.full(5, 0.2))
+        assert run.converged
+        x = run.allocation
+        # Matches the closed-form optimum.
+        x_star = optimal_allocation(problem)
+        assert problem.cost(x) == pytest.approx(problem.cost(x_star), rel=1e-4)
+
+        # -- 2. Round to record boundaries and store ------------------------
+        file = File(2_000, name="inventory", initial_value=0)
+        cluster = StorageCluster.from_allocation(file, x, 5)
+        realized = cluster.realized_fractions()
+        assert np.max(np.abs(realized - x)) <= 1.0 / 2_000 + 1e-12
+
+        # -- 3. Transactional traffic over the fragments ---------------------
+        tm = TransactionManager(cluster)
+        tm.begin("writer")
+        tm.write_range("writer", 0, 20, "batch-1")
+        messages = tm.commit("writer")
+        assert tm.status_of("writer") is TransactionStatus.COMMITTED
+        # Records 0..19 live on however many fragments the optimizer made;
+        # the 2PC bill reflects that.
+        participants = len(cluster.directory.nodes_for_range(0, 20))
+        assert messages == (0 if participants <= 1 else 3 * participants)
+        node0 = cluster.directory.node_for(0)
+        assert cluster.stores[node0].peek(0).value == "batch-1"
+
+        # -- 4. The analytic cost is what traffic actually pays ---------------
+        stats = simulate_access_traffic(problem, x, accesses=40_000, seed=5)
+        assert stats.mean_total_cost == pytest.approx(problem.cost(x), rel=0.08)
+
+        # -- 5. A node fails; measure degradation -----------------------------
+        victim = int(np.argmax(x))
+        impact = failure_impact(problem, x, victim, reoptimize=True)
+        assert not impact.total_outage
+        assert impact.surviving_fraction == pytest.approx(1 - x[victim])
+        assert impact.reoptimized_cost is not None
+
+        # -- 6. Survivors re-optimize; records migrate ------------------------
+        survivors = np.flatnonzero(np.arange(5) != victim)
+        new_x = np.zeros(5)
+        new_x[survivors] = impact.surviving_allocation[survivors]
+        new_x = new_x / new_x.sum()
+        migrated = cluster.migrate(new_x)
+        # The failed node holds nothing afterwards.
+        assert migrated.realized_fractions()[victim] == 0.0
+        # Every record is still reachable, values intact.
+        spot_checks = (0, 5, 1_000, 1_999)
+        for key in spot_checks:
+            node, record = migrated.query(key)
+            assert node != victim
+            assert record.key == key
+        # The committed write survived the migration.
+        node0_after = migrated.directory.node_for(0)
+        assert migrated.stores[node0_after].peek(0).value == "batch-1"
+
+    def test_persistence_roundtrip_of_the_scenario(self, scenario_problem, tmp_path):
+        """Save the instance, reload it tomorrow night, keep optimizing."""
+        from repro.io import load_problem, save_problem
+
+        path = tmp_path / "scenario.json"
+        save_problem(scenario_problem, path)
+        reloaded = load_problem(path)
+        # Tonight's partial run resumes from yesterday's allocation.
+        first = DecentralizedAllocator(
+            scenario_problem, alpha=0.2, max_iterations=3, epsilon=1e-9
+        ).run(np.full(5, 0.2))
+        second = DecentralizedAllocator(reloaded, alpha=0.2, epsilon=1e-6).run(
+            first.allocation
+        )
+        assert second.converged
+        assert second.cost <= first.cost

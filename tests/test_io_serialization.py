@@ -1,0 +1,132 @@
+"""Tests for JSON serialization of problems and results."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import DecentralizedAllocator
+from repro.core.model import FileAllocationProblem
+from repro.exceptions import ConfigurationError
+from repro.io import (
+    allocation_result_to_dict,
+    load_problem,
+    problem_from_dict,
+    problem_to_dict,
+    save_problem,
+)
+from repro.queueing import MD1Delay, MG1Delay, MM1Delay, MMcDelay, QuadraticOverloadDelay
+
+
+class TestProblemRoundtrip:
+    def test_paper_network_roundtrip(self, paper_problem):
+        clone = problem_from_dict(problem_to_dict(paper_problem))
+        np.testing.assert_allclose(clone.cost_matrix, paper_problem.cost_matrix)
+        np.testing.assert_allclose(clone.access_rates, paper_problem.access_rates)
+        assert clone.k == paper_problem.k
+        x = np.array([0.4, 0.3, 0.2, 0.1])
+        assert clone.cost(x) == paper_problem.cost(x)
+        np.testing.assert_allclose(
+            clone.cost_gradient(x), paper_problem.cost_gradient(x)
+        )
+
+    def test_topology_survives(self, paper_problem):
+        clone = problem_from_dict(problem_to_dict(paper_problem))
+        assert clone.topology is not None
+        assert clone.topology == paper_problem.topology
+
+    def test_heterogeneous_models_roundtrip(self):
+        models = [
+            MM1Delay(1.5),
+            MG1Delay(2.0, scv=0.3),
+            MD1Delay(1.8),
+            MMcDelay(0.9, servers=3),
+            QuadraticOverloadDelay(MM1Delay(1.2), switch_utilization=0.9),
+        ]
+        problem = FileAllocationProblem(
+            1.0 - np.eye(5), np.full(5, 0.2), delay_models=models, name="hetero"
+        )
+        clone = problem_from_dict(problem_to_dict(problem))
+        x = np.full(5, 0.2)
+        assert clone.cost(x) == pytest.approx(problem.cost(x))
+        np.testing.assert_allclose(clone.cost_gradient(x), problem.cost_gradient(x))
+        assert clone.name == "hetero"
+
+    def test_json_serializable(self, paper_problem):
+        # Must survive an actual json encode/decode cycle.
+        data = json.loads(json.dumps(problem_to_dict(paper_problem)))
+        clone = problem_from_dict(data)
+        assert clone.n == 4
+
+    def test_file_roundtrip(self, paper_problem, tmp_path):
+        path = tmp_path / "problem.json"
+        save_problem(paper_problem, path)
+        clone = load_problem(path)
+        assert clone.cost([0.25] * 4) == paper_problem.cost([0.25] * 4)
+
+    def test_rejects_unknown_schema(self):
+        with pytest.raises(ConfigurationError, match="schema"):
+            problem_from_dict({"schema": "other@9"})
+
+    def test_rejects_unknown_model_type(self, paper_problem):
+        data = problem_to_dict(paper_problem)
+        data["delay_models"][0]["type"] = "quantum"
+        with pytest.raises(ConfigurationError, match="quantum"):
+            problem_from_dict(data)
+
+    def test_rejects_custom_model(self, paper_problem):
+        class Custom:
+            mu = 2.0
+            max_stable_arrival = 2.0
+
+            def sojourn_time(self, a):
+                return 1.0
+
+        problem = paper_problem
+        problem.delay_models[0] = Custom()
+        try:
+            with pytest.raises(ConfigurationError, match="Custom"):
+                problem_to_dict(problem)
+        finally:
+            problem.delay_models[0] = MM1Delay(1.5)
+
+
+class TestResultSerialization:
+    def test_result_dict_structure(self, paper_problem, paper_start):
+        result = DecentralizedAllocator(paper_problem, alpha=0.3).run(paper_start)
+        data = allocation_result_to_dict(result)
+        payload = json.loads(json.dumps(data))  # JSON-clean
+        assert payload["converged"] is True
+        assert payload["iterations"] == result.iterations
+        assert len(payload["trace"]["records"]) == len(result.trace)
+        assert payload["trace"]["records"][0]["alpha"] is None  # initial nan
+        np.testing.assert_allclose(payload["allocation"], result.allocation)
+
+    def test_solved_reloaded_problem_gives_same_answer(self, paper_problem, paper_start, tmp_path):
+        path = tmp_path / "p.json"
+        save_problem(paper_problem, path)
+        clone = load_problem(path)
+        a = DecentralizedAllocator(paper_problem, alpha=0.3).run(paper_start)
+        b = DecentralizedAllocator(clone, alpha=0.3).run(paper_start)
+        np.testing.assert_array_equal(a.allocation, b.allocation)
+
+
+class TestMultiFileRoundtrip:
+    def test_roundtrip(self):
+        from repro.core.multifile import MultiFileProblem
+        from repro.io import multifile_problem_from_dict, multifile_problem_to_dict
+
+        rates = np.array([[0.5, 0.2, 0.1], [0.1, 0.2, 0.5]])
+        problem = MultiFileProblem(1.0 - np.eye(3), rates, k=0.8, mu=4.0)
+        clone = multifile_problem_from_dict(
+            json.loads(json.dumps(multifile_problem_to_dict(problem)))
+        )
+        x = np.full((2, 3), 1 / 3)
+        assert clone.cost(x) == problem.cost(x)
+        np.testing.assert_allclose(clone.cost_gradient(x), problem.cost_gradient(x))
+
+    def test_schema_mismatch(self):
+        from repro.io import multifile_problem_from_dict
+
+        with pytest.raises(ConfigurationError, match="schema"):
+            multifile_problem_from_dict({"schema": "repro/fap-problem@1"})

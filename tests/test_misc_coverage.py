@@ -1,0 +1,146 @@
+"""Gap-filler tests: exception hierarchy, message payloads, metrics
+merging, and small behaviours not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro import exceptions as exc
+from repro.distributed.messages import (
+    AccessRequest,
+    AccessResponse,
+    AllocationUpdate,
+    AverageAnnouncement,
+    MarginalReport,
+)
+from repro.distributed.metrics import MessageStats
+from repro.distributed.simulator import Simulator
+
+
+class TestExceptionHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in (
+            "ConfigurationError",
+            "InfeasibleAllocationError",
+            "StabilityError",
+            "ConvergenceError",
+            "TopologyError",
+            "ProtocolError",
+            "StorageError",
+            "LockError",
+            "DeadlockError",
+        ):
+            cls = getattr(exc, name)
+            assert issubclass(cls, exc.ReproError), name
+
+    def test_deadlock_is_a_lock_error(self):
+        assert issubclass(exc.DeadlockError, exc.LockError)
+        assert issubclass(exc.LockError, exc.StorageError)
+
+    def test_convergence_error_carries_iterations(self):
+        error = exc.ConvergenceError("nope", iterations=42)
+        assert error.iterations == 42
+
+    def test_single_except_clause_catches_all(self):
+        with pytest.raises(exc.ReproError):
+            raise exc.TopologyError("boom")
+
+
+class TestMessagePayloads:
+    @pytest.mark.parametrize(
+        "message,expected",
+        [
+            (MarginalReport(0, 1, 2, 0.5, 0.25), 20),
+            (AverageAnnouncement(0, 1, 2, -1.5, 4), 16),
+            (AllocationUpdate(0, 1, 2, 0.3), 12),
+            (AccessRequest(0, 1, 7, 1.0), 16),
+            (AccessResponse(1, 0, 7, 1.0), 64),
+        ],
+    )
+    def test_payload_sizes(self, message, expected):
+        assert message.payload_bytes == expected
+
+    def test_messages_are_frozen(self):
+        report = MarginalReport(0, 1, 2, 0.5, 0.25)
+        with pytest.raises(AttributeError):
+            report.share = 0.9
+
+
+class TestMessageStats:
+    def test_record_accumulates(self):
+        stats = MessageStats()
+        stats.record(MarginalReport(0, 1, 0, 0.0, 0.0), hop_count=3)
+        stats.record(AllocationUpdate(0, 1, 0, 0.1), hop_count=1)
+        assert stats.messages == 2
+        assert stats.hops == 4
+        assert stats.payload_bytes == 20 + 12
+        assert stats.by_type == {"MarginalReport": 1, "AllocationUpdate": 1}
+
+    def test_merged_with(self):
+        a = MessageStats()
+        b = MessageStats()
+        a.record(MarginalReport(0, 1, 0, 0.0, 0.0), 1)
+        b.record(MarginalReport(1, 0, 0, 0.0, 0.0), 2)
+        b.record(AllocationUpdate(0, 1, 0, 0.1), 1)
+        merged = a.merged_with(b)
+        assert merged.messages == 3
+        assert merged.hops == 4
+        assert merged.by_type["MarginalReport"] == 2
+        # Inputs untouched.
+        assert a.messages == 1 and b.messages == 2
+
+
+class TestSimulatorExtras:
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: sim.schedule_at(5.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_pending_counts(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending() == 2
+        sim.step()
+        assert sim.pending() == 1
+
+
+class TestReprSmoke:
+    """__repr__ must never raise and should carry the key parameters."""
+
+    def test_core_reprs(self, paper_problem):
+        from repro.core import (
+            DecentralizedAllocator,
+            NeighborOnlyAllocator,
+            SecondOrderAllocator,
+        )
+        from repro.core.stepsize import DynamicStep, FixedStep
+
+        assert "paper-ring-4" in repr(paper_problem)
+        assert "FixedStep" in repr(DecentralizedAllocator(paper_problem))
+        assert "alpha=1" in repr(SecondOrderAllocator(paper_problem))
+        assert "ring" in repr(NeighborOnlyAllocator(paper_problem))
+        assert "DynamicStep" in repr(DynamicStep())
+
+    def test_substrate_reprs(self):
+        from repro.multicopy import paper_worked_example
+        from repro.network import VirtualRing, ring_graph
+        from repro.queueing import MG1Delay, MMcDelay
+        from repro.storage import File, NodeStore
+
+        assert "ring-4" in repr(ring_graph(4))
+        assert "n=3" in repr(VirtualRing([1, 1, 1]))
+        assert "scv=0.5" in repr(MG1Delay(2.0, 0.5))
+        assert "servers=3" in repr(MMcDelay(1.0, 3))
+        problem, _ = paper_worked_example()
+        assert "m=2" in repr(problem)
+        assert "records=5" in repr(File(5))
+        assert "node=1" in repr(NodeStore(1, []))
+
+    def test_result_reprs(self, paper_problem, paper_start):
+        from repro.core import DecentralizedAllocator
+
+        result = DecentralizedAllocator(paper_problem, alpha=0.3).run(paper_start)
+        text = repr(result)
+        assert "converged" in text and "cost=" in text

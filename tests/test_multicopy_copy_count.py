@@ -1,0 +1,70 @@
+"""Tests for the §8.2 optimal-copy-count sweep."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.multicopy import optimal_copy_count
+from repro.network.virtual_ring import VirtualRing
+
+
+def _ring():
+    return VirtualRing([2.0, 1.0, 3.0, 1.0, 2.0, 1.0])
+
+
+class TestOptimalCopyCount:
+    def test_sweep_covers_all_counts(self):
+        res = optimal_copy_count(
+            _ring(), np.ones(6), mu=8.0, storage_cost_per_copy=0.8, iterations=200
+        )
+        assert [e.copies for e in res.entries] == [1, 2, 3, 4, 5, 6]
+        assert res.best in res.entries
+
+    def test_access_cost_decreases_with_more_copies(self):
+        res = optimal_copy_count(
+            _ring(), np.ones(6), mu=8.0, storage_cost_per_copy=0.0, iterations=200
+        )
+        access = [e.access_cost for e in res.entries]
+        # Strong overall trend (per-m optimization noise allowed per step).
+        assert access[-1] < access[0] / 3
+
+    def test_free_storage_prefers_full_replication(self):
+        res = optimal_copy_count(
+            _ring(), np.ones(6), mu=8.0, storage_cost_per_copy=0.0, iterations=200
+        )
+        assert res.best.copies == 6
+
+    def test_expensive_storage_prefers_interior_m(self):
+        res = optimal_copy_count(
+            _ring(), np.ones(6), mu=8.0, storage_cost_per_copy=5.0, iterations=200
+        )
+        assert 1 < res.best.copies < 6
+
+    def test_total_is_access_plus_storage(self):
+        res = optimal_copy_count(
+            _ring(), np.ones(6), mu=8.0, storage_cost_per_copy=1.0, iterations=100
+        )
+        for e in res.entries:
+            assert e.total_cost == pytest.approx(e.access_cost + e.storage_cost)
+            assert e.storage_cost == pytest.approx(e.copies * 1.0)
+
+    def test_allocations_are_feasible_per_m(self):
+        res = optimal_copy_count(
+            _ring(), np.ones(6), mu=8.0, storage_cost_per_copy=1.0, iterations=100
+        )
+        for e in res.entries:
+            assert e.allocation.sum() == pytest.approx(e.copies, abs=1e-6)
+            assert e.allocation.min() >= -1e-9
+
+    def test_rows_mark_the_winner(self):
+        res = optimal_copy_count(
+            _ring(), np.ones(6), mu=8.0, storage_cost_per_copy=1.0, iterations=100
+        )
+        stars = [row[-1] for row in res.rows()]
+        assert stars.count("*") == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            optimal_copy_count(
+                _ring(), np.ones(6), mu=8.0, max_copies=9, iterations=50
+            )

@@ -1,0 +1,92 @@
+"""Tests for virtual-ring embedding heuristics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TopologyError
+from repro.multicopy import (
+    MultiCopyAllocator,
+    MultiCopyRingProblem,
+    best_virtual_ring,
+    nearest_neighbor_order,
+    ring_circumference,
+    two_opt_improve,
+)
+from repro.network.builders import random_geometric_graph, ring_graph, star_graph
+from repro.network.shortest_paths import all_pairs_shortest_paths
+from repro.network.virtual_ring import VirtualRing
+
+
+class TestHeuristics:
+    def test_nearest_neighbor_visits_everyone_once(self):
+        d = all_pairs_shortest_paths(ring_graph(7))
+        order = nearest_neighbor_order(d, start=3)
+        assert sorted(order) == list(range(7))
+        assert order[0] == 3
+
+    def test_two_opt_never_worsens(self, rng):
+        for _ in range(10):
+            topo = random_geometric_graph(9, radius=0.4, seed=int(rng.integers(1e6)))
+            d = all_pairs_shortest_paths(topo)
+            order = list(rng.permutation(9))
+            improved = two_opt_improve(d, order)
+            assert ring_circumference(d, improved) <= ring_circumference(d, order) + 1e-9
+            assert sorted(improved) == list(range(9))
+
+    def test_recovers_physical_ring_order(self):
+        """On a real ring the natural cyclic order is the TSP optimum."""
+        topo = ring_graph(6, [1, 2, 1, 3, 1, 2])
+        vr = best_virtual_ring(topo)
+        # Circumference equals the physical ring's total link cost.
+        assert vr.circumference() == pytest.approx(10.0)
+
+    def test_star_embedding_cost(self):
+        """Every hop on a star routes via the hub: lap cost 2(n-1) except
+        the two hops touching the hub itself."""
+        topo = star_graph(5, center=0)
+        vr = best_virtual_ring(topo)
+        # Best ring visits hub adjacent to two leaves (cost 1 + 1) and
+        # leaf-to-leaf hops cost 2: total = 2 + 2 * 3 = 8.
+        assert vr.circumference() == pytest.approx(8.0)
+
+    def test_beats_identity_order_on_irregular_networks(self):
+        topo = random_geometric_graph(10, radius=0.4, seed=3)
+        d = all_pairs_shortest_paths(topo)
+        natural = ring_circumference(d, list(range(10)))
+        best = best_virtual_ring(topo)
+        assert best.circumference() < natural
+
+    def test_rejects_tiny_networks(self):
+        with pytest.raises(TopologyError):
+            best_virtual_ring(ring_graph(3).without_node(0))
+
+    @given(st.integers(0, 10**5))
+    @settings(max_examples=20, deadline=None)
+    def test_embedding_is_a_valid_ring(self, seed):
+        topo = random_geometric_graph(8, radius=0.5, seed=seed)
+        vr = best_virtual_ring(topo, two_opt=True)
+        assert sorted(vr.order) == list(range(8))
+        assert vr.circumference() > 0
+
+
+class TestEmbeddingImprovesMultiCopyCost:
+    def test_optimized_embedding_cheaper_allocation(self):
+        """The end-to-end claim: a shorter lap means a cheaper optimized
+        §7 allocation on the same physical network."""
+        topo = random_geometric_graph(8, radius=0.45, seed=11)
+        rates = np.ones(8)
+        bad_ring = VirtualRing.from_topology(topo, list(range(8)))
+        good_ring = best_virtual_ring(topo)
+        assert good_ring.circumference() < bad_ring.circumference()
+
+        x0 = np.full(8, 2 / 8)
+        costs = {}
+        for name, ring in (("identity", bad_ring), ("optimized", good_ring)):
+            problem = MultiCopyRingProblem(ring, rates, copies=2, mu=10.0)
+            result = MultiCopyAllocator(
+                problem, alpha=0.05, max_iterations=300
+            ).run(x0)
+            costs[name] = result.cost
+        assert costs["optimized"] <= costs["identity"]

@@ -1,0 +1,107 @@
+"""Tests for read/write replication costs (§8.2)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.multicopy import (
+    MultiCopyAllocator,
+    MultiCopyRingProblem,
+    ReadWriteRingProblem,
+    optimal_copy_count_with_writes,
+)
+from repro.network.virtual_ring import VirtualRing
+
+
+def _ring():
+    return VirtualRing([2.0, 1.0, 3.0, 1.0, 2.0, 1.0])
+
+
+class TestReadWriteCostModel:
+    def test_zero_writes_recovers_base_model(self):
+        ring = _ring()
+        rates = np.ones(6)
+        base = MultiCopyRingProblem(ring, rates, copies=2, mu=10.0)
+        rw = ReadWriteRingProblem(ring, rates, copies=2, mu=10.0, write_fraction=0.0)
+        for seed in range(5):
+            x = np.random.default_rng(seed).dirichlet(np.ones(6)) * 2
+            assert rw.cost(x) == pytest.approx(base.cost(x))
+            np.testing.assert_allclose(rw.node_arrivals(x), base.node_arrivals(x))
+
+    def test_write_comm_cost_formula(self):
+        """W = sum_j lambda_j^w sum_i min(x_i,1) d(j,i) by hand on a
+        concentrated allocation."""
+        ring = VirtualRing([1.0, 1.0, 1.0])
+        rates = np.array([1.0, 0.0, 0.0])
+        rw = ReadWriteRingProblem(
+            ring, rates, copies=2, mu=10.0, write_fraction=0.5
+        )
+        x = np.array([1.0, 1.0, 0.0])  # two whole copies at nodes 0, 1
+        # Writes from node 0 at rate 0.5 must hit nodes 0 (d=0) and 1 (d=1).
+        assert rw.write_comm_cost(x) == pytest.approx(0.5 * (0.0 + 1.0))
+
+    def test_replica_measure_caps_at_one(self):
+        rw = ReadWriteRingProblem(_ring(), np.ones(6), copies=3, mu=12.0,
+                                  write_fraction=0.1)
+        measure = rw.replica_measure(np.array([1.7, 0.5, 0.3, 0.2, 0.2, 0.1]))
+        assert measure[0] == 1.0
+        assert measure[1] == 0.5
+
+    def test_writes_hit_every_replica_holder(self):
+        rw = ReadWriteRingProblem(_ring(), np.ones(6), copies=2, mu=20.0,
+                                  write_fraction=1.0)
+        x = np.array([0.5, 0.5, 0.5, 0.5, 0.0, 0.0])
+        arrivals = rw.node_arrivals(x)
+        # Pure writes: each holder absorbs (total rate) * its measure.
+        np.testing.assert_allclose(arrivals[:4], 6.0 * 0.5)
+        np.testing.assert_allclose(arrivals[4:], 0.0)
+
+    def test_more_copies_raise_write_cost(self):
+        ring = _ring()
+        costs = []
+        for m in (1, 3, 6):
+            rw = ReadWriteRingProblem(ring, np.ones(6), copies=m, mu=20.0,
+                                      write_fraction=1.0)
+            x = np.full(6, m / 6)
+            costs.append(rw.write_comm_cost(x))
+        assert costs[0] < costs[1] < costs[2]
+
+    def test_write_fraction_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReadWriteRingProblem(_ring(), np.ones(6), mu=10.0, write_fraction=1.5)
+
+    def test_allocator_runs_on_rw_problem(self):
+        rw = ReadWriteRingProblem(_ring(), np.ones(6), copies=2, mu=10.0,
+                                  write_fraction=0.3)
+        x0 = np.full(6, 2 / 6)
+        result = MultiCopyAllocator(rw, alpha=0.05, max_iterations=200).run(x0)
+        assert result.cost <= rw.cost(x0)
+        assert result.allocation.sum() == pytest.approx(2.0, abs=1e-6)
+
+
+class TestReplicationTension:
+    """The §8.2 headline: the optimal copy count falls as writes grow."""
+
+    @pytest.fixture(scope="class")
+    def sweeps(self):
+        ring = _ring()
+        return {
+            w: optimal_copy_count_with_writes(
+                ring, np.ones(6), mu=10.0, write_fraction=w,
+                storage_cost_per_copy=0.3, iterations=150,
+            )
+            for w in (0.0, 0.2, 0.5)
+        }
+
+    def test_read_only_prefers_full_replication(self, sweeps):
+        assert sweeps[0.0].best.copies == 6
+
+    def test_moderate_writes_prefer_few_copies(self, sweeps):
+        assert sweeps[0.2].best.copies <= 3
+
+    def test_write_heavy_prefers_single_copy(self, sweeps):
+        assert sweeps[0.5].best.copies == 1
+
+    def test_optimal_m_monotone_nonincreasing_in_writes(self, sweeps):
+        ms = [sweeps[w].best.copies for w in (0.0, 0.2, 0.5)]
+        assert ms[0] >= ms[1] >= ms[2]

@@ -1,0 +1,193 @@
+"""Tests for shortest paths, routing tables and the virtual ring."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TopologyError
+from repro.network.builders import complete_graph, line_graph, random_graph, ring_graph, star_graph
+from repro.network.routing import RoutingTable
+from repro.network.shortest_paths import (
+    all_pairs_shortest_paths,
+    diameter,
+    dijkstra,
+    eccentricity,
+    floyd_warshall,
+    path_cost,
+    shortest_path,
+)
+from repro.network.topology import Topology
+from repro.network.virtual_ring import VirtualRing
+
+
+class TestDijkstra:
+    def test_unit_ring_distances(self):
+        dist, _ = dijkstra(ring_graph(4), 0)
+        np.testing.assert_allclose(dist, [0, 1, 2, 1])
+
+    def test_prefers_cheap_detour(self):
+        topo = Topology(3, [(0, 1, 10.0), (0, 2, 1.0), (2, 1, 1.0)])
+        dist, pred = dijkstra(topo, 0)
+        assert dist[1] == 2.0
+        assert pred[1] == 2
+
+    def test_unreachable_is_inf(self):
+        topo = Topology(3, [(0, 1, 1.0)])
+        dist, _ = dijkstra(topo, 0)
+        assert np.isinf(dist[2])
+
+
+class TestFloydWarshallAgreement:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_dijkstra_on_random_graphs(self, seed):
+        topo = random_graph(10, 0.3, cost_range=(0.5, 4.0), seed=seed)
+        via_dijkstra = all_pairs_shortest_paths(topo)
+        via_fw = floyd_warshall(topo)
+        np.testing.assert_allclose(via_dijkstra, via_fw, atol=1e-9)
+
+    def test_triangle_inequality_holds(self):
+        topo = random_graph(8, 0.4, cost_range=(1.0, 5.0), seed=11)
+        d = all_pairs_shortest_paths(topo)
+        n = topo.n
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert d[i, j] <= d[i, k] + d[k, j] + 1e-9
+
+
+class TestAllPairs:
+    def test_symmetric_for_undirected(self):
+        d = all_pairs_shortest_paths(ring_graph(5, [1, 2, 3, 4, 5]))
+        np.testing.assert_allclose(d, d.T)
+
+    def test_disconnected_raises(self):
+        topo = Topology(3, [(0, 1, 1.0)])
+        with pytest.raises(TopologyError, match="disconnected"):
+            all_pairs_shortest_paths(topo)
+
+    def test_disconnected_allowed_when_requested(self):
+        topo = Topology(3, [(0, 1, 1.0)])
+        d = all_pairs_shortest_paths(topo, require_connected=False)
+        assert np.isinf(d[0, 2])
+
+
+class TestExplicitPaths:
+    def test_path_endpoints_and_cost(self):
+        topo = line_graph(5, 2.0)
+        path = shortest_path(topo, 0, 4)
+        assert path == [0, 1, 2, 3, 4]
+        assert path_cost(topo, path) == 8.0
+
+    def test_no_path_raises(self):
+        topo = Topology(2)
+        with pytest.raises(TopologyError):
+            shortest_path(topo, 0, 1)
+
+    def test_path_cost_rejects_missing_edge(self):
+        with pytest.raises(TopologyError):
+            path_cost(line_graph(3), [0, 2])
+
+    def test_diameter_and_eccentricity(self):
+        topo = line_graph(4)
+        assert diameter(topo) == 3.0
+        assert eccentricity(topo, 1) == 2.0
+
+
+class TestRoutingTable:
+    def test_next_hops_follow_shortest_paths(self):
+        topo = ring_graph(6)
+        table = RoutingTable(topo)
+        # From 0 to 2 the short way is via 1.
+        assert table.next_hop(0, 2) == 1
+        assert table.route(0, 3) in ([0, 1, 2, 3], [0, 5, 4, 3])
+        assert table.hop_count(0, 3) == 3
+
+    def test_cost_matrix_matches_all_pairs(self):
+        topo = random_graph(9, 0.35, cost_range=(1.0, 3.0), seed=5)
+        table = RoutingTable(topo)
+        np.testing.assert_allclose(table.cost_matrix(), all_pairs_shortest_paths(topo))
+
+    def test_route_cost_equals_table_cost(self):
+        topo = random_graph(9, 0.3, cost_range=(0.5, 2.0), seed=9)
+        table = RoutingTable(topo)
+        for s in range(topo.n):
+            for t in range(topo.n):
+                if s != t:
+                    assert path_cost(topo, table.route(s, t)) == pytest.approx(
+                        table.cost(s, t)
+                    )
+
+    def test_self_hop_rejected(self):
+        with pytest.raises(TopologyError):
+            RoutingTable(ring_graph(3)).next_hop(1, 1)
+
+    def test_disconnected_rejected(self):
+        topo = Topology(3, [(0, 1, 1.0)])
+        with pytest.raises(TopologyError):
+            RoutingTable(topo)
+
+
+class TestVirtualRing:
+    def test_forward_distances(self):
+        ring = VirtualRing([1.0, 2.0, 3.0, 4.0])
+        assert ring.forward_distance(0, 1) == 1.0
+        assert ring.forward_distance(0, 3) == 6.0
+        assert ring.forward_distance(3, 0) == 4.0  # wraps
+        assert ring.forward_distance(2, 1) == 3.0 + 4.0 + 1.0
+        assert ring.circumference() == 10.0
+
+    def test_successor_predecessor(self):
+        ring = VirtualRing([1, 1, 1], order=[2, 0, 1])
+        assert ring.successor(2) == 0
+        assert ring.successor(1) == 2
+        assert ring.predecessor(0) == 2
+
+    def test_forward_sequence(self):
+        ring = VirtualRing([1, 1, 1, 1])
+        assert ring.forward_sequence(2) == [2, 3, 0, 1]
+
+    def test_custom_order(self):
+        ring = VirtualRing([1, 1, 1], order=[1, 2, 0])
+        assert ring.forward_sequence(1) == [1, 2, 0]
+
+    def test_distance_matrix_diagonal_zero(self):
+        ring = VirtualRing([2, 3, 4])
+        d = ring.distance_matrix()
+        assert np.all(np.diag(d) == 0)
+        # Row sums: each row covers distances to all others.
+        assert d[0, 1] + d[1, 0] == ring.circumference()
+
+    def test_from_topology_uses_shortest_paths(self):
+        # Virtual ring over a star: consecutive nodes route via the hub.
+        topo = star_graph(4, link_cost=1.0, center=0)
+        ring = VirtualRing.from_topology(topo, order=[1, 2, 3, 0])
+        # 1 -> 2 goes through hub 0: cost 2.
+        assert ring.forward_distance(1, 2) == 2.0
+        assert ring.forward_distance(3, 0) == 1.0
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(TopologyError):
+            VirtualRing([1, 1, 1], order=[0, 0, 1])
+
+    def test_rejects_too_small(self):
+        with pytest.raises(TopologyError):
+            VirtualRing([1, 1])
+
+    def test_unknown_node(self):
+        with pytest.raises(TopologyError):
+            VirtualRing([1, 1, 1]).position(5)
+
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=30, deadline=None)
+    def test_forward_distances_sum_to_circumference(self, seed):
+        rng = np.random.default_rng(seed)
+        costs = rng.uniform(0.5, 3.0, size=5)
+        ring = VirtualRing(costs)
+        for i in range(5):
+            for j in range(5):
+                if i != j:
+                    assert ring.forward_distance(i, j) + ring.forward_distance(
+                        j, i
+                    ) == pytest.approx(ring.circumference())

@@ -1,0 +1,203 @@
+"""Tests for Topology and the generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.network.builders import (
+    complete_graph,
+    grid_graph,
+    line_graph,
+    random_geometric_graph,
+    random_graph,
+    ring_graph,
+    star_graph,
+    tree_graph,
+)
+from repro.network.topology import Topology, topology_from_cost_matrix
+
+
+class TestTopologyBasics:
+    def test_empty_graph_has_no_edges(self):
+        topo = Topology(3)
+        assert topo.edge_count() == 0
+        assert not topo.has_edge(0, 1)
+
+    def test_add_and_query_edge(self):
+        topo = Topology(3)
+        topo.add_edge(0, 1, 2.5)
+        assert topo.has_edge(0, 1) and topo.has_edge(1, 0)
+        assert topo.edge_cost(0, 1) == 2.5
+        assert topo.neighbors(0) == [1]
+        assert topo.degree(1) == 1
+
+    def test_parallel_edge_keeps_cheaper(self):
+        topo = Topology(2)
+        topo.add_edge(0, 1, 5.0)
+        topo.add_edge(0, 1, 2.0)
+        assert topo.edge_cost(0, 1) == 2.0
+        topo.add_edge(0, 1, 9.0)  # more expensive: ignored
+        assert topo.edge_cost(0, 1) == 2.0
+
+    def test_remove_edge(self):
+        topo = Topology(2, [(0, 1, 1.0)])
+        topo.remove_edge(0, 1)
+        assert not topo.has_edge(0, 1)
+        with pytest.raises(TopologyError):
+            topo.remove_edge(0, 1)
+
+    def test_rejects_self_loop_and_bad_costs(self):
+        topo = Topology(2)
+        with pytest.raises(TopologyError):
+            topo.add_edge(0, 0, 1.0)
+        with pytest.raises(TopologyError):
+            topo.add_edge(0, 1, 0.0)
+        with pytest.raises(TopologyError):
+            topo.add_edge(0, 1, float("inf"))
+
+    def test_rejects_bad_node_ids(self):
+        topo = Topology(2)
+        with pytest.raises(TopologyError):
+            topo.add_edge(0, 5, 1.0)
+        with pytest.raises(TopologyError):
+            topo.neighbors(-1)
+
+    def test_rejects_empty_topology(self):
+        with pytest.raises(TopologyError):
+            Topology(0)
+
+    def test_connectivity(self):
+        topo = Topology(3, [(0, 1, 1.0)])
+        assert not topo.is_connected()
+        topo.add_edge(1, 2, 1.0)
+        assert topo.is_connected()
+
+    def test_without_node(self):
+        topo = ring_graph(4)
+        degraded = topo.without_node(0)
+        assert degraded.degree(0) == 0
+        assert degraded.has_edge(1, 2)
+        assert not degraded.has_edge(0, 1)
+        # Original unchanged.
+        assert topo.has_edge(0, 1)
+
+    def test_scaled(self):
+        topo = ring_graph(3, 2.0).scaled(3.0)
+        assert topo.edge_cost(0, 1) == 6.0
+        with pytest.raises(TopologyError):
+            topo.scaled(0.0)
+
+    def test_equality(self):
+        assert ring_graph(4) == ring_graph(4)
+        assert ring_graph(4) != ring_graph(5)
+        assert ring_graph(4) != ring_graph(4, 2.0)
+
+    def test_edges_iterates_each_once(self):
+        topo = complete_graph(4)
+        edges = list(topo.edges())
+        assert len(edges) == 6
+        assert all(u < v for u, v, _ in edges)
+
+
+class TestFromCostMatrix:
+    def test_roundtrip(self):
+        original = ring_graph(4, [1, 2, 3, 4])
+        rebuilt = topology_from_cost_matrix(original.link_cost_matrix())
+        assert rebuilt == original
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(TopologyError, match="symmetric"):
+            topology_from_cost_matrix([[0, 1], [2, 0]])
+
+
+class TestBuilders:
+    def test_ring_shape(self):
+        topo = ring_graph(5)
+        assert topo.edge_count() == 5
+        assert all(topo.degree(i) == 2 for i in topo.nodes())
+
+    def test_ring_per_link_costs(self):
+        topo = ring_graph(4, [4, 1, 1, 1])
+        assert topo.edge_cost(0, 1) == 4
+        assert topo.edge_cost(3, 0) == 1
+
+    def test_ring_rejects_bad_cost_count(self):
+        with pytest.raises(TopologyError):
+            ring_graph(4, [1, 2])
+
+    def test_ring_too_small(self):
+        with pytest.raises(TopologyError):
+            ring_graph(2)
+
+    def test_line(self):
+        topo = line_graph(4)
+        assert topo.edge_count() == 3
+        assert topo.degree(0) == 1 and topo.degree(1) == 2
+
+    def test_star(self):
+        topo = star_graph(5, center=2)
+        assert topo.degree(2) == 4
+        assert all(topo.degree(i) == 1 for i in topo.nodes() if i != 2)
+
+    def test_complete(self):
+        topo = complete_graph(6)
+        assert topo.edge_count() == 15
+        assert topo.is_connected()
+
+    def test_grid(self):
+        topo = grid_graph(2, 3)
+        assert topo.n == 6
+        assert topo.edge_count() == 7  # 3 horizontal + 4 vertical... 2*2 + 3*1
+        assert topo.has_edge(0, 1) and topo.has_edge(0, 3)
+
+    def test_tree(self):
+        topo = tree_graph(7, branching=2)
+        assert topo.edge_count() == 6
+        assert topo.degree(0) == 2  # root's two children
+
+    def test_random_graph_connected_and_reproducible(self):
+        a = random_graph(12, 0.2, seed=3)
+        b = random_graph(12, 0.2, seed=3)
+        assert a.is_connected()
+        assert a == b
+
+    def test_random_graph_cost_range(self):
+        topo = random_graph(8, 0.5, cost_range=(2.0, 3.0), seed=1)
+        costs = [c for _, _, c in topo.edges()]
+        assert min(costs) >= 2.0 and max(costs) <= 3.0
+
+    def test_random_geometric_connected(self):
+        topo = random_geometric_graph(15, radius=0.3, seed=7)
+        assert topo.is_connected()
+        # Costs are Euclidean distances in the unit square.
+        assert all(0 < c <= 1.5 for _, _, c in topo.edges())
+
+
+class TestVisualize:
+    def test_adjacency_art_marks_links_and_gaps(self):
+        from repro.network.visualize import adjacency_art
+
+        art = adjacency_art(line_graph(3, 2.5))
+        lines = art.splitlines()
+        assert len(lines) == 4  # header + 3 rows
+        assert "2.5" in lines[1]
+        # Diagonal and non-edges are dots.
+        assert lines[1].split()[1] == "."
+
+    def test_topology_summary(self):
+        from repro.network.visualize import topology_summary
+
+        text = topology_summary(ring_graph(4))
+        assert "4 nodes, 4 edges" in text
+        assert "connected" in text
+        # Every ring node: degree 2, eccentricity 2.
+        for line in text.splitlines()[3:]:
+            parts = line.split()
+            assert parts[1] == "2"
+            assert parts[3] == "2"
+
+    def test_summary_flags_disconnection(self):
+        from repro.network.visualize import topology_summary
+
+        topo = Topology(3, [(0, 1, 1.0)])
+        assert "DISCONNECTED" in topology_summary(topo)

@@ -1,0 +1,139 @@
+"""Tests for the M/M/c delay model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StabilityError
+from repro.queueing import MM1Delay, MMcDelay, erlang_c
+
+
+class TestErlangC:
+    def test_single_server_equals_utilization(self):
+        # C(1, rho) = rho for M/M/1.
+        for rho in (0.1, 0.5, 0.9):
+            assert erlang_c(1, rho) == pytest.approx(rho)
+
+    def test_two_servers_closed_form(self):
+        # C(2, a) = a^2 / (a^2 + 2 (1 - a/2) (1 + a)) ... verify via the
+        # standard formula C = (a^c/c!) / ((1-rho) sum + a^c/c!).
+        a = 1.2
+        num = a**2 / 2
+        denom = (1 - a / 2) * (1 + a) + num
+        assert erlang_c(2, a) == pytest.approx(num / denom)
+
+    def test_zero_load(self):
+        assert erlang_c(4, 0.0) == 0.0
+
+    def test_monotone_in_load(self):
+        loads = np.linspace(0.1, 2.9, 20)
+        values = [erlang_c(3, a) for a in loads]
+        assert np.all(np.diff(values) > 0)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(StabilityError):
+            erlang_c(2, 2.0)
+
+    def test_bad_servers(self):
+        with pytest.raises(ValueError):
+            erlang_c(0, 0.5)
+
+
+class TestMMcDelay:
+    def test_c1_equals_mm1(self):
+        mm1 = MM1Delay(1.5)
+        mmc = MMcDelay(1.5, servers=1)
+        for a in (0.0, 0.4, 1.0, 1.4):
+            assert mmc.sojourn_time(a) == pytest.approx(mm1.sojourn_time(a))
+
+    def test_more_servers_less_delay_at_same_capacity(self):
+        """c servers of rate mu/c vs one of rate mu: pooling wins on wait
+        probability but single fast server wins on service time; at equal
+        total capacity the M/M/1 has lower sojourn (classic result)."""
+        a = 1.5
+        one_fast = MMcDelay(2.0, servers=1)
+        two_slow = MMcDelay(1.0, servers=2)
+        assert one_fast.mu == two_slow.mu == 2.0
+        assert one_fast.sojourn_time(a) < two_slow.sojourn_time(a)
+
+    def test_more_servers_at_same_per_server_rate_cut_delay(self):
+        a = 1.5
+        two = MMcDelay(1.0, servers=2)
+        four = MMcDelay(1.0, servers=4)
+        assert four.sojourn_time(a) < two.sojourn_time(a)
+
+    def test_light_traffic_limit_is_service_time(self):
+        model = MMcDelay(2.0, servers=3)
+        assert model.sojourn_time(1e-9) == pytest.approx(0.5, rel=1e-6)
+
+    def test_derivatives_positive_and_consistent(self):
+        model = MMcDelay(1.0, servers=3)
+        for a in (0.5, 1.5, 2.5):
+            d = model.d_sojourn(a)
+            assert d > 0
+            # Independent wider-stencil check.
+            h = 1e-4
+            ref = (model.sojourn_time(a + h) - model.sojourn_time(a - h)) / (2 * h)
+            assert d == pytest.approx(ref, rel=1e-3)
+            assert model.d2_sojourn(a) > 0
+
+    def test_unstable_raises(self):
+        with pytest.raises(StabilityError):
+            MMcDelay(1.0, servers=2).sojourn_time(2.0)
+
+    def test_works_inside_fap_model(self):
+        """§5.4's drop-in claim, executed: a FAP instance over M/M/2 nodes."""
+        from repro.core.algorithm import DecentralizedAllocator
+        from repro.core.kkt import optimal_allocation
+        from repro.core.model import FileAllocationProblem
+
+        models = [MMcDelay(0.8, servers=2) for _ in range(4)]
+        problem = FileAllocationProblem(
+            1.0 - np.eye(4), np.full(4, 0.25), delay_models=models
+        )
+        result = DecentralizedAllocator(problem, alpha=0.2, epsilon=1e-6).run(
+            [0.7, 0.1, 0.1, 0.1]
+        )
+        assert result.converged
+        assert result.trace.is_monotone()
+        x_star = optimal_allocation(problem)
+        assert problem.cost(result.allocation) == pytest.approx(
+            problem.cost(x_star), rel=1e-5
+        )
+
+
+class TestMMcAgainstSimulation:
+    def test_erlang_c_sojourn_matches_simulation(self):
+        from repro.queueing import ExponentialService, simulate_multiserver_queue
+
+        model = MMcDelay(1.0, servers=3)
+        a = 2.4  # rho = 0.8
+        result = simulate_multiserver_queue(
+            a, ExponentialService(1.0), 3, customers=150_000, seed=21
+        )
+        assert result.mean_sojourn == pytest.approx(model.sojourn_time(a), rel=0.08)
+
+    def test_c1_simulation_matches_single_server_path(self):
+        from repro.queueing import ExponentialService, simulate_multiserver_queue, simulate_queue
+
+        multi = simulate_multiserver_queue(
+            1.0, ExponentialService(1.5), 1, customers=60_000, seed=31
+        )
+        single = simulate_queue(1.0, ExponentialService(1.5), customers=60_000, seed=31)
+        # Same stochastic model; both within a few percent of 1/(mu-a)=2.
+        assert multi.mean_sojourn == pytest.approx(2.0, rel=0.08)
+        assert single.mean_sojourn == pytest.approx(2.0, rel=0.08)
+
+    def test_utilization(self):
+        from repro.queueing import ExponentialService, simulate_multiserver_queue
+
+        result = simulate_multiserver_queue(
+            1.5, ExponentialService(1.0), 3, customers=60_000, seed=41
+        )
+        assert result.utilization == pytest.approx(0.5, abs=0.05)
+
+    def test_unstable_rejected(self):
+        from repro.exceptions import ConfigurationError
+        from repro.queueing import ExponentialService, simulate_multiserver_queue
+
+        with pytest.raises(ConfigurationError):
+            simulate_multiserver_queue(4.0, ExponentialService(1.0), 3)

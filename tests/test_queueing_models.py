@@ -1,0 +1,195 @@
+"""Tests for the analytic delay models and their derivatives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, StabilityError
+from repro.queueing import (
+    MD1Delay,
+    MG1Delay,
+    MM1Delay,
+    QuadraticOverloadDelay,
+)
+from repro.queueing.service import (
+    DeterministicService,
+    ErlangService,
+    ExponentialService,
+    HyperexponentialService,
+)
+
+
+class TestMM1:
+    def test_paper_values(self):
+        # T = 1/(mu - a) with mu=1.5: the delays behind figure 3.
+        model = MM1Delay(1.5)
+        assert model.sojourn_time(0.0) == pytest.approx(1 / 1.5)
+        assert model.sojourn_time(1.0) == pytest.approx(2.0)
+        assert model.sojourn_time(0.25) == pytest.approx(0.8)
+
+    def test_analytic_derivatives_match_numeric(self):
+        model = MM1Delay(2.0)
+        h = 1e-7
+        for a in (0.1, 0.5, 1.2, 1.8):
+            numeric = (model.sojourn_time(a + h) - model.sojourn_time(a - h)) / (2 * h)
+            assert model.d_sojourn(a) == pytest.approx(numeric, rel=1e-5)
+            numeric2 = (
+                model.d_sojourn(a + h) - model.d_sojourn(a - h)
+            ) / (2 * h)
+            assert model.d2_sojourn(a) == pytest.approx(numeric2, rel=1e-4)
+
+    def test_unstable_raises(self):
+        model = MM1Delay(1.0)
+        with pytest.raises(StabilityError):
+            model.sojourn_time(1.0)
+        with pytest.raises(StabilityError):
+            model.d_sojourn(1.5)
+
+    def test_negative_arrival_is_analytic_extension(self):
+        """Negative rates arise from the Unconstrained policy's transient
+        iterates; T(a) = 1/(mu - a) extends smoothly there."""
+        assert MM1Delay(1.0).sojourn_time(-0.5) == pytest.approx(1 / 1.5)
+        with pytest.raises(StabilityError):
+            MM1Delay(1.0).sojourn_time(float("nan"))
+
+    def test_bad_mu_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MM1Delay(0.0)
+
+    def test_littles_law_consistency(self):
+        model = MM1Delay(2.0)
+        a = 1.3
+        assert model.queue_length(a) == pytest.approx(a * model.sojourn_time(a))
+
+    def test_waiting_plus_service_is_sojourn(self):
+        model = MM1Delay(3.0)
+        assert model.waiting_time(2.0) + 1 / 3.0 == pytest.approx(model.sojourn_time(2.0))
+
+    @given(st.floats(0.1, 5.0), st.floats(0.0, 0.95))
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_increasing_and_convex(self, mu, rho):
+        model = MM1Delay(mu)
+        a = rho * mu
+        assert model.d_sojourn(a) > 0
+        assert model.d2_sojourn(a) > 0
+
+
+class TestMG1:
+    def test_reduces_to_mm1_for_scv_one(self):
+        mm1 = MM1Delay(1.5)
+        mg1 = MG1Delay(1.5, scv=1.0)
+        for a in (0.0, 0.3, 0.9, 1.4):
+            assert mg1.sojourn_time(a) == pytest.approx(mm1.sojourn_time(a))
+            assert mg1.d_sojourn(a) == pytest.approx(mm1.d_sojourn(a))
+            assert mg1.d2_sojourn(a) == pytest.approx(mm1.d2_sojourn(a))
+
+    def test_md1_is_half_the_queueing_delay_of_mm1(self):
+        # Classic P-K fact: Wq(M/D/1) = Wq(M/M/1) / 2.
+        mu, a = 2.0, 1.5
+        wq_md1 = MD1Delay(mu).waiting_time(a)
+        wq_mm1 = MM1Delay(mu).waiting_time(a)
+        assert wq_md1 == pytest.approx(wq_mm1 / 2)
+
+    def test_higher_scv_means_more_delay(self):
+        low = MG1Delay(2.0, scv=0.5)
+        high = MG1Delay(2.0, scv=3.0)
+        assert high.sojourn_time(1.0) > low.sojourn_time(1.0)
+
+    def test_from_service(self):
+        svc = ErlangService(4, 2.0)
+        model = MG1Delay.from_service(svc)
+        assert model.mu == pytest.approx(2.0)
+        assert model.scv == pytest.approx(0.25)
+
+    def test_derivatives_match_numeric(self):
+        model = MG1Delay(2.5, scv=0.3)
+        h = 1e-7
+        for a in (0.2, 1.0, 2.0):
+            numeric = (model.sojourn_time(a + h) - model.sojourn_time(a - h)) / (2 * h)
+            assert model.d_sojourn(a) == pytest.approx(numeric, rel=1e-5)
+
+    def test_unstable_raises(self):
+        with pytest.raises(StabilityError):
+            MG1Delay(1.0, scv=0.5).sojourn_time(1.01)
+
+
+class TestServiceDistributions:
+    @pytest.mark.parametrize(
+        "service,expected_scv",
+        [
+            (ExponentialService(2.0), 1.0),
+            (DeterministicService(2.0), 0.0),
+            (ErlangService(4, 2.0), 0.25),
+        ],
+    )
+    def test_moments(self, service, expected_scv):
+        assert service.mean == pytest.approx(0.5)
+        assert service.rate == pytest.approx(2.0)
+        assert service.scv == pytest.approx(expected_scv)
+        assert service.second_moment == pytest.approx((1 + expected_scv) * 0.25)
+
+    def test_hyperexponential_scv_above_one(self):
+        svc = HyperexponentialService(0.3, 0.5, 5.0)
+        assert svc.scv > 1.0
+
+    def test_samples_match_moments(self):
+        rng = np.random.default_rng(0)
+        for svc in (
+            ExponentialService(2.0),
+            ErlangService(3, 1.5),
+            HyperexponentialService(0.4, 0.8, 4.0),
+        ):
+            samples = np.asarray(svc.sample(rng, size=200_000))
+            assert samples.mean() == pytest.approx(svc.mean, rel=0.02)
+            scv_hat = samples.var() / samples.mean() ** 2
+            assert scv_hat == pytest.approx(svc.scv, rel=0.05)
+
+    def test_deterministic_samples(self):
+        svc = DeterministicService(4.0)
+        rng = np.random.default_rng(0)
+        assert svc.sample(rng) == 0.25
+        assert np.all(svc.sample(rng, size=5) == 0.25)
+
+    def test_erlang_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            ErlangService(0, 1.0)
+        with pytest.raises(ValueError):
+            ErlangService(1.5, 1.0)
+
+
+class TestOverloadApproximation:
+    def test_exact_below_switch(self):
+        base = MM1Delay(2.0)
+        approx = QuadraticOverloadDelay(base, switch_utilization=0.9)
+        for a in (0.0, 0.5, 1.0, 1.7):
+            assert approx.sojourn_time(a) == base.sojourn_time(a)
+
+    def test_finite_above_mu(self):
+        approx = QuadraticOverloadDelay(MM1Delay(1.0), switch_utilization=0.9)
+        assert np.isfinite(approx.sojourn_time(5.0))
+        assert approx.is_stable(100.0)
+        assert approx.max_stable_arrival == float("inf")
+
+    def test_c1_continuity_at_switch(self):
+        base = MM1Delay(1.5)
+        approx = QuadraticOverloadDelay(base, switch_utilization=0.8)
+        a_star = 0.8 * 1.5
+        eps = 1e-8
+        below = approx.sojourn_time(a_star - eps)
+        above = approx.sojourn_time(a_star + eps)
+        assert above == pytest.approx(below, rel=1e-6)
+        assert approx.d_sojourn(a_star + eps) == pytest.approx(
+            approx.d_sojourn(a_star - eps), rel=1e-5
+        )
+
+    def test_monotone_and_convex_everywhere(self):
+        approx = QuadraticOverloadDelay(MM1Delay(1.0), switch_utilization=0.95)
+        grid = np.linspace(0, 3, 200)
+        values = [approx.sojourn_time(a) for a in grid]
+        assert np.all(np.diff(values) > 0)
+        assert all(approx.d2_sojourn(a) > 0 for a in grid)
+
+    def test_rejects_bad_switch(self):
+        with pytest.raises(ConfigurationError):
+            QuadraticOverloadDelay(MM1Delay(1.0), switch_utilization=1.0)

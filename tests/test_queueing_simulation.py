@@ -1,0 +1,83 @@
+"""Simulation-vs-formula validation of the queueing substrate.
+
+The same discipline the paper applies: claims backed by simulation.  The
+Lindley-recurrence simulator must agree with the analytic M/M/1 and M/G/1
+sojourn times within a few standard errors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.queueing import (
+    DeterministicService,
+    ErlangService,
+    ExponentialService,
+    MG1Delay,
+    MM1Delay,
+    littles_law_lq,
+    littles_law_wq,
+    simulate_queue,
+)
+
+
+class TestSimulatorAgainstFormulas:
+    def test_mm1_sojourn(self):
+        result = simulate_queue(
+            1.0, ExponentialService(1.5), customers=120_000, seed=42
+        )
+        expected = MM1Delay(1.5).sojourn_time(1.0)
+        # Autocorrelation inflates the true error; allow a wide band.
+        assert result.mean_sojourn == pytest.approx(expected, rel=0.08)
+
+    def test_md1_sojourn(self):
+        result = simulate_queue(
+            1.0, DeterministicService(1.5), customers=120_000, seed=43
+        )
+        expected = MG1Delay(1.5, scv=0.0).sojourn_time(1.0)
+        assert result.mean_sojourn == pytest.approx(expected, rel=0.08)
+
+    def test_erlang_sojourn(self):
+        result = simulate_queue(
+            0.8, ErlangService(3, 1.5), customers=120_000, seed=44
+        )
+        expected = MG1Delay(1.5, scv=1 / 3).sojourn_time(0.8)
+        assert result.mean_sojourn == pytest.approx(expected, rel=0.08)
+
+    def test_light_load_sojourn_is_service_time(self):
+        result = simulate_queue(
+            0.01, ExponentialService(2.0), customers=30_000, seed=45
+        )
+        assert result.mean_sojourn == pytest.approx(0.5, rel=0.05)
+        assert result.mean_wait < 0.02
+
+    def test_utilization_estimate(self):
+        result = simulate_queue(1.0, ExponentialService(2.0), customers=60_000, seed=46)
+        assert result.utilization == pytest.approx(0.5, abs=0.03)
+
+    def test_reproducible(self):
+        a = simulate_queue(0.5, ExponentialService(1.0), customers=5_000, seed=7)
+        b = simulate_queue(0.5, ExponentialService(1.0), customers=5_000, seed=7)
+        assert a.mean_sojourn == b.mean_sojourn
+
+    def test_stderr_positive_and_small(self):
+        result = simulate_queue(0.5, ExponentialService(1.0), customers=50_000, seed=8)
+        assert 0 < result.sojourn_stderr < result.mean_sojourn
+
+    def test_rejects_unstable(self):
+        with pytest.raises(ConfigurationError):
+            simulate_queue(2.0, ExponentialService(1.5))
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ConfigurationError):
+            simulate_queue(0.5, ExponentialService(1.0), customers=0)
+
+
+class TestLittlesLaw:
+    def test_roundtrip(self):
+        lq = littles_law_lq(2.0, 1.5)
+        assert lq == 3.0
+        assert littles_law_wq(2.0, lq) == 1.5
+
+    def test_zero_rate(self):
+        assert littles_law_wq(0.0, 0.0) == 0.0

@@ -1,0 +1,195 @@
+"""Tests for the record-store substrate: records, fragments, directory,
+stores, and migration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import StorageError
+from repro.storage import (
+    Directory,
+    File,
+    NodeStore,
+    StorageCluster,
+    fragment_allocation,
+    largest_remainder_counts,
+)
+from repro.storage.fragments import rounding_error
+
+
+class TestFile:
+    def test_records_sequential(self):
+        f = File(5)
+        assert len(f) == 5
+        assert [r.key for r in f.records()] == list(range(5))
+
+    def test_slice(self):
+        f = File(10)
+        assert [r.key for r in f.slice(3, 6)] == [3, 4, 5]
+        with pytest.raises(StorageError):
+            f.slice(5, 11)
+
+    def test_record_bounds(self):
+        f = File(3)
+        with pytest.raises(StorageError):
+            f.record(3)
+
+    def test_needs_records(self):
+        with pytest.raises(StorageError):
+            File(0)
+
+    def test_record_versioning(self):
+        f = File(2, initial_value="a")
+        updated = f.record(0).updated("b")
+        assert updated.version == 1 and updated.value == "b"
+        assert f.record(0).version == 0  # original untouched
+
+
+class TestLargestRemainder:
+    def test_exact_fractions(self):
+        counts = largest_remainder_counts([0.5, 0.25, 0.25], 8)
+        np.testing.assert_array_equal(counts, [4, 2, 2])
+
+    def test_rounding_sums_to_total(self):
+        counts = largest_remainder_counts([1 / 3, 1 / 3, 1 / 3], 10)
+        assert counts.sum() == 10
+
+    def test_ties_break_to_lower_id(self):
+        counts = largest_remainder_counts([0.5, 0.5], 3)
+        np.testing.assert_array_equal(counts, [2, 1])
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(StorageError):
+            largest_remainder_counts([0.5, 0.4], 10)
+        with pytest.raises(StorageError):
+            largest_remainder_counts([0.5, 0.5], 0)
+
+    @given(st.integers(0, 10**5), st.integers(1, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_error_bounded_by_one_record(self, seed, records):
+        """§8.1: more records => closer to the prescribed fractions, and
+        largest-remainder never misses by a full record."""
+        rng = np.random.default_rng(seed)
+        x = rng.dirichlet(np.ones(int(rng.integers(2, 9))))
+        counts = largest_remainder_counts(x, records)
+        assert counts.sum() == records
+        assert counts.min() >= 0
+        assert rounding_error(x, records) <= 1.0 / records + 1e-12
+
+
+class TestFragmentsAndDirectory:
+    def test_spans_tile_record_space(self):
+        counts, spans = fragment_allocation([0.4, 0.2, 0.4], 10)
+        directory = Directory(spans, 10)
+        for key in range(10):
+            node = directory.node_for(key)
+            start, end = directory.span_of(node)
+            assert start <= key < end
+
+    def test_zero_share_node_has_no_span(self):
+        _, spans = fragment_allocation([0.5, 0.0, 0.5], 10)
+        assert 1 not in spans
+
+    def test_directory_rejects_gaps(self):
+        with pytest.raises(StorageError):
+            Directory({0: (0, 3), 1: (4, 10)}, 10)
+
+    def test_directory_rejects_short_cover(self):
+        with pytest.raises(StorageError):
+            Directory({0: (0, 3)}, 10)
+
+    def test_nodes_for_range(self):
+        _, spans = fragment_allocation([0.3, 0.3, 0.4], 10)
+        directory = Directory(spans, 10)
+        assert directory.nodes_for_range(0, 10) == [0, 1, 2]
+        assert directory.nodes_for_range(0, 3) == [0]
+        assert directory.nodes_for_range(2, 7) == [0, 1, 2]
+
+    def test_bad_lookup(self):
+        _, spans = fragment_allocation([1.0], 5)
+        directory = Directory(spans, 5)
+        with pytest.raises(StorageError):
+            directory.node_for(5)
+        with pytest.raises(StorageError):
+            directory.span_of(3)
+
+
+class TestNodeStoreAndCluster:
+    def test_from_allocation_places_rounded_fractions(self):
+        f = File(100)
+        cluster = StorageCluster.from_allocation(f, [0.25, 0.25, 0.25, 0.25], 4)
+        realized = cluster.realized_fractions()
+        np.testing.assert_allclose(realized, 0.25)
+
+    def test_query_routes_to_holder(self):
+        f = File(10, initial_value=0)
+        cluster = StorageCluster.from_allocation(f, [0.5, 0.5], 2)
+        node, record = cluster.query(7)
+        assert node == 1
+        assert record.key == 7
+        assert cluster.stores[1].query_count == 1
+
+    def test_query_counts(self):
+        f = File(10, initial_value=0)
+        cluster = StorageCluster.from_allocation(f, [0.5, 0.5], 2)
+        cluster.query(0)
+        cluster.query(1)
+        cluster.query(9)
+        assert cluster.stores[0].query_count == 2
+        assert cluster.stores[1].query_count == 1
+
+    def test_update_bumps_version(self):
+        f = File(4, initial_value="v0")
+        cluster = StorageCluster.from_allocation(f, [1.0], 1)
+        _, rec = cluster.update(2, "v1")
+        assert rec.version == 1
+        assert cluster.stores[0].query(2).value == "v1"
+
+    def test_store_rejects_foreign_record(self):
+        f = File(10)
+        cluster = StorageCluster.from_allocation(f, [0.5, 0.5], 2)
+        with pytest.raises(StorageError):
+            cluster.stores[0].query(9)
+
+    def test_migration_preserves_data(self):
+        f = File(20, initial_value=0)
+        cluster = StorageCluster.from_allocation(f, [0.8, 0.2], 2)
+        cluster.update(3, "hello")
+        migrated = cluster.migrate([0.2, 0.8])
+        node = migrated.directory.node_for(3)
+        assert migrated.stores[node].query(3).value == "hello"
+        np.testing.assert_allclose(migrated.realized_fractions(), [0.2, 0.8])
+
+    def test_evict_and_install(self):
+        f = File(4)
+        store = NodeStore(0, f.slice(0, 4))
+        record = store.evict(2)
+        assert not store.has(2)
+        store.install(record)
+        assert store.has(2)
+        with pytest.raises(StorageError):
+            store.evict(9)
+
+    def test_fraction_count_mismatch(self):
+        with pytest.raises(StorageError):
+            StorageCluster.from_allocation(File(4), [0.5, 0.5], 3)
+
+
+class TestEndToEndWithOptimizer:
+    def test_optimizer_output_is_storable(self, asymmetric_problem):
+        """The full §8.1 pipeline: optimize, round, store, look up."""
+        from repro.core.algorithm import DecentralizedAllocator
+
+        result = DecentralizedAllocator(asymmetric_problem, alpha=0.1, epsilon=1e-6).run(
+            np.full(5, 0.2)
+        )
+        f = File(1000)
+        cluster = StorageCluster.from_allocation(f, result.allocation, 5)
+        realized = cluster.realized_fractions()
+        # Rounded placement within one record of the optimizer's output.
+        assert np.max(np.abs(realized - result.allocation)) <= 1e-3 + 1e-12
+        # Every record is reachable through the directory.
+        for key in (0, 250, 999):
+            node, record = cluster.query(key)
+            assert record.key == key

@@ -1,0 +1,175 @@
+"""Tests for locks and transactions, including the §8.1 deadlock scenario."""
+
+import pytest
+
+from repro.exceptions import DeadlockError, LockError, StorageError
+from repro.storage import (
+    File,
+    LockManager,
+    LockMode,
+    StorageCluster,
+    TransactionManager,
+    TransactionStatus,
+)
+
+
+class TestLockManager:
+    def test_shared_locks_coexist(self):
+        lm = LockManager()
+        assert lm.acquire("t1", 0, 1, LockMode.SHARED)
+        assert lm.acquire("t2", 0, 1, LockMode.SHARED)
+
+    def test_exclusive_blocks_shared(self):
+        lm = LockManager()
+        assert lm.acquire("t1", 0, 1, LockMode.EXCLUSIVE)
+        assert not lm.acquire("t2", 0, 1, LockMode.SHARED)
+
+    def test_release_grants_waiters_fifo(self):
+        lm = LockManager()
+        lm.acquire("t1", 0, 1, LockMode.EXCLUSIVE)
+        lm.acquire("t2", 0, 1, LockMode.EXCLUSIVE)
+        lm.acquire("t3", 0, 1, LockMode.SHARED)
+        lm.release_all("t1")
+        assert lm.holds("t2", 0, 1, LockMode.EXCLUSIVE)
+        assert not lm.holds("t3", 0, 1)
+
+    def test_reentrant_acquire(self):
+        lm = LockManager()
+        assert lm.acquire("t1", 0, 1, LockMode.EXCLUSIVE)
+        assert lm.acquire("t1", 0, 1, LockMode.SHARED)  # already stronger
+
+    def test_upgrade_when_sole_holder(self):
+        lm = LockManager()
+        lm.acquire("t1", 0, 1, LockMode.SHARED)
+        assert lm.acquire("t1", 0, 1, LockMode.EXCLUSIVE)
+        assert lm.holds("t1", 0, 1, LockMode.EXCLUSIVE)
+
+    def test_deadlock_detected(self):
+        lm = LockManager()
+        lm.acquire("t1", 0, 1, LockMode.EXCLUSIVE)
+        lm.acquire("t2", 0, 2, LockMode.EXCLUSIVE)
+        assert not lm.acquire("t1", 0, 2, LockMode.EXCLUSIVE)  # t1 waits for t2
+        with pytest.raises(DeadlockError):
+            lm.acquire("t2", 0, 1, LockMode.EXCLUSIVE)  # t2 waits for t1: cycle
+
+    def test_different_records_do_not_conflict(self):
+        lm = LockManager()
+        assert lm.acquire("t1", 0, 1, LockMode.EXCLUSIVE)
+        assert lm.acquire("t2", 0, 2, LockMode.EXCLUSIVE)
+        assert lm.acquire("t2", 1, 1, LockMode.EXCLUSIVE)  # same key, other node
+
+
+def _ten_record_cluster():
+    """§8.1's setup: ten records, five at node A (0), five at node B (1)."""
+    return StorageCluster.from_allocation(File(10, initial_value=0), [0.5, 0.5], 2)
+
+
+class TestTransactions:
+    def test_read_write_commit(self):
+        tm = TransactionManager(_ten_record_cluster())
+        tm.begin("t1")
+        assert tm.read("t1", 3) == 0
+        tm.write("t1", 3, 42)
+        assert tm.read("t1", 3) == 42  # reads own buffered write
+        tm.commit("t1")
+        assert tm.cluster.stores[0].query(3).value == 42
+
+    def test_abort_discards_writes(self):
+        tm = TransactionManager(_ten_record_cluster())
+        tm.begin("t1")
+        tm.write("t1", 3, 99)
+        tm.abort("t1")
+        assert tm.cluster.stores[0].query(3).value == 0
+        assert tm.status_of("t1") is TransactionStatus.ABORTED
+
+    def test_single_node_commit_is_message_free(self):
+        tm = TransactionManager(_ten_record_cluster())
+        tm.begin("t1")
+        tm.write("t1", 2, 1)  # node 0 only
+        assert tm.commit("t1") == 0
+
+    def test_cross_fragment_commit_pays_2pc_messages(self):
+        """§8.1: 'the extra communications overhead required would not be
+        incurred were the whole file to reside at a single node'."""
+        tm = TransactionManager(_ten_record_cluster())
+        tm.begin("t1")
+        tm.write_range("t1", 0, 10, 7)  # spans both nodes
+        messages = tm.commit("t1")
+        assert messages == 6  # 3 per participant x 2 participants
+        assert tm.commit_messages == 6
+
+    def test_writers_block_each_other(self):
+        tm = TransactionManager(_ten_record_cluster())
+        tm.begin("t1")
+        tm.begin("t2")
+        tm.write("t1", 4, 1)
+        with pytest.raises(LockError):
+            tm.write("t2", 4, 2)
+        assert tm.status_of("t2") is TransactionStatus.BLOCKED
+        # t1 commits; t2 becomes active again and can retry.
+        tm.commit("t1")
+        assert tm.status_of("t2") is TransactionStatus.ACTIVE
+        tm.write("t2", 4, 2)
+        tm.commit("t2")
+        assert tm.cluster.stores[0].query(4).value == 2
+
+    def test_paper_deadlock_scenario(self):
+        """§8.1 verbatim: transactions C and D each issue subtransactions
+        against nodes A and B; the network delivers them in opposite orders
+        at the two nodes, and the waits-for cycle must be detected.
+
+        C acquires its five records at node A first; D acquires its five at
+        node B first; then each tries the other node's half.
+        """
+        tm = TransactionManager(_ten_record_cluster())
+        tm.begin("C")
+        tm.begin("D")
+        # Node A (records 0-4): C_A arrives first.
+        tm.write_range("C", 0, 5, "C")
+        # Node B (records 5-9): D_B arrives first.
+        tm.write_range("D", 5, 10, "D")
+        # C_B arrives at node B: blocks behind D.
+        with pytest.raises(LockError):
+            tm.write("C", 5, "C")
+        # D_A arrives at node A: would wait for C -> cycle -> deadlock.
+        with pytest.raises(DeadlockError):
+            tm.write("D", 0, "D")
+        # The victim (D) was aborted; C can now finish atomically.
+        assert tm.status_of("D") is TransactionStatus.ABORTED
+        tm.write("C", 5, "C")
+        for key in range(6, 10):
+            tm.write("C", key, "C")
+        messages = tm.commit("C")
+        assert messages == 6
+        for key in range(10):
+            node = tm.cluster.directory.node_for(key)
+            assert tm.cluster.stores[node].query(key).value == "C"
+
+    def test_read_only_transactions_run_in_parallel(self):
+        """§8.1's counterpoint: 'read operations can be executed in
+        parallel at nodes A and B'."""
+        tm = TransactionManager(_ten_record_cluster())
+        tm.begin("r1")
+        tm.begin("r2")
+        assert tm.read_range("r1", 0, 10) == [0] * 10
+        assert tm.read_range("r2", 0, 10) == [0] * 10  # no blocking
+        tm.commit("r1")
+        tm.commit("r2")
+
+    def test_cannot_operate_on_finished_transaction(self):
+        tm = TransactionManager(_ten_record_cluster())
+        tm.begin("t1")
+        tm.commit("t1")
+        with pytest.raises(StorageError):
+            tm.write("t1", 0, 1)
+
+    def test_unknown_transaction(self):
+        tm = TransactionManager(_ten_record_cluster())
+        with pytest.raises(StorageError):
+            tm.read("ghost", 0)
+
+    def test_double_begin_rejected(self):
+        tm = TransactionManager(_ten_record_cluster())
+        tm.begin("t1")
+        with pytest.raises(StorageError):
+            tm.begin("t1")

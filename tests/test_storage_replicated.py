@@ -1,0 +1,133 @@
+"""Tests for the replicated (multi-copy) record cluster."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage import File, ReplicatedCluster
+from repro.network.virtual_ring import VirtualRing
+
+
+def _cluster(allocation, records=100, ring_costs=(1.0, 1.0, 1.0, 1.0)):
+    return ReplicatedCluster(
+        File(records, initial_value=0),
+        VirtualRing(list(ring_costs)),
+        np.asarray(allocation, dtype=float),
+    )
+
+
+class TestPlacement:
+    def test_every_record_has_m_replicas(self):
+        cluster = _cluster([0.5, 0.5, 0.5, 0.5])  # m = 2
+        for key in range(100):
+            assert cluster.replication_factor(key) == 2
+
+    def test_stored_fractions_match_allocation(self):
+        cluster = _cluster([0.6, 0.4, 0.7, 0.3], records=1000)
+        np.testing.assert_allclose(
+            cluster.stored_fractions(), [0.6, 0.4, 0.7, 0.3], atol=2e-3
+        )
+
+    def test_whole_copy_holder_stores_everything(self):
+        cluster = _cluster([1.0, 0.4, 0.3, 0.3])
+        assert cluster.stored_fractions()[0] == 1.0
+
+    def test_rejects_incomplete_copy(self):
+        with pytest.raises(StorageError, match="complete copy"):
+            _cluster([0.3, 0.3, 0.2, 0.1])
+
+    def test_bad_key(self):
+        cluster = _cluster([0.5, 0.5, 0.5, 0.5])
+        with pytest.raises(StorageError):
+            cluster.holders(100)
+
+
+class TestReads:
+    def test_read_uses_first_clockwise_replica(self):
+        # m = 2 over 4 nodes, 0.5 each: copy A on nodes 0-1, copy B on 2-3.
+        cluster = _cluster([0.5, 0.5, 0.5, 0.5])
+        key = 10  # position ~0.1: held by node 0 (copy A) and node 2 (copy B)
+        assert set(cluster.holders(key)) == {0, 2}
+        serving, record, cost = cluster.read(key, from_node=1)
+        assert serving == 2  # clockwise from 1: node 2 before node 0
+        assert cost == 1.0
+        serving, _, cost = cluster.read(key, from_node=0)
+        assert serving == 0 and cost == 0.0
+
+    def test_replication_cuts_read_distance(self):
+        one = _cluster([1.0, 0.0, 0.0, 0.0])
+        two = _cluster([1.0, 0.0, 1.0, 0.0])
+        far_key = 50
+        _, _, cost_one = one.read(far_key, from_node=1)
+        _, _, cost_two = two.read(far_key, from_node=1)
+        assert cost_two < cost_one
+
+
+class TestWrites:
+    def test_write_all_updates_every_replica(self):
+        cluster = _cluster([0.5, 0.5, 0.5, 0.5])
+        holders, cost = cluster.write(10, "new", from_node=1)
+        assert len(holders) == 2
+        for h in holders:
+            _, record, _ = cluster.read(10, from_node=h)
+            assert record.value == "new"
+            assert record.version == 1
+        assert cluster.is_consistent()
+
+    def test_write_cost_sums_all_replica_distances(self):
+        cluster = _cluster([1.0, 0.0, 1.0, 0.0])
+        _, cost = cluster.write(10, "x", from_node=1)
+        # From node 1 to holders {0, 2}: forward distances 3 and 1.
+        assert cost == pytest.approx(4.0)
+
+    def test_versions_advance_in_lockstep(self):
+        cluster = _cluster([0.5, 0.5, 0.5, 0.5])
+        for round_ in range(3):
+            cluster.write(10, f"v{round_}", from_node=0)
+        versions = {
+            cluster.read(10, from_node=h)[1].version for h in cluster.holders(10)
+        }
+        assert versions == {3}
+
+
+class TestConsistency:
+    def test_detects_divergent_replica(self):
+        cluster = _cluster([0.5, 0.5, 0.5, 0.5])
+        cluster.write(10, "good", from_node=0)
+        cluster.corrupt_replica(10, cluster.holders(10)[1], "bad")
+        assert not cluster.is_consistent()
+        assert cluster.inconsistent_records() == [10]
+
+    def test_repair_restores_consistency(self):
+        cluster = _cluster([0.5, 0.5, 0.5, 0.5])
+        cluster.write(10, "good", from_node=0)
+        cluster.corrupt_replica(10, cluster.holders(10)[1], "bad")
+        cluster.repair(10)
+        assert cluster.is_consistent()
+        for h in cluster.holders(10):
+            assert cluster.read(10, from_node=h)[1].value == "good"
+
+    def test_corrupt_requires_holder(self):
+        cluster = _cluster([1.0, 0.0, 1.0, 0.0])
+        with pytest.raises(StorageError):
+            cluster.corrupt_replica(10, 1, "bad")
+
+
+class TestEndToEndWithMulticopyOptimizer:
+    def test_optimized_allocation_realizes_and_serves(self):
+        """§7 optimization -> replicated placement -> serve reads/writes."""
+        from repro.multicopy import MultiCopyAllocator, MultiCopyRingProblem
+
+        ring = VirtualRing([1.0, 1.0, 1.0, 1.0])
+        problem = MultiCopyRingProblem(ring, np.ones(4), copies=2, mu=10.0)
+        result = MultiCopyAllocator(
+            problem, alpha=0.05, max_iterations=300
+        ).run(np.full(4, 0.5))
+        cluster = ReplicatedCluster(File(400, initial_value=0), ring, result.allocation)
+        # Every record reachable from every node; writes keep consistency.
+        for key in (0, 123, 399):
+            for reader in range(4):
+                _, record, _ = cluster.read(key, from_node=reader)
+                assert record.key == key
+        cluster.write(123, "committed", from_node=2)
+        assert cluster.is_consistent()

@@ -1,0 +1,185 @@
+"""Property-based tests of the appendix theorems.
+
+Hypothesis generates random problem instances and feasible starts; the four
+theorems (plus the convexity claim of §5.3 and the derivative bounds) must
+hold on every one of them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import derivative_bounds
+from repro.analysis.convexity import verify_convexity_on_grid
+from repro.core.algorithm import DecentralizedAllocator
+from repro.core.kkt import optimal_allocation
+from repro.core.model import FileAllocationProblem
+from repro.core.stepsize import theorem2_alpha_bound
+from repro.network.builders import random_graph
+
+# -- instance generator -------------------------------------------------------
+
+n_nodes = st.integers(3, 7)
+seeds = st.integers(0, 10**6)
+
+
+def _instance(n: int, seed: int) -> FileAllocationProblem:
+    """A random connected network with random rates, mus and k."""
+    rng = np.random.default_rng(seed)
+    topo = random_graph(n, edge_probability=0.4, cost_range=(0.5, 3.0), seed=seed)
+    rates = rng.uniform(0.05, 0.4, size=n)
+    lam = rates.sum()
+    mus = rng.uniform(lam * 1.1, lam * 4.0, size=n)  # strictly stable
+    k = rng.uniform(0.2, 3.0)
+    return FileAllocationProblem.from_topology(topo, rates, k=k, mu=mus)
+
+
+def _start(n: int, seed: int) -> np.ndarray:
+    return np.random.default_rng(seed + 1).dirichlet(np.full(n, 0.7))
+
+
+# -- Theorem 1: feasibility is an invariant -----------------------------------
+
+
+class TestTheorem1Feasibility:
+    @given(n_nodes, seeds, st.floats(0.01, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_sum_preserved_every_step(self, n, seed, alpha):
+        problem = _instance(n, seed)
+        allocator = DecentralizedAllocator(problem, alpha=alpha, max_iterations=30)
+        result = allocator.run(_start(n, seed))
+        for record in result.trace.records:
+            assert record.allocation.sum() == pytest.approx(1.0, abs=1e-8)
+            assert record.allocation.min() >= -1e-10
+
+
+# -- Theorem 2: monotone cost below the alpha bound ----------------------------
+
+
+class TestTheorem2Monotonicity:
+    @given(n_nodes, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_strictly_monotone_at_the_bound(self, n, seed):
+        problem = _instance(n, seed)
+        bound = theorem2_alpha_bound(problem, epsilon=1e-3)
+        allocator = DecentralizedAllocator(
+            problem, alpha=0.9 * bound, epsilon=1e-3, max_iterations=50
+        )
+        result = allocator.run(_start(n, seed))
+        costs = result.trace.costs()
+        # Non-increasing throughout; strictly decreasing while not converged.
+        assert np.all(np.diff(costs) <= 1e-13)
+
+    @given(n_nodes, seeds, st.floats(0.02, 0.5))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_for_moderate_alphas_in_practice(self, n, seed, alpha):
+        """The paper's experimental observation: far larger alphas than the
+        bound still give monotone convergence on these instances."""
+        problem = _instance(n, seed)
+        allocator = DecentralizedAllocator(
+            problem, alpha=alpha, epsilon=1e-4, max_iterations=500
+        )
+        result = allocator.run(_start(n, seed))
+        assume(result.converged)  # a too-large alpha may oscillate: skip
+        assert result.trace.monotonicity_violations(tol=1e-9) == 0
+
+
+# -- Theorems 3-4 / convergence: the fixed point is the global optimum ---------
+
+
+class TestConvergenceToOptimum:
+    @given(n_nodes, seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_converged_cost_matches_closed_form(self, n, seed):
+        problem = _instance(n, seed)
+        result = DecentralizedAllocator(
+            problem, alpha=0.1, epsilon=1e-7, max_iterations=20_000
+        ).run(_start(n, seed))
+        assume(result.converged)
+        c_star = problem.cost(optimal_allocation(problem))
+        assert result.cost == pytest.approx(c_star, rel=1e-4)
+
+    @given(n_nodes, seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_utility_increase_bounded_below_before_convergence(self, n, seed):
+        """Theorem 4's substance: while the spread exceeds epsilon, each
+        step improves the cost by a strictly positive amount (no infinite
+        stall)."""
+        problem = _instance(n, seed)
+        bound = theorem2_alpha_bound(problem, epsilon=1e-2)
+        allocator = DecentralizedAllocator(
+            problem, alpha=0.9 * bound, epsilon=1e-2, max_iterations=30
+        )
+        result = allocator.run(_start(n, seed))
+        costs = result.trace.costs()
+        spreads = result.trace.spreads()
+        for i in range(len(costs) - 1):
+            if spreads[i] >= 1e-2:
+                assert costs[i + 1] < costs[i]
+
+
+# -- §5.3 convexity and the appendix derivative bounds -------------------------
+
+
+class TestConvexityAndBounds:
+    @given(n_nodes, seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_cost_is_convex(self, n, seed):
+        problem = _instance(n, seed)
+        assert verify_convexity_on_grid(problem, samples=40, seed=seed)
+
+    @given(n_nodes, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_derivative_bounds_hold_on_feasible_points(self, n, seed):
+        problem = _instance(n, seed)
+        bounds = derivative_bounds(problem)
+        rng = np.random.default_rng(seed)
+        for _ in range(10):
+            x = rng.dirichlet(np.ones(n))
+            grad = problem.cost_gradient(x)
+            hess = problem.cost_hessian_diag(x)
+            assert bounds.contains_gradient(grad)
+            assert bounds.contains_hessian(hess)
+
+
+# -- Lemma 1 consequence: first-order utility change is non-negative ------------
+
+
+class TestLemma1Consequence:
+    @given(n_nodes, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_first_order_utility_change_nonnegative(self, n, seed):
+        problem = _instance(n, seed)
+        rng = np.random.default_rng(seed)
+        x = rng.dirichlet(np.ones(n))
+        g = problem.utility_gradient(x)
+        dx = g - g.mean()  # alpha = 1 direction
+        assert float(g @ dx) >= -1e-12
+
+
+# -- Oracle cross-checks: three independent optimizers agree -------------------
+
+
+class TestOracleCrossChecks:
+    @given(n_nodes, seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_kkt_bisection_equals_projected_gradient(self, n, seed):
+        from repro.baselines import ProjectedGradientSolver
+
+        problem = _instance(n, seed)
+        x_kkt = optimal_allocation(problem)
+        pg = ProjectedGradientSolver(problem).run()
+        assert problem.cost(x_kkt) == pytest.approx(pg.cost, rel=1e-5, abs=1e-8)
+
+    @given(n_nodes, seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_second_order_allocator_agrees(self, n, seed):
+        from repro.core.second_order import SecondOrderAllocator
+
+        problem = _instance(n, seed)
+        result = SecondOrderAllocator(problem, epsilon=1e-7).run(_start(n, seed))
+        assume(result.converged)
+        assert result.cost == pytest.approx(
+            problem.cost(optimal_allocation(problem)), rel=1e-4
+        )

@@ -1,0 +1,105 @@
+"""Unit and property tests for repro.utils.numeric."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.numeric import (
+    clip_nonnegative,
+    is_close_vector,
+    kahan_sum,
+    normalize_simplex,
+    project_to_simplex,
+    spread,
+)
+
+
+class TestKahanSum:
+    def test_matches_exact_small(self):
+        assert kahan_sum([1.0, 2.0, 3.0]) == 6.0
+
+    def test_beats_naive_on_cancellation(self):
+        values = [1e16, 1.0, -1e16] * 100
+        assert kahan_sum(values) == pytest.approx(100.0)
+
+    def test_empty(self):
+        assert kahan_sum([]) == 0.0
+
+
+class TestClipNonnegative:
+    def test_zeroes_tiny_negatives(self):
+        out = clip_nonnegative(np.array([1.0, -1e-15, 0.5]))
+        assert out[1] == 0.0
+
+    def test_rejects_real_negatives(self):
+        with pytest.raises(ValueError):
+            clip_nonnegative(np.array([1.0, -0.1]))
+
+    def test_does_not_mutate_input(self):
+        x = np.array([1.0, -1e-15])
+        clip_nonnegative(x)
+        assert x[1] == -1e-15
+
+
+class TestNormalizeSimplex:
+    def test_normalizes(self):
+        out = normalize_simplex(np.array([1.0, 3.0]))
+        np.testing.assert_allclose(out, [0.25, 0.75])
+
+    def test_custom_total(self):
+        out = normalize_simplex(np.array([1.0, 1.0]), total=2.0)
+        np.testing.assert_allclose(out, [1.0, 1.0])
+
+    def test_rejects_zero_sum(self):
+        with pytest.raises(ValueError):
+            normalize_simplex(np.zeros(3))
+
+
+class TestProjectToSimplex:
+    def test_already_feasible_is_fixed_point(self):
+        x = np.array([0.2, 0.3, 0.5])
+        np.testing.assert_allclose(project_to_simplex(x), x, atol=1e-12)
+
+    def test_projects_negative_away(self):
+        out = project_to_simplex(np.array([1.5, -0.5]))
+        assert out.min() >= 0
+        assert out.sum() == pytest.approx(1.0)
+
+    @given(
+        st.lists(st.floats(-10, 10, allow_nan=False), min_size=1, max_size=8),
+        st.floats(0.1, 5.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_projection_is_feasible(self, values, total):
+        out = project_to_simplex(np.array(values), total=total)
+        assert out.min() >= -1e-12
+        assert out.sum() == pytest.approx(total, rel=1e-9)
+
+    @given(st.lists(st.floats(-5, 5, allow_nan=False), min_size=2, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_projection_minimizes_distance(self, values):
+        """No random feasible point is closer to x than its projection."""
+        x = np.array(values)
+        proj = project_to_simplex(x)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            candidate = rng.dirichlet(np.ones(x.size))
+            assert np.sum((x - proj) ** 2) <= np.sum((x - candidate) ** 2) + 1e-9
+
+
+class TestSpread:
+    def test_basic(self):
+        assert spread(np.array([1.0, 4.0, 2.0])) == 3.0
+
+    def test_singleton_and_empty(self):
+        assert spread(np.array([2.0])) == 0.0
+        assert spread(np.array([])) == 0.0
+
+
+class TestIsCloseVector:
+    def test_close(self):
+        assert is_close_vector(np.array([1.0]), np.array([1.0 + 1e-12]))
+
+    def test_shape_mismatch(self):
+        assert not is_close_vector(np.array([1.0]), np.array([1.0, 2.0]))

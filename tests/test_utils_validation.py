@@ -1,0 +1,99 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import (
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_probability_vector,
+    check_square_matrix,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(1.5, "x") == 1.5
+
+    def test_accepts_int_and_returns_float(self):
+        out = check_positive(2, "x")
+        assert out == 2.0 and isinstance(out, float)
+
+    @pytest.mark.parametrize("bad", [0, -1, float("nan"), float("inf")])
+    def test_rejects_nonpositive_and_nonfinite(self, bad):
+        with pytest.raises(ConfigurationError, match="x"):
+            check_positive(bad, "x")
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative(0, "y") == 0.0
+
+    @pytest.mark.parametrize("bad", [-0.001, float("nan")])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError, match="y"):
+            check_nonnegative(bad, "y")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(0.0, "z", 0.0, 1.0) == 0.0
+        assert check_in_range(1.0, "z", 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds_reject_edges(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range(0.0, "z", 0.0, 1.0, inclusive_low=False)
+        with pytest.raises(ConfigurationError):
+            check_in_range(1.0, "z", 0.0, 1.0, inclusive_high=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range(1.5, "z", 0.0, 1.0)
+
+
+class TestCheckProbabilityVector:
+    def test_valid_vector(self):
+        out = check_probability_vector([0.25, 0.75], "p")
+        assert isinstance(out, np.ndarray)
+        np.testing.assert_allclose(out, [0.25, 0.75])
+
+    def test_custom_total(self):
+        check_probability_vector([1.0, 1.0], "p", total=2.0)
+
+    def test_rejects_wrong_sum(self):
+        with pytest.raises(ConfigurationError, match="sum"):
+            check_probability_vector([0.5, 0.4], "p")
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ConfigurationError, match="negative"):
+            check_probability_vector([1.2, -0.2], "p")
+
+    def test_rejects_empty_and_2d(self):
+        with pytest.raises(ConfigurationError):
+            check_probability_vector([], "p")
+        with pytest.raises(ConfigurationError):
+            check_probability_vector(np.ones((2, 2)) / 4, "p")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            check_probability_vector([float("nan"), 1.0], "p")
+
+
+class TestCheckSquareMatrix:
+    def test_valid(self):
+        out = check_square_matrix([[0, 1], [1, 0]], "m")
+        assert out.shape == (2, 2)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ConfigurationError, match="square"):
+            check_square_matrix([[0, 1, 2], [1, 0, 2]], "m")
+
+    def test_size_mismatch(self):
+        with pytest.raises(ConfigurationError, match="3x3"):
+            check_square_matrix([[0, 1], [1, 0]], "m", size=3)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            check_square_matrix([[0, float("inf")], [1, 0]], "m")

@@ -1,0 +1,92 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import workloads
+from repro.exceptions import ConfigurationError
+
+
+class TestStaticGenerators:
+    def test_uniform(self):
+        rates = workloads.uniform_rates(4, total=2.0)
+        np.testing.assert_allclose(rates, 0.5)
+
+    def test_hotspot_shares(self):
+        rates = workloads.hotspot_rates(5, hot_node=2, hot_share=0.6)
+        assert rates[2] == pytest.approx(0.6)
+        np.testing.assert_allclose(np.delete(rates, 2), 0.1)
+        assert rates.sum() == pytest.approx(1.0)
+
+    def test_hotspot_validation(self):
+        with pytest.raises(ConfigurationError):
+            workloads.hotspot_rates(3, hot_node=5)
+        with pytest.raises(ConfigurationError):
+            workloads.hotspot_rates(3, hot_share=1.5)
+
+    def test_zipf_ordering_and_total(self):
+        rates = workloads.zipf_rates(6, exponent=1.2, total=3.0)
+        assert rates.sum() == pytest.approx(3.0)
+        assert np.all(np.diff(rates) < 0)  # node 0 most talkative
+
+    def test_zipf_shuffle_reproducible(self):
+        a = workloads.zipf_rates(6, seed=4)
+        b = workloads.zipf_rates(6, seed=4)
+        np.testing.assert_allclose(a, b)
+        assert not np.all(np.diff(a) < 0) or True  # shuffled order allowed
+
+    def test_perturbed_preserves_total(self):
+        base = workloads.zipf_rates(5)
+        noisy = workloads.perturbed_rates(base, relative_noise=0.3, seed=1)
+        assert noisy.sum() == pytest.approx(base.sum())
+        assert not np.allclose(noisy, base)
+
+
+class TestDriftGenerators:
+    def test_diurnal_peak_moves(self):
+        drift = workloads.diurnal_drift(6, period=6)
+        peaks = [int(np.argmax(drift(e))) for e in range(6)]
+        assert len(set(peaks)) == 6  # peak visits every node over a period
+        for e in range(6):
+            assert drift(e).sum() == pytest.approx(1.0)
+
+    def test_diurnal_periodicity(self):
+        drift = workloads.diurnal_drift(5, period=10)
+        np.testing.assert_allclose(drift(3), drift(13))
+
+    def test_rotating_hotspot_dwell(self):
+        drift = workloads.rotating_hotspot(4, dwell=2)
+        assert np.argmax(drift(0)) == np.argmax(drift(1)) == 0
+        assert np.argmax(drift(2)) == 1
+
+    @given(st.integers(2, 10), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_all_drifts_feasible(self, n, epoch):
+        for drift in (
+            workloads.diurnal_drift(n),
+            workloads.rotating_hotspot(n),
+        ):
+            rates = drift(epoch)
+            assert rates.sum() == pytest.approx(1.0)
+            assert rates.min() >= 0
+
+    def test_end_to_end_with_adaptive_loop(self):
+        """The generators plug into the §8 loop directly."""
+        from repro.estimation import AdaptiveAllocationLoop
+        from repro.network.builders import ring_graph
+        from repro.network.shortest_paths import all_pairs_shortest_paths
+
+        loop = AdaptiveAllocationLoop(
+            all_pairs_shortest_paths(ring_graph(4)),
+            workloads.rotating_hotspot(4, hot_share=0.55),
+            mu=1.8,
+            iterations_per_epoch=6,
+            estimation_window=2_000.0,
+            seed=3,
+        )
+        history = loop.run(epochs=4, initial_allocation=np.full(4, 0.25))
+        assert np.mean([e.adapted_cost for e in history[1:]]) < np.mean(
+            [e.frozen_cost for e in history[1:]]
+        )
