@@ -8,14 +8,19 @@ deliverable, not incidental debug output).
 
 from __future__ import annotations
 
-import sys
+import json
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Any, Sequence, Union
 
+from repro.obs import MetricsRegistry, RunReport
 from repro.utils.tables import format_table
 
 #: Durable copy of every emitted table (truncated per session by conftest).
 TABLE_LOG = Path(__file__).resolve().parent / "bench_tables.txt"
+
+#: Per-session observability snapshot: one JSON object keyed by bench name
+#: (truncated per session by conftest, like the table log).
+OBS_LOG = Path(__file__).resolve().parent / "BENCH_obs.json"
 
 
 def emit(text: str) -> None:
@@ -28,3 +33,25 @@ def emit(text: str) -> None:
 def emit_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str) -> None:
     emit("")
     emit(format_table(headers, rows, title=title))
+
+
+def emit_obs(name: str, source: Union[MetricsRegistry, RunReport, dict]) -> None:
+    """Merge one bench's observability snapshot into ``BENCH_obs.json``.
+
+    ``source`` may be a live registry, a finished :class:`RunReport`, or a
+    plain dict.  The file holds ``{bench name: snapshot}`` so every bench
+    in a session lands in one queryable document.
+    """
+    if isinstance(source, MetricsRegistry):
+        payload: dict = RunReport.from_registry(source, name=name).as_dict()
+    elif isinstance(source, RunReport):
+        payload = source.as_dict()
+    else:
+        payload = dict(source)
+    existing: dict = {}
+    if OBS_LOG.exists():
+        text = OBS_LOG.read_text().strip()
+        if text:
+            existing = json.loads(text)
+    existing[name] = payload
+    OBS_LOG.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")

@@ -12,7 +12,6 @@ allocation.  A loose epsilon buys a handful of iterations at a sub-percent
 gap — the quantitative form of the paper's remark.
 """
 
-import numpy as np
 
 from repro.analysis import optimality_gap
 from repro.core.algorithm import DecentralizedAllocator

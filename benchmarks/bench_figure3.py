@@ -10,7 +10,7 @@ import numpy as np
 
 from repro.experiments.figures import PAPER_FIG3_ITERATIONS, figure3
 
-from _util import emit, emit_table
+from _util import emit_table
 
 
 def test_figure3_convergence_profiles(benchmark):

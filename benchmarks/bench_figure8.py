@@ -6,11 +6,10 @@ ring (delay-dominated); the delay-dominated case retains the rapid phase
 plus a gradual phase with small oscillations.
 """
 
-import numpy as np
 
 from repro.experiments.figures import figure8
 
-from _util import emit, emit_table
+from _util import emit_table
 
 
 def _run():

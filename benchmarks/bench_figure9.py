@@ -7,7 +7,7 @@ oscillation, stop on small successive cost difference) converges.
 
 from repro.experiments.figures import figure9
 
-from _util import emit, emit_table
+from _util import emit_table
 
 
 def _run():

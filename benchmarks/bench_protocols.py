@@ -13,8 +13,9 @@ import numpy as np
 from repro.core.model import FileAllocationProblem
 from repro.distributed import DistributedFapRuntime
 from repro.network.builders import complete_graph, ring_graph, star_graph
+from repro.obs import MetricsRegistry
 
-from _util import emit_table
+from _util import emit_obs, emit_table
 
 TOPOLOGIES = {
     "ring-8": lambda: ring_graph(8),
@@ -77,3 +78,18 @@ def test_protocol_traffic_comparison(benchmark):
         # Flooding is strictly local: every message is one hop.
         assert flooding.stats.hops == flooding.stats.messages
         assert broadcast.converged and central.converged and flooding.converged
+
+    # Instrumented re-run (untimed): fold MessageStats into a registry and
+    # snapshot the per-round traffic telemetry into BENCH_obs.json.
+    registry = MetricsRegistry()
+    problem = FileAllocationProblem.from_topology(
+        TOPOLOGIES["ring-8"](), np.full(8, 1 / 8), mu=1.5
+    )
+    x0 = np.zeros(8)
+    x0[0] = 1.0
+    observed = DistributedFapRuntime(
+        problem, protocol="broadcast", alpha=0.4, epsilon=1e-3, registry=registry
+    ).run(x0)
+    assert registry.counters["messages.total"] == observed.stats.messages
+    assert registry.counters["protocol.messages"] == observed.stats.messages
+    emit_obs("bench_protocols", registry)

@@ -11,8 +11,9 @@ import numpy as np
 from repro.core.algorithm import DecentralizedAllocator
 from repro.core.initials import paper_skewed_allocation
 from repro.core.model import FileAllocationProblem
+from repro.obs import MetricsRegistry
 
-from _util import emit_table
+from _util import emit_obs, emit_table
 
 SIZES = (10, 50, 100, 200)
 
@@ -24,11 +25,15 @@ def _problem(n):
 
 
 def _run_all():
+    # The timed path carries no registry (the no-observability baseline)
+    # and uses the sampled trace policy: long large-N runs should not pay
+    # O(N * iterations) memory for allocation snapshots nobody reads.
     out = {}
     for n in SIZES:
         problem = _problem(n)
         result = DecentralizedAllocator(
-            problem, alpha=0.5, epsilon=1e-3, max_iterations=2_000
+            problem, alpha=0.5, epsilon=1e-3, max_iterations=2_000,
+            keep_allocations="sampled",
         ).run(paper_skewed_allocation(n))
         out[n] = result
     return out
@@ -36,6 +41,18 @@ def _run_all():
 
 def test_scaling_to_large_networks(benchmark):
     results = benchmark.pedantic(_run_all, rounds=2, iterations=1)
+
+    # One instrumented re-run (outside the timed region) snapshots the
+    # run-wide metrics — including the peak trace memory the sampled
+    # policy actually retained — into BENCH_obs.json.
+    registry = MetricsRegistry()
+    n_obs = max(SIZES)
+    observed = DecentralizedAllocator(
+        _problem(n_obs), alpha=0.5, epsilon=1e-3, max_iterations=2_000,
+        keep_allocations="sampled", registry=registry,
+    ).run(paper_skewed_allocation(n_obs))
+    np.testing.assert_array_equal(observed.allocation, results[n_obs].allocation)
+    emit_obs("bench_scaling", registry)
 
     rows = []
     for n, result in results.items():

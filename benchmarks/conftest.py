@@ -12,10 +12,12 @@ from pathlib import Path
 import pytest
 
 TABLE_LOG = Path(__file__).resolve().parent / "bench_tables.txt"
+OBS_LOG = Path(__file__).resolve().parent / "BENCH_obs.json"
 
 
 def pytest_sessionstart(session):
     TABLE_LOG.write_text("")
+    OBS_LOG.write_text("{}\n")
 
 
 @pytest.hookimpl(trylast=True)

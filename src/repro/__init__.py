@@ -37,6 +37,7 @@ from repro.core import (
     theorem2_alpha_bound,
 )
 from repro.network import Topology, VirtualRing, complete_graph, ring_graph
+from repro.obs import JsonLinesSink, MemorySink, MetricsRegistry, RunReport
 
 __version__ = "1.0.0"
 
@@ -44,8 +45,12 @@ __all__ = [
     "AllocationResult",
     "DecentralizedAllocator",
     "FileAllocationProblem",
+    "JsonLinesSink",
+    "MemorySink",
+    "MetricsRegistry",
     "MultiFileAllocator",
     "MultiFileProblem",
+    "RunReport",
     "SecondOrderAllocator",
     "Topology",
     "VirtualRing",

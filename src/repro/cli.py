@@ -1,8 +1,14 @@
 """Command-line interface.
 
 ``repro-fap solve``    — solve a FAP instance on a standard topology;
+``repro-fap trace``    — solve while streaming per-iteration JSON events;
 ``repro-fap figure``   — reproduce one of the paper's figures (3-6, 8, 9);
 ``repro-fap figures``  — reproduce all of them and print the summary tables.
+
+Any solve can stream observability events to disk with
+``--emit-metrics PATH`` (JSON lines, one event per iteration, plus a
+final ``run_complete``) and prints the :class:`~repro.obs.report.RunReport`
+digest at the end.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from repro.core.initials import paper_skewed_allocation, single_node_allocation
 from repro.core.model import FileAllocationProblem
 from repro.experiments import ascii_plot, figures
 from repro.network import builders
+from repro.obs import JsonLinesSink, MetricsRegistry, RunReport
 from repro.utils.tables import format_table
 
 _TOPOLOGIES = {
@@ -35,23 +42,51 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_instance_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--nodes", type=int, default=4, help="network size")
+        p.add_argument(
+            "--topology", choices=sorted(_TOPOLOGIES), default="ring",
+            help="network family",
+        )
+        p.add_argument("--mu", type=float, default=1.5, help="per-node service rate")
+        p.add_argument(
+            "--rate", type=float, default=1.0, help="total access rate lambda"
+        )
+        p.add_argument(
+            "--k", type=float, default=1.0, help="delay/communication weight"
+        )
+        p.add_argument("--alpha", type=float, default=0.3, help="stepsize")
+        p.add_argument(
+            "--epsilon", type=float, default=1e-3, help="convergence tolerance"
+        )
+        p.add_argument(
+            "--start",
+            choices=["uniform", "skewed", "single"],
+            default="skewed",
+            help="initial allocation",
+        )
+
     solve = sub.add_parser("solve", help="solve one FAP instance")
-    solve.add_argument("--nodes", type=int, default=4, help="network size")
-    solve.add_argument(
-        "--topology", choices=sorted(_TOPOLOGIES), default="ring", help="network family"
-    )
-    solve.add_argument("--mu", type=float, default=1.5, help="per-node service rate")
-    solve.add_argument("--rate", type=float, default=1.0, help="total access rate lambda")
-    solve.add_argument("--k", type=float, default=1.0, help="delay/communication weight")
-    solve.add_argument("--alpha", type=float, default=0.3, help="stepsize")
-    solve.add_argument("--epsilon", type=float, default=1e-3, help="convergence tolerance")
-    solve.add_argument(
-        "--start",
-        choices=["uniform", "skewed", "single"],
-        default="skewed",
-        help="initial allocation",
-    )
+    add_instance_options(solve)
     solve.add_argument("--plot", action="store_true", help="ascii convergence profile")
+    solve.add_argument(
+        "--emit-metrics",
+        metavar="PATH",
+        default=None,
+        help="stream per-iteration events to PATH (JSON lines) and print a run report",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="solve one FAP instance, streaming per-iteration JSON events",
+    )
+    add_instance_options(trace)
+    trace.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the event stream to PATH instead of stdout",
+    )
 
     fig = sub.add_parser("figure", help="reproduce one paper figure")
     fig.add_argument("number", type=int, choices=[3, 4, 5, 6, 8, 9])
@@ -86,26 +121,67 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_solve(args: argparse.Namespace) -> int:
+def _build_instance(args: argparse.Namespace):
     topo = _TOPOLOGIES[args.topology](args.nodes)
     rates = np.full(args.nodes, args.rate / args.nodes)
-    problem = FileAllocationProblem.from_topology(
-        topo, rates, k=args.k, mu=args.mu
-    )
+    problem = FileAllocationProblem.from_topology(topo, rates, k=args.k, mu=args.mu)
     starts = {
         "uniform": np.full(args.nodes, 1.0 / args.nodes),
         "skewed": paper_skewed_allocation(args.nodes),
         "single": single_node_allocation(args.nodes, 0),
     }
-    result = DecentralizedAllocator(
-        problem, alpha=args.alpha, epsilon=args.epsilon
-    ).run(starts[args.start])
+    return problem, starts[args.start]
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    problem, start = _build_instance(args)
+    registry = None
+    sink = None
+    if args.emit_metrics is not None:
+        registry = MetricsRegistry()
+        sink = JsonLinesSink(args.emit_metrics)
+        registry.add_sink(sink)
+    try:
+        result = DecentralizedAllocator(
+            problem, alpha=args.alpha, epsilon=args.epsilon, registry=registry
+        ).run(start)
+    finally:
+        if sink is not None:
+            sink.close()
     status = "converged" if result.converged else "did NOT converge"
     print(f"{problem.name}: {status} after {result.iterations} iterations")
     print(f"final cost: {result.cost:.6g}")
     print("allocation:", np.array2string(result.allocation, precision=4))
     if args.plot:
         print(ascii_plot({"cost": result.trace.costs()}, title="convergence profile"))
+    if registry is not None:
+        print(f"metrics: {sink.emitted} events -> {args.emit_metrics}")
+        print(RunReport.from_registry(registry, name=problem.name).summary())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Solve while streaming every iteration as a JSON line."""
+    problem, start = _build_instance(args)
+    registry = MetricsRegistry()
+    sink = (
+        JsonLinesSink(args.out)
+        if args.out is not None
+        else JsonLinesSink(sys.stdout)
+    )
+    registry.add_sink(sink)
+    try:
+        result = DecentralizedAllocator(
+            problem, alpha=args.alpha, epsilon=args.epsilon, registry=registry
+        ).run(start)
+    finally:
+        sink.close()
+    if args.out is not None:
+        status = "converged" if result.converged else "did NOT converge"
+        print(
+            f"{problem.name}: {status} after {result.iterations} iterations; "
+            f"{sink.emitted} events -> {args.out}"
+        )
     return 0
 
 
@@ -142,6 +218,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "solve":
         return _cmd_solve(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "figure":
         _print_figure(args.number)
         return 0

@@ -35,8 +35,9 @@ from repro.core.initials import uniform_allocation
 from repro.core.model import FileAllocationProblem
 from repro.core.stepsize import StepSizePolicy, make_stepsize
 from repro.core.termination import GradientSpreadCriterion, TerminationCriterion
-from repro.core.trace import IterationRecord, Trace
+from repro.core.trace import KEEP_ALLOCATION_MODES, IterationRecord, Trace
 from repro.exceptions import ConfigurationError, ConvergenceError
+from repro.obs.registry import MetricsRegistry, maybe_timer
 from repro.utils.numeric import spread
 from repro.utils.validation import check_positive
 
@@ -88,6 +89,16 @@ class DecentralizedAllocator:
         :class:`~repro.core.trace.IterationRecord` as it is appended —
         progress bars, live dashboards, adaptive schedulers.  Exceptions
         from the callback propagate (fail fast rather than mask bugs).
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`.  When
+        attached, the run tallies iterations, gradient evaluations,
+        active-set shrink events, clamp redistributions, and
+        monotonicity violations, publishes final-cost / convergence /
+        trace-memory gauges, and streams one structured ``iteration``
+        event per step to any attached sinks.  Strictly observational:
+        the iterate sequence is bit-for-bit identical with or without it.
+    keep_allocations, sample_every:
+        Trace memory policy — see :class:`~repro.core.trace.Trace`.
     """
 
     def __init__(
@@ -101,6 +112,9 @@ class DecentralizedAllocator:
         max_iterations: int = 100_000,
         validate: bool = True,
         callback=None,
+        registry: Optional[MetricsRegistry] = None,
+        keep_allocations: str = "all",
+        sample_every: int = 100,
     ):
         self.problem = problem
         self.stepsize = make_stepsize(alpha)
@@ -112,6 +126,16 @@ class DecentralizedAllocator:
         self.max_iterations = int(max_iterations)
         self.validate = validate
         self.callback = callback
+        self.registry = registry
+        if keep_allocations not in KEEP_ALLOCATION_MODES:
+            raise ConfigurationError(
+                f"keep_allocations must be one of {KEEP_ALLOCATION_MODES}, "
+                f"got {keep_allocations!r}"
+            )
+        if sample_every < 1:
+            raise ConfigurationError("sample_every must be >= 1")
+        self.keep_allocations = keep_allocations
+        self.sample_every = int(sample_every)
 
     # -- single step (used directly by the distributed runtime) -------------
 
@@ -123,6 +147,8 @@ class DecentralizedAllocator:
         forwards as messages.
         """
         g = self.problem.utility_gradient(x)
+        if self.registry is not None:
+            self.registry.counter_inc("allocator.gradient_evals")
         alpha = self.stepsize.alpha(iteration, x, g, self.problem)
         dx, mask = self.active_set.apply(x, g, alpha)
         new_x = self._apply(x, dx)
@@ -134,6 +160,14 @@ class DecentralizedAllocator:
         Non-negativity is only an invariant of the constraint-handling
         policies; the deliberate :class:`~repro.core.active_set.Unconstrained`
         policy is allowed to dip below zero.
+
+        Round-off residue below zero (magnitude <= 1e-9) is clamped, and
+        the clamped mass is *redistributed* pro-rata over the positive
+        shares.  A bare ``maximum(new_x, 0)`` would inject the clamped
+        mass into the total: each step passes the per-step 1e-9 check,
+        but over 10^4+ iterations ``sum(x)`` drifts systematically upward
+        — the feasibility (Theorem 1) invariant erodes exactly where it
+        is asserted.  Redistribution keeps the step's sum exact.
         """
         new_x = x + dx
         if self.validate:
@@ -144,7 +178,21 @@ class DecentralizedAllocator:
             if not getattr(self.active_set, "allows_negative", False):
                 if np.any(new_x < -1e-9):
                     raise AssertionError(f"negative allocation: min={new_x.min()!r}")
-                new_x = np.maximum(new_x, 0.0)
+                negative = new_x < 0.0
+                if np.any(negative):
+                    target_sum = float(new_x.sum())
+                    clamped = float(-new_x[negative].sum())
+                    new_x[negative] = 0.0
+                    positive = new_x > 0.0
+                    total = float(new_x[positive].sum())
+                    if total > 0.0:
+                        new_x[positive] -= clamped * (new_x[positive] / total)
+                        # Pin the residual rounding error of the pro-rata
+                        # subtraction onto the largest share (one ulp).
+                        new_x[int(np.argmax(new_x))] -= new_x.sum() - target_sum
+                    if self.registry is not None:
+                        self.registry.counter_inc("allocator.clamp_events")
+                        self.registry.counter_inc("allocator.clamped_mass", clamped)
         return new_x
 
     # -- full run ---------------------------------------------------------------
@@ -164,58 +212,106 @@ class DecentralizedAllocator:
 
         self.stepsize.reset()
         self.termination.reset()
+        reg = self.registry
 
         # Convergence is always judged on the *prospective* step's active
         # set at the current point — exactly what each node computes from
         # one round of reports in the distributed runtime, so the two
         # implementations stop at the same iterate.
-        trace = Trace()
+        trace = Trace(
+            keep_allocations=self.keep_allocations, sample_every=self.sample_every
+        )
 
         def emit(record: IterationRecord) -> None:
             trace.append(record)
             if self.callback is not None:
                 self.callback(record)
 
-        g = self.problem.utility_gradient(x)
-        alpha = self.stepsize.alpha(0, x, g, self.problem)
-        dx, mask = self.active_set.apply(x, g, alpha)
-        cost = self.problem.cost(x)
-        emit(
-            IterationRecord(
-                iteration=0,
-                allocation=x.copy(),
-                cost=cost,
-                utility=-cost,
-                gradient_spread=spread(g[mask]),
-                alpha=float("nan"),
-                active_count=int(mask.sum()),
-            )
-        )
-
-        converged = self.termination.should_stop(0, x, g, mask, cost)
-        iteration = 0
-        while not converged and iteration < self.max_iterations:
-            iteration += 1
-            applied_alpha = alpha
-            x = self._apply(x, dx)
-            cost = self.problem.cost(x)
-            self.stepsize.notify_cost(iteration, cost)
+        with maybe_timer(reg, "allocator.run_seconds"):
             g = self.problem.utility_gradient(x)
-            alpha = self.stepsize.alpha(iteration, x, g, self.problem)
+            alpha = self.stepsize.alpha(0, x, g, self.problem)
             dx, mask = self.active_set.apply(x, g, alpha)
+            cost = self.problem.cost(x)
+            initial_spread = spread(g[mask])
+            active_count = int(mask.sum())
+            if reg is not None:
+                reg.counter_inc("allocator.gradient_evals")
+                reg.event(
+                    "iteration",
+                    i=0,
+                    cost=cost,
+                    spread=initial_spread,
+                    active=active_count,
+                )
             emit(
                 IterationRecord(
-                    iteration=iteration,
+                    iteration=0,
                     allocation=x.copy(),
                     cost=cost,
                     utility=-cost,
-                    gradient_spread=spread(g[mask]),
-                    alpha=applied_alpha,
-                    active_count=int(mask.sum()),
+                    gradient_spread=initial_spread,
+                    alpha=float("nan"),
+                    active_count=active_count,
                 )
             )
-            converged = self.termination.should_stop(iteration, x, g, mask, cost)
 
+            converged = self.termination.should_stop(0, x, g, mask, cost)
+            iteration = 0
+            prev_cost = cost
+            prev_active = active_count
+            while not converged and iteration < self.max_iterations:
+                iteration += 1
+                applied_alpha = alpha
+                x = self._apply(x, dx)
+                cost = self.problem.cost(x)
+                self.stepsize.notify_cost(iteration, cost)
+                g = self.problem.utility_gradient(x)
+                alpha = self.stepsize.alpha(iteration, x, g, self.problem)
+                dx, mask = self.active_set.apply(x, g, alpha)
+                step_spread = spread(g[mask])
+                active_count = int(mask.sum())
+                if reg is not None:
+                    reg.counter_inc("allocator.iterations")
+                    reg.counter_inc("allocator.gradient_evals")
+                    if active_count < prev_active:
+                        reg.counter_inc("allocator.active_set_shrink")
+                    if cost > prev_cost + 1e-12:
+                        reg.counter_inc("allocator.monotonicity_violations")
+                    reg.observe("allocator.alpha", applied_alpha)
+                    reg.event(
+                        "iteration",
+                        i=iteration,
+                        cost=cost,
+                        alpha=applied_alpha,
+                        spread=step_spread,
+                        active=active_count,
+                    )
+                emit(
+                    IterationRecord(
+                        iteration=iteration,
+                        allocation=x.copy(),
+                        cost=cost,
+                        utility=-cost,
+                        gradient_spread=step_spread,
+                        alpha=applied_alpha,
+                        active_count=active_count,
+                    )
+                )
+                converged = self.termination.should_stop(iteration, x, g, mask, cost)
+                prev_cost = cost
+                prev_active = active_count
+
+        if reg is not None:
+            reg.gauge_set("allocator.final_cost", cost)
+            reg.gauge_set("allocator.converged", float(converged))
+            reg.gauge_set("allocator.active_count", active_count)
+            reg.gauge_max("allocator.trace_peak_bytes", trace.peak_allocation_bytes)
+            reg.event(
+                "run_complete",
+                iterations=iteration,
+                cost=cost,
+                converged=converged,
+            )
         if not converged and raise_on_failure:
             raise ConvergenceError(
                 f"no convergence in {self.max_iterations} iterations "
@@ -245,9 +341,33 @@ def solve(
     epsilon: float = 1e-3,
     initial_allocation: Optional[Sequence[float]] = None,
     max_iterations: int = 100_000,
+    active_set: Union[str, ActiveSetPolicy] = "scaled-step",
+    termination: Optional[TerminationCriterion] = None,
+    validate: bool = True,
+    callback=None,
+    raise_on_failure: bool = False,
+    registry: Optional[MetricsRegistry] = None,
+    keep_allocations: str = "all",
+    sample_every: int = 100,
 ) -> AllocationResult:
-    """One-call convenience wrapper around :class:`DecentralizedAllocator`."""
+    """One-call convenience wrapper around :class:`DecentralizedAllocator`.
+
+    Exposes the full allocator surface — earlier versions silently
+    dropped ``active_set``, ``validate``, ``callback`` and
+    ``raise_on_failure``, so callers of the convenience wrapper could not
+    reach documented allocator features.
+    """
     allocator = DecentralizedAllocator(
-        problem, alpha=alpha, epsilon=epsilon, max_iterations=max_iterations
+        problem,
+        alpha=alpha,
+        epsilon=epsilon,
+        max_iterations=max_iterations,
+        active_set=active_set,
+        termination=termination,
+        validate=validate,
+        callback=callback,
+        registry=registry,
+        keep_allocations=keep_allocations,
+        sample_every=sample_every,
     )
-    return allocator.run(initial_allocation)
+    return allocator.run(initial_allocation, raise_on_failure=raise_on_failure)

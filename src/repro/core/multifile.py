@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.core.active_set import ScaledStep
 from repro.exceptions import ConfigurationError, ConvergenceError, InfeasibleAllocationError
+from repro.obs.registry import MetricsRegistry, maybe_timer
 from repro.queueing.mm1 import MM1Delay
 from repro.utils.numeric import spread
 from repro.utils.validation import check_positive, check_square_matrix
@@ -198,6 +199,10 @@ class MultiFileAllocator:
         halved (up to ``max_halvings`` times) before being applied —
         restoring in practice the monotonicity that Theorem 2 only
         guarantees file-by-file.
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; when
+        attached the run tallies iterations, safeguard α-halvings, and
+        per-file spread progress.  Observational only.
     """
 
     def __init__(
@@ -209,6 +214,7 @@ class MultiFileAllocator:
         safeguard: bool = True,
         max_halvings: int = 30,
         max_iterations: int = 100_000,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.problem = problem
         self.alpha = check_positive(alpha, "alpha")
@@ -216,6 +222,7 @@ class MultiFileAllocator:
         self.safeguard = safeguard
         self.max_halvings = int(max_halvings)
         self.max_iterations = int(max_iterations)
+        self.registry = registry
         self._policy = ScaledStep()
 
     def _raw_step(self, x: np.ndarray, alpha: float) -> np.ndarray:
@@ -248,26 +255,47 @@ class MultiFileAllocator:
         """Iterate from a feasible ``(M, N)`` start until every file's
         marginals agree within epsilon."""
         x = self.problem.check_feasible(initial_allocation).copy()
+        reg = self.registry
         cost = self.problem.cost(x)
         cost_history = [cost]
         spread_history = [float(self.spreads(x).max())]
         iteration = 0
-        while spread_history[-1] >= self.epsilon and iteration < self.max_iterations:
-            iteration += 1
-            alpha = self.alpha
-            dx = self._raw_step(x, alpha)
-            if self.safeguard:
-                for _ in range(self.max_halvings):
-                    trial_cost = self.problem.cost(np.maximum(x + dx, 0.0))
-                    if trial_cost <= cost:
-                        break
-                    alpha *= 0.5
-                    dx = self._raw_step(x, alpha)
-            x = np.maximum(x + dx, 0.0)
-            cost = self.problem.cost(x)
-            cost_history.append(cost)
-            spread_history.append(float(self.spreads(x).max()))
+        with maybe_timer(reg, "multifile.run_seconds"):
+            while spread_history[-1] >= self.epsilon and iteration < self.max_iterations:
+                iteration += 1
+                alpha = self.alpha
+                dx = self._raw_step(x, alpha)
+                if self.safeguard:
+                    for _ in range(self.max_halvings):
+                        trial_cost = self.problem.cost(np.maximum(x + dx, 0.0))
+                        if trial_cost <= cost:
+                            break
+                        alpha *= 0.5
+                        dx = self._raw_step(x, alpha)
+                        if reg is not None:
+                            reg.counter_inc("multifile.alpha_halvings")
+                x = np.maximum(x + dx, 0.0)
+                cost = self.problem.cost(x)
+                cost_history.append(cost)
+                spread_history.append(float(self.spreads(x).max()))
+                if reg is not None:
+                    reg.counter_inc("multifile.iterations")
+                    reg.observe("multifile.alpha", alpha)
+                    reg.event(
+                        "multifile_iteration",
+                        i=iteration,
+                        cost=cost,
+                        spread=spread_history[-1],
+                        alpha=alpha,
+                    )
         converged = spread_history[-1] < self.epsilon
+        if reg is not None:
+            reg.gauge_set("multifile.final_cost", cost)
+            reg.gauge_set("multifile.converged", float(converged))
+            reg.gauge_set("multifile.files", self.problem.m)
+            per_file = self.spreads(x)
+            for f in range(self.problem.m):
+                reg.gauge_set(f"multifile.spread.file_{f}", float(per_file[f]))
         if not converged and raise_on_failure:
             raise ConvergenceError(
                 f"multi-file allocator: no convergence in {self.max_iterations} iterations",

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.core.model import FileAllocationProblem
 from repro.exceptions import ConfigurationError
-from repro.utils.validation import check_nonnegative, check_positive, check_square_matrix
+from repro.utils.validation import check_nonnegative, check_square_matrix
 
 
 @dataclass(frozen=True)

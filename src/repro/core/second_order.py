@@ -27,7 +27,6 @@ so the ablation bench can swap one for the other.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np

@@ -9,10 +9,13 @@ length (§6), monotonicity violations (§7.3 oscillation).
 from __future__ import annotations
 
 import io
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
 
 import numpy as np
+
+#: Valid values for :attr:`Trace.keep_allocations`.
+KEEP_ALLOCATION_MODES = ("all", "sampled", "last")
 
 
 @dataclass(frozen=True)
@@ -24,7 +27,9 @@ class IterationRecord:
     iteration:
         0 is the initial allocation (no step applied yet).
     allocation:
-        The feasible allocation vector.
+        The feasible allocation vector — or ``None`` when the owning
+        :class:`Trace` dropped it to bound memory (scalar fields are
+        always kept).
     cost, utility:
         ``C(x)`` and ``U(x) = -C(x)``.
     gradient_spread:
@@ -37,7 +42,7 @@ class IterationRecord:
     """
 
     iteration: int
-    allocation: np.ndarray
+    allocation: Optional[np.ndarray]
     cost: float
     utility: float
     gradient_spread: float
@@ -47,12 +52,76 @@ class IterationRecord:
 
 @dataclass
 class Trace:
-    """An ordered sequence of iteration records plus summary helpers."""
+    """An ordered sequence of iteration records plus summary helpers.
+
+    Parameters
+    ----------
+    keep_allocations:
+        Memory policy for the per-record allocation vectors.  A long run
+        (``max_iterations=100_000``) at default settings stores one
+        ``float64`` vector per iteration — O(N * iterations) bytes —
+        which is exactly the kind of silent cost this knob bounds:
+
+        * ``"all"`` (default) — keep every allocation (legacy behaviour);
+        * ``"sampled"`` — keep iteration 0, every ``sample_every``-th
+          iteration, and always the most recent record;
+        * ``"last"`` — keep only the most recent record's allocation.
+
+        Scalar fields (cost, spread, alpha, ...) are always kept, so the
+        summary statistics and figures that only need cost profiles are
+        unaffected.
+    sample_every:
+        Sampling stride for ``"sampled"`` mode.
+
+    The trace tracks :attr:`peak_allocation_bytes` — the high-watermark
+    of retained allocation storage — which the allocator publishes to an
+    attached :class:`~repro.obs.registry.MetricsRegistry`.
+    """
 
     records: List[IterationRecord] = field(default_factory=list)
+    keep_allocations: str = "all"
+    sample_every: int = 100
+    #: High-watermark of retained allocation-vector bytes.
+    peak_allocation_bytes: int = field(default=0, init=False, repr=False)
+    _retained_bytes: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.keep_allocations not in KEEP_ALLOCATION_MODES:
+            raise ValueError(
+                f"keep_allocations must be one of {KEEP_ALLOCATION_MODES}, "
+                f"got {self.keep_allocations!r}"
+            )
+        if self.sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        for record in self.records:
+            if record.allocation is not None:
+                self._retained_bytes += record.allocation.nbytes
+        self.peak_allocation_bytes = self._retained_bytes
+
+    def _should_retain(self, record: IterationRecord) -> bool:
+        """Whether a record keeps its allocation once it is no longer last."""
+        if self.keep_allocations == "all":
+            return True
+        if self.keep_allocations == "last":
+            return False
+        return record.iteration == 0 or record.iteration % self.sample_every == 0
 
     def append(self, record: IterationRecord) -> None:
+        if self.keep_allocations != "all" and self.records:
+            prev = self.records[-1]
+            if prev.allocation is not None and not self._should_retain(prev):
+                self._retained_bytes -= prev.allocation.nbytes
+                self.records[-1] = replace(prev, allocation=None)
         self.records.append(record)
+        if record.allocation is not None:
+            self._retained_bytes += record.allocation.nbytes
+            if self._retained_bytes > self.peak_allocation_bytes:
+                self.peak_allocation_bytes = self._retained_bytes
+
+    @property
+    def retained_allocation_bytes(self) -> int:
+        """Bytes of allocation vectors currently held."""
+        return self._retained_bytes
 
     def __len__(self) -> int:
         return len(self.records)
@@ -74,8 +143,21 @@ class Trace:
         return np.array([r.gradient_spread for r in self.records])
 
     def allocations(self) -> np.ndarray:
-        """Matrix of shape (iterations+1, n)."""
-        return np.stack([r.allocation for r in self.records])
+        """Matrix of the *retained* allocation vectors.
+
+        Shape ``(iterations+1, n)`` under ``keep_allocations="all"``;
+        fewer rows when the memory policy dropped some (use
+        :meth:`retained_iterations` for the matching iteration numbers).
+        """
+        kept = [r.allocation for r in self.records if r.allocation is not None]
+        return np.stack(kept)
+
+    def retained_iterations(self) -> np.ndarray:
+        """Iteration numbers of the records whose allocation is retained."""
+        return np.array(
+            [r.iteration for r in self.records if r.allocation is not None],
+            dtype=int,
+        )
 
     def alphas(self) -> np.ndarray:
         return np.array([r.alpha for r in self.records])
@@ -137,15 +219,26 @@ class Trace:
     # -- export ----------------------------------------------------------------
 
     def to_csv(self) -> str:
-        """Serialize as CSV (iteration, cost, spread, alpha, x_0..x_{n-1})."""
+        """Serialize as CSV (iteration, cost, spread, alpha, x_0..x_{n-1}).
+
+        Rows whose allocation was dropped by the memory policy leave the
+        ``x_i`` cells empty.
+        """
         out = io.StringIO()
-        n = self.records[0].allocation.size if self.records else 0
+        n = 0
+        for r in self.records:
+            if r.allocation is not None:
+                n = r.allocation.size
+                break
         headers = ["iteration", "cost", "gradient_spread", "alpha"] + [
             f"x_{i}" for i in range(n)
         ]
         out.write(",".join(headers) + "\n")
         for r in self.records:
             row = [str(r.iteration), f"{r.cost!r}", f"{r.gradient_spread!r}", f"{r.alpha!r}"]
-            row += [f"{v!r}" for v in r.allocation]
+            if r.allocation is not None:
+                row += [f"{v!r}" for v in r.allocation]
+            else:
+                row += [""] * n
             out.write(",".join(row) + "\n")
         return out.getvalue()

@@ -22,7 +22,7 @@ library.  ``v0 = 1, v1 = 0`` recovers the paper's original model exactly
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Optional, Sequence
 
 import numpy as np
 

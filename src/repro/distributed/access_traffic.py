@@ -11,7 +11,6 @@ error — exactly equation 1's interpretation as an expected cost per access.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 
 import numpy as np

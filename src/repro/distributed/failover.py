@@ -24,7 +24,7 @@ epochs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -33,7 +33,7 @@ from repro.distributed.metrics import MessageStats
 from repro.distributed.runtime import DistributedFapRuntime
 from repro.exceptions import ConfigurationError
 from repro.network.shortest_paths import dijkstra
-from repro.utils.validation import check_nonnegative, check_positive
+from repro.utils.validation import check_nonnegative
 
 
 @dataclass

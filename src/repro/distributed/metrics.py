@@ -43,6 +43,28 @@ class MessageStats:
             by_type=dict(combined),
         )
 
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view (JSON-serializable)."""
+        return {
+            "messages": self.messages,
+            "hops": self.hops,
+            "payload_bytes": self.payload_bytes,
+            "by_type": dict(self.by_type),
+        }
+
+    def publish_to(self, registry, *, prefix: str = "messages") -> None:
+        """Fold the tallies into a :class:`~repro.obs.registry.MetricsRegistry`.
+
+        Adds (not sets) so per-phase stats accumulate:
+        ``<prefix>.total``, ``<prefix>.hops``, ``<prefix>.payload_bytes``,
+        and one ``<prefix>.by_type.<MessageClass>`` counter per type.
+        """
+        registry.counter_inc(f"{prefix}.total", self.messages)
+        registry.counter_inc(f"{prefix}.hops", self.hops)
+        registry.counter_inc(f"{prefix}.payload_bytes", self.payload_bytes)
+        for name, count in self.by_type.items():
+            registry.counter_inc(f"{prefix}.by_type.{name}", count)
+
     def __repr__(self) -> str:
         return (
             f"MessageStats(messages={self.messages}, hops={self.hops}, "

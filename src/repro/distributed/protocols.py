@@ -22,18 +22,26 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.core.active_set import ActiveSetPolicy
 from repro.distributed.messages import AllocationUpdate, MarginalReport, Message
 from repro.distributed.metrics import MessageStats
 from repro.distributed.node import NodeProcess
 from repro.distributed.simulator import Simulator
 from repro.exceptions import ProtocolError
 from repro.network.routing import RoutingTable
+from repro.obs.registry import MetricsRegistry
 from repro.utils.numeric import spread
 
 
 class _ProtocolBase:
-    """Shared plumbing: latency, message accounting, delivery."""
+    """Shared plumbing: latency, message accounting, delivery.
+
+    ``registry`` is an optional
+    :class:`~repro.obs.registry.MetricsRegistry`: each sent message bumps
+    live ``protocol.messages`` / ``protocol.hops`` /
+    ``protocol.payload_bytes`` counters, and each completed round emits a
+    ``round`` event carrying the cumulative traffic — the per-round
+    telemetry a deployment would scrape.  Purely observational.
+    """
 
     def __init__(
         self,
@@ -43,21 +51,46 @@ class _ProtocolBase:
         *,
         latency_per_cost: float = 1.0,
         min_latency: float = 1e-3,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.nodes = nodes
         self.routing = routing
         self.simulator = simulator
         self.latency_per_cost = float(latency_per_cost)
         self.min_latency = float(min_latency)
+        self.registry = registry
         self.stats = MessageStats()
         self.rounds_completed = 0
+
+    def _account(self, message: Message, hops: int) -> None:
+        """Tally one message in the stats and the live registry counters."""
+        self.stats.record(message, hops)
+        if self.registry is not None:
+            self.registry.counter_inc("protocol.messages")
+            self.registry.counter_inc("protocol.hops", hops)
+            self.registry.counter_inc("protocol.payload_bytes", message.payload_bytes)
+
+    def _advance_rounds(self, value: int) -> None:
+        """Monotonically raise ``rounds_completed``; emit a round event."""
+        if value > self.rounds_completed:
+            self.rounds_completed = value
+            if self.registry is not None:
+                self.registry.gauge_set("protocol.rounds", value)
+                self.registry.event(
+                    "round",
+                    protocol=self.name,
+                    round=value,
+                    messages=self.stats.messages,
+                    hops=self.stats.hops,
+                    payload_bytes=self.stats.payload_bytes,
+                )
 
     def _send(self, message: Message, on_delivery: Callable[[Message], None]) -> None:
         """Route, account, and schedule delivery of one message."""
         if message.sender == message.recipient:
             raise ProtocolError("nodes do not message themselves")
         hops = self.routing.hop_count(message.sender, message.recipient)
-        self.stats.record(message, hops)
+        self._account(message, hops)
         latency = max(
             self.min_latency,
             self.latency_per_cost * self.routing.cost(message.sender, message.recipient),
@@ -91,10 +124,8 @@ class BroadcastProtocol(_ProtocolBase):
             new_share = node.compute_round()
             if new_share is not None:
                 self._broadcast_from(node)
-            if all(n.converged for n in self.nodes):
-                self.rounds_completed = node.iteration
         # Track completed rounds as the max iteration reached.
-        self.rounds_completed = max(self.rounds_completed, node.iteration)
+        self._advance_rounds(node.iteration)
 
 
 class CentralCoordinatorProtocol(_ProtocolBase):
@@ -117,10 +148,12 @@ class CentralCoordinatorProtocol(_ProtocolBase):
         coordinator_id: int = 0,
         latency_per_cost: float = 1.0,
         min_latency: float = 1e-3,
+        registry: Optional[MetricsRegistry] = None,
     ):
         super().__init__(
             nodes, routing, simulator,
             latency_per_cost=latency_per_cost, min_latency=min_latency,
+            registry=registry,
         )
         if not 0 <= coordinator_id < len(nodes):
             raise ProtocolError(f"coordinator id {coordinator_id} out of range")
@@ -157,7 +190,7 @@ class CentralCoordinatorProtocol(_ProtocolBase):
             x[sender] = report.share
             g[sender] = report.marginal_utility
         self._round_reports = {}
-        self.rounds_completed += 1
+        self._advance_rounds(self.rounds_completed + 1)
         dx, mask = coord.policy.apply(x, g, coord.alpha)
         if spread(g[mask]) < coord.epsilon:
             self._done = True
@@ -224,10 +257,12 @@ class FloodingProtocol(_ProtocolBase):
         *,
         latency_per_cost: float = 1.0,
         min_latency: float = 1e-3,
+        registry: Optional[MetricsRegistry] = None,
     ):
         super().__init__(
             nodes, routing, simulator,
             latency_per_cost=latency_per_cost, min_latency=min_latency,
+            registry=registry,
         )
         n = len(nodes)
         self._n = n
@@ -282,7 +317,7 @@ class FloodingProtocol(_ProtocolBase):
         table might find a cheaper multi-hop path to a physical neighbour,
         but flooding deliberately never leaves the local link).
         """
-        self.stats.record(message, 1)
+        self._account(message, 1)
         latency = max(
             self.min_latency,
             self.latency_per_cost
@@ -313,11 +348,11 @@ class FloodingProtocol(_ProtocolBase):
         dx, mask = node.policy.apply(x, g, node.alpha)
         if spread(g[mask]) < node.epsilon:
             node.converged = True
-            self.rounds_completed = max(self.rounds_completed, node.iteration)
+            self._advance_rounds(node.iteration)
             return
         node.share = float(max(x[node.node_id] + dx[node.node_id], 0.0))
         node.iteration += 1
-        self.rounds_completed = max(self.rounds_completed, node.iteration)
+        self._advance_rounds(node.iteration)
         if node.round_limit is not None and node.iteration >= node.round_limit:
             node.converged = True
             node.stopped_by_limit = True

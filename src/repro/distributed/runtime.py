@@ -16,7 +16,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.active_set import ScaledStep, make_policy
+from repro.core.active_set import make_policy
 from repro.core.model import FileAllocationProblem
 from repro.distributed.metrics import MessageStats
 from repro.distributed.node import NodeProcess
@@ -29,6 +29,7 @@ from repro.distributed.simulator import Simulator
 from repro.exceptions import ConfigurationError
 from repro.network.builders import complete_graph
 from repro.network.routing import RoutingTable
+from repro.obs.registry import MetricsRegistry, maybe_timer
 from repro.utils.validation import check_positive
 
 
@@ -68,6 +69,13 @@ class DistributedFapRuntime:
         Virtual seconds per unit of routed path cost.
     max_rounds:
         Safety bound on protocol rounds.
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`.  The
+        protocol bumps live per-message/per-round counters during the
+        run, and the final :class:`~repro.distributed.metrics.MessageStats`
+        is folded into ``messages.*`` counters alongside
+        ``distributed.rounds`` / ``distributed.virtual_time`` /
+        ``distributed.converged`` gauges.  Observational only.
     """
 
     def __init__(
@@ -81,6 +89,7 @@ class DistributedFapRuntime:
         coordinator_id: int = 0,
         latency_per_cost: float = 1.0,
         max_rounds: int = 10_000,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.problem = problem
         if protocol not in ("broadcast", "central", "flooding"):
@@ -95,6 +104,7 @@ class DistributedFapRuntime:
         self.coordinator_id = coordinator_id
         self.latency_per_cost = latency_per_cost
         self.max_rounds = int(max_rounds)
+        self.registry = registry
         topology = problem.topology or complete_graph(problem.n)
         self.routing = RoutingTable(topology)
 
@@ -120,11 +130,13 @@ class DistributedFapRuntime:
         ]
         if self.protocol_name == "broadcast":
             protocol = BroadcastProtocol(
-                nodes, self.routing, simulator, latency_per_cost=self.latency_per_cost
+                nodes, self.routing, simulator,
+                latency_per_cost=self.latency_per_cost, registry=self.registry,
             )
         elif self.protocol_name == "flooding":
             protocol = FloodingProtocol(
-                nodes, self.routing, simulator, latency_per_cost=self.latency_per_cost
+                nodes, self.routing, simulator,
+                latency_per_cost=self.latency_per_cost, registry=self.registry,
             )
         else:
             protocol = CentralCoordinatorProtocol(
@@ -133,15 +145,27 @@ class DistributedFapRuntime:
                 simulator,
                 coordinator_id=self.coordinator_id,
                 latency_per_cost=self.latency_per_cost,
+                registry=self.registry,
             )
-        protocol.start()
-        # Each round is O(n^2) events; budget generously then verify below.
-        simulator.run(max_events=self.max_rounds * self.problem.n * self.problem.n * 4)
+        with maybe_timer(self.registry, "distributed.run_seconds"):
+            protocol.start()
+            # Each round is O(n^2) events; budget generously then verify below.
+            simulator.run(
+                max_events=self.max_rounds * self.problem.n * self.problem.n * 4
+            )
 
         allocation = np.array([node.share for node in nodes])
         converged = all(node.converged for node in nodes) and not any(
             node.stopped_by_limit for node in nodes
         )
+        if self.registry is not None:
+            protocol.stats.publish_to(self.registry)
+            self.registry.gauge_set("distributed.rounds", protocol.rounds_completed)
+            self.registry.gauge_set("distributed.virtual_time", simulator.now)
+            self.registry.gauge_set("distributed.converged", float(converged))
+            self.registry.gauge_set(
+                "distributed.final_cost", self.problem.cost(allocation)
+            )
         return DistributedRunResult(
             allocation=allocation,
             cost=self.problem.cost(allocation),

@@ -20,14 +20,13 @@ drifting optimum and stays well below the cost of the frozen allocation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
 
 import numpy as np
 
 from repro.core.algorithm import DecentralizedAllocator
 from repro.core.model import FileAllocationProblem
-from repro.core.termination import GradientSpreadCriterion
 from repro.exceptions import ConfigurationError
 from repro.utils.seeding import SeedLike, rng_from_seed
 from repro.utils.validation import check_positive

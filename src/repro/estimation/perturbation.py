@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.queueing.service import ExponentialService

@@ -12,19 +12,18 @@ paper's reported anchors; ``rows()`` renders the benchmark tables.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.convergence import sweep_alpha_iterations
 from repro.analysis.oscillation import OscillationMetrics, oscillation_metrics
 from repro.baselines.integral import best_integral_allocation
-from repro.core.algorithm import AllocationResult, DecentralizedAllocator
-from repro.core.initials import paper_skewed_allocation, single_node_allocation
+from repro.core.algorithm import DecentralizedAllocator
+from repro.core.initials import paper_skewed_allocation
 from repro.core.kkt import optimal_allocation
 from repro.core.model import FileAllocationProblem
-from repro.core.trace import Trace
-from repro.multicopy.algorithm import MultiCopyAllocator, MultiCopyResult
+from repro.multicopy.algorithm import MultiCopyAllocator
 from repro.multicopy.fixtures import paper_figure8_rings
 from repro.network.builders import complete_graph
 

@@ -9,7 +9,7 @@ problem per grid point, solve it, collect whatever the caller measures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Sequence
+from typing import Any, Callable, Dict, Iterable, List
 
 from repro.core.algorithm import AllocationResult, DecentralizedAllocator
 from repro.core.model import FileAllocationProblem

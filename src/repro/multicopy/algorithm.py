@@ -23,6 +23,7 @@ from repro.core.active_set import ScaledStep
 from repro.core.stepsize import DecayOnOscillation
 from repro.exceptions import ConfigurationError, StabilityError
 from repro.multicopy.cost import MultiCopyRingProblem
+from repro.obs.registry import MetricsRegistry
 from repro.utils.numeric import spread
 from repro.utils.validation import check_positive
 
@@ -68,6 +69,11 @@ class MultiCopyAllocator:
         than this.
     stall_window:
         Fallback: stop after this many iterations without a new best cost.
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; the
+        stepper tallies iterations, α-decay events, oscillations
+        (non-improving steps), and overload rejections.  Observational
+        only — trajectories are identical with or without it.
     """
 
     def __init__(
@@ -81,6 +87,7 @@ class MultiCopyAllocator:
         cost_tolerance: float = 1e-7,
         stall_window: int = 50,
         max_iterations: int = 5_000,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.problem = problem
         self.alpha0 = check_positive(alpha, "alpha")
@@ -92,6 +99,7 @@ class MultiCopyAllocator:
             raise ConfigurationError("stall_window must be >= 1")
         self.stall_window = int(stall_window)
         self.max_iterations = int(max_iterations)
+        self.registry = registry
         self._policy = ScaledStep()
 
     def make_stepper(self) -> "MultiCopyStepper":
@@ -132,6 +140,7 @@ class MultiCopyStepper:
     def __init__(self, config: MultiCopyAllocator):
         self.config = config
         self.problem = config.problem
+        self.registry = config.registry
         self._schedule = DecayOnOscillation(
             config.alpha0, decay=config.decay, patience=config.patience
         )
@@ -176,6 +185,7 @@ class MultiCopyStepper:
             return x
         alpha = self._schedule.alpha(self.iteration, x, g, self.problem)
         self.alpha_history.append(alpha)
+        reg = self.registry
         dx, _ = self._policy.apply(x, g, alpha)
         trial = np.maximum(x + dx, 0.0)
         try:
@@ -183,11 +193,31 @@ class MultiCopyStepper:
         except StabilityError:
             # Overloaded trial: treat like an oscillation — decay and hold.
             self._schedule.notify_cost(self.iteration, np.inf)
+            if reg is not None:
+                reg.counter_inc("multicopy.overload_rejections")
+                if self._schedule.current_alpha < alpha:
+                    reg.counter_inc("multicopy.alpha_decays")
             return x
         prev_cost = self._last_cost
         self._last_x, self._last_cost = trial.copy(), trial_cost
         self.cost_history.append(trial_cost)
         self._schedule.notify_cost(self.iteration, trial_cost)
+        if reg is not None:
+            reg.counter_inc("multicopy.iterations")
+            reg.observe("multicopy.alpha", alpha)
+            if self._schedule.current_alpha < alpha:
+                reg.counter_inc("multicopy.alpha_decays")
+                reg.event(
+                    "alpha_decay",
+                    i=self.iteration,
+                    alpha_from=alpha,
+                    alpha_to=self._schedule.current_alpha,
+                )
+            if trial_cost > prev_cost + 1e-15:
+                reg.counter_inc("multicopy.oscillations")
+            reg.event(
+                "multicopy_iteration", i=self.iteration, cost=trial_cost, alpha=alpha
+            )
         if trial_cost < self._best_cost - 1e-15:
             self._best_x, self._best_cost = trial.copy(), trial_cost
             self._since_best = 0
@@ -203,6 +233,10 @@ class MultiCopyStepper:
     def result(self) -> MultiCopyResult:
         """The accumulated outcome (valid once :attr:`finished`)."""
         assert self._best_x is not None and self._last_x is not None
+        if self.registry is not None:
+            self.registry.gauge_set("multicopy.best_cost", self._best_cost)
+            self.registry.gauge_set("multicopy.final_cost", self._last_cost)
+            self.registry.gauge_set("multicopy.converged", float(self.converged))
         return MultiCopyResult(
             allocation=self._best_x,
             cost=self._best_cost,

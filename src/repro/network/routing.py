@@ -8,7 +8,7 @@ toward the smaller node id so routing is deterministic and reproducible.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 

@@ -10,7 +10,7 @@ Floyd–Warshall — and cross-checked in the test suite.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

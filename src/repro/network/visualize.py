@@ -11,7 +11,7 @@ from typing import List
 
 import numpy as np
 
-from repro.network.shortest_paths import all_pairs_shortest_paths, dijkstra
+from repro.network.shortest_paths import dijkstra
 from repro.network.topology import Topology
 from repro.utils.tables import format_table
 

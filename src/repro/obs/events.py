@@ -1,0 +1,110 @@
+"""Structured event sinks: JSON-lines streaming and in-memory capture.
+
+A *sink* is anything with ``emit(payload: dict)``.  The registry fans
+each event out to every attached sink; sinks own serialization and
+durability.  :class:`JsonLinesSink` is the production path — one JSON
+object per line, flushed on demand, so a crashed run still leaves a
+readable prefix on disk.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Dict, List, Optional, Union
+
+
+def _json_default(value):
+    """Serialize numpy scalars/arrays without importing numpy here."""
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)
+
+
+class JsonLinesSink:
+    """Stream events to a file as JSON lines (one object per line).
+
+    Parameters
+    ----------
+    target:
+        A path (opened lazily, truncated) or an already-open text stream
+        (borrowed: never closed by the sink — pass ``sys.stdout`` freely).
+    flush_every:
+        Flush the underlying stream every this-many events (1 = always).
+    """
+
+    def __init__(self, target: Union[str, Path, IO[str]], *, flush_every: int = 1):
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
+        self._flush_every = int(flush_every)
+        self._since_flush = 0
+        self.emitted = 0
+        if isinstance(target, (str, Path)):
+            self._path: Optional[Path] = Path(target)
+            self._stream: Optional[IO[str]] = None
+            self._owns_stream = True
+        else:
+            self._path = None
+            self._stream = target
+            self._owns_stream = False
+
+    def emit(self, payload: Dict) -> None:
+        if self._stream is None:
+            assert self._path is not None
+            self._stream = self._path.open("w")
+        self._stream.write(json.dumps(payload, default=_json_default) + "\n")
+        self.emitted += 1
+        self._since_flush += 1
+        if self._since_flush >= self._flush_every:
+            self._stream.flush()
+            self._since_flush = 0
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.flush()
+            if self._owns_stream:
+                self._stream.close()
+                self._stream = None
+
+    def __enter__(self) -> "JsonLinesSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        where = str(self._path) if self._path is not None else "<stream>"
+        return f"JsonLinesSink({where!r}, emitted={self.emitted})"
+
+
+class MemorySink:
+    """Capture events in a list — the test double and REPL inspector."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict] = []
+
+    def emit(self, payload: Dict) -> None:
+        self.events.append(payload)
+
+    def of_type(self, name: str) -> List[Dict]:
+        """Events whose ``event`` field equals ``name``."""
+        return [e for e in self.events if e.get("event") == name]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"MemorySink(events={len(self.events)})"
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict]:
+    """Load a JSON-lines event file back into a list of dicts."""
+    out: List[Dict] = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

@@ -1,0 +1,187 @@
+"""The metrics registry: counters, gauges, histograms, and timers.
+
+Every long-running engine in the library (the §5.2 allocator, the
+multi-file and multi-copy variants, the distributed runtime) accepts an
+optional :class:`MetricsRegistry`.  The contract is strict:
+
+* **no registry, no cost** — instrument points are guarded with
+  ``if registry is not None`` at the call site, so a run without a
+  registry executes the identical arithmetic (bit-for-bit allocations)
+  with no measurable slowdown;
+* **a registry never changes results** — it only observes; nothing an
+  instrument records feeds back into the iteration.
+
+A registry is plain in-memory state.  Attach one or more event sinks
+(:mod:`repro.obs.events`) to additionally stream structured per-iteration
+events to disk, and summarize a finished run with
+:class:`~repro.obs.report.RunReport`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional
+
+
+class HistogramStat:
+    """Streaming summary of an observed value: count / sum / min / max.
+
+    Deliberately reservoir-free — O(1) memory per metric so a registry can
+    survive a 100k-iteration run without becoming the memory bug it was
+    built to detect.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else math.nan,
+            "max": self.max if self.count else math.nan,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"HistogramStat(count={self.count}, mean={self.mean:.6g}, "
+            f"min={self.min:.6g}, max={self.max:.6g})"
+        )
+
+
+class MetricsRegistry:
+    """Run-wide metric store plus fan-out point for structured events.
+
+    Metric names are dotted strings (``"allocator.iterations"``,
+    ``"messages.hops"``); the registry imposes no schema beyond that.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source for :meth:`timer`; injectable for tests.
+    """
+
+    def __init__(self, *, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, HistogramStat] = {}
+        self._sinks: List = []
+        self._event_seq = 0
+
+    # -- metrics -------------------------------------------------------------
+
+    def counter_inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` (default 1) to a monotone counter."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge_set(self, name: str, value: float) -> None:
+        """Set a point-in-time gauge."""
+        self.gauges[name] = float(value)
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Raise a high-watermark gauge to ``value`` if larger."""
+        current = self.gauges.get(name)
+        if current is None or value > current:
+            self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into a histogram."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = HistogramStat()
+        hist.observe(value)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Time a block; the duration lands in histogram ``name`` (seconds)."""
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.observe(name, self._clock() - start)
+
+    # -- events --------------------------------------------------------------
+
+    def add_sink(self, sink) -> None:
+        """Attach an event sink (anything with ``emit(dict)``)."""
+        self._sinks.append(sink)
+
+    @property
+    def has_sinks(self) -> bool:
+        """True when events will actually go somewhere.
+
+        Hot loops should check this before assembling a per-iteration
+        event payload.
+        """
+        return bool(self._sinks)
+
+    def event(self, name: str, /, **fields) -> None:
+        """Fan a structured event out to every attached sink.
+
+        Each event also bumps the ``events.<name>`` counter, so a registry
+        without sinks still tallies how often each event fired.
+        """
+        self.counter_inc(f"events.{name}")
+        if not self._sinks:
+            return
+        self._event_seq += 1
+        payload = {"event": name, "seq": self._event_seq, **fields}
+        for sink in self._sinks:
+            sink.emit(payload)
+
+    # -- export --------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict copy of every metric (JSON-serializable)."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: h.as_dict() for k, h in self.histograms.items()},
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self.counters)}, "
+            f"gauges={len(self.gauges)}, histograms={len(self.histograms)}, "
+            f"sinks={len(self._sinks)})"
+        )
+
+
+def maybe_timer(registry: Optional[MetricsRegistry], name: str):
+    """``registry.timer(name)`` or a no-op context when no registry."""
+    if registry is None:
+        return _NULL_CONTEXT
+    return registry.timer(name)
+
+
+class _NullContext:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_CONTEXT = _NullContext()

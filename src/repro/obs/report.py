@@ -1,0 +1,111 @@
+"""Run summaries: a frozen snapshot of a registry with named accessors.
+
+A :class:`RunReport` is what you keep after a run: the full metric
+snapshot plus convenience properties for the quantities the acceptance
+checks care about (iterations, final cost, message tallies).  It is a
+plain-data object — JSON round-trippable, diffable across runs, and the
+payload ``benchmarks/_util.emit_obs`` persists per bench.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.obs.registry import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Immutable summary of one observed run."""
+
+    name: str
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @classmethod
+    def from_registry(cls, registry: MetricsRegistry, *, name: str = "run") -> "RunReport":
+        snap = registry.snapshot()
+        return cls(
+            name=name,
+            counters=snap["counters"],
+            gauges=snap["gauges"],
+            histograms=snap["histograms"],
+        )
+
+    # -- named accessors (the ground-truth cross-checks) ----------------------
+
+    @property
+    def iterations(self) -> int:
+        """Reallocation steps taken (``allocator.iterations`` counter)."""
+        return int(self.counters.get("allocator.iterations", 0))
+
+    @property
+    def final_cost(self) -> float:
+        return self.gauges.get("allocator.final_cost", math.nan)
+
+    @property
+    def converged(self) -> Optional[bool]:
+        value = self.gauges.get("allocator.converged")
+        return None if value is None else bool(value)
+
+    @property
+    def gradient_evaluations(self) -> int:
+        return int(self.counters.get("allocator.gradient_evals", 0))
+
+    @property
+    def monotonicity_violations(self) -> int:
+        return int(self.counters.get("allocator.monotonicity_violations", 0))
+
+    @property
+    def messages(self) -> int:
+        return int(self.counters.get("messages.total", 0))
+
+    @property
+    def message_hops(self) -> int:
+        return int(self.counters.get("messages.hops", 0))
+
+    @property
+    def message_bytes(self) -> int:
+        return int(self.counters.get("messages.payload_bytes", 0))
+
+    @property
+    def trace_peak_bytes(self) -> int:
+        return int(self.gauges.get("allocator.trace_peak_bytes", 0))
+
+    # -- export ----------------------------------------------------------------
+
+    def as_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: dict(v) for k, v in self.histograms.items()},
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def summary(self) -> str:
+        """Human-readable multi-line digest for terminals and logs."""
+        lines = [f"RunReport[{self.name}]"]
+        for key in sorted(self.counters):
+            lines.append(f"  counter  {key} = {self.counters[key]:g}")
+        for key in sorted(self.gauges):
+            lines.append(f"  gauge    {key} = {self.gauges[key]:g}")
+        for key in sorted(self.histograms):
+            h = self.histograms[key]
+            lines.append(
+                f"  histo    {key}: count={h['count']:g} mean={h['mean']:.6g} "
+                f"min={h['min']:.6g} max={h['max']:.6g}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunReport(name={self.name!r}, iterations={self.iterations}, "
+            f"final_cost={self.final_cost:.6g}, messages={self.messages})"
+        )

@@ -15,7 +15,6 @@ validated against richer stencils in the tests).
 
 from __future__ import annotations
 
-import math
 
 from repro.exceptions import StabilityError
 from repro.utils.validation import check_positive

@@ -8,8 +8,6 @@ for the event-driven queue simulator.
 from __future__ import annotations
 
 import abc
-import math
-from typing import Sequence
 
 import numpy as np
 

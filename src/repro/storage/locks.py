@@ -18,7 +18,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.exceptions import DeadlockError, LockError
+from repro.exceptions import DeadlockError
 
 
 class LockMode(enum.Enum):

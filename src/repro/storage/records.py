@@ -8,8 +8,8 @@ value; the :class:`File` is the logical whole the allocation fragments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterator, List, Optional
+from dataclasses import dataclass
+from typing import Any, Iterator, List
 
 from repro.exceptions import StorageError
 

@@ -12,7 +12,7 @@ so they plug directly into :class:`~repro.core.model.FileAllocationProblem`.
 from __future__ import annotations
 
 import math
-from typing import Callable, Optional
+from typing import Callable
 
 import numpy as np
 

@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.initials import paper_skewed_allocation
 from repro.core.model import FileAllocationProblem
-from repro.network.builders import complete_graph, ring_graph
+from repro.network.builders import ring_graph
 
 
 @pytest.fixture

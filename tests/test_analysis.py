@@ -15,7 +15,7 @@ from repro.analysis import (
     verify_convexity_on_grid,
 )
 from repro.core.algorithm import DecentralizedAllocator
-from repro.core.initials import paper_skewed_allocation, uniform_allocation
+from repro.core.initials import uniform_allocation
 from repro.core.trace import IterationRecord, Trace
 from repro.exceptions import ConfigurationError
 

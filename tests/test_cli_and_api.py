@@ -41,6 +41,42 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["figure", "7"])
 
+    def test_solve_emit_metrics(self, capsys, tmp_path):
+        from repro.obs import read_jsonl
+
+        path = tmp_path / "metrics.jsonl"
+        assert main([
+            "solve", "--nodes", "4", "--alpha", "0.3", "--emit-metrics", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "RunReport[" in out
+        assert "allocator.iterations" in out
+        events = read_jsonl(path)
+        names = {e["event"] for e in events}
+        assert "iteration" in names and "run_complete" in names
+        # One iteration event per trace record, in sequence order.
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs)
+
+    def test_trace_streams_jsonl_to_stdout(self, capsys):
+        import json
+
+        assert main(["trace", "--nodes", "4", "--alpha", "0.3"]) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        events = [json.loads(l) for l in lines]  # every line is valid JSON
+        assert events[0]["event"] == "iteration"
+        assert events[-1]["event"] == "run_complete"
+
+    def test_trace_to_file(self, capsys, tmp_path):
+        from repro.obs import read_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        assert main(["trace", "--nodes", "4", "--out", str(path)]) == 0
+        assert "events ->" in capsys.readouterr().out
+        events = read_jsonl(path)
+        assert events[-1]["event"] == "run_complete"
+        assert events[-1]["converged"] is True
+
     def test_module_entrypoint(self):
         proc = subprocess.run(
             [sys.executable, "-m", "repro.cli", "solve", "--nodes", "4"],

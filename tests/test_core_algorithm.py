@@ -4,6 +4,7 @@ reported behaviour and the closed-form optimum."""
 import numpy as np
 import pytest
 
+from repro.core.active_set import ScaledStep
 from repro.core.algorithm import DecentralizedAllocator, solve
 from repro.core.initials import (
     paper_skewed_allocation,
@@ -13,9 +14,30 @@ from repro.core.initials import (
 )
 from repro.core.kkt import check_kkt, optimal_allocation
 from repro.core.model import FileAllocationProblem
-from repro.core.termination import CostDeltaCriterion
+from repro.core.stepsize import StepSizePolicy
+from repro.core.termination import CostDeltaCriterion, GradientSpreadCriterion
 from repro.exceptions import ConfigurationError, ConvergenceError
 from repro.network.builders import complete_graph, star_graph
+
+
+class TinyUndershootStep(ScaledStep):
+    """ScaledStep, then nudge the smallest lander 1e-13 below zero.
+
+    The perturbation is balanced (sum(dx) stays 0), so every iteration
+    exercises the allocator's round-off clamp — the path that used to
+    leak the clamped mass into ``sum(x)``.
+    """
+
+    def apply(self, x, utility_gradient, alpha):
+        dx, mask = super().apply(x, utility_gradient, alpha)
+        target = x + dx
+        j = int(np.argmin(target))
+        k = int(np.argmax(target))
+        if j != k:
+            nudge = target[j] + 1e-13  # land j at exactly -1e-13
+            dx[j] -= nudge
+            dx[k] += nudge
+        return dx, mask
 
 
 class TestPaperAnchors:
@@ -181,6 +203,13 @@ class TestDriverMechanics:
             DecentralizedAllocator(paper_problem, max_iterations=0)
         with pytest.raises(ConfigurationError):
             DecentralizedAllocator(paper_problem, epsilon=0.0)
+        # Memory-policy typos fail at construction, not mid-run.
+        with pytest.raises(ConfigurationError):
+            DecentralizedAllocator(paper_problem, keep_allocations="everything")
+        with pytest.raises(ConfigurationError):
+            DecentralizedAllocator(
+                paper_problem, keep_allocations="sampled", sample_every=0
+            )
 
 
 class TestOtherTopologies:
@@ -213,6 +242,163 @@ class TestOtherTopologies:
             uniform_allocation(4)
         )
         assert result.allocation[3] == result.allocation.max()
+
+
+class TestFeasibilityDrift:
+    """Regression for the clamp-induced sum drift (Theorem 1 erosion).
+
+    The old ``_apply`` silently *added* the clamped round-off mass to the
+    total: each step passed the per-step 1e-9 feasibility check, but over
+    10^4 iterations ``sum(x)`` drifted ~1e-9 upward.  The fix
+    redistributes the clamped mass pro-rata, so the long-run error stays
+    at the ulp level.
+    """
+
+    def test_sum_stays_exact_over_10k_clamped_iterations(
+        self, paper_problem, paper_start
+    ):
+        allocator = DecentralizedAllocator(
+            paper_problem,
+            alpha=0.3,
+            active_set=TinyUndershootStep(),
+            # Never converge: every one of the >=10k iterations clamps.
+            termination=GradientSpreadCriterion(1e-30),
+            max_iterations=10_500,
+        )
+        result = allocator.run(paper_start)
+        assert result.iterations == 10_500
+        assert abs(result.allocation.sum() - 1.0) < 1e-12
+
+    def test_clamped_step_preserves_sum_and_nonnegativity(self, paper_problem):
+        allocator = DecentralizedAllocator(paper_problem, alpha=0.3)
+        x = np.array([0.5, 0.3, 0.2, 1e-13])
+        dx = np.array([1e-13, 1e-13, 0.0, -2e-13])  # lands node 3 below 0
+        new_x = allocator._apply(x, dx)
+        assert new_x.min() == 0.0
+        assert new_x.sum() == pytest.approx((x + dx).sum(), abs=1e-16)
+
+    def test_clamp_events_are_counted(self, paper_problem, paper_start):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        allocator = DecentralizedAllocator(
+            paper_problem,
+            alpha=0.3,
+            active_set=TinyUndershootStep(),
+            termination=GradientSpreadCriterion(1e-30),
+            max_iterations=50,
+            registry=registry,
+        )
+        allocator.run(paper_start)
+        assert registry.counters["allocator.clamp_events"] == 50
+        assert registry.counters["allocator.clamped_mass"] > 0.0
+
+
+class _LinearStep(StepSizePolicy):
+    """alpha grows with the iteration index — makes 'last applied' and
+    'prospective' alphas distinguishable in the trace."""
+
+    def __init__(self, base=1e-4):
+        self.base = base
+
+    def alpha(self, iteration, x, utility_gradient, problem):
+        return self.base * (iteration + 1)
+
+
+class TestRunEdgePaths:
+    def test_convergence_at_iteration_zero(self, paper_problem):
+        result = DecentralizedAllocator(paper_problem, alpha=0.3).run(
+            uniform_allocation(4)
+        )
+        assert result.converged
+        assert result.iterations == 0
+        assert len(result.trace) == 1
+        record = result.trace[0]
+        assert np.isnan(record.alpha)
+        np.testing.assert_array_equal(record.allocation, uniform_allocation(4))
+        assert record.cost == pytest.approx(paper_problem.cost(uniform_allocation(4)))
+
+    def test_budget_exhaustion_records_last_applied_alpha(
+        self, paper_problem, paper_start
+    ):
+        budget = 7
+        result = DecentralizedAllocator(
+            paper_problem,
+            alpha=_LinearStep(1e-4),
+            epsilon=1e-12,
+            max_iterations=budget,
+        ).run(paper_start)
+        assert not result.converged
+        assert result.iterations == budget
+        alphas = result.trace.alphas()
+        # Record i applied the alpha computed at iterate i-1.
+        np.testing.assert_allclose(alphas[1:], 1e-4 * np.arange(1, budget + 1))
+        # The final record holds the last *applied* alpha, not the
+        # prospective one the exhausted budget never used.
+        assert result.trace[-1].alpha == pytest.approx(1e-4 * budget)
+        assert result.trace[-1].alpha != pytest.approx(1e-4 * (budget + 1))
+
+
+class TestSolveThreading:
+    """solve() must expose the full allocator surface — it used to drop
+    active_set / validate / callback / raise_on_failure on the floor."""
+
+    def test_raise_on_failure_threads_through(self, paper_problem, paper_start):
+        with pytest.raises(ConvergenceError):
+            solve(
+                paper_problem,
+                alpha=0.001,
+                epsilon=1e-9,
+                initial_allocation=paper_start,
+                max_iterations=5,
+                raise_on_failure=True,
+            )
+
+    def test_callback_threads_through(self, paper_problem, paper_start):
+        seen = []
+        result = solve(
+            paper_problem,
+            alpha=0.3,
+            initial_allocation=paper_start,
+            callback=seen.append,
+        )
+        assert len(seen) == len(result.trace)
+
+    def test_active_set_threads_through(self, paper_problem, paper_start):
+        with pytest.raises(ValueError):
+            solve(paper_problem, active_set="no-such-policy")
+        result = solve(
+            paper_problem,
+            alpha=0.3,
+            initial_allocation=paper_start,
+            active_set="unconstrained",
+            validate=False,
+        )
+        assert result.converged
+
+    def test_termination_and_memory_policy_thread_through(
+        self, paper_problem, paper_start
+    ):
+        result = solve(
+            paper_problem,
+            alpha=0.08,
+            initial_allocation=paper_start,
+            termination=CostDeltaCriterion(tolerance=1e-6),
+            keep_allocations="last",
+        )
+        assert result.converged
+        np.testing.assert_array_equal(
+            result.trace.retained_iterations(), [result.iterations]
+        )
+
+    def test_registry_threads_through(self, paper_problem, paper_start):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        result = solve(
+            paper_problem, alpha=0.3, initial_allocation=paper_start, registry=registry
+        )
+        assert registry.counters["allocator.iterations"] == result.iterations
 
 
 class TestCallback:

@@ -13,7 +13,7 @@ from repro.baselines import (
 from repro.core.kkt import check_kkt, optimal_allocation, optimal_cost
 from repro.core.model import FileAllocationProblem
 from repro.core.multifile import MultiFileProblem
-from repro.exceptions import ConfigurationError, StabilityError
+from repro.exceptions import ConfigurationError
 
 
 class TestClosedFormOptimum:

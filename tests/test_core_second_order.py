@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.algorithm import DecentralizedAllocator
-from repro.core.initials import paper_skewed_allocation, uniform_allocation
+from repro.core.initials import uniform_allocation
 from repro.core.kkt import optimal_cost
 from repro.core.model import FileAllocationProblem
 from repro.core.second_order import SecondOrderAllocator

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.algorithm import DecentralizedAllocator
-from repro.core.initials import paper_skewed_allocation
 from repro.core.stepsize import (
     BacktrackingLineSearch,
     DecayOnOscillation,

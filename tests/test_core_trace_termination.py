@@ -74,6 +74,74 @@ class TestTrace:
         assert float(lines[1].split(",")[1]) == 1.0
 
 
+class TestTraceMemoryPolicy:
+    """The keep_allocations knob: bounded memory on long runs."""
+
+    def _long_trace(self, mode, n_records=501, sample_every=100, n=8):
+        trace = Trace(keep_allocations=mode, sample_every=sample_every)
+        for i in range(n_records):
+            trace.append(_record(i, float(n_records - i), x=np.full(n, 1.0 / n)))
+        return trace
+
+    def test_all_keeps_everything(self):
+        trace = self._long_trace("all")
+        assert all(r.allocation is not None for r in trace.records)
+        assert trace.allocations().shape == (501, 8)
+        assert trace.peak_allocation_bytes == 501 * 8 * 8
+
+    def test_sampled_keeps_grid_and_last(self):
+        trace = self._long_trace("sampled")
+        kept = trace.retained_iterations()
+        np.testing.assert_array_equal(kept, [0, 100, 200, 300, 400, 500])
+        assert trace.allocations().shape == (6, 8)
+        # Peak memory is bounded: grid points plus the sliding last record.
+        assert trace.peak_allocation_bytes <= 7 * 8 * 8
+
+    def test_last_keeps_only_most_recent(self):
+        trace = self._long_trace("last")
+        kept = trace.retained_iterations()
+        np.testing.assert_array_equal(kept, [500])
+        assert trace.final_allocation() is not None
+        assert trace.peak_allocation_bytes <= 2 * 8 * 8
+
+    def test_scalar_series_survive_stripping(self):
+        trace = self._long_trace("last")
+        assert len(trace.costs()) == 501
+        assert trace.is_monotone()
+        assert trace.iterations == 500
+
+    def test_last_record_always_retains_allocation(self):
+        trace = Trace(keep_allocations="sampled", sample_every=100)
+        for i in range(7):  # never reaches a sample point past 0
+            trace.append(_record(i, 1.0))
+            assert trace.records[-1].allocation is not None
+
+    def test_to_csv_handles_stripped_rows(self):
+        trace = self._long_trace("last", n_records=3, n=2)
+        lines = trace.to_csv().strip().splitlines()
+        assert len(lines) == 4
+        assert lines[1].endswith(",,")  # stripped row: empty x-cells
+        assert lines[-1].count(",") == lines[0].count(",")
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            Trace(keep_allocations="everything")
+        with pytest.raises(ValueError):
+            Trace(keep_allocations="sampled", sample_every=0)
+
+    def test_allocator_threads_the_policy(self, paper_problem, paper_start):
+        full = DecentralizedAllocator(paper_problem, alpha=0.08).run(paper_start)
+        lean = DecentralizedAllocator(
+            paper_problem, alpha=0.08, keep_allocations="last"
+        ).run(paper_start)
+        # Identical math, leaner memory.
+        np.testing.assert_array_equal(full.allocation, lean.allocation)
+        assert lean.trace.peak_allocation_bytes < full.trace.peak_allocation_bytes
+        np.testing.assert_array_equal(
+            lean.trace.final_allocation(), full.trace.final_allocation()
+        )
+
+
 class TestGradientSpreadCriterion:
     def test_stops_when_spread_small(self):
         crit = GradientSpreadCriterion(epsilon=0.1)

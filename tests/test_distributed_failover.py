@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import DecentralizedAllocator, FileAllocationProblem, optimal_allocation
+from repro.core import FileAllocationProblem, optimal_allocation
 from repro.core.initials import single_node_allocation, uniform_allocation
 from repro.distributed import degraded_subproblem, run_with_failure
 from repro.exceptions import ConfigurationError

@@ -2,7 +2,6 @@
 agreement on randomly generated instances."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -14,7 +14,7 @@ from repro.core.initials import random_allocation
 from repro.core.model import FileAllocationProblem
 from repro.distributed import DistributedFapRuntime
 from repro.exceptions import ConfigurationError
-from repro.network.builders import complete_graph, ring_graph, star_graph
+from repro.network.builders import ring_graph, star_graph
 
 
 class TestProtocolEquivalence:

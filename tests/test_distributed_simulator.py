@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.active_set import ScaledStep
-from repro.core.model import FileAllocationProblem
 from repro.distributed.messages import MarginalReport
 from repro.distributed.node import NodeProcess
 from repro.distributed.simulator import Simulator

@@ -8,7 +8,6 @@ from repro.core.kkt import optimal_allocation
 from repro.core.model import FileAllocationProblem
 from repro.distributed import failure_impact, simulate_access_traffic
 from repro.exceptions import ConfigurationError
-from repro.network.builders import ring_graph
 
 
 class TestAccessTraffic:

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.model import FileAllocationProblem
 from repro.estimation import (
     AdaptiveAllocationLoop,
     crn_delay_derivative,

@@ -1,7 +1,6 @@
 """Gap-filler tests: exception hierarchy, message payloads, metrics
 merging, and small behaviours not covered elsewhere."""
 
-import numpy as np
 import pytest
 
 from repro import exceptions as exc

@@ -7,15 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.exceptions import InfeasibleAllocationError
-from repro.multicopy import (
-    MultiCopyAllocator,
-    MultiCopyRingProblem,
-    access_fractions,
-    cap_at_whole_copy,
-    node_intervals,
-    paper_figure8_rings,
-    paper_worked_example,
-)
+from repro.multicopy import MultiCopyAllocator, access_fractions, cap_at_whole_copy, node_intervals, paper_figure8_rings, paper_worked_example
 from repro.multicopy.fixtures import (
     WORKED_EXAMPLE_ARRIVAL,
     WORKED_EXAMPLE_COMM_COST,

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.exceptions import TopologyError
-from repro.network.builders import complete_graph, line_graph, random_graph, ring_graph, star_graph
+from repro.network.builders import line_graph, random_graph, ring_graph, star_graph
 from repro.network.routing import RoutingTable
 from repro.network.shortest_paths import (
     all_pairs_shortest_paths,

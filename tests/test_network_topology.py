@@ -1,6 +1,5 @@
 """Tests for Topology and the generators."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import TopologyError

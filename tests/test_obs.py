@@ -1,0 +1,316 @@
+"""Tests for the run-wide observability layer (repro.obs).
+
+The contract under test: a registry is strictly observational (bit-for-bit
+identical trajectories with or without one), and the metrics it collects
+match the ground truth the engines report through their result objects.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import DecentralizedAllocator
+from repro.core.model import FileAllocationProblem
+from repro.core.multifile import MultiFileAllocator, MultiFileProblem
+from repro.distributed import DistributedFapRuntime
+from repro.multicopy import MultiCopyAllocator
+from repro.multicopy.fixtures import paper_figure8_rings
+from repro.network.builders import ring_graph
+from repro.obs import (
+    HistogramStat,
+    JsonLinesSink,
+    MemorySink,
+    MetricsRegistry,
+    RunReport,
+    maybe_timer,
+    read_jsonl,
+)
+
+
+class TestHistogramStat:
+    def test_streaming_moments(self):
+        h = HistogramStat()
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.mean == pytest.approx(2.0)
+
+    def test_empty_histogram_is_nan_safe(self):
+        h = HistogramStat()
+        assert math.isnan(h.mean)
+        d = h.as_dict()
+        assert d["count"] == 0
+        assert math.isnan(d["min"]) and math.isnan(d["max"])
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        r = MetricsRegistry()
+        r.counter_inc("a")
+        r.counter_inc("a")
+        r.counter_inc("b", 2.5)
+        assert r.counters == {"a": 2.0, "b": 2.5}
+
+    def test_gauges_set_and_max(self):
+        r = MetricsRegistry()
+        r.gauge_set("g", 5.0)
+        r.gauge_set("g", 3.0)
+        assert r.gauges["g"] == 3.0
+        r.gauge_max("peak", 10.0)
+        r.gauge_max("peak", 7.0)
+        assert r.gauges["peak"] == 10.0
+
+    def test_timer_uses_injected_clock(self):
+        ticks = iter([10.0, 12.5])
+        r = MetricsRegistry(clock=lambda: next(ticks))
+        with r.timer("block_seconds"):
+            pass
+        h = r.histograms["block_seconds"]
+        assert h.count == 1
+        assert h.total == pytest.approx(2.5)
+
+    def test_events_count_even_without_sinks(self):
+        r = MetricsRegistry()
+        r.event("iteration", i=0)
+        r.event("iteration", i=1)
+        assert r.counters["events.iteration"] == 2
+        assert not r.has_sinks
+
+    def test_events_fan_out_to_sinks_with_sequence(self):
+        r = MetricsRegistry()
+        a, b = MemorySink(), MemorySink()
+        r.add_sink(a)
+        r.add_sink(b)
+        r.event("tick", value=1)
+        r.event("tock", value=2)
+        assert [e["event"] for e in a.events] == ["tick", "tock"]
+        assert [e["seq"] for e in a.events] == [1, 2]
+        assert a.events == b.events
+        assert b.of_type("tock") == [{"event": "tock", "seq": 2, "value": 2}]
+
+    def test_snapshot_is_json_serializable(self):
+        r = MetricsRegistry()
+        r.counter_inc("c")
+        r.gauge_set("g", 1.5)
+        r.observe("h", 2.0)
+        text = json.dumps(r.snapshot())
+        assert json.loads(text)["counters"]["c"] == 1.0
+
+    def test_maybe_timer_is_noop_without_registry(self):
+        with maybe_timer(None, "anything"):
+            pass  # must not raise, must not require a registry
+
+
+class TestJsonLinesSink:
+    def test_round_trip_through_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonLinesSink(path) as sink:
+            sink.emit({"event": "a", "x": np.float64(1.5)})
+            sink.emit({"event": "b", "v": np.array([1.0, 2.0])})
+        assert sink.emitted == 2
+        events = read_jsonl(path)
+        assert events == [
+            {"event": "a", "x": 1.5},
+            {"event": "b", "v": [1.0, 2.0]},
+        ]
+
+    def test_borrowed_stream_is_not_closed(self, tmp_path):
+        import io
+
+        stream = io.StringIO()
+        sink = JsonLinesSink(stream)
+        sink.emit({"event": "a"})
+        sink.close()
+        assert not stream.closed  # borrowed, never closed
+        assert stream.getvalue().strip() == '{"event": "a"}'
+
+    def test_rejects_bad_flush_every(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonLinesSink(tmp_path / "x.jsonl", flush_every=0)
+
+
+class TestAllocatorInstrumentation:
+    def test_registry_is_purely_observational(self, paper_problem, paper_start):
+        bare = DecentralizedAllocator(paper_problem, alpha=0.3).run(paper_start)
+        registry = MetricsRegistry()
+        registry.add_sink(MemorySink())
+        observed = DecentralizedAllocator(
+            paper_problem, alpha=0.3, registry=registry
+        ).run(paper_start)
+        # Bit-for-bit: the registry must not perturb the trajectory.
+        np.testing.assert_array_equal(bare.allocation, observed.allocation)
+        assert bare.cost == observed.cost
+        assert bare.iterations == observed.iterations
+        for r_bare, r_obs in zip(bare.trace.records, observed.trace.records):
+            np.testing.assert_array_equal(r_bare.allocation, r_obs.allocation)
+
+    def test_report_matches_result_ground_truth(self, paper_problem, paper_start):
+        registry = MetricsRegistry()
+        result = DecentralizedAllocator(
+            paper_problem, alpha=0.3, registry=registry
+        ).run(paper_start)
+        report = RunReport.from_registry(registry)
+        assert report.iterations == result.iterations
+        assert report.final_cost == pytest.approx(result.cost)
+        assert report.converged == result.converged
+        # One gradient eval per record (initial + each step).
+        assert report.gradient_evaluations == result.iterations + 1
+        assert report.monotonicity_violations == result.trace.monotonicity_violations()
+        assert report.trace_peak_bytes == result.trace.peak_allocation_bytes
+        assert registry.histograms["allocator.run_seconds"].count == 1
+
+    def test_iteration_events_stream_to_sink(self, paper_problem, paper_start):
+        registry = MetricsRegistry()
+        sink = MemorySink()
+        registry.add_sink(sink)
+        result = DecentralizedAllocator(
+            paper_problem, alpha=0.3, registry=registry
+        ).run(paper_start)
+        iteration_events = sink.of_type("iteration")
+        assert len(iteration_events) == result.iterations + 1
+        assert [e["i"] for e in iteration_events] == list(
+            range(result.iterations + 1)
+        )
+        assert iteration_events[-1]["cost"] == pytest.approx(result.cost)
+        assert "alpha" not in iteration_events[0]  # no step reached iterate 0
+        done = sink.of_type("run_complete")
+        assert len(done) == 1
+        assert done[0]["iterations"] == result.iterations
+
+    def test_alpha_histogram_tracks_applied_steps(self, paper_problem, paper_start):
+        registry = MetricsRegistry()
+        result = DecentralizedAllocator(
+            paper_problem, alpha=0.42, registry=registry
+        ).run(paper_start)
+        h = registry.histograms["allocator.alpha"]
+        assert h.count == result.iterations
+        assert h.min == h.max == pytest.approx(0.42)
+
+
+class TestDistributedInstrumentation:
+    def _problem(self):
+        return FileAllocationProblem.from_topology(
+            ring_graph(6), np.full(6, 1 / 6), mu=1.5
+        )
+
+    @pytest.mark.parametrize("protocol", ["broadcast", "central", "flooding"])
+    def test_message_tallies_match_stats(self, protocol):
+        registry = MetricsRegistry()
+        x0 = np.zeros(6)
+        x0[0] = 1.0
+        run = DistributedFapRuntime(
+            self._problem(), protocol=protocol, alpha=0.4, epsilon=1e-3,
+            registry=registry,
+        ).run(x0)
+        report = RunReport.from_registry(registry)
+        assert report.messages == run.stats.messages
+        assert report.message_hops == run.stats.hops
+        assert report.message_bytes == run.stats.payload_bytes
+        # Live per-message counters agree with the folded-in stats.
+        assert registry.counters["protocol.messages"] == run.stats.messages
+        assert registry.gauges["distributed.rounds"] == run.iterations
+        assert registry.gauges["distributed.converged"] == float(run.converged)
+
+    def test_registry_does_not_change_distributed_outcome(self):
+        x0 = np.zeros(6)
+        x0[0] = 1.0
+        bare = DistributedFapRuntime(
+            self._problem(), protocol="broadcast", alpha=0.4, epsilon=1e-3
+        ).run(x0)
+        registry = MetricsRegistry()
+        observed = DistributedFapRuntime(
+            self._problem(), protocol="broadcast", alpha=0.4, epsilon=1e-3,
+            registry=registry,
+        ).run(x0)
+        np.testing.assert_array_equal(bare.allocation, observed.allocation)
+        assert bare.stats.messages == observed.stats.messages
+
+    def test_round_events_stream(self):
+        registry = MetricsRegistry()
+        sink = MemorySink()
+        registry.add_sink(sink)
+        x0 = np.zeros(6)
+        x0[0] = 1.0
+        run = DistributedFapRuntime(
+            self._problem(), protocol="broadcast", alpha=0.4, epsilon=1e-3,
+            registry=registry,
+        ).run(x0)
+        rounds = sink.of_type("round")
+        assert rounds  # at least one round completed
+        assert rounds[-1]["round"] == run.iterations
+
+
+class TestMultiEngineInstrumentation:
+    def test_multifile_counters_and_gauges(self):
+        costs = 1.0 - np.eye(3)
+        rates = np.array([[0.5, 0.2, 0.1], [0.1, 0.2, 0.5]])
+        problem = MultiFileProblem(costs, rates, k=1.0, mu=4.0)
+        registry = MetricsRegistry()
+        result = MultiFileAllocator(
+            problem, alpha=0.2, epsilon=1e-6, registry=registry
+        ).run(np.full((2, 3), 1 / 3))
+        assert registry.counters["multifile.iterations"] == result.iterations
+        assert registry.gauges["multifile.final_cost"] == pytest.approx(result.cost)
+        assert registry.gauges["multifile.converged"] == float(result.converged)
+        assert registry.gauges["multifile.files"] == 2.0
+
+    def test_multicopy_counters_and_gauges(self):
+        comm, _ = paper_figure8_rings(mu=6.0)
+        x0 = np.array([1.2, 0.3, 0.3, 0.2])
+        registry = MetricsRegistry()
+        result = MultiCopyAllocator(
+            comm, alpha=0.2, decay=0.5, patience=4, max_iterations=400,
+            registry=registry,
+        ).run(x0)
+        assert registry.counters["multicopy.iterations"] == result.iterations
+        assert registry.gauges["multicopy.best_cost"] == pytest.approx(result.cost)
+        assert registry.gauges["multicopy.final_cost"] == pytest.approx(
+            result.last_cost
+        )
+        # This configuration decays alpha (asserted in test_multicopy.py);
+        # the registry must have seen those decays.
+        assert registry.counters.get("multicopy.alpha_decays", 0) >= 1
+
+    def test_multicopy_registry_is_observational(self):
+        comm, _ = paper_figure8_rings(mu=6.0)
+        x0 = np.array([1.2, 0.3, 0.3, 0.2])
+        bare = MultiCopyAllocator(comm, alpha=0.1, max_iterations=200).run(x0)
+        observed = MultiCopyAllocator(
+            comm, alpha=0.1, max_iterations=200, registry=MetricsRegistry()
+        ).run(x0)
+        np.testing.assert_array_equal(bare.allocation, observed.allocation)
+        assert bare.cost_history == observed.cost_history
+
+
+class TestRunReport:
+    def test_json_round_trip(self, paper_problem, paper_start):
+        registry = MetricsRegistry()
+        DecentralizedAllocator(paper_problem, alpha=0.3, registry=registry).run(
+            paper_start
+        )
+        report = RunReport.from_registry(registry, name="paper-run")
+        loaded = json.loads(report.to_json())
+        assert loaded["name"] == "paper-run"
+        assert loaded["counters"] == report.counters
+
+    def test_summary_mentions_every_metric(self):
+        registry = MetricsRegistry()
+        registry.counter_inc("widget.count", 3)
+        registry.gauge_set("widget.level", 0.5)
+        registry.observe("widget.size", 2.0)
+        text = RunReport.from_registry(registry).summary()
+        assert "widget.count" in text
+        assert "widget.level" in text
+        assert "widget.size" in text
+
+    def test_empty_report_defaults(self):
+        report = RunReport.from_registry(MetricsRegistry())
+        assert report.iterations == 0
+        assert report.messages == 0
+        assert math.isnan(report.final_cost)
+        assert report.converged is None

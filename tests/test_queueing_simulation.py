@@ -5,7 +5,6 @@ Lindley-recurrence simulator must agree with the analytic M/M/1 and M/G/1
 sojourn times within a few standard errors.
 """
 
-import numpy as np
 import pytest
 
 from repro.exceptions import ConfigurationError
