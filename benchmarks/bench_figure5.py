@@ -15,7 +15,9 @@ ALPHAS = np.round(np.linspace(0.04, 0.9, 15), 3)
 
 
 def _run():
-    return figure5(alphas=ALPHAS, max_iterations=2_000)
+    # The batched engine runs the whole alpha grid in one lockstep pass;
+    # counts are bit-identical to engine="serial" (tests/test_parallel.py).
+    return figure5(alphas=ALPHAS, max_iterations=2_000, engine="batched")
 
 
 def test_figure5_alpha_sweep(benchmark):

@@ -17,7 +17,9 @@ ALPHA_GRID = np.round(np.linspace(0.1, 0.9, 9), 2)
 
 
 def _run():
-    return figure6(sizes=SIZES, alpha_grid=ALPHA_GRID)
+    # Each N's alpha grid runs as one lockstep batch; counts match
+    # engine="serial" bit-for-bit (tests/test_parallel.py).
+    return figure6(sizes=SIZES, alpha_grid=ALPHA_GRID, engine="batched")
 
 
 def test_figure6_scaling_in_n(benchmark):

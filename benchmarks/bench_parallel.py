@@ -1,0 +1,183 @@
+"""Benchmark the three sweep engines: serial loop vs batched kernel vs pool.
+
+Workload: B independent size-N instances (unit-cost complete graphs, k
+varied per instance), solved from the paper's skewed start with the same
+solver settings on every engine.  Each engine's result is checked for
+parity against the serial loop before its time is trusted — a fast wrong
+engine is worthless.
+
+Run standalone (not under pytest, unlike the figure benches — this one
+measures the harness itself, not a paper figure):
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py            # full grid
+    PYTHONPATH=src python benchmarks/bench_parallel.py --smoke    # CI-sized
+
+The full grid (N in {10, 50} x B in {16, 256}) writes
+``benchmarks/BENCH_parallel.json``; the checked-in copy records the
+reference machine's speedups (docs/PERFORMANCE.md reads them).  ``--smoke``
+shrinks the grid to one cell (N=10, B=8) and does *not* overwrite the
+checked-in JSON unless ``--out`` is given explicitly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.algorithm import DecentralizedAllocator
+from repro.core.initials import paper_skewed_allocation
+from repro.core.model import FileAllocationProblem
+from repro.parallel import BatchedAllocator, BatchedProblem, sweep_parallel
+
+ALPHA = 0.3
+EPSILON = 1e-4
+MU = 1.5
+MAX_ITERATIONS = 5_000
+DEFAULT_OUT = Path(__file__).resolve().parent / "BENCH_parallel.json"
+
+FULL_GRID = [(10, 16), (10, 256), (50, 16), (50, 256)]
+SMOKE_GRID = [(10, 8)]
+
+
+class _Factory:
+    """Picklable problem factory: k varies across the batch, N is fixed.
+
+    Builds the unit-cost complete-graph instance directly from its cost
+    matrix (identical to ``from_topology(complete_graph(n), ...)`` but
+    without the shortest-path preprocessing, which would otherwise dominate
+    the pooled engine's per-worker construction time and muddy the
+    comparison of the *solvers*)."""
+
+    def __init__(self, n: int):
+        self.n = n
+
+    def __call__(self, k: float) -> FileAllocationProblem:
+        rates = np.full(self.n, 1.0 / self.n)
+        return FileAllocationProblem(
+            1.0 - np.eye(self.n), rates, k=float(k), mu=MU
+        )
+
+
+def _measure(problem, result):
+    return {"cost": result.cost, "iterations": result.iterations}
+
+
+def _grid_values(batch: int) -> list:
+    return [float(k) for k in np.linspace(0.5, 2.5, batch)]
+
+
+def _time(fn, *, repeats: int):
+    best, out = np.inf, None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, out
+
+
+def bench_cell(n: int, batch: int, *, repeats: int, jobs: int) -> dict:
+    values = _grid_values(batch)
+    factory = _Factory(n)
+    problems = [factory(k) for k in values]
+    x0 = paper_skewed_allocation(n)
+
+    def run_serial():
+        return [
+            DecentralizedAllocator(
+                p, alpha=ALPHA, epsilon=EPSILON, max_iterations=MAX_ITERATIONS
+            ).run(x0)
+            for p in problems
+        ]
+
+    def run_batched():
+        return BatchedAllocator(
+            BatchedProblem.from_problems(problems),
+            alpha=ALPHA,
+            epsilon=EPSILON,
+            max_iterations=MAX_ITERATIONS,
+        ).run(np.tile(x0, (batch, 1)))
+
+    def run_pooled():
+        return sweep_parallel(
+            "k", values, factory, measure=_measure,
+            initial_allocation=x0, alpha=ALPHA, epsilon=EPSILON,
+            max_iterations=MAX_ITERATIONS, max_workers=jobs,
+        )
+
+    serial_s, serial = _time(run_serial, repeats=repeats)
+    batched_s, batched = _time(run_batched, repeats=repeats)
+    pooled_s, pooled = _time(run_pooled, repeats=1)  # pool spin-up dominates
+
+    # Parity gate: a fast wrong engine is worthless.
+    for r, s in enumerate(serial):
+        assert int(batched.iterations[r]) == s.iterations, (n, batch, r)
+        assert np.array_equal(batched.allocations[r], s.allocation), (n, batch, r)
+        assert pooled.measurements[r]["cost"] == s.cost, (n, batch, r)
+
+    return {
+        "n": n,
+        "batch": batch,
+        "iterations_max": int(batched.iterations.max()),
+        "serial_seconds": serial_s,
+        "batched_seconds": batched_s,
+        "pooled_seconds": pooled_s,
+        "speedup_batched": serial_s / batched_s,
+        "speedup_pooled": serial_s / pooled_s,
+        "parity": True,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="one small cell (N=10, B=8), no JSON unless --out is given",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help=f"output JSON path (full mode default: {DEFAULT_OUT.name})",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="pool size for the pooled engine"
+    )
+    args = parser.parse_args(argv)
+
+    grid = SMOKE_GRID if args.smoke else FULL_GRID
+    repeats = 1 if args.smoke else 3
+    jobs = args.jobs or os.cpu_count() or 1
+    rows = []
+    print(f"{'N':>4} {'B':>5} {'serial':>10} {'batched':>10} {'pooled':>10} "
+          f"{'x batched':>10} {'x pooled':>9}")
+    for n, batch in grid:
+        cell = bench_cell(n, batch, repeats=repeats, jobs=jobs)
+        rows.append(cell)
+        print(f"{n:>4} {batch:>5} {cell['serial_seconds']:>9.4f}s "
+              f"{cell['batched_seconds']:>9.4f}s {cell['pooled_seconds']:>9.4f}s "
+              f"{cell['speedup_batched']:>9.2f}x {cell['speedup_pooled']:>8.2f}x")
+
+    out = args.out
+    if out is None and not args.smoke:
+        out = str(DEFAULT_OUT)
+    if out is not None:
+        payload = {
+            "config": {
+                "alpha": ALPHA, "epsilon": EPSILON, "mu": MU,
+                "start": "skewed", "topology": "complete",
+                "k_grid": "linspace(0.5, 2.5, B)",
+                "pool_jobs": jobs, "cpu_count": os.cpu_count(),
+                "smoke": args.smoke,
+            },
+            "results": rows,
+        }
+        Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

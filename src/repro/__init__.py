@@ -38,11 +38,14 @@ from repro.core import (
 )
 from repro.network import Topology, VirtualRing, complete_graph, ring_graph
 from repro.obs import JsonLinesSink, MemorySink, MetricsRegistry, RunReport
+from repro.parallel import BatchedAllocator, BatchedProblem, sweep_parallel
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AllocationResult",
+    "BatchedAllocator",
+    "BatchedProblem",
     "DecentralizedAllocator",
     "FileAllocationProblem",
     "JsonLinesSink",
@@ -61,5 +64,6 @@ __all__ = [
     "optimal_cost",
     "ring_graph",
     "solve",
+    "sweep_parallel",
     "theorem2_alpha_bound",
 ]

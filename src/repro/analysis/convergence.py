@@ -60,6 +60,7 @@ def sweep_alpha_iterations(
     *,
     epsilon: float = 1e-3,
     max_iterations: int = 5_000,
+    engine: str = "serial",
 ) -> Tuple[Dict[float, int], float]:
     """Run the allocator for every alpha; return ``(counts, best_alpha)``.
 
@@ -67,13 +68,35 @@ def sweep_alpha_iterations(
     a run did not converge — figure 5 plots those as the blow-up branch).
     ``best_alpha`` minimizes the count, ties toward the smaller alpha (the
     more conservative choice).
+
+    ``engine="batched"`` solves the whole grid in one lockstep
+    :class:`~repro.parallel.BatchedAllocator` run (one row per alpha) —
+    bit-for-bit the same counts, one vectorized pass instead of
+    ``len(alphas)`` serial runs.  Requires plain M/M/1 delay at every node.
     """
+    alphas = [float(a) for a in alphas]
     counts: Dict[float, int] = {}
-    for alpha in alphas:
-        allocator = DecentralizedAllocator(
-            problem, alpha=float(alpha), epsilon=epsilon, max_iterations=max_iterations
+    if engine == "batched":
+        from repro.parallel import BatchedAllocator, BatchedProblem
+
+        batch = BatchedProblem.replicate(problem, len(alphas))
+        allocator = BatchedAllocator(
+            batch, alpha=alphas, epsilon=epsilon, max_iterations=max_iterations
         )
-        result = allocator.run(initial_allocation)
-        counts[float(alpha)] = result.iterations if result.converged else max_iterations
+        x0 = np.tile(np.asarray(initial_allocation, dtype=float), (len(alphas), 1))
+        result = allocator.run(x0)
+        for row, alpha in enumerate(alphas):
+            counts[alpha] = (
+                int(result.iterations[row]) if result.converged[row] else max_iterations
+            )
+    elif engine == "serial":
+        for alpha in alphas:
+            allocator = DecentralizedAllocator(
+                problem, alpha=alpha, epsilon=epsilon, max_iterations=max_iterations
+            )
+            result = allocator.run(initial_allocation)
+            counts[alpha] = result.iterations if result.converged else max_iterations
+    else:
+        raise ValueError(f"unknown engine {engine!r} (expected 'serial' or 'batched')")
     best_alpha = min(sorted(counts), key=lambda a: (counts[a], a))
     return counts, best_alpha

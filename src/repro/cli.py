@@ -3,7 +3,11 @@
 ``repro-fap solve``    — solve a FAP instance on a standard topology;
 ``repro-fap trace``    — solve while streaming per-iteration JSON events;
 ``repro-fap figure``   — reproduce one of the paper's figures (3-6, 8, 9);
-``repro-fap figures``  — reproduce all of them and print the summary tables.
+``repro-fap figures``  — reproduce all of them and print the summary tables;
+``repro-fap sweep``    — sweep one parameter over a grid with a choice of
+engine (``serial`` / ``pooled`` process pool / ``batched`` lockstep) and
+optionally persist the :class:`~repro.experiments.sweeps.SweepResult` as
+JSON.
 
 Any solve can stream observability events to disk with
 ``--emit-metrics PATH`` (JSON lines, one event per iteration, plus a
@@ -106,6 +110,42 @@ def _build_parser() -> argparse.ArgumentParser:
         "--topology", choices=sorted(_TOPOLOGIES), default="ring", dest="family"
     )
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="sweep one parameter over a grid (serial, pooled, or batched engine)",
+    )
+    add_instance_options(sweep)
+    sweep.add_argument(
+        "--param", choices=["alpha", "k", "mu", "rate"], default="alpha",
+        help="which parameter the grid varies (the matching instance "
+             "option is ignored; alpha sweeps vary the stepsize itself)",
+    )
+    sweep.add_argument(
+        "--values", default=None, metavar="V1,V2,...",
+        help="explicit comma-separated grid",
+    )
+    sweep.add_argument(
+        "--grid", default=None, metavar="START:STOP:NUM",
+        help="evenly spaced grid (exactly one of --values/--grid)",
+    )
+    sweep.add_argument(
+        "--engine", choices=["serial", "pooled", "batched"], default="batched",
+        help="serial loop, process pool, or lockstep batched kernel "
+             "(all three return identical measurements)",
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=None,
+        help="pool size for --engine pooled (default: all cores)",
+    )
+    sweep.add_argument("--seed", type=int, default=0, help="root seed for task rngs")
+    sweep.add_argument(
+        "--max-iterations", type=int, default=10_000, help="per-run iteration cap"
+    )
+    sweep.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the SweepResult as JSON to PATH",
+    )
+
     copies = sub.add_parser(
         "copies", help="sweep the copy count m on a virtual ring (§8.2)"
     )
@@ -121,16 +161,137 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _initial_allocation(start: str, n: int) -> np.ndarray:
+    starts = {
+        "uniform": np.full(n, 1.0 / n),
+        "skewed": paper_skewed_allocation(n),
+        "single": single_node_allocation(n, 0),
+    }
+    return starts[start]
+
+
 def _build_instance(args: argparse.Namespace):
     topo = _TOPOLOGIES[args.topology](args.nodes)
     rates = np.full(args.nodes, args.rate / args.nodes)
     problem = FileAllocationProblem.from_topology(topo, rates, k=args.k, mu=args.mu)
-    starts = {
-        "uniform": np.full(args.nodes, 1.0 / args.nodes),
-        "skewed": paper_skewed_allocation(args.nodes),
-        "single": single_node_allocation(args.nodes, 0),
+    return problem, _initial_allocation(args.start, args.nodes)
+
+
+class _SweepFactory:
+    """Picklable problem factory for ``repro-fap sweep``: a fixed instance
+    spec whose swept slot (k / mu / rate) is filled per grid value.  For
+    alpha sweeps the problem is the same at every grid point."""
+
+    def __init__(self, param: str, nodes: int, topology: str, mu: float,
+                 rate: float, k: float):
+        self.param = param
+        self.nodes = nodes
+        self.topology = topology
+        self.mu = mu
+        self.rate = rate
+        self.k = k
+
+    def __call__(self, value):
+        spec = {"mu": self.mu, "rate": self.rate, "k": self.k}
+        if self.param in spec:
+            spec[self.param] = float(value)
+        topo = _TOPOLOGIES[self.topology](self.nodes)
+        rates = np.full(self.nodes, spec["rate"] / self.nodes)
+        return FileAllocationProblem.from_topology(
+            topo, rates, k=spec["k"], mu=spec["mu"]
+        )
+
+
+def _sweep_measure(problem, result):
+    """Picklable per-grid-point measure for ``repro-fap sweep``."""
+    return {
+        "cost": float(result.cost),
+        "iterations": int(result.iterations),
+        "converged": bool(result.converged),
     }
-    return problem, starts[args.start]
+
+
+def _parse_sweep_grid(args: argparse.Namespace) -> List[float]:
+    if (args.values is None) == (args.grid is None):
+        raise SystemExit("sweep: give exactly one of --values or --grid")
+    if args.values is not None:
+        try:
+            return [float(v) for v in args.values.split(",") if v.strip()]
+        except ValueError:
+            raise SystemExit(f"sweep: bad --values {args.values!r}")
+    try:
+        start, stop, num = args.grid.split(":")
+        return [float(v) for v in np.linspace(float(start), float(stop), int(num))]
+    except ValueError:
+        raise SystemExit(f"sweep: bad --grid {args.grid!r} (expected START:STOP:NUM)")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweeps import SweepResult, parameter_sweep, sweep_parallel
+
+    values = _parse_sweep_grid(args)
+    factory = _SweepFactory(
+        args.param, args.nodes, args.topology, args.mu, args.rate, args.k
+    )
+    x0 = _initial_allocation(args.start, args.nodes)
+    # None → each task's own value is the stepsize (alpha is a solver
+    # parameter, so it can't ride the problem factory).
+    alpha = None if args.param == "alpha" else args.alpha
+    if args.engine == "batched":
+        from repro.parallel import BatchedAllocator, BatchedProblem
+
+        batch = BatchedProblem.from_problems([factory(v) for v in values])
+        row_alpha = [float(v) for v in values] if args.param == "alpha" else args.alpha
+        result = BatchedAllocator(
+            batch,
+            alpha=row_alpha,
+            epsilon=args.epsilon,
+            max_iterations=args.max_iterations,
+        ).run(np.tile(x0, (len(values), 1)))
+        sweep = SweepResult(
+            parameter=args.param,
+            values=[float(v) for v in values],
+            measurements=[
+                {
+                    "cost": float(result.costs[i]),
+                    "iterations": int(result.iterations[i]),
+                    "converged": bool(result.converged[i]),
+                }
+                for i in range(len(values))
+            ],
+        )
+    elif args.engine == "pooled":
+        sweep = sweep_parallel(
+            args.param, values, factory,
+            measure=_sweep_measure,
+            initial_allocation=x0,
+            alpha=alpha,
+            epsilon=args.epsilon,
+            max_iterations=args.max_iterations,
+            seed=args.seed,
+            max_workers=args.jobs,
+        )
+    else:
+        sweep = parameter_sweep(
+            args.param, values, factory,
+            measure=_sweep_measure,
+            initial_allocation=x0,
+            alpha=alpha,
+            epsilon=args.epsilon,
+            max_iterations=args.max_iterations,
+            seed=args.seed,
+        )
+    print(
+        format_table(
+            sweep.headers(), sweep.rows(),
+            title=f"sweep over {args.param} ({args.engine} engine, {len(values)} points)",
+        )
+    )
+    if args.out is not None:
+        with open(args.out, "w") as fh:
+            fh.write(sweep.to_json() + "\n")
+        print(f"wrote {args.out}")
+    return 0
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
@@ -228,6 +389,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             _print_figure(number)
             print()
         return 0
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "report":
         from repro.experiments.report import generate_report
 

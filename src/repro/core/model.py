@@ -235,6 +235,28 @@ class FileAllocationProblem:
         lam = self.total_rate
         return self.k * (2.0 * lam * dt + arr * lam * lam * d2t)
 
+    # -- batched view (lockstep evaluation over many instances) ------------------
+
+    def mm1_service_rates(self) -> np.ndarray:
+        """Per-node service rates when every delay model is the plain
+        analytic :class:`~repro.queueing.mm1.MM1Delay` — the contract the
+        batched ``(B, N)`` kernel in :mod:`repro.parallel` relies on.
+
+        The batched path evaluates ``T = 1/(mu - a)`` and its derivatives
+        as closed-form array expressions, so it is only exact for the
+        unmodified M/M/1 model; any other (or subclassed) delay model must
+        go through the serial per-model dispatch.  Raises
+        :class:`~repro.exceptions.ConfigurationError` otherwise.
+        """
+        for i, model in enumerate(self.delay_models):
+            if type(model) is not MM1Delay:
+                raise ConfigurationError(
+                    f"node {i} uses {type(model).__name__}; batched evaluation "
+                    "requires plain MM1Delay at every node (use the serial "
+                    "DecentralizedAllocator for other delay models)"
+                )
+        return np.array([m.mu for m in self.delay_models], dtype=float)
+
     # -- per-node view (what a *node* can compute locally) ----------------------
 
     def node_marginal_utility(self, node: int, x_i: float) -> float:

@@ -23,7 +23,7 @@ from repro.experiments.figures import (
     figure8,
     figure9,
 )
-from repro.experiments.sweeps import SweepResult, parameter_sweep
+from repro.experiments.sweeps import SweepResult, parameter_sweep, sweep_parallel
 
 __all__ = [
     "Figure3Result",
@@ -41,4 +41,5 @@ __all__ = [
     "figure8",
     "figure9",
     "parameter_sweep",
+    "sweep_parallel",
 ]

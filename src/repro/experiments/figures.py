@@ -185,14 +185,20 @@ def figure5(
     *,
     epsilon: float = PAPER_EPSILON,
     max_iterations: int = 3_000,
+    engine: str = "serial",
 ) -> Figure5Result:
-    """Sweep alpha on the paper ring from the skewed start."""
+    """Sweep alpha on the paper ring from the skewed start.
+
+    ``engine="batched"`` runs the whole alpha grid as one lockstep
+    :class:`~repro.parallel.BatchedAllocator` batch — identical counts,
+    one vectorized pass.
+    """
     if alphas is None:
         alphas = np.round(np.linspace(0.02, 0.9, 23), 3)
     problem = _paper_problem()
     x0 = paper_skewed_allocation(problem.n)
     counts, best_alpha = sweep_alpha_iterations(
-        problem, x0, alphas, epsilon=epsilon, max_iterations=max_iterations
+        problem, x0, alphas, epsilon=epsilon, max_iterations=max_iterations, engine=engine
     )
     return Figure5Result(counts=counts, best_alpha=best_alpha, max_iterations=max_iterations)
 
@@ -232,8 +238,13 @@ def figure6(
     epsilon: float = PAPER_EPSILON,
     alpha_grid: Optional[Sequence[float]] = None,
     max_iterations: int = 3_000,
+    engine: str = "serial",
 ) -> Figure6Result:
-    """For each N: unit-cost complete graph, skewed start, best alpha."""
+    """For each N: unit-cost complete graph, skewed start, best alpha.
+
+    ``engine="batched"`` batches each N's alpha grid into one lockstep
+    run (rows across N differ in size, so N itself stays a loop).
+    """
     if alpha_grid is None:
         alpha_grid = np.round(np.linspace(0.05, 0.95, 19), 3)
     iterations_by_n: Dict[int, int] = {}
@@ -246,7 +257,8 @@ def figure6(
         )
         x0 = paper_skewed_allocation(n)
         counts, best_alpha = sweep_alpha_iterations(
-            problem, x0, alpha_grid, epsilon=epsilon, max_iterations=max_iterations
+            problem, x0, alpha_grid, epsilon=epsilon, max_iterations=max_iterations,
+            engine=engine,
         )
         best_alpha_by_n[n] = best_alpha
         iterations_by_n[n] = counts[best_alpha]

@@ -4,15 +4,47 @@ Beyond the paper's own figures, the benchmark suite sweeps ``k`` (the §8
 "rationale for choosing k" question), ``mu``/``lambda`` load ratios, and
 network families.  :func:`parameter_sweep` is the shared engine: build a
 problem per grid point, solve it, collect whatever the caller measures.
+
+Both execution paths run the *same* per-task runner
+(:func:`repro.parallel.executor.solve_grid_point`):
+
+* :func:`parameter_sweep` — serial, in-process; accepts lambdas/closures;
+* :func:`repro.parallel.sweep_parallel` — the process-pool counterpart
+  (re-exported here) for multi-core machines; requires picklable
+  callables and adds deterministic per-task seeding, chunking, bounded
+  retry, and registry aggregation.
+
+Results round-trip through JSON (:meth:`SweepResult.to_json` /
+:meth:`SweepResult.from_json`) so the ``repro-fap sweep`` CLI can persist
+them and benchmarks can diff runs.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
-from repro.core.algorithm import AllocationResult, DecentralizedAllocator
+import numpy as np
+
 from repro.core.model import FileAllocationProblem
+from repro.obs.registry import MetricsRegistry
+from repro.parallel.executor import SweepExecutor, make_tasks, sweep_parallel
+
+__all__ = ["SweepResult", "parameter_sweep", "sweep_parallel"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars/arrays (common in measurements) to plain JSON."""
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
 
 
 @dataclass
@@ -41,36 +73,80 @@ class SweepResult:
             return [self.parameter]
         return [self.parameter] + sorted(self.measurements[0])
 
+    # -- persistence -----------------------------------------------------------
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        """Serialize as a JSON document (numpy scalars/arrays coerced).
+
+        The inverse of :meth:`from_json`; what ``repro-fap sweep --out``
+        writes and the benchmark suite diffs between runs.
+        """
+        payload = {
+            "parameter": self.parameter,
+            "values": [_jsonable(v) for v in self.values],
+            "measurements": [
+                {k: _jsonable(v) for k, v in m.items()} for m in self.measurements
+            ],
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResult":
+        """Rebuild a :class:`SweepResult` from :meth:`to_json` output."""
+        payload = json.loads(text)
+        if not isinstance(payload, dict) or "parameter" not in payload:
+            raise ValueError("not a serialized SweepResult document")
+        return cls(
+            parameter=str(payload["parameter"]),
+            values=list(payload.get("values", [])),
+            measurements=[dict(m) for m in payload.get("measurements", [])],
+        )
+
 
 def parameter_sweep(
     parameter: str,
     values: Iterable[Any],
     problem_factory: Callable[[Any], FileAllocationProblem],
     *,
-    measure: Callable[[FileAllocationProblem, AllocationResult], Dict[str, Any]],
+    measure: Callable[..., Dict[str, Any]],
     initial_allocation=None,
-    alpha: float = 0.3,
+    alpha: Optional[float] = 0.3,
     epsilon: float = 1e-4,
     max_iterations: int = 10_000,
+    seed: int = 0,
+    registry: Optional[MetricsRegistry] = None,
 ) -> SweepResult:
     """Solve the problem at each grid point and collect measurements.
+
+    Serial and in-process — lambdas and closures are fine.  For multi-core
+    execution of the same grid see :func:`repro.parallel.sweep_parallel`,
+    which returns identical measurements.
 
     Parameters
     ----------
     parameter, values:
         Name and grid of the swept quantity.
     problem_factory:
-        Maps a grid value to a problem instance.
+        Maps a grid value to a problem instance.  A factory accepting an
+        ``rng`` keyword receives a deterministic per-task generator
+        derived from ``seed`` and the grid index.
     measure:
         Maps ``(problem, result)`` to a dict of measurement columns.
+    registry:
+        Optional :class:`MetricsRegistry`; per-task solver metrics are
+        aggregated into it, same as the pooled path.
     """
-    sweep = SweepResult(parameter=parameter)
-    for value in values:
-        problem = problem_factory(value)
-        allocator = DecentralizedAllocator(
-            problem, alpha=alpha, epsilon=epsilon, max_iterations=max_iterations
-        )
-        result = allocator.run(initial_allocation)
-        sweep.values.append(value)
-        sweep.measurements.append(measure(problem, result))
-    return sweep
+    values = list(values)
+    # retries=0: a serial sweep's failures are deterministic — surface the
+    # original exception immediately rather than re-running the grid point.
+    executor = SweepExecutor(max_workers=0, retries=0, registry=registry)
+    measurements = executor.run(
+        make_tasks(values, seed=seed),
+        problem_factory,
+        measure,
+        initial_allocation=initial_allocation,
+        alpha=alpha,
+        epsilon=epsilon,
+        max_iterations=max_iterations,
+    )
+    return SweepResult(parameter=parameter, values=values, measurements=measurements)

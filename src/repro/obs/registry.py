@@ -54,6 +54,24 @@ class HistogramStat:
     def mean(self) -> float:
         return self.total / self.count if self.count else math.nan
 
+    def merge_dict(self, other: Dict[str, float]) -> None:
+        """Fold another histogram's ``as_dict()`` snapshot into this one.
+
+        Used to aggregate worker-process registries into the parent's —
+        count/sum add, min/max combine; the merged summary is exactly what
+        observing both sample streams into one histogram would have given.
+        """
+        count = int(other.get("count", 0))
+        if count <= 0:
+            return
+        self.count += count
+        self.total += float(other.get("sum", 0.0))
+        lo, hi = float(other.get("min", math.inf)), float(other.get("max", -math.inf))
+        if lo < self.min:
+            self.min = lo
+        if hi > self.max:
+            self.max = hi
+
     def as_dict(self) -> Dict[str, float]:
         return {
             "count": self.count,
@@ -150,6 +168,30 @@ class MetricsRegistry:
         payload = {"event": name, "seq": self._event_seq, **fields}
         for sink in self._sinks:
             sink.emit(payload)
+
+    # -- aggregation ---------------------------------------------------------
+
+    def merge_snapshot(self, snapshot: Dict[str, object]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The aggregation point for multi-process sweeps: each worker tallies
+        into its own registry, ships the plain-dict snapshot home, and the
+        parent merges.  Counters add, histograms combine their streaming
+        summaries, and gauges keep the *maximum* observed value — for every
+        gauge the engines publish (final cost, convergence flag, peak trace
+        bytes, active count) the max across workers is the conservative
+        run-wide reading.  Events are not replayed (they already hit the
+        worker's sinks, if any).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter_inc(name, float(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge_max(name, float(value))
+        for name, payload in snapshot.get("histograms", {}).items():
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = HistogramStat()
+            hist.merge_dict(payload)
 
     # -- export --------------------------------------------------------------
 

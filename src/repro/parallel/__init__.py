@@ -1,0 +1,58 @@
+"""repro.parallel — batched and pooled execution of many FAP instances.
+
+Two independent layers, one per axis of parallelism:
+
+* :class:`BatchedAllocator` — SIMD-style: B independent equal-size M/M/1
+  problems advance in lockstep as ``(B, N)`` NumPy arrays inside one
+  process.  Per-row results are bit-for-bit identical to the serial
+  :class:`~repro.core.algorithm.DecentralizedAllocator` (a property test
+  enforces it).  This is the fast path for sweeps of *small* problems,
+  where the serial engine's per-iteration Python overhead dominates.
+* :class:`SweepExecutor` / :func:`sweep_parallel` — process-pool: one
+  worker per grid point (chunked), with deterministic per-task seeding,
+  bounded retry on worker failure, and cross-worker
+  :class:`~repro.obs.registry.MetricsRegistry` aggregation.  This is the
+  path for *heterogeneous* or *large* grid points (different sizes,
+  non-M/M/1 delay models, expensive measures) and multi-core machines.
+
+docs/PERFORMANCE.md quantifies when each layer wins; the serial
+:func:`~repro.experiments.sweeps.parameter_sweep` now runs on the same
+per-task runner, so the three engines return identical measurements.
+
+Quick start::
+
+    from repro.parallel import BatchedAllocator, BatchedProblem
+
+    batch = BatchedProblem.replicate(problem, 256)     # one problem, 256 rows
+    result = BatchedAllocator(batch, alpha=0.3).run()  # lockstep solve
+    result.iterations                                  # (256,) per-row counts
+    result.row(0)                                      # a serial-shaped AllocationResult
+"""
+
+from repro.parallel.batched import (
+    BatchedAllocator,
+    BatchedProblem,
+    BatchedResult,
+    batched_scaled_step,
+)
+from repro.parallel.executor import (
+    SweepExecutionError,
+    SweepExecutor,
+    SweepTask,
+    make_tasks,
+    solve_grid_point,
+    sweep_parallel,
+)
+
+__all__ = [
+    "BatchedAllocator",
+    "BatchedProblem",
+    "BatchedResult",
+    "SweepExecutionError",
+    "SweepExecutor",
+    "SweepTask",
+    "batched_scaled_step",
+    "make_tasks",
+    "solve_grid_point",
+    "sweep_parallel",
+]

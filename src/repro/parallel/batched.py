@@ -1,0 +1,504 @@
+"""The vectorized batched kernel: B independent FAPs solved in lockstep.
+
+The Kurose–Simha iteration ``dx_i = alpha (dU/dx_i - avg_A)`` couples the
+nodes of one problem but never couples two *problems* — a parameter sweep
+is B completely independent trajectories.  :class:`BatchedAllocator`
+exploits that: it stores the whole batch as ``(B, N)`` arrays and performs
+every step of the §5.2 algorithm — gradient, active-set masking, stepsize
+bounding, termination — as row-wise array operations.  Converged rows
+freeze while the batch runs until every row has converged or the iteration
+budget is spent.
+
+**Bit-for-bit parity.**  The kernel is written so each row reproduces the
+serial :class:`~repro.core.algorithm.DecentralizedAllocator` exactly —
+same iterates, same active sets, same iteration counts — not merely to
+tolerance.  Three details make that work:
+
+* every per-row expression keeps the serial code's operation order
+  (IEEE-754 arithmetic is commutative but not associative);
+* row reductions (``sum``/``mean`` along ``axis=1``) use NumPy's pairwise
+  summation over the same element count as the serial 1-D reductions, so
+  the summation trees coincide;
+* masked means over a *partial* active set are computed per affected row
+  on the compacted ``g[mask]`` vector — exactly what the serial policy
+  does — because summing a zero-padded row would change the pairwise
+  grouping.  Partial masks are rare (they appear only while boundary
+  nodes are pinned), so this costs almost nothing.
+
+``tests/test_parallel.py`` asserts the parity property on seeded random
+problems, including active-set-shrinking trajectories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.algorithm import AllocationResult
+from repro.core.model import FileAllocationProblem
+from repro.core.stepsize import DynamicStep
+from repro.core.trace import IterationRecord, Trace
+from repro.exceptions import ConfigurationError, StabilityError
+from repro.obs.registry import MetricsRegistry, maybe_timer
+from repro.utils.validation import check_positive
+
+#: The serial ScaledStep's boundary tolerance, mirrored exactly.
+_ZERO_TOL = 1e-12
+
+
+class BatchedProblem:
+    """B equal-size M/M/1 FAP instances stacked into ``(B, N)`` arrays.
+
+    Build with :meth:`from_problems` (heterogeneous instances of one size)
+    or :meth:`replicate` (one instance repeated B times, e.g. to sweep the
+    stepsize).  Only the plain analytic M/M/1 delay model is supported —
+    the vectorized kernel evaluates ``T = 1/(mu - a)`` in closed form (see
+    :meth:`~repro.core.model.FileAllocationProblem.mm1_service_rates`).
+
+    Every evaluation method takes an ``(R, N)`` allocation block and a
+    matching ``rows`` selector (bool mask or index array over the batch),
+    so the allocator can evaluate only the still-live rows; row ``r`` of
+    the output is bit-identical to ``problems[r]``'s serial evaluation.
+    """
+
+    def __init__(self, problems: Sequence[FileAllocationProblem]):
+        problems = list(problems)
+        if not problems:
+            raise ConfigurationError("need at least one problem to batch")
+        n = problems[0].n
+        for p in problems:
+            if p.n != n:
+                raise ConfigurationError(
+                    f"all problems in a batch must have equal size; "
+                    f"got n={n} and n={p.n}"
+                )
+        self.problems: List[FileAllocationProblem] = problems
+        self.batch_size = len(problems)
+        self.n = n
+        #: ``(B, N)`` traffic-weighted access costs C_i per row.
+        self.access_cost = np.stack([p.access_cost for p in problems])
+        #: ``(B, N)`` per-node M/M/1 service rates.
+        self.mu = np.stack([p.mm1_service_rates() for p in problems])
+        #: ``(B, 1)`` delay/communication trade-off k per row.
+        self.k = np.array([[p.k] for p in problems], dtype=float)
+        #: ``(B, 1)`` total access rate lambda per row.
+        self.total_rate = np.array([[p.total_rate] for p in problems], dtype=float)
+
+    @classmethod
+    def from_problems(cls, problems: Sequence[FileAllocationProblem]) -> "BatchedProblem":
+        """Stack heterogeneous equal-size problems into one batch."""
+        return cls(problems)
+
+    @classmethod
+    def replicate(cls, problem: FileAllocationProblem, batch_size: int) -> "BatchedProblem":
+        """One problem repeated ``batch_size`` times (per-row alpha sweeps)."""
+        if batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        return cls([problem] * batch_size)
+
+    # -- batched evaluation ----------------------------------------------------
+
+    def _gaps(self, x: np.ndarray, rows) -> np.ndarray:
+        """``mu - lambda x`` for the selected rows, with stability checks."""
+        arrivals = self.total_rate[rows] * x
+        if not np.all(np.isfinite(arrivals)):
+            raise StabilityError("arrival rates must be finite")
+        gap = self.mu[rows] - arrivals
+        if np.any(gap <= 0):
+            bad = np.argwhere(gap <= 0)[0]
+            raise StabilityError(
+                f"M/M/1 unstable in batch (selected row {bad[0]}, node {bad[1]}): "
+                "arrival rate >= service rate"
+            )
+        return gap
+
+    def cost(self, x: np.ndarray, rows=slice(None)) -> np.ndarray:
+        """``(R,)`` expected access costs — eq. 1 per selected row."""
+        t = 1.0 / self._gaps(x, rows)
+        return np.sum((self.access_cost[rows] + self.k[rows] * t) * x, axis=1)
+
+    def utility_gradient(self, x: np.ndarray, rows=slice(None)) -> np.ndarray:
+        """``(R, N)`` marginal utilities ``dU/dx`` per selected row."""
+        gap = self._gaps(x, rows)
+        t = 1.0 / gap
+        dt = 1.0 / gap**2
+        return -(
+            self.access_cost[rows]
+            + self.k[rows] * (t + x * self.total_rate[rows] * dt)
+        )
+
+    def cost_hessian_diag(self, x: np.ndarray, rows=slice(None)) -> np.ndarray:
+        """``(R, N)`` diagonal Hessians ``d2C/dx_i^2`` per selected row."""
+        gap = self._gaps(x, rows)
+        dt = 1.0 / gap**2
+        d2t = 2.0 / gap**3
+        lam = self.total_rate[rows]
+        return self.k[rows] * (2.0 * lam * dt + x * lam * lam * d2t)
+
+    def __repr__(self) -> str:
+        return f"BatchedProblem(batch_size={self.batch_size}, n={self.n})"
+
+
+def _masked_means(g: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Per-row mean of ``g`` over ``mask``, matching ``g[mask].mean()`` bits.
+
+    Full rows take the vectorized row mean (same pairwise summation tree
+    as the serial 1-D mean); partial rows compact first, exactly like the
+    serial policy.  Empty rows get 0 (their step is zero anyway).
+    """
+    means = np.zeros(g.shape[0])
+    full = mask.all(axis=1)
+    if full.any():
+        means[full] = g[full].mean(axis=1)
+    for r in np.flatnonzero(~full):
+        sel = g[r, mask[r]]
+        if sel.size:
+            means[r] = sel.mean()
+    return means
+
+
+def batched_scaled_step(
+    x: np.ndarray, utility_gradient: np.ndarray, alpha: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """The :class:`~repro.core.active_set.ScaledStep` policy over a batch.
+
+    Returns ``(dx, active_mask)`` of shape ``(R, N)``; row ``r`` is
+    bit-for-bit what ``ScaledStep().apply(x[r], g[r], alpha[r])`` returns.
+    """
+    r_count, n = x.shape
+    g = utility_gradient
+    a = np.asarray(alpha, dtype=float)[:, None]
+    mask = np.ones((r_count, n), dtype=bool)
+    # Pin boundary nodes that want to shrink further (the serial pin loop).
+    dx = np.where(mask, a * (g - _masked_means(g, mask)[:, None]), 0.0)
+    for _ in range(n):
+        pinned = mask & (x <= _ZERO_TOL) & (dx < 0)
+        if not pinned.any():
+            break
+        mask &= ~pinned
+        dx = np.where(mask, a * (g - _masked_means(g, mask)[:, None]), 0.0)
+    dx[~mask.any(axis=1)] = 0.0
+    # Uniformly shrink violating rows so the worst donor lands exactly at 0.
+    violating = (x + dx < 0).any(axis=1)
+    if violating.any():
+        shrinking = dx < 0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            factors = np.where(shrinking, x / np.maximum(-dx, 1e-300), np.inf)
+        scale = np.minimum(1.0, factors.min(axis=1))
+        scale[~violating] = 1.0
+        dx = dx * scale[:, None]
+    # Guard round-off: absorb any -1e-18 residue into the largest gainer.
+    overshoot = np.minimum(x + dx, 0.0)
+    for r in np.flatnonzero((overshoot < 0).any(axis=1)):
+        dx[r] = dx[r] - overshoot[r]
+        dx[r, int(np.argmax(dx[r]))] += overshoot[r].sum()
+    return dx, mask
+
+
+def _masked_spread(g: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Per-row ``max - min`` of ``g`` over ``mask`` (0 for empty rows)."""
+    hi = np.where(mask, g, -np.inf).max(axis=1)
+    lo = np.where(mask, g, np.inf).min(axis=1)
+    out = hi - lo
+    out[~mask.any(axis=1)] = 0.0
+    return out
+
+
+@dataclass
+class BatchedResult:
+    """Outcome of a :class:`BatchedAllocator` run: per-row final state plus
+    (when ``keep_history=True``) the full per-iteration history needed to
+    reconstruct serial-equivalent traces."""
+
+    allocations: np.ndarray  #: ``(B, N)`` final allocations.
+    costs: np.ndarray  #: ``(B,)`` final costs.
+    iterations: np.ndarray  #: ``(B,)`` steps applied per row.
+    converged: np.ndarray  #: ``(B,)`` bool.
+    #: Per-iteration history (present only with ``keep_history=True``).
+    #: ``history_allocations[t][r]`` is row ``r``'s allocation after ``t``
+    #: steps; once a row freezes, later entries repeat its final state.
+    history_allocations: Optional[List[np.ndarray]] = None
+    history_masks: Optional[List[np.ndarray]] = None
+    history_costs: Optional[List[np.ndarray]] = None
+    history_spreads: Optional[List[np.ndarray]] = None
+    history_alphas: Optional[List[np.ndarray]] = None
+
+    @property
+    def batch_size(self) -> int:
+        return self.allocations.shape[0]
+
+    def row(self, r: int) -> AllocationResult:
+        """Row ``r`` as a serial-shaped :class:`AllocationResult`.
+
+        With history retained the trace contains one record per iteration
+        the row was live — exactly the serial allocator's trace; without
+        it the trace holds only the final record.
+        """
+        trace = Trace()
+        its = int(self.iterations[r])
+        if self.history_allocations is not None:
+            for t in range(its + 1):
+                trace.append(
+                    IterationRecord(
+                        iteration=t,
+                        allocation=self.history_allocations[t][r].copy(),
+                        cost=float(self.history_costs[t][r]),
+                        utility=-float(self.history_costs[t][r]),
+                        gradient_spread=float(self.history_spreads[t][r]),
+                        alpha=float(self.history_alphas[t][r]),
+                        active_count=int(self.history_masks[t][r].sum()),
+                    )
+                )
+        else:
+            trace.append(
+                IterationRecord(
+                    iteration=its,
+                    allocation=self.allocations[r].copy(),
+                    cost=float(self.costs[r]),
+                    utility=-float(self.costs[r]),
+                    gradient_spread=float("nan"),
+                    alpha=float("nan"),
+                    active_count=self.allocations.shape[1],
+                )
+            )
+        return AllocationResult(
+            allocation=self.allocations[r].copy(),
+            cost=float(self.costs[r]),
+            utility=-float(self.costs[r]),
+            iterations=its,
+            converged=bool(self.converged[r]),
+            trace=trace,
+        )
+
+    def results(self) -> List[AllocationResult]:
+        """Every row as an :class:`AllocationResult`."""
+        return [self.row(r) for r in range(self.batch_size)]
+
+    def __repr__(self) -> str:
+        done = int(self.converged.sum())
+        return (
+            f"BatchedResult({done}/{self.batch_size} converged, "
+            f"max_iterations={int(self.iterations.max())})"
+        )
+
+
+class BatchedAllocator:
+    """§5.2 in lockstep over a batch of independent problem instances.
+
+    Parameters
+    ----------
+    problem:
+        A :class:`BatchedProblem`, or a sequence of equal-size
+        :class:`~repro.core.model.FileAllocationProblem` (stacked for you).
+    alpha:
+        Fixed stepsize — a scalar (shared) or one value per row — or a
+        :class:`~repro.core.stepsize.DynamicStep` instance for the
+        appendix's per-iteration bound, evaluated batched.
+    epsilon:
+        Convergence tolerance of the per-row gradient-spread rule (the
+        only termination criterion the batched kernel supports; it is the
+        serial allocator's default).
+    max_iterations:
+        Budget shared by the batch; rows that converge earlier freeze.
+    validate:
+        Assert per-row feasibility after every step, mirroring the serial
+        allocator's Theorem-1 checks (including the pro-rata clamp
+        redistribution of round-off residue).
+    keep_history:
+        Retain per-iteration allocations/masks/costs so
+        :meth:`BatchedResult.row` can rebuild full serial-equivalent
+        traces.  O(B * N * iterations) memory — leave off for large sweeps.
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; tallies
+        batched iterations, live-row counts, clamp events, and the run
+        timer.  Strictly observational, as everywhere else in the library.
+    """
+
+    def __init__(
+        self,
+        problem: Union[BatchedProblem, Sequence[FileAllocationProblem]],
+        *,
+        alpha: Union[float, Sequence[float], DynamicStep] = 0.1,
+        epsilon: float = 1e-3,
+        max_iterations: int = 100_000,
+        validate: bool = True,
+        keep_history: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if not isinstance(problem, BatchedProblem):
+            problem = BatchedProblem(problem)
+        self.problem = problem
+        b = problem.batch_size
+        self._dynamic: Optional[DynamicStep] = None
+        if isinstance(alpha, DynamicStep):
+            self._dynamic = alpha
+            self._fixed_alpha = np.full(b, np.nan)
+        else:
+            self._fixed_alpha = np.broadcast_to(
+                np.asarray(alpha, dtype=float), (b,)
+            ).copy()
+            if np.any(self._fixed_alpha <= 0) or not np.all(
+                np.isfinite(self._fixed_alpha)
+            ):
+                raise ConfigurationError("alpha must be positive and finite")
+        self.epsilon = check_positive(epsilon, "epsilon")
+        if max_iterations < 1:
+            raise ConfigurationError("max_iterations must be >= 1")
+        self.max_iterations = int(max_iterations)
+        self.validate = validate
+        self.keep_history = keep_history
+        self.registry = registry
+
+    # -- pieces ---------------------------------------------------------------
+
+    def _alphas(self, x: np.ndarray, g: np.ndarray, rows) -> np.ndarray:
+        """Per-row stepsizes for the selected rows — fixed values, or the
+        batched :class:`DynamicStep` second-order bound."""
+        if self._dynamic is None:
+            return self._fixed_alpha[rows].copy()
+        dyn = self._dynamic
+        dev = g - g.mean(axis=1)[:, None]
+        s1 = np.sum(dev**2, axis=1)
+        h = -self.problem.cost_hessian_diag(x, rows)
+        s2 = np.sum(h * dev**2, axis=1)
+        out = np.full(x.shape[0], dyn.fallback)
+        ok = (s2 < 0) & (s1 != 0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out[ok] = dyn.safety * (-s1[ok] / s2[ok])
+        return out
+
+    def _apply(self, x: np.ndarray, dx: np.ndarray) -> np.ndarray:
+        """Row-wise mirror of the serial ``DecentralizedAllocator._apply``:
+        Theorem-1 feasibility asserts plus pro-rata clamp redistribution of
+        sub-1e-9 round-off residue (rare; handled per affected row with the
+        serial scalar arithmetic)."""
+        new_x = x + dx
+        if self.validate:
+            drift = np.abs(new_x.sum(axis=1) - x.sum(axis=1))
+            if np.any(drift > 1e-9):
+                r = int(np.argmax(drift))
+                raise AssertionError(
+                    f"feasibility broken in batch row {r}: sum moved from "
+                    f"{x[r].sum()!r} to {new_x[r].sum()!r}"
+                )
+            if np.any(new_x < -1e-9):
+                r = int(np.argwhere(new_x < -1e-9)[0, 0])
+                raise AssertionError(
+                    f"negative allocation in batch row {r}: min={new_x[r].min()!r}"
+                )
+            for r in np.flatnonzero((new_x < 0.0).any(axis=1)):
+                row = new_x[r]
+                negative = row < 0.0
+                target_sum = float(row.sum())
+                clamped = float(-row[negative].sum())
+                row[negative] = 0.0
+                positive = row > 0.0
+                total = float(row[positive].sum())
+                if total > 0.0:
+                    row[positive] -= clamped * (row[positive] / total)
+                    row[int(np.argmax(row))] -= row.sum() - target_sum
+                if self.registry is not None:
+                    self.registry.counter_inc("batched.clamp_events")
+                    self.registry.counter_inc("batched.clamped_mass", clamped)
+        return new_x
+
+    # -- full run ---------------------------------------------------------------
+
+    def run(self, initial_allocations: Optional[np.ndarray] = None) -> BatchedResult:
+        """Iterate the whole batch until every row converges or the budget
+        is exhausted.
+
+        ``initial_allocations`` is ``(B, N)`` (or ``(N,)``, shared by all
+        rows); default uniform.  Each starting row is validated through
+        its underlying problem.
+        """
+        prob = self.problem
+        b, n = prob.batch_size, prob.n
+        if initial_allocations is None:
+            x = np.full((b, n), 1.0 / n)
+        else:
+            x0 = np.asarray(initial_allocations, dtype=float)
+            if x0.ndim == 1:
+                x0 = np.tile(x0, (b, 1))
+            if x0.shape != (b, n):
+                raise ConfigurationError(
+                    f"initial allocations must have shape ({b}, {n}), got {x0.shape}"
+                )
+            x = np.stack(
+                [prob.problems[r].check_feasible(x0[r]) for r in range(b)]
+            )
+
+        reg = self.registry
+        iterations = np.zeros(b, dtype=int)
+        history: Optional[dict] = None
+
+        with maybe_timer(reg, "batched.run_seconds"):
+            g = prob.utility_gradient(x)
+            alpha = self._alphas(x, g, slice(None))
+            dx, mask = batched_scaled_step(x, g, alpha)
+            cost = prob.cost(x)
+            spreads = _masked_spread(g, mask)
+            if self.keep_history:
+                history = {
+                    "allocations": [x.copy()],
+                    "masks": [mask.copy()],
+                    "costs": [cost.copy()],
+                    "spreads": [spreads.copy()],
+                    "alphas": [np.full(b, np.nan)],
+                }
+            live = ~(spreads < self.epsilon)
+            it = 0
+            while live.any() and it < self.max_iterations:
+                it += 1
+                applied_alpha = alpha.copy()
+                x[live] = self._apply(x[live], dx[live])
+                iterations[live] = it
+                g[live] = prob.utility_gradient(x[live], live)
+                alpha[live] = self._alphas(x[live], g[live], live)
+                dx[live], mask[live] = batched_scaled_step(
+                    x[live], g[live], alpha[live]
+                )
+                cost[live] = prob.cost(x[live], live)
+                spreads[live] = _masked_spread(g[live], mask[live])
+                if reg is not None:
+                    reg.counter_inc("batched.iterations")
+                    reg.counter_inc("batched.row_iterations", int(live.sum()))
+                if history is not None:
+                    history["allocations"].append(x.copy())
+                    history["masks"].append(mask.copy())
+                    history["costs"].append(cost.copy())
+                    history["spreads"].append(spreads.copy())
+                    history["alphas"].append(applied_alpha)
+                live = live & ~(spreads < self.epsilon)
+
+        converged = ~live
+        if reg is not None:
+            reg.gauge_set("batched.rows", float(b))
+            reg.gauge_set("batched.rows_converged", float(converged.sum()))
+            reg.gauge_set("batched.max_iterations_used", float(iterations.max()))
+            reg.event(
+                "batched_run_complete",
+                rows=b,
+                converged=int(converged.sum()),
+                iterations=int(iterations.max()),
+            )
+        return BatchedResult(
+            allocations=x,
+            costs=cost,
+            iterations=iterations,
+            converged=converged,
+            history_allocations=history["allocations"] if history else None,
+            history_masks=history["masks"] if history else None,
+            history_costs=history["costs"] if history else None,
+            history_spreads=history["spreads"] if history else None,
+            history_alphas=history["alphas"] if history else None,
+        )
+
+    def __repr__(self) -> str:
+        step = repr(self._dynamic) if self._dynamic is not None else "fixed"
+        return (
+            f"BatchedAllocator(batch_size={self.problem.batch_size}, "
+            f"n={self.problem.n}, alpha={step}, epsilon={self.epsilon:g})"
+        )

@@ -1,0 +1,340 @@
+"""The process-pool sweep executor.
+
+A parameter sweep — solve one :class:`FileAllocationProblem` per grid
+point, measure, collect — is embarrassingly parallel across grid points.
+:class:`SweepExecutor` runs a list of picklable tasks over a
+``concurrent.futures.ProcessPoolExecutor`` with
+
+* **chunking** — tasks are shipped in chunks to amortize pickling and
+  process-dispatch overhead over many cheap grid points;
+* **deterministic seeding** — each task carries a
+  ``numpy.random.SeedSequence(root, spawn_key=(index,))``-derived seed, so
+  a task's random stream depends only on the root seed and its grid
+  index, never on chunking, worker count, or completion order;
+* **bounded retry** — a task that fails (including a worker process
+  dying: ``BrokenProcessPool`` poisons every in-flight chunk) is resubmitted
+  up to ``retries`` times before :class:`SweepExecutionError` surfaces the
+  original error;
+* **metrics aggregation** — each worker tallies into a private
+  :class:`~repro.obs.registry.MetricsRegistry` and returns its snapshot;
+  the parent folds them into the caller's registry via
+  :meth:`~repro.obs.registry.MetricsRegistry.merge_snapshot`.
+
+:func:`sweep_parallel` is the drop-in pooled counterpart of
+:func:`repro.experiments.sweeps.parameter_sweep` (which now runs on the
+same per-task runner, serially and pickle-free).  Because tasks cross
+process boundaries, ``problem_factory`` and ``measure`` must be module-level
+callables (lambdas and closures only work with ``max_workers=0``, the
+in-process path).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ReproError
+from repro.obs.registry import MetricsRegistry
+from repro.utils.seeding import rng_from_seed
+
+
+class SweepExecutionError(ReproError):
+    """A sweep task kept failing after its retry budget was spent."""
+
+    def __init__(self, message: str, *, index: int | None = None):
+        super().__init__(message)
+        self.index = index
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One grid point: its position, swept value, and derived seed.
+
+    ``seed`` is a :class:`numpy.random.SeedSequence` spawn key pair
+    ``(root, index)`` materialized lazily in the worker — both halves are
+    plain ints, so the task pickles cheaply.
+    """
+
+    index: int
+    value: Any
+    root_seed: int
+
+    def seed_sequence(self) -> np.random.SeedSequence:
+        """The task's independent seed stream (stable under re-execution)."""
+        return np.random.SeedSequence(entropy=self.root_seed, spawn_key=(self.index,))
+
+    def rng(self) -> np.random.Generator:
+        """A generator over :meth:`seed_sequence`."""
+        return rng_from_seed(self.seed_sequence())
+
+
+def make_tasks(values: Iterable[Any], *, seed: int = 0) -> List[SweepTask]:
+    """One :class:`SweepTask` per grid value, seeded from ``seed``."""
+    return [SweepTask(index=i, value=v, root_seed=int(seed)) for i, v in enumerate(values)]
+
+
+# -- the per-grid-point solve (runs in workers; must stay module-level) --------
+
+
+def _factory_wants_rng(factory: Callable) -> bool:
+    """Whether ``factory`` accepts an ``rng`` keyword (seeded factories)."""
+    try:
+        return "rng" in inspect.signature(factory).parameters
+    except (TypeError, ValueError):  # builtins / C callables
+        return False
+
+
+def solve_grid_point(
+    task: SweepTask,
+    problem_factory: Callable,
+    measure: Callable,
+    *,
+    initial_allocation=None,
+    alpha: Optional[float] = 0.3,
+    epsilon: float = 1e-4,
+    max_iterations: int = 10_000,
+    collect_metrics: bool = False,
+) -> Tuple[Dict[str, Any], Optional[Dict[str, object]]]:
+    """Build, solve, and measure one grid point; the shared task body of
+    both the serial :func:`~repro.experiments.sweeps.parameter_sweep` and
+    the pooled :func:`sweep_parallel`.
+
+    ``alpha=None`` means the *task's own value* is the stepsize — how a
+    sweep over alpha itself (a solver parameter, not a problem parameter)
+    rides the same machinery.
+
+    Returns ``(measurements, registry_snapshot_or_None)``.
+    """
+    from repro.core.algorithm import DecentralizedAllocator
+
+    if _factory_wants_rng(problem_factory):
+        problem = problem_factory(task.value, rng=task.rng())
+    else:
+        problem = problem_factory(task.value)
+    registry = MetricsRegistry() if collect_metrics else None
+    allocator = DecentralizedAllocator(
+        problem,
+        alpha=float(task.value) if alpha is None else alpha,
+        epsilon=epsilon,
+        max_iterations=max_iterations,
+        registry=registry,
+    )
+    result = allocator.run(initial_allocation)
+    measurements = measure(problem, result)
+    return measurements, (registry.snapshot() if registry is not None else None)
+
+
+def _run_chunk(payload) -> List[Tuple[int, bool, Any, Optional[dict]]]:
+    """Worker entry point: run a chunk of tasks, never raise per-task.
+
+    Returns ``(index, ok, measurements-or-error-repr, snapshot)`` per task
+    so one bad grid point does not void its chunk-mates' finished work.
+    """
+    tasks, factory, measure, kwargs = payload
+    out: List[Tuple[int, bool, Any, Optional[dict]]] = []
+    for task in tasks:
+        try:
+            measurements, snapshot = solve_grid_point(
+                task, factory, measure, **kwargs
+            )
+            out.append((task.index, True, measurements, snapshot))
+        except Exception as exc:  # surfaced (and maybe retried) by the parent
+            out.append((task.index, False, f"{type(exc).__name__}: {exc}", None))
+    return out
+
+
+class SweepExecutor:
+    """Runs sweep tasks over a process pool with chunking and bounded retry.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size.  ``None`` uses ``os.cpu_count()``; ``0`` runs every
+        task in-process (no pickling requirement — the executor the serial
+        :func:`parameter_sweep` path uses).
+    chunksize:
+        Tasks per worker submission; default spreads the grid ~4 chunks
+        per worker to balance dispatch overhead against load skew.
+    retries:
+        How many times one task may be re-executed after a failure before
+        :class:`SweepExecutionError` is raised.
+    registry:
+        Optional parent :class:`MetricsRegistry`.  When given, workers
+        collect per-task metrics and the parent merges every snapshot, plus
+        ``sweep.tasks`` / ``sweep.retries`` counters and a
+        ``sweep.run_seconds`` timer of its own.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_workers: Optional[int] = None,
+        chunksize: Optional[int] = None,
+        retries: int = 2,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if max_workers is not None and max_workers < 0:
+            raise ConfigurationError("max_workers must be >= 0 (0 = in-process)")
+        if chunksize is not None and chunksize < 1:
+            raise ConfigurationError("chunksize must be >= 1")
+        if retries < 0:
+            raise ConfigurationError("retries must be >= 0")
+        self.max_workers = max_workers
+        self.chunksize = chunksize
+        self.retries = int(retries)
+        self.registry = registry
+
+    def _chunk(self, tasks: Sequence[SweepTask], workers: int) -> List[List[SweepTask]]:
+        size = self.chunksize
+        if size is None:
+            size = max(1, len(tasks) // max(1, 4 * workers))
+        return [list(tasks[i:i + size]) for i in range(0, len(tasks), size)]
+
+    def run(
+        self,
+        tasks: Sequence[SweepTask],
+        problem_factory: Callable,
+        measure: Callable,
+        **solve_kwargs,
+    ) -> List[Dict[str, Any]]:
+        """Execute every task; returns measurements in grid order."""
+        from repro.obs.registry import maybe_timer
+
+        collect = self.registry is not None
+        solve_kwargs = dict(solve_kwargs, collect_metrics=collect)
+        results: Dict[int, Dict[str, Any]] = {}
+        with maybe_timer(self.registry, "sweep.run_seconds"):
+            if self.max_workers == 0:
+                self._run_inline(tasks, problem_factory, measure, solve_kwargs, results)
+            else:
+                self._run_pooled(tasks, problem_factory, measure, solve_kwargs, results)
+        if self.registry is not None:
+            self.registry.counter_inc("sweep.tasks", len(tasks))
+        return [results[t.index] for t in tasks]
+
+    def _absorb(self, snapshot: Optional[dict]) -> None:
+        if self.registry is not None and snapshot is not None:
+            self.registry.merge_snapshot(snapshot)
+
+    def _run_inline(self, tasks, factory, measure, solve_kwargs, results) -> None:
+        for task in tasks:
+            attempt = 0
+            while True:
+                try:
+                    measurements, snapshot = solve_grid_point(
+                        task, factory, measure, **solve_kwargs
+                    )
+                    results[task.index] = measurements
+                    self._absorb(snapshot)
+                    break
+                except Exception as exc:
+                    attempt += 1
+                    if attempt > self.retries:
+                        if self.retries == 0:
+                            raise  # no retry requested: stay transparent
+                        raise SweepExecutionError(
+                            f"sweep task {task.index} (value={task.value!r}) failed "
+                            f"after {attempt} attempts: {exc}",
+                            index=task.index,
+                        ) from exc
+                    if self.registry is not None:
+                        self.registry.counter_inc("sweep.retries")
+
+    def _run_pooled(self, tasks, factory, measure, solve_kwargs, results) -> None:
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+        from concurrent.futures.process import BrokenProcessPool
+        import os
+
+        workers = self.max_workers or os.cpu_count() or 1
+        pending: List[SweepTask] = list(tasks)
+        attempts: Dict[int, int] = {t.index: 0 for t in tasks}
+        by_index = {t.index: t for t in tasks}
+        first_error: Dict[int, str] = {}
+        while pending:
+            chunks = self._chunk(pending, workers)
+            failed: List[int] = []
+            # A dead worker breaks the whole pool; rebuild it per round so a
+            # retry starts from a clean slate.
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_run_chunk, (chunk, factory, measure, solve_kwargs)): chunk
+                    for chunk in chunks
+                }
+                for future in as_completed(futures):
+                    try:
+                        outcomes = future.result()
+                    except BrokenProcessPool:
+                        for task in futures[future]:
+                            if task.index not in results:
+                                failed.append(task.index)
+                                first_error.setdefault(task.index, "worker process died")
+                        continue
+                    for index, ok, payload, snapshot in outcomes:
+                        if ok:
+                            results[index] = payload
+                            self._absorb(snapshot)
+                        else:
+                            failed.append(index)
+                            first_error.setdefault(index, str(payload))
+            pending = []
+            for index in failed:
+                attempts[index] += 1
+                if attempts[index] > self.retries:
+                    raise SweepExecutionError(
+                        f"sweep task {index} (value={by_index[index].value!r}) failed "
+                        f"after {attempts[index]} attempts: {first_error[index]}",
+                        index=index,
+                    )
+                if self.registry is not None:
+                    self.registry.counter_inc("sweep.retries")
+                pending.append(by_index[index])
+
+
+def sweep_parallel(
+    parameter: str,
+    values: Iterable[Any],
+    problem_factory: Callable,
+    *,
+    measure: Callable,
+    initial_allocation=None,
+    alpha: Optional[float] = 0.3,
+    epsilon: float = 1e-4,
+    max_iterations: int = 10_000,
+    seed: int = 0,
+    max_workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    retries: int = 2,
+    registry: Optional[MetricsRegistry] = None,
+):
+    """Pooled drop-in for :func:`repro.experiments.sweeps.parameter_sweep`.
+
+    Identical semantics and measurements (each grid point is solved by the
+    same per-task runner), executed over a process pool.  ``problem_factory``
+    and ``measure`` must be picklable (module-level); factories accepting an
+    ``rng`` keyword receive a deterministic per-task generator derived from
+    ``seed`` and the grid index.  Returns a
+    :class:`~repro.experiments.sweeps.SweepResult`.
+    """
+    from repro.experiments.sweeps import SweepResult  # avoid an import cycle
+
+    values = list(values)
+    tasks = make_tasks(values, seed=seed)
+    executor = SweepExecutor(
+        max_workers=max_workers,
+        chunksize=chunksize,
+        retries=retries,
+        registry=registry,
+    )
+    measurements = executor.run(
+        tasks,
+        problem_factory,
+        measure,
+        initial_allocation=initial_allocation,
+        alpha=alpha,
+        epsilon=epsilon,
+        max_iterations=max_iterations,
+    )
+    return SweepResult(parameter=parameter, values=values, measurements=measurements)

@@ -1,0 +1,65 @@
+"""Guards on the public API surface.
+
+Two invariants:
+
+* every name a ``repro`` package exports via ``__all__`` actually resolves
+  (no stale exports after refactors);
+* every export of the four documented packages (core, obs, experiments,
+  parallel) appears in ``docs/API.md``, so the reference cannot silently
+  fall behind the code.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+from pathlib import Path
+
+import pytest
+
+import repro
+
+DOCUMENTED_PACKAGES = ["repro.core", "repro.obs", "repro.experiments", "repro.parallel"]
+API_MD = Path(__file__).resolve().parent.parent / "docs" / "API.md"
+
+
+def _all_repro_modules():
+    """Every importable module under the repro package."""
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return names
+
+
+@pytest.mark.parametrize("module_name", _all_repro_modules())
+def test_every_dunder_all_entry_resolves(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        pytest.skip(f"{module_name} defines no __all__")
+    missing = [name for name in exported if not hasattr(module, name)]
+    assert not missing, f"{module_name}.__all__ exports unresolvable names: {missing}"
+    assert len(set(exported)) == len(exported), f"{module_name}.__all__ has duplicates"
+
+
+@pytest.mark.parametrize("module_name", DOCUMENTED_PACKAGES)
+def test_api_md_documents_every_export(module_name):
+    text = API_MD.read_text()
+    module = importlib.import_module(module_name)
+    undocumented = [name for name in module.__all__ if f"`{name}`" not in text]
+    assert not undocumented, (
+        f"docs/API.md is missing {module_name} exports: {undocumented}"
+    )
+
+
+def test_api_md_section_per_package():
+    text = API_MD.read_text()
+    for module_name in DOCUMENTED_PACKAGES:
+        assert f"`{module_name}`" in text, f"docs/API.md lacks a {module_name} section"
+
+
+def test_top_level_reexports_parallel_entry_points():
+    assert repro.BatchedAllocator is importlib.import_module(
+        "repro.parallel"
+    ).BatchedAllocator
+    assert "sweep_parallel" in repro.__all__

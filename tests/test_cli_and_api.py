@@ -168,3 +168,44 @@ class TestCliCopies:
         out = capsys.readouterr().out
         assert "Copy-count sweep" in out
         assert "optimal m = " in out
+
+
+class TestCliSweep:
+    def test_engines_agree(self, capsys):
+        from repro.cli import main
+
+        outputs = {}
+        for engine in ("serial", "batched", "pooled"):
+            assert main([
+                "sweep", "--param", "alpha", "--values", "0.08,0.3,0.67",
+                "--engine", engine,
+            ]) == 0
+            out = capsys.readouterr().out
+            # Strip the title and its underline (they name the engine).
+            outputs[engine] = out.split("\n", 2)[2]
+        assert outputs["serial"] == outputs["batched"] == outputs["pooled"]
+        assert "51" in outputs["serial"]  # the figure-3 alpha=0.08 count
+
+    def test_k_sweep_writes_json(self, capsys, tmp_path):
+        from repro.cli import main
+        from repro.experiments import SweepResult
+
+        out_path = tmp_path / "sweep.json"
+        assert main([
+            "sweep", "--param", "k", "--grid", "0.5:2.0:4",
+            "--engine", "batched", "--out", str(out_path),
+        ]) == 0
+        restored = SweepResult.from_json(out_path.read_text())
+        assert restored.parameter == "k"
+        assert len(restored.values) == 4
+        assert all(m["converged"] for m in restored.measurements)
+
+    def test_grid_validation(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["sweep", "--param", "alpha"])
+        with pytest.raises(SystemExit, match="bad --grid"):
+            main(["sweep", "--param", "alpha", "--grid", "nope"])
+        with pytest.raises(SystemExit, match="bad --values"):
+            main(["sweep", "--param", "alpha", "--values", "a,b"])

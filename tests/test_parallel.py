@@ -1,0 +1,438 @@
+"""Tests for ``repro.parallel``: the batched lockstep kernel and the
+process-pool sweep executor.
+
+The load-bearing property is **bit-for-bit parity**: a batch row must
+reproduce the serial :class:`DecentralizedAllocator` exactly — same
+iterates, same active sets, same iteration counts — not merely to
+tolerance.  Everything else (figures, benches, the CLI ``sweep`` command)
+leans on that property.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import DecentralizedAllocator
+from repro.core.initials import paper_skewed_allocation, single_node_allocation
+from repro.core.model import FileAllocationProblem
+from repro.core.stepsize import DynamicStep
+from repro.exceptions import ConfigurationError
+from repro.experiments.sweeps import SweepResult, parameter_sweep
+from repro.network.builders import complete_graph, ring_graph
+from repro.obs import MetricsRegistry
+from repro.parallel import (
+    BatchedAllocator,
+    BatchedProblem,
+    SweepExecutionError,
+    SweepExecutor,
+    SweepTask,
+    make_tasks,
+    solve_grid_point,
+    sweep_parallel,
+)
+
+
+def _random_problem(rng: np.random.Generator) -> FileAllocationProblem:
+    """A randomized M/M/1 instance: random family, size, rates, mu, k."""
+    n = int(rng.integers(3, 9))
+    topo = ring_graph(n) if rng.random() < 0.5 else complete_graph(n)
+    rates = rng.uniform(0.05, 1.0, size=n)
+    rates /= rates.sum() / rng.uniform(0.5, 1.2)
+    mu = float(rng.uniform(1.4, 4.0))
+    k = float(rng.uniform(0.3, 2.0))
+    return FileAllocationProblem.from_topology(topo, rates, k=k, mu=mu)
+
+
+def _start_for(problem: FileAllocationProblem, kind: int) -> np.ndarray:
+    n = problem.n
+    if kind == 0:
+        return np.full(n, 1.0 / n)
+    if kind == 1:
+        return paper_skewed_allocation(n)
+    # Single-node starts force active-set shrinkage: every other node sits
+    # on the boundary and the pin loop must fire.
+    return single_node_allocation(n, 0)
+
+
+def _assert_rows_equal(batched_row, serial) -> None:
+    """Batched row == serial result, bit for bit, including the trace."""
+    assert batched_row.iterations == serial.iterations
+    assert batched_row.converged == serial.converged
+    assert np.array_equal(batched_row.allocation, serial.allocation)
+    assert batched_row.cost == serial.cost
+    assert len(batched_row.trace) == len(serial.trace)
+    for got, want in zip(batched_row.trace.records, serial.trace.records):
+        assert got.iteration == want.iteration
+        assert got.cost == want.cost
+        assert got.active_count == want.active_count
+        spread_equal = got.gradient_spread == want.gradient_spread
+        both_nan = np.isnan(got.gradient_spread) and np.isnan(want.gradient_spread)
+        assert spread_equal or both_nan
+        if got.allocation is not None and want.allocation is not None:
+            assert np.array_equal(got.allocation, want.allocation)
+
+
+class TestBatchedParity:
+    def test_b1_reproduces_serial_on_25_seeded_problems(self):
+        """The headline property: a B=1 batch is the serial allocator,
+        bit for bit, across 25 randomized instances and starts (uniform,
+        skewed, and single-node — the last shrinks the active set)."""
+        rng = np.random.default_rng(1986)
+        for case in range(25):
+            problem = _random_problem(rng)
+            x0 = _start_for(problem, case % 3)
+            alpha = float(rng.uniform(0.05, 0.6))
+            serial = DecentralizedAllocator(
+                problem, alpha=alpha, epsilon=1e-4, max_iterations=2_000
+            ).run(x0)
+            batch = BatchedAllocator(
+                BatchedProblem.replicate(problem, 1),
+                alpha=alpha,
+                epsilon=1e-4,
+                max_iterations=2_000,
+                keep_history=True,
+            ).run(x0)
+            _assert_rows_equal(batch.row(0), serial)
+
+    def test_heterogeneous_batch_matches_per_problem_serial(self):
+        rng = np.random.default_rng(7)
+        n = 5
+        problems = []
+        for _ in range(8):
+            rates = rng.uniform(0.05, 0.5, size=n)
+            problems.append(
+                FileAllocationProblem.from_topology(
+                    complete_graph(n),
+                    rates / rates.sum(),
+                    k=float(rng.uniform(0.5, 2.0)),
+                    mu=float(rng.uniform(1.5, 3.0)),
+                )
+            )
+        x0 = paper_skewed_allocation(n)
+        batch = BatchedAllocator(
+            BatchedProblem.from_problems(problems), alpha=0.25, epsilon=1e-4
+        ).run(x0)
+        for r, problem in enumerate(problems):
+            serial = DecentralizedAllocator(
+                problem, alpha=0.25, epsilon=1e-4
+            ).run(x0)
+            assert int(batch.iterations[r]) == serial.iterations
+            assert np.array_equal(batch.allocations[r], serial.allocation)
+            assert float(batch.costs[r]) == serial.cost
+
+    def test_per_row_alphas_reproduce_figure3_counts(self, paper_problem, paper_start):
+        alphas = [0.67, 0.3, 0.19, 0.08]
+        batch = BatchedAllocator(
+            BatchedProblem.replicate(paper_problem, len(alphas)),
+            alpha=alphas,
+            epsilon=1e-3,
+        ).run(paper_start)
+        for r, alpha in enumerate(alphas):
+            serial = DecentralizedAllocator(
+                paper_problem, alpha=alpha, epsilon=1e-3
+            ).run(paper_start)
+            assert int(batch.iterations[r]) == serial.iterations
+            assert np.array_equal(batch.allocations[r], serial.allocation)
+
+    def test_dynamic_step_batched_parity(self, paper_problem, paper_start):
+        serial = DecentralizedAllocator(
+            paper_problem, alpha=DynamicStep(), epsilon=1e-3
+        ).run(paper_start)
+        batch = BatchedAllocator(
+            BatchedProblem.replicate(paper_problem, 3),
+            alpha=DynamicStep(),
+            epsilon=1e-3,
+        ).run(paper_start)
+        for r in range(3):
+            assert int(batch.iterations[r]) == serial.iterations
+            assert np.array_equal(batch.allocations[r], serial.allocation)
+
+    def test_converged_rows_freeze_while_others_run(self, paper_problem, paper_start):
+        """alpha=0.67 converges in 4 iterations, alpha=0.08 in 51 — the
+        fast row's state must not move after it converges."""
+        batch = BatchedAllocator(
+            BatchedProblem.replicate(paper_problem, 2),
+            alpha=[0.67, 0.08],
+            epsilon=1e-3,
+            keep_history=True,
+        ).run(paper_start)
+        fast, slow = int(batch.iterations[0]), int(batch.iterations[1])
+        assert fast < slow
+        frozen = batch.history_allocations[fast][0]
+        for t in range(fast, slow + 1):
+            assert np.array_equal(batch.history_allocations[t][0], frozen)
+
+
+class TestBatchedValidation:
+    def test_unequal_sizes_rejected(self):
+        p3 = FileAllocationProblem.from_topology(
+            ring_graph(3), np.full(3, 1 / 3), k=1.0, mu=1.5
+        )
+        p4 = FileAllocationProblem.paper_network()
+        with pytest.raises(ConfigurationError, match="equal size"):
+            BatchedProblem([p3, p4])
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BatchedProblem([])
+
+    def test_non_mm1_delay_rejected(self):
+        from repro.queueing import MD1Delay
+
+        problem = FileAllocationProblem(
+            1 - np.eye(3), np.full(3, 1 / 3), k=1.0,
+            delay_models=[MD1Delay(2.0)] * 3,
+        )
+        with pytest.raises(ConfigurationError, match="MM1Delay"):
+            BatchedProblem.replicate(problem, 2)
+
+    def test_bad_alpha_and_shapes(self, paper_problem):
+        batch = BatchedProblem.replicate(paper_problem, 2)
+        with pytest.raises(ConfigurationError):
+            BatchedAllocator(batch, alpha=-0.1)
+        with pytest.raises(ConfigurationError):
+            BatchedAllocator(batch).run(np.full((3, 4), 0.25))
+
+    def test_plain_sequence_of_problems_accepted(self, paper_problem):
+        result = BatchedAllocator(
+            [paper_problem, paper_problem], alpha=0.3, epsilon=1e-3
+        ).run()
+        assert result.batch_size == 2
+        assert result.converged.all()
+
+
+class TestEngineParity:
+    def test_sweep_alpha_iterations_batched(self, paper_problem, paper_start):
+        from repro.analysis.convergence import sweep_alpha_iterations
+
+        alphas = [0.08, 0.19, 0.3, 0.67]
+        serial = sweep_alpha_iterations(
+            paper_problem, paper_start, alphas, max_iterations=500
+        )
+        batched = sweep_alpha_iterations(
+            paper_problem, paper_start, alphas, max_iterations=500, engine="batched"
+        )
+        assert serial == batched
+
+    def test_unknown_engine_rejected(self, paper_problem, paper_start):
+        from repro.analysis.convergence import sweep_alpha_iterations
+
+        with pytest.raises(ValueError, match="engine"):
+            sweep_alpha_iterations(
+                paper_problem, paper_start, [0.3], engine="quantum"
+            )
+
+    def test_figure5_engines_agree(self):
+        from repro.experiments.figures import figure5
+
+        alphas = [0.1, 0.3, 0.6]
+        serial = figure5(alphas=alphas, max_iterations=300)
+        batched = figure5(alphas=alphas, max_iterations=300, engine="batched")
+        assert serial.counts == batched.counts
+        assert serial.best_alpha == batched.best_alpha
+
+    def test_figure6_engines_agree(self):
+        from repro.experiments.figures import figure6
+
+        serial = figure6(sizes=(4, 6), alpha_grid=[0.2, 0.5], max_iterations=300)
+        batched = figure6(
+            sizes=(4, 6), alpha_grid=[0.2, 0.5], max_iterations=300, engine="batched"
+        )
+        assert serial.iterations_by_n == batched.iterations_by_n
+        assert serial.best_alpha_by_n == batched.best_alpha_by_n
+
+
+# -- executor ----------------------------------------------------------------
+# Pool workers re-import this module, so factories/measures live at module
+# level (the same requirement any sweep_parallel caller has).
+
+
+def _grid_factory(k):
+    return FileAllocationProblem(
+        1 - np.eye(4), [0.25] * 4, k=k, mu=1.5
+    )
+
+
+def _seeded_factory(value, rng=None):
+    """A factory that perturbs rates with its task rng (seeding contract)."""
+    rates = 0.25 + 0.01 * rng.random(4)
+    rates /= rates.sum()
+    return FileAllocationProblem(1 - np.eye(4), rates, k=value, mu=1.5)
+
+
+def _measure(problem, result):
+    return {
+        "cost": result.cost,
+        "iterations": result.iterations,
+        "converged": bool(result.converged),
+    }
+
+
+class _FlakyFactory:
+    """Fails the first time each grid value is built, then succeeds —
+    exercises the retry path across process boundaries via marker files."""
+
+    def __init__(self, marker_dir: str):
+        self.marker_dir = marker_dir
+
+    def __call__(self, value):
+        marker = Path(self.marker_dir) / f"seen-{value!r}"
+        if not marker.exists():
+            marker.touch()
+            raise RuntimeError(f"transient failure for {value!r}")
+        return _grid_factory(value)
+
+
+class _AlwaysBroken:
+    def __call__(self, value):
+        raise RuntimeError("permanently broken")
+
+
+class TestSweepTasks:
+    def test_seeding_depends_only_on_root_and_index(self):
+        tasks = make_tasks([10.0, 20.0, 30.0], seed=42)
+        other = make_tasks([99.0, 98.0, 97.0], seed=42)
+        for a, b in zip(tasks, other):
+            # Same root + index → same stream, regardless of the value or
+            # of any chunking/worker assignment downstream.
+            assert a.rng().random() == b.rng().random()
+        reseeded = make_tasks([10.0, 20.0, 30.0], seed=43)
+        assert tasks[0].rng().random() != reseeded[0].rng().random()
+
+    def test_rng_aware_factory_receives_task_stream(self):
+        task = SweepTask(index=3, value=1.0, root_seed=7)
+        measurements, snapshot = solve_grid_point(
+            task, _seeded_factory, _measure, alpha=0.3, epsilon=1e-3
+        )
+        again, _ = solve_grid_point(
+            task, _seeded_factory, _measure, alpha=0.3, epsilon=1e-3
+        )
+        assert measurements == again
+        assert snapshot is None
+
+    def test_alpha_none_uses_task_value_as_stepsize(self, paper_problem, paper_start):
+        task = SweepTask(index=0, value=0.67, root_seed=0)
+        measurements, _ = solve_grid_point(
+            task,
+            lambda value: FileAllocationProblem.paper_network(),
+            _measure,
+            initial_allocation=paper_start,
+            alpha=None,
+            epsilon=1e-3,
+        )
+        serial = DecentralizedAllocator(
+            paper_problem, alpha=0.67, epsilon=1e-3
+        ).run(paper_start)
+        assert measurements["iterations"] == serial.iterations
+
+
+class TestSweepExecutor:
+    GRID = [0.5, 1.0, 2.0, 4.0]
+
+    def test_pooled_matches_serial_sweep(self):
+        serial = parameter_sweep("k", self.GRID, _grid_factory, measure=_measure)
+        pooled = sweep_parallel(
+            "k", self.GRID, _grid_factory, measure=_measure,
+            max_workers=2, chunksize=1,
+        )
+        assert pooled.parameter == "k"
+        assert pooled.values == self.GRID
+        assert pooled.measurements == serial.measurements
+
+    def test_registry_aggregates_across_workers(self):
+        x0 = [0.7, 0.1, 0.1, 0.1]  # skewed: forces real iterations
+        serial_reg = MetricsRegistry()
+        parameter_sweep(
+            "k", self.GRID, _grid_factory, measure=_measure,
+            initial_allocation=x0, registry=serial_reg,
+        )
+        pooled_reg = MetricsRegistry()
+        sweep_parallel(
+            "k", self.GRID, _grid_factory, measure=_measure,
+            initial_allocation=x0, max_workers=2, registry=pooled_reg,
+        )
+        assert pooled_reg.counters["sweep.tasks"] == len(self.GRID)
+        # Worker-side solver counters fold home identically to serial.
+        assert (
+            pooled_reg.counters["allocator.iterations"]
+            == serial_reg.counters["allocator.iterations"]
+        )
+        assert "sweep.run_seconds" in pooled_reg.histograms
+
+    def test_retry_recovers_from_transient_failures(self, tmp_path):
+        registry = MetricsRegistry()
+        result = sweep_parallel(
+            "k", self.GRID, _FlakyFactory(str(tmp_path)), measure=_measure,
+            max_workers=1, retries=2, registry=registry,
+        )
+        baseline = parameter_sweep("k", self.GRID, _grid_factory, measure=_measure)
+        assert result.measurements == baseline.measurements
+        assert registry.counters["sweep.retries"] == len(self.GRID)
+
+    def test_retry_budget_exhaustion_raises(self):
+        with pytest.raises(SweepExecutionError) as err:
+            sweep_parallel(
+                "k", [1.0], _AlwaysBroken(), measure=_measure,
+                max_workers=1, retries=1,
+            )
+        assert err.value.index == 0
+        assert "permanently broken" in str(err.value)
+
+    def test_inline_zero_retries_is_transparent(self):
+        executor = SweepExecutor(max_workers=0, retries=0)
+        with pytest.raises(RuntimeError, match="permanently broken"):
+            executor.run(make_tasks([1.0]), _AlwaysBroken(), _measure)
+
+    def test_inline_retry_wraps_after_budget(self, tmp_path):
+        executor = SweepExecutor(max_workers=0, retries=1)
+        out = executor.run(
+            make_tasks(self.GRID), _FlakyFactory(str(tmp_path)), _measure
+        )
+        assert len(out) == len(self.GRID)
+        with pytest.raises(SweepExecutionError):
+            SweepExecutor(max_workers=0, retries=1).run(
+                make_tasks([1.0]), _AlwaysBroken(), _measure
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            SweepExecutor(max_workers=-1)
+        with pytest.raises(ConfigurationError):
+            SweepExecutor(chunksize=0)
+        with pytest.raises(ConfigurationError):
+            SweepExecutor(retries=-1)
+
+
+class TestSweepResultJson:
+    def test_round_trip(self):
+        sweep = parameter_sweep(
+            "k", [0.5, 1.0], _grid_factory, measure=_measure
+        )
+        restored = SweepResult.from_json(sweep.to_json())
+        assert restored.parameter == sweep.parameter
+        assert restored.values == sweep.values
+        assert restored.measurements == sweep.measurements
+
+    def test_numpy_values_serialize(self):
+        sweep = SweepResult(
+            parameter="mu",
+            values=[np.float64(1.5), np.int64(2)],
+            measurements=[
+                {"cost": np.float64(1.8), "flag": np.bool_(True),
+                 "vec": np.array([1.0, 2.0])},
+                {"cost": 2.0, "flag": False, "vec": [3.0]},
+            ],
+        )
+        payload = json.loads(sweep.to_json())
+        assert payload["values"] == [1.5, 2]
+        assert payload["measurements"][0] == {
+            "cost": 1.8, "flag": True, "vec": [1.0, 2.0]
+        }
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            SweepResult.from_json("[1, 2, 3]")
