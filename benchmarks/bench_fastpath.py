@@ -1,0 +1,217 @@
+"""Benchmark the fused fast path against the reference solver loop.
+
+Two workloads:
+
+* **per-solve** — B independent size-N instances (unit-cost complete
+  graphs, k varied per instance) solved one at a time from the paper's
+  skewed start, reference engine vs ``engine="fast"``.  Every instance's
+  fast result is checked for bit-for-bit parity (iterations, cost,
+  allocation) against the reference result before either time is trusted
+  — a fast wrong engine is worthless.
+* **warm-started sweep** — a dense k grid solved by
+  :func:`parameter_sweep` on the fast engine, cold starts vs
+  ``warm_start=True`` continuation, reporting the iteration-count
+  reduction that neighbor-seeding buys on top of the kernel speedup.
+
+Run standalone (not under pytest — this one measures the harness itself,
+not a paper figure):
+
+    PYTHONPATH=src python benchmarks/bench_fastpath.py            # full grid
+    PYTHONPATH=src python benchmarks/bench_fastpath.py --smoke    # CI-sized
+
+The full grid writes ``benchmarks/BENCH_fastpath.json``; the checked-in
+copy records the reference machine's speedups (docs/PERFORMANCE.md reads
+them).  ``--smoke`` shrinks the grid and does *not* overwrite the
+checked-in JSON unless ``--out`` is given explicitly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.algorithm import DecentralizedAllocator
+from repro.core.initials import paper_skewed_allocation
+from repro.core.model import FileAllocationProblem
+from repro.experiments.sweeps import parameter_sweep
+
+ALPHA = 0.3
+EPSILON = 1e-4
+MU = 1.5
+MAX_ITERATIONS = 5_000
+DEFAULT_OUT = Path(__file__).resolve().parent / "BENCH_fastpath.json"
+
+FULL_GRID = [(32, 16), (64, 16), (128, 8)]
+SMOKE_GRID = [(32, 4)]
+FULL_SWEEP_POINTS = 96
+SMOKE_SWEEP_POINTS = 12
+
+
+class _Factory:
+    """Picklable problem factory: k varies across the batch, N is fixed."""
+
+    def __init__(self, n: int):
+        self.n = n
+
+    def __call__(self, k: float) -> FileAllocationProblem:
+        rates = np.full(self.n, 1.0 / self.n)
+        return FileAllocationProblem(
+            1.0 - np.eye(self.n), rates, k=float(k), mu=MU
+        )
+
+
+def _measure(problem, result):
+    return {
+        "cost": result.cost,
+        "iterations": result.iterations,
+        "converged": result.converged,
+    }
+
+
+def _time(fn, *, repeats: int):
+    best, out = np.inf, None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, out
+
+
+def bench_solve_cell(n: int, batch: int, *, repeats: int) -> dict:
+    values = [float(k) for k in np.linspace(0.5, 2.5, batch)]
+    factory = _Factory(n)
+    problems = [factory(k) for k in values]
+    x0 = paper_skewed_allocation(n)
+
+    def run(engine: str):
+        return [
+            DecentralizedAllocator(
+                p, alpha=ALPHA, epsilon=EPSILON, max_iterations=MAX_ITERATIONS
+            ).run(x0, engine=engine)
+            for p in problems
+        ]
+
+    # Parity gate before any timing: fast must equal reference bit for bit.
+    for i, (ref, fast) in enumerate(zip(run("reference"), run("fast"))):
+        assert fast.iterations == ref.iterations, (n, i)
+        assert fast.cost == ref.cost, (n, i)
+        assert np.array_equal(fast.allocation, ref.allocation), (n, i)
+
+    reference_s, results = _time(lambda: run("reference"), repeats=repeats)
+    fast_s, _ = _time(lambda: run("fast"), repeats=repeats)
+    iterations = int(sum(r.iterations for r in results))
+    return {
+        "n": n,
+        "batch": batch,
+        "iterations_total": iterations,
+        "reference_seconds": reference_s,
+        "fast_seconds": fast_s,
+        "speedup_fast": reference_s / fast_s,
+        "reference_us_per_iteration": 1e6 * reference_s / iterations,
+        "fast_us_per_iteration": 1e6 * fast_s / iterations,
+        "parity": True,
+    }
+
+
+def bench_warm_sweep(n: int, points: int, *, repeats: int) -> dict:
+    values = [float(k) for k in np.linspace(0.5, 2.5, points)]
+    factory = _Factory(n)
+    x0 = paper_skewed_allocation(n)
+    kwargs = dict(
+        measure=_measure,
+        initial_allocation=x0,
+        alpha=ALPHA,
+        epsilon=EPSILON,
+        max_iterations=MAX_ITERATIONS,
+        engine="fast",
+    )
+
+    cold_s, cold = _time(
+        lambda: parameter_sweep("k", values, factory, **kwargs),
+        repeats=repeats,
+    )
+    warm_s, warm = _time(
+        lambda: parameter_sweep("k", values, factory, warm_start=True, **kwargs),
+        repeats=repeats,
+    )
+    # Sanity gate: every point converged, to solutions that agree to the
+    # sweep tolerance (warm starts change the path, not the destination).
+    assert all(m["converged"] for m in cold.measurements)
+    assert all(m["converged"] for m in warm.measurements)
+    for c, w in zip(cold.measurements, warm.measurements):
+        assert abs(c["cost"] - w["cost"]) < 10 * EPSILON, (c["cost"], w["cost"])
+
+    cold_iters = int(sum(cold.column("iterations")))
+    warm_iters = int(sum(warm.column("iterations")))
+    return {
+        "n": n,
+        "points": points,
+        "cold_iterations": cold_iters,
+        "warm_iterations": warm_iters,
+        "iteration_reduction": cold_iters / max(1, warm_iters),
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "speedup_warm": cold_s / warm_s,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="one small cell, no JSON unless --out is given",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help=f"output JSON path (full mode default: {DEFAULT_OUT.name})",
+    )
+    args = parser.parse_args(argv)
+
+    grid = SMOKE_GRID if args.smoke else FULL_GRID
+    points = SMOKE_SWEEP_POINTS if args.smoke else FULL_SWEEP_POINTS
+    repeats = 1 if args.smoke else 3
+
+    solve_rows = []
+    print(f"{'N':>4} {'B':>4} {'reference':>11} {'fast':>10} {'speedup':>8} "
+          f"{'ref us/it':>10} {'fast us/it':>11}")
+    for n, batch in grid:
+        cell = bench_solve_cell(n, batch, repeats=repeats)
+        solve_rows.append(cell)
+        print(f"{n:>4} {batch:>4} {cell['reference_seconds']:>10.4f}s "
+              f"{cell['fast_seconds']:>9.4f}s {cell['speedup_fast']:>7.2f}x "
+              f"{cell['reference_us_per_iteration']:>10.2f} "
+              f"{cell['fast_us_per_iteration']:>11.2f}")
+
+    sweep_n = grid[0][0]
+    sweep = bench_warm_sweep(sweep_n, points, repeats=repeats)
+    print(f"warm-start sweep (N={sweep_n}, {points} k-points, fast engine): "
+          f"{sweep['cold_iterations']} -> {sweep['warm_iterations']} iterations "
+          f"({sweep['iteration_reduction']:.1f}x fewer), "
+          f"{sweep['cold_seconds']:.4f}s -> {sweep['warm_seconds']:.4f}s "
+          f"({sweep['speedup_warm']:.2f}x)")
+
+    out = args.out
+    if out is None and not args.smoke:
+        out = str(DEFAULT_OUT)
+    if out is not None:
+        payload = {
+            "config": {
+                "alpha": ALPHA, "epsilon": EPSILON, "mu": MU,
+                "start": "skewed", "topology": "complete",
+                "k_grid": "linspace(0.5, 2.5, B)",
+                "smoke": args.smoke,
+            },
+            "per_solve": solve_rows,
+            "warm_sweep": sweep,
+        }
+        Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,6 +34,7 @@ from repro.core import (
     optimal_allocation,
     optimal_cost,
     solve,
+    solve_fast,
     theorem2_alpha_bound,
 )
 from repro.network import Topology, VirtualRing, complete_graph, ring_graph
@@ -64,6 +65,7 @@ __all__ = [
     "optimal_cost",
     "ring_graph",
     "solve",
+    "solve_fast",
     "sweep_parallel",
     "theorem2_alpha_bound",
 ]

@@ -5,9 +5,10 @@
 ``repro-fap figure``   — reproduce one of the paper's figures (3-6, 8, 9);
 ``repro-fap figures``  — reproduce all of them and print the summary tables;
 ``repro-fap sweep``    — sweep one parameter over a grid with a choice of
-engine (``serial`` / ``pooled`` process pool / ``batched`` lockstep) and
-optionally persist the :class:`~repro.experiments.sweeps.SweepResult` as
-JSON.
+engine (``serial`` / ``fast`` fused serial / ``pooled`` process pool /
+``batched`` lockstep), optionally warm-starting each grid point from its
+neighbor's solution (``--warm-start``), and optionally persist the
+:class:`~repro.experiments.sweeps.SweepResult` as JSON.
 
 Any solve can stream observability events to disk with
 ``--emit-metrics PATH`` (JSON lines, one event per iteration, plus a
@@ -72,6 +73,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     solve = sub.add_parser("solve", help="solve one FAP instance")
     add_instance_options(solve)
+    solve.add_argument(
+        "--engine", choices=["reference", "fast"], default="reference",
+        help="solver loop: reference (dense trace) or the fused fast path "
+             "(same iterates, sampled trace)",
+    )
     solve.add_argument("--plot", action="store_true", help="ascii convergence profile")
     solve.add_argument(
         "--emit-metrics",
@@ -129,9 +135,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="evenly spaced grid (exactly one of --values/--grid)",
     )
     sweep.add_argument(
-        "--engine", choices=["serial", "pooled", "batched"], default="batched",
-        help="serial loop, process pool, or lockstep batched kernel "
-             "(all three return identical measurements)",
+        "--engine", choices=["serial", "fast", "pooled", "batched"],
+        default="batched",
+        help="serial loop, fused serial fast path, process pool, or "
+             "lockstep batched kernel (all return identical measurements)",
+    )
+    sweep.add_argument(
+        "--warm-start", action="store_true",
+        help="solve grid points in sorted order, seeding each from its "
+             "neighbor's solution (serial/fast/pooled engines only)",
     )
     sweep.add_argument(
         "--jobs", type=int, default=None,
@@ -237,6 +249,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     # None → each task's own value is the stepsize (alpha is a solver
     # parameter, so it can't ride the problem factory).
     alpha = None if args.param == "alpha" else args.alpha
+    if args.engine == "batched" and args.warm_start:
+        raise SystemExit(
+            "sweep: --warm-start is not available with the batched engine "
+            "(lockstep rows iterate together); use --engine serial, fast, "
+            "or pooled"
+        )
     if args.engine == "batched":
         from repro.parallel import BatchedAllocator, BatchedProblem
 
@@ -270,8 +288,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             max_iterations=args.max_iterations,
             seed=args.seed,
             max_workers=args.jobs,
+            warm_start=args.warm_start,
         )
     else:
+        # "serial" and "fast" share the in-process sweep; "fast" swaps the
+        # per-point solver loop for the fused one.
         sweep = parameter_sweep(
             args.param, values, factory,
             measure=_sweep_measure,
@@ -280,6 +301,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             epsilon=args.epsilon,
             max_iterations=args.max_iterations,
             seed=args.seed,
+            warm_start=args.warm_start,
+            engine="fast" if args.engine == "fast" else "reference",
         )
     print(
         format_table(
@@ -305,7 +328,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     try:
         result = DecentralizedAllocator(
             problem, alpha=args.alpha, epsilon=args.epsilon, registry=registry
-        ).run(start)
+        ).run(start, engine=args.engine)
     finally:
         if sink is not None:
             sink.close()

@@ -25,7 +25,7 @@ hoped for) at every step when ``validate=True``:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence, Union
 
 import numpy as np
@@ -202,9 +202,33 @@ class DecentralizedAllocator:
         initial_allocation: Optional[Sequence[float]] = None,
         *,
         raise_on_failure: bool = False,
+        engine: str = "reference",
     ) -> AllocationResult:
         """Iterate from ``initial_allocation`` (default: uniform) until the
-        termination criterion fires or the budget is exhausted."""
+        termination criterion fires or the budget is exhausted.
+
+        ``engine`` selects the loop implementation:
+
+        * ``"reference"`` (default) — this method's loop: one trace record,
+          one registry event, and one callback invocation per iteration.
+        * ``"fast"`` — :func:`repro.core.fastpath.run_fast`: fused one-pass
+          cost/gradient evaluation and sampled trace/event emission.  The
+          iterate sequence, iteration count, final allocation, cost, and
+          registry counter totals are bit-for-bit identical to the
+          reference engine; trace records, per-iteration events, and
+          callback invocations arrive at ``sample_every`` cadence instead
+          of every step.
+        """
+        if engine == "fast":
+            from repro.core.fastpath import run_fast
+
+            return run_fast(
+                self, initial_allocation, raise_on_failure=raise_on_failure
+            )
+        if engine != "reference":
+            raise ConfigurationError(
+                f'engine must be "reference" or "fast", got {engine!r}'
+            )
         if initial_allocation is None:
             x = uniform_allocation(self.problem.n)
         else:
@@ -221,6 +245,14 @@ class DecentralizedAllocator:
         trace = Trace(
             keep_allocations=self.keep_allocations, sample_every=self.sample_every
         )
+        # Under "sampled"/"last" the trace discards most allocation
+        # snapshots on the very next append — copying every iterate would
+        # be pure churn.  The loop below rebinds ``x`` each step (``_apply``
+        # returns a fresh array), so handing the trace the live array is
+        # safe: a record either drops it or becomes its sole owner.  The
+        # final record is detached with a real copy after the loop so it
+        # never aliases ``result.allocation``.
+        copy_records = self.keep_allocations == "all"
 
         def emit(record: IterationRecord) -> None:
             trace.append(record)
@@ -246,7 +278,7 @@ class DecentralizedAllocator:
             emit(
                 IterationRecord(
                     iteration=0,
-                    allocation=x.copy(),
+                    allocation=x.copy() if copy_records else x,
                     cost=cost,
                     utility=-cost,
                     gradient_spread=initial_spread,
@@ -289,7 +321,7 @@ class DecentralizedAllocator:
                 emit(
                     IterationRecord(
                         iteration=iteration,
-                        allocation=x.copy(),
+                        allocation=x.copy() if copy_records else x,
                         cost=cost,
                         utility=-cost,
                         gradient_spread=step_spread,
@@ -301,6 +333,9 @@ class DecentralizedAllocator:
                 prev_cost = cost
                 prev_active = active_count
 
+        last = trace.records[-1]
+        if not copy_records and last.allocation is x:
+            trace.records[-1] = replace(last, allocation=x.copy())
         if reg is not None:
             reg.gauge_set("allocator.final_cost", cost)
             reg.gauge_set("allocator.converged", float(converged))
@@ -349,13 +384,17 @@ def solve(
     registry: Optional[MetricsRegistry] = None,
     keep_allocations: str = "all",
     sample_every: int = 100,
+    engine: str = "reference",
 ) -> AllocationResult:
     """One-call convenience wrapper around :class:`DecentralizedAllocator`.
 
     Exposes the full allocator surface — earlier versions silently
     dropped ``active_set``, ``validate``, ``callback`` and
     ``raise_on_failure``, so callers of the convenience wrapper could not
-    reach documented allocator features.
+    reach documented allocator features.  ``engine="fast"`` selects the
+    fused :mod:`repro.core.fastpath` loop (see
+    :meth:`DecentralizedAllocator.run`); :func:`repro.core.fastpath.solve_fast`
+    is the same thing as a named entry point.
     """
     allocator = DecentralizedAllocator(
         problem,
@@ -370,4 +409,6 @@ def solve(
         keep_allocations=keep_allocations,
         sample_every=sample_every,
     )
-    return allocator.run(initial_allocation, raise_on_failure=raise_on_failure)
+    return allocator.run(
+        initial_allocation, raise_on_failure=raise_on_failure, engine=engine
+    )

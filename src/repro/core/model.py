@@ -25,7 +25,11 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, InfeasibleAllocationError
+from repro.exceptions import (
+    ConfigurationError,
+    InfeasibleAllocationError,
+    StabilityError,
+)
 from repro.network.shortest_paths import all_pairs_shortest_paths
 from repro.network.topology import Topology
 from repro.queueing.mm1 import MM1Delay
@@ -106,6 +110,17 @@ class FileAllocationProblem:
                 check_positive(float(m), f"mu[{i}]")
             models = [MM1Delay(float(m)) for m in mus]
         self.delay_models: List[DelayModelLike] = models
+        # Vectorized fast route: when every node runs the plain analytic
+        # M/M/1 model (homogeneous or per-node mu), `evaluate` computes
+        # T = 1/(mu - a) and its derivatives as closed-form array
+        # expressions instead of N Python method calls per pass.  Exotic
+        # or subclassed delay models fall back to the object loop.
+        if all(type(m) is MM1Delay for m in models):
+            self._mm1_mu: Optional[np.ndarray] = np.array(
+                [m.mu for m in models], dtype=float
+            )
+        else:
+            self._mm1_mu = None
 
         # The paper assumes mu > lambda so the whole file can sit anywhere
         # with finite delay.  With an overload-capable model (infinite
@@ -234,6 +249,72 @@ class FileAllocationProblem:
         d2t = np.array([m.d2_sojourn(float(a)) for m, a in zip(self.delay_models, arrivals)])
         lam = self.total_rate
         return self.k * (2.0 * lam * dt + arr * lam * lam * d2t)
+
+    # -- fused evaluation (the serial solver hot path) ---------------------------
+
+    @property
+    def has_vectorized_evaluate(self) -> bool:
+        """Whether :meth:`evaluate` runs the closed-form M/M/1 array route
+        (every node is a plain :class:`~repro.queueing.mm1.MM1Delay`)."""
+        return self._mm1_mu is not None
+
+    def evaluate(self, x: Sequence[float], *, need_hessian: bool = False):
+        """Fused one-pass evaluation: ``(cost, cost_gradient[, hessian_diag])``.
+
+        Computes everything :meth:`cost`, :meth:`cost_gradient` (and, with
+        ``need_hessian=True``, :meth:`cost_hessian_diag`) would return, but
+        in a single pass sharing the ``1/(mu - lambda x)`` reciprocals —
+        the per-iteration hot path of the solvers.  On the vectorized
+        M/M/1 route there are no per-node Python calls at all; other delay
+        models use one object loop instead of the two or three the separate
+        methods would make.
+
+        Every returned value is **bit-for-bit identical** to the separate
+        methods' results (the parity the fast solver engine and the §8.2
+        second-order allocator rely on).
+        """
+        arr = np.asarray(x, dtype=float)
+        if self._mm1_mu is not None:
+            return self._evaluate_mm1(arr, need_hessian)
+        arrivals = self.total_rate * arr
+        models = self.delay_models
+        t = np.array([m.sojourn_time(float(a)) for m, a in zip(models, arrivals)])
+        dt = np.array([m.d_sojourn(float(a)) for m, a in zip(models, arrivals)])
+        cost = float(np.sum((self.access_cost + self.k * t) * arr))
+        gradient = self.access_cost + self.k * (t + arr * self.total_rate * dt)
+        if not need_hessian:
+            return cost, gradient
+        d2t = np.array([m.d2_sojourn(float(a)) for m, a in zip(models, arrivals)])
+        lam = self.total_rate
+        hessian = self.k * (2.0 * lam * dt + arr * lam * lam * d2t)
+        return cost, gradient, hessian
+
+    def _evaluate_mm1(self, arr: np.ndarray, need_hessian: bool):
+        """Closed-form array evaluation for plain M/M/1 nodes.
+
+        Derivative powers are spelled as explicit products so every element
+        matches the scalar :class:`~repro.queueing.mm1.MM1Delay` bits (see
+        its :meth:`~repro.queueing.mm1.MM1Delay.d_sojourn` note)."""
+        arrivals = self.total_rate * arr
+        if not np.all(np.isfinite(arrivals)):
+            raise StabilityError("arrival rates must be finite")
+        gap = self._mm1_mu - arrivals
+        if np.any(gap <= 0):
+            i = int(np.argmax(gap <= 0))
+            raise StabilityError(
+                f"M/M/1 unstable: arrival rate {arrivals[i]:g} >= "
+                f"service rate {self._mm1_mu[i]:g}"
+            )
+        t = 1.0 / gap
+        dt = 1.0 / (gap * gap)
+        cost = float(np.sum((self.access_cost + self.k * t) * arr))
+        gradient = self.access_cost + self.k * (t + arr * self.total_rate * dt)
+        if not need_hessian:
+            return cost, gradient
+        lam = self.total_rate
+        d2t = 2.0 / (gap * gap * gap)
+        hessian = self.k * (2.0 * lam * dt + arr * lam * lam * d2t)
+        return cost, gradient, hessian
 
     # -- batched view (lockstep evaluation over many instances) ------------------
 

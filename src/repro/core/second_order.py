@@ -78,8 +78,20 @@ class SecondOrderAllocator:
         self.max_iterations = int(max_iterations)
         self.curvature_floor = check_positive(curvature_floor, "curvature_floor")
 
-    def step(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def step(
+        self,
+        x: np.ndarray,
+        *,
+        gradient: Optional[np.ndarray] = None,
+        hessian_diag: Optional[np.ndarray] = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
         """One Newton-like step; returns ``(new_x, active_mask)``.
+
+        ``gradient``/``hessian_diag`` accept precomputed ``dC/dx`` and
+        ``d2C/dx2`` at ``x`` (e.g. from one fused
+        :meth:`~repro.core.model.FileAllocationProblem.evaluate` call);
+        when omitted they are computed here, so ``step(x)`` alone still
+        works as a standalone single-step API.
 
         Boundary handling mirrors the first-order ``scaled-step`` policy:
         zero-share nodes that want to shrink are frozen (their ``1/h``
@@ -87,8 +99,11 @@ class SecondOrderAllocator:
         whole step is shrunk so the worst donor lands at zero.
         """
         mask = np.ones(x.size, dtype=bool)
-        g = self.problem.cost_gradient(x)
-        h = np.maximum(self.problem.cost_hessian_diag(x), self.curvature_floor)
+        g = self.problem.cost_gradient(x) if gradient is None else gradient
+        h = np.maximum(
+            self.problem.cost_hessian_diag(x) if hessian_diag is None else hessian_diag,
+            self.curvature_floor,
+        )
         for _ in range(x.size):
             w = np.where(mask, 1.0 / h, 0.0)
             if w.sum() == 0:
@@ -123,9 +138,7 @@ class SecondOrderAllocator:
         trace = Trace()
         mask = np.ones(self.problem.n, dtype=bool)
 
-        def record(iteration: int, alpha: float) -> tuple[float, np.ndarray]:
-            cost = self.problem.cost(x)
-            g_u = self.problem.utility_gradient(x)
+        def record(iteration: int, alpha: float, cost: float, g_u: np.ndarray) -> None:
             trace.append(
                 IterationRecord(
                     iteration=iteration,
@@ -137,15 +150,24 @@ class SecondOrderAllocator:
                     active_count=int(mask.sum()),
                 )
             )
-            return cost, g_u
 
-        cost, g_u = record(0, float("nan"))
+        # One fused evaluate per iterate: cost, gradient and Hessian
+        # diagonal share the sojourn reciprocals, replacing the four
+        # separate sojourn sweeps (cost + utility_gradient in the record,
+        # cost_gradient + cost_hessian_diag in the step) of the original
+        # loop.  The step then consumes the derivatives already computed
+        # at the incoming iterate — exactly what it would recompute.
+        cost, cg, h = self.problem.evaluate(x, need_hessian=True)
+        g_u = -cg
+        record(0, float("nan"), cost, g_u)
         converged = self.termination.should_stop(0, x, g_u, mask, cost)
         iteration = 0
         while not converged and iteration < self.max_iterations:
             iteration += 1
-            x, mask = self.step(x)
-            cost, g_u = record(iteration, self.alpha)
+            x, mask = self.step(x, gradient=cg, hessian_diag=h)
+            cost, cg, h = self.problem.evaluate(x, need_hessian=True)
+            g_u = -cg
+            record(iteration, self.alpha, cost, g_u)
             converged = self.termination.should_stop(iteration, x, g_u, mask, cost)
 
         if not converged and raise_on_failure:

@@ -166,8 +166,16 @@ class Trace:
 
     @property
     def iterations(self) -> int:
-        """Number of reallocation steps taken (records minus the initial)."""
-        return max(0, len(self.records) - 1)
+        """Number of reallocation steps taken.
+
+        The final record's iteration number — not ``len(records) - 1``,
+        which undercounts on the sampled traces the fast engine emits
+        (record iteration numbers are authoritative; record *count* is a
+        memory-policy artifact).
+        """
+        if not self.records:
+            return 0
+        return self.records[-1].iteration
 
     def final_allocation(self) -> np.ndarray:
         return self.records[-1].allocation

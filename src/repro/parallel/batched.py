@@ -123,7 +123,7 @@ class BatchedProblem:
         """``(R, N)`` marginal utilities ``dU/dx`` per selected row."""
         gap = self._gaps(x, rows)
         t = 1.0 / gap
-        dt = 1.0 / gap**2
+        dt = 1.0 / (gap * gap)
         return -(
             self.access_cost[rows]
             + self.k[rows] * (t + x * self.total_rate[rows] * dt)
@@ -131,9 +131,12 @@ class BatchedProblem:
 
     def cost_hessian_diag(self, x: np.ndarray, rows=slice(None)) -> np.ndarray:
         """``(R, N)`` diagonal Hessians ``d2C/dx_i^2`` per selected row."""
+        # Product form, not ``gap**p``: numpy's pow and the scalar MM1Delay
+        # derivatives can disagree by one ulp, which would break the
+        # bit-for-bit serial parity contract (see MM1Delay.d_sojourn).
         gap = self._gaps(x, rows)
-        dt = 1.0 / gap**2
-        d2t = 2.0 / gap**3
+        dt = 1.0 / (gap * gap)
+        d2t = 2.0 / (gap * gap * gap)
         lam = self.total_rate[rows]
         return self.k[rows] * (2.0 * lam * dt + x * lam * lam * d2t)
 

@@ -97,7 +97,10 @@ def solve_grid_point(
     epsilon: float = 1e-4,
     max_iterations: int = 10_000,
     collect_metrics: bool = False,
-) -> Tuple[Dict[str, Any], Optional[Dict[str, object]]]:
+    engine: str = "reference",
+    warm_allocation=None,
+    return_allocation: bool = False,
+):
     """Build, solve, and measure one grid point; the shared task body of
     both the serial :func:`~repro.experiments.sweeps.parameter_sweep` and
     the pooled :func:`sweep_parallel`.
@@ -106,7 +109,17 @@ def solve_grid_point(
     sweep over alpha itself (a solver parameter, not a problem parameter)
     rides the same machinery.
 
-    Returns ``(measurements, registry_snapshot_or_None)``.
+    ``engine`` selects the solver loop (see
+    :meth:`~repro.core.algorithm.DecentralizedAllocator.run`).
+    ``warm_allocation`` — a neighboring grid point's converged allocation —
+    replaces ``initial_allocation`` as the starting iterate when its length
+    matches the problem size (a sweep that changes the node count across
+    grid points falls back to the cold start).  With
+    ``return_allocation=True`` the return value grows a third element, the
+    solved allocation, so the caller can chain it into the next point.
+
+    Returns ``(measurements, registry_snapshot_or_None)``, plus the
+    allocation when requested.
     """
     from repro.core.algorithm import DecentralizedAllocator
 
@@ -122,9 +135,15 @@ def solve_grid_point(
         max_iterations=max_iterations,
         registry=registry,
     )
-    result = allocator.run(initial_allocation)
+    start = initial_allocation
+    if warm_allocation is not None and len(warm_allocation) == problem.n:
+        start = warm_allocation
+    result = allocator.run(start, engine=engine)
     measurements = measure(problem, result)
-    return measurements, (registry.snapshot() if registry is not None else None)
+    snapshot = registry.snapshot() if registry is not None else None
+    if return_allocation:
+        return measurements, snapshot, result.allocation
+    return measurements, snapshot
 
 
 def _run_chunk(payload) -> List[Tuple[int, bool, Any, Optional[dict]]]:
@@ -132,16 +151,37 @@ def _run_chunk(payload) -> List[Tuple[int, bool, Any, Optional[dict]]]:
 
     Returns ``(index, ok, measurements-or-error-repr, snapshot)`` per task
     so one bad grid point does not void its chunk-mates' finished work.
+
+    When the payload kwargs carry ``warm_start_chain=True`` the chunk's
+    tasks (already value-ordered by the parent) are chained: each solve
+    starts from the previous task's converged allocation.  The chain
+    resets at a failed task, and across chunk boundaries — warm starts
+    are a within-chunk optimization so grid points never depend on
+    another worker's completion order.
     """
     tasks, factory, measure, kwargs = payload
+    kwargs = dict(kwargs)
+    warm_chain = kwargs.pop("warm_start_chain", False)
+    warm = None
     out: List[Tuple[int, bool, Any, Optional[dict]]] = []
     for task in tasks:
         try:
-            measurements, snapshot = solve_grid_point(
-                task, factory, measure, **kwargs
-            )
+            if warm_chain:
+                measurements, snapshot, warm = solve_grid_point(
+                    task,
+                    factory,
+                    measure,
+                    warm_allocation=warm,
+                    return_allocation=True,
+                    **kwargs,
+                )
+            else:
+                measurements, snapshot = solve_grid_point(
+                    task, factory, measure, **kwargs
+                )
             out.append((task.index, True, measurements, snapshot))
         except Exception as exc:  # surfaced (and maybe retried) by the parent
+            warm = None
             out.append((task.index, False, f"{type(exc).__name__}: {exc}", None))
     return out
 
@@ -198,19 +238,40 @@ class SweepExecutor:
         tasks: Sequence[SweepTask],
         problem_factory: Callable,
         measure: Callable,
+        *,
+        warm_start: bool = False,
         **solve_kwargs,
     ) -> List[Dict[str, Any]]:
-        """Execute every task; returns measurements in grid order."""
+        """Execute every task; returns measurements in grid order.
+
+        ``warm_start=True`` runs the tasks in swept-value order (falling
+        back to grid order for unorderable values) and seeds each solve
+        from its predecessor's converged allocation — a continuation pass
+        along the sweep axis.  Task indices (and hence per-task rng seeds)
+        and the returned measurement order are unchanged; only the
+        starting iterates, and therefore iteration counts, differ.
+        """
         from repro.obs.registry import maybe_timer
 
         collect = self.registry is not None
         solve_kwargs = dict(solve_kwargs, collect_metrics=collect)
+        ordered: Sequence[SweepTask] = tasks
+        if warm_start:
+            try:
+                ordered = sorted(tasks, key=lambda t: t.value)
+            except TypeError:  # unorderable grid values: chain in grid order
+                ordered = tasks
         results: Dict[int, Dict[str, Any]] = {}
         with maybe_timer(self.registry, "sweep.run_seconds"):
             if self.max_workers == 0:
-                self._run_inline(tasks, problem_factory, measure, solve_kwargs, results)
+                self._run_inline(
+                    ordered, problem_factory, measure, solve_kwargs, results,
+                    warm_start=warm_start,
+                )
             else:
-                self._run_pooled(tasks, problem_factory, measure, solve_kwargs, results)
+                if warm_start:
+                    solve_kwargs = dict(solve_kwargs, warm_start_chain=True)
+                self._run_pooled(ordered, problem_factory, measure, solve_kwargs, results)
         if self.registry is not None:
             self.registry.counter_inc("sweep.tasks", len(tasks))
         return [results[t.index] for t in tasks]
@@ -219,18 +280,34 @@ class SweepExecutor:
         if self.registry is not None and snapshot is not None:
             self.registry.merge_snapshot(snapshot)
 
-    def _run_inline(self, tasks, factory, measure, solve_kwargs, results) -> None:
+    def _run_inline(
+        self, tasks, factory, measure, solve_kwargs, results, *, warm_start=False
+    ) -> None:
+        warm = None
         for task in tasks:
             attempt = 0
             while True:
                 try:
-                    measurements, snapshot = solve_grid_point(
-                        task, factory, measure, **solve_kwargs
-                    )
+                    if warm_start:
+                        # Retries restart cold: a warm iterate that drove
+                        # the solve into a failure must not be re-fed.
+                        measurements, snapshot, warm = solve_grid_point(
+                            task,
+                            factory,
+                            measure,
+                            warm_allocation=warm if attempt == 0 else None,
+                            return_allocation=True,
+                            **solve_kwargs,
+                        )
+                    else:
+                        measurements, snapshot = solve_grid_point(
+                            task, factory, measure, **solve_kwargs
+                        )
                     results[task.index] = measurements
                     self._absorb(snapshot)
                     break
                 except Exception as exc:
+                    warm = None
                     attempt += 1
                     if attempt > self.retries:
                         if self.retries == 0:
@@ -308,6 +385,8 @@ def sweep_parallel(
     chunksize: Optional[int] = None,
     retries: int = 2,
     registry: Optional[MetricsRegistry] = None,
+    warm_start: bool = False,
+    engine: str = "reference",
 ):
     """Pooled drop-in for :func:`repro.experiments.sweeps.parameter_sweep`.
 
@@ -317,6 +396,11 @@ def sweep_parallel(
     ``rng`` keyword receive a deterministic per-task generator derived from
     ``seed`` and the grid index.  Returns a
     :class:`~repro.experiments.sweeps.SweepResult`.
+
+    ``warm_start=True`` chains each chunk's solves along the sorted sweep
+    axis (each grid point starts from its in-chunk predecessor's
+    solution); ``engine="fast"`` solves every point on the fused
+    :mod:`repro.core.fastpath` loop.
     """
     from repro.experiments.sweeps import SweepResult  # avoid an import cycle
 
@@ -332,9 +416,11 @@ def sweep_parallel(
         tasks,
         problem_factory,
         measure,
+        warm_start=warm_start,
         initial_allocation=initial_allocation,
         alpha=alpha,
         epsilon=epsilon,
         max_iterations=max_iterations,
+        engine=engine,
     )
     return SweepResult(parameter=parameter, values=values, measurements=measurements)

@@ -62,14 +62,25 @@ class MM1Delay:
         return 1.0 / (self.mu - a)
 
     def d_sojourn(self, arrival_rate: float) -> float:
-        """``dT/da = 1 / (mu - a)^2``."""
+        """``dT/da = 1 / (mu - a)^2``.
+
+        The power is spelled as an explicit product: IEEE-754 multiplication
+        is deterministic, whereas ``pow(gap, 2)`` (libm) can differ from
+        ``gap * gap`` by one ulp.  The vectorized evaluation kernels
+        (:meth:`repro.core.model.FileAllocationProblem.evaluate`,
+        :mod:`repro.parallel.batched`) use the same product form, which is
+        what makes their bit-for-bit parity with this scalar path a
+        guarantee rather than a platform accident.
+        """
         a = self._check(arrival_rate)
-        return 1.0 / (self.mu - a) ** 2
+        gap = self.mu - a
+        return 1.0 / (gap * gap)
 
     def d2_sojourn(self, arrival_rate: float) -> float:
-        """``d2T/da2 = 2 / (mu - a)^3``."""
+        """``d2T/da2 = 2 / (mu - a)^3`` (product form, see :meth:`d_sojourn`)."""
         a = self._check(arrival_rate)
-        return 2.0 / (self.mu - a) ** 3
+        gap = self.mu - a
+        return 2.0 / (gap * gap * gap)
 
     # -- standard auxiliary quantities ----------------------------------------
 
