@@ -40,11 +40,13 @@ from repro.core import (
 from repro.network import Topology, VirtualRing, complete_graph, ring_graph
 from repro.obs import JsonLinesSink, MemorySink, MetricsRegistry, RunReport
 from repro.parallel import BatchedAllocator, BatchedProblem, sweep_parallel
+from repro.service import AllocationService, ServiceClient, SolveRequest, SolveResponse
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AllocationResult",
+    "AllocationService",
     "BatchedAllocator",
     "BatchedProblem",
     "DecentralizedAllocator",
@@ -56,6 +58,9 @@ __all__ = [
     "MultiFileProblem",
     "RunReport",
     "SecondOrderAllocator",
+    "ServiceClient",
+    "SolveRequest",
+    "SolveResponse",
     "Topology",
     "VirtualRing",
     "__version__",

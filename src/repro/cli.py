@@ -8,7 +8,11 @@
 engine (``serial`` / ``fast`` fused serial / ``pooled`` process pool /
 ``batched`` lockstep), optionally warm-starting each grid point from its
 neighbor's solution (``--warm-start``), and optionally persist the
-:class:`~repro.experiments.sweeps.SweepResult` as JSON.
+:class:`~repro.experiments.sweeps.SweepResult` as JSON;
+``repro-fap serve``    — run the allocation service over line-delimited
+JSON requests (stdin or ``--input``), micro-batching compatible requests
+and answering repeats from the solution cache; responses stream to
+stdout as JSON lines.
 
 Any solve can stream observability events to disk with
 ``--emit-metrics PATH`` (JSON lines, one event per iteration, plus a
@@ -158,6 +162,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the SweepResult as JSON to PATH",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve line-delimited JSON solve requests (micro-batched, cached)",
+    )
+    serve.add_argument(
+        "--input", metavar="PATH", default=None,
+        help="read requests from PATH instead of stdin",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=32,
+        help="largest lockstep dispatch (1 disables micro-batching)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=256,
+        help="solution-cache capacity (0 disables caching)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=1024,
+        help="admission bound on pending requests",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None,
+        help="default per-request queue deadline in seconds",
+    )
+    serve.add_argument(
+        "--emit-metrics", metavar="PATH", default=None,
+        help="stream service events to PATH (JSON lines)",
+    )
+
     copies = sub.add_parser(
         "copies", help="sweep the copy count m on a virtual ring (§8.2)"
     )
@@ -241,6 +274,15 @@ def _parse_sweep_grid(args: argparse.Namespace) -> List[float]:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.sweeps import SweepResult, parameter_sweep, sweep_parallel
 
+    # Fail fast, before any grid parsing or problem construction: the
+    # combination can never work, so no other argument should be able to
+    # mask (or delay) the explanation.
+    if args.engine == "batched" and args.warm_start:
+        raise SystemExit(
+            "sweep: --warm-start is not available with the batched engine "
+            "(lockstep rows iterate together); use --engine serial, fast, "
+            "or pooled"
+        )
     values = _parse_sweep_grid(args)
     factory = _SweepFactory(
         args.param, args.nodes, args.topology, args.mu, args.rate, args.k
@@ -249,12 +291,6 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     # None → each task's own value is the stepsize (alpha is a solver
     # parameter, so it can't ride the problem factory).
     alpha = None if args.param == "alpha" else args.alpha
-    if args.engine == "batched" and args.warm_start:
-        raise SystemExit(
-            "sweep: --warm-start is not available with the batched engine "
-            "(lockstep rows iterate together); use --engine serial, fast, "
-            "or pooled"
-        )
     if args.engine == "batched":
         from repro.parallel import BatchedAllocator, BatchedProblem
 
@@ -314,6 +350,98 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         with open(args.out, "w") as fh:
             fh.write(sweep.to_json() + "\n")
         print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the allocation service over a line-delimited JSON stream.
+
+    Requests stream in (stdin or ``--input``), responses stream out on
+    stdout in request order — solves, structured rejections, and
+    per-line parse errors alike, one JSON object per line.  Requests are
+    micro-batched ``--max-batch`` at a time; a run summary goes to
+    stderr so stdout stays machine-readable.
+    """
+    import json
+
+    from repro.service import (
+        AdmissionController,
+        AllocationService,
+        iter_request_payloads,
+        safe_parse,
+    )
+
+    registry = MetricsRegistry()
+    sink = None
+    if args.emit_metrics is not None:
+        sink = JsonLinesSink(args.emit_metrics)
+        registry.add_sink(sink)
+    service = AllocationService(
+        max_batch=args.max_batch,
+        cache_size=args.cache_size,
+        admission=AdmissionController(
+            max_queue_depth=args.queue_depth, default_timeout_s=args.timeout
+        ),
+        registry=registry,
+    )
+    stream = open(args.input) if args.input is not None else sys.stdin
+
+    slots: List = []  # ("error", dict) | ("ticket", PendingSolve), stream order
+    printed = 0
+
+    def flush() -> None:
+        nonlocal printed
+        while printed < len(slots):
+            kind, payload = slots[printed]
+            if kind == "ticket":
+                if not payload.done():
+                    break
+                print(json.dumps(payload.response.as_dict()), flush=True)
+            else:
+                print(json.dumps(payload), flush=True)
+            printed += 1
+
+    try:
+        queued = 0
+        for payload in iter_request_payloads(stream):
+            request, error = safe_parse(payload)
+            if error is not None:
+                slots.append(("error", error))
+                flush()
+                continue
+            slots.append(("ticket", service.submit(request)))
+            queued += 1
+            if queued >= args.max_batch:
+                service.pump()
+                queued = 0
+                flush()
+        service.pump()
+        flush()
+    finally:
+        if args.input is not None:
+            stream.close()
+        if sink is not None:
+            sink.close()
+
+    counters = registry.counters
+    latency = service.latency_percentiles()
+    solved = int(counters.get("service.solved", 0))
+    hits = int(counters.get("service.cache.hit", 0))
+    print(
+        "served {served} of {total} request(s): cache hit/warm/miss = "
+        "{hit}/{warm}/{miss}, {batches} dispatch(es), {rejected} rejected; "
+        "latency p50/p95/p99 = {p50:.4g}/{p95:.4g}/{p99:.4g}s".format(
+            served=solved + hits,
+            total=int(counters.get("service.requests", 0)),
+            hit=int(counters.get("service.cache.hit", 0)),
+            warm=int(counters.get("service.cache.warm", 0)),
+            miss=int(counters.get("service.cache.miss", 0)),
+            batches=int(counters.get("service.batches", 0)),
+            rejected=int(counters.get("service.rejected", 0)),
+            **latency,
+        ),
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -414,6 +542,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "report":
         from repro.experiments.report import generate_report
 

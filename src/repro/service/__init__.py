@@ -1,0 +1,87 @@
+"""repro.service — allocation-as-a-service over the solver engines.
+
+The subsystem that turns one-shot library calls into a served stream:
+:class:`AllocationService` accepts :class:`SolveRequest`\\ s on a bounded
+queue, micro-batches compatible requests into lockstep
+:class:`~repro.parallel.BatchedAllocator` dispatches (singletons take the
+fused fast path), answers repeats from a content-addressed
+:class:`SolutionCache` (exact hits immediately; near-misses warm-started
+from the nearest cached allocation), and sheds overload through
+:class:`AdmissionController` as structured rejections instead of
+unbounded latency.
+
+The batched/serial/fast engines' bit-for-bit parity is the load-bearing
+invariant: a request's answer does not depend on how the service chose to
+dispatch it.
+
+Quick start::
+
+    from repro.core import FileAllocationProblem
+    from repro.service import AllocationService, SolveRequest
+
+    service = AllocationService(max_batch=32, registry=None)
+    problem = FileAllocationProblem.paper_network()
+    response = service.solve(SolveRequest(problem=problem, alpha=0.3))
+    response.allocation        # ~ [0.25, 0.25, 0.25, 0.25]
+    response.cache             # "miss" the first time, "hit" on a repeat
+
+``repro-fap serve`` speaks the same machinery over line-delimited JSON;
+docs/COOKBOOK.md ("Serving allocations") and docs/PERFORMANCE.md (bench
+numbers) cover operation.
+"""
+
+from repro.service.admission import AdmissionController
+from repro.service.batcher import BatchKey, MicroBatch, MicroBatcher, batch_key
+from repro.service.cache import CacheEntry, SolutionCache
+from repro.service.codec import (
+    iter_request_payloads,
+    parse_request,
+    response_to_dict,
+    safe_parse,
+)
+from repro.service.fingerprint import (
+    parameter_distance,
+    problem_fingerprint,
+    request_fingerprint,
+    structural_key,
+)
+from repro.service.service import AllocationService, PendingSolve, ServiceClient
+from repro.service.types import (
+    REJECT_DEADLINE,
+    REJECT_LOAD_SHED,
+    REJECT_QUEUE_FULL,
+    REJECT_SHUTDOWN,
+    AdmissionDecision,
+    CacheLookup,
+    SolveRequest,
+    SolveResponse,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AllocationService",
+    "BatchKey",
+    "CacheEntry",
+    "CacheLookup",
+    "MicroBatch",
+    "MicroBatcher",
+    "PendingSolve",
+    "REJECT_DEADLINE",
+    "REJECT_LOAD_SHED",
+    "REJECT_QUEUE_FULL",
+    "REJECT_SHUTDOWN",
+    "ServiceClient",
+    "SolutionCache",
+    "SolveRequest",
+    "SolveResponse",
+    "batch_key",
+    "iter_request_payloads",
+    "parameter_distance",
+    "parse_request",
+    "problem_fingerprint",
+    "request_fingerprint",
+    "response_to_dict",
+    "safe_parse",
+    "structural_key",
+]

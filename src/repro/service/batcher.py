@@ -1,0 +1,127 @@
+"""Micro-batching: grouping compatible requests into one lockstep solve.
+
+The batched kernel (:class:`~repro.parallel.BatchedAllocator`) advances B
+independent problems as ``(B, N)`` arrays — its throughput on small
+instances is an order of magnitude over the serial loop, *and* its rows
+are bit-for-bit identical to the serial engine's iterates.  That parity
+is what makes micro-batching safe to apply silently: a request receives
+the identical answer whether it was grouped or solved alone, so batching
+is purely a throughput decision, never a semantics decision.
+
+Two requests are batchable together when the lockstep kernel can host
+both:
+
+* same node count ``N`` (rows of one ``(B, N)`` array);
+* pure analytic M/M/1 delay models (the kernel's closed-form evaluation);
+* same ``epsilon`` and ``max_iterations`` (the kernel's shared stopping
+  rule and budget — per-row *alpha* and starting iterates vary freely).
+
+Everything else — exotic delay models, odd sizes, mismatched tolerances —
+dispatches as a singleton on the fused fast path, which satisfies the
+same parity contract.
+
+:class:`MicroBatcher` does the grouping; the dispatch window (how long
+the service waits for a batch to fill) is timing policy and lives with
+the service loop, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.service.types import SolveRequest
+
+__all__ = ["BatchKey", "MicroBatch", "MicroBatcher", "batch_key"]
+
+
+@dataclass(frozen=True)
+class BatchKey:
+    """The compatibility class of one request: requests with equal keys
+    can share a lockstep dispatch."""
+
+    n: int
+    epsilon: float
+    max_iterations: int
+
+
+def batch_key(request: SolveRequest) -> Optional[BatchKey]:
+    """``request``'s compatibility class, or ``None`` if it must run alone."""
+    if not request.problem.has_vectorized_evaluate:
+        return None
+    return BatchKey(
+        n=request.problem.n,
+        epsilon=request.epsilon,
+        max_iterations=request.max_iterations,
+    )
+
+
+@dataclass
+class MicroBatch:
+    """One dispatch unit: an ordered group of compatible work items.
+
+    ``items`` are whatever the caller queued (the service queues its
+    pending-ticket objects; each must expose ``.request``).  ``key`` is
+    ``None`` exactly for singleton fallbacks of unbatchable requests.
+    """
+
+    key: Optional[BatchKey]
+    items: List
+
+    @property
+    def size(self) -> int:
+        return len(self.items)
+
+    def requests(self) -> List[SolveRequest]:
+        return [item.request for item in self.items]
+
+    def __repr__(self) -> str:
+        return f"MicroBatch(size={self.size}, key={self.key})"
+
+
+class MicroBatcher:
+    """Groups pending work into dispatchable :class:`MicroBatch` units.
+
+    Parameters
+    ----------
+    max_batch:
+        Upper bound on rows per lockstep dispatch.  1 disables grouping —
+        every request runs the singleton path (the configuration the
+        benchmarks use as the "individual dispatch" baseline).
+    """
+
+    def __init__(self, *, max_batch: int = 32):
+        if max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1")
+        self.max_batch = int(max_batch)
+
+    def plan(self, items: Sequence) -> List[MicroBatch]:
+        """Partition ``items`` (each exposing ``.request``) into batches.
+
+        Grouping preserves arrival order within each compatibility class
+        and emits classes in first-arrival order, so dispatch order is
+        deterministic for a given queue state.  Groups are split at
+        ``max_batch``; unbatchable requests become singletons.
+        """
+        groups: dict = {}
+        order: List = []
+        singletons: List[MicroBatch] = []
+        for item in items:
+            key = batch_key(item.request)
+            if key is None or self.max_batch == 1:
+                singletons.append(MicroBatch(key=None, items=[item]))
+                continue
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(item)
+        batches: List[MicroBatch] = []
+        for key in order:
+            members = groups[key]
+            for i in range(0, len(members), self.max_batch):
+                batches.append(MicroBatch(key=key, items=members[i : i + self.max_batch]))
+        return batches + singletons
+
+    def __repr__(self) -> str:
+        return f"MicroBatcher(max_batch={self.max_batch})"

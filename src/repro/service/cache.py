@@ -1,0 +1,178 @@
+"""The warm-start solution cache.
+
+An LRU map from request fingerprints to finished solves, with a
+structural side-index for continuation:
+
+* an **exact hit** (same fingerprint — same problem bytes, same solver
+  options) returns the cached allocation immediately; the determinism of
+  every solver engine makes this sound, because re-running the solve
+  could not produce anything else;
+* a **warm near-miss** (same :func:`~repro.service.fingerprint.structural_key`,
+  nearby parameters) returns the closest cached allocation as a
+  *starting iterate*: the solver still runs, but — optima being
+  continuous in the parameters — from a point already near its fixed
+  point, which is the same continuation effect that makes warm-started
+  sweeps ~30x cheaper (docs/PERFORMANCE.md);
+* everything else is a **miss** and solves cold.
+
+The cache is bounded (LRU over exact fingerprints) and purely in-memory.
+Lookup dispositions are tallied on the registry as
+``service.cache.hit`` / ``.warm`` / ``.miss``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.model import FileAllocationProblem
+from repro.exceptions import ConfigurationError
+from repro.obs.registry import MetricsRegistry
+from repro.service.fingerprint import (
+    parameter_distance,
+    request_fingerprint,
+    structural_key,
+)
+from repro.service.types import CacheLookup, SolveRequest
+
+__all__ = ["CacheEntry", "SolutionCache"]
+
+
+@dataclass
+class CacheEntry:
+    """One finished solve, addressable exactly and structurally."""
+
+    fingerprint: str
+    structure: str
+    problem: FileAllocationProblem
+    allocation: np.ndarray
+    cost: float
+    iterations: int
+    converged: bool
+
+
+class SolutionCache:
+    """Content-addressed LRU of converged allocations.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of retained solves (LRU eviction).  0 disables the
+        cache entirely: every lookup is a miss and nothing is stored.
+    max_warm_distance:
+        Largest :func:`~repro.service.fingerprint.parameter_distance` at
+        which a same-structure entry still counts as "near" — beyond it a
+        donor's allocation is likely farther from the optimum than the
+        cold start would be.
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` for the
+        hit/warm/miss counters and the size gauge.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        *,
+        max_warm_distance: float = 1.0,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if capacity < 0:
+            raise ConfigurationError("capacity must be >= 0")
+        if max_warm_distance <= 0:
+            raise ConfigurationError("max_warm_distance must be positive")
+        self.capacity = int(capacity)
+        self.max_warm_distance = float(max_warm_distance)
+        self.registry = registry
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._buckets: Dict[str, Dict[str, CacheEntry]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _count(self, status: str) -> None:
+        if self.registry is not None:
+            self.registry.counter_inc(f"service.cache.{status}")
+            self.registry.gauge_set("service.cache.size", float(len(self._entries)))
+
+    def lookup(self, request: SolveRequest) -> CacheLookup:
+        """Probe the cache for ``request``; never runs a solver."""
+        if self.capacity == 0:
+            self._count("miss")
+            return CacheLookup(status="miss")
+        fp = request_fingerprint(request)
+        if fp is None:  # uncacheable problem class
+            self._count("miss")
+            return CacheLookup(status="miss")
+        entry = self._entries.get(fp)
+        if entry is not None:
+            self._entries.move_to_end(fp)
+            self._count("hit")
+            return CacheLookup(status="hit", entry=entry, distance=0.0)
+        donor = self._nearest(request)
+        if donor is not None:
+            entry, distance = donor
+            self._count("warm")
+            return CacheLookup(status="warm", entry=entry, distance=distance)
+        self._count("miss")
+        return CacheLookup(status="miss")
+
+    def _nearest(self, request: SolveRequest):
+        bucket = self._buckets.get(structural_key(request.problem))
+        if not bucket:
+            return None
+        best, best_d = None, self.max_warm_distance
+        for entry in bucket.values():
+            d = parameter_distance(request.problem, entry.problem)
+            if d <= best_d:
+                best, best_d = entry, d
+        if best is None:
+            return None
+        return best, best_d
+
+    def store(self, request: SolveRequest, result) -> Optional[CacheEntry]:
+        """Record a finished solve (an ``AllocationResult``-shaped object).
+
+        Only converged solves are stored — a budget-capped iterate is not
+        a solution and must not warm-start (let alone answer) anything.
+        Returns the entry, or ``None`` when the solve was uncacheable.
+        """
+        if self.capacity == 0 or not result.converged:
+            return None
+        fp = request_fingerprint(request)
+        if fp is None:
+            return None
+        entry = CacheEntry(
+            fingerprint=fp,
+            structure=structural_key(request.problem),
+            problem=request.problem,
+            allocation=np.array(result.allocation, dtype=float, copy=True),
+            cost=float(result.cost),
+            iterations=int(result.iterations),
+            converged=True,
+        )
+        if fp in self._entries:
+            self._entries.move_to_end(fp)
+        self._entries[fp] = entry
+        self._buckets.setdefault(entry.structure, {})[fp] = entry
+        while len(self._entries) > self.capacity:
+            old_fp, old = self._entries.popitem(last=False)
+            bucket = self._buckets.get(old.structure, {})
+            bucket.pop(old_fp, None)
+            if not bucket:
+                self._buckets.pop(old.structure, None)
+        if self.registry is not None:
+            self.registry.gauge_set("service.cache.size", float(len(self._entries)))
+        return entry
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._buckets.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"SolutionCache(size={len(self._entries)}/{self.capacity}, "
+            f"buckets={len(self._buckets)})"
+        )

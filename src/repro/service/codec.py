@@ -1,0 +1,153 @@
+"""The line-delimited JSON wire format of ``repro-fap serve``.
+
+One request per line, one response per line.  A request names either a
+standard topology::
+
+    {"id": "r1",
+     "problem": {"topology": "ring", "nodes": 4, "mu": 1.5, "rate": 1.0, "k": 1.0},
+     "alpha": 0.3, "epsilon": 1e-3, "max_iterations": 10000,
+     "start": "uniform", "timeout_s": 5.0, "priority": 0}
+
+or carries the raw matrices::
+
+    {"problem": {"cost_matrix": [[0, 1], [1, 0]],
+                 "access_rates": [0.5, 0.5], "mu": 1.5, "k": 1.0}}
+
+``start`` is a named initial allocation (``uniform`` / ``skewed`` /
+``single``) or an explicit vector.  Responses are
+:meth:`~repro.service.types.SolveResponse.as_dict` objects.  Malformed
+payloads raise :class:`~repro.exceptions.ConfigurationError` with a
+message naming the offending field — the CLI turns those into
+``{"status": "error"}`` lines instead of dying mid-stream.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, Iterator
+
+import numpy as np
+
+from repro.core.initials import (
+    paper_skewed_allocation,
+    single_node_allocation,
+    uniform_allocation,
+)
+from repro.core.model import FileAllocationProblem
+from repro.exceptions import ConfigurationError, ReproError
+from repro.network import builders
+from repro.service.types import SolveRequest, SolveResponse
+
+__all__ = ["parse_request", "response_to_dict", "iter_request_payloads", "safe_parse"]
+
+_TOPOLOGIES = {
+    "ring": builders.ring_graph,
+    "line": builders.line_graph,
+    "star": builders.star_graph,
+    "complete": builders.complete_graph,
+}
+
+_NAMED_STARTS = {
+    "uniform": uniform_allocation,
+    "skewed": paper_skewed_allocation,
+    "single": single_node_allocation,
+}
+
+
+def _parse_problem(spec) -> FileAllocationProblem:
+    if not isinstance(spec, dict):
+        raise ConfigurationError("request field 'problem' must be an object")
+    if "cost_matrix" in spec or "access_rates" in spec:
+        try:
+            return FileAllocationProblem(
+                spec["cost_matrix"],
+                spec["access_rates"],
+                k=float(spec.get("k", 1.0)),
+                mu=spec.get("mu"),
+                name=str(spec.get("name", "")),
+            )
+        except KeyError as missing:
+            raise ConfigurationError(
+                f"raw problem spec is missing field {missing}"
+            ) from None
+    family = spec.get("topology", "ring")
+    if family not in _TOPOLOGIES:
+        raise ConfigurationError(
+            f"unknown topology {family!r} (expected one of {sorted(_TOPOLOGIES)})"
+        )
+    nodes = int(spec.get("nodes", 4))
+    rate = float(spec.get("rate", 1.0))
+    return FileAllocationProblem.from_topology(
+        _TOPOLOGIES[family](nodes),
+        np.full(nodes, rate / nodes),
+        k=float(spec.get("k", 1.0)),
+        mu=float(spec.get("mu", 1.5)),
+    )
+
+
+def parse_request(payload: Dict) -> SolveRequest:
+    """One wire-format dict into a validated :class:`SolveRequest`."""
+    if not isinstance(payload, dict):
+        raise ConfigurationError("each request must be a JSON object")
+    if "problem" not in payload:
+        raise ConfigurationError("request is missing the 'problem' field")
+    problem = _parse_problem(payload["problem"])
+    start = payload.get("start", "uniform")
+    if isinstance(start, str):
+        if start not in _NAMED_STARTS:
+            raise ConfigurationError(
+                f"unknown start {start!r} (expected one of "
+                f"{sorted(_NAMED_STARTS)} or an explicit vector)"
+            )
+        initial = _NAMED_STARTS[start](problem.n)
+    else:
+        initial = np.asarray(start, dtype=float)
+    timeout_s = payload.get("timeout_s")
+    return SolveRequest(
+        problem=problem,
+        alpha=float(payload.get("alpha", 0.3)),
+        epsilon=float(payload.get("epsilon", 1e-3)),
+        max_iterations=int(payload.get("max_iterations", 10_000)),
+        initial_allocation=initial,
+        request_id=str(payload.get("id", "")),
+        timeout_s=None if timeout_s is None else float(timeout_s),
+        priority=int(payload.get("priority", 0)),
+    )
+
+
+def response_to_dict(response: SolveResponse) -> Dict:
+    """The wire-format view of a response (alias of ``as_dict``)."""
+    return response.as_dict()
+
+
+def iter_request_payloads(stream: IO[str]) -> Iterator[Dict]:
+    """Yield one payload dict per non-blank line of ``stream``.
+
+    A line that is not valid JSON yields an ``{"status": "error"}``
+    marker dict (with the parse failure in ``detail``) instead of
+    raising, so one bad line cannot kill a long-running serve loop.
+    """
+    for lineno, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            yield {"status": "error", "detail": f"line {lineno}: invalid JSON ({exc})"}
+            continue
+        yield payload
+
+
+def safe_parse(payload: Dict):
+    """``parse_request`` that returns ``(request, None)`` or ``(None, error_dict)``."""
+    if payload.get("status") == "error":  # pre-marked by iter_request_payloads
+        return None, payload
+    try:
+        return parse_request(payload), None
+    except (ReproError, TypeError, ValueError) as exc:
+        return None, {
+            "id": str(payload.get("id", "")),
+            "status": "error",
+            "detail": f"{type(exc).__name__}: {exc}",
+        }

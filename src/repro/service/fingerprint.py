@@ -1,0 +1,126 @@
+"""Content-addressed identity for problems and requests.
+
+The solution cache needs two notions of "the same problem":
+
+* **exact** — every byte that can influence the solver's answer.
+  :func:`request_fingerprint` hashes the problem (cost matrix, access
+  rates, per-node M/M/1 service rates, ``k``) *and* the solver options
+  (alpha, epsilon, iteration budget, starting allocation) into one stable
+  SHA-256 digest.  Two requests with equal fingerprints are guaranteed
+  the bit-for-bit identical :class:`~repro.core.algorithm.AllocationResult`,
+  which is what lets the cache answer an exact hit without running the
+  solver at all.
+* **near** — same *structure* (node count and cost matrix), different
+  *parameters* (rates, service rates, ``k``).  :func:`structural_key`
+  buckets cache entries by structure and :func:`parameter_distance`
+  ranks candidates within a bucket so a near-miss can be warm-started
+  from the closest converged allocation (PR 3's continuation machinery,
+  now fed by the cache instead of a sweep's neighbor).
+
+Hashes cover raw float64 bytes, not reprs — ``0.1 + 0.2`` and ``0.3``
+fingerprint differently, exactly as they would solve differently.  Only
+pure analytic M/M/1 problems are fingerprintable (the same restriction as
+the batched kernel); anything else returns ``None`` and simply bypasses
+the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+import numpy as np
+
+from repro.core.model import FileAllocationProblem
+
+__all__ = [
+    "problem_fingerprint",
+    "request_fingerprint",
+    "structural_key",
+    "parameter_distance",
+]
+
+
+def _update(h, *arrays) -> None:
+    for arr in arrays:
+        a = np.ascontiguousarray(np.asarray(arr, dtype=float))
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+
+
+def problem_fingerprint(problem: FileAllocationProblem) -> Optional[str]:
+    """Stable content hash of everything that defines the *problem*.
+
+    ``None`` for problems the service cannot canonicalize (non-M/M/1 or
+    subclassed delay models, whose behavior is not captured by the
+    ``mu`` vector) — those requests bypass the cache.
+    """
+    if not problem.has_vectorized_evaluate:
+        return None
+    h = hashlib.sha256(b"repro.fap.v1:")
+    _update(
+        h,
+        problem.cost_matrix,
+        problem.access_rates,
+        problem.mm1_service_rates(),
+        [problem.k],
+    )
+    return h.hexdigest()
+
+
+def request_fingerprint(request) -> Optional[str]:
+    """Content hash of problem **plus** solver options — the cache key.
+
+    Extends :func:`problem_fingerprint` with alpha, epsilon, the
+    iteration budget, and the starting allocation: everything that can
+    change the iterate sequence.
+    """
+    base = problem_fingerprint(request.problem)
+    if base is None:
+        return None
+    h = hashlib.sha256(base.encode())
+    _update(
+        h,
+        [request.alpha, request.epsilon, float(request.max_iterations)],
+        request.initial_allocation,
+    )
+    return h.hexdigest()
+
+
+def structural_key(problem: FileAllocationProblem) -> str:
+    """Hash of the problem's *shape*: node count and cost matrix.
+
+    Two problems share a structural key when they describe the same
+    network with different traffic/service parameters — the candidates
+    worth warm-starting from each other.
+    """
+    h = hashlib.sha256(b"repro.fap.structure.v1:")
+    h.update(str(problem.n).encode())
+    _update(h, problem.cost_matrix)
+    return h.hexdigest()
+
+
+def parameter_distance(
+    a: FileAllocationProblem, b: FileAllocationProblem
+) -> float:
+    """Relative distance between two same-structure problems' parameters.
+
+    The L2 norm of elementwise relative differences over the access-rate
+    vector, the M/M/1 service-rate vector, and ``k`` — 0 for identical
+    parameters, roughly "fractions of the operating point" otherwise.
+    ``inf`` when the problems differ in size (no warm start possible) or
+    either is not pure M/M/1.
+    """
+    if a.n != b.n:
+        return float("inf")
+    if not (a.has_vectorized_evaluate and b.has_vectorized_evaluate):
+        return float("inf")
+    pieces = []
+    for va, vb in (
+        (a.access_rates, b.access_rates),
+        (a.mm1_service_rates(), b.mm1_service_rates()),
+        (np.array([a.k]), np.array([b.k])),
+    ):
+        scale = np.maximum(np.maximum(np.abs(va), np.abs(vb)), 1e-300)
+        pieces.append((va - vb) / scale)
+    return float(np.sqrt(sum(float(np.sum(p * p)) for p in pieces)))

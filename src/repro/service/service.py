@@ -1,0 +1,483 @@
+"""The allocation service: queue, cache, batcher, and dispatch in one loop.
+
+:class:`AllocationService` is the long-running, in-process composition of
+everything the earlier layers provide:
+
+* requests enter through :meth:`~AllocationService.submit`, pass
+  **admission control** (bounded queue, load shedding), and wait on a
+  pending queue as :class:`PendingSolve` tickets;
+* each **pump** drains the queue: expired requests are rejected with a
+  structured deadline error, the **solution cache** answers exact hits
+  outright and attaches warm-start iterates to near-misses, and the
+  **micro-batcher** groups what remains into lockstep
+  :class:`~repro.parallel.BatchedAllocator` dispatches (singletons take
+  the fused fast path);
+* every response records how it was produced (cache disposition, batch
+  size, queue-to-response latency) and the registry accumulates the
+  service's operational story: queue depth, batch occupancy,
+  hit/warm/miss counts, p50/p95/p99 latency.
+
+Because every dispatch path is bit-for-bit equivalent to the serial
+reference engine, *none* of the throughput machinery is observable in the
+answers: a request returns the identical allocation whether it was
+batched with 31 strangers, solved alone, or warm-started cold.  (The one
+deliberate exception: a warm near-miss starts from a donor iterate, which
+changes the path to the optimum but not, within ``epsilon``, the optimum
+reached.)
+
+The service runs in two modes:
+
+* **synchronous** — call :meth:`pump` yourself (or use :meth:`solve` /
+  :meth:`solve_many`, which pump for you).  Deterministic; what the tests
+  and benchmarks use.
+* **threaded** — :meth:`start` spawns a dispatcher thread that waits up
+  to ``batch_window_s`` for a batch to fill before dispatching; callers
+  block on :meth:`PendingSolve.wait`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.algorithm import solve
+from repro.obs.registry import MetricsRegistry
+from repro.parallel import BatchedAllocator, BatchedProblem
+from repro.service.admission import AdmissionController
+from repro.service.batcher import MicroBatch, MicroBatcher
+from repro.service.cache import SolutionCache
+from repro.service.types import (
+    REJECT_SHUTDOWN,
+    SolveRequest,
+    SolveResponse,
+)
+
+__all__ = ["AllocationService", "PendingSolve", "ServiceClient"]
+
+
+class PendingSolve:
+    """Ticket for one submitted request; resolves to a :class:`SolveResponse`.
+
+    Rejected-at-submit requests come back already resolved, so callers
+    can treat every ticket uniformly.
+    """
+
+    def __init__(self, request: SolveRequest, submitted_at: float):
+        self.request = request
+        self.submitted_at = submitted_at
+        #: Cache disposition attached during the pump ("hit"/"warm"/"miss").
+        self.cache_status = "miss"
+        #: Donor allocation for warm starts (set during the pump).
+        self.warm_allocation: Optional[np.ndarray] = None
+        self._event = threading.Event()
+        self._response: Optional[SolveResponse] = None
+
+    @property
+    def effective_request(self) -> SolveRequest:
+        """The request as it will actually be solved: the caller's spec,
+        with a warm donor iterate swapped in as the start when one was
+        found.  Cache entries are stored under *this* configuration, so
+        an exact cache hit always reproduces a solve bit-for-bit."""
+        if self.warm_allocation is None:
+            return self.request
+        return replace(self.request, initial_allocation=self.warm_allocation)
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def response(self) -> Optional[SolveResponse]:
+        return self._response
+
+    def wait(self, timeout: Optional[float] = None) -> SolveResponse:
+        """Block until resolved; raises ``TimeoutError`` on expiry."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request.request_id!r} not resolved within {timeout}s"
+            )
+        assert self._response is not None
+        return self._response
+
+    def _resolve(self, response: SolveResponse) -> None:
+        self._response = response
+        self._event.set()
+
+    def __repr__(self) -> str:
+        state = "done" if self.done() else "pending"
+        return f"PendingSolve(id={self.request.request_id!r}, {state})"
+
+
+class AllocationService:
+    """Allocation-as-a-service over the library's solver engines.
+
+    Parameters
+    ----------
+    max_batch:
+        Largest lockstep dispatch; 1 disables micro-batching (every
+        request runs the singleton fast path).
+    batch_window_s:
+        In threaded mode, how long the dispatcher waits after work
+        arrives for a batch to fill before dispatching anyway.  Ignored
+        by synchronous :meth:`pump` (whatever is pending is the batch).
+    cache:
+        A :class:`~repro.service.cache.SolutionCache` to use, or ``None``
+        to build one from ``cache_size`` / ``max_warm_distance``.
+    cache_size:
+        Capacity of the built-in cache; 0 disables caching.
+    max_warm_distance:
+        Donor-eligibility radius for warm starts (see
+        :class:`~repro.service.cache.SolutionCache`).
+    admission:
+        An :class:`~repro.service.admission.AdmissionController`, or
+        ``None`` for the defaults (depth 1024, no shedding, no deadline).
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; receives
+        the full ``service.*`` counter/gauge/histogram family plus the
+        solver engines' own metrics.
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_batch: int = 32,
+        batch_window_s: float = 0.0,
+        cache: Optional[SolutionCache] = None,
+        cache_size: int = 256,
+        max_warm_distance: float = 1.0,
+        admission: Optional[AdmissionController] = None,
+        registry: Optional[MetricsRegistry] = None,
+        clock=time.monotonic,
+    ):
+        self.registry = registry
+        self.clock = clock
+        self.batcher = MicroBatcher(max_batch=max_batch)
+        self.batch_window_s = float(batch_window_s)
+        self.admission = admission if admission is not None else AdmissionController()
+        self.cache = (
+            cache
+            if cache is not None
+            else SolutionCache(
+                cache_size, max_warm_distance=max_warm_distance, registry=registry
+            )
+        )
+        self._pending: List[PendingSolve] = []
+        self._cond = threading.Condition()
+        self._latencies: deque = deque(maxlen=4096)
+        self._thread: Optional[threading.Thread] = None
+        self._stopping = False
+
+    # -- intake ----------------------------------------------------------------
+
+    def submit(self, request: SolveRequest) -> PendingSolve:
+        """Admit (or reject) one request; returns its ticket immediately."""
+        now = self.clock()
+        ticket = PendingSolve(request, now)
+        if self.registry is not None:
+            self.registry.counter_inc("service.requests")
+        with self._cond:
+            decision = self.admission.admit(request, len(self._pending))
+            if decision:
+                self._pending.append(ticket)
+                self._gauge_depth_locked()
+                self._cond.notify_all()
+        if not decision:
+            self._reject(ticket, decision.reason, decision.detail, latency_s=0.0)
+        return ticket
+
+    def solve(self, request: SolveRequest, *, timeout: Optional[float] = None) -> SolveResponse:
+        """Submit and wait for the answer (pumping inline when no
+        dispatcher thread is running)."""
+        ticket = self.submit(request)
+        if self._thread is None and not ticket.done():
+            self.pump()
+        return ticket.wait(timeout)
+
+    def solve_many(
+        self, requests: Sequence[SolveRequest], *, timeout: Optional[float] = None
+    ) -> List[SolveResponse]:
+        """Submit a burst together — giving the micro-batcher the whole
+        group at once — and wait for all answers, in request order."""
+        tickets = [self.submit(r) for r in requests]
+        if self._thread is None and any(not t.done() for t in tickets):
+            self.pump()
+        return [t.wait(timeout) for t in tickets]
+
+    # -- the dispatch loop -----------------------------------------------------
+
+    def pump(self) -> int:
+        """Drain the pending queue once; returns how many tickets resolved.
+
+        Deadline checks, cache probes, batch planning, and dispatch all
+        happen here, outside the queue lock — submissions keep flowing
+        while a batch solves.
+        """
+        with self._cond:
+            items = self._pending
+            self._pending = []
+            self._gauge_depth_locked()
+        if not items:
+            return 0
+        now = self.clock()
+        resolved = 0
+        live: List[PendingSolve] = []
+        for item in items:
+            verdict = self.admission.check_deadline(item.request, now - item.submitted_at)
+            if not verdict:
+                self._reject(
+                    item, verdict.reason, verdict.detail,
+                    latency_s=now - item.submitted_at,
+                )
+                resolved += 1
+                continue
+            live.append(item)
+        to_solve: List[PendingSolve] = []
+        for item in live:
+            lookup = self.cache.lookup(item.request)
+            if lookup.status == "hit":
+                entry = lookup.entry
+                self._complete(
+                    item,
+                    allocation=entry.allocation.copy(),
+                    cost=entry.cost,
+                    iterations=0,
+                    converged=True,
+                    cache="hit",
+                    batch_size=0,
+                )
+                resolved += 1
+                continue
+            item.cache_status = lookup.status
+            if lookup.status == "warm":
+                item.warm_allocation = lookup.entry.allocation.copy()
+            to_solve.append(item)
+        for batch in self.batcher.plan(to_solve):
+            self._dispatch(batch)
+            resolved += batch.size
+        self._publish_latency()
+        return resolved
+
+    def _dispatch(self, batch: MicroBatch) -> None:
+        reg = self.registry
+        if reg is not None:
+            reg.counter_inc("service.batches")
+            reg.counter_inc("service.batch_rows", batch.size)
+            reg.observe("service.batch_occupancy", batch.size)
+            reg.event("service_batch", size=batch.size, batched=batch.key is not None)
+        if batch.size == 1:
+            item = batch.items[0]
+            req = item.effective_request
+            result = solve(
+                req.problem,
+                alpha=req.alpha,
+                epsilon=req.epsilon,
+                max_iterations=req.max_iterations,
+                initial_allocation=req.initial_allocation,
+                engine="fast",
+                keep_allocations="last",
+            )
+            self._finish_solved(item, result, batch_size=1)
+            return
+        key = batch.key
+        requests = [item.effective_request for item in batch.items]
+        allocator = BatchedAllocator(
+            BatchedProblem.from_problems([r.problem for r in requests]),
+            alpha=[r.alpha for r in requests],
+            epsilon=key.epsilon,
+            max_iterations=key.max_iterations,
+            registry=reg,
+        )
+        batched = allocator.run(
+            np.stack([r.initial_allocation for r in requests])
+        )
+        for row, item in enumerate(batch.items):
+            self._finish_solved(item, batched.row(row), batch_size=batch.size)
+
+    def _finish_solved(self, item: PendingSolve, result, *, batch_size: int) -> None:
+        self.cache.store(item.effective_request, result)
+        if self.registry is not None:
+            self.registry.counter_inc("service.solved")
+            self.registry.counter_inc("service.solver_iterations", result.iterations)
+        self._complete(
+            item,
+            allocation=result.allocation,
+            cost=result.cost,
+            iterations=result.iterations,
+            converged=result.converged,
+            cache=item.cache_status,
+            batch_size=batch_size,
+        )
+
+    # -- resolution ------------------------------------------------------------
+
+    def _complete(self, item: PendingSolve, **fields) -> None:
+        latency = self.clock() - item.submitted_at
+        response = SolveResponse(
+            request_id=item.request.request_id,
+            status="ok",
+            latency_s=latency,
+            **fields,
+        )
+        self._latencies.append(latency)
+        if self.registry is not None:
+            self.registry.observe("service.latency_seconds", latency)
+        item._resolve(response)
+
+    def _reject(
+        self, item: PendingSolve, reason: str, detail: str, *, latency_s: float
+    ) -> None:
+        if self.registry is not None:
+            self.registry.counter_inc("service.rejected")
+            self.registry.counter_inc(f"service.rejected.{reason}")
+            self.registry.event("service_reject", reason=reason)
+        item._resolve(
+            SolveResponse.rejection(item.request, reason, detail, latency_s=latency_s)
+        )
+
+    # -- observability ---------------------------------------------------------
+
+    def _gauge_depth_locked(self) -> None:
+        if self.registry is not None:
+            self.registry.gauge_set("service.queue_depth", float(len(self._pending)))
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 over the most recent (<= 4096) response latencies."""
+        if not self._latencies:
+            return {"p50": float("nan"), "p95": float("nan"), "p99": float("nan")}
+        arr = np.array(self._latencies)
+        p50, p95, p99 = np.percentile(arr, [50, 95, 99])
+        return {"p50": float(p50), "p95": float(p95), "p99": float(p99)}
+
+    def _publish_latency(self) -> None:
+        if self.registry is None or not self._latencies:
+            return
+        for name, value in self.latency_percentiles().items():
+            self.registry.gauge_set(f"service.latency_{name}", value)
+
+    def stats(self) -> Dict[str, object]:
+        """One-call operational snapshot (queue, cache, latency)."""
+        with self._cond:
+            depth = len(self._pending)
+        return {
+            "queue_depth": depth,
+            "cache_size": len(self.cache),
+            "latency": self.latency_percentiles(),
+            "counters": dict(self.registry.counters) if self.registry else {},
+        }
+
+    # -- threaded mode ---------------------------------------------------------
+
+    def start(self) -> "AllocationService":
+        """Spawn the dispatcher thread (idempotent); returns ``self``."""
+        if self._thread is not None:
+            return self
+        self._stopping = False
+        self._thread = threading.Thread(
+            target=self._serve_loop, name="allocation-service", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, *, drain: bool = True) -> None:
+        """Stop the dispatcher thread.
+
+        ``drain=True`` pumps whatever is still queued before returning;
+        ``drain=False`` rejects it with structured shutdown errors.
+        """
+        thread = self._thread
+        if thread is not None:
+            with self._cond:
+                self._stopping = True
+                self._cond.notify_all()
+            thread.join()
+            self._thread = None
+            self._stopping = False
+        if drain:
+            while self.pump():
+                pass
+            return
+        with self._cond:
+            leftovers = self._pending
+            self._pending = []
+            self._gauge_depth_locked()
+        now = self.clock()
+        for item in leftovers:
+            self._reject(
+                item,
+                REJECT_SHUTDOWN,
+                "service stopped before dispatch",
+                latency_s=now - item.submitted_at,
+            )
+
+    def _serve_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._stopping:
+                    self._cond.wait()
+                if self._stopping:
+                    return
+                if self.batch_window_s > 0:
+                    deadline = time.monotonic() + self.batch_window_s
+                    while (
+                        len(self._pending) < self.batcher.max_batch
+                        and not self._stopping
+                    ):
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._cond.wait(timeout=remaining)
+                if self._stopping:
+                    return
+            self.pump()
+
+    def __enter__(self) -> "AllocationService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        mode = "threaded" if self._thread is not None else "sync"
+        with self._cond:
+            depth = len(self._pending)
+        return (
+            f"AllocationService({mode}, max_batch={self.batcher.max_batch}, "
+            f"pending={depth}, cache={len(self.cache)})"
+        )
+
+
+class ServiceClient:
+    """Thin in-process client over an :class:`AllocationService`.
+
+    Two surfaces: typed (:meth:`solve` with :class:`SolveRequest` /
+    :class:`SolveResponse`) and JSON-shaped (:meth:`solve_payload`, the
+    exact dict protocol ``repro-fap serve`` speaks — useful for tests
+    that exercise the wire format without a subprocess).
+    """
+
+    def __init__(self, service: AllocationService):
+        self.service = service
+
+    def solve(self, request: SolveRequest, *, timeout: Optional[float] = None) -> SolveResponse:
+        return self.service.solve(request, timeout=timeout)
+
+    def solve_many(
+        self, requests: Sequence[SolveRequest], *, timeout: Optional[float] = None
+    ) -> List[SolveResponse]:
+        return self.service.solve_many(requests, timeout=timeout)
+
+    def solve_payload(self, payload: dict, *, timeout: Optional[float] = None) -> dict:
+        """One JSON-shaped request dict in, one response dict out."""
+        from repro.service.codec import parse_request
+
+        request = parse_request(payload)
+        return self.service.solve(request, timeout=timeout).as_dict()
+
+    def __repr__(self) -> str:
+        return f"ServiceClient({self.service!r})"

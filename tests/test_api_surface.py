@@ -4,9 +4,9 @@ Two invariants:
 
 * every name a ``repro`` package exports via ``__all__`` actually resolves
   (no stale exports after refactors);
-* every export of the four documented packages (core, obs, experiments,
-  parallel) appears in ``docs/API.md``, so the reference cannot silently
-  fall behind the code.
+* every export of the five documented packages (core, obs, experiments,
+  parallel, service) appears in ``docs/API.md``, so the reference cannot
+  silently fall behind the code.
 """
 
 from __future__ import annotations
@@ -19,7 +19,13 @@ import pytest
 
 import repro
 
-DOCUMENTED_PACKAGES = ["repro.core", "repro.obs", "repro.experiments", "repro.parallel"]
+DOCUMENTED_PACKAGES = [
+    "repro.core",
+    "repro.obs",
+    "repro.experiments",
+    "repro.parallel",
+    "repro.service",
+]
 API_MD = Path(__file__).resolve().parent.parent / "docs" / "API.md"
 
 

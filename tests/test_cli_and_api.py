@@ -209,3 +209,59 @@ class TestCliSweep:
             main(["sweep", "--param", "alpha", "--grid", "nope"])
         with pytest.raises(SystemExit, match="bad --values"):
             main(["sweep", "--param", "alpha", "--values", "a,b"])
+
+    def test_batched_warm_start_fails_fast(self):
+        from repro.cli import main
+
+        # No --values/--grid on purpose: the incompatibility must be
+        # reported before any grid parsing or problem construction.
+        with pytest.raises(SystemExit, match="lockstep rows iterate together"):
+            main(["sweep", "--param", "alpha", "--engine", "batched", "--warm-start"])
+
+
+class TestCliServe:
+    REQUEST = (
+        '{"id": "%s", "problem": {"topology": "ring", "nodes": 4, "mu": 1.5,'
+        ' "rate": 1.0, "k": %s}, "alpha": 0.3, "start": "skewed"}'
+    )
+
+    def test_serve_stream(self, capsys, tmp_path):
+        import json
+
+        from repro.cli import main
+
+        lines = [
+            self.REQUEST % ("a", "1.0"),
+            self.REQUEST % ("b", "2.0"),
+            self.REQUEST % ("a-again", "1.0"),  # exact repeat of "a"
+            "this is not json",
+            '{"id": "bad", "problem": {"topology": "torus"}}',
+        ]
+        in_path = tmp_path / "requests.jsonl"
+        in_path.write_text("\n".join(lines) + "\n")
+        # max_batch=2: "a" and "b" dispatch together, so the repeat probes
+        # the cache in a later pump and must hit.
+        assert main(["serve", "--input", str(in_path), "--max-batch", "2"]) == 0
+        captured = capsys.readouterr()
+        out = [json.loads(line) for line in captured.out.splitlines() if line.strip()]
+        assert [o["id"] for o in out[:3]] == ["a", "b", "a-again"]
+        assert out[0]["status"] == "ok" and out[0]["batch_size"] == 2
+        assert out[2]["cache"] == "hit"
+        assert out[2]["allocation"] == out[0]["allocation"]
+        assert out[3]["status"] == "error" and "invalid JSON" in out[3]["detail"]
+        assert out[4]["status"] == "error" and "torus" in out[4]["detail"]
+        assert "served 3 of 3" in captured.err
+        assert "cache hit/warm/miss = 1/0/2" in captured.err
+
+    def test_serve_emit_metrics(self, capsys, tmp_path):
+        from repro.cli import main
+        from repro.obs import read_jsonl
+
+        in_path = tmp_path / "requests.jsonl"
+        in_path.write_text(self.REQUEST % ("solo", "1.0") + "\n")
+        metrics = tmp_path / "metrics.jsonl"
+        assert main([
+            "serve", "--input", str(in_path), "--emit-metrics", str(metrics),
+        ]) == 0
+        names = {e["event"] for e in read_jsonl(metrics)}
+        assert "service_batch" in names

@@ -21,6 +21,7 @@ CASES = {
     "failure_degradation.py": "worst-case surviving fraction",
     "choosing_k.py": "meets the budget",
     "planning_without_prices.py": "Heal's planner vs the closed form",
+    "allocation_service.py": "bit-for-bit): True",
 }
 
 

@@ -1,0 +1,569 @@
+"""Tests for repro.service — fingerprints, cache, admission, batching,
+and the service's bit-for-bit dispatch-parity guarantee."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import solve
+from repro.core.initials import paper_skewed_allocation, uniform_allocation
+from repro.core.model import FileAllocationProblem
+from repro.exceptions import ConfigurationError
+from repro.network.builders import line_graph, ring_graph
+from repro.obs import MetricsRegistry
+from repro.queueing import MD1Delay
+from repro.service import (
+    REJECT_DEADLINE,
+    REJECT_LOAD_SHED,
+    REJECT_QUEUE_FULL,
+    REJECT_SHUTDOWN,
+    AdmissionController,
+    AllocationService,
+    MicroBatcher,
+    ServiceClient,
+    SolutionCache,
+    SolveRequest,
+    batch_key,
+    parameter_distance,
+    problem_fingerprint,
+    request_fingerprint,
+    structural_key,
+)
+
+
+def ring_problem(n=4, *, mu=1.5, rate=1.0, k=1.0):
+    return FileAllocationProblem.from_topology(
+        ring_graph(n), np.full(n, rate / n), k=k, mu=mu
+    )
+
+
+def md1_problem(n=3):
+    """A non-M/M/1 problem: unbatchable and uncacheable by design."""
+    return FileAllocationProblem(
+        1.0 - np.eye(n), np.full(n, 1.0 / n), k=1.0,
+        delay_models=[MD1Delay(2.0)] * n,
+    )
+
+
+def seeded_requests(count, *, n=4, seed=0):
+    """`count` varied-but-batchable requests on the same n-node ring."""
+    rng = np.random.default_rng(seed)
+    requests = []
+    for i in range(count):
+        rates = rng.uniform(0.05, 1.0 / n, size=n)  # total < 1.0 < every mu
+        problem = FileAllocationProblem.from_topology(
+            ring_graph(n), rates,
+            k=float(rng.uniform(0.5, 2.0)),
+            mu=float(rng.uniform(1.2, 3.0)),
+        )
+        x0 = rng.dirichlet(np.ones(n))
+        requests.append(
+            SolveRequest(
+                problem=problem,
+                alpha=float(rng.uniform(0.1, 0.4)),
+                initial_allocation=x0,
+                request_id=f"seeded-{i}",
+            )
+        )
+    return requests
+
+
+def reference_solve(request):
+    """The serial-engine ground truth for one request."""
+    return solve(
+        request.problem,
+        alpha=request.alpha,
+        epsilon=request.epsilon,
+        max_iterations=request.max_iterations,
+        initial_allocation=request.initial_allocation,
+    )
+
+
+class TestFingerprints:
+    def test_stable_across_equal_content(self):
+        a = ring_problem()
+        b = ring_problem()
+        assert problem_fingerprint(a) == problem_fingerprint(b)
+        assert structural_key(a) == structural_key(b)
+
+    def test_sensitive_to_every_parameter(self):
+        base = problem_fingerprint(ring_problem())
+        assert problem_fingerprint(ring_problem(mu=1.6)) != base
+        assert problem_fingerprint(ring_problem(rate=1.1)) != base
+        assert problem_fingerprint(ring_problem(k=2.0)) != base
+
+    def test_request_fingerprint_covers_solver_options(self):
+        problem = ring_problem()
+        base = request_fingerprint(SolveRequest(problem=problem))
+        assert request_fingerprint(SolveRequest(problem=problem)) == base
+        assert request_fingerprint(SolveRequest(problem=problem, alpha=0.2)) != base
+        assert request_fingerprint(SolveRequest(problem=problem, epsilon=1e-4)) != base
+        assert (
+            request_fingerprint(SolveRequest(problem=problem, max_iterations=5)) != base
+        )
+        skewed = paper_skewed_allocation(4)
+        assert (
+            request_fingerprint(
+                SolveRequest(problem=problem, initial_allocation=skewed)
+            )
+            != base
+        )
+
+    def test_structural_key_ignores_parameters(self):
+        assert structural_key(ring_problem(mu=1.5, k=1.0)) == structural_key(
+            ring_problem(mu=2.5, k=3.0)
+        )
+        assert structural_key(ring_problem(4)) != structural_key(ring_problem(5))
+
+    def test_non_mm1_is_unfingerprintable(self):
+        assert problem_fingerprint(md1_problem()) is None
+        assert request_fingerprint(SolveRequest(problem=md1_problem())) is None
+
+    def test_parameter_distance(self):
+        assert parameter_distance(ring_problem(), ring_problem()) == 0.0
+        near = parameter_distance(ring_problem(k=1.0), ring_problem(k=1.01))
+        far = parameter_distance(ring_problem(k=1.0), ring_problem(k=2.0))
+        assert 0.0 < near < far
+        assert parameter_distance(ring_problem(4), ring_problem(5)) == float("inf")
+        assert parameter_distance(ring_problem(3), md1_problem(3)) == float("inf")
+
+
+class TestSolutionCache:
+    def test_hit_requires_exact_fingerprint(self):
+        cache = SolutionCache(8)
+        request = SolveRequest(
+            problem=ring_problem(), initial_allocation=paper_skewed_allocation(4)
+        )
+        assert cache.lookup(request).status == "miss"
+        cache.store(request, reference_solve(request))
+        hit = cache.lookup(request)
+        assert hit.status == "hit" and hit.distance == 0.0
+        # Different alpha: same structure, same problem — warm, not hit.
+        other = SolveRequest(
+            problem=ring_problem(),
+            alpha=0.2,
+            initial_allocation=paper_skewed_allocation(4),
+        )
+        assert cache.lookup(other).status == "warm"
+
+    def test_warm_respects_distance_radius(self):
+        cache = SolutionCache(8, max_warm_distance=0.05)
+        request = SolveRequest(problem=ring_problem(k=1.0))
+        cache.store(request, reference_solve(request))
+        near = SolveRequest(problem=ring_problem(k=1.01))
+        far = SolveRequest(problem=ring_problem(k=3.0))
+        assert cache.lookup(near).status == "warm"
+        assert cache.lookup(far).status == "miss"
+
+    def test_only_converged_solves_are_stored(self):
+        cache = SolutionCache(8)
+        request = SolveRequest(
+            problem=ring_problem(),
+            max_iterations=2,
+            initial_allocation=paper_skewed_allocation(4),
+        )
+        result = solve(
+            request.problem,
+            alpha=request.alpha,
+            epsilon=request.epsilon,
+            max_iterations=2,
+            initial_allocation=request.initial_allocation,
+            raise_on_failure=False,
+        )
+        assert not result.converged
+        assert cache.store(request, result) is None
+        assert len(cache) == 0
+
+    def test_lru_eviction_bounds_size_and_buckets(self):
+        cache = SolutionCache(2)
+        requests = [SolveRequest(problem=ring_problem(k=1.0 + 0.5 * i)) for i in range(3)]
+        for r in requests:
+            cache.store(r, reference_solve(r))
+        assert len(cache) == 2
+        # The first-stored entry was evicted: no longer an exact hit.
+        assert cache.lookup(requests[0]).status != "hit"
+        assert cache.lookup(requests[2]).status == "hit"
+
+    def test_zero_capacity_disables_cache(self):
+        cache = SolutionCache(0)
+        request = SolveRequest(problem=ring_problem())
+        cache.store(request, reference_solve(request))
+        assert len(cache) == 0
+        assert cache.lookup(request).status == "miss"
+
+    def test_counters(self):
+        registry = MetricsRegistry()
+        cache = SolutionCache(8, registry=registry)
+        request = SolveRequest(problem=ring_problem())
+        cache.lookup(request)
+        cache.store(request, reference_solve(request))
+        cache.lookup(request)
+        assert registry.counters["service.cache.miss"] == 1
+        assert registry.counters["service.cache.hit"] == 1
+        assert registry.gauges["service.cache.size"] == 1.0
+
+
+class TestAdmissionController:
+    def test_queue_full(self):
+        ctl = AdmissionController(max_queue_depth=2)
+        request = SolveRequest(problem=ring_problem())
+        assert ctl.admit(request, 1)
+        decision = ctl.admit(request, 2)
+        assert not decision and decision.reason == REJECT_QUEUE_FULL
+
+    def test_load_shedding_spares_priority(self):
+        ctl = AdmissionController(max_queue_depth=10, shed_threshold=2)
+        low = SolveRequest(problem=ring_problem(), priority=0)
+        high = SolveRequest(problem=ring_problem(), priority=1)
+        assert ctl.admit(low, 1)
+        shed = ctl.admit(low, 2)
+        assert not shed and shed.reason == REJECT_LOAD_SHED
+        assert ctl.admit(high, 2)
+
+    def test_deadline_uses_request_then_default(self):
+        ctl = AdmissionController(default_timeout_s=1.0)
+        own = SolveRequest(problem=ring_problem(), timeout_s=0.5)
+        default = SolveRequest(problem=ring_problem())
+        assert ctl.check_deadline(own, 0.4)
+        late = ctl.check_deadline(own, 0.6)
+        assert not late and late.reason == REJECT_DEADLINE
+        assert ctl.check_deadline(default, 0.9)
+        assert not ctl.check_deadline(default, 1.1)
+
+    def test_validates_configuration(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(max_queue_depth=0)
+        with pytest.raises(ConfigurationError):
+            AdmissionController(max_queue_depth=4, shed_threshold=5)
+        with pytest.raises(ConfigurationError):
+            AdmissionController(default_timeout_s=0.0)
+
+
+class _Item:
+    def __init__(self, request):
+        self.request = request
+
+
+class TestMicroBatcher:
+    def test_groups_by_compatibility_and_splits(self):
+        items = [_Item(r) for r in seeded_requests(5)]
+        items.append(_Item(SolveRequest(problem=ring_problem(5))))  # different n
+        items.append(_Item(SolveRequest(problem=md1_problem())))  # unbatchable
+        batches = MicroBatcher(max_batch=3).plan(items)
+        sizes = [b.size for b in batches]
+        assert sizes == [3, 2, 1, 1]
+        assert batches[0].key is not None and batches[0].key == batches[1].key
+        assert batches[-1].key is None  # the MD1 singleton
+        # Arrival order preserved within the compatibility class.
+        assert batches[0].items == items[:3] and batches[1].items == items[3:5]
+
+    def test_epsilon_splits_classes(self):
+        a = _Item(SolveRequest(problem=ring_problem(), epsilon=1e-3))
+        b = _Item(SolveRequest(problem=ring_problem(), epsilon=1e-4))
+        batches = MicroBatcher(max_batch=8).plan([a, b])
+        assert [x.size for x in batches] == [1, 1]
+
+    def test_max_batch_one_disables_grouping(self):
+        items = [_Item(r) for r in seeded_requests(3)]
+        batches = MicroBatcher(max_batch=1).plan(items)
+        assert [b.size for b in batches] == [1, 1, 1]
+        assert all(b.key is None for b in batches)
+
+    def test_unbatchable_key_is_none(self):
+        assert batch_key(SolveRequest(problem=md1_problem())) is None
+        assert batch_key(SolveRequest(problem=ring_problem())) is not None
+
+
+class TestDispatchParity:
+    """The tentpole guarantee: a micro-batched request returns the
+    bit-for-bit identical answer to a solo reference solve."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_batched_burst_matches_reference(self, seed):
+        requests = seeded_requests(5, seed=seed)
+        service = AllocationService(max_batch=8, cache_size=0)
+        responses = service.solve_many(requests)
+        assert all(r.batch_size == 5 for r in responses)
+        for request, response in zip(requests, responses):
+            ref = reference_solve(request)
+            assert np.array_equal(response.allocation, ref.allocation)
+            assert response.cost == ref.cost
+            assert response.iterations == ref.iterations
+            assert response.converged == ref.converged
+
+    def test_singleton_fast_path_matches_reference(self):
+        request = seeded_requests(1, seed=11)[0]
+        response = AllocationService(cache_size=0).solve(request)
+        ref = reference_solve(request)
+        assert response.batch_size == 1
+        assert np.array_equal(response.allocation, ref.allocation)
+        assert response.cost == ref.cost
+        assert response.iterations == ref.iterations
+
+    def test_unbatchable_request_still_served(self):
+        request = SolveRequest(problem=md1_problem())
+        batchable = seeded_requests(2, seed=3)
+        responses = AllocationService(max_batch=8).solve_many(batchable + [request])
+        assert [r.batch_size for r in responses] == [2, 2, 1]
+        ref = reference_solve(request)
+        assert np.array_equal(responses[-1].allocation, ref.allocation)
+        assert responses[-1].cache == "miss"  # bypassed the cache entirely
+
+    def test_twenty_seeded_problems_property(self):
+        """The acceptance-criteria sweep: >= 20 varied problems, each
+        batched answer identical to its solo reference."""
+        requests = seeded_requests(20, seed=42)
+        service = AllocationService(max_batch=32, cache_size=0)
+        responses = service.solve_many(requests)
+        assert {r.batch_size for r in responses} == {20}
+        for request, response in zip(requests, responses):
+            ref = reference_solve(request)
+            assert np.array_equal(response.allocation, ref.allocation)
+            assert response.cost == ref.cost
+            assert response.iterations == ref.iterations
+
+
+class TestServiceCacheFlow:
+    def test_exact_repeat_hits_without_solving(self):
+        request_spec = dict(
+            problem=ring_problem(), initial_allocation=paper_skewed_allocation(4)
+        )
+        service = AllocationService()
+        cold = service.solve(SolveRequest(**request_spec))
+        assert cold.cache == "miss" and cold.iterations > 0
+        hot = service.solve(SolveRequest(**request_spec))
+        assert hot.cache == "hit"
+        assert hot.iterations == 0 and hot.batch_size == 0
+        assert np.array_equal(hot.allocation, cold.allocation)
+        assert hot.cost == cold.cost
+
+    def test_near_miss_warm_starts(self):
+        service = AllocationService()
+        skewed = paper_skewed_allocation(4)
+        cold = service.solve(
+            SolveRequest(problem=ring_problem(k=1.0), initial_allocation=skewed)
+        )
+        warm = service.solve(
+            SolveRequest(problem=ring_problem(k=1.001), initial_allocation=skewed)
+        )
+        assert warm.cache == "warm"
+        # Started next to the donor's optimum: far fewer iterations.
+        assert warm.iterations < cold.iterations
+
+    def test_warm_result_cached_under_effective_request(self):
+        """A warm solve is stored under the donor-substituted request, so
+        replaying the original spec warms again (never a bogus 'hit')."""
+        service = AllocationService()
+        skewed = paper_skewed_allocation(4)
+        service.solve(
+            SolveRequest(problem=ring_problem(k=1.0), initial_allocation=skewed)
+        )
+        first = service.solve(
+            SolveRequest(problem=ring_problem(k=1.001), initial_allocation=skewed)
+        )
+        second = service.solve(
+            SolveRequest(problem=ring_problem(k=1.001), initial_allocation=skewed)
+        )
+        assert first.cache == "warm" and second.cache == "warm"
+        # Second warm re-starts from its own converged donor: ~free.
+        assert second.iterations <= first.iterations
+        assert np.array_equal(second.allocation, first.allocation)
+
+
+class TestServiceAdmission:
+    def test_queue_full_rejection_is_pre_resolved(self):
+        service = AllocationService(
+            admission=AdmissionController(max_queue_depth=1)
+        )
+        first = service.submit(SolveRequest(problem=ring_problem()))
+        second = service.submit(SolveRequest(problem=ring_problem(k=2.0)))
+        assert not first.done()
+        assert second.done()
+        assert second.response.status == "rejected"
+        assert second.response.reason == REJECT_QUEUE_FULL
+        service.pump()
+        assert first.wait(0).ok
+
+    def test_deadline_expiry_with_fake_clock(self):
+        clock = FakeClock()
+        service = AllocationService(
+            admission=AdmissionController(default_timeout_s=1.0), clock=clock
+        )
+        ticket = service.submit(SolveRequest(problem=ring_problem()))
+        clock.advance(2.0)
+        service.pump()
+        response = ticket.wait(0)
+        assert response.status == "rejected"
+        assert response.reason == REJECT_DEADLINE
+        assert response.latency_s == pytest.approx(2.0)
+
+    def test_stop_without_drain_rejects_shutdown(self):
+        service = AllocationService()
+        ticket = service.submit(SolveRequest(problem=ring_problem()))
+        service.stop(drain=False)
+        assert ticket.wait(0).reason == REJECT_SHUTDOWN
+
+    def test_load_shed_counterd(self):
+        registry = MetricsRegistry()
+        service = AllocationService(
+            admission=AdmissionController(max_queue_depth=8, shed_threshold=1),
+            registry=registry,
+        )
+        service.submit(SolveRequest(problem=ring_problem()))
+        shed = service.submit(SolveRequest(problem=ring_problem(k=2.0)))
+        kept = service.submit(SolveRequest(problem=ring_problem(k=3.0), priority=5))
+        assert shed.response.reason == REJECT_LOAD_SHED
+        assert not kept.done()
+        assert registry.counters["service.rejected.load_shed"] == 1
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestServiceObservability:
+    def test_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        service = AllocationService(max_batch=8, registry=registry)
+        requests = seeded_requests(3, seed=7)
+        service.solve_many(requests)
+        service.solve(requests[0])  # exact repeat -> hit
+        c = registry.counters
+        assert c["service.requests"] == 4
+        assert c["service.solved"] == 3
+        assert c["service.cache.miss"] == 3
+        assert c["service.cache.hit"] == 1
+        assert c["service.batches"] == 1
+        assert c["service.batch_rows"] == 3
+        assert c["service.solver_iterations"] > 0
+        assert registry.gauges["service.queue_depth"] == 0.0
+        for p in ("p50", "p95", "p99"):
+            assert registry.gauges[f"service.latency_{p}"] >= 0.0
+
+    def test_latency_percentiles_ordered(self):
+        service = AllocationService()
+        service.solve_many(seeded_requests(5, seed=9))
+        pct = service.latency_percentiles()
+        assert pct["p50"] <= pct["p95"] <= pct["p99"]
+
+    def test_stats_snapshot(self):
+        registry = MetricsRegistry()
+        service = AllocationService(registry=registry)
+        service.solve(SolveRequest(problem=ring_problem()))
+        stats = service.stats()
+        assert stats["queue_depth"] == 0
+        assert stats["cache_size"] == 1
+        assert stats["counters"]["service.solved"] == 1
+
+    def test_batch_events_emitted(self):
+        from repro.obs import MemorySink
+
+        registry = MetricsRegistry()
+        sink = MemorySink()
+        registry.add_sink(sink)
+        service = AllocationService(max_batch=8, registry=registry)
+        service.solve_many(seeded_requests(3, seed=5))
+        batch_events = [e for e in sink.events if e["event"] == "service_batch"]
+        assert len(batch_events) == 1
+        assert batch_events[0]["size"] == 3 and batch_events[0]["batched"] is True
+
+
+class TestThreadedMode:
+    def test_start_stop_roundtrip(self):
+        requests = seeded_requests(4, seed=13)
+        with AllocationService(max_batch=8, batch_window_s=0.02).start() as service:
+            tickets = [service.submit(r) for r in requests]
+            responses = [t.wait(10.0) for t in tickets]
+        for request, response in zip(requests, responses):
+            ref = reference_solve(request)
+            assert np.array_equal(response.allocation, ref.allocation)
+            assert response.iterations == ref.iterations
+
+    def test_stop_is_idempotent_and_drains(self):
+        service = AllocationService().start()
+        ticket = service.submit(SolveRequest(problem=ring_problem()))
+        service.stop()
+        service.stop()
+        assert ticket.wait(0).ok
+
+
+class TestServiceClient:
+    def test_typed_roundtrip(self):
+        client = ServiceClient(AllocationService())
+        request = seeded_requests(1, seed=21)[0]
+        assert client.solve(request).ok
+        assert all(r.ok for r in client.solve_many(seeded_requests(2, seed=22)))
+
+    def test_payload_roundtrip(self):
+        client = ServiceClient(AllocationService())
+        payload = {
+            "id": "wire-1",
+            "problem": {"topology": "ring", "nodes": 4, "mu": 1.5, "rate": 1.0},
+            "alpha": 0.3,
+            "start": "skewed",
+        }
+        out = client.solve_payload(payload)
+        assert out["id"] == "wire-1" and out["status"] == "ok"
+        assert out["converged"] is True
+        assert len(out["allocation"]) == 4
+        repeat = client.solve_payload(payload)
+        assert repeat["cache"] == "hit"
+        assert repeat["allocation"] == out["allocation"]
+
+    def test_payload_validation_error_raises(self):
+        client = ServiceClient(AllocationService())
+        with pytest.raises(ConfigurationError, match="topology"):
+            client.solve_payload({"problem": {"topology": "torus"}})
+
+
+class TestRequestValidation:
+    def test_rejects_bad_fields(self):
+        problem = ring_problem()
+        with pytest.raises(ConfigurationError):
+            SolveRequest(problem="not a problem")
+        with pytest.raises(ConfigurationError):
+            SolveRequest(problem=problem, alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            SolveRequest(problem=problem, max_iterations=0)
+        with pytest.raises(ConfigurationError):
+            SolveRequest(problem=problem, timeout_s=0.0)
+
+    def test_defaults_and_ids(self):
+        request = SolveRequest(problem=ring_problem())
+        assert np.array_equal(request.initial_allocation, uniform_allocation(4))
+        assert request.request_id.startswith("req-")
+        other = SolveRequest(problem=ring_problem())
+        assert other.request_id != request.request_id
+
+    def test_infeasible_start_rejected(self):
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError):
+            SolveRequest(
+                problem=ring_problem(), initial_allocation=np.array([2.0, 0, 0, 0])
+            )
+
+
+class TestLineProblems:
+    def test_mixed_topologies_batch_separately(self):
+        ring = SolveRequest(problem=ring_problem(4))
+        line = SolveRequest(
+            problem=FileAllocationProblem.from_topology(
+                line_graph(4), np.full(4, 0.25), k=1.0, mu=1.5
+            )
+        )
+        service = AllocationService(max_batch=8)
+        responses = service.solve_many([ring, line])
+        # Same n and MM1 everywhere -> same compatibility class.
+        assert [r.batch_size for r in responses] == [2, 2]
+        for request, response in zip([ring, line], responses):
+            ref = reference_solve(request)
+            assert np.array_equal(response.allocation, ref.allocation)
