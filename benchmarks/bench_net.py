@@ -1,0 +1,219 @@
+"""Benchmark the sharded socket transport (repro.net).
+
+Two claims are measured, each parity-gated before its time is trusted:
+
+* **throughput vs worker count** — one client streams a fixed request
+  mix through :class:`~repro.net.NetServer` at several worker counts
+  (caches disabled, so every request is a real solve).  The first
+  configuration's responses are checked bit-for-bit against the
+  in-process :class:`~repro.service.ServiceClient` — the transport's
+  parity contract — before any throughput number is reported.
+* **shard-affinity vs random routing** — the same repeat-heavy stream
+  against an ``affinity``-routed and a ``random``-routed server with
+  identical worker counts.  Affinity sends every repeat of a structure
+  to the shard whose cache stored it; random splits repeats across
+  shards, so each shard re-solves cold.  The merged ``service.cache.*``
+  counters and total solver iterations quantify what locality is worth.
+
+Run standalone:
+
+    PYTHONPATH=src python benchmarks/bench_net.py            # full grid
+    PYTHONPATH=src python benchmarks/bench_net.py --smoke    # CI-sized
+
+Full mode writes ``benchmarks/BENCH_net.json`` (docs/PERFORMANCE.md
+reads the checked-in copy).  ``--smoke`` shrinks the workload and does
+not overwrite the JSON unless ``--out`` is given explicitly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.net import NetClient, NetServer
+from repro.service import AllocationService, ServiceClient
+
+EPSILON = 1e-4
+MAX_ITERATIONS = 5_000
+DEFAULT_OUT = Path(__file__).resolve().parent / "BENCH_net.json"
+
+
+def distinct_payloads(count: int, *, seed: int = 7) -> list:
+    """``count`` structurally distinct raw-matrix requests (different
+    node counts / cost matrices), so affinity routing can spread them."""
+    rng = np.random.default_rng(seed)
+    payloads = []
+    for i in range(count):
+        n = 4 + (i % 4)  # 4..7 nodes: four structure classes minimum
+        cost = rng.uniform(0.5, 2.0, size=(n, n))
+        cost = (cost + cost.T) / 2.0
+        np.fill_diagonal(cost, 0.0)
+        rates = rng.uniform(0.3, 0.8, size=n)
+        rates *= 0.9 / rates.sum()
+        payloads.append(
+            {
+                "id": f"p{i}",
+                "problem": {
+                    "cost_matrix": [[float(v) for v in row] for row in cost],
+                    "access_rates": [float(v) for v in rates],
+                    "mu": 1.5,
+                    "k": 1.0,
+                },
+                "alpha": 0.3,
+                "epsilon": EPSILON,
+                "max_iterations": MAX_ITERATIONS,
+                "start": [float(v) for v in rng.dirichlet(np.ones(n))],
+            }
+        )
+    return payloads
+
+
+def repeat_stream(payloads: list, rounds: int) -> list:
+    """The benchmark stream: every distinct payload, ``rounds`` times,
+    round-robin (so repeats always arrive after their original landed)."""
+    stream = []
+    serial = 0
+    for _ in range(rounds):
+        for payload in payloads:
+            stream.append({**payload, "id": f"s{serial}"})
+            serial += 1
+    return stream
+
+
+def strip_latency(response: dict) -> dict:
+    clean = dict(response)
+    clean.pop("latency_s", None)
+    clean.pop("id", None)  # stream ids differ per round by construction
+    return clean
+
+
+def bench_throughput(worker_counts: list, stream: list) -> list:
+    """Wall-clock throughput of the wire path per worker count, parity-
+    gated against the in-process service on the first configuration."""
+    reference = None
+    rows = []
+    for workers in worker_counts:
+        with NetServer(port=0, workers=workers, cache_size=0) as server:
+            host, port = server.address
+            with NetClient(host, port, timeout_s=120.0) as client:
+                client.ping()  # connection warm-up outside the clock
+                start = time.perf_counter()
+                responses = [client.solve_payload(p) for p in stream]
+                elapsed = time.perf_counter() - start
+        assert all(r["status"] == "ok" for r in responses)
+        if reference is None:
+            local = ServiceClient(AllocationService(cache_size=0))
+            reference = [local.solve_payload(dict(p)) for p in stream]
+            for want, have in zip(reference, responses):
+                assert strip_latency(have) == strip_latency(want), have.get("id")
+        rows.append(
+            {
+                "workers": workers,
+                "requests": len(stream),
+                "seconds": elapsed,
+                "requests_per_second": len(stream) / elapsed,
+                "parity": True,
+            }
+        )
+    return rows
+
+
+def bench_routing(workers: int, stream: list) -> dict:
+    """Affinity vs random routing on identical servers and streams: the
+    cache-hit and solver-iteration advantage of shard locality."""
+    out = {}
+    for policy in ("affinity", "random"):
+        with NetServer(port=0, workers=workers, routing=policy) as server:
+            host, port = server.address
+            with NetClient(host, port, timeout_s=120.0) as client:
+                responses = [client.solve_payload(p) for p in stream]
+                stats = client.stats()
+        assert all(r["status"] == "ok" for r in responses)
+        counters = stats["counters"]
+        out[policy] = {
+            "cache_hit": int(counters.get("service.cache.hit", 0)),
+            "cache_warm": int(counters.get("service.cache.warm", 0)),
+            "cache_miss": int(counters.get("service.cache.miss", 0)),
+            "solver_iterations": int(counters.get("service.solver_iterations", 0)),
+            "routed_per_shard": [s["routed"] for s in stats["shards"]],
+        }
+    affinity, random_ = out["affinity"], out["random"]
+    return {
+        "workers": workers,
+        "requests": len(stream),
+        "affinity": affinity,
+        "random": random_,
+        "hit_advantage": affinity["cache_hit"] - random_["cache_hit"],
+        "iteration_reduction": (
+            random_["solver_iterations"] / max(1, affinity["solver_iterations"])
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small stream, two worker counts, no JSON unless --out is given",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help=f"output JSON path (full mode default: {DEFAULT_OUT.name})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        worker_counts = [1, 2]
+        payloads = distinct_payloads(4)
+        rounds = 3
+    else:
+        worker_counts = [1, 2, 4]
+        payloads = distinct_payloads(8)
+        rounds = 6
+    stream = repeat_stream(payloads, rounds)
+
+    print(f"{'workers':>8} {'requests':>9} {'seconds':>9} {'req/s':>8}")
+    throughput = bench_throughput(worker_counts, stream)
+    for row in throughput:
+        print(
+            f"{row['workers']:>8} {row['requests']:>9} "
+            f"{row['seconds']:>8.3f}s {row['requests_per_second']:>8.1f}"
+        )
+
+    routing = bench_routing(worker_counts[-1], stream)
+    print(
+        f"\nrouting ({routing['requests']} requests, {routing['workers']} workers): "
+        f"affinity hit/warm/miss = "
+        f"{routing['affinity']['cache_hit']}/{routing['affinity']['cache_warm']}"
+        f"/{routing['affinity']['cache_miss']}, random = "
+        f"{routing['random']['cache_hit']}/{routing['random']['cache_warm']}"
+        f"/{routing['random']['cache_miss']}; affinity runs "
+        f"{routing['iteration_reduction']:.2f}x fewer solver iterations"
+    )
+
+    out = args.out
+    if out is None and not args.smoke:
+        out = str(DEFAULT_OUT)
+    if out is not None:
+        payload = {
+            "config": {
+                "epsilon": EPSILON,
+                "max_iterations": MAX_ITERATIONS,
+                "distinct_structures": len(payloads),
+                "rounds": rounds,
+                "smoke": args.smoke,
+            },
+            "throughput": throughput,
+            "routing": routing,
+        }
+        Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

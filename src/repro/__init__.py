@@ -37,6 +37,7 @@ from repro.core import (
     solve_fast,
     theorem2_alpha_bound,
 )
+from repro.net import NetClient, NetServer
 from repro.network import Topology, VirtualRing, complete_graph, ring_graph
 from repro.obs import JsonLinesSink, MemorySink, MetricsRegistry, RunReport
 from repro.parallel import BatchedAllocator, BatchedProblem, sweep_parallel
@@ -56,6 +57,8 @@ __all__ = [
     "MetricsRegistry",
     "MultiFileAllocator",
     "MultiFileProblem",
+    "NetClient",
+    "NetServer",
     "RunReport",
     "SecondOrderAllocator",
     "ServiceClient",

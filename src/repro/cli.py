@@ -12,7 +12,12 @@ neighbor's solution (``--warm-start``), and optionally persist the
 ``repro-fap serve``    — run the allocation service over line-delimited
 JSON requests (stdin or ``--input``), micro-batching compatible requests
 and answering repeats from the solution cache; responses stream to
-stdout as JSON lines.
+stdout as JSON lines;
+``repro-fap net-serve`` — the same service behind a TCP socket, sharded
+across worker processes (:mod:`repro.net`), draining gracefully on
+SIGTERM;
+``repro-fap net-solve`` — stream line-delimited JSON requests to a
+running ``net-serve`` (or fetch its merged metrics with ``--stats``).
 
 Any solve can stream observability events to disk with
 ``--emit-metrics PATH`` (JSON lines, one event per iteration, plus a
@@ -189,6 +194,81 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--emit-metrics", metavar="PATH", default=None,
         help="stream service events to PATH (JSON lines)",
+    )
+    serve.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the final metrics-registry snapshot to PATH as JSON",
+    )
+
+    net_serve = sub.add_parser(
+        "net-serve",
+        help="serve solve requests over TCP, sharded across worker processes",
+    )
+    net_serve.add_argument("--host", default="127.0.0.1", help="listen address")
+    net_serve.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (0 binds an ephemeral port and announces it)",
+    )
+    net_serve.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes, each with its own service + cache",
+    )
+    net_serve.add_argument(
+        "--shards", type=int, default=None,
+        help="routing partitions (default: one per worker)",
+    )
+    net_serve.add_argument(
+        "--routing", choices=["affinity", "random"], default="affinity",
+        help="shard policy: structural-fingerprint affinity or random",
+    )
+    net_serve.add_argument(
+        "--max-batch", type=int, default=32,
+        help="largest lockstep dispatch per worker",
+    )
+    net_serve.add_argument(
+        "--cache-size", type=int, default=256,
+        help="per-worker solution-cache capacity (0 disables caching)",
+    )
+    net_serve.add_argument(
+        "--cache-ttl", type=float, default=None, metavar="SECONDS",
+        help="per-worker cache entry TTL (default: no expiry)",
+    )
+    net_serve.add_argument(
+        "--queue-depth", type=int, default=1024,
+        help="per-worker admission bound on pending requests",
+    )
+    net_serve.add_argument(
+        "--timeout", type=float, default=None,
+        help="default per-request queue deadline in seconds",
+    )
+    net_serve.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the final merged stats snapshot to PATH as JSON on exit",
+    )
+
+    net_solve = sub.add_parser(
+        "net-solve",
+        help="stream line-delimited JSON requests to a running net-serve",
+    )
+    net_solve.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="server address, as announced by net-serve",
+    )
+    net_solve.add_argument(
+        "--input", metavar="PATH", default=None,
+        help="read requests from PATH instead of stdin",
+    )
+    net_solve.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request deadline in seconds",
+    )
+    net_solve.add_argument(
+        "--retries", type=int, default=2,
+        help="transport-failure retry budget per request",
+    )
+    net_solve.add_argument(
+        "--stats", action="store_true",
+        help="print the server's merged stats snapshot and exit",
     )
 
     copies = sub.add_parser(
@@ -422,6 +502,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             stream.close()
         if sink is not None:
             sink.close()
+        if args.metrics_out is not None:
+            with open(args.metrics_out, "w") as fh:
+                json.dump(registry.snapshot(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
 
     counters = registry.counters
     latency = service.latency_percentiles()
@@ -443,6 +527,125 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 0
+
+
+def _cmd_net_serve(args: argparse.Namespace) -> int:
+    """Run the sharded TCP allocation server until SIGTERM/SIGINT.
+
+    The bound address is announced on stdout as one JSON line
+    (``{"event": "listening", ...}``) so scripts — and the loopback
+    tests — can connect to an ephemeral ``--port 0``.  SIGTERM and
+    SIGINT drain gracefully: in-flight requests finish, queued and new
+    ones get structured ``shutting_down`` rejections.
+    """
+    import json
+
+    from repro.net import NetServer
+
+    server = NetServer(
+        args.host,
+        args.port,
+        workers=args.workers,
+        shards=args.shards,
+        routing=args.routing,
+        max_batch=args.max_batch,
+        cache_size=args.cache_size,
+        cache_ttl_s=args.cache_ttl,
+        queue_depth=args.queue_depth,
+        default_timeout_s=args.timeout,
+    )
+    server.start()
+    server.install_signal_handlers()
+    host, port = server.address
+    print(
+        json.dumps(
+            {
+                "event": "listening",
+                "host": host,
+                "port": port,
+                "workers": server.num_workers,
+                "shards": server.num_shards,
+                "routing": args.routing,
+            }
+        ),
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    finally:
+        server.shutdown()
+        stats = server.stats()
+        if args.metrics_out is not None:
+            with open(args.metrics_out, "w") as fh:
+                json.dump(stats, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        counters = stats.get("counters", {})
+        print(
+            "net-serve drained: {req} request(s), {conns} connection(s), "
+            "{restarts} worker restart(s), {rej} shutdown rejection(s)".format(
+                req=int(counters.get("net.requests", 0)),
+                conns=int(counters.get("net.connections", 0)),
+                restarts=int(counters.get("net.worker_restarts", 0)),
+                rej=int(counters.get("net.rejected.shutting_down", 0)),
+            ),
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_net_solve(args: argparse.Namespace) -> int:
+    """Stream requests to a running ``net-serve`` over one pooled client.
+
+    One JSON response line per request line, in request order; transport
+    failures surface as in-band ``{"status": "error"}`` lines so a flaky
+    network cannot desynchronize stdout from the request stream.
+    """
+    import json
+
+    from repro.net import NetClient, NetError
+    from repro.service import iter_request_payloads
+
+    host, _, port_text = args.connect.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SystemExit(f"net-solve: bad --connect {args.connect!r} (expected HOST:PORT)")
+    client = NetClient(
+        host or "127.0.0.1", port, timeout_s=args.timeout, retries=args.retries
+    )
+    try:
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        stream = open(args.input) if args.input is not None else sys.stdin
+        served = errors = 0
+        try:
+            for payload in iter_request_payloads(stream):
+                try:
+                    response = client.solve_payload(payload)
+                except NetError as exc:
+                    response = {
+                        "id": str(payload.get("id", "")),
+                        "status": "error",
+                        "detail": f"{type(exc).__name__}: {exc}",
+                    }
+                if response.get("status") == "ok":
+                    served += 1
+                else:
+                    errors += 1
+                print(json.dumps(response), flush=True)
+        finally:
+            if args.input is not None:
+                stream.close()
+        print(
+            f"net-solve: {served} ok, {errors} not-ok; "
+            f"client retries={client.metrics['retries']}, "
+            f"timeouts={client.metrics['timeouts']}",
+            file=sys.stderr,
+        )
+        return 0
+    finally:
+        client.close()
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
@@ -544,6 +747,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "net-serve":
+        return _cmd_net_serve(args)
+    if args.command == "net-solve":
+        return _cmd_net_solve(args)
     if args.command == "report":
         from repro.experiments.report import generate_report
 

@@ -1,0 +1,80 @@
+"""repro.net — the sharded socket transport over the allocation service.
+
+PR 4 made allocation a *service* (:mod:`repro.service`: micro-batching,
+solution cache, admission control), but only in-process or over
+stdin/stdout — one client owned the cache and batcher.  This subsystem
+puts that service behind a TCP front end and scales it across worker
+processes without giving up what makes the service fast:
+
+* :class:`NetServer` — accepts length-prefixed JSON frames (the exact
+  ``repro-fap serve`` wire format, one dict per frame), routes each
+  request through a :class:`ShardRouter`, and dispatches shard queues to
+  worker processes, each running its own
+  :class:`~repro.service.AllocationService` + cache;
+* :class:`ShardRouter` — partitions by the problem's structural
+  fingerprint, so repeats hit the cache that stored them and same-shape
+  requests micro-batch together (``policy="random"`` is the
+  locality-free baseline the benchmarks compare against);
+* :class:`NetClient` — connection pooling, per-request deadlines,
+  bounded retry-with-backoff; typed and dict-shaped surfaces mirroring
+  :class:`~repro.service.ServiceClient`.
+
+Robustness is part of the contract: SIGTERM drains gracefully
+(in-flight work finishes; queued work gets structured ``shutting_down``
+rejections), a crashed worker is respawned with in-band
+``worker_restarted`` errors for exactly the requests it took down, and
+the ``stats`` control verb merges every worker's ``service.*`` metrics
+with the server's ``net.*`` family.
+
+Quick start::
+
+    from repro.net import NetServer, NetClient
+
+    with NetServer(port=0, workers=2) as server:
+        host, port = server.address
+        with NetClient(host, port) as client:
+            client.solve_payload({
+                "id": "r1",
+                "problem": {"topology": "ring", "nodes": 4, "mu": 1.5},
+                "alpha": 0.3,
+            })                      # same dict repro-fap serve would print
+            client.stats()          # merged service.* + net.* metrics
+
+``repro-fap net-serve`` / ``repro-fap net-solve`` are the CLI faces;
+docs/COOKBOOK.md ("Serving over the network") and docs/PERFORMANCE.md
+(measured scaling and shard-affinity numbers) cover operation.
+"""
+
+from repro.net.client import NetClient, NetConnectionError, NetError, NetTimeout
+from repro.net.framing import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    FrameReader,
+    decode_frames,
+    encode_frame,
+    send_frame,
+)
+from repro.net.router import ShardRouter, shard_of_key
+from repro.net.server import REJECT_SHUTTING_DOWN, NetServer
+from repro.net.worker import WorkerConfig, WorkerCrashed, WorkerHandle, worker_main
+
+__all__ = [
+    "FrameError",
+    "FrameReader",
+    "MAX_FRAME_BYTES",
+    "NetClient",
+    "NetConnectionError",
+    "NetError",
+    "NetServer",
+    "NetTimeout",
+    "REJECT_SHUTTING_DOWN",
+    "ShardRouter",
+    "WorkerConfig",
+    "WorkerCrashed",
+    "WorkerHandle",
+    "decode_frames",
+    "encode_frame",
+    "send_frame",
+    "shard_of_key",
+    "worker_main",
+]

@@ -1,0 +1,309 @@
+"""The network client: pooled connections, deadlines, bounded retries.
+
+:class:`NetClient` is the caller's side of :class:`~repro.net.server.NetServer`:
+
+* a **connection pool** (``pool_size`` sockets, created lazily) so
+  concurrent threads share transport without a handshake per request;
+* a **per-request deadline** (``timeout_s``, overridable per call) that
+  caps connect + send + receive together — a hung server surfaces as
+  :class:`NetTimeout`, never a hung caller;
+* **bounded retry with backoff** against *transient transport* failures:
+  connect refusals, resets, and mid-request disconnects are retried up
+  to ``retries`` times on a fresh connection with exponential backoff
+  (a solve is a pure function of its request, so re-sending is safe).
+  In-band ``worker_restarted`` errors — a request lost with a crashed
+  worker — are surfaced structurally by default, and retried
+  transparently only when ``retry_restarts=True``.
+
+Two surfaces, mirroring :class:`~repro.service.ServiceClient`: typed
+(:meth:`solve` with :class:`~repro.service.SolveRequest` in and
+:class:`~repro.service.SolveResponse` out) and dict-shaped
+(:meth:`solve_payload`, the exact wire format).  Plus the control verbs:
+:meth:`stats` and :meth:`ping`.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.exceptions import ReproError
+from repro.net.framing import FrameError, FrameReader, send_frame
+from repro.net.worker import ERROR_WORKER_RESTARTED
+from repro.service.codec import request_to_payload, response_from_dict
+from repro.service.types import SolveRequest, SolveResponse
+
+__all__ = ["NetClient", "NetError", "NetConnectionError", "NetTimeout"]
+
+
+class NetError(ReproError):
+    """Base class for network-client failures."""
+
+
+class NetConnectionError(NetError):
+    """Could not reach (or keep) a server connection within the retry budget."""
+
+
+class NetTimeout(NetError):
+    """The per-request deadline expired before a response arrived."""
+
+
+class _Conn:
+    """One pooled socket plus its frame reader."""
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.reader = FrameReader(sock)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class NetClient:
+    """Client for the sharded allocation server.
+
+    Parameters
+    ----------
+    host, port:
+        Server address, as returned by :attr:`NetServer.address`.
+    pool_size:
+        Maximum concurrently open connections; callers beyond it wait
+        for a free one (deadline still applies).
+    timeout_s:
+        Default per-request deadline (connect + send + receive).
+    retries:
+        Transport-failure retry budget per request (0 disables).
+    backoff_s:
+        Initial backoff before a retry; doubles per attempt.
+    retry_restarts:
+        Also retry requests answered with an in-band
+        ``worker_restarted`` error (default ``False``: surface them).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        pool_size: int = 2,
+        timeout_s: float = 30.0,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+        retry_restarts: bool = False,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ):
+        if pool_size < 1:
+            raise NetError("pool_size must be >= 1")
+        self.host = host
+        self.port = int(port)
+        self.pool_size = int(pool_size)
+        self.timeout_s = float(timeout_s)
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        self.retry_restarts = bool(retry_restarts)
+        self._clock = clock
+        self._sleep = sleep
+        self._idle: List[_Conn] = []
+        self._open_count = 0
+        self._cond = threading.Condition()
+        self._closed = False
+        #: Client-side operation tallies (requests, retries, reconnects,
+        #: timeouts, restarts_retried) — the "retry counts" half of the
+        #: transport's observability; the server's half is ``stats()``.
+        self.metrics: Dict[str, int] = {
+            "requests": 0,
+            "retries": 0,
+            "reconnects": 0,
+            "timeouts": 0,
+            "restarts_retried": 0,
+        }
+
+    # -- pool ------------------------------------------------------------------
+
+    def _acquire(self, deadline: float) -> _Conn:
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise NetError("client is closed")
+                if self._idle:
+                    return self._idle.pop()
+                if self._open_count < self.pool_size:
+                    self._open_count += 1
+                    break  # create outside the lock
+                remaining = deadline - self._clock()
+                if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                    raise NetTimeout(
+                        f"no free connection within the deadline "
+                        f"(pool_size={self.pool_size})"
+                    )
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=max(0.001, deadline - self._clock())
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self.metrics["reconnects"] += 1
+            return _Conn(sock)
+        except BaseException:
+            with self._cond:
+                self._open_count -= 1
+                self._cond.notify()
+            raise
+
+    def _release(self, conn: _Conn) -> None:
+        with self._cond:
+            if self._closed:
+                self._open_count -= 1
+                conn.close()
+                return
+            self._idle.append(conn)
+            self._cond.notify()
+
+    def _discard(self, conn: _Conn) -> None:
+        conn.close()
+        with self._cond:
+            self._open_count -= 1
+            self._cond.notify()
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            idle, self._idle = self._idle, []
+            self._open_count -= len(idle)
+            self._cond.notify_all()
+        for conn in idle:
+            conn.close()
+
+    def __enter__(self) -> "NetClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the request loop ------------------------------------------------------
+
+    def request(self, payload: Dict, *, timeout_s: Optional[float] = None) -> Dict:
+        """One frame out, one frame back, with deadline and retry policy.
+
+        Returns the response dict exactly as the server sent it (solves,
+        structured rejections, and in-band errors alike).  Raises
+        :class:`NetTimeout` past the deadline and
+        :class:`NetConnectionError` once the transport retry budget is
+        spent.
+        """
+        deadline = self._clock() + (
+            self.timeout_s if timeout_s is None else float(timeout_s)
+        )
+        self.metrics["requests"] += 1
+        attempt = 0
+        while True:
+            try:
+                response = self._attempt(payload, deadline)
+            except NetTimeout:
+                self.metrics["timeouts"] += 1
+                raise
+            except (OSError, FrameError, NetConnectionError) as exc:
+                attempt += 1
+                if attempt > self.retries:
+                    raise NetConnectionError(
+                        f"request failed after {attempt} attempt(s) against "
+                        f"{self.host}:{self.port}: {type(exc).__name__}: {exc}"
+                    ) from None
+                self._backoff(attempt, deadline)
+                continue
+            if (
+                self.retry_restarts
+                and response.get("reason") == ERROR_WORKER_RESTARTED
+                and attempt < self.retries
+            ):
+                attempt += 1
+                self.metrics["restarts_retried"] += 1
+                self._backoff(attempt, deadline)
+                continue
+            return response
+
+    def _attempt(self, payload: Dict, deadline: float) -> Dict:
+        conn = self._acquire(deadline)
+        try:
+            remaining = deadline - self._clock()
+            if remaining <= 0:
+                raise socket.timeout("deadline already expired")
+            conn.sock.settimeout(remaining)
+            send_frame(conn.sock, payload)
+            conn.sock.settimeout(max(0.001, deadline - self._clock()))
+            response = conn.reader.read()
+        except socket.timeout:
+            # The response may still arrive later; this socket is now
+            # out of sync with the request stream, so drop it.
+            self._discard(conn)
+            raise NetTimeout(
+                f"no response from {self.host}:{self.port} within the deadline"
+            ) from None
+        except BaseException:
+            self._discard(conn)
+            raise
+        if response is None:
+            self._discard(conn)
+            raise NetConnectionError(
+                f"{self.host}:{self.port} closed the connection mid-request"
+            )
+        self._release(conn)
+        return response
+
+    def _backoff(self, attempt: int, deadline: float) -> None:
+        self.metrics["retries"] += 1
+        pause = self.backoff_s * (2 ** (attempt - 1))
+        if self._clock() + pause >= deadline:
+            raise NetTimeout("deadline would expire during retry backoff")
+        self._sleep(pause)
+
+    # -- surfaces --------------------------------------------------------------
+
+    def solve_payload(self, payload: Dict, *, timeout_s: Optional[float] = None) -> Dict:
+        """One wire-format request dict in, one response dict out."""
+        return self.request(payload, timeout_s=timeout_s)
+
+    def solve(
+        self, request: SolveRequest, *, timeout_s: Optional[float] = None
+    ) -> SolveResponse:
+        """Typed solve: serialize, send, and parse back.  In-band errors
+        (``status: "error"``, e.g. ``worker_restarted``) raise
+        :class:`NetError`; structured *rejections* return normally, like
+        the in-process client."""
+        payload = request_to_payload(request)
+        response = self.request(payload, timeout_s=timeout_s)
+        if response.get("status") == "error":
+            raise NetError(
+                f"request {request.request_id!r} failed: "
+                f"{response.get('reason') or response.get('detail', 'unknown error')}"
+            )
+        return response_from_dict(response)
+
+    def solve_many(
+        self, requests: Sequence[SolveRequest], *, timeout_s: Optional[float] = None
+    ) -> List[SolveResponse]:
+        """Sequential typed solves (per-request deadline each)."""
+        return [self.solve(r, timeout_s=timeout_s) for r in requests]
+
+    def stats(self, *, timeout_s: Optional[float] = None) -> Dict:
+        """The server's merged ``service.*`` + ``net.*`` snapshot."""
+        response = self.request({"op": "stats"}, timeout_s=timeout_s)
+        if response.get("status") != "ok":
+            raise NetError(f"stats verb failed: {response.get('detail', response)}")
+        return response["stats"]
+
+    def ping(self, *, timeout_s: Optional[float] = None) -> bool:
+        """Liveness check; ``True`` when the server answers."""
+        response = self.request({"op": "ping"}, timeout_s=timeout_s)
+        return response.get("status") == "ok"
+
+    def __repr__(self) -> str:
+        return (
+            f"NetClient({self.host}:{self.port}, pool={self.pool_size}, "
+            f"timeout_s={self.timeout_s:g}, retries={self.retries})"
+        )

@@ -1,0 +1,147 @@
+"""Length-prefixed JSON framing over a stream socket.
+
+One frame is one JSON object, encoded as::
+
+    <decimal byte length of body>\\n<body bytes>
+
+The body is UTF-8 JSON — the exact dicts of the
+:mod:`repro.service.codec` wire format — so a frame stream is
+"``repro-fap serve``'s JSONL with an explicit length up front".  The
+prefix is what makes the format safe on a socket: a reader never has to
+guess where a pipelined message ends, a partial read is detectable, and
+a malformed peer fails the connection instead of corrupting the stream.
+
+:func:`send_frame` / :class:`FrameReader` are the two halves;
+:func:`encode_frame` / :func:`decode_frames` are the pure byte-level
+codecs used by both and by the tests.  Frames larger than
+:data:`MAX_FRAME_BYTES` are rejected on both sides — an allocation
+request is a few kilobytes, so anything near the cap is garbage or an
+attack, and refusing early keeps a bad peer from ballooning server
+memory.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "FrameError",
+    "FrameReader",
+    "encode_frame",
+    "decode_frames",
+    "send_frame",
+]
+
+#: Hard cap on one frame's body; a request is ~kilobytes, so this is
+#: three orders of magnitude of headroom.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_RECV_CHUNK = 65536
+
+
+class FrameError(ReproError):
+    """The byte stream violated the framing protocol (bad prefix,
+    oversized frame, truncated body, or a body that is not valid JSON)."""
+
+
+def encode_frame(payload: Dict) -> bytes:
+    """One payload dict as a length-prefixed frame (the wire bytes)."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame body of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return b"%d\n%s" % (len(body), body)
+
+
+def _parse_prefix(buffer: bytes) -> Optional[Tuple[int, int]]:
+    """``(body_length, body_start)`` once the prefix line is complete,
+    ``None`` while more bytes are needed.  Raises on a corrupt prefix."""
+    newline = buffer.find(b"\n", 0, 32)
+    if newline < 0:
+        if len(buffer) > 32:
+            raise FrameError(f"frame prefix is not a length line: {buffer[:32]!r}")
+        return None
+    prefix = buffer[:newline]
+    if not prefix.isdigit():
+        raise FrameError(f"frame prefix is not a decimal length: {prefix!r}")
+    length = int(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"declared frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    return length, newline + 1
+
+
+def decode_frames(buffer: bytes) -> Tuple[List[Dict], bytes]:
+    """Every complete frame in ``buffer`` plus the unconsumed remainder."""
+    frames: List[Dict] = []
+    while True:
+        parsed = _parse_prefix(buffer)
+        if parsed is None:
+            return frames, buffer
+        length, start = parsed
+        if len(buffer) < start + length:
+            return frames, buffer
+        body = buffer[start : start + length]
+        buffer = buffer[start + length :]
+        frames.append(_load_body(body))
+
+
+def _load_body(body: bytes) -> Dict:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"frame body is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise FrameError(f"frame body must be a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+def send_frame(sock: socket.socket, payload: Dict) -> int:
+    """Encode and send one frame; returns the byte count put on the wire."""
+    data = encode_frame(payload)
+    sock.sendall(data)
+    return len(data)
+
+
+class FrameReader:
+    """Buffered frame reader over one socket.
+
+    :meth:`read` returns the next payload dict, or ``None`` on a clean
+    EOF at a frame boundary.  A timeout already set on the socket applies
+    to each underlying ``recv`` — the caller owns deadline policy.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._buffer = b""
+        #: Total bytes consumed off the socket (for ``net.bytes_in``).
+        self.bytes_read = 0
+
+    def read(self) -> Optional[Dict]:
+        while True:
+            parsed = _parse_prefix(self._buffer)
+            if parsed is not None:
+                length, start = parsed
+                if len(self._buffer) >= start + length:
+                    body = self._buffer[start : start + length]
+                    self._buffer = self._buffer[start + length :]
+                    return _load_body(body)
+            chunk = self._sock.recv(_RECV_CHUNK)
+            if not chunk:
+                if self._buffer:
+                    raise FrameError(
+                        f"connection closed mid-frame ({len(self._buffer)} buffered bytes)"
+                    )
+                return None
+            self.bytes_read += len(chunk)
+            self._buffer += chunk
+
+    def __iter__(self) -> Iterator[Dict]:
+        while True:
+            payload = self.read()
+            if payload is None:
+                return
+            yield payload

@@ -1,0 +1,94 @@
+"""Shard routing: which worker answers which request.
+
+The solution cache and the micro-batcher both get their leverage from
+*locality*: exact repeats only hit if they reach the cache that stored
+them, and requests only batch with requests sitting in the same queue.
+A multi-worker server therefore cannot route uniformly at random without
+giving most of that leverage away — each worker would see ``1/W`` of the
+repeats of any given problem.
+
+:class:`ShardRouter` partitions requests by the problem's
+**structural fingerprint** (:func:`repro.service.fingerprint.structural_key`
+— node count plus cost matrix).  Everything about one network topology
+lands on one shard: exact repeats hit that shard's cache, near-misses
+find their warm-start donors there, and same-shape requests batch
+together.  Different topologies spread across shards, which is where the
+multi-core win comes from.
+
+``policy="random"`` (seeded, for reproducibility) is the control group:
+the same interface with locality destroyed, used by
+``benchmarks/bench_net.py`` to measure what affinity is worth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.service.fingerprint import structural_key
+from repro.service.types import SolveRequest
+
+__all__ = ["ShardRouter", "shard_of_key"]
+
+ROUTING_POLICIES = ("affinity", "random")
+
+
+def shard_of_key(key: str, num_shards: int) -> int:
+    """Deterministic shard index for one structural-key hex digest."""
+    return int(key[:16], 16) % num_shards
+
+
+class ShardRouter:
+    """Maps a :class:`~repro.service.types.SolveRequest` to a shard index.
+
+    Parameters
+    ----------
+    num_shards:
+        How many partitions to route across (>= 1).
+    policy:
+        ``"affinity"`` (default) routes by structural fingerprint, so
+        repeats and same-shape requests share a shard; ``"random"``
+        routes uniformly (seeded), the baseline that measures what
+        affinity buys.
+    seed:
+        Seed for the ``"random"`` policy's generator.
+    """
+
+    def __init__(
+        self, num_shards: int, *, policy: str = "affinity", seed: int = 0
+    ):
+        if num_shards < 1:
+            raise ConfigurationError("num_shards must be >= 1")
+        if policy not in ROUTING_POLICIES:
+            raise ConfigurationError(
+                f"unknown routing policy {policy!r} "
+                f"(expected one of {ROUTING_POLICIES})"
+            )
+        self.num_shards = int(num_shards)
+        self.policy = policy
+        self._rng = np.random.default_rng(seed)
+        #: Requests routed per shard (mirrors ``net.shard.<i>.routed``).
+        self.route_counts = [0] * self.num_shards
+
+    def shard_for(self, request: SolveRequest) -> int:
+        """The shard that should own ``request``."""
+        if self.policy == "random":
+            shard = int(self._rng.integers(self.num_shards))
+        else:
+            shard = shard_of_key(structural_key(request.problem), self.num_shards)
+        self.route_counts[shard] += 1
+        return shard
+
+    def routing_key(self, request: SolveRequest) -> Optional[str]:
+        """The affinity key routing is based on (``None`` under random)."""
+        if self.policy == "random":
+            return None
+        return structural_key(request.problem)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardRouter(num_shards={self.num_shards}, policy={self.policy!r}, "
+            f"routed={sum(self.route_counts)})"
+        )

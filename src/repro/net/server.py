@@ -1,0 +1,488 @@
+"""The sharded TCP front end over the allocation service.
+
+:class:`NetServer` is the piece that turns ``repro.service`` from an
+in-process library into something real clients connect to:
+
+* a **listener** accepts TCP connections and speaks length-prefixed JSON
+  frames (:mod:`repro.net.framing`) carrying the exact
+  :mod:`repro.service.codec` wire format — anything ``repro-fap serve``
+  accepts on stdin is a valid frame body here;
+* a :class:`~repro.net.router.ShardRouter` partitions parseable requests
+  across **shards**, each shard a FIFO queue owned by one dispatch
+  thread; shards map onto **worker processes**
+  (:mod:`repro.net.worker`), each running its own
+  :class:`~repro.service.AllocationService` with its own cache — so
+  repeats of a problem hit the cache that stored them, and same-shape
+  requests micro-batch together;
+* **robustness is structural**: a dead worker is respawned and exactly
+  the requests in flight with it get in-band ``worker_restarted``
+  errors; a draining server (SIGTERM) finishes in-flight work and
+  answers queued/new requests with structured ``shutting_down``
+  rejections; a malformed frame fails one connection, never the server.
+
+Control verbs ride the same frame stream: ``{"op": "stats"}`` returns
+the merged ``service.*`` metrics of every worker plus the server's own
+``net.*`` family (connections, bytes, per-shard routing and queue
+depth, worker restarts); ``{"op": "ping"}`` is a liveness check.
+"""
+
+from __future__ import annotations
+
+import queue
+import signal
+import socket
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.obs.registry import MetricsRegistry
+from repro.net.framing import FrameError, FrameReader, send_frame
+from repro.net.router import ShardRouter
+from repro.net.worker import (
+    ERROR_WORKER_RESTARTED,
+    WorkerConfig,
+    WorkerCrashed,
+    WorkerHandle,
+)
+from repro.service.codec import safe_parse
+
+__all__ = ["NetServer", "REJECT_SHUTTING_DOWN"]
+
+#: Rejection reason for requests that arrive at (or are queued in) a
+#: draining server.
+REJECT_SHUTTING_DOWN = "shutting_down"
+
+_STOP = object()
+
+
+@dataclass
+class _WorkItem:
+    """One routed request waiting in a shard queue."""
+
+    payload: Dict
+    request_id: str
+    reply: Callable[[Dict], None]
+
+
+class NetServer:
+    """Sharded socket transport over per-worker allocation services.
+
+    Parameters
+    ----------
+    host, port:
+        Listen address; port 0 binds an ephemeral port (read
+        :attr:`address` after :meth:`start`).
+    workers:
+        Worker *processes*, each owning one
+        :class:`~repro.service.AllocationService` + cache.
+    shards:
+        Routing partitions (default: one per worker).  More shards than
+        workers is allowed — shard ``s`` is served by worker
+        ``s % workers``.
+    routing:
+        ``"affinity"`` (structural fingerprint; default) or ``"random"``
+        (the locality-free baseline the benchmarks compare against).
+    max_batch, cache_size, cache_ttl_s, queue_depth, default_timeout_s:
+        Per-worker service configuration (see
+        :class:`~repro.net.worker.WorkerConfig`).
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` for the
+        server-side ``net.*`` family; one is created if omitted.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        workers: int = 1,
+        shards: Optional[int] = None,
+        routing: str = "affinity",
+        max_batch: int = 32,
+        cache_size: int = 256,
+        cache_ttl_s: Optional[float] = None,
+        queue_depth: int = 1024,
+        default_timeout_s: Optional[float] = None,
+        registry: Optional[MetricsRegistry] = None,
+        context=None,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.num_workers = max(1, int(workers))
+        self.num_shards = int(shards) if shards is not None else self.num_workers
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.router = ShardRouter(self.num_shards, policy=routing)
+        self.worker_config = WorkerConfig(
+            max_batch=max_batch,
+            cache_size=cache_size,
+            cache_ttl_s=cache_ttl_s,
+            queue_depth=queue_depth,
+            default_timeout_s=default_timeout_s,
+        )
+        self._context = context
+        self._workers: List[WorkerHandle] = []
+        self._queues: List["queue.Queue"] = []
+        self._shard_threads: List[threading.Thread] = []
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._connections: set = set()
+        self._conn_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._draining = False
+        self._started = False
+        self._stopped = threading.Event()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "NetServer":
+        """Spawn workers and shard threads, bind, and begin accepting."""
+        with self._state_lock:
+            if self._started:
+                return self
+            self._started = True
+        self._workers = [
+            WorkerHandle(i, self.worker_config, context=self._context)
+            for i in range(self.num_workers)
+        ]
+        for shard in range(self.num_shards):
+            self._queues.append(queue.Queue())
+            thread = threading.Thread(
+                target=self._shard_loop, args=(shard,),
+                name=f"repro-net-shard-{shard}", daemon=True,
+            )
+            self._shard_threads.append(thread)
+            thread.start()
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(128)
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-net-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` actually bound (resolves ephemeral port 0)."""
+        return (self.host, self.port)
+
+    def worker_pids(self) -> List[int]:
+        """Live worker pids (test hook for crash-recovery scenarios)."""
+        return [w.pid for w in self._workers]
+
+    def shutdown(self, *, timeout_s: float = 10.0) -> None:
+        """Graceful drain: in-flight requests finish, queued and new ones
+        are rejected with structured ``shutting_down`` responses, workers
+        exit, and the listener closes.  Idempotent and thread-safe."""
+        with self._state_lock:
+            if not self._started or self._stopped.is_set():
+                self._stopped.set()
+                return
+            already = self._draining
+            self._draining = True
+        if already:
+            self._stopped.wait(timeout_s)
+            return
+        if self._listener is not None:
+            # shutdown() before close(): on Linux, close() alone does not
+            # wake a thread blocked in accept().
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for q in self._queues:
+            q.put(_STOP)
+        for thread in self._shard_threads:
+            thread.join(timeout=timeout_s)
+        for worker in self._workers:
+            worker.shutdown()
+        with self._conn_lock:
+            conns = list(self._connections)
+        for sock in conns:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=timeout_s)
+        self._stopped.set()
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` completes (e.g. from a signal)."""
+        self._stopped.wait()
+
+    def install_signal_handlers(self, signals=(signal.SIGTERM, signal.SIGINT)) -> None:
+        """SIGTERM/SIGINT → graceful drain (call from the main thread)."""
+
+        def _handler(signum, frame):
+            threading.Thread(
+                target=self.shutdown, name="repro-net-drain", daemon=True
+            ).start()
+
+        for sig in signals:
+            signal.signal(sig, _handler)
+
+    def __enter__(self) -> "NetServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- accepting and reading -------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                sock, peer = self._listener.accept()
+            except OSError:
+                return  # listener closed (shutdown)
+            if self._draining:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                continue
+            self.registry.counter_inc("net.connections")
+            with self._conn_lock:
+                self._connections.add(sock)
+                self.registry.gauge_set(
+                    "net.connections_active", float(len(self._connections))
+                )
+            threading.Thread(
+                target=self._serve_connection, args=(sock,),
+                name=f"repro-net-conn-{peer[1]}", daemon=True,
+            ).start()
+
+    def _serve_connection(self, sock: socket.socket) -> None:
+        reader = FrameReader(sock)
+        write_lock = threading.Lock()
+        consumed = 0
+
+        def reply(payload: Dict) -> None:
+            try:
+                with write_lock:
+                    sent = send_frame(sock, payload)
+            except OSError:
+                return  # client went away; its loss
+            self.registry.counter_inc("net.responses")
+            self.registry.counter_inc("net.bytes_out", sent)
+
+        try:
+            while True:
+                try:
+                    payload = reader.read()
+                except FrameError as exc:
+                    reply({"status": "error", "reason": "bad_frame", "detail": str(exc)})
+                    return
+                except OSError:
+                    return
+                if payload is None:
+                    return
+                self.registry.counter_inc("net.bytes_in", reader.bytes_read - consumed)
+                consumed = reader.bytes_read
+                self._handle_payload(payload, reply)
+        finally:
+            with self._conn_lock:
+                self._connections.discard(sock)
+                self.registry.gauge_set(
+                    "net.connections_active", float(len(self._connections))
+                )
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # -- routing and dispatch --------------------------------------------------
+
+    def _handle_payload(self, payload: Dict, reply: Callable[[Dict], None]) -> None:
+        op = payload.get("op")
+        if op is not None:
+            self.registry.counter_inc(f"net.ops.{op}")
+            if op == "stats":
+                reply({"op": "stats", "status": "ok", "stats": self.stats()})
+            elif op == "ping":
+                reply({"op": "ping", "status": "ok"})
+            else:
+                reply(
+                    {
+                        "op": str(op),
+                        "status": "error",
+                        "detail": f"unknown control verb {op!r}",
+                    }
+                )
+            return
+        self.registry.counter_inc("net.requests")
+        if self._draining:
+            reply(self._shutting_down(str(payload.get("id", ""))))
+            return
+        request, error = safe_parse(payload)
+        if error is not None:
+            self.registry.counter_inc("net.parse_errors")
+            reply(error)
+            return
+        shard = self.router.shard_for(request)
+        self.registry.counter_inc(f"net.shard.{shard}.routed")
+        # The worker re-parses the payload, so pin the server-assigned id
+        # (auto-assigned when the caller sent none) into what it sees.
+        item = _WorkItem(
+            payload={**payload, "id": request.request_id},
+            request_id=request.request_id,
+            reply=reply,
+        )
+        q = self._queues[shard]
+        q.put(item)
+        self.registry.gauge_set(f"net.shard.{shard}.queue_depth", float(q.qsize()))
+
+    def _shard_loop(self, shard: int) -> None:
+        q = self._queues[shard]
+        worker = self._workers[shard % self.num_workers]
+        depth_gauge = f"net.shard.{shard}.queue_depth"
+        while True:
+            item = q.get()
+            if item is _STOP:
+                self._reject_remaining(q)
+                return
+            batch = [item]
+            # Opportunistic batching: everything already queued (up to the
+            # worker's max_batch) ships as one group so the worker's
+            # micro-batcher can fuse compatible requests.
+            stop_seen = False
+            while len(batch) < self.worker_config.max_batch:
+                try:
+                    extra = q.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _STOP:
+                    stop_seen = True
+                    break
+                batch.append(extra)
+            self.registry.gauge_set(depth_gauge, float(q.qsize()))
+            if self._draining:
+                for it in batch:
+                    it.reply(self._shutting_down(it.request_id))
+            else:
+                self._dispatch(worker, batch)
+            if stop_seen:
+                self._reject_remaining(q)
+                return
+
+    def _dispatch(self, worker: WorkerHandle, batch: List[_WorkItem]) -> None:
+        payloads = [item.payload for item in batch]
+        try:
+            kind, results = worker.roundtrip(("solve", payloads))
+        except WorkerCrashed as exc:
+            self.registry.counter_inc("net.worker_restarts")
+            self.registry.counter_inc("net.requests_lost", len(batch))
+            self.registry.event(
+                "net_worker_restart", worker=worker.index, lost=len(batch)
+            )
+            for item in batch:
+                item.reply(
+                    {
+                        "id": item.request_id,
+                        "status": "error",
+                        "reason": ERROR_WORKER_RESTARTED,
+                        "detail": str(exc),
+                    }
+                )
+            return
+        if kind != "results" or len(results) != len(batch):
+            for item in batch:
+                item.reply(
+                    {
+                        "id": item.request_id,
+                        "status": "error",
+                        "detail": f"worker protocol violation (reply {kind!r})",
+                    }
+                )
+            return
+        for item, result in zip(batch, results):
+            item.reply(result)
+
+    def _reject_remaining(self, q: "queue.Queue") -> None:
+        """Drain a stopping shard queue with structured rejections."""
+        while True:
+            try:
+                item = q.get_nowait()
+            except queue.Empty:
+                return
+            if item is _STOP:
+                continue
+            item.reply(self._shutting_down(item.request_id))
+
+    def _shutting_down(self, request_id: str) -> Dict:
+        self.registry.counter_inc("net.rejected.shutting_down")
+        return {
+            "id": request_id,
+            "status": "rejected",
+            "reason": REJECT_SHUTTING_DOWN,
+            "detail": "server is draining; request was not dispatched",
+        }
+
+    # -- observability ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Merged operational snapshot: every worker's ``service.*``
+        metrics folded together, the server's ``net.*`` family, and
+        per-shard / per-worker breakdowns."""
+        merged = MetricsRegistry()
+        workers = []
+        for worker in self._workers:
+            entry = {
+                "index": worker.index,
+                "pid": worker.pid,
+                "alive": worker.alive,
+                "restarts": worker.restarts,
+            }
+            if not worker.closed:
+                try:
+                    kind, snapshot = worker.roundtrip(("stats",))
+                    if kind == "stats":
+                        merged.merge_snapshot(snapshot)
+                        entry["cache_size"] = snapshot.get("gauges", {}).get(
+                            "service.cache.size", 0.0
+                        )
+                except WorkerCrashed:
+                    self.registry.counter_inc("net.worker_restarts")
+                    entry["alive"] = worker.alive
+            workers.append(entry)
+        for shard, q in enumerate(self._queues):
+            self.registry.gauge_set(
+                f"net.shard.{shard}.queue_depth", float(q.qsize())
+            )
+        merged.merge_snapshot(self.registry.snapshot())
+        snapshot = merged.snapshot()
+        snapshot["workers"] = workers
+        snapshot["shards"] = [
+            {
+                "shard": shard,
+                "worker": shard % self.num_workers,
+                "queue_depth": q.qsize(),
+                "routed": self.router.route_counts[shard],
+            }
+            for shard, q in enumerate(self._queues)
+        ]
+        snapshot["routing"] = self.router.policy
+        snapshot["draining"] = self._draining
+        return snapshot
+
+    def __repr__(self) -> str:
+        state = (
+            "draining" if self._draining else ("serving" if self._started else "new")
+        )
+        return (
+            f"NetServer({self.host}:{self.port}, {state}, "
+            f"workers={self.num_workers}, shards={self.num_shards}, "
+            f"routing={self.router.policy!r})"
+        )

@@ -36,6 +36,8 @@ from repro.service.cache import CacheEntry, SolutionCache
 from repro.service.codec import (
     iter_request_payloads,
     parse_request,
+    request_to_payload,
+    response_from_dict,
     response_to_dict,
     safe_parse,
 )
@@ -81,6 +83,8 @@ __all__ = [
     "parse_request",
     "problem_fingerprint",
     "request_fingerprint",
+    "request_to_payload",
+    "response_from_dict",
     "response_to_dict",
     "safe_parse",
     "structural_key",

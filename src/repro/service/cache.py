@@ -16,14 +16,19 @@ structural side-index for continuation:
 * everything else is a **miss** and solves cold.
 
 The cache is bounded (LRU over exact fingerprints) and purely in-memory.
-Lookup dispositions are tallied on the registry as
-``service.cache.hit`` / ``.warm`` / ``.miss``.
+With ``ttl_s`` set, entries additionally expire by age: an expired entry
+counts as a miss (and is evicted lazily, donors included), which is what
+keeps a long-lived network server from answering with — or warm-starting
+from — an optimum computed for last week's traffic.  Lookup dispositions
+are tallied on the registry as ``service.cache.hit`` / ``.warm`` /
+``.miss``, with ``service.cache.expired`` counting lazy TTL evictions.
 """
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 import numpy as np
@@ -52,6 +57,9 @@ class CacheEntry:
     cost: float
     iterations: int
     converged: bool
+    #: Cache clock reading at :meth:`SolutionCache.store` time (drives
+    #: TTL expiry; 0.0 when the cache has no TTL).
+    stored_at: float = field(default=0.0)
 
 
 class SolutionCache:
@@ -67,9 +75,16 @@ class SolutionCache:
         which a same-structure entry still counts as "near" — beyond it a
         donor's allocation is likely farther from the optimum than the
         cold start would be.
+    ttl_s:
+        Maximum entry age in clock seconds; ``None`` (default) disables
+        expiry.  Expired entries count as misses — for exact lookups and
+        as warm-start donors alike — and are evicted lazily on contact.
     registry:
         Optional :class:`~repro.obs.registry.MetricsRegistry` for the
         hit/warm/miss counters and the size gauge.
+    clock:
+        Monotonic time source for TTL bookkeeping (injectable so tests
+        and replay tooling can drive expiry deterministically).
     """
 
     def __init__(
@@ -77,15 +92,21 @@ class SolutionCache:
         capacity: int = 256,
         *,
         max_warm_distance: float = 1.0,
+        ttl_s: Optional[float] = None,
         registry: Optional[MetricsRegistry] = None,
+        clock=time.monotonic,
     ):
         if capacity < 0:
             raise ConfigurationError("capacity must be >= 0")
         if max_warm_distance <= 0:
             raise ConfigurationError("max_warm_distance must be positive")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ConfigurationError("ttl_s must be positive (or None to disable)")
         self.capacity = int(capacity)
         self.max_warm_distance = float(max_warm_distance)
+        self.ttl_s = None if ttl_s is None else float(ttl_s)
         self.registry = registry
+        self.clock = clock
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
         self._buckets: Dict[str, Dict[str, CacheEntry]] = {}
 
@@ -96,6 +117,19 @@ class SolutionCache:
         if self.registry is not None:
             self.registry.counter_inc(f"service.cache.{status}")
             self.registry.gauge_set("service.cache.size", float(len(self._entries)))
+
+    def _is_expired(self, entry: CacheEntry) -> bool:
+        return self.ttl_s is not None and self.clock() - entry.stored_at > self.ttl_s
+
+    def _evict_expired(self, entry: CacheEntry) -> None:
+        self._entries.pop(entry.fingerprint, None)
+        bucket = self._buckets.get(entry.structure)
+        if bucket is not None:
+            bucket.pop(entry.fingerprint, None)
+            if not bucket:
+                self._buckets.pop(entry.structure, None)
+        if self.registry is not None:
+            self.registry.counter_inc("service.cache.expired")
 
     def lookup(self, request: SolveRequest) -> CacheLookup:
         """Probe the cache for ``request``; never runs a solver."""
@@ -108,9 +142,12 @@ class SolutionCache:
             return CacheLookup(status="miss")
         entry = self._entries.get(fp)
         if entry is not None:
-            self._entries.move_to_end(fp)
-            self._count("hit")
-            return CacheLookup(status="hit", entry=entry, distance=0.0)
+            if self._is_expired(entry):
+                self._evict_expired(entry)
+            else:
+                self._entries.move_to_end(fp)
+                self._count("hit")
+                return CacheLookup(status="hit", entry=entry, distance=0.0)
         donor = self._nearest(request)
         if donor is not None:
             entry, distance = donor
@@ -124,10 +161,16 @@ class SolutionCache:
         if not bucket:
             return None
         best, best_d = None, self.max_warm_distance
+        stale = []
         for entry in bucket.values():
+            if self._is_expired(entry):
+                stale.append(entry)
+                continue
             d = parameter_distance(request.problem, entry.problem)
             if d <= best_d:
                 best, best_d = entry, d
+        for entry in stale:
+            self._evict_expired(entry)
         if best is None:
             return None
         return best, best_d
@@ -152,6 +195,7 @@ class SolutionCache:
             cost=float(result.cost),
             iterations=int(result.iterations),
             converged=True,
+            stored_at=self.clock() if self.ttl_s is not None else 0.0,
         )
         if fp in self._entries:
             self._entries.move_to_end(fp)

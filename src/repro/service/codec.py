@@ -38,7 +38,14 @@ from repro.exceptions import ConfigurationError, ReproError
 from repro.network import builders
 from repro.service.types import SolveRequest, SolveResponse
 
-__all__ = ["parse_request", "response_to_dict", "iter_request_payloads", "safe_parse"]
+__all__ = [
+    "parse_request",
+    "request_to_payload",
+    "response_from_dict",
+    "response_to_dict",
+    "iter_request_payloads",
+    "safe_parse",
+]
 
 _TOPOLOGIES = {
     "ring": builders.ring_graph,
@@ -115,9 +122,81 @@ def parse_request(payload: Dict) -> SolveRequest:
     )
 
 
+def request_to_payload(request: SolveRequest) -> Dict:
+    """The inverse of :func:`parse_request`: a wire-format dict whose
+    re-parse reproduces ``request`` field-for-field.
+
+    Uses the raw-matrix problem spec (floats survive JSON bit-for-bit:
+    ``repr`` round-trips every float64), so a request solved remotely is
+    the identical solve it would have been locally — the parity contract
+    of :class:`repro.net.NetClient`.  Only pure M/M/1 problems can cross
+    the wire (exotic delay models have no dict form); anything else
+    raises :class:`~repro.exceptions.ConfigurationError`.
+    """
+    problem = request.problem
+    if not problem.has_vectorized_evaluate:
+        raise ConfigurationError(
+            f"problem {problem.name!r} uses non-M/M/1 delay models; "
+            "it has no wire representation"
+        )
+    payload: Dict = {
+        "id": request.request_id,
+        "problem": {
+            "cost_matrix": [[float(v) for v in row] for row in problem.cost_matrix],
+            "access_rates": [float(v) for v in problem.access_rates],
+            "mu": [float(v) for v in problem.mm1_service_rates()],
+            "k": float(problem.k),
+            "name": problem.name,
+        },
+        "alpha": float(request.alpha),
+        "epsilon": float(request.epsilon),
+        "max_iterations": int(request.max_iterations),
+        "start": [float(v) for v in request.initial_allocation],
+    }
+    if request.timeout_s is not None:
+        payload["timeout_s"] = float(request.timeout_s)
+    if request.priority != 0:
+        payload["priority"] = int(request.priority)
+    return payload
+
+
 def response_to_dict(response: SolveResponse) -> Dict:
     """The wire-format view of a response (alias of ``as_dict``)."""
     return response.as_dict()
+
+
+def response_from_dict(payload: Dict) -> SolveResponse:
+    """One wire-format response dict back into a :class:`SolveResponse`.
+
+    Accepts the ``"ok"`` and ``"rejected"`` shapes ``as_dict`` emits
+    (JSON round-trips floats exactly, so the rebuilt allocation is the
+    served allocation).  In-band ``"error"`` markers have no typed form
+    and raise.
+    """
+    status = payload.get("status")
+    if status == "ok":
+        return SolveResponse(
+            request_id=str(payload.get("id", "")),
+            status="ok",
+            allocation=np.asarray(payload["allocation"], dtype=float),
+            cost=float(payload["cost"]),
+            iterations=int(payload["iterations"]),
+            converged=bool(payload["converged"]),
+            cache=str(payload.get("cache", "miss")),
+            batch_size=int(payload.get("batch_size", 0)),
+            latency_s=float(payload.get("latency_s", 0.0)),
+        )
+    if status == "rejected":
+        return SolveResponse(
+            request_id=str(payload.get("id", "")),
+            status="rejected",
+            reason=payload.get("reason"),
+            detail=str(payload.get("detail", "")),
+        )
+    raise ConfigurationError(
+        f"response status {status!r} has no typed form "
+        "(expected 'ok' or 'rejected')"
+    )
 
 
 def iter_request_payloads(stream: IO[str]) -> Iterator[Dict]:

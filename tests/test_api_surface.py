@@ -4,9 +4,9 @@ Two invariants:
 
 * every name a ``repro`` package exports via ``__all__`` actually resolves
   (no stale exports after refactors);
-* every export of the five documented packages (core, obs, experiments,
-  parallel, service) appears in ``docs/API.md``, so the reference cannot
-  silently fall behind the code.
+* every export of the six documented packages (core, obs, experiments,
+  parallel, service, net) appears in ``docs/API.md``, so the reference
+  cannot silently fall behind the code.
 """
 
 from __future__ import annotations
@@ -25,6 +25,7 @@ DOCUMENTED_PACKAGES = [
     "repro.experiments",
     "repro.parallel",
     "repro.service",
+    "repro.net",
 ]
 API_MD = Path(__file__).resolve().parent.parent / "docs" / "API.md"
 

@@ -265,3 +265,25 @@ class TestCliServe:
         ]) == 0
         names = {e["event"] for e in read_jsonl(metrics)}
         assert "service_batch" in names
+
+    def test_serve_metrics_out_snapshot(self, capsys, tmp_path):
+        import json
+
+        from repro.cli import main
+
+        in_path = tmp_path / "requests.jsonl"
+        in_path.write_text(
+            self.REQUEST % ("a", "1.0") + "\n" + self.REQUEST % ("a", "1.0") + "\n"
+        )
+        out_path = tmp_path / "final.json"
+        # max_batch=1: the repeat dispatches in its own pump, after the
+        # first solve was cached, so the snapshot shows one exact hit.
+        assert main([
+            "serve", "--input", str(in_path), "--max-batch", "1",
+            "--metrics-out", str(out_path),
+        ]) == 0
+        capsys.readouterr()
+        snapshot = json.loads(out_path.read_text())
+        assert snapshot["counters"]["service.requests"] == 2
+        assert snapshot["counters"]["service.cache.hit"] == 1
+        assert snapshot["gauges"]["service.cache.size"] == 1

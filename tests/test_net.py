@@ -1,0 +1,372 @@
+"""Loopback integration tests for the sharded socket transport.
+
+These start real :class:`~repro.net.NetServer` instances (worker
+processes, TCP listeners on 127.0.0.1 ephemeral ports) and exercise the
+contracts the subsystem exists for:
+
+* **parity** — a request solved over the wire is bit-for-bit the solve
+  the in-process :class:`~repro.service.ServiceClient` produces, and
+  repeats register exact cache hits in the merged stats;
+* **crash recovery** — SIGKILL of a worker mid-solve produces structured
+  ``worker_restarted`` errors for exactly the in-flight requests, a
+  respawned worker, and working service afterwards (never a hung
+  connection);
+* **drain** — a draining server answers with structured
+  ``shutting_down`` rejections, and the CLI pair survives a SIGTERM
+  round trip end to end.
+"""
+
+import json
+import os
+import queue
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.net import (
+    FrameReader,
+    NetClient,
+    NetConnectionError,
+    NetServer,
+    NetTimeout,
+    REJECT_SHUTTING_DOWN,
+    encode_frame,
+    send_frame,
+)
+from repro.net.worker import ERROR_WORKER_RESTARTED
+from repro.service import AllocationService, ServiceClient
+from repro.service.codec import parse_request
+
+
+def ring_payload(i=0, *, nodes=4, mu=1.5, alpha=0.3, start="skewed"):
+    return {
+        "id": f"r{i}",
+        "problem": {"topology": "ring", "nodes": nodes, "mu": mu},
+        "alpha": alpha,
+        "start": start,
+    }
+
+
+def varied_payloads(count, *, seed=0):
+    """Raw-matrix payloads over a couple of structures (wire-exact floats)."""
+    rng = np.random.default_rng(seed)
+    payloads = []
+    for i in range(count):
+        n = 4 if i % 2 == 0 else 5
+        payloads.append(
+            {
+                "id": f"v{i}",
+                "problem": {
+                    "cost_matrix": [
+                        [0.0 if r == c else float(rng.uniform(0.5, 2.0)) for c in range(n)]
+                        for r in range(n)
+                    ],
+                    "access_rates": [float(v) for v in rng.uniform(0.02, 0.15, size=n)],
+                    "mu": [float(v) for v in rng.uniform(1.5, 3.0, size=n)],
+                    "k": 1.0,
+                },
+                "alpha": float(rng.uniform(0.15, 0.35)),
+                "start": [float(v) for v in rng.dirichlet(np.ones(n))],
+            }
+        )
+    return payloads
+
+
+SLOW_PAYLOAD = {
+    # ~10s of fused iterations at ~60k it/s: plenty of time to SIGKILL
+    # the worker mid-solve, bounded if the kill somehow never lands.
+    "id": "slow",
+    "problem": {"topology": "ring", "nodes": 8, "mu": 1.5},
+    "alpha": 1e-6,
+    "epsilon": 1e-15,
+    "max_iterations": 600_000,
+    "start": "skewed",
+}
+
+
+def strip_latency(response):
+    clean = dict(response)
+    clean.pop("latency_s", None)
+    return clean
+
+
+class TestLoopbackParity:
+    def test_networked_solves_match_in_process_bit_for_bit(self):
+        payloads = varied_payloads(6)
+        local = ServiceClient(AllocationService(max_batch=8))
+        expected = [local.solve_payload(dict(p)) for p in payloads]
+        with NetServer(port=0, workers=2) as server:
+            host, port = server.address
+            with NetClient(host, port) as client:
+                got = [client.solve_payload(dict(p)) for p in payloads]
+        for want, have in zip(expected, got):
+            assert want["status"] == "ok"
+            assert strip_latency(have) == strip_latency(want)
+            assert have["allocation"] == want["allocation"]  # exact floats
+
+    def test_repeats_are_exact_cache_hits_in_merged_stats(self):
+        with NetServer(port=0, workers=2) as server:
+            host, port = server.address
+            with NetClient(host, port) as client:
+                first = client.solve_payload(ring_payload())
+                repeats = [client.solve_payload(ring_payload()) for _ in range(3)]
+                stats = client.stats()
+        assert first["cache"] == "miss"
+        for r in repeats:
+            assert r["cache"] == "hit"
+            assert r["allocation"] == first["allocation"]
+            assert r["iterations"] == 0  # answered from cache, no solve ran
+            assert r["converged"] is True
+        counters = stats["counters"]
+        assert counters["service.cache.hit"] == 3
+        assert counters["net.requests"] == 4
+        # Affinity routing put every repeat on one shard.
+        assert max(s["routed"] for s in stats["shards"]) == 4
+
+    def test_typed_surface_and_control_verbs(self):
+        request = parse_request(ring_payload(7))
+        with NetServer(port=0, workers=1) as server:
+            host, port = server.address
+            with NetClient(host, port) as client:
+                assert client.ping()
+                response = client.solve(request)
+                assert response.ok and response.request_id == "r7"
+                many = client.solve_many([parse_request(ring_payload(i)) for i in (1, 2)])
+                assert [r.request_id for r in many] == ["r1", "r2"]
+                stats = client.stats()
+        assert stats["routing"] == "affinity"
+        assert [w["alive"] for w in stats["workers"]] == [True]
+
+    def test_random_routing_spreads_repeats(self):
+        with NetServer(port=0, workers=2, routing="random") as server:
+            host, port = server.address
+            with NetClient(host, port) as client:
+                for i in range(12):
+                    client.solve_payload(ring_payload(i))
+                stats = client.stats()
+        routed = [s["routed"] for s in stats["shards"]]
+        assert sum(routed) == 12
+        assert min(routed) > 0  # locality destroyed across shards
+
+
+class TestCrashRecovery:
+    def test_sigkill_mid_solve_yields_structured_error_and_respawn(self):
+        with NetServer(port=0, workers=1) as server:
+            host, port = server.address
+            with NetClient(host, port, timeout_s=60.0, retries=0) as client:
+                results = {}
+
+                def solve_slow():
+                    results["slow"] = client.solve_payload(SLOW_PAYLOAD)
+
+                thread = threading.Thread(target=solve_slow)
+                thread.start()
+                time.sleep(1.0)  # the worker is deep in the solve by now
+                [pid] = server.worker_pids()
+                os.kill(pid, signal.SIGKILL)
+                thread.join(timeout=30.0)
+                assert not thread.is_alive(), "lost request hung the connection"
+                error = results["slow"]
+                assert error["status"] == "error"
+                assert error["reason"] == ERROR_WORKER_RESTARTED
+                assert error["id"] == "slow"
+                # The respawned worker serves the very next request.
+                after = client.solve_payload(ring_payload(1))
+                assert after["status"] == "ok"
+                stats = client.stats()
+        counters = stats["counters"]
+        assert counters["net.worker_restarts"] == 1
+        assert counters["net.requests_lost"] == 1
+        assert [w["restarts"] for w in stats["workers"]] == [1]
+        assert [w["alive"] for w in stats["workers"]] == [True]
+        [new_pid] = [w["pid"] for w in stats["workers"]]
+        assert new_pid != pid
+
+    def test_idle_worker_kill_is_transparent(self):
+        with NetServer(port=0, workers=1) as server:
+            host, port = server.address
+            with NetClient(host, port) as client:
+                assert client.solve_payload(ring_payload())["status"] == "ok"
+                [pid] = server.worker_pids()
+                os.kill(pid, signal.SIGKILL)
+                # Wait for the handle to observe the death (is_alive()
+                # reaps); immediately after SIGKILL it can still read as
+                # alive, which is the mid-dispatch path, not this one.
+                deadline = time.monotonic() + 10.0
+                while server._workers[0].alive and time.monotonic() < deadline:
+                    time.sleep(0.02)
+                assert not server._workers[0].alive
+                # Nothing was in flight: the dead worker is respawned on
+                # contact and the request succeeds (cold cache, so a miss).
+                response = client.solve_payload(ring_payload())
+                assert response["status"] == "ok"
+                assert response["cache"] == "miss"
+
+
+class TestDrain:
+    def test_draining_server_rejects_new_requests_structurally(self):
+        with NetServer(port=0, workers=1) as server:
+            host, port = server.address
+            with NetClient(host, port) as client:
+                assert client.ping()
+                server._draining = True  # the SIGTERM handler's first act
+                response = client.solve_payload(ring_payload())
+                assert response["status"] == "rejected"
+                assert response["reason"] == REJECT_SHUTTING_DOWN
+
+    def test_queued_items_get_rejections_on_stop(self):
+        server = NetServer(port=0, workers=1)  # never started: pure queue logic
+        replies = []
+        q = queue.Queue()
+        from repro.net.server import _STOP, _WorkItem
+
+        for i in range(3):
+            q.put(_WorkItem(payload={}, request_id=f"q{i}", reply=replies.append))
+        q.put(_STOP)
+        server._reject_remaining(q)
+        assert [r["id"] for r in replies] == ["q0", "q1", "q2"]
+        assert all(r["reason"] == REJECT_SHUTTING_DOWN for r in replies)
+
+    def test_shutdown_is_idempotent_and_reusable_stats(self):
+        server = NetServer(port=0, workers=1).start()
+        host, port = server.address
+        with NetClient(host, port) as client:
+            assert client.solve_payload(ring_payload())["status"] == "ok"
+        server.shutdown()
+        server.shutdown()  # second call is a no-op
+        stats = server.stats()  # post-shutdown stats must not respawn workers
+        assert stats["draining"] is True
+        assert stats["counters"]["net.requests"] == 1
+        assert all(not w["alive"] for w in stats["workers"])
+
+
+class TestClientRobustness:
+    def test_deadline_yields_net_timeout(self):
+        # A listener that accepts and never replies: the client's
+        # deadline, not the server, must end the wait.
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        host, port = listener.getsockname()
+        try:
+            with NetClient(host, port, timeout_s=0.3, retries=0) as client:
+                with pytest.raises(NetTimeout):
+                    client.solve_payload(ring_payload())
+                assert client.metrics["timeouts"] == 1
+        finally:
+            listener.close()
+
+    def test_retry_succeeds_after_dropped_connection(self):
+        # First connection is dropped before a reply; the second is
+        # served.  The client must retry on a fresh connection and win.
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(2)
+        host, port = listener.getsockname()
+
+        def flaky_server():
+            first, _ = listener.accept()
+            FrameReader(first).read()
+            first.close()  # mid-request drop
+            second, _ = listener.accept()
+            payload = FrameReader(second).read()
+            send_frame(second, {"id": payload.get("id", ""), "status": "ok",
+                                "allocation": [1.0], "cost": 0.0,
+                                "iterations": 0, "converged": True})
+            second.close()
+
+        thread = threading.Thread(target=flaky_server, daemon=True)
+        thread.start()
+        try:
+            with NetClient(host, port, timeout_s=10.0, retries=2,
+                           backoff_s=0.01) as client:
+                response = client.solve_payload(ring_payload())
+                assert response["status"] == "ok"
+                assert client.metrics["retries"] == 1
+            thread.join(timeout=5.0)
+        finally:
+            listener.close()
+
+    def test_retry_budget_exhaustion_is_structured(self):
+        # Nothing listens here: connect fails, retries burn down, and the
+        # caller gets a typed error rather than a raw socket exception.
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        host, port = probe.getsockname()
+        probe.close()  # port is now (very likely) unbound
+        with NetClient(host, port, timeout_s=5.0, retries=1,
+                       backoff_s=0.01) as client:
+            with pytest.raises(NetConnectionError, match="after 2 attempt"):
+                client.solve_payload(ring_payload())
+            assert client.metrics["retries"] == 1
+
+    def test_malformed_frame_fails_only_that_connection(self):
+        with NetServer(port=0, workers=1) as server:
+            host, port = server.address
+            bad = socket.create_connection((host, port), timeout=5.0)
+            try:
+                bad.sendall(b"x" * 64)  # no length line within 32 bytes
+                reply = FrameReader(bad).read()
+                assert reply["status"] == "error"
+                assert reply["reason"] == "bad_frame"
+                assert FrameReader(bad).read() is None  # server closed it
+            finally:
+                bad.close()
+            # The server itself is fine.
+            with NetClient(host, port) as client:
+                assert client.ping()
+
+
+class TestNetCli:
+    def test_net_serve_net_solve_round_trip_with_sigterm(self, tmp_path):
+        metrics_path = tmp_path / "net_stats.json"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "net-serve", "--port", "0",
+             "--workers", "2", "--metrics-out", str(metrics_path)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            announce = json.loads(proc.stdout.readline())
+            assert announce["event"] == "listening"
+            address = f"{announce['host']}:{announce['port']}"
+
+            requests = "\n".join(
+                json.dumps(ring_payload(i)) for i in range(3)
+            ) + "\n"
+            solve = subprocess.run(
+                [sys.executable, "-m", "repro.cli", "net-solve",
+                 "--connect", address],
+                input=requests, capture_output=True, text=True, timeout=60,
+            )
+            assert solve.returncode == 0
+            responses = [json.loads(l) for l in solve.stdout.strip().splitlines()]
+            assert [r["status"] for r in responses] == ["ok"] * 3
+            assert [r["cache"] for r in responses] == ["miss", "hit", "hit"]
+            assert "3 ok, 0 not-ok" in solve.stderr
+
+            stats = subprocess.run(
+                [sys.executable, "-m", "repro.cli", "net-solve",
+                 "--connect", address, "--stats"],
+                capture_output=True, text=True, timeout=60,
+            )
+            assert stats.returncode == 0
+            snapshot = json.loads(stats.stdout)
+            assert snapshot["counters"]["service.cache.hit"] == 2
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                rc = proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                raise
+        assert rc == 0
+        assert "net-serve drained" in proc.stderr.read()
+        final = json.loads(metrics_path.read_text())
+        assert final["counters"]["net.requests"] == 3
+        assert final["draining"] is True

@@ -1,0 +1,227 @@
+"""Unit tests for the repro.net building blocks: framing, routing, and
+the request/response wire codec round trip.
+
+The loopback integration suite (sockets, worker processes, crash
+recovery) lives in tests/test_net.py; everything here runs in-process
+with no I/O.
+"""
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.core.model import FileAllocationProblem
+from repro.exceptions import ConfigurationError
+from repro.network.builders import ring_graph, star_graph
+from repro.net import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    FrameReader,
+    ShardRouter,
+    decode_frames,
+    encode_frame,
+    send_frame,
+    shard_of_key,
+)
+from repro.queueing import MD1Delay
+from repro.service.codec import (
+    parse_request,
+    request_to_payload,
+    response_from_dict,
+)
+from repro.service.fingerprint import request_fingerprint, structural_key
+from repro.service.types import SolveRequest, SolveResponse
+
+
+def ring_problem(n=4, *, mu=1.5, rate=1.0, k=1.0):
+    return FileAllocationProblem.from_topology(
+        ring_graph(n), np.full(n, rate / n), k=k, mu=mu
+    )
+
+
+def star_problem(n=5):
+    return FileAllocationProblem.from_topology(
+        star_graph(n), np.full(n, 0.8 / n), k=1.0, mu=2.0
+    )
+
+
+def socket_pair():
+    a, b = socket.socketpair()
+    a.settimeout(5.0)
+    b.settimeout(5.0)
+    return a, b
+
+
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        payloads = [{"id": "a"}, {"nested": {"x": [1, 2.5, None]}}, {}]
+        blob = b"".join(encode_frame(p) for p in payloads)
+        frames, rest = decode_frames(blob)
+        assert frames == payloads
+        assert rest == b""
+
+    def test_partial_frames_stay_buffered(self):
+        blob = encode_frame({"id": "a"}) + encode_frame({"id": "b"})
+        cut = len(blob) - 3
+        frames, rest = decode_frames(blob[:cut])
+        assert frames == [{"id": "a"}]
+        assert rest == blob[len(encode_frame({"id": "a"})):cut]
+        frames2, rest2 = decode_frames(rest + blob[cut:])
+        assert frames2 == [{"id": "b"}]
+        assert rest2 == b""
+
+    def test_prefix_must_be_decimal(self):
+        with pytest.raises(FrameError, match="decimal"):
+            decode_frames(b"nope\n{}")
+
+    def test_missing_newline_within_32_bytes_is_an_error(self):
+        with pytest.raises(FrameError, match="length line"):
+            decode_frames(b"9" * 40)
+
+    def test_declared_length_capped(self):
+        with pytest.raises(FrameError, match="exceeds"):
+            decode_frames(b"%d\n" % (MAX_FRAME_BYTES + 1))
+
+    def test_body_must_be_json_object(self):
+        with pytest.raises(FrameError, match="JSON object"):
+            decode_frames(encode_frame({"x": 1}).replace(b'{"x":1}', b'[1,2,3]'))
+
+    def test_body_must_be_valid_json(self):
+        with pytest.raises(FrameError, match="not valid JSON"):
+            decode_frames(b"3\nxyz")
+
+    def test_reader_round_trip_over_socketpair(self):
+        a, b = socket_pair()
+        try:
+            sent = send_frame(a, {"id": "r1", "alpha": 0.25})
+            assert sent == len(encode_frame({"id": "r1", "alpha": 0.25}))
+            reader = FrameReader(b)
+            assert reader.read() == {"id": "r1", "alpha": 0.25}
+            assert reader.bytes_read >= sent
+            a.close()
+            assert reader.read() is None  # clean EOF at a frame boundary
+        finally:
+            b.close()
+
+    def test_reader_raises_on_mid_frame_eof(self):
+        a, b = socket_pair()
+        try:
+            a.sendall(encode_frame({"id": "r1"})[:-2])
+            a.close()
+            reader = FrameReader(b)
+            with pytest.raises(FrameError, match="mid-frame"):
+                reader.read()
+        finally:
+            b.close()
+
+    def test_reader_iterates_pipelined_frames(self):
+        a, b = socket_pair()
+        try:
+            for i in range(5):
+                send_frame(a, {"i": i})
+            a.close()
+            assert [p["i"] for p in FrameReader(b)] == list(range(5))
+        finally:
+            b.close()
+
+
+class TestShardRouter:
+    def test_affinity_is_deterministic_and_structure_keyed(self):
+        router = ShardRouter(4)
+        r1 = SolveRequest(problem=ring_problem())
+        r2 = SolveRequest(problem=ring_problem(mu=2.5), alpha=0.1)  # same shape
+        r3 = SolveRequest(problem=star_problem())
+        assert router.shard_for(r1) == router.shard_for(r2)
+        assert router.shard_for(r1) == shard_of_key(
+            structural_key(r1.problem), 4
+        )
+        assert router.routing_key(r1) == structural_key(r1.problem)
+        # Different structures may collide, but the expected key differs.
+        assert router.routing_key(r3) != router.routing_key(r1)
+
+    def test_route_counts_tally(self):
+        router = ShardRouter(2)
+        for _ in range(3):
+            router.shard_for(SolveRequest(problem=ring_problem()))
+        assert sum(router.route_counts) == 3
+        assert max(router.route_counts) == 3  # all on the affinity shard
+
+    def test_random_policy_spreads_and_is_seeded(self):
+        a = ShardRouter(4, policy="random", seed=7)
+        b = ShardRouter(4, policy="random", seed=7)
+        requests = [SolveRequest(problem=ring_problem()) for _ in range(32)]
+        shards_a = [a.shard_for(r) for r in requests]
+        shards_b = [b.shard_for(r) for r in requests]
+        assert shards_a == shards_b  # reproducible
+        assert len(set(shards_a)) > 1  # locality destroyed
+        assert a.routing_key(requests[0]) is None
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ConfigurationError):
+            ShardRouter(0)
+        with pytest.raises(ConfigurationError):
+            ShardRouter(2, policy="round-robin")
+
+
+class TestWireCodecRoundTrip:
+    def test_request_round_trip_is_exact(self):
+        rng = np.random.default_rng(3)
+        problem = FileAllocationProblem.from_topology(
+            ring_graph(5), rng.uniform(0.01, 0.15, size=5), k=1.7,
+            mu=rng.uniform(1.2, 3.0, size=5),
+        )
+        request = SolveRequest(
+            problem=problem,
+            alpha=0.2137,
+            epsilon=3.3e-5,
+            max_iterations=4242,
+            initial_allocation=rng.dirichlet(np.ones(5)),
+            request_id="round-trip",
+            timeout_s=1.25,
+            priority=3,
+        )
+        rebuilt = parse_request(request_to_payload(request))
+        assert rebuilt.request_id == request.request_id
+        assert rebuilt.alpha == request.alpha
+        assert rebuilt.epsilon == request.epsilon
+        assert rebuilt.max_iterations == request.max_iterations
+        assert rebuilt.timeout_s == request.timeout_s
+        assert rebuilt.priority == request.priority
+        assert np.array_equal(
+            rebuilt.initial_allocation, request.initial_allocation
+        )
+        # The solver-facing identity: same fingerprint means the remote
+        # solve is bit-for-bit the local solve.
+        assert request_fingerprint(rebuilt) == request_fingerprint(request)
+
+    def test_non_mm1_problem_has_no_wire_form(self):
+        problem = FileAllocationProblem(
+            1.0 - np.eye(3), np.full(3, 1.0 / 3), k=1.0,
+            delay_models=[MD1Delay(2.0)] * 3,
+        )
+        with pytest.raises(ConfigurationError, match="wire representation"):
+            request_to_payload(SolveRequest(problem=problem))
+
+    def test_response_round_trip_ok_and_rejected(self):
+        ok = SolveResponse(
+            request_id="r1",
+            status="ok",
+            allocation=np.array([0.25, 0.75]),
+            cost=1.2345,
+            iterations=17,
+            converged=True,
+            cache="warm",
+            batch_size=3,
+            latency_s=0.5,
+        )
+        rebuilt = response_from_dict(ok.as_dict())
+        assert rebuilt.as_dict() == ok.as_dict()
+        rejected = SolveResponse(
+            request_id="r2", status="rejected", reason="queue_full", detail="d"
+        )
+        assert response_from_dict(rejected.as_dict()).as_dict() == rejected.as_dict()
+
+    def test_error_marker_has_no_typed_form(self):
+        with pytest.raises(ConfigurationError, match="no typed form"):
+            response_from_dict({"status": "error", "detail": "boom"})

@@ -567,3 +567,105 @@ class TestLineProblems:
         for request, response in zip([ring, line], responses):
             ref = reference_solve(request)
             assert np.array_equal(response.allocation, ref.allocation)
+
+
+class TestCacheTtl:
+    """Satellite of the net PR: age-based expiry for long-lived servers."""
+
+    def make(self, *, ttl_s=10.0, capacity=8):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        cache = SolutionCache(
+            capacity, ttl_s=ttl_s, clock=clock, registry=registry
+        )
+        return cache, clock, registry
+
+    def test_fresh_entry_hits_expired_entry_misses_and_evicts(self):
+        cache, clock, registry = self.make(ttl_s=10.0)
+        request = SolveRequest(
+            problem=ring_problem(), initial_allocation=paper_skewed_allocation(4)
+        )
+        cache.store(request, reference_solve(request))
+        clock.advance(9.9)
+        assert cache.lookup(request).status == "hit"  # within TTL
+        clock.advance(0.2)
+        lookup = cache.lookup(request)
+        assert lookup.status == "miss"
+        assert len(cache) == 0  # lazily evicted on contact
+        assert registry.counters["service.cache.expired"] == 1
+        assert registry.counters["service.cache.miss"] == 1
+
+    def test_expired_entry_cannot_warm_start(self):
+        cache, clock, _ = self.make(ttl_s=5.0)
+        skewed = paper_skewed_allocation(4)
+        donor = SolveRequest(
+            problem=ring_problem(k=1.0), initial_allocation=skewed
+        )
+        cache.store(donor, reference_solve(donor))
+        near = SolveRequest(
+            problem=ring_problem(k=1.001), initial_allocation=skewed
+        )
+        assert cache.lookup(near).status == "warm"  # fresh donor
+        clock.advance(6.0)
+        assert cache.lookup(near).status == "miss"  # expired donor skipped
+        assert len(cache) == 0
+
+    def test_restore_after_expiry_hits_again(self):
+        clock = FakeClock()
+        service = AllocationService(
+            cache=SolutionCache(8, ttl_s=10.0, clock=clock)
+        )
+        spec = dict(
+            problem=ring_problem(), initial_allocation=paper_skewed_allocation(4)
+        )
+        cold = service.solve(SolveRequest(**spec))
+        assert service.solve(SolveRequest(**spec)).cache == "hit"
+        clock.advance(11.0)
+        refilled = service.solve(SolveRequest(**spec))
+        assert refilled.cache == "miss"  # expired: solved again, restored
+        assert np.array_equal(refilled.allocation, cold.allocation)
+        assert service.solve(SolveRequest(**spec)).cache == "hit"
+
+    def test_no_ttl_means_no_expiry(self):
+        cache = SolutionCache(8, clock=lambda: 1e12)  # clock never consulted
+        request = SolveRequest(
+            problem=ring_problem(), initial_allocation=paper_skewed_allocation(4)
+        )
+        cache.store(request, reference_solve(request))
+        assert cache.lookup(request).status == "hit"
+
+    def test_bad_ttl_rejected(self):
+        with pytest.raises(ConfigurationError, match="ttl_s"):
+            SolutionCache(8, ttl_s=0.0)
+
+
+class TestThreadedRejections:
+    """Satellite of the net PR: the structured-rejection paths under the
+    threaded dispatcher (not just synchronous pump())."""
+
+    def test_deadline_exceeded_under_dispatcher_thread(self):
+        clock = FakeClock()
+        service = AllocationService(
+            admission=AdmissionController(default_timeout_s=1.0), clock=clock
+        )
+        ticket = service.submit(SolveRequest(problem=ring_problem()))
+        clock.advance(2.0)  # expired while queued
+        service.start()
+        try:
+            response = ticket.wait(10.0)
+        finally:
+            service.stop()
+        assert response.status == "rejected"
+        assert response.reason == REJECT_DEADLINE
+        assert response.latency_s == pytest.approx(2.0)
+
+    def test_stop_without_drain_rejects_queued_under_dispatcher(self):
+        # A huge batch window with max_batch unfilled keeps the
+        # dispatcher waiting, so the queued request is still pending when
+        # stop(drain=False) lands and must get a structured rejection.
+        service = AllocationService(max_batch=32, batch_window_s=30.0).start()
+        ticket = service.submit(SolveRequest(problem=ring_problem()))
+        service.stop(drain=False)
+        response = ticket.wait(0)
+        assert response.status == "rejected"
+        assert response.reason == REJECT_SHUTDOWN
