@@ -222,6 +222,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="shard policy: structural-fingerprint affinity or random",
     )
     net_serve.add_argument(
+        "--codec", choices=["auto", "binary", "json"], default="auto",
+        help="wire protocols to accept: auto serves both on one listener",
+    )
+    net_serve.add_argument(
+        "--secret", default=None, metavar="SECRET",
+        help="require the shared-secret HMAC handshake on every connection",
+    )
+    net_serve.add_argument(
         "--max-batch", type=int, default=32,
         help="largest lockstep dispatch per worker",
     )
@@ -264,7 +272,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     net_solve.add_argument(
         "--retries", type=int, default=2,
-        help="transport-failure retry budget per request",
+        help="re-send budget per request (transport failures and, with "
+        "--retry-restarts on the API, worker restarts share it)",
+    )
+    net_solve.add_argument(
+        "--codec", choices=["binary", "json"], default="binary",
+        help="wire protocol to speak (json for pre-binary servers)",
+    )
+    net_solve.add_argument(
+        "--secret", default=None, metavar="SECRET",
+        help="shared secret for servers started with --secret",
     )
     net_solve.add_argument(
         "--stats", action="store_true",
@@ -548,6 +565,8 @@ def _cmd_net_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         shards=args.shards,
         routing=args.routing,
+        codec=args.codec,
+        secret=args.secret,
         max_batch=args.max_batch,
         cache_size=args.cache_size,
         cache_ttl_s=args.cache_ttl,
@@ -566,6 +585,8 @@ def _cmd_net_serve(args: argparse.Namespace) -> int:
                 "workers": server.num_workers,
                 "shards": server.num_shards,
                 "routing": args.routing,
+                "codec": args.codec,
+                "auth": args.secret is not None,
             }
         ),
         flush=True,
@@ -611,7 +632,12 @@ def _cmd_net_solve(args: argparse.Namespace) -> int:
     except ValueError:
         raise SystemExit(f"net-solve: bad --connect {args.connect!r} (expected HOST:PORT)")
     client = NetClient(
-        host or "127.0.0.1", port, timeout_s=args.timeout, retries=args.retries
+        host or "127.0.0.1",
+        port,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        codec=args.codec,
+        secret=args.secret,
     )
     try:
         if args.stats:

@@ -6,17 +6,25 @@ stdin/stdout — one client owned the cache and batcher.  This subsystem
 puts that service behind a TCP front end and scales it across worker
 processes without giving up what makes the service fast:
 
-* :class:`NetServer` — accepts length-prefixed JSON frames (the exact
-  ``repro-fap serve`` wire format, one dict per frame), routes each
-  request through a :class:`ShardRouter`, and dispatches shard queues to
-  worker processes, each running its own
-  :class:`~repro.service.AllocationService` + cache;
+* :class:`NetServer` — one :mod:`selectors` event-loop thread owns every
+  socket; each connection speaks the **binary codec**
+  (:mod:`repro.net.binary`: struct-packed headers, raw float64 bodies)
+  or the **JSON codec** (length-prefixed frames, the exact
+  ``repro-fap serve`` wire format) — sniffed from the first bytes, so
+  both kinds share one listener.  Requests route through a
+  :class:`ShardRouter` into *bounded* shard queues dispatched to worker
+  processes, each running its own
+  :class:`~repro.service.AllocationService` + cache; a full queue
+  answers with a structured ``overloaded`` rejection;
 * :class:`ShardRouter` — partitions by the problem's structural
   fingerprint, so repeats hit the cache that stored them and same-shape
   requests micro-batch together (``policy="random"`` is the
   locality-free baseline the benchmarks compare against);
-* :class:`NetClient` — connection pooling, per-request deadlines,
-  bounded retry-with-backoff; typed and dict-shaped surfaces mirroring
+* :class:`NetClient` — connection pooling, request pipelining
+  (:meth:`~NetClient.request_many`: many frames in flight per
+  connection, responses matched by request id), per-request deadlines,
+  one bounded retry budget, optional shared-secret HMAC authentication;
+  typed and dict-shaped surfaces mirroring
   :class:`~repro.service.ServiceClient`.
 
 Robustness is part of the contract: SIGTERM drains gracefully
@@ -45,7 +53,23 @@ docs/COOKBOOK.md ("Serving over the network") and docs/PERFORMANCE.md
 (measured scaling and shard-affinity numbers) cover operation.
 """
 
-from repro.net.client import NetClient, NetConnectionError, NetError, NetTimeout
+from repro.net.binary import (
+    BINARY_MAGIC,
+    BINARY_VERSION,
+    BinaryFrameError,
+    BinaryFrameReader,
+    decode_binary_frames,
+    encode_binary_frame,
+    send_binary_frame,
+)
+from repro.net.client import (
+    CLIENT_CODECS,
+    NetAuthError,
+    NetClient,
+    NetConnectionError,
+    NetError,
+    NetTimeout,
+)
 from repro.net.framing import (
     MAX_FRAME_BYTES,
     FrameError,
@@ -55,25 +79,41 @@ from repro.net.framing import (
     send_frame,
 )
 from repro.net.router import ShardRouter, shard_of_key
-from repro.net.server import REJECT_SHUTTING_DOWN, NetServer
+from repro.net.server import (
+    REJECT_OVERLOADED,
+    REJECT_SHUTTING_DOWN,
+    SERVER_CODECS,
+    NetServer,
+)
 from repro.net.worker import WorkerConfig, WorkerCrashed, WorkerHandle, worker_main
 
 __all__ = [
+    "BINARY_MAGIC",
+    "BINARY_VERSION",
+    "BinaryFrameError",
+    "BinaryFrameReader",
+    "CLIENT_CODECS",
     "FrameError",
     "FrameReader",
     "MAX_FRAME_BYTES",
+    "NetAuthError",
     "NetClient",
     "NetConnectionError",
     "NetError",
     "NetServer",
     "NetTimeout",
+    "REJECT_OVERLOADED",
     "REJECT_SHUTTING_DOWN",
+    "SERVER_CODECS",
     "ShardRouter",
     "WorkerConfig",
     "WorkerCrashed",
     "WorkerHandle",
+    "decode_binary_frames",
     "decode_frames",
+    "encode_binary_frame",
     "encode_frame",
+    "send_binary_frame",
     "send_frame",
     "shard_of_key",
     "worker_main",

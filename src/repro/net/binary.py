@@ -1,0 +1,474 @@
+"""The binary wire codec: struct-packed frames, ``np.frombuffer`` bodies.
+
+The JSON framing (:mod:`repro.net.framing`) spends most of a request's
+wall clock turning float64 arrays into decimal strings and back.  This
+module is the same frame stream with that cost removed:
+
+* every frame starts with a **struct-packed header** —
+  ``magic (4s) | version (B) | kind (B) | flags (H) | request id (Q) |
+  body length (I)`` in little-endian byte order — so a reader always
+  knows where the next frame begins without scanning for a delimiter;
+* the **request id** is a transport-level correlation number: a
+  pipelining client stamps each outgoing frame and matches responses by
+  the echoed id, so many frames can be in flight per connection and the
+  server may answer out of order (shards finish when they finish);
+* solve requests and completed solves travel as **packed bodies**: the
+  scalar fields in one struct, the float64 arrays (cost matrix, access
+  rates, service rates, starting/served allocation) as raw little-endian
+  bytes decoded with ``np.frombuffer`` — no per-element Python objects
+  on the hot path;
+* everything else (control verbs, hellos, errors, rejections, payloads
+  with fields the packed layout does not know) rides as
+  :data:`KIND_JSON` — a JSON body inside a binary frame — so the binary
+  connection can carry *any* dict the JSON protocol can.
+
+The first bytes on a connection negotiate the protocol: binary frames
+open with :data:`BINARY_MAGIC` (never an ASCII digit), JSON frames open
+with a decimal length line, and :class:`~repro.net.server.NetServer`
+sniffs which one it is per connection — old JSON clients keep working
+against a binary-capable server.
+
+Parity is the contract, exactly as for the JSON codec: packing a request
+and unpacking it yields a payload whose :func:`~repro.service.codec.parse_request`
+result fingerprints identically to the original's, and an unpacked
+response dict equals the dict the JSON path would have produced
+(float64 survives both codecs bit-for-bit).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.net.framing import MAX_FRAME_BYTES, FrameError
+
+__all__ = [
+    "BINARY_MAGIC",
+    "BINARY_VERSION",
+    "BinaryFrameError",
+    "BinaryFrameReader",
+    "decode_binary_frames",
+    "encode_binary_frame",
+    "send_binary_frame",
+]
+
+#: First four bytes of every binary frame.  The leading byte (0xFA) can
+#: never begin a JSON frame (those start with an ASCII digit), which is
+#: what lets one listener serve both protocols.
+BINARY_MAGIC = b"\xfaFAP"
+
+#: Wire protocol version; bumped on any incompatible layout change.
+BINARY_VERSION = 1
+
+#: Body is UTF-8 JSON (control verbs, errors, unpackable payloads).
+KIND_JSON = 0
+#: Body is a packed solve request (scalars + raw float64 arrays).
+KIND_SOLVE = 1
+#: Body is a packed completed solve (scalars + raw float64 allocation).
+KIND_RESULT = 2
+
+_HEADER = struct.Struct("<4sBBHQI")
+HEADER_BYTES = _HEADER.size
+
+# Packed solve request: alpha, epsilon, k, timeout_s (NaN = unset),
+# max_iterations, n, priority, flags, id/name/start-name byte lengths.
+_SOLVE_FRONT = struct.Struct("<ddddqiiHHHH")
+_SOLVE_MU_SCALAR = 0x1  # mu is one float broadcast to every node
+_SOLVE_MU_NONE = 0x2  # problem spec carried no mu at all
+_SOLVE_START_VECTOR = 0x4  # start is an n-vector (else a named start)
+
+# Packed completed solve: cost, latency_s, iterations, batch_size,
+# flags (converged + cache disposition), id byte length; the allocation
+# is the rest of the body.
+_RESULT_FRONT = struct.Struct("<ddqiHH")
+_RESULT_CONVERGED = 0x1
+_CACHE_CODES = {"miss": 0, "hit": 1, "warm": 2}
+_CACHE_NAMES = {code: name for name, code in _CACHE_CODES.items()}
+
+_RECV_CHUNK = 262144
+
+_PACKED_REQUEST_KEYS = {
+    "id", "problem", "alpha", "epsilon", "max_iterations", "start",
+    "timeout_s", "priority",
+}
+_PACKED_PROBLEM_KEYS = {"cost_matrix", "access_rates", "mu", "k", "name"}
+_PACKED_RESPONSE_KEYS = {
+    "id", "status", "allocation", "cost", "iterations", "converged",
+    "cache", "batch_size", "latency_s",
+}
+
+
+class BinaryFrameError(FrameError):
+    """The byte stream violated the binary framing protocol (bad magic,
+    unknown version or kind, oversized or truncated body, corrupt packed
+    layout)."""
+
+
+def _f64(values) -> np.ndarray:
+    # No ascontiguousarray: it would promote 0-d scalars to 1-d (breaking
+    # the scalar-mu layout flag), and ``tobytes()`` emits C-order bytes
+    # whatever the source layout.
+    return np.asarray(values, dtype=np.float64)
+
+
+def _pack_solve_body(payload: Dict) -> Optional[bytes]:
+    """The packed body for a solve-request payload, or ``None`` when the
+    payload has fields the packed layout cannot carry (it then travels
+    as :data:`KIND_JSON` instead — nothing is ever dropped)."""
+    if not _PACKED_REQUEST_KEYS.issuperset(payload):
+        return None
+    problem = payload.get("problem")
+    if not isinstance(problem, dict) or not _PACKED_PROBLEM_KEYS.issuperset(problem):
+        return None
+    if "cost_matrix" not in problem or "access_rates" not in problem:
+        return None
+    try:
+        cost = _f64(problem["cost_matrix"])
+        rates = _f64(problem["access_rates"])
+    except (TypeError, ValueError):
+        return None
+    n = rates.size
+    if cost.shape != (n, n) or rates.ndim != 1:
+        return None
+
+    flags = 0
+    mu = problem.get("mu")
+    if mu is None:
+        flags |= _SOLVE_MU_NONE
+        mu_arr = np.empty(0, dtype=np.float64)
+    else:
+        try:
+            mu_arr = _f64(mu)
+        except (TypeError, ValueError):
+            return None
+        if mu_arr.ndim == 0:
+            flags |= _SOLVE_MU_SCALAR
+            mu_arr = mu_arr.reshape(1)
+        elif mu_arr.shape != (n,):
+            return None
+
+    start = payload.get("start", "uniform")
+    start_name = b""
+    if isinstance(start, str):
+        start_arr = np.empty(0, dtype=np.float64)
+        start_name = start.encode("utf-8")
+    else:
+        try:
+            start_arr = _f64(start)
+        except (TypeError, ValueError):
+            return None
+        if start_arr.shape != (n,):
+            return None
+        flags |= _SOLVE_START_VECTOR
+
+    timeout = payload.get("timeout_s")
+    id_bytes = str(payload.get("id", "")).encode("utf-8")
+    name_bytes = str(problem.get("name", "")).encode("utf-8")
+    if max(len(id_bytes), len(name_bytes), len(start_name)) > 0xFFFF:
+        return None
+    try:
+        front = _SOLVE_FRONT.pack(
+            float(payload.get("alpha", 0.3)),
+            float(payload.get("epsilon", 1e-3)),
+            float(problem.get("k", 1.0)),
+            float("nan") if timeout is None else float(timeout),
+            int(payload.get("max_iterations", 10_000)),
+            n,
+            int(payload.get("priority", 0)),
+            flags,
+            len(id_bytes),
+            len(name_bytes),
+            len(start_name),
+        )
+    except (TypeError, ValueError, struct.error):
+        return None
+    return b"".join(
+        (
+            front,
+            id_bytes,
+            name_bytes,
+            start_name,
+            cost.tobytes(),
+            rates.tobytes(),
+            mu_arr.tobytes(),
+            start_arr.tobytes(),
+        )
+    )
+
+
+def _unpack_solve_body(body: bytes) -> Dict:
+    """The packed solve body back into a wire-payload dict.
+
+    Array fields come back as ``np.frombuffer`` views over ``body`` —
+    zero copies on the hot path; ``body`` must therefore be an immutable
+    ``bytes`` snapshot (the readers below guarantee it).
+    """
+    if len(body) < _SOLVE_FRONT.size:
+        raise BinaryFrameError(
+            f"solve body of {len(body)} bytes is shorter than its header"
+        )
+    (
+        alpha, epsilon, k, timeout, max_iterations, n, priority, flags,
+        id_len, name_len, start_len,
+    ) = _SOLVE_FRONT.unpack_from(body)
+    if n < 0:
+        raise BinaryFrameError(f"solve body declares negative node count {n}")
+    pos = _SOLVE_FRONT.size
+    strings = []
+    for length in (id_len, name_len, start_len):
+        strings.append(body[pos : pos + length])
+        pos += length
+    id_bytes, name_bytes, start_name = strings
+
+    mu_count = 0 if flags & _SOLVE_MU_NONE else (1 if flags & _SOLVE_MU_SCALAR else n)
+    start_count = n if flags & _SOLVE_START_VECTOR else 0
+    want = pos + 8 * (n * n + n + mu_count + start_count)
+    if len(body) != want:
+        raise BinaryFrameError(
+            f"solve body is {len(body)} bytes, layout requires {want}"
+        )
+
+    def take(count: int) -> np.ndarray:
+        nonlocal pos
+        arr = np.frombuffer(body, dtype=np.float64, count=count, offset=pos)
+        pos += 8 * count
+        return arr
+
+    cost = take(n * n).reshape(n, n)
+    rates = take(n)
+    mu_arr = take(mu_count)
+    start_arr = take(start_count)
+
+    problem: Dict = {
+        "cost_matrix": cost,
+        "access_rates": rates,
+        "k": k,
+        "name": name_bytes.decode("utf-8"),
+    }
+    if not flags & _SOLVE_MU_NONE:
+        problem["mu"] = float(mu_arr[0]) if flags & _SOLVE_MU_SCALAR else mu_arr
+    payload: Dict = {
+        "id": id_bytes.decode("utf-8"),
+        "problem": problem,
+        "alpha": alpha,
+        "epsilon": epsilon,
+        "max_iterations": max_iterations,
+        "start": start_arr if flags & _SOLVE_START_VECTOR
+        else start_name.decode("utf-8"),
+        "priority": priority,
+    }
+    if not np.isnan(timeout):
+        payload["timeout_s"] = timeout
+    return payload
+
+
+def _pack_result_body(payload: Dict) -> Optional[bytes]:
+    """The packed body for a completed-solve response, or ``None`` for
+    shapes the layout cannot carry (rejections, errors, extra fields)."""
+    if payload.get("status") != "ok":
+        return None
+    if not _PACKED_RESPONSE_KEYS.issuperset(payload):
+        return None
+    cache = _CACHE_CODES.get(payload.get("cache", "miss"))
+    if cache is None:
+        return None
+    try:
+        allocation = _f64(payload["allocation"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    if allocation.ndim != 1:
+        return None
+    id_bytes = str(payload.get("id", "")).encode("utf-8")
+    if len(id_bytes) > 0xFFFF:
+        return None
+    flags = cache << 1
+    if payload.get("converged"):
+        flags |= _RESULT_CONVERGED
+    try:
+        front = _RESULT_FRONT.pack(
+            float(payload["cost"]),
+            float(payload.get("latency_s", 0.0)),
+            int(payload["iterations"]),
+            int(payload.get("batch_size", 0)),
+            flags,
+            len(id_bytes),
+        )
+    except (KeyError, TypeError, ValueError, struct.error):
+        return None
+    return front + id_bytes + allocation.tobytes()
+
+
+def _unpack_result_body(body: bytes) -> Dict:
+    """The packed result body back into the exact dict the JSON codec
+    would have delivered (``allocation`` as a list of Python floats)."""
+    if len(body) < _RESULT_FRONT.size:
+        raise BinaryFrameError(
+            f"result body of {len(body)} bytes is shorter than its header"
+        )
+    cost, latency, iterations, batch_size, flags, id_len = _RESULT_FRONT.unpack_from(
+        body
+    )
+    pos = _RESULT_FRONT.size
+    id_bytes = body[pos : pos + id_len]
+    pos += id_len
+    if (len(body) - pos) % 8:
+        raise BinaryFrameError("result allocation is not a whole float64 array")
+    allocation = np.frombuffer(body, dtype=np.float64, offset=pos)
+    cache = _CACHE_NAMES.get(flags >> 1)
+    if cache is None:
+        raise BinaryFrameError(f"result carries unknown cache code {flags >> 1}")
+    return {
+        "id": id_bytes.decode("utf-8"),
+        "status": "ok",
+        "allocation": allocation.tolist(),
+        "cost": cost,
+        "iterations": iterations,
+        "converged": bool(flags & _RESULT_CONVERGED),
+        "cache": cache,
+        "batch_size": batch_size,
+        "latency_s": latency,
+    }
+
+
+def encode_binary_frame(payload: Dict, request_id: int = 0) -> bytes:
+    """One payload dict as a binary frame stamped with ``request_id``.
+
+    Solve requests and completed solves take the packed layouts; every
+    other dict (and any payload the packed layouts cannot represent)
+    travels as a JSON body inside the binary frame.
+    """
+    kind = KIND_JSON
+    body: Optional[bytes] = None
+    if "problem" in payload:
+        body = _pack_solve_body(payload)
+        if body is not None:
+            kind = KIND_SOLVE
+    elif payload.get("status") == "ok" and "allocation" in payload:
+        body = _pack_result_body(payload)
+        if body is not None:
+            kind = KIND_RESULT
+    if body is None:
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise BinaryFrameError(
+            f"frame body of {len(body)} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    header = _HEADER.pack(
+        BINARY_MAGIC, BINARY_VERSION, kind, 0, request_id & 0xFFFFFFFFFFFFFFFF,
+        len(body),
+    )
+    return header + body
+
+
+def _decode_body(kind: int, body: bytes) -> Dict:
+    if kind == KIND_SOLVE:
+        return _unpack_solve_body(body)
+    if kind == KIND_RESULT:
+        return _unpack_result_body(body)
+    if kind == KIND_JSON:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BinaryFrameError(f"frame body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise BinaryFrameError(
+                f"frame body must be a JSON object, got {type(payload).__name__}"
+            )
+        return payload
+    raise BinaryFrameError(f"unknown frame kind {kind}")
+
+
+def _parse_header(buffer, pos: int) -> Optional[Tuple[int, int, int]]:
+    """``(kind, request_id, body_length)`` once the header is complete,
+    ``None`` while more bytes are needed.  Raises on a corrupt header."""
+    if len(buffer) - pos < HEADER_BYTES:
+        return None
+    magic, version, kind, _flags, request_id, length = _HEADER.unpack_from(
+        buffer, pos
+    )
+    if magic != BINARY_MAGIC:
+        raise BinaryFrameError(f"bad frame magic {bytes(magic)!r}")
+    if version != BINARY_VERSION:
+        raise BinaryFrameError(
+            f"unsupported protocol version {version} (this side speaks "
+            f"{BINARY_VERSION})"
+        )
+    if length > MAX_FRAME_BYTES:
+        raise BinaryFrameError(
+            f"declared frame of {length} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    return kind, request_id, length
+
+
+def decode_binary_frames(buffer: bytes) -> Tuple[List[Tuple[Dict, int]], bytes]:
+    """Every complete ``(payload, request_id)`` in ``buffer`` plus the
+    unconsumed remainder.  The pure-bytes counterpart of
+    :func:`repro.net.framing.decode_frames`."""
+    frames: List[Tuple[Dict, int]] = []
+    pos = 0
+    while True:
+        parsed = _parse_header(buffer, pos)
+        if parsed is None:
+            return frames, bytes(buffer[pos:])
+        kind, request_id, length = parsed
+        start = pos + HEADER_BYTES
+        if len(buffer) < start + length:
+            return frames, bytes(buffer[pos:])
+        body = bytes(buffer[start : start + length])
+        pos = start + length
+        frames.append((_decode_body(kind, body), request_id))
+
+
+def send_binary_frame(sock: socket.socket, payload: Dict, request_id: int = 0) -> int:
+    """Encode and send one binary frame; returns the bytes put on the wire."""
+    data = encode_binary_frame(payload, request_id)
+    sock.sendall(data)
+    return len(data)
+
+
+class BinaryFrameReader:
+    """Buffered binary-frame reader over one socket.
+
+    :meth:`read` returns the next ``(payload, request_id)`` pair, or
+    ``None`` on a clean EOF at a frame boundary.  The receive buffer is
+    a ``bytearray`` consumed by offset — O(bytes), not O(frames²),
+    under pipelining.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._buffer = bytearray()
+        self._pos = 0
+        #: Total bytes consumed off the socket (for ``net.bytes_in``).
+        self.bytes_read = 0
+
+    def read(self) -> Optional[Tuple[Dict, int]]:
+        while True:
+            parsed = _parse_header(self._buffer, self._pos)
+            if parsed is not None:
+                kind, request_id, length = parsed
+                start = self._pos + HEADER_BYTES
+                if len(self._buffer) >= start + length:
+                    body = bytes(self._buffer[start : start + length])
+                    self._pos = start + length
+                    if self._pos == len(self._buffer):
+                        self._buffer.clear()
+                        self._pos = 0
+                    return _decode_body(kind, body), request_id
+            if self._pos > _RECV_CHUNK:
+                del self._buffer[: self._pos]
+                self._pos = 0
+            chunk = self._sock.recv(_RECV_CHUNK)
+            if not chunk:
+                if len(self._buffer) - self._pos:
+                    raise BinaryFrameError(
+                        "connection closed mid-frame "
+                        f"({len(self._buffer) - self._pos} buffered bytes)"
+                    )
+                return None
+            self.bytes_read += len(chunk)
+            self._buffer += chunk

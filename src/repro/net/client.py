@@ -4,16 +4,30 @@
 
 * a **connection pool** (``pool_size`` sockets, created lazily) so
   concurrent threads share transport without a handshake per request;
+* a **codec** per client — ``"binary"`` (default; struct-packed frames,
+  raw float64 bodies, see :mod:`repro.net.binary`) or ``"json"`` (the
+  length-prefixed frames every pre-binary server speaks).  The server
+  sniffs which one a connection uses from its first bytes, so no
+  negotiation round-trip is spent when no secret is configured;
+* **request pipelining** (:meth:`request_many` / :meth:`solve_payloads`):
+  many frames in flight on one connection, binary responses matched by
+  the echoed transport request id, JSON responses by payload ``id`` —
+  the difference between paying one round-trip per request and one per
+  burst;
 * a **per-request deadline** (``timeout_s``, overridable per call) that
-  caps connect + send + receive together — a hung server surfaces as
-  :class:`NetTimeout`, never a hung caller;
-* **bounded retry with backoff** against *transient transport* failures:
-  connect refusals, resets, and mid-request disconnects are retried up
-  to ``retries`` times on a fresh connection with exponential backoff
-  (a solve is a pure function of its request, so re-sending is safe).
-  In-band ``worker_restarted`` errors — a request lost with a crashed
-  worker — are surfaced structurally by default, and retried
-  transparently only when ``retry_restarts=True``.
+  caps connect + handshake + send + receive together — a hung server
+  surfaces as :class:`NetTimeout`, never a hung caller;
+* **bounded retry with backoff**: transient transport failures (connect
+  refusals, resets, mid-request disconnects) and — with
+  ``retry_restarts=True`` — in-band ``worker_restarted`` errors draw
+  from *one* shared budget of ``retries`` re-sends per request (a solve
+  is a pure function of its request, so re-sending is safe).  A restart
+  answer that arrives with the budget already spent is returned
+  structurally, exactly like ``retry_restarts=False`` surfaces it;
+* optional **shared-secret authentication** (``secret=...``): each new
+  connection runs the HMAC challenge/response handshake (``hello`` →
+  nonce → ``HMAC-SHA256(secret, nonce)``) before carrying requests;
+  bad credentials raise :class:`NetAuthError`.
 
 Two surfaces, mirroring :class:`~repro.service.ServiceClient`: typed
 (:meth:`solve` with :class:`~repro.service.SolveRequest` in and
@@ -24,18 +38,33 @@ Two surfaces, mirroring :class:`~repro.service.ServiceClient`: typed
 
 from __future__ import annotations
 
+import hashlib
+import hmac
+import itertools
 import socket
 import threading
 import time
-from typing import Dict, List, Optional, Sequence
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ReproError
-from repro.net.framing import FrameError, FrameReader, send_frame
+from repro.net.binary import BinaryFrameReader, encode_binary_frame
+from repro.net.framing import FrameError, FrameReader, encode_frame
 from repro.net.worker import ERROR_WORKER_RESTARTED
 from repro.service.codec import request_to_payload, response_from_dict
 from repro.service.types import SolveRequest, SolveResponse
 
-__all__ = ["NetClient", "NetError", "NetConnectionError", "NetTimeout"]
+__all__ = [
+    "CLIENT_CODECS",
+    "NetAuthError",
+    "NetClient",
+    "NetConnectionError",
+    "NetError",
+    "NetTimeout",
+]
+
+#: Accepted values for :class:`NetClient`'s ``codec`` parameter.
+CLIENT_CODECS = ("binary", "json")
 
 
 class NetError(ReproError):
@@ -50,12 +79,42 @@ class NetTimeout(NetError):
     """The per-request deadline expired before a response arrived."""
 
 
-class _Conn:
-    """One pooled socket plus its frame reader."""
+class NetAuthError(NetError):
+    """The server refused this client's shared-secret handshake."""
 
-    def __init__(self, sock: socket.socket):
+
+class _Conn:
+    """One pooled socket plus its frame reader and correlation counter."""
+
+    def __init__(self, sock: socket.socket, codec: str):
         self.sock = sock
-        self.reader = FrameReader(sock)
+        self.codec = codec
+        self._binary = codec == "binary"
+        self._reader = BinaryFrameReader(sock) if self._binary else FrameReader(sock)
+        self._next_id = 0
+
+    def next_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def encode(self, payload: Dict, corr_id: int) -> bytes:
+        if self._binary:
+            return encode_binary_frame(payload, corr_id)
+        return encode_frame(payload)
+
+    def send(self, payload: Dict) -> int:
+        """Send one frame; returns the correlation id it was stamped with
+        (always 0 on the JSON codec, which correlates by payload id)."""
+        corr_id = self.next_id() if self._binary else 0
+        self.sock.sendall(self.encode(payload, corr_id))
+        return corr_id
+
+    def read(self) -> Optional[Tuple[Dict, int]]:
+        """Next ``(payload, corr_id)``, or ``None`` on clean EOF."""
+        if self._binary:
+            return self._reader.read()
+        payload = self._reader.read()
+        return None if payload is None else (payload, 0)
 
     def close(self) -> None:
         try:
@@ -75,14 +134,24 @@ class NetClient:
         Maximum concurrently open connections; callers beyond it wait
         for a free one (deadline still applies).
     timeout_s:
-        Default per-request deadline (connect + send + receive).
+        Default per-request deadline (connect + handshake + send +
+        receive).
     retries:
-        Transport-failure retry budget per request (0 disables).
+        Re-send budget per request, shared by transport failures and —
+        with ``retry_restarts`` — in-band ``worker_restarted`` errors
+        (0 disables).
     backoff_s:
         Initial backoff before a retry; doubles per attempt.
     retry_restarts:
         Also retry requests answered with an in-band
         ``worker_restarted`` error (default ``False``: surface them).
+    codec:
+        ``"binary"`` (default) or ``"json"``.  Any server since the
+        binary wire speaks both; pass ``"json"`` for pre-binary servers
+        or wire-level debugging.
+    secret:
+        Shared secret for servers started with one; each new connection
+        authenticates via HMAC challenge/response before use.
     """
 
     def __init__(
@@ -95,11 +164,17 @@ class NetClient:
         retries: int = 2,
         backoff_s: float = 0.05,
         retry_restarts: bool = False,
+        codec: str = "binary",
+        secret: Optional[str] = None,
         clock=time.monotonic,
         sleep=time.sleep,
     ):
         if pool_size < 1:
             raise NetError("pool_size must be >= 1")
+        if codec not in CLIENT_CODECS:
+            raise NetError(
+                f"unknown codec {codec!r} (expected one of {CLIENT_CODECS})"
+            )
         self.host = host
         self.port = int(port)
         self.pool_size = int(pool_size)
@@ -107,18 +182,24 @@ class NetClient:
         self.retries = int(retries)
         self.backoff_s = float(backoff_s)
         self.retry_restarts = bool(retry_restarts)
+        self.codec = codec
+        self._secret = secret.encode("utf-8") if isinstance(secret, str) else secret
         self._clock = clock
         self._sleep = sleep
         self._idle: List[_Conn] = []
         self._open_count = 0
+        self._pending_reconnects = 0
         self._cond = threading.Condition()
         self._closed = False
-        #: Client-side operation tallies (requests, retries, reconnects,
-        #: timeouts, restarts_retried) — the "retry counts" half of the
+        self._ids = itertools.count(1)
+        #: Client-side operation tallies — the "retry counts" half of the
         #: transport's observability; the server's half is ``stats()``.
+        #: ``connects`` counts first connections, ``reconnects`` only the
+        #: replacements for connections that failed or were discarded.
         self.metrics: Dict[str, int] = {
             "requests": 0,
             "retries": 0,
+            "connects": 0,
             "reconnects": 0,
             "timeouts": 0,
             "restarts_retried": 0,
@@ -147,13 +228,64 @@ class NetClient:
                 (self.host, self.port), timeout=max(0.001, deadline - self._clock())
             )
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            self.metrics["reconnects"] += 1
-            return _Conn(sock)
         except BaseException:
             with self._cond:
                 self._open_count -= 1
                 self._cond.notify()
             raise
+        with self._cond:
+            # A connection replacing one that was discarded is a
+            # reconnect; anything else is the pool filling up.
+            if self._pending_reconnects > 0:
+                self._pending_reconnects -= 1
+                self.metrics["reconnects"] += 1
+            else:
+                self.metrics["connects"] += 1
+        conn = _Conn(sock, self.codec)
+        if self._secret is not None:
+            try:
+                self._handshake(conn, deadline)
+            except socket.timeout:
+                self._discard(conn)
+                raise NetTimeout(
+                    f"no handshake response from {self.host}:{self.port} "
+                    f"within the deadline"
+                ) from None
+            except BaseException:
+                self._discard(conn)
+                raise
+        return conn
+
+    def _handshake(self, conn: _Conn, deadline: float) -> None:
+        """HMAC challenge/response on a fresh connection."""
+        reply = self._roundtrip(conn, {"op": "hello"}, deadline)
+        if reply.get("status") == "challenge":
+            nonce = str(reply.get("nonce", ""))
+            try:
+                mac = hmac.new(
+                    self._secret, bytes.fromhex(nonce), hashlib.sha256
+                ).hexdigest()
+            except ValueError:
+                raise NetAuthError(
+                    f"server sent a malformed auth nonce {nonce!r}"
+                ) from None
+            reply = self._roundtrip(conn, {"op": "auth", "mac": mac}, deadline)
+        if reply.get("status") != "ok":
+            raise NetAuthError(
+                f"handshake with {self.host}:{self.port} failed: "
+                f"{reply.get('reason') or reply.get('detail', reply)}"
+            )
+
+    def _roundtrip(self, conn: _Conn, payload: Dict, deadline: float) -> Dict:
+        conn.sock.settimeout(max(0.001, deadline - self._clock()))
+        conn.send(payload)
+        conn.sock.settimeout(max(0.001, deadline - self._clock()))
+        got = conn.read()
+        if got is None:
+            raise NetConnectionError(
+                f"{self.host}:{self.port} closed the connection mid-handshake"
+            )
+        return got[0]
 
     def _release(self, conn: _Conn) -> None:
         with self._cond:
@@ -168,6 +300,7 @@ class NetClient:
         conn.close()
         with self._cond:
             self._open_count -= 1
+            self._pending_reconnects += 1
             self._cond.notify()
 
     def close(self) -> None:
@@ -193,8 +326,10 @@ class NetClient:
         Returns the response dict exactly as the server sent it (solves,
         structured rejections, and in-band errors alike).  Raises
         :class:`NetTimeout` past the deadline and
-        :class:`NetConnectionError` once the transport retry budget is
-        spent.
+        :class:`NetConnectionError` once the retry budget is spent.
+        Transport failures and (with ``retry_restarts``) in-band
+        ``worker_restarted`` errors spend the *same* budget: ``retries``
+        re-sends total, however the failures interleave.
         """
         deadline = self._clock() + (
             self.timeout_s if timeout_s is None else float(timeout_s)
@@ -219,9 +354,10 @@ class NetClient:
             if (
                 self.retry_restarts
                 and response.get("reason") == ERROR_WORKER_RESTARTED
-                and attempt < self.retries
             ):
                 attempt += 1
+                if attempt > self.retries:
+                    return response  # budget spent: surface it structurally
                 self.metrics["restarts_retried"] += 1
                 self._backoff(attempt, deadline)
                 continue
@@ -234,9 +370,9 @@ class NetClient:
             if remaining <= 0:
                 raise socket.timeout("deadline already expired")
             conn.sock.settimeout(remaining)
-            send_frame(conn.sock, payload)
+            conn.send(payload)
             conn.sock.settimeout(max(0.001, deadline - self._clock()))
-            response = conn.reader.read()
+            got = conn.read()
         except socket.timeout:
             # The response may still arrive later; this socket is now
             # out of sync with the request stream, so drop it.
@@ -247,13 +383,13 @@ class NetClient:
         except BaseException:
             self._discard(conn)
             raise
-        if response is None:
+        if got is None:
             self._discard(conn)
             raise NetConnectionError(
                 f"{self.host}:{self.port} closed the connection mid-request"
             )
         self._release(conn)
-        return response
+        return got[0]
 
     def _backoff(self, attempt: int, deadline: float) -> None:
         self.metrics["retries"] += 1
@@ -262,11 +398,116 @@ class NetClient:
             raise NetTimeout("deadline would expire during retry backoff")
         self._sleep(pause)
 
+    # -- pipelining ------------------------------------------------------------
+
+    def request_many(
+        self, payloads: Sequence[Dict], *, timeout_s: Optional[float] = None
+    ) -> List[Dict]:
+        """Pipelined solves: every frame sent before the first response
+        is read, all on one pooled connection.
+
+        Responses come back **in input order** regardless of the order
+        the server finished them — binary frames are matched by the
+        echoed transport request id, JSON frames by payload ``id``
+        (payloads missing one are stamped with a client-assigned id
+        before sending; the returned dicts carry whatever id went out on
+        the wire).  No retry policy applies — a transport failure
+        mid-burst raises, because the burst's position in the stream is
+        ambiguous.  One deadline covers the whole burst.
+        """
+        if not payloads:
+            return []
+        deadline = self._clock() + (
+            self.timeout_s if timeout_s is None else float(timeout_s)
+        )
+        self.metrics["requests"] += len(payloads)
+        try:
+            conn = self._acquire(deadline)
+        except NetTimeout:
+            self.metrics["timeouts"] += 1
+            raise
+        results: List[Optional[Dict]] = [None] * len(payloads)
+        try:
+            if conn.codec == "binary":
+                self._pipeline_binary(conn, payloads, results, deadline)
+            else:
+                self._pipeline_json(conn, payloads, results, deadline)
+        except socket.timeout:
+            self._discard(conn)
+            self.metrics["timeouts"] += 1
+            raise NetTimeout(
+                f"pipelined burst to {self.host}:{self.port} missed its deadline "
+                f"({sum(r is not None for r in results)}/{len(payloads)} answered)"
+            ) from None
+        except BaseException:
+            self._discard(conn)
+            raise
+        self._release(conn)
+        return results  # type: ignore[return-value]
+
+    def _pipeline_binary(self, conn, payloads, results, deadline) -> None:
+        index_of: Dict[int, int] = {}
+        out = bytearray()
+        for i, payload in enumerate(payloads):
+            corr_id = conn.next_id()
+            index_of[corr_id] = i
+            out += conn.encode(payload, corr_id)
+        conn.sock.settimeout(max(0.001, deadline - self._clock()))
+        conn.sock.sendall(out)
+        for _ in range(len(payloads)):
+            conn.sock.settimeout(max(0.001, deadline - self._clock()))
+            got = conn.read()
+            if got is None:
+                raise NetConnectionError(
+                    f"{self.host}:{self.port} closed the connection mid-burst"
+                )
+            response, corr_id = got
+            i = index_of.pop(corr_id, None)
+            if i is None:
+                raise NetConnectionError(
+                    f"{self.host}:{self.port} answered unknown request id {corr_id}"
+                )
+            results[i] = response
+
+    def _pipeline_json(self, conn, payloads, results, deadline) -> None:
+        index_of: Dict[str, deque] = {}
+        out = bytearray()
+        for i, payload in enumerate(payloads):
+            request_id = payload.get("id")
+            if request_id is None:
+                request_id = f"cli-{next(self._ids)}"
+                payload = {**payload, "id": request_id}
+            index_of.setdefault(str(request_id), deque()).append(i)
+            out += conn.encode(payload, 0)
+        conn.sock.settimeout(max(0.001, deadline - self._clock()))
+        conn.sock.sendall(out)
+        for _ in range(len(payloads)):
+            conn.sock.settimeout(max(0.001, deadline - self._clock()))
+            got = conn.read()
+            if got is None:
+                raise NetConnectionError(
+                    f"{self.host}:{self.port} closed the connection mid-burst"
+                )
+            response = got[0]
+            queue = index_of.get(str(response.get("id", "")))
+            if not queue:
+                raise NetConnectionError(
+                    f"{self.host}:{self.port} answered unknown request id "
+                    f"{response.get('id')!r}"
+                )
+            results[queue.popleft()] = response
+
     # -- surfaces --------------------------------------------------------------
 
     def solve_payload(self, payload: Dict, *, timeout_s: Optional[float] = None) -> Dict:
         """One wire-format request dict in, one response dict out."""
         return self.request(payload, timeout_s=timeout_s)
+
+    def solve_payloads(
+        self, payloads: Sequence[Dict], *, timeout_s: Optional[float] = None
+    ) -> List[Dict]:
+        """Pipelined wire-format solves (see :meth:`request_many`)."""
+        return self.request_many(payloads, timeout_s=timeout_s)
 
     def solve(
         self, request: SolveRequest, *, timeout_s: Optional[float] = None
@@ -287,8 +528,20 @@ class NetClient:
     def solve_many(
         self, requests: Sequence[SolveRequest], *, timeout_s: Optional[float] = None
     ) -> List[SolveResponse]:
-        """Sequential typed solves (per-request deadline each)."""
-        return [self.solve(r, timeout_s=timeout_s) for r in requests]
+        """Pipelined typed solves (one burst, one shared deadline).
+        In-band errors raise, as in :meth:`solve`."""
+        payloads = [request_to_payload(r) for r in requests]
+        out: List[SolveResponse] = []
+        for request, response in zip(
+            requests, self.request_many(payloads, timeout_s=timeout_s)
+        ):
+            if response.get("status") == "error":
+                raise NetError(
+                    f"request {request.request_id!r} failed: "
+                    f"{response.get('reason') or response.get('detail', 'unknown error')}"
+                )
+            out.append(response_from_dict(response))
+        return out
 
     def stats(self, *, timeout_s: Optional[float] = None) -> Dict:
         """The server's merged ``service.*`` + ``net.*`` snapshot."""
@@ -304,6 +557,7 @@ class NetClient:
 
     def __repr__(self) -> str:
         return (
-            f"NetClient({self.host}:{self.port}, pool={self.pool_size}, "
-            f"timeout_s={self.timeout_s:g}, retries={self.retries})"
+            f"NetClient({self.host}:{self.port}, codec={self.codec!r}, "
+            f"pool={self.pool_size}, timeout_s={self.timeout_s:g}, "
+            f"retries={self.retries})"
         )

@@ -57,15 +57,20 @@ def encode_frame(payload: Dict) -> bytes:
     return b"%d\n%s" % (len(body), body)
 
 
-def _parse_prefix(buffer: bytes) -> Optional[Tuple[int, int]]:
-    """``(body_length, body_start)`` once the prefix line is complete,
-    ``None`` while more bytes are needed.  Raises on a corrupt prefix."""
-    newline = buffer.find(b"\n", 0, 32)
+def _parse_prefix(buffer, pos: int = 0) -> Optional[Tuple[int, int]]:
+    """``(body_length, body_start)`` once the prefix line starting at
+    ``pos`` is complete, ``None`` while more bytes are needed.  Raises on
+    a corrupt prefix.  Works on ``bytes`` or ``bytearray`` without
+    copying — callers consume by advancing ``pos``, not by re-slicing
+    the buffer (which would be O(n²) under pipelining)."""
+    newline = buffer.find(b"\n", pos, pos + 32)
     if newline < 0:
-        if len(buffer) > 32:
-            raise FrameError(f"frame prefix is not a length line: {buffer[:32]!r}")
+        if len(buffer) - pos > 32:
+            raise FrameError(
+                f"frame prefix is not a length line: {bytes(buffer[pos : pos + 32])!r}"
+            )
         return None
-    prefix = buffer[:newline]
+    prefix = bytes(buffer[pos:newline])
     if not prefix.isdigit():
         raise FrameError(f"frame prefix is not a decimal length: {prefix!r}")
     length = int(prefix)
@@ -77,16 +82,16 @@ def _parse_prefix(buffer: bytes) -> Optional[Tuple[int, int]]:
 def decode_frames(buffer: bytes) -> Tuple[List[Dict], bytes]:
     """Every complete frame in ``buffer`` plus the unconsumed remainder."""
     frames: List[Dict] = []
+    pos = 0
     while True:
-        parsed = _parse_prefix(buffer)
+        parsed = _parse_prefix(buffer, pos)
         if parsed is None:
-            return frames, buffer
+            return frames, bytes(buffer[pos:])
         length, start = parsed
         if len(buffer) < start + length:
-            return frames, buffer
-        body = buffer[start : start + length]
-        buffer = buffer[start + length :]
-        frames.append(_load_body(body))
+            return frames, bytes(buffer[pos:])
+        frames.append(_load_body(bytes(buffer[start : start + length])))
+        pos = start + length
 
 
 def _load_body(body: bytes) -> Dict:
@@ -116,24 +121,35 @@ class FrameReader:
 
     def __init__(self, sock: socket.socket):
         self._sock = sock
-        self._buffer = b""
+        # bytearray consumed by offset: appending amortizes, and a frame
+        # costs one body-sized slice instead of re-copying the whole
+        # remaining buffer (O(n²) across a pipelined burst).
+        self._buffer = bytearray()
+        self._pos = 0
         #: Total bytes consumed off the socket (for ``net.bytes_in``).
         self.bytes_read = 0
 
     def read(self) -> Optional[Dict]:
         while True:
-            parsed = _parse_prefix(self._buffer)
+            parsed = _parse_prefix(self._buffer, self._pos)
             if parsed is not None:
                 length, start = parsed
                 if len(self._buffer) >= start + length:
-                    body = self._buffer[start : start + length]
-                    self._buffer = self._buffer[start + length :]
+                    body = bytes(self._buffer[start : start + length])
+                    self._pos = start + length
+                    if self._pos == len(self._buffer):
+                        self._buffer.clear()
+                        self._pos = 0
                     return _load_body(body)
+            if self._pos > _RECV_CHUNK:
+                del self._buffer[: self._pos]
+                self._pos = 0
             chunk = self._sock.recv(_RECV_CHUNK)
             if not chunk:
-                if self._buffer:
+                if len(self._buffer) - self._pos:
                     raise FrameError(
-                        f"connection closed mid-frame ({len(self._buffer)} buffered bytes)"
+                        "connection closed mid-frame "
+                        f"({len(self._buffer) - self._pos} buffered bytes)"
                     )
                 return None
             self.bytes_read += len(chunk)

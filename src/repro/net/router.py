@@ -75,9 +75,23 @@ class ShardRouter:
     def shard_for(self, request: SolveRequest) -> int:
         """The shard that should own ``request``."""
         if self.policy == "random":
+            return self.shard_for_key("")
+        return self.shard_for_key(structural_key(request.problem))
+
+    def shard_for_key(self, key: str) -> int:
+        """The shard owning one structural-key digest.
+
+        The binary wire path routes on a key computed straight from the
+        packed cost-matrix bytes
+        (:func:`~repro.service.fingerprint.structural_key_from_matrix`)
+        without building the problem; JSON requests go through
+        :meth:`shard_for` after parsing.  Both end up here, so the two
+        codecs route one problem to the same shard.
+        """
+        if self.policy == "random":
             shard = int(self._rng.integers(self.num_shards))
         else:
-            shard = shard_of_key(structural_key(request.problem), self.num_shards)
+            shard = shard_of_key(key, self.num_shards)
         self.route_counts[shard] += 1
         return shard
 

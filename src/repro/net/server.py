@@ -3,40 +3,68 @@
 :class:`NetServer` is the piece that turns ``repro.service`` from an
 in-process library into something real clients connect to:
 
-* a **listener** accepts TCP connections and speaks length-prefixed JSON
-  frames (:mod:`repro.net.framing`) carrying the exact
-  :mod:`repro.service.codec` wire format — anything ``repro-fap serve``
-  accepts on stdin is a valid frame body here;
-* a :class:`~repro.net.router.ShardRouter` partitions parseable requests
-  across **shards**, each shard a FIFO queue owned by one dispatch
-  thread; shards map onto **worker processes**
-  (:mod:`repro.net.worker`), each running its own
-  :class:`~repro.service.AllocationService` with its own cache — so
-  repeats of a problem hit the cache that stored them, and same-shape
-  requests micro-batch together;
+* one **event-loop thread** (:mod:`selectors`) owns every socket —
+  accept, read, frame parsing, and response writes all happen
+  non-blocking in one place, so a thousand idle connections cost a
+  thousand registrations, not a thousand threads, and a pipelining
+  client can keep many requests in flight per connection;
+* each connection speaks the **binary codec** (:mod:`repro.net.binary`,
+  struct-packed headers + raw float64 bodies) or the **JSON codec**
+  (:mod:`repro.net.framing`, the exact ``repro-fap serve`` wire format)
+  — the first bytes decide (binary frames open with
+  :data:`~repro.net.binary.BINARY_MAGIC`, JSON frames with a decimal
+  length line), so old JSON clients keep working unchanged and both
+  kinds can share one listener;
+* a :class:`~repro.net.router.ShardRouter` partitions requests across
+  **shards**, each shard a *bounded* FIFO queue owned by one dispatch
+  thread; shards map onto **worker processes** (:mod:`repro.net.worker`),
+  each running its own :class:`~repro.service.AllocationService` with
+  its own cache — so repeats of a problem hit the cache that stored
+  them, and same-shape requests micro-batch together.  A full shard
+  queue answers immediately with a structured
+  ``{"status": "rejected", "reason": "overloaded"}`` instead of letting
+  a slow worker grow the queue (and every queued client's deadline)
+  without bound;
+* with a shared ``secret``, connections must pass an **HMAC
+  challenge/response** (hello → nonce → ``HMAC-SHA256(secret, nonce)``)
+  before any other frame is served; failures are answered in-band and
+  the connection is closed;
 * **robustness is structural**: a dead worker is respawned and exactly
   the requests in flight with it get in-band ``worker_restarted``
   errors; a draining server (SIGTERM) finishes in-flight work and
   answers queued/new requests with structured ``shutting_down``
-  rejections; a malformed frame fails one connection, never the server.
+  rejections; a malformed frame — JSON or binary — fails one
+  connection, never the server.
 
 Control verbs ride the same frame stream: ``{"op": "stats"}`` returns
 the merged ``service.*`` metrics of every worker plus the server's own
 ``net.*`` family (connections, bytes, per-shard routing and queue
-depth, worker restarts); ``{"op": "ping"}`` is a liveness check.
+depth, worker restarts); ``{"op": "ping"}`` is a liveness check;
+``{"op": "hello"}`` negotiates codec and authentication.
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import queue
+import secrets as _secrets
+import selectors
 import signal
 import socket
 import threading
+import time
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.obs.registry import MetricsRegistry
-from repro.net.framing import FrameError, FrameReader, send_frame
+from repro.net import binary as _binary
+from repro.net import framing as _framing
+from repro.net.binary import BINARY_MAGIC, BinaryFrameError, encode_binary_frame
+from repro.net.framing import FrameError, encode_frame
 from repro.net.router import ShardRouter
 from repro.net.worker import (
     ERROR_WORKER_RESTARTED,
@@ -45,14 +73,36 @@ from repro.net.worker import (
     WorkerHandle,
 )
 from repro.service.codec import safe_parse
+from repro.service.fingerprint import structural_key_from_matrix
 
-__all__ = ["NetServer", "REJECT_SHUTTING_DOWN"]
+__all__ = [
+    "NetServer",
+    "REJECT_OVERLOADED",
+    "REJECT_SHUTTING_DOWN",
+    "SERVER_CODECS",
+]
 
 #: Rejection reason for requests that arrive at (or are queued in) a
 #: draining server.
 REJECT_SHUTTING_DOWN = "shutting_down"
 
+#: Rejection reason for requests that arrive at a full shard queue — the
+#: transport's backpressure signal (the per-worker admission queue has
+#: its own ``queue_full``).
+REJECT_OVERLOADED = "overloaded"
+
+#: Accepted values for :class:`NetServer`'s ``codec`` parameter:
+#: ``"auto"`` serves both protocols on one listener, ``"binary"`` /
+#: ``"json"`` restrict to one (the other is refused in-band).
+SERVER_CODECS = ("auto", "binary", "json")
+
 _STOP = object()
+
+_READ = selectors.EVENT_READ
+_WRITE = selectors.EVENT_WRITE
+_RECV_CHUNK = 262144
+
+_ASCII_DIGITS = frozenset(b"0123456789")
 
 
 @dataclass
@@ -62,6 +112,32 @@ class _WorkItem:
     payload: Dict
     request_id: str
     reply: Callable[[Dict], None]
+
+
+class _Connection:
+    """Event-loop state for one accepted socket."""
+
+    __slots__ = (
+        "sock", "codec", "buffer", "pos", "out", "out_lock",
+        "authed", "nonce", "closing", "dead",
+    )
+
+    def __init__(self, sock: socket.socket, *, authed: bool):
+        self.sock = sock
+        self.codec: Optional[str] = None  # sniffed from the first bytes
+        self.buffer = bytearray()
+        self.pos = 0
+        self.out = bytearray()
+        self.out_lock = threading.Lock()
+        self.authed = authed
+        self.nonce: Optional[str] = None
+        self.closing = False  # flush pending writes, then close
+        self.dead = False  # closed; replies are dropped
+
+    def encode(self, payload: Dict, corr_id: int) -> bytes:
+        if self.codec == "binary":
+            return encode_binary_frame(payload, corr_id)
+        return encode_frame(payload)
 
 
 class NetServer:
@@ -82,9 +158,29 @@ class NetServer:
     routing:
         ``"affinity"`` (structural fingerprint; default) or ``"random"``
         (the locality-free baseline the benchmarks compare against).
+    codec:
+        ``"auto"`` (default) accepts binary and JSON connections on one
+        listener; ``"binary"`` / ``"json"`` refuse the other protocol
+        with an in-band ``codec_disabled`` error.
+    secret:
+        Optional shared secret.  When set, every connection must pass
+        the HMAC challenge/response handshake (``hello`` → ``nonce`` →
+        ``auth`` carrying ``HMAC-SHA256(secret, nonce)``) before any
+        other frame is served.
     max_batch, cache_size, cache_ttl_s, queue_depth, default_timeout_s:
         Per-worker service configuration (see
-        :class:`~repro.net.worker.WorkerConfig`).
+        :class:`~repro.net.worker.WorkerConfig`).  ``queue_depth`` also
+        bounds each *shard* queue: requests beyond it are answered with
+        structured ``overloaded`` rejections instead of queuing without
+        bound behind a slow worker.
+    batch_window_s:
+        How long a shard thread lingers collecting further queued
+        requests (up to ``max_batch``) before dispatching a group to its
+        worker.  ``0.0`` (default) dispatches eagerly — whatever is
+        already queued ships immediately.  A few milliseconds trades
+        that much latency for fuller groups under bursty pipelined
+        load, which the workers' micro-batchers fuse into larger
+        lockstep solves.
     registry:
         Optional :class:`~repro.obs.registry.MetricsRegistry` for the
         server-side ``net.*`` family; one is created if omitted.
@@ -98,20 +194,30 @@ class NetServer:
         workers: int = 1,
         shards: Optional[int] = None,
         routing: str = "affinity",
+        codec: str = "auto",
+        secret: Optional[str] = None,
         max_batch: int = 32,
         cache_size: int = 256,
         cache_ttl_s: Optional[float] = None,
         queue_depth: int = 1024,
+        batch_window_s: float = 0.0,
         default_timeout_s: Optional[float] = None,
         registry: Optional[MetricsRegistry] = None,
         context=None,
     ):
+        if codec not in SERVER_CODECS:
+            raise ValueError(
+                f"unknown codec {codec!r} (expected one of {SERVER_CODECS})"
+            )
         self.host = host
         self.port = int(port)
         self.num_workers = max(1, int(workers))
         self.num_shards = int(shards) if shards is not None else self.num_workers
+        self.codec = codec
         self.registry = registry if registry is not None else MetricsRegistry()
         self.router = ShardRouter(self.num_shards, policy=routing)
+        self.queue_depth = max(1, int(queue_depth))
+        self.batch_window_s = max(0.0, float(batch_window_s))
         self.worker_config = WorkerConfig(
             max_batch=max_batch,
             cache_size=cache_size,
@@ -119,14 +225,29 @@ class NetServer:
             queue_depth=queue_depth,
             default_timeout_s=default_timeout_s,
         )
+        self._secret = secret.encode("utf-8") if isinstance(secret, str) else secret
+        # Hot-path metric names, built once: the routing path touches two
+        # per-shard series per request.
+        self._routed_counters = [
+            f"net.shard.{s}.routed" for s in range(self.num_shards)
+        ]
+        self._depth_gauges = [
+            f"net.shard.{s}.queue_depth" for s in range(self.num_shards)
+        ]
         self._context = context
         self._workers: List[WorkerHandle] = []
         self._queues: List["queue.Queue"] = []
         self._shard_threads: List[threading.Thread] = []
         self._listener: Optional[socket.socket] = None
-        self._accept_thread: Optional[threading.Thread] = None
+        self._selector: Optional[selectors.BaseSelector] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        self._loop_stop = threading.Event()
+        self._wake_recv: Optional[socket.socket] = None
+        self._wake_send: Optional[socket.socket] = None
         self._connections: set = set()
         self._conn_lock = threading.Lock()
+        self._write_pending: set = set()
+        self._write_lock = threading.Lock()
         self._state_lock = threading.Lock()
         self._draining = False
         self._started = False
@@ -135,7 +256,7 @@ class NetServer:
     # -- lifecycle -------------------------------------------------------------
 
     def start(self) -> "NetServer":
-        """Spawn workers and shard threads, bind, and begin accepting."""
+        """Spawn workers and shard threads, bind, and start the loop."""
         with self._state_lock:
             if self._started:
                 return self
@@ -145,7 +266,7 @@ class NetServer:
             for i in range(self.num_workers)
         ]
         for shard in range(self.num_shards):
-            self._queues.append(queue.Queue())
+            self._queues.append(queue.Queue(maxsize=self.queue_depth))
             thread = threading.Thread(
                 target=self._shard_loop, args=(shard,),
                 name=f"repro-net-shard-{shard}", daemon=True,
@@ -156,12 +277,18 @@ class NetServer:
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self.host, self.port))
         listener.listen(128)
+        listener.setblocking(False)
         self.port = listener.getsockname()[1]
         self._listener = listener
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="repro-net-accept", daemon=True
+        self._wake_recv, self._wake_send = socket.socketpair()
+        self._wake_recv.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(listener, _READ, data="listener")
+        self._selector.register(self._wake_recv, _READ, data="wake")
+        self._loop_thread = threading.Thread(
+            target=self._loop, name="repro-net-loop", daemon=True
         )
-        self._accept_thread.start()
+        self._loop_thread.start()
         return self
 
     @property
@@ -186,36 +313,18 @@ class NetServer:
         if already:
             self._stopped.wait(timeout_s)
             return
-        if self._listener is not None:
-            # shutdown() before close(): on Linux, close() alone does not
-            # wake a thread blocked in accept().
-            try:
-                self._listener.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            try:
-                self._listener.close()
-            except OSError:
-                pass
         for q in self._queues:
             q.put(_STOP)
         for thread in self._shard_threads:
             thread.join(timeout=timeout_s)
         for worker in self._workers:
             worker.shutdown()
-        with self._conn_lock:
-            conns = list(self._connections)
-        for sock in conns:
-            try:
-                sock.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            try:
-                sock.close()
-            except OSError:
-                pass
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=timeout_s)
+        # In-flight replies are already queued on their connections; the
+        # loop flushes what it can before closing everything.
+        self._loop_stop.set()
+        self._wake()
+        if self._loop_thread is not None:
+            self._loop_thread.join(timeout=timeout_s)
         self._stopped.set()
 
     def serve_forever(self) -> None:
@@ -239,110 +348,417 @@ class NetServer:
     def __exit__(self, *exc) -> None:
         self.shutdown()
 
+    # -- the event loop --------------------------------------------------------
+
+    def _wake(self) -> None:
+        try:
+            self._wake_send.send(b"\0")
+        except (OSError, AttributeError):
+            pass
+
+    def _loop(self) -> None:
+        sel = self._selector
+        try:
+            while not self._loop_stop.is_set():
+                events = sel.select(timeout=1.0)
+                for key, mask in events:
+                    if key.data == "listener":
+                        self._accept_ready()
+                    elif key.data == "wake":
+                        self._drain_wake()
+                    else:
+                        conn = key.data
+                        if mask & _WRITE:
+                            self._flush(conn)
+                        if mask & _READ and not conn.dead and not conn.closing:
+                            self._read_ready(conn)
+                with self._write_lock:
+                    pending, self._write_pending = self._write_pending, set()
+                for conn in pending:
+                    self._flush(conn)
+        finally:
+            self._final_flush()
+
+    def _drain_wake(self) -> None:
+        try:
+            while self._wake_recv.recv(4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    def _final_flush(self) -> None:
+        """Best-effort delivery of already-queued replies at loop exit,
+        then close every socket.  Sockets briefly revert to blocking
+        sends with a short timeout so a reachable client gets its bytes
+        without letting an unreachable one stall the drain."""
+        with self._conn_lock:
+            conns = list(self._connections)
+        for conn in conns:
+            with conn.out_lock:
+                data, conn.out = bytes(conn.out), bytearray()
+            if data and not conn.dead:
+                try:
+                    conn.sock.settimeout(1.0)
+                    conn.sock.sendall(data)
+                except OSError:
+                    pass
+            self._close_conn(conn)
+        for sock in (self._listener, self._wake_recv, self._wake_send):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        try:
+            self._selector.close()
+        except OSError:
+            pass
+
     # -- accepting and reading -------------------------------------------------
 
-    def _accept_loop(self) -> None:
+    def _accept_ready(self) -> None:
         while True:
             try:
-                sock, peer = self._listener.accept()
-            except OSError:
-                return  # listener closed (shutdown)
+                sock, _peer = self._listener.accept()
+            except (BlockingIOError, OSError):
+                return
             if self._draining:
                 try:
                     sock.close()
                 except OSError:
                     pass
                 continue
-            self.registry.counter_inc("net.connections")
-            with self._conn_lock:
-                self._connections.add(sock)
-                self.registry.gauge_set(
-                    "net.connections_active", float(len(self._connections))
-                )
-            threading.Thread(
-                target=self._serve_connection, args=(sock,),
-                name=f"repro-net-conn-{peer[1]}", daemon=True,
-            ).start()
-
-    def _serve_connection(self, sock: socket.socket) -> None:
-        reader = FrameReader(sock)
-        write_lock = threading.Lock()
-        consumed = 0
-
-        def reply(payload: Dict) -> None:
+            sock.setblocking(False)
             try:
-                with write_lock:
-                    sent = send_frame(sock, payload)
-            except OSError:
-                return  # client went away; its loss
-            self.registry.counter_inc("net.responses")
-            self.registry.counter_inc("net.bytes_out", sent)
-
-        try:
-            while True:
-                try:
-                    payload = reader.read()
-                except FrameError as exc:
-                    reply({"status": "error", "reason": "bad_frame", "detail": str(exc)})
-                    return
-                except OSError:
-                    return
-                if payload is None:
-                    return
-                self.registry.counter_inc("net.bytes_in", reader.bytes_read - consumed)
-                consumed = reader.bytes_read
-                self._handle_payload(payload, reply)
-        finally:
-            with self._conn_lock:
-                self._connections.discard(sock)
-                self.registry.gauge_set(
-                    "net.connections_active", float(len(self._connections))
-                )
-            try:
-                sock.close()
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             except OSError:
                 pass
+            conn = _Connection(sock, authed=self._secret is None)
+            self.registry.counter_inc("net.connections")
+            with self._conn_lock:
+                self._connections.add(conn)
+                self.registry.gauge_set(
+                    "net.connections_active", float(len(self._connections))
+                )
+            self._selector.register(sock, _READ, data=conn)
 
-    # -- routing and dispatch --------------------------------------------------
+    def _read_ready(self, conn: _Connection) -> None:
+        try:
+            chunk = conn.sock.recv(_RECV_CHUNK)
+        except BlockingIOError:
+            return
+        except OSError:
+            self._close_conn(conn)
+            return
+        if not chunk:
+            self._close_conn(conn)
+            return
+        self.registry.counter_inc("net.bytes_in", len(chunk))
+        conn.buffer += chunk
+        if conn.codec is None and not self._sniff(conn):
+            return
+        frames, error = self._extract_frames(conn)
+        for payload, corr_id in frames:
+            self._handle_payload(conn, payload, corr_id)
+            if conn.closing or conn.dead:
+                return
+        if error is not None:
+            self.registry.counter_inc("net.bad_frames")
+            self._fail_conn(
+                conn,
+                {"status": "error", "reason": "bad_frame", "detail": str(error)},
+            )
 
-    def _handle_payload(self, payload: Dict, reply: Callable[[Dict], None]) -> None:
+    def _sniff(self, conn: _Connection) -> bool:
+        """Decide the connection's codec from its first bytes.  Returns
+        ``True`` once decided; ``False`` while more bytes are needed.  A
+        first byte that can start neither protocol fails the connection
+        in-band (as JSON — the one codec any peer can read)."""
+        first = conn.buffer[0]
+        if first in _ASCII_DIGITS:
+            conn.codec = "json"
+        elif first == BINARY_MAGIC[0]:
+            if len(conn.buffer) < len(BINARY_MAGIC):
+                return False  # wait for the rest of the magic
+            if bytes(conn.buffer[: len(BINARY_MAGIC)]) != BINARY_MAGIC:
+                conn.codec = "json"  # readable error for an unknown peer
+                self.registry.counter_inc("net.bad_frames")
+                self._fail_conn(conn, {
+                    "status": "error", "reason": "bad_frame",
+                    "detail": f"bad frame magic {bytes(conn.buffer[:4])!r}",
+                })
+                return False
+            conn.codec = "binary"
+        else:
+            conn.codec = "json"
+            self.registry.counter_inc("net.bad_frames")
+            self._fail_conn(conn, {
+                "status": "error", "reason": "bad_frame",
+                "detail": "first byte starts neither a binary nor a JSON frame",
+            })
+            return False
+        self.registry.counter_inc(f"net.codec.{conn.codec}")
+        if self.codec != "auto" and conn.codec != self.codec:
+            self.registry.counter_inc("net.rejected.codec_disabled")
+            self._fail_conn(conn, {
+                "status": "error", "reason": "codec_disabled",
+                "detail": f"this server speaks only the {self.codec} codec",
+            })
+            return False
+        return True
+
+    def _extract_frames(self, conn: _Connection):
+        """``(frames, error)``: every complete ``(payload, corr_id)``
+        buffered on ``conn``, consuming by offset (no per-frame buffer
+        re-slicing).  A frame error stops extraction but the frames
+        already decoded are still returned — they arrived first and
+        deserve answers before the connection is failed."""
+        frames = []
+        error: Optional[FrameError] = None
+        buffer, pos = conn.buffer, conn.pos
+        try:
+            if conn.codec == "binary":
+                while True:
+                    parsed = _binary._parse_header(buffer, pos)
+                    if parsed is None:
+                        break
+                    kind, corr_id, length = parsed
+                    start = pos + _binary.HEADER_BYTES
+                    if len(buffer) < start + length:
+                        break
+                    body = bytes(buffer[start : start + length])
+                    frames.append((_binary._decode_body(kind, body), corr_id))
+                    pos = start + length
+            else:
+                while True:
+                    parsed = _framing._parse_prefix(buffer, pos)
+                    if parsed is None:
+                        break
+                    length, start = parsed
+                    if len(buffer) < start + length:
+                        break
+                    body = bytes(buffer[start : start + length])
+                    frames.append((_framing._load_body(body), 0))
+                    pos = start + length
+        except FrameError as exc:  # BinaryFrameError subclasses FrameError
+            error = exc
+        if pos == len(buffer):
+            buffer.clear()
+            pos = 0
+        elif pos > _RECV_CHUNK:
+            del buffer[:pos]
+            pos = 0
+        conn.pos = pos
+        return frames, error
+
+    # -- writing ---------------------------------------------------------------
+
+    def _reply(self, conn: _Connection, corr_id: int, payload: Dict) -> None:
+        """Queue one response on ``conn`` (thread-safe; shard threads and
+        the loop both land here) and nudge the loop to flush it."""
+        if conn.dead:
+            return
+        try:
+            data = conn.encode(payload, corr_id)
+        except FrameError:
+            return  # response too large to frame; nothing useful to send
+        with conn.out_lock:
+            conn.out += data
+        self.registry.counter_inc("net.responses")
+        if threading.current_thread() is self._loop_thread:
+            self._flush(conn)
+        else:
+            with self._write_lock:
+                # One wake byte is enough to pop the loop out of select();
+                # while the pending set is non-empty a wake is already in
+                # flight, so burst replies cost one syscall, not one each.
+                need_wake = not self._write_pending
+                self._write_pending.add(conn)
+            if need_wake:
+                self._wake()
+
+    def _fail_conn(self, conn: _Connection, payload: Dict) -> None:
+        """Answer in-band, then close once the reply has been flushed."""
+        conn.closing = True
+        self._reply(conn, 0, payload)
+
+    def _flush(self, conn: _Connection) -> None:
+        """Write as much queued output as the socket accepts (loop thread
+        only); keeps WRITE interest registered while bytes remain."""
+        if conn.dead:
+            return
+        error = False
+        with conn.out_lock:
+            while conn.out:
+                try:
+                    sent = conn.sock.send(conn.out)
+                except (BlockingIOError, InterruptedError):
+                    break
+                except OSError:
+                    error = True
+                    break
+                self.registry.counter_inc("net.bytes_out", sent)
+                del conn.out[:sent]
+            remaining = len(conn.out)
+        if error or (remaining == 0 and conn.closing):
+            self._close_conn(conn)
+            return
+        try:
+            self._selector.modify(
+                conn.sock, _READ | _WRITE if remaining else _READ, data=conn
+            )
+        except (KeyError, ValueError, OSError):
+            pass
+
+    def _close_conn(self, conn: _Connection) -> None:
+        if conn.dead:
+            return
+        conn.dead = True
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        with self._conn_lock:
+            self._connections.discard(conn)
+            self.registry.gauge_set(
+                "net.connections_active", float(len(self._connections))
+            )
+
+    # -- frame handling --------------------------------------------------------
+
+    def _handle_payload(self, conn: _Connection, payload: Dict, corr_id: int) -> None:
         op = payload.get("op")
         if op is not None:
-            self.registry.counter_inc(f"net.ops.{op}")
-            if op == "stats":
-                reply({"op": "stats", "status": "ok", "stats": self.stats()})
-            elif op == "ping":
-                reply({"op": "ping", "status": "ok"})
-            else:
-                reply(
-                    {
-                        "op": str(op),
-                        "status": "error",
-                        "detail": f"unknown control verb {op!r}",
-                    }
-                )
+            self._handle_op(conn, payload, corr_id, str(op))
+            return
+        if self._secret is not None and not conn.authed:
+            self.registry.counter_inc("net.rejected.auth_required")
+            self._fail_conn(conn, {
+                "id": str(payload.get("id", "")),
+                "status": "error", "reason": "auth_required",
+                "detail": "this server requires the shared-secret handshake "
+                          "(send {'op': 'hello'} first)",
+            })
             return
         self.registry.counter_inc("net.requests")
         if self._draining:
-            reply(self._shutting_down(str(payload.get("id", ""))))
+            self._reply(
+                conn, corr_id, self._shutting_down(str(payload.get("id", "")))
+            )
             return
-        request, error = safe_parse(payload)
-        if error is not None:
-            self.registry.counter_inc("net.parse_errors")
-            reply(error)
-            return
-        shard = self.router.shard_for(request)
-        self.registry.counter_inc(f"net.shard.{shard}.routed")
-        # The worker re-parses the payload, so pin the server-assigned id
-        # (auto-assigned when the caller sent none) into what it sees.
+        cost = payload.get("problem", {}).get("cost_matrix") \
+            if isinstance(payload.get("problem"), dict) else None
+        if isinstance(cost, np.ndarray):
+            # Binary fast path: the packed body already carries float64
+            # arrays, so route on their bytes directly — the worker that
+            # owns the shard does the real parse and validation.
+            shard = self.router.shard_for_key(structural_key_from_matrix(cost))
+            item_payload = payload
+            request_id = str(payload.get("id", ""))
+        else:
+            request, error = safe_parse(payload)
+            if error is not None:
+                self.registry.counter_inc("net.parse_errors")
+                self._reply(conn, corr_id, error)
+                return
+            shard = self.router.shard_for(request)
+            # The worker re-parses the payload, so pin the server-assigned
+            # id (auto-assigned when the caller sent none) into what it
+            # sees.
+            item_payload = {**payload, "id": request.request_id}
+            request_id = request.request_id
+        self.registry.counter_inc(self._routed_counters[shard])
         item = _WorkItem(
-            payload={**payload, "id": request.request_id},
-            request_id=request.request_id,
-            reply=reply,
+            payload=item_payload,
+            request_id=request_id,
+            reply=partial(self._reply, conn, corr_id),
         )
         q = self._queues[shard]
-        q.put(item)
-        self.registry.gauge_set(f"net.shard.{shard}.queue_depth", float(q.qsize()))
+        try:
+            q.put_nowait(item)
+        except queue.Full:
+            self.registry.counter_inc("net.rejected.overloaded")
+            self._reply(conn, corr_id, {
+                "id": request_id,
+                "status": "rejected",
+                "reason": REJECT_OVERLOADED,
+                "detail": f"shard {shard} queue is full "
+                          f"({self.queue_depth} requests already waiting)",
+            })
+            return
+        self.registry.gauge_set(self._depth_gauges[shard], float(q.qsize()))
+
+    def _handle_op(
+        self, conn: _Connection, payload: Dict, corr_id: int, op: str
+    ) -> None:
+        self.registry.counter_inc(f"net.ops.{op}")
+        if op == "hello":
+            self._handle_hello(conn, corr_id)
+        elif op == "auth":
+            self._handle_auth(conn, payload, corr_id)
+        elif self._secret is not None and not conn.authed:
+            self.registry.counter_inc("net.rejected.auth_required")
+            self._fail_conn(conn, {
+                "op": op, "status": "error", "reason": "auth_required",
+                "detail": "authenticate before using control verbs",
+            })
+        elif op == "stats":
+            # stats() blocks on worker pipes; never stall the loop for it.
+            threading.Thread(
+                target=lambda: self._reply(
+                    conn, corr_id,
+                    {"op": "stats", "status": "ok", "stats": self.stats()},
+                ),
+                name="repro-net-stats", daemon=True,
+            ).start()
+        elif op == "ping":
+            self._reply(conn, corr_id, {"op": "ping", "status": "ok"})
+        else:
+            self._reply(conn, corr_id, {
+                "op": op, "status": "error",
+                "detail": f"unknown control verb {op!r}",
+            })
+
+    def _handle_hello(self, conn: _Connection, corr_id: int) -> None:
+        reply = {
+            "op": "hello",
+            "status": "ok",
+            "codec": conn.codec,
+            "codecs": ["binary", "json"] if self.codec == "auto" else [self.codec],
+            "auth": self._secret is not None,
+        }
+        if self._secret is not None and not conn.authed:
+            conn.nonce = _secrets.token_hex(16)
+            reply["status"] = "challenge"
+            reply["nonce"] = conn.nonce
+        self._reply(conn, corr_id, reply)
+
+    def _handle_auth(self, conn: _Connection, payload: Dict, corr_id: int) -> None:
+        if self._secret is None or conn.authed:
+            self._reply(conn, corr_id, {"op": "auth", "status": "ok"})
+            return
+        mac = payload.get("mac")
+        want = hmac.new(
+            self._secret, bytes.fromhex(conn.nonce), hashlib.sha256
+        ).hexdigest() if conn.nonce is not None else None
+        if want is not None and isinstance(mac, str) and hmac.compare_digest(mac, want):
+            conn.authed = True
+            conn.nonce = None
+            self.registry.counter_inc("net.auth_ok")
+            self._reply(conn, corr_id, {"op": "auth", "status": "ok"})
+            return
+        self.registry.counter_inc("net.rejected.auth_failed")
+        self._fail_conn(conn, {
+            "op": "auth", "status": "error", "reason": "auth_failed",
+            "detail": "bad credentials" if conn.nonce is not None
+            else "no challenge outstanding (send {'op': 'hello'} first)",
+        })
+
+    # -- routing and dispatch --------------------------------------------------
 
     def _shard_loop(self, shard: int) -> None:
         q = self._queues[shard]
@@ -356,13 +772,31 @@ class NetServer:
             batch = [item]
             # Opportunistic batching: everything already queued (up to the
             # worker's max_batch) ships as one group so the worker's
-            # micro-batcher can fuse compatible requests.
+            # micro-batcher can fuse compatible requests.  With a batch
+            # window, the thread also lingers up to that long for more to
+            # arrive, so a burst mid-flight fills the group instead of
+            # fragmenting into several small dispatches.
             stop_seen = False
+            deadline = (
+                time.monotonic() + self.batch_window_s
+                if self.batch_window_s > 0.0 else None
+            )
             while len(batch) < self.worker_config.max_batch:
                 try:
                     extra = q.get_nowait()
                 except queue.Empty:
-                    break
+                    # Drain eagerly, linger coarsely: a timed get() would
+                    # wake this thread once per arriving request, so an
+                    # empty queue instead sleeps in ~1 ms slices — the
+                    # event loop decodes a burst wholesale, and the next
+                    # drain picks it up in bulk.
+                    if deadline is None:
+                        break
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0.0:
+                        break
+                    time.sleep(min(remaining, 0.001))
+                    continue
                 if extra is _STOP:
                     stop_seen = True
                     break
@@ -474,6 +908,8 @@ class NetServer:
             for shard, q in enumerate(self._queues)
         ]
         snapshot["routing"] = self.router.policy
+        snapshot["codec"] = self.codec
+        snapshot["auth"] = self._secret is not None
         snapshot["draining"] = self._draining
         return snapshot
 
@@ -484,5 +920,5 @@ class NetServer:
         return (
             f"NetServer({self.host}:{self.port}, {state}, "
             f"workers={self.num_workers}, shards={self.num_shards}, "
-            f"routing={self.router.policy!r})"
+            f"routing={self.router.policy!r}, codec={self.codec!r})"
         )

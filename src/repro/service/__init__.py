@@ -46,6 +46,7 @@ from repro.service.fingerprint import (
     problem_fingerprint,
     request_fingerprint,
     structural_key,
+    structural_key_from_matrix,
 )
 from repro.service.service import AllocationService, PendingSolve, ServiceClient
 from repro.service.types import (
@@ -88,4 +89,5 @@ __all__ = [
     "response_to_dict",
     "safe_parse",
     "structural_key",
+    "structural_key_from_matrix",
 ]

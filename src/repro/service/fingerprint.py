@@ -37,6 +37,7 @@ __all__ = [
     "problem_fingerprint",
     "request_fingerprint",
     "structural_key",
+    "structural_key_from_matrix",
     "parameter_distance",
 ]
 
@@ -94,9 +95,23 @@ def structural_key(problem: FileAllocationProblem) -> str:
     network with different traffic/service parameters — the candidates
     worth warm-starting from each other.
     """
+    return structural_key_from_matrix(problem.cost_matrix)
+
+
+def structural_key_from_matrix(cost_matrix) -> str:
+    """:func:`structural_key` computed from a raw cost matrix.
+
+    Byte-identical to hashing the built problem — the model stores the
+    validated matrix as the float64 array it was given — which is what
+    lets the binary wire path route a request by structure *without*
+    constructing a :class:`FileAllocationProblem` first (the worker it
+    lands on does the real parse and validation).
+    """
+    cost = np.ascontiguousarray(np.asarray(cost_matrix, dtype=float))
     h = hashlib.sha256(b"repro.fap.structure.v1:")
-    h.update(str(problem.n).encode())
-    _update(h, problem.cost_matrix)
+    h.update(str(len(cost)).encode())
+    h.update(str(cost.shape).encode())
+    h.update(cost.tobytes())
     return h.hexdigest()
 
 

@@ -1,12 +1,13 @@
-"""Unit tests for the repro.net building blocks: framing, routing, and
-the request/response wire codec round trip.
+"""Unit tests for the repro.net building blocks: framing (JSON and
+binary), routing, the request/response wire codec round trip, and the
+client's retry/metric bookkeeping (against scripted fake servers).
 
-The loopback integration suite (sockets, worker processes, crash
-recovery) lives in tests/test_net.py; everything here runs in-process
-with no I/O.
+The loopback integration suite (real worker processes, crash recovery,
+codec negotiation, auth) lives in tests/test_net.py.
 """
 
 import socket
+import threading
 
 import numpy as np
 import pytest
@@ -15,15 +16,23 @@ from repro.core.model import FileAllocationProblem
 from repro.exceptions import ConfigurationError
 from repro.network.builders import ring_graph, star_graph
 from repro.net import (
+    BINARY_MAGIC,
     MAX_FRAME_BYTES,
+    BinaryFrameError,
+    BinaryFrameReader,
     FrameError,
     FrameReader,
+    NetClient,
     ShardRouter,
+    decode_binary_frames,
     decode_frames,
+    encode_binary_frame,
     encode_frame,
+    send_binary_frame,
     send_frame,
     shard_of_key,
 )
+from repro.net.worker import ERROR_WORKER_RESTARTED
 from repro.queueing import MD1Delay
 from repro.service.codec import (
     parse_request,
@@ -124,6 +133,374 @@ class TestFraming:
             assert [p["i"] for p in FrameReader(b)] == list(range(5))
         finally:
             b.close()
+
+
+def solve_payload_dict(i=0, *, n=4, extra=None):
+    """A raw-matrix solve payload with every packed field exercised."""
+    rng = np.random.default_rng(100 + i)
+    payload = {
+        "id": f"u{i}",
+        "problem": {
+            "cost_matrix": [
+                [0.0 if r == c else float(rng.uniform(0.5, 2.0)) for c in range(n)]
+                for r in range(n)
+            ],
+            "access_rates": [float(v) for v in rng.uniform(0.02, 0.15, size=n)],
+            "mu": [float(v) for v in rng.uniform(1.5, 3.0, size=n)],
+            "k": 1.25,
+            "name": f"unit-{i}",
+        },
+        "alpha": 0.2137,
+        "epsilon": 3.3e-5,
+        "max_iterations": 4242,
+        "start": [float(v) for v in rng.dirichlet(np.ones(n))],
+        "timeout_s": 1.25,
+        "priority": 3,
+    }
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+class TestBinaryCodec:
+    def test_solve_payload_round_trips_to_identical_fingerprint(self):
+        payload = solve_payload_dict(0)
+        blob = encode_binary_frame(payload, 7)
+        frames, rest = decode_binary_frames(blob)
+        assert rest == b""
+        [(decoded, request_id)] = frames
+        assert request_id == 7
+        # Arrays come back as float64 views, not lists: compare parsed.
+        want = parse_request(payload)
+        have = parse_request(decoded)
+        assert have.request_id == want.request_id == "u0"
+        assert have.alpha == want.alpha
+        assert have.timeout_s == want.timeout_s
+        assert have.priority == want.priority
+        assert request_fingerprint(have) == request_fingerprint(want)
+        assert decoded["problem"]["name"] == "unit-0"
+
+    def test_packed_defaults_match_json_defaults(self):
+        # A minimal payload (no alpha/epsilon/start/...) must normalize
+        # to the same request either way the bytes travel.
+        minimal = {"problem": solve_payload_dict(1)["problem"]}
+        [(decoded, _)], _ = decode_binary_frames(encode_binary_frame(minimal))
+        want = parse_request(dict(minimal, id="x"))
+        have = parse_request(dict(decoded, id="x"))
+        assert request_fingerprint(have) == request_fingerprint(want)
+
+    def test_scalar_mu_and_named_start_round_trip(self):
+        payload = {
+            "id": "s",
+            "problem": {
+                "cost_matrix": [[0.0, 1.0, 2.0], [1.0, 0.0, 1.0], [2.0, 1.0, 0.0]],
+                "access_rates": [0.1, 0.2, 0.1],
+                "mu": 2.5,
+                "k": 1.0,
+            },
+            "start": "skewed",
+        }
+        [(decoded, _)], _ = decode_binary_frames(encode_binary_frame(payload))
+        assert decoded["problem"]["mu"] == 2.5
+        assert decoded["start"] == "skewed"
+        assert request_fingerprint(parse_request(decoded)) == request_fingerprint(
+            parse_request(payload)
+        )
+
+    def test_ok_response_round_trips_to_exact_json_dict(self):
+        response = SolveResponse(
+            request_id="r1",
+            status="ok",
+            allocation=np.array([0.25, 0.75]),
+            cost=1.2345,
+            iterations=17,
+            converged=True,
+            cache="warm",
+            batch_size=3,
+            latency_s=0.5,
+        ).as_dict()
+        [(decoded, rid)], rest = decode_binary_frames(
+            encode_binary_frame(response, 99)
+        )
+        assert rest == b""
+        assert rid == 99
+        assert decoded == response  # bit-for-bit, allocation as list
+
+    def test_other_payloads_ride_the_json_kind_exactly(self):
+        for payload in (
+            {"op": "stats"},
+            {"id": "r", "status": "rejected", "reason": "overloaded"},
+            {"id": "r", "status": "error", "detail": "boom"},
+            solve_payload_dict(2, extra={"not_a_wire_field": 1}),
+        ):
+            [(decoded, _)], _ = decode_binary_frames(encode_binary_frame(payload))
+            assert decoded == payload
+
+    def test_partial_frames_stay_buffered(self):
+        blob = encode_binary_frame({"op": "a"}, 1) + encode_binary_frame(
+            solve_payload_dict(3), 2
+        )
+        cut = len(blob) - 5
+        frames, rest = decode_binary_frames(blob[:cut])
+        assert [rid for _, rid in frames] == [1]
+        frames2, rest2 = decode_binary_frames(rest + blob[cut:])
+        assert [rid for _, rid in frames2] == [2]
+        assert rest2 == b""
+
+    def test_bad_magic_version_and_kind_are_errors(self):
+        good = encode_binary_frame({"op": "ping"})
+        with pytest.raises(BinaryFrameError, match="magic"):
+            decode_binary_frames(b"XXXX" + good[4:])
+        with pytest.raises(BinaryFrameError, match="version"):
+            decode_binary_frames(good[:4] + b"\x09" + good[5:])
+        with pytest.raises(BinaryFrameError, match="kind"):
+            decode_binary_frames(good[:5] + b"\x07" + good[6:])
+
+    def test_truncated_packed_bodies_are_errors(self):
+        solve = encode_binary_frame(solve_payload_dict(4))
+        # Rewrite the declared length so a short body still "completes".
+        import struct
+
+        from repro.net.binary import _HEADER, HEADER_BYTES
+
+        magic, version, kind, flags, rid, length = _HEADER.unpack_from(solve)
+        short = _HEADER.pack(magic, version, kind, flags, rid, length - 8)
+        with pytest.raises(BinaryFrameError, match="layout requires"):
+            decode_binary_frames(short + solve[HEADER_BYTES : len(solve) - 8])
+
+    def test_reader_round_trip_and_clean_eof(self):
+        a, b = socket_pair()
+        try:
+            sent = send_binary_frame(a, solve_payload_dict(5), 11)
+            reader = BinaryFrameReader(b)
+            payload, rid = reader.read()
+            assert rid == 11
+            assert reader.bytes_read == sent
+            assert payload["id"] == "u5"
+            a.close()
+            assert reader.read() is None
+        finally:
+            b.close()
+
+    def test_reader_raises_on_mid_frame_eof(self):
+        a, b = socket_pair()
+        try:
+            a.sendall(encode_binary_frame({"op": "ping"})[:-2])
+            a.close()
+            with pytest.raises(BinaryFrameError, match="mid-frame"):
+                BinaryFrameReader(b).read()
+        finally:
+            b.close()
+
+
+class TestManySmallFrames:
+    """Pipelined bursts of tiny frames: the readers must consume their
+    buffers by offset (O(bytes)), and must not lose or reorder frames."""
+
+    COUNT = 4000
+
+    def _blast(self, sock, blob):
+        def send():
+            try:
+                sock.sendall(blob)
+            finally:
+                sock.close()
+
+        thread = threading.Thread(target=send, daemon=True)
+        thread.start()
+        return thread
+
+    def test_json_reader_handles_a_burst(self):
+        a, b = socket_pair()
+        blob = b"".join(encode_frame({"i": i}) for i in range(self.COUNT))
+        thread = self._blast(a, blob)
+        try:
+            reader = FrameReader(b)
+            assert [p["i"] for p in reader] == list(range(self.COUNT))
+            assert reader.bytes_read == len(blob)
+        finally:
+            thread.join(timeout=5.0)
+            b.close()
+
+    def test_binary_reader_handles_a_burst(self):
+        a, b = socket_pair()
+        blob = b"".join(
+            encode_binary_frame({"i": i}, i + 1) for i in range(self.COUNT)
+        )
+        thread = self._blast(a, blob)
+        try:
+            reader = BinaryFrameReader(b)
+            got = []
+            while True:
+                frame = reader.read()
+                if frame is None:
+                    break
+                got.append(frame)
+            assert [p["i"] for p, _ in got] == list(range(self.COUNT))
+            assert [rid for _, rid in got] == list(range(1, self.COUNT + 1))
+        finally:
+            thread.join(timeout=5.0)
+            b.close()
+
+    def test_pure_decoders_handle_a_burst(self):
+        json_blob = b"".join(encode_frame({"i": i}) for i in range(self.COUNT))
+        frames, rest = decode_frames(json_blob)
+        assert len(frames) == self.COUNT and rest == b""
+        bin_blob = b"".join(
+            encode_binary_frame({"i": i}) for i in range(self.COUNT)
+        )
+        bframes, brest = decode_binary_frames(bin_blob)
+        assert len(bframes) == self.COUNT and brest == b""
+
+
+class _ScriptedServer:
+    """A JSON-codec fake server: one thread, scripted per connection.
+
+    Each entry in ``script`` handles one accepted connection and is
+    called with that connection's socket.
+    """
+
+    def __init__(self, *script):
+        self.listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.listener.bind(("127.0.0.1", 0))
+        self.listener.listen(4)
+        self.host, self.port = self.listener.getsockname()
+        self.errors = []
+
+        def run():
+            for handle in script:
+                conn, _ = self.listener.accept()
+                conn.settimeout(5.0)
+                try:
+                    handle(conn)
+                except Exception as exc:  # surfaced by the test body
+                    self.errors.append(exc)
+                    return
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.thread.join(timeout=5.0)
+        self.listener.close()
+        assert not self.errors, self.errors
+
+
+def _ok_reply(payload):
+    return {
+        "id": payload.get("id", ""), "status": "ok", "allocation": [1.0],
+        "cost": 0.0, "iterations": 0, "converged": True,
+    }
+
+
+def _restart_reply(payload):
+    return {
+        "id": payload.get("id", ""), "status": "error",
+        "reason": ERROR_WORKER_RESTARTED, "detail": "scripted",
+    }
+
+
+class TestClientRetryBudget:
+    """Transport failures and in-band worker restarts share ONE re-send
+    budget (``retries``).  Regression: ``retry_restarts=True`` with
+    ``retries=1`` used to never retry a restart, because the restart
+    branch compared the attempt count *before* incrementing while the
+    transport branch compared after."""
+
+    def test_restart_is_retried_within_the_shared_budget(self):
+        def serve(conn):
+            reader = FrameReader(conn)
+            send_frame(conn, _restart_reply(reader.read()))
+            send_frame(conn, _ok_reply(reader.read()))
+            conn.close()
+
+        with _ScriptedServer(serve) as server:
+            with NetClient(
+                server.host, server.port, codec="json", retries=1,
+                retry_restarts=True, backoff_s=0.001,
+            ) as client:
+                response = client.request({"id": "r1"})
+                assert response["status"] == "ok"
+                assert client.metrics["restarts_retried"] == 1
+                assert client.metrics["retries"] == 1
+
+    def test_restart_with_spent_budget_is_surfaced_structurally(self):
+        def serve(conn):
+            reader = FrameReader(conn)
+            send_frame(conn, _restart_reply(reader.read()))
+            conn.close()
+
+        with _ScriptedServer(serve) as server:
+            with NetClient(
+                server.host, server.port, codec="json", retries=0,
+                retry_restarts=True, backoff_s=0.001,
+            ) as client:
+                response = client.request({"id": "r1"})
+                assert response["status"] == "error"
+                assert response["reason"] == ERROR_WORKER_RESTARTED
+                assert client.metrics["restarts_retried"] == 0
+
+    def test_transport_and_restart_failures_draw_from_one_budget(self):
+        # Budget of 2: one dropped connection + one restart error both
+        # fit; the second restart answer is surfaced, not retried.
+        def serve(conn):
+            FrameReader(conn).read()
+            conn.close()  # transport failure: mid-request drop
+
+        def serve_restarts(conn):
+            reader = FrameReader(conn)
+            send_frame(conn, _restart_reply(reader.read()))
+            send_frame(conn, _restart_reply(reader.read()))
+            conn.close()
+
+        with _ScriptedServer(serve, serve_restarts) as server:
+            with NetClient(
+                server.host, server.port, codec="json", retries=2,
+                retry_restarts=True, backoff_s=0.001,
+            ) as client:
+                response = client.request({"id": "r1"})
+                assert response["status"] == "error"
+                assert response["reason"] == ERROR_WORKER_RESTARTED
+                assert client.metrics["retries"] == 2
+                assert client.metrics["restarts_retried"] == 1
+
+
+class TestClientConnectMetrics:
+    def test_first_connections_are_connects_not_reconnects(self):
+        def serve(conn):
+            reader = FrameReader(conn)
+            send_frame(conn, _ok_reply(reader.read()))
+            send_frame(conn, _ok_reply(reader.read()))
+            conn.close()
+
+        with _ScriptedServer(serve) as server:
+            with NetClient(server.host, server.port, codec="json") as client:
+                client.request({"id": "a"})
+                client.request({"id": "b"})  # pooled connection is reused
+                assert client.metrics["connects"] == 1
+                assert client.metrics["reconnects"] == 0
+
+    def test_replacing_a_dropped_connection_is_a_reconnect(self):
+        def serve_drop(conn):
+            FrameReader(conn).read()
+            conn.close()
+
+        def serve_ok(conn):
+            reader = FrameReader(conn)
+            send_frame(conn, _ok_reply(reader.read()))
+            conn.close()
+
+        with _ScriptedServer(serve_drop, serve_ok) as server:
+            with NetClient(
+                server.host, server.port, codec="json", retries=1,
+                backoff_s=0.001,
+            ) as client:
+                assert client.request({"id": "a"})["status"] == "ok"
+                assert client.metrics["connects"] == 1
+                assert client.metrics["reconnects"] == 1
 
 
 class TestShardRouter:
