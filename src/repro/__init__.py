@@ -40,7 +40,12 @@ from repro.core import (
 from repro.net import NetClient, NetServer
 from repro.network import Topology, VirtualRing, complete_graph, ring_graph
 from repro.obs import JsonLinesSink, MemorySink, MetricsRegistry, RunReport
-from repro.parallel import BatchedAllocator, BatchedProblem, sweep_parallel
+from repro.parallel import (
+    BatchedAllocator,
+    BatchedProblem,
+    ContinuousBatcher,
+    sweep_parallel,
+)
 from repro.service import AllocationService, ServiceClient, SolveRequest, SolveResponse
 
 __version__ = "1.0.0"
@@ -50,6 +55,7 @@ __all__ = [
     "AllocationService",
     "BatchedAllocator",
     "BatchedProblem",
+    "ContinuousBatcher",
     "DecentralizedAllocator",
     "FileAllocationProblem",
     "JsonLinesSink",

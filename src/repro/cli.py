@@ -152,7 +152,15 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--warm-start", action="store_true",
         help="solve grid points in sorted order, seeding each from its "
-             "neighbor's solution (serial/fast/pooled engines only)",
+             "neighbor's solution (batched engine: row-staggered "
+             "continuation chains, see --chains)",
+    )
+    sweep.add_argument(
+        "--chains", type=int, default=1,
+        help="with --engine batched --warm-start: number of concurrent "
+             "warm-start chains the sorted grid is split into (1 = exact "
+             "serial warm-sweep measurements; more = staggered chains "
+             "advancing in lockstep, same optima, fewer wall-clock steps)",
     )
     sweep.add_argument(
         "--jobs", type=int, default=None,
@@ -368,18 +376,68 @@ def _parse_sweep_grid(args: argparse.Namespace) -> List[float]:
         raise SystemExit(f"sweep: bad --grid {args.grid!r} (expected START:STOP:NUM)")
 
 
+def _batched_warm_sweep(args, values, factory, x0):
+    """Row-staggered warm-started batched sweep.
+
+    The sorted grid is split into ``--chains`` contiguous continuation
+    chains — each an ascending run of neighbors seeding the next link
+    from its predecessor's solution, exactly the serial sweep's warm
+    order — and the chains advance concurrently, one continuous-batcher
+    slot each.  ``--chains 1`` therefore reproduces the serial
+    ``--engine fast --warm-start`` measurements exactly; more chains
+    keep the same optima (within epsilon) while overlapping the chains'
+    iterations in lockstep.
+    """
+    from repro.experiments.sweeps import SweepResult
+    from repro.parallel import ChainLink, solve_chains
+
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    n_chains = max(1, min(args.chains, len(order)))
+    bounds = np.linspace(0, len(order), n_chains + 1).astype(int)
+    chains, coords = [], []
+    for c in range(n_chains):
+        idxs = order[bounds[c] : bounds[c + 1]]
+        coords.append(idxs)
+        chains.append(
+            [
+                ChainLink(
+                    problem=factory(values[i]),
+                    alpha=float(values[i]) if args.param == "alpha" else args.alpha,
+                    epsilon=args.epsilon,
+                    max_iterations=args.max_iterations,
+                    x0=x0,
+                )
+                for i in idxs
+            ]
+        )
+    results = solve_chains(
+        chains, epsilon=args.epsilon, max_iterations=args.max_iterations
+    )
+    measurements: List[Optional[dict]] = [None] * len(values)
+    for c, idxs in enumerate(coords):
+        for j, i in enumerate(idxs):
+            row = results[c][j]
+            if row.error is not None:
+                raise SystemExit(
+                    f"sweep: grid point {args.param}={values[i]} failed: {row.error}"
+                )
+            measurements[i] = {
+                "cost": float(row.cost),
+                "iterations": int(row.iterations),
+                "converged": bool(row.converged),
+            }
+    return SweepResult(
+        parameter=args.param,
+        values=[float(v) for v in values],
+        measurements=measurements,
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.sweeps import SweepResult, parameter_sweep, sweep_parallel
 
-    # Fail fast, before any grid parsing or problem construction: the
-    # combination can never work, so no other argument should be able to
-    # mask (or delay) the explanation.
-    if args.engine == "batched" and args.warm_start:
-        raise SystemExit(
-            "sweep: --warm-start is not available with the batched engine "
-            "(lockstep rows iterate together); use --engine serial, fast, "
-            "or pooled"
-        )
+    if args.chains < 1:
+        raise SystemExit("sweep: --chains must be >= 1")
     values = _parse_sweep_grid(args)
     factory = _SweepFactory(
         args.param, args.nodes, args.topology, args.mu, args.rate, args.k
@@ -388,7 +446,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     # None → each task's own value is the stepsize (alpha is a solver
     # parameter, so it can't ride the problem factory).
     alpha = None if args.param == "alpha" else args.alpha
-    if args.engine == "batched":
+    if args.engine == "batched" and args.warm_start:
+        sweep = _batched_warm_sweep(args, values, factory, x0)
+    elif args.engine == "batched":
         from repro.parallel import BatchedAllocator, BatchedProblem
 
         batch = BatchedProblem.from_problems([factory(v) for v in values])

@@ -1,6 +1,6 @@
 """repro.parallel — batched and pooled execution of many FAP instances.
 
-Two independent layers, one per axis of parallelism:
+Three layers, two axes of parallelism:
 
 * :class:`BatchedAllocator` — SIMD-style: B independent equal-size M/M/1
   problems advance in lockstep as ``(B, N)`` NumPy arrays inside one
@@ -8,6 +8,15 @@ Two independent layers, one per axis of parallelism:
   :class:`~repro.core.algorithm.DecentralizedAllocator` (a property test
   enforces it).  This is the fast path for sweeps of *small* problems,
   where the serial engine's per-iteration Python overhead dominates.
+* :class:`ContinuousBatcher` — the lockstep kernel without the barrier:
+  a fixed-capacity slot array over a pending queue.  Converged rows are
+  retired mid-flight and queued problems (each with its own warm start,
+  stepsize, tolerance, and budget) are admitted into the freed slots, so
+  occupancy stays near capacity on mixed-convergence streams instead of
+  decaying to the slowest straggler.  Per-row parity is still bit-for-bit.
+  :func:`solve_chains` builds warm-started continuation chains on top —
+  the engine behind ``repro-fap sweep --engine batched --warm-start``
+  and the service's continuous dispatch mode.
 * :class:`SweepExecutor` / :func:`sweep_parallel` — process-pool: one
   worker per grid point (chunked), with deterministic per-task seeding,
   bounded retry on worker failure, and cross-worker
@@ -33,7 +42,14 @@ from repro.parallel.batched import (
     BatchedAllocator,
     BatchedProblem,
     BatchedResult,
+    batched_apply,
     batched_scaled_step,
+)
+from repro.parallel.continuous import (
+    ChainLink,
+    ContinuousBatcher,
+    RowResult,
+    solve_chains,
 )
 from repro.parallel.executor import (
     SweepExecutionError,
@@ -48,11 +64,16 @@ __all__ = [
     "BatchedAllocator",
     "BatchedProblem",
     "BatchedResult",
+    "ChainLink",
+    "ContinuousBatcher",
+    "RowResult",
     "SweepExecutionError",
     "SweepExecutor",
     "SweepTask",
+    "batched_apply",
     "batched_scaled_step",
     "make_tasks",
+    "solve_chains",
     "solve_grid_point",
     "sweep_parallel",
 ]

@@ -98,6 +98,25 @@ class BatchedProblem:
             raise ConfigurationError("batch_size must be >= 1")
         return cls([problem] * batch_size)
 
+    def set_row(self, r: int, problem: FileAllocationProblem) -> None:
+        """Replace slot ``r``'s problem in place.
+
+        The continuous batcher retires converged rows and admits new
+        problems into the freed slots mid-flight; this writes one row of
+        every stacked array without touching the others (whose in-flight
+        iterates must stay bit-identical).
+        """
+        if problem.n != self.n:
+            raise ConfigurationError(
+                f"slot problems must have n={self.n}, got n={problem.n}"
+            )
+        mu = problem.mm1_service_rates()
+        self.problems[r] = problem
+        self.access_cost[r] = problem.access_cost
+        self.mu[r] = mu
+        self.k[r, 0] = problem.k
+        self.total_rate[r, 0] = problem.total_rate
+
     # -- batched evaluation ----------------------------------------------------
 
     def _gaps(self, x: np.ndarray, rows) -> np.ndarray:
@@ -198,6 +217,49 @@ def batched_scaled_step(
         dx[r] = dx[r] - overshoot[r]
         dx[r, int(np.argmax(dx[r]))] += overshoot[r].sum()
     return dx, mask
+
+
+def batched_apply(
+    x: np.ndarray,
+    dx: np.ndarray,
+    *,
+    validate: bool = True,
+    registry: Optional[MetricsRegistry] = None,
+) -> np.ndarray:
+    """Row-wise mirror of the serial ``DecentralizedAllocator._apply``:
+    Theorem-1 feasibility asserts plus pro-rata clamp redistribution of
+    sub-1e-9 round-off residue (rare; handled per affected row with the
+    serial scalar arithmetic).  Shared by the lockstep and continuous
+    drivers so both apply exactly the serial update."""
+    new_x = x + dx
+    if validate:
+        drift = np.abs(new_x.sum(axis=1) - x.sum(axis=1))
+        if np.any(drift > 1e-9):
+            r = int(np.argmax(drift))
+            raise AssertionError(
+                f"feasibility broken in batch row {r}: sum moved from "
+                f"{x[r].sum()!r} to {new_x[r].sum()!r}"
+            )
+        if np.any(new_x < -1e-9):
+            r = int(np.argwhere(new_x < -1e-9)[0, 0])
+            raise AssertionError(
+                f"negative allocation in batch row {r}: min={new_x[r].min()!r}"
+            )
+        for r in np.flatnonzero((new_x < 0.0).any(axis=1)):
+            row = new_x[r]
+            negative = row < 0.0
+            target_sum = float(row.sum())
+            clamped = float(-row[negative].sum())
+            row[negative] = 0.0
+            positive = row > 0.0
+            total = float(row[positive].sum())
+            if total > 0.0:
+                row[positive] -= clamped * (row[positive] / total)
+                row[int(np.argmax(row))] -= row.sum() - target_sum
+            if registry is not None:
+                registry.counter_inc("batched.clamp_events")
+                registry.counter_inc("batched.clamped_mass", clamped)
+    return new_x
 
 
 def _masked_spread(g: np.ndarray, mask: np.ndarray) -> np.ndarray:
@@ -373,39 +435,7 @@ class BatchedAllocator:
         return out
 
     def _apply(self, x: np.ndarray, dx: np.ndarray) -> np.ndarray:
-        """Row-wise mirror of the serial ``DecentralizedAllocator._apply``:
-        Theorem-1 feasibility asserts plus pro-rata clamp redistribution of
-        sub-1e-9 round-off residue (rare; handled per affected row with the
-        serial scalar arithmetic)."""
-        new_x = x + dx
-        if self.validate:
-            drift = np.abs(new_x.sum(axis=1) - x.sum(axis=1))
-            if np.any(drift > 1e-9):
-                r = int(np.argmax(drift))
-                raise AssertionError(
-                    f"feasibility broken in batch row {r}: sum moved from "
-                    f"{x[r].sum()!r} to {new_x[r].sum()!r}"
-                )
-            if np.any(new_x < -1e-9):
-                r = int(np.argwhere(new_x < -1e-9)[0, 0])
-                raise AssertionError(
-                    f"negative allocation in batch row {r}: min={new_x[r].min()!r}"
-                )
-            for r in np.flatnonzero((new_x < 0.0).any(axis=1)):
-                row = new_x[r]
-                negative = row < 0.0
-                target_sum = float(row.sum())
-                clamped = float(-row[negative].sum())
-                row[negative] = 0.0
-                positive = row > 0.0
-                total = float(row[positive].sum())
-                if total > 0.0:
-                    row[positive] -= clamped * (row[positive] / total)
-                    row[int(np.argmax(row))] -= row.sum() - target_sum
-                if self.registry is not None:
-                    self.registry.counter_inc("batched.clamp_events")
-                    self.registry.counter_inc("batched.clamped_mass", clamped)
-        return new_x
+        return batched_apply(x, dx, validate=self.validate, registry=self.registry)
 
     # -- full run ---------------------------------------------------------------
 

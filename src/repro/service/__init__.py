@@ -2,9 +2,12 @@
 
 The subsystem that turns one-shot library calls into a served stream:
 :class:`AllocationService` accepts :class:`SolveRequest`\\ s on a bounded
-queue, micro-batches compatible requests into lockstep
-:class:`~repro.parallel.BatchedAllocator` dispatches (singletons take the
-fused fast path), answers repeats from a content-addressed
+queue, micro-batches compatible requests into one continuous-batching
+:class:`~repro.parallel.ContinuousBatcher` dispatch — converged rows
+retire mid-flight and freed slots refill from the pending queue
+(``batch_mode="flush"`` keeps the PR-4 group-and-flush lockstep
+dispatcher; singletons take the fused fast path) — answers repeats from
+a content-addressed
 :class:`SolutionCache` (exact hits immediately; near-misses warm-started
 from the nearest cached allocation), and sheds overload through
 :class:`AdmissionController` as structured rejections instead of
@@ -31,7 +34,14 @@ numbers) cover operation.
 """
 
 from repro.service.admission import AdmissionController
-from repro.service.batcher import BatchKey, MicroBatch, MicroBatcher, batch_key
+from repro.service.batcher import (
+    BatchKey,
+    ContinuousBatchKey,
+    MicroBatch,
+    MicroBatcher,
+    batch_key,
+    continuous_batch_key,
+)
 from repro.service.cache import CacheEntry, SolutionCache
 from repro.service.codec import (
     iter_request_payloads,
@@ -54,6 +64,7 @@ from repro.service.types import (
     REJECT_LOAD_SHED,
     REJECT_QUEUE_FULL,
     REJECT_SHUTDOWN,
+    REJECT_SOLVER_ERROR,
     AdmissionDecision,
     CacheLookup,
     SolveRequest,
@@ -67,6 +78,7 @@ __all__ = [
     "BatchKey",
     "CacheEntry",
     "CacheLookup",
+    "ContinuousBatchKey",
     "MicroBatch",
     "MicroBatcher",
     "PendingSolve",
@@ -74,11 +86,13 @@ __all__ = [
     "REJECT_LOAD_SHED",
     "REJECT_QUEUE_FULL",
     "REJECT_SHUTDOWN",
+    "REJECT_SOLVER_ERROR",
     "ServiceClient",
     "SolutionCache",
     "SolveRequest",
     "SolveResponse",
     "batch_key",
+    "continuous_batch_key",
     "iter_request_payloads",
     "parameter_distance",
     "parse_request",

@@ -8,17 +8,27 @@ is what makes micro-batching safe to apply silently: a request receives
 the identical answer whether it was grouped or solved alone, so batching
 is purely a throughput decision, never a semantics decision.
 
-Two requests are batchable together when the lockstep kernel can host
-both:
+The batcher plans in one of two **modes**, matching the two dispatchers
+the service can run:
 
-* same node count ``N`` (rows of one ``(B, N)`` array);
-* pure analytic M/M/1 delay models (the kernel's closed-form evaluation);
-* same ``epsilon`` and ``max_iterations`` (the kernel's shared stopping
-  rule and budget — per-row *alpha* and starting iterates vary freely).
+* ``mode="flush"`` — group-and-flush onto the lockstep
+  :class:`~repro.parallel.BatchedAllocator`.  Two requests are batchable
+  when the lockstep kernel can host both: same node count ``N`` (rows of
+  one ``(B, N)`` array), pure analytic M/M/1 delay models (the kernel's
+  closed-form evaluation), and same ``epsilon``/``max_iterations`` (the
+  kernel's shared stopping rule and budget — per-row *alpha* and
+  starting iterates vary freely).  Groups split at ``max_batch``.
+* ``mode="continuous"`` — feed the row-staggered
+  :class:`~repro.parallel.ContinuousBatcher`, which carries *per-row*
+  tolerance and budget and retires/refills rows mid-flight.  The
+  compatibility class collapses to :class:`ContinuousBatchKey` — just
+  ``N`` plus pure M/M/1 — and groups are not split: the continuous
+  driver's own ``capacity`` (= ``max_batch``) queues the overflow while
+  keeping slots full.
 
-Everything else — exotic delay models, odd sizes, mismatched tolerances —
-dispatches as a singleton on the fused fast path, which satisfies the
-same parity contract.
+Everything else — exotic delay models, odd sizes, and in flush mode
+mismatched tolerances — dispatches as a singleton on the fused fast
+path, which satisfies the same parity contract.
 
 :class:`MicroBatcher` does the grouping; the dispatch window (how long
 the service waits for a batch to fill) is timing policy and lives with
@@ -33,7 +43,14 @@ from typing import List, Optional, Sequence
 from repro.exceptions import ConfigurationError
 from repro.service.types import SolveRequest
 
-__all__ = ["BatchKey", "MicroBatch", "MicroBatcher", "batch_key"]
+__all__ = [
+    "BatchKey",
+    "ContinuousBatchKey",
+    "MicroBatch",
+    "MicroBatcher",
+    "batch_key",
+    "continuous_batch_key",
+]
 
 
 @dataclass(frozen=True)
@@ -57,16 +74,35 @@ def batch_key(request: SolveRequest) -> Optional[BatchKey]:
     )
 
 
+@dataclass(frozen=True)
+class ContinuousBatchKey:
+    """The (wider) compatibility class under continuous dispatch: the
+    row-staggered driver carries epsilon, budget, alpha, and the starting
+    iterate per row, so only the array width and the closed-form M/M/1
+    evaluation remain shared."""
+
+    n: int
+
+
+def continuous_batch_key(request: SolveRequest) -> Optional[ContinuousBatchKey]:
+    """``request``'s continuous-mode class, or ``None`` if it must run alone."""
+    if not request.problem.has_vectorized_evaluate:
+        return None
+    return ContinuousBatchKey(n=request.problem.n)
+
+
 @dataclass
 class MicroBatch:
     """One dispatch unit: an ordered group of compatible work items.
 
     ``items`` are whatever the caller queued (the service queues its
     pending-ticket objects; each must expose ``.request``).  ``key`` is
-    ``None`` exactly for singleton fallbacks of unbatchable requests.
+    a :class:`BatchKey` (flush mode) or :class:`ContinuousBatchKey`
+    (continuous mode), and ``None`` exactly for singleton fallbacks of
+    unbatchable requests.
     """
 
-    key: Optional[BatchKey]
+    key: Optional[BatchKey | ContinuousBatchKey]
     items: List
 
     @property
@@ -86,29 +122,45 @@ class MicroBatcher:
     Parameters
     ----------
     max_batch:
-        Upper bound on rows per lockstep dispatch.  1 disables grouping —
-        every request runs the singleton path (the configuration the
-        benchmarks use as the "individual dispatch" baseline).
+        Upper bound on concurrent rows per dispatch: the split size in
+        flush mode, the continuous driver's slot capacity in continuous
+        mode.  1 disables grouping — every request runs the singleton
+        path (the configuration the benchmarks use as the "individual
+        dispatch" baseline).
+    mode:
+        ``"flush"`` (group-and-flush lockstep, the default for direct
+        use) or ``"continuous"`` (row-staggered; what
+        :class:`~repro.service.AllocationService` runs by default).
     """
 
-    def __init__(self, *, max_batch: int = 32):
+    MODES = ("flush", "continuous")
+
+    def __init__(self, *, max_batch: int = 32, mode: str = "flush"):
         if max_batch < 1:
             raise ConfigurationError("max_batch must be >= 1")
+        if mode not in self.MODES:
+            raise ConfigurationError(
+                f"mode must be one of {self.MODES}, got {mode!r}"
+            )
         self.max_batch = int(max_batch)
+        self.mode = mode
 
     def plan(self, items: Sequence) -> List[MicroBatch]:
         """Partition ``items`` (each exposing ``.request``) into batches.
 
         Grouping preserves arrival order within each compatibility class
         and emits classes in first-arrival order, so dispatch order is
-        deterministic for a given queue state.  Groups are split at
-        ``max_batch``; unbatchable requests become singletons.
+        deterministic for a given queue state.  Flush-mode groups are
+        split at ``max_batch``; continuous-mode groups are not (the
+        driver's slot capacity bounds concurrency instead).  Unbatchable
+        requests become singletons.
         """
+        keyer = continuous_batch_key if self.mode == "continuous" else batch_key
         groups: dict = {}
         order: List = []
         singletons: List[MicroBatch] = []
         for item in items:
-            key = batch_key(item.request)
+            key = keyer(item.request)
             if key is None or self.max_batch == 1:
                 singletons.append(MicroBatch(key=None, items=[item]))
                 continue
@@ -117,11 +169,17 @@ class MicroBatcher:
                 order.append(key)
             groups[key].append(item)
         batches: List[MicroBatch] = []
-        for key in order:
-            members = groups[key]
-            for i in range(0, len(members), self.max_batch):
-                batches.append(MicroBatch(key=key, items=members[i : i + self.max_batch]))
+        if self.mode == "continuous":
+            for key in order:
+                batches.append(MicroBatch(key=key, items=groups[key]))
+        else:
+            for key in order:
+                members = groups[key]
+                for i in range(0, len(members), self.max_batch):
+                    batches.append(
+                        MicroBatch(key=key, items=members[i : i + self.max_batch])
+                    )
         return batches + singletons
 
     def __repr__(self) -> str:
-        return f"MicroBatcher(max_batch={self.max_batch})"
+        return f"MicroBatcher(max_batch={self.max_batch}, mode={self.mode!r})"

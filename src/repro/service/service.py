@@ -47,12 +47,18 @@ import numpy as np
 
 from repro.core.algorithm import solve
 from repro.obs.registry import MetricsRegistry
-from repro.parallel import BatchedAllocator, BatchedProblem
+from repro.parallel import BatchedAllocator, BatchedProblem, ContinuousBatcher
 from repro.service.admission import AdmissionController
-from repro.service.batcher import MicroBatch, MicroBatcher
+from repro.service.batcher import (
+    ContinuousBatchKey,
+    MicroBatch,
+    MicroBatcher,
+    continuous_batch_key,
+)
 from repro.service.cache import SolutionCache
 from repro.service.types import (
     REJECT_SHUTDOWN,
+    REJECT_SOLVER_ERROR,
     SolveRequest,
     SolveResponse,
 )
@@ -118,8 +124,19 @@ class AllocationService:
     Parameters
     ----------
     max_batch:
-        Largest lockstep dispatch; 1 disables micro-batching (every
-        request runs the singleton fast path).
+        Concurrent rows per dispatch — the continuous driver's slot
+        capacity, or the flush split size; 1 disables micro-batching
+        (every request runs the singleton fast path).
+    batch_mode:
+        ``"continuous"`` (default) dispatches grouped requests through
+        the row-staggered :class:`~repro.parallel.ContinuousBatcher`:
+        converged rows retire mid-flight, freed slots refill from the
+        pending queue (including requests submitted *while the batch is
+        solving*, in threaded mode), and requests need only share ``n``
+        to group — per-request epsilon and budget ride along.
+        ``"flush"`` is the PR-4 group-and-flush lockstep dispatcher,
+        kept for comparison benchmarks.  Answers are bit-for-bit
+        identical either way.
     batch_window_s:
         In threaded mode, how long the dispatcher waits after work
         arrives for a batch to fill before dispatching anyway.  Ignored
@@ -147,6 +164,7 @@ class AllocationService:
         self,
         *,
         max_batch: int = 32,
+        batch_mode: str = "continuous",
         batch_window_s: float = 0.0,
         cache: Optional[SolutionCache] = None,
         cache_size: int = 256,
@@ -157,7 +175,7 @@ class AllocationService:
     ):
         self.registry = registry
         self.clock = clock
-        self.batcher = MicroBatcher(max_batch=max_batch)
+        self.batcher = MicroBatcher(max_batch=max_batch, mode=batch_mode)
         self.batch_window_s = float(batch_window_s)
         self.admission = admission if admission is not None else AdmissionController()
         self.cache = (
@@ -224,9 +242,20 @@ class AllocationService:
             self._gauge_depth_locked()
         if not items:
             return 0
+        to_solve, resolved = self._preflight(items)
+        for batch in self.batcher.plan(to_solve):
+            resolved += self._dispatch(batch)
+        self._publish_latency()
+        return resolved
+
+    def _preflight(self, items: Sequence[PendingSolve]) -> tuple:
+        """Deadline-check and cache-probe ``items``: expired requests are
+        rejected, exact hits answered, near-misses tagged with a warm
+        donor.  Returns ``(to_solve, resolved_count)``.  Shared by the
+        pump's queue drain and by mid-flight continuous admission."""
         now = self.clock()
         resolved = 0
-        live: List[PendingSolve] = []
+        to_solve: List[PendingSolve] = []
         for item in items:
             verdict = self.admission.check_deadline(item.request, now - item.submitted_at)
             if not verdict:
@@ -236,9 +265,6 @@ class AllocationService:
                 )
                 resolved += 1
                 continue
-            live.append(item)
-        to_solve: List[PendingSolve] = []
-        for item in live:
             lookup = self.cache.lookup(item.request)
             if lookup.status == "hit":
                 entry = lookup.entry
@@ -257,13 +283,12 @@ class AllocationService:
             if lookup.status == "warm":
                 item.warm_allocation = lookup.entry.allocation.copy()
             to_solve.append(item)
-        for batch in self.batcher.plan(to_solve):
-            self._dispatch(batch)
-            resolved += batch.size
-        self._publish_latency()
-        return resolved
+        return to_solve, resolved
 
-    def _dispatch(self, batch: MicroBatch) -> None:
+    def _dispatch(self, batch: MicroBatch) -> int:
+        """Solve one planned batch; returns how many tickets it resolved
+        (continuous dispatch may resolve more than ``batch.size`` by
+        claiming compatible requests that arrive mid-flight)."""
         reg = self.registry
         if reg is not None:
             reg.counter_inc("service.batches")
@@ -283,7 +308,9 @@ class AllocationService:
                 keep_allocations="last",
             )
             self._finish_solved(item, result, batch_size=1)
-            return
+            return 1
+        if isinstance(batch.key, ContinuousBatchKey):
+            return self._dispatch_continuous(batch)
         key = batch.key
         requests = [item.effective_request for item in batch.items]
         allocator = BatchedAllocator(
@@ -298,6 +325,95 @@ class AllocationService:
         )
         for row, item in enumerate(batch.items):
             self._finish_solved(item, batched.row(row), batch_size=batch.size)
+        return batch.size
+
+    def _dispatch_continuous(self, batch: MicroBatch) -> int:
+        """Row-staggered dispatch: the whole group feeds one
+        :class:`~repro.parallel.ContinuousBatcher` whose slot capacity is
+        ``max_batch``; converged rows retire each step and freed slots
+        refill — first from the group's own overflow, then from
+        compatible requests claimed off the pending queue mid-flight.
+        """
+        key = batch.key
+        driver = ContinuousBatcher(
+            capacity=min(self.batcher.max_batch, batch.size),
+            registry=self.registry,
+        )
+        # batch_size reported per row = how many requests were in the
+        # group when this row joined it, preserving the flush-mode
+        # meaning ("how many shared my dispatch") for whole-group joins.
+        sizes: Dict[int, int] = {}
+        for item in batch.items:
+            sizes[id(item)] = batch.size
+            req = item.effective_request
+            driver.submit(
+                req.problem,
+                alpha=req.alpha,
+                epsilon=req.epsilon,
+                max_iterations=req.max_iterations,
+                x0=req.initial_allocation,
+                tag=item,
+            )
+        resolved = 0
+        while not driver.idle():
+            for row in driver.step():
+                self._finish_row(row.tag, row, batch_size=sizes[id(row.tag)])
+                resolved += 1
+            free = driver.capacity - driver.occupancy - driver.backlog
+            if free <= 0:
+                continue
+            claimed, preflight_resolved = self._claim_compatible(key, free)
+            resolved += preflight_resolved
+            for item in claimed:
+                sizes[id(item)] = driver.occupancy + driver.backlog + 1
+                req = item.effective_request
+                driver.submit(
+                    req.problem,
+                    alpha=req.alpha,
+                    epsilon=req.epsilon,
+                    max_iterations=req.max_iterations,
+                    x0=req.initial_allocation,
+                    tag=item,
+                )
+                if self.registry is not None:
+                    self.registry.counter_inc("service.batch_rows")
+                    self.registry.counter_inc("service.joined_inflight")
+        return resolved
+
+    def _claim_compatible(self, key: ContinuousBatchKey, limit: int) -> tuple:
+        """Pull up to ``limit`` pending requests compatible with ``key``
+        off the queue (preserving the order of what stays), then
+        preflight them.  Returns ``(to_solve, resolved_count)``.  The
+        unlocked emptiness probe keeps the per-step overhead of the sync
+        path at one attribute read."""
+        if not self._pending:
+            return [], 0
+        with self._cond:
+            keep: List[PendingSolve] = []
+            take: List[PendingSolve] = []
+            for item in self._pending:
+                if len(take) < limit and continuous_batch_key(item.request) == key:
+                    take.append(item)
+                else:
+                    keep.append(item)
+            self._pending = keep
+            self._gauge_depth_locked()
+        if not take:
+            return [], 0
+        return self._preflight(take)
+
+    def _finish_row(self, item: PendingSolve, row, *, batch_size: int) -> None:
+        """Resolve one retired continuous row — a normal completion, or a
+        per-row fault (the row's batch-mates were unaffected)."""
+        if row.ok:
+            self._finish_solved(item, row, batch_size=batch_size)
+            return
+        self._reject(
+            item,
+            REJECT_SOLVER_ERROR,
+            row.error,
+            latency_s=self.clock() - item.submitted_at,
+        )
 
     def _finish_solved(self, item: PendingSolve, result, *, batch_size: int) -> None:
         self.cache.store(item.effective_request, result)

@@ -36,6 +36,9 @@ REJECT_LOAD_SHED = "load_shed"
 REJECT_DEADLINE = "deadline_exceeded"
 #: The service was shut down with the request still queued.
 REJECT_SHUTDOWN = "shutdown"
+#: The solver failed on this request alone (e.g. M/M/1 instability at the
+#: starting allocation) — its batch-mates were unaffected.
+REJECT_SOLVER_ERROR = "solver_error"
 
 _request_ids = itertools.count(1)
 

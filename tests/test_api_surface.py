@@ -70,3 +70,19 @@ def test_top_level_reexports_parallel_entry_points():
         "repro.parallel"
     ).BatchedAllocator
     assert "sweep_parallel" in repro.__all__
+
+
+def test_continuous_batching_exports_guarded():
+    # Explicitly pin the continuous-batching surface: these names being in
+    # __all__ of documented packages is what routes them through the
+    # docs/API.md coverage test above.
+    parallel = importlib.import_module("repro.parallel")
+    for name in ("ContinuousBatcher", "RowResult", "ChainLink",
+                 "solve_chains", "batched_apply"):
+        assert name in parallel.__all__, name
+    service = importlib.import_module("repro.service")
+    for name in ("ContinuousBatchKey", "continuous_batch_key",
+                 "REJECT_SOLVER_ERROR"):
+        assert name in service.__all__, name
+    assert repro.ContinuousBatcher is parallel.ContinuousBatcher
+    assert "ContinuousBatcher" in repro.__all__

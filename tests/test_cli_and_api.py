@@ -210,13 +210,62 @@ class TestCliSweep:
         with pytest.raises(SystemExit, match="bad --values"):
             main(["sweep", "--param", "alpha", "--values", "a,b"])
 
-    def test_batched_warm_start_fails_fast(self):
+    def test_batched_warm_start_matches_fast(self, capsys, tmp_path):
+        # PR 7 lifted the old fail-fast: the continuous batcher's
+        # row-staggered continuation makes warm-started sweeps batchable.
+        # With the default --chains 1 the measurements must be *identical*
+        # to the serial fast warm sweep — same costs, same per-point
+        # iteration counts — because a single chain is the serial chain.
+        import json
+
         from repro.cli import main
 
-        # No --values/--grid on purpose: the incompatibility must be
-        # reported before any grid parsing or problem construction.
-        with pytest.raises(SystemExit, match="lockstep rows iterate together"):
-            main(["sweep", "--param", "alpha", "--engine", "batched", "--warm-start"])
+        grids = {}
+        for engine in ["fast", "batched"]:
+            out_path = tmp_path / f"{engine}.json"
+            assert main([
+                "sweep", "--param", "k", "--grid", "0.5:2.0:8",
+                "--engine", engine, "--warm-start", "--out", str(out_path),
+            ]) == 0
+            grids[engine] = json.loads(out_path.read_text())
+        capsys.readouterr()
+        assert grids["batched"] == grids["fast"]
+        # Warm starts must actually be doing work: interior points start
+        # from their neighbor's optimum and converge almost immediately.
+        iters = [m["iterations"] for m in grids["batched"]["measurements"]]
+        assert max(iters[1:]) < iters[0]
+
+    def test_batched_warm_start_multi_chain_same_optima(self, capsys, tmp_path):
+        # More chains stagger the grid across slots: same optima (the
+        # measurements converge to the same costs within epsilon), but
+        # chain heads start cold so iteration counts differ.
+        import json
+
+        from repro.cli import main
+
+        out_single = tmp_path / "single.json"
+        out_multi = tmp_path / "multi.json"
+        for path, chains in [(out_single, "1"), (out_multi, "3")]:
+            assert main([
+                "sweep", "--param", "k", "--grid", "0.5:2.0:9",
+                "--engine", "batched", "--warm-start", "--chains", chains,
+                "--out", str(path),
+            ]) == 0
+        capsys.readouterr()
+        single = json.loads(out_single.read_text())
+        multi = json.loads(out_multi.read_text())
+        assert all(m["converged"] for m in multi["measurements"])
+        for a, b in zip(single["measurements"], multi["measurements"]):
+            assert abs(a["cost"] - b["cost"]) < 1e-3
+
+    def test_sweep_rejects_bad_chains(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="--chains must be >= 1"):
+            main([
+                "sweep", "--param", "alpha", "--values", "0.1,0.2",
+                "--engine", "batched", "--warm-start", "--chains", "0",
+            ])
 
 
 class TestCliServe:

@@ -27,10 +27,13 @@ from repro.obs import MetricsRegistry
 from repro.parallel import (
     BatchedAllocator,
     BatchedProblem,
+    ChainLink,
+    ContinuousBatcher,
     SweepExecutionError,
     SweepExecutor,
     SweepTask,
     make_tasks,
+    solve_chains,
     solve_grid_point,
     sweep_parallel,
 )
@@ -436,3 +439,296 @@ class TestSweepResultJson:
     def test_from_json_rejects_garbage(self):
         with pytest.raises(ValueError):
             SweepResult.from_json("[1, 2, 3]")
+
+
+def _random_problem_n(rng: np.random.Generator, n: int) -> FileAllocationProblem:
+    """Like :func:`_random_problem` but with a caller-fixed size — the
+    continuous batcher shares slots only across equal-``n`` problems."""
+    topo = ring_graph(n) if rng.random() < 0.5 else complete_graph(n)
+    rates = rng.uniform(0.05, 1.0, size=n)
+    rates /= rates.sum() / rng.uniform(0.5, 1.2)
+    mu = float(rng.uniform(1.4, 4.0))
+    k = float(rng.uniform(0.3, 2.0))
+    return FileAllocationProblem.from_topology(topo, rates, k=k, mu=mu)
+
+
+def _unstable_problem(n: int = 5) -> FileAllocationProblem:
+    """Stable at construction, then its service-rate estimate collapses —
+    the drifted-overload scenario the per-row precheck guards against.
+    (The constructor requires mu > total rate, so instability can only
+    arise from post-hoc estimate updates like this.)"""
+    problem = FileAllocationProblem.from_topology(
+        ring_graph(n), np.full(n, 1.0 / n), k=1.0, mu=1.5
+    )
+    for model in problem.delay_models:
+        model.mu = 0.1  # overload: any feasible x puts some arrival > mu
+    problem._mm1_mu = np.full(n, 0.1)
+    return problem
+
+
+def _solo(problem, *, alpha, epsilon, max_iterations, x0):
+    return DecentralizedAllocator(
+        problem, alpha=alpha, epsilon=epsilon, max_iterations=max_iterations
+    ).run(x0, raise_on_failure=False)
+
+
+def _assert_row_matches_solo(row, solo) -> None:
+    """A continuous RowResult == the serial result, bit for bit."""
+    assert row.error is None
+    assert row.iterations == solo.iterations
+    assert row.converged == solo.converged
+    assert np.array_equal(row.allocation, solo.allocation)
+    assert row.cost == solo.cost
+
+
+class TestContinuousParity:
+    """The tentpole property: a row's trajectory through the continuous
+    batcher is bit-for-bit the serial engine's, no matter when it was
+    admitted, which rows it cohabited with, or how often its neighbors
+    were retired and replaced."""
+
+    def test_refill_rows_match_solo_over_25_seeds(self):
+        for seed in range(25):
+            rng = np.random.default_rng(6000 + seed)
+            n = int(rng.integers(3, 8))
+            count = int(rng.integers(5, 11))
+            specs = []
+            for i in range(count):
+                # Mixed budgets force some rows to retire unconverged at
+                # max_iterations mid-stream; shrinkage starts exercise the
+                # active-set pin loop inside a shared batch.
+                specs.append(
+                    dict(
+                        problem=_random_problem_n(rng, n),
+                        alpha=float(rng.uniform(0.05, 0.45)),
+                        epsilon=float(rng.choice([1e-3, 1e-5])),
+                        max_iterations=int(rng.choice([40, 400, 5000])),
+                        x0=_start_for(_random_problem_n(rng, n), int(rng.integers(0, 3))),
+                    )
+                )
+            cb = ContinuousBatcher(capacity=3)
+            for i, s in enumerate(specs):
+                cb.submit(
+                    s["problem"], alpha=s["alpha"], epsilon=s["epsilon"],
+                    max_iterations=s["max_iterations"], x0=s["x0"], tag=i,
+                )
+            rows = {r.tag: r for r in cb.drain()}
+            assert len(rows) == count
+            saw_budget_capped = False
+            for i, s in enumerate(specs):
+                solo = _solo(
+                    s["problem"], alpha=s["alpha"], epsilon=s["epsilon"],
+                    max_iterations=s["max_iterations"], x0=s["x0"],
+                )
+                _assert_row_matches_solo(rows[i], solo)
+                saw_budget_capped |= not solo.converged
+            stats = cb.occupancy_stats()
+            assert stats["retired"] == count
+            assert stats["row_steps"] == sum(r.iterations for r in rows.values())
+
+    def test_mid_flight_admission_leaves_inflight_rows_untouched(self):
+        rng = np.random.default_rng(42)
+        n = 5
+        slow = _random_problem_n(rng, n)
+        fast = _random_problem_n(rng, n)
+        late = _random_problem_n(rng, n)
+        cb = ContinuousBatcher(capacity=2, epsilon=1e-6)
+        cb.submit(slow, alpha=0.05, tag="slow")  # small alpha: many steps
+        cb.submit(fast, alpha=0.4, tag="fast")
+        done = []
+        for _ in range(3):
+            done.extend(cb.step())
+        # Admit a third problem while the first two are mid-flight; it
+        # queues (capacity 2) and joins when a slot frees.
+        cb.submit(late, alpha=0.3, tag="late")
+        assert cb.backlog == 1
+        done.extend(cb.drain())
+        rows = {r.tag: r for r in done}
+        for tag, problem, alpha in [
+            ("slow", slow, 0.05), ("fast", fast, 0.4), ("late", late, 0.3)
+        ]:
+            solo = _solo(
+                problem, alpha=alpha, epsilon=1e-6, max_iterations=100_000,
+                x0=np.full(n, 1.0 / n),
+            )
+            _assert_row_matches_solo(rows[tag], solo)
+
+    def test_immediately_converged_row_retires_with_zero_iterations(self):
+        rng = np.random.default_rng(3)
+        problem = _random_problem_n(rng, 4)
+        optimum = _solo(
+            problem, alpha=0.3, epsilon=1e-8, max_iterations=100_000,
+            x0=np.full(4, 0.25),
+        ).allocation
+        cb = ContinuousBatcher(capacity=2, epsilon=1e-3)
+        cb.submit(problem, alpha=0.3, x0=optimum, tag="warm")
+        (row,) = cb.drain()
+        solo = _solo(
+            problem, alpha=0.3, epsilon=1e-3, max_iterations=100_000, x0=optimum
+        )
+        assert row.iterations == solo.iterations == 0
+        _assert_row_matches_solo(row, solo)
+
+    def test_unstable_row_fails_alone_without_poisoning_slotmates(self):
+        rng = np.random.default_rng(9)
+        n = 5
+        healthy = [_random_problem_n(rng, n) for _ in range(3)]
+        cb = ContinuousBatcher(capacity=4, epsilon=1e-5)
+        cb.submit(healthy[0], alpha=0.2, tag=0)
+        cb.submit(_unstable_problem(n), alpha=0.2, tag="bad")
+        cb.submit(healthy[1], alpha=0.2, tag=1)
+        cb.submit(healthy[2], alpha=0.2, tag=2)
+        rows = {r.tag: r for r in cb.drain()}
+        assert rows["bad"].error is not None
+        assert "unstable" in rows["bad"].error
+        assert not rows["bad"].ok and rows["bad"].allocation is None
+        for i, problem in enumerate(healthy):
+            solo = _solo(
+                problem, alpha=0.2, epsilon=1e-5, max_iterations=100_000,
+                x0=np.full(n, 1.0 / n),
+            )
+            _assert_row_matches_solo(rows[i], solo)
+
+    def test_infeasible_x0_fails_at_admission(self):
+        rng = np.random.default_rng(11)
+        problem = _random_problem_n(rng, 4)
+        cb = ContinuousBatcher(capacity=2)
+        cb.submit(problem, x0=np.array([0.9, 0.9, 0.9, 0.9]), tag="bad")
+        cb.submit(problem, tag="good")
+        rows = {r.tag: r for r in cb.drain()}
+        assert rows["bad"].error is not None and not rows["bad"].ok
+        assert rows["good"].ok and rows["good"].converged
+
+    def test_occupancy_beats_lockstep_on_mixed_convergence(self):
+        # The motivating property: a stream of mixed-convergence problems
+        # keeps continuous slots nearly full, while lockstep occupancy
+        # decays toward the slowest straggler.
+        rng = np.random.default_rng(21)
+        n, count, cap = 4, 12, 3
+        problems = [_random_problem_n(rng, n) for _ in range(count)]
+        alphas = [float(a) for a in np.geomspace(0.04, 0.5, count)]
+        cb = ContinuousBatcher(capacity=cap, epsilon=1e-6)
+        for i, (p, a) in enumerate(zip(problems, alphas)):
+            cb.submit(p, alpha=a, tag=i)
+        cb.drain()
+        stats = cb.occupancy_stats()
+        assert stats["occupancy_ratio"] > 0.9
+        # Lockstep cost for the same stream, dispatched in ceil(count/cap)
+        # flush groups: each group runs to its slowest row.
+        x0 = np.full(n, 1.0 / n)
+        solo_iters = [
+            _solo(p, alpha=a, epsilon=1e-6, max_iterations=100_000, x0=x0).iterations
+            for p, a in zip(problems, alphas)
+        ]
+        flush_steps = sum(
+            max(solo_iters[i : i + cap]) for i in range(0, count, cap)
+        )
+        assert stats["steps"] < flush_steps
+
+    def test_validation(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ConfigurationError):
+            ContinuousBatcher(capacity=0)
+        with pytest.raises(ConfigurationError):
+            ContinuousBatcher(epsilon=-1.0)
+        with pytest.raises(ConfigurationError):
+            ContinuousBatcher(max_iterations=0)
+        cb = ContinuousBatcher(capacity=2)
+        with pytest.raises(ConfigurationError):
+            cb.submit(_random_problem_n(rng, 4), alpha=-0.1)
+        with pytest.raises(ConfigurationError):
+            cb.submit(_random_problem_n(rng, 4), epsilon=0.0)
+        with pytest.raises(ConfigurationError):
+            cb.submit(_random_problem_n(rng, 4), max_iterations=0)
+        cb.submit(_random_problem_n(rng, 4), tag="first")
+        cb.step()  # n pinned by the first admission
+        with pytest.raises(ConfigurationError, match="n=4"):
+            cb.submit(_random_problem_n(rng, 5))
+
+    def test_metrics_registry_counters(self):
+        rng = np.random.default_rng(17)
+        registry = MetricsRegistry()
+        cb = ContinuousBatcher(capacity=2, epsilon=1e-4, registry=registry)
+        for i in range(4):
+            cb.submit(_random_problem_n(rng, 4), alpha=0.3, tag=i)
+        rows = cb.drain()
+        assert registry.counters["continuous.admitted"] == 4
+        assert registry.counters["continuous.retired"] == 4
+        assert registry.counters["continuous.row_steps"] == sum(
+            r.iterations for r in rows
+        )
+        assert registry.gauges["continuous.capacity"] == 2.0
+
+
+class TestSolveChains:
+    def test_single_chain_is_the_serial_warm_sweep(self):
+        # One chain == the serial warm-started sweep: every link starts
+        # from its predecessor's final allocation, so measurements match
+        # bit for bit, including the iteration collapse on interior links.
+        ks = [0.5, 0.8, 1.1, 1.4, 1.7, 2.0]
+        n = 4
+        problems = [
+            FileAllocationProblem.from_topology(
+                ring_graph(n), np.full(n, 0.25), k=k, mu=1.5
+            )
+            for k in ks
+        ]
+        x0 = paper_skewed_allocation(n)  # off-optimum: the head must work
+        links = [
+            ChainLink(problem=p, alpha=0.3, epsilon=1e-4, x0=x0) for p in problems
+        ]
+        (chain_rows,) = solve_chains([links])
+        warm = x0
+        for p, row in zip(problems, chain_rows):
+            solo = _solo(p, alpha=0.3, epsilon=1e-4, max_iterations=100_000, x0=warm)
+            _assert_row_matches_solo(row, solo)
+            warm = solo.allocation
+        assert sum(r.iterations for r in chain_rows[1:]) < chain_rows[0].iterations
+
+    def test_staggered_chains_reach_the_same_optima(self):
+        ks = list(np.linspace(0.5, 2.0, 9))
+        n = 4
+        make = lambda k: FileAllocationProblem.from_topology(  # noqa: E731
+            ring_graph(n), np.full(n, 0.25), k=k, mu=1.5
+        )
+        x0 = np.full(n, 0.25)
+        single = solve_chains(
+            [[ChainLink(problem=make(k), alpha=0.3, epsilon=1e-5, x0=x0) for k in ks]]
+        )[0]
+        three = solve_chains(
+            [
+                [ChainLink(problem=make(k), alpha=0.3, epsilon=1e-5, x0=x0)
+                 for k in ks[i::3]]
+                for i in range(3)
+            ]
+        )
+        staggered = {k: row for i in range(3) for k, row in zip(ks[i::3], three[i])}
+        for k, row in zip(ks, single):
+            other = staggered[k]
+            assert other.converged and row.converged
+            assert abs(other.cost - row.cost) < 1e-4
+
+    def test_failed_link_restarts_successor_cold(self):
+        n = 5
+        rng = np.random.default_rng(33)
+        good = _random_problem_n(rng, n)
+        links = [
+            ChainLink(problem=_unstable_problem(n), alpha=0.3, epsilon=1e-4),
+            ChainLink(problem=good, alpha=0.3, epsilon=1e-4),
+        ]
+        ((bad_row, good_row),) = [solve_chains([links])[0]]
+        assert bad_row.error is not None
+        solo = _solo(
+            good, alpha=0.3, epsilon=1e-4, max_iterations=100_000,
+            x0=np.full(n, 1.0 / n),
+        )
+        _assert_row_matches_solo(good_row, solo)
+
+    def test_empty_and_ragged_chains(self):
+        rng = np.random.default_rng(5)
+        p = _random_problem_n(rng, 4)
+        results = solve_chains(
+            [[], [ChainLink(problem=p, alpha=0.3, epsilon=1e-4)]]
+        )
+        assert results[0] == []
+        assert len(results[1]) == 1 and results[1][0].converged

@@ -18,6 +18,7 @@ from repro.service import (
     REJECT_LOAD_SHED,
     REJECT_QUEUE_FULL,
     REJECT_SHUTDOWN,
+    REJECT_SOLVER_ERROR,
     AdmissionController,
     AllocationService,
     MicroBatcher,
@@ -669,3 +670,179 @@ class TestThreadedRejections:
         response = ticket.wait(0)
         assert response.status == "rejected"
         assert response.reason == REJECT_SHUTDOWN
+
+
+def _overloaded_problem(n=4):
+    """Stable at construction, then the service-rate estimate collapses
+    below the total query rate — every feasible allocation is M/M/1
+    unstable, which only the continuous dispatcher survives per-row."""
+    problem = ring_problem(n)
+    for model in problem.delay_models:
+        model.mu = 0.1
+    problem._mm1_mu = np.full(n, 0.1)
+    return problem
+
+
+class TestContinuousDispatch:
+    """The PR-7 default: grouped requests run through the row-staggered
+    ContinuousBatcher instead of group-and-flush lockstep — same
+    bit-for-bit answers, wider compatibility, per-row fault isolation."""
+
+    def test_continuous_is_the_default_mode(self):
+        assert AllocationService().batcher.mode == "continuous"
+        assert AllocationService(batch_mode="flush").batcher.mode == "flush"
+        with pytest.raises(ConfigurationError, match="mode"):
+            AllocationService(batch_mode="ragged")
+
+    def test_mixed_epsilon_and_budget_share_one_dispatch(self):
+        # Flush mode needs equal epsilon/max_iterations to group; the
+        # continuous driver carries both per row, so these four requests
+        # — two tolerances, two budgets — form ONE batch and still match
+        # their own solo reference solves exactly.
+        requests = [
+            SolveRequest(problem=p, alpha=a, epsilon=e, max_iterations=m)
+            for p, a, e, m in zip(
+                [r.problem for r in seeded_requests(4, seed=3)],
+                [0.15, 0.3, 0.2, 0.35],
+                [1e-3, 1e-5, 1e-3, 1e-5],
+                [10_000, 10_000, 25, 10_000],
+            )
+        ]
+        registry = MetricsRegistry()
+        service = AllocationService(max_batch=8, cache_size=0, registry=registry)
+        responses = service.solve_many(requests)
+        assert registry.counters["service.batches"] == 1
+        assert registry.counters["service.batch_rows"] == 4
+        assert all(r.batch_size == 4 for r in responses)
+        for request, response in zip(requests, responses):
+            ref = reference_solve(request)
+            assert np.array_equal(response.allocation, ref.allocation)
+            assert response.iterations == ref.iterations
+            assert response.converged == ref.converged
+
+    def test_group_larger_than_capacity_refills_slots(self):
+        requests = seeded_requests(10, seed=5)
+        registry = MetricsRegistry()
+        service = AllocationService(max_batch=3, cache_size=0, registry=registry)
+        responses = service.solve_many(requests)
+        for request, response in zip(requests, responses):
+            ref = reference_solve(request)
+            assert np.array_equal(response.allocation, ref.allocation)
+            assert response.iterations == ref.iterations
+        # The driver really ran staggered: 10 rows through 3 slots.
+        assert registry.counters["continuous.admitted"] == 10
+        assert registry.counters["continuous.retired"] == 10
+        assert registry.gauges["continuous.capacity"] == 3.0
+
+    def test_solver_fault_is_isolated_to_its_row(self):
+        healthy = seeded_requests(3, seed=8)
+        bad = SolveRequest(problem=_overloaded_problem(), request_id="bad")
+        registry = MetricsRegistry()
+        service = AllocationService(max_batch=8, cache_size=0, registry=registry)
+        responses = service.solve_many([healthy[0], bad, healthy[1], healthy[2]])
+        assert responses[1].status == "rejected"
+        assert responses[1].reason == REJECT_SOLVER_ERROR
+        assert "unstable" in responses[1].detail
+        assert registry.counters["service.rejected.solver_error"] == 1
+        for request, response in zip(healthy, [responses[0], responses[2], responses[3]]):
+            ref = reference_solve(request)
+            assert response.ok
+            assert np.array_equal(response.allocation, ref.allocation)
+            assert response.iterations == ref.iterations
+
+    def test_flush_mode_still_flushes(self):
+        # The PR-4 dispatcher stays available for comparison: equal keys
+        # group-and-flush through the lockstep kernel, mixed epsilon
+        # splits into separate dispatches.
+        requests = seeded_requests(4, seed=2)
+        registry = MetricsRegistry()
+        service = AllocationService(
+            max_batch=8, cache_size=0, registry=registry, batch_mode="flush"
+        )
+        responses = service.solve_many(requests)
+        assert registry.counters["service.batches"] == 1
+        assert "continuous.steps" not in registry.counters
+        for request, response in zip(requests, responses):
+            ref = reference_solve(request)
+            assert np.array_equal(response.allocation, ref.allocation)
+            assert response.iterations == ref.iterations
+
+    def test_flush_and_continuous_answers_are_identical(self):
+        requests = seeded_requests(6, seed=13)
+        flush = AllocationService(
+            max_batch=8, cache_size=0, batch_mode="flush"
+        ).solve_many(requests)
+        requests2 = seeded_requests(6, seed=13)
+        cont = AllocationService(max_batch=8, cache_size=0).solve_many(requests2)
+        for a, b in zip(flush, cont):
+            assert np.array_equal(a.allocation, b.allocation)
+            assert a.cost == b.cost
+            assert a.iterations == b.iterations
+
+    def test_claim_compatible_takes_only_matching_pending(self):
+        from repro.service import ContinuousBatchKey, continuous_batch_key
+
+        service = AllocationService(max_batch=8, cache_size=0)
+        r4a = SolveRequest(problem=ring_problem(4))
+        r5 = SolveRequest(problem=ring_problem(5))
+        r4b = SolveRequest(problem=ring_problem(4, k=2.0))
+        tickets = [service.submit(r) for r in (r4a, r5, r4b)]
+        key = continuous_batch_key(r4a)
+        assert key == ContinuousBatchKey(n=4)
+        claimed, resolved = service._claim_compatible(key, limit=8)
+        assert [t.request.request_id for t in claimed] == [
+            r4a.request_id, r4b.request_id
+        ]
+        assert resolved == 0
+        # The n=5 request stayed queued, in order, and still solves.
+        assert [t.request.request_id for t in service._pending] == [r5.request_id]
+        service.pump()
+        assert tickets[1].done() and tickets[1].response.ok
+
+    def test_claim_compatible_preflights_cache_hits(self):
+        service = AllocationService(max_batch=8)
+        first = SolveRequest(problem=ring_problem())
+        service.solve(first)  # populate the cache
+        repeat = SolveRequest(problem=ring_problem())
+        ticket = service.submit(repeat)
+        from repro.service import continuous_batch_key
+
+        claimed, resolved = service._claim_compatible(
+            continuous_batch_key(repeat), limit=8
+        )
+        assert claimed == [] and resolved == 1
+        assert ticket.done() and ticket.response.cache == "hit"
+
+    def test_threaded_continuous_under_concurrent_load(self):
+        import threading
+
+        requests = seeded_requests(24, seed=19)
+        refs = [reference_solve(r) for r in requests]
+        registry = MetricsRegistry()
+        service = AllocationService(
+            max_batch=4, cache_size=0, registry=registry, batch_window_s=0.002
+        ).start()
+        tickets = [None] * len(requests)
+        try:
+            def submit_range(lo, hi):
+                for i in range(lo, hi):
+                    tickets[i] = service.submit(requests[i])
+
+            threads = [
+                threading.Thread(target=submit_range, args=(lo, lo + 8))
+                for lo in (0, 8, 16)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            responses = [t.wait(60.0) for t in tickets]
+        finally:
+            service.stop()
+        # Whatever interleaving the threads produced — grouped dispatch,
+        # mid-flight joins, singletons — every answer is bit-for-bit the
+        # reference solve.
+        for ref, response in zip(refs, responses):
+            assert response.ok
+            assert np.array_equal(response.allocation, ref.allocation)
+            assert response.iterations == ref.iterations

@@ -1,0 +1,78 @@
+"""Check that documentation cross-references resolve.
+
+Scans ``README.md`` and every ``docs/*.md`` for
+
+* markdown links ``[text](target)`` — external schemes and pure
+  ``#anchor`` links are skipped; relative targets (anchor stripped) must
+  exist on disk, resolved against the containing file's directory;
+* prose mentions of ``docs/<name>.md``, ``benchmarks/<name>``,
+  ``tools/<name>`` and ``tests/<name>`` paths — cheap to check and the
+  most common way these docs point at artifacts outside ``docs/``.
+
+Exits non-zero listing every broken reference.  Run standalone or as the
+CI docs step:
+
+    python tools/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Repo-relative paths mentioned in prose/code spans, e.g. ``docs/API.md``.
+PROSE_PATH = re.compile(
+    r"\b((?:docs|benchmarks|tools|tests)/[A-Za-z0-9_.-]+\.[A-Za-z0-9]+)\b"
+)
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> list[Path]:
+    files = [ROOT / "README.md"]
+    files.extend(sorted((ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    text = path.read_text()
+    rel = path.relative_to(ROOT)
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in MARKDOWN_LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                errors.append(f"{rel}:{lineno}: broken link -> {match.group(1)}")
+        for match in PROSE_PATH.finditer(line):
+            target = ROOT / match.group(1)
+            if not target.exists():
+                errors.append(f"{rel}:{lineno}: missing path -> {match.group(1)}")
+    return errors
+
+
+def main() -> int:
+    files = doc_files()
+    errors = []
+    for path in files:
+        errors.extend(check_file(path))
+    if errors:
+        print(f"{len(errors)} broken doc reference(s):")
+        for err in errors:
+            print(f"  {err}")
+        return 1
+    print(f"doc links OK ({len(files)} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
