@@ -192,6 +192,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="solution-cache capacity (0 disables caching)",
     )
     serve.add_argument(
+        "--cache-ttl", type=float, default=None, metavar="SECONDS",
+        help="cache entry TTL (default: no expiry)",
+    )
+    serve.add_argument(
+        "--cache-eviction", choices=["lru", "cost"], default="lru",
+        help="cache eviction policy: recency, or value-weighted by "
+             "solver iterations saved",
+    )
+    serve.add_argument(
+        "--cache-budget", type=int, default=None, metavar="BYTES",
+        help="byte budget on retained cache entries (default: unbounded)",
+    )
+    serve.add_argument(
+        "--drift-threshold", type=float, default=None, metavar="DRIFT",
+        help="enable drift tracking: demote exact cache hits to warm "
+             "re-solves once the traffic estimate drifts this far "
+             "(relative L2) from the entry's epoch",
+    )
+    serve.add_argument(
+        "--drift-window", type=int, default=16,
+        help="EMA window of the drift tracker's per-structure estimate",
+    )
+    serve.add_argument(
         "--queue-depth", type=int, default=1024,
         help="admission bound on pending requests",
     )
@@ -248,6 +271,30 @@ def _build_parser() -> argparse.ArgumentParser:
     net_serve.add_argument(
         "--cache-ttl", type=float, default=None, metavar="SECONDS",
         help="per-worker cache entry TTL (default: no expiry)",
+    )
+    net_serve.add_argument(
+        "--cache-eviction", choices=["lru", "cost"], default="lru",
+        help="per-worker cache eviction policy: recency, or "
+             "value-weighted by solver iterations saved",
+    )
+    net_serve.add_argument(
+        "--cache-budget", type=int, default=None, metavar="BYTES",
+        help="per-worker byte budget on retained cache entries",
+    )
+    net_serve.add_argument(
+        "--drift-threshold", type=float, default=None, metavar="DRIFT",
+        help="enable per-worker drift tracking: demote exact cache hits "
+             "to warm re-solves once the traffic estimate drifts this far",
+    )
+    net_serve.add_argument(
+        "--drift-window", type=int, default=16,
+        help="EMA window of the drift tracker's per-structure estimate",
+    )
+    net_serve.add_argument(
+        "--lookaside", action="store_true",
+        help="enable the cross-shard lookaside donor tier (requests "
+             "missing their shard's cache warm-start from other shards' "
+             "converged solutions)",
     )
     net_serve.add_argument(
         "--queue-depth", type=int, default=1024,
@@ -536,6 +583,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     service = AllocationService(
         max_batch=args.max_batch,
         cache_size=args.cache_size,
+        cache_ttl_s=args.cache_ttl,
+        cache_eviction=args.cache_eviction,
+        cache_max_bytes=args.cache_budget,
+        drift_threshold=args.drift_threshold,
+        drift_window=args.drift_window,
         admission=AdmissionController(
             max_queue_depth=args.queue_depth, default_timeout_s=args.timeout
         ),
@@ -630,6 +682,11 @@ def _cmd_net_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         cache_size=args.cache_size,
         cache_ttl_s=args.cache_ttl,
+        cache_eviction=args.cache_eviction,
+        cache_max_bytes=args.cache_budget,
+        drift_threshold=args.drift_threshold,
+        drift_window=args.drift_window,
+        lookaside=args.lookaside,
         queue_depth=args.queue_depth,
         default_timeout_s=args.timeout,
     )

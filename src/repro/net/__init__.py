@@ -78,6 +78,7 @@ from repro.net.framing import (
     encode_frame,
     send_frame,
 )
+from repro.net.lookaside import LookasideTier, donor_record, params_from_payload
 from repro.net.router import ShardRouter, shard_of_key
 from repro.net.server import (
     REJECT_OVERLOADED,
@@ -95,6 +96,7 @@ __all__ = [
     "CLIENT_CODECS",
     "FrameError",
     "FrameReader",
+    "LookasideTier",
     "MAX_FRAME_BYTES",
     "NetAuthError",
     "NetClient",
@@ -111,8 +113,10 @@ __all__ = [
     "WorkerHandle",
     "decode_binary_frames",
     "decode_frames",
+    "donor_record",
     "encode_binary_frame",
     "encode_frame",
+    "params_from_payload",
     "send_binary_frame",
     "send_frame",
     "shard_of_key",

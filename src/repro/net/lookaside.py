@@ -1,0 +1,241 @@
+"""The cross-shard lookaside donor tier.
+
+Affinity routing makes shards cache-*disjoint* by design: a structural
+fingerprint always lands on the same shard, so each worker's
+:class:`~repro.service.SolutionCache` only ever sees its own slice of
+the keyspace.  That is exactly right until fingerprints *drift* — a cost
+matrix perturbed by re-measured link weights hashes to a new structural
+key, routes to a different shard, and solves cold there even though
+another worker holds a converged solution a few iterations away.
+
+:class:`LookasideTier` is the read-mostly donor store that closes that
+gap.  It lives in the server process (one per :class:`~repro.net.NetServer`)
+and holds compact **donor records** — parameter vector, converged
+allocation, solve cost — published by every worker's converged solves.
+Donor records are indexed by problem *size* (not structural key: crossing
+structure boundaries is the point) and matched by the same relative
+parameter distance the local cache uses.  On dispatch the server attaches
+the best donor as a **hint** to each payload; the worker consults hints
+only for requests its *local* cache missed, via the service's
+``lookaside`` hook, so the tier never shadows a local hit or a closer
+local donor.  A hint that is used warm-starts the solve exactly like a
+local near-miss — the effective request is identical, which is what makes
+lookaside answers bit-for-bit the same as local warm starts from the same
+donor — and the response reports ``cache="lookaside"``.
+
+The tier also works purely in-process: attach one instance as the
+``lookaside`` hook of several :class:`~repro.service.AllocationService`
+instances and they share donors directly (:meth:`get` / :meth:`publish`
+are the hook interface; the wire-record form is what crosses worker
+pipes).
+
+Capacity is a bounded FIFO over publish order with replace-on-republish
+(records are keyed by *problem* fingerprint, so re-solving the same
+problem from a different start refreshes its record instead of
+duplicating it).  Metrics: ``net.lookaside.published`` counts accepted
+records, ``net.lookaside.hits`` donors handed out, and the
+``net.lookaside.size`` gauge tracks occupancy.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.obs.registry import MetricsRegistry
+from repro.service.fingerprint import parameter_vector, problem_fingerprint
+
+__all__ = ["LookasideTier", "donor_record", "params_from_payload"]
+
+
+def donor_record(request, result) -> Optional[Dict]:
+    """The compact, picklable wire form of one converged solve.
+
+    ``None`` for problems without a parameter vector (non-M/M/1) — they
+    cannot be distance-matched, so they cannot donate.
+    """
+    params = parameter_vector(request.problem)
+    if params is None:
+        return None
+    return {
+        "key": problem_fingerprint(request.problem),
+        "n": int(request.problem.n),
+        "params": params,
+        "allocation": np.array(result.allocation, dtype=float, copy=True),
+        "iterations": int(result.iterations),
+    }
+
+
+def params_from_payload(payload: Dict) -> Optional[np.ndarray]:
+    """The parameter vector of a raw wire payload, without building a
+    :class:`~repro.core.model.FileAllocationProblem`.
+
+    Byte-compatible with :func:`~repro.service.fingerprint.parameter_vector`
+    on the parsed problem (same concatenation, float64 throughout), which
+    is what lets the server rank donors for a binary-codec payload it
+    never parses.  ``None`` when the payload is a topology shorthand or
+    malformed — those simply get no hint.
+    """
+    problem = payload.get("problem")
+    if not isinstance(problem, dict):
+        return None
+    rates = problem.get("access_rates")
+    mu = problem.get("mu")
+    if rates is None or mu is None:
+        return None
+    try:
+        rates = np.asarray(rates, dtype=float).ravel()
+        mu = np.asarray(mu, dtype=float).ravel()
+        k = float(problem.get("k", 1.0))
+    except (TypeError, ValueError):
+        return None
+    if mu.size == 1 and rates.size > 1:
+        mu = np.full(rates.size, mu[0])
+    if mu.size != rates.size or rates.size == 0:
+        return None
+    return np.concatenate([rates, mu, [k]])
+
+
+class LookasideTier:
+    """Bounded cross-shard donor store (see module docstring).
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained donor records (FIFO over publish order, with
+        replace-on-republish).
+    max_distance:
+        Largest relative parameter distance at which a record still
+        donates — the same eligibility radius as the local cache's
+        ``max_warm_distance``.
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` for the
+        ``net.lookaside.*`` family.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        *,
+        max_distance: float = 1.0,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if capacity < 1:
+            raise ConfigurationError("capacity must be >= 1")
+        if max_distance <= 0:
+            raise ConfigurationError("max_distance must be positive")
+        self.capacity = int(capacity)
+        self.max_distance = float(max_distance)
+        self.registry = registry
+        self._records: "OrderedDict[str, Dict]" = OrderedDict()
+        self._by_n: Dict[int, "OrderedDict[str, Dict]"] = {}
+        #: Per-size vectorized view: (records, params matrix).
+        self._views: Dict[int, Tuple[List[Dict], np.ndarray]] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    # -- publishing ------------------------------------------------------------
+
+    def insert(self, record: Dict) -> None:
+        """Fold one wire-form donor record into the tier."""
+        key = record.get("key")
+        params = record.get("params")
+        if key is None or params is None:
+            return
+        n = int(record["n"])
+        with self._lock:
+            old = self._records.pop(key, None)
+            if old is not None:
+                self._by_n.get(int(old["n"]), {}).pop(key, None)
+                self._views.pop(int(old["n"]), None)
+            self._records[key] = record
+            self._by_n.setdefault(n, OrderedDict())[key] = record
+            self._views.pop(n, None)
+            while len(self._records) > self.capacity:
+                _, evicted = self._records.popitem(last=False)
+                en = int(evicted["n"])
+                bucket = self._by_n.get(en)
+                if bucket is not None:
+                    bucket.pop(evicted["key"], None)
+                    if not bucket:
+                        self._by_n.pop(en, None)
+                self._views.pop(en, None)
+            size = len(self._records)
+        if self.registry is not None:
+            self.registry.counter_inc("net.lookaside.published")
+            self.registry.gauge_set("net.lookaside.size", float(size))
+
+    def publish(self, request, result) -> None:
+        """Service-hook form of :meth:`insert` (in-process sharing)."""
+        record = donor_record(request, result)
+        if record is not None:
+            self.insert(record)
+
+    # -- donor search ----------------------------------------------------------
+
+    def donor_for_params(
+        self, n: int, params: Optional[np.ndarray]
+    ) -> Optional[np.ndarray]:
+        """The closest donor allocation for an ``n``-node problem with
+        parameter vector ``params``, or ``None`` outside ``max_distance``."""
+        if params is None:
+            return None
+        with self._lock:
+            view = self._views.get(n)
+            if view is None:
+                bucket = self._by_n.get(n)
+                if not bucket:
+                    return None
+                records = list(bucket.values())
+                view = (records, np.stack([r["params"] for r in records]))
+                self._views[n] = view
+            records, matrix = view
+            if matrix.shape[1] != params.shape[0]:
+                return None
+            scale = np.maximum(np.maximum(np.abs(matrix), np.abs(params)), 1e-300)
+            rel = (matrix - params) / scale
+            distances = np.sqrt(np.sum(rel * rel, axis=1))
+            best = int(np.argmin(distances))
+            if float(distances[best]) > self.max_distance:
+                return None
+            donor = records[best]["allocation"]
+        if self.registry is not None:
+            self.registry.counter_inc("net.lookaside.hits")
+        return np.array(donor, dtype=float, copy=True)
+
+    def donor_for_payload(self, payload: Dict) -> Optional[np.ndarray]:
+        """Donor lookup straight from a wire payload (server dispatch
+        path; no problem construction)."""
+        params = params_from_payload(payload)
+        if params is None:
+            return None
+        # params = rates ++ mu ++ [k]: n is (len - 1) / 2.
+        return self.donor_for_params((params.shape[0] - 1) // 2, params)
+
+    def get(self, request) -> Optional[np.ndarray]:
+        """Service-hook form of :meth:`donor_for_params` — consulted by
+        :class:`~repro.service.AllocationService` on local cache misses."""
+        return self.donor_for_params(
+            request.problem.n, parameter_vector(request.problem)
+        )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self._by_n.clear()
+            self._views.clear()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            size, buckets = len(self._records), len(self._by_n)
+        return (
+            f"LookasideTier(size={size}/{self.capacity}, sizes={buckets}, "
+            f"max_distance={self.max_distance:g})"
+        )

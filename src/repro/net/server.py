@@ -65,6 +65,7 @@ from repro.net import binary as _binary
 from repro.net import framing as _framing
 from repro.net.binary import BINARY_MAGIC, BinaryFrameError, encode_binary_frame
 from repro.net.framing import FrameError, encode_frame
+from repro.net.lookaside import LookasideTier
 from repro.net.router import ShardRouter
 from repro.net.worker import (
     ERROR_WORKER_RESTARTED,
@@ -173,6 +174,23 @@ class NetServer:
         bounds each *shard* queue: requests beyond it are answered with
         structured ``overloaded`` rejections instead of queuing without
         bound behind a slow worker.
+    cache_eviction, cache_max_bytes:
+        Per-worker cache policy: ``"lru"`` (default) or ``"cost"``
+        (value-weighted eviction), plus an optional byte budget (see
+        :class:`~repro.service.SolutionCache`).
+    drift_threshold, drift_window:
+        When ``drift_threshold`` is set, each worker runs a
+        :class:`~repro.service.DriftTracker`: exact cache hits stored
+        under a drifted traffic estimate are demoted to warm re-solves.
+    lookaside:
+        Enable the cross-shard :class:`~repro.net.lookaside.LookasideTier`:
+        converged solves publish compact donor records back through the
+        worker pipes, and dispatches carry the tier's best donor as a
+        hint so a request routed to one shard can warm-start from
+        another shard's solution when fingerprints drift across affinity
+        boundaries.  Off by default (shards stay fully disjoint).
+    lookaside_capacity:
+        Donor records retained by the tier.
     batch_window_s:
         How long a shard thread lingers collecting further queued
         requests (up to ``max_batch``) before dispatching a group to its
@@ -199,6 +217,12 @@ class NetServer:
         max_batch: int = 32,
         cache_size: int = 256,
         cache_ttl_s: Optional[float] = None,
+        cache_eviction: str = "lru",
+        cache_max_bytes: Optional[int] = None,
+        drift_threshold: Optional[float] = None,
+        drift_window: int = 16,
+        lookaside: bool = False,
+        lookaside_capacity: int = 512,
         queue_depth: int = 1024,
         batch_window_s: float = 0.0,
         default_timeout_s: Optional[float] = None,
@@ -224,6 +248,16 @@ class NetServer:
             cache_ttl_s=cache_ttl_s,
             queue_depth=queue_depth,
             default_timeout_s=default_timeout_s,
+            cache_eviction=cache_eviction,
+            cache_max_bytes=cache_max_bytes,
+            drift_threshold=drift_threshold,
+            drift_window=drift_window,
+            lookaside=lookaside,
+        )
+        self.lookaside = (
+            LookasideTier(lookaside_capacity, registry=self.registry)
+            if lookaside
+            else None
         )
         self._secret = secret.encode("utf-8") if isinstance(secret, str) else secret
         # Hot-path metric names, built once: the routing path touches two
@@ -813,8 +847,14 @@ class NetServer:
 
     def _dispatch(self, worker: WorkerHandle, batch: List[_WorkItem]) -> None:
         payloads = [item.payload for item in batch]
+        if self.lookaside is not None:
+            hints = [self.lookaside.donor_for_payload(p) for p in payloads]
+            message = ("solve", payloads, hints)
+        else:
+            message = ("solve", payloads)
         try:
-            kind, results = worker.roundtrip(("solve", payloads))
+            reply = worker.roundtrip(message)
+            kind, results = reply[0], reply[1] if len(reply) > 1 else None
         except WorkerCrashed as exc:
             self.registry.counter_inc("net.worker_restarts")
             self.registry.counter_inc("net.requests_lost", len(batch))
@@ -831,7 +871,7 @@ class NetServer:
                     }
                 )
             return
-        if kind != "results" or len(results) != len(batch):
+        if kind != "results" or not isinstance(results, list) or len(results) != len(batch):
             for item in batch:
                 item.reply(
                     {
@@ -841,6 +881,9 @@ class NetServer:
                     }
                 )
             return
+        if self.lookaside is not None and len(reply) > 2:
+            for record in reply[2]:
+                self.lookaside.insert(record)
         for item, result in zip(batch, results):
             item.reply(result)
 
@@ -908,6 +951,9 @@ class NetServer:
             for shard, q in enumerate(self._queues)
         ]
         snapshot["routing"] = self.router.policy
+        snapshot["lookaside"] = (
+            len(self.lookaside) if self.lookaside is not None else None
+        )
         snapshot["codec"] = self.codec
         snapshot["auth"] = self._secret is not None
         snapshot["draining"] = self._draining

@@ -9,7 +9,13 @@ messages on a duplex pipe from the server:
   — parse each wire-format payload, solve the parseable ones **as one
   group** (so the worker's micro-batcher sees them together), and return
   responses in input order with per-payload parse errors slotted in
-  place;
+  place.  With the lookaside tier enabled the solve message grows a
+  third element — per-payload donor hints from the server's
+  :class:`~repro.net.lookaside.LookasideTier` (``None`` where the tier
+  had nothing) — and the reply a third of its own: the donor records of
+  this group's converged solves, which the server folds back into the
+  tier.  Hints are consulted only for requests the worker's *local*
+  cache missed, so the tier never shadows a local hit or donor;
 * ``("stats",)`` → ``("stats", snapshot)`` — the worker registry's
   plain-dict snapshot, which the server merges across workers;
 * ``("shutdown",)`` — exit cleanly.
@@ -53,18 +59,80 @@ class WorkerConfig:
     cache_ttl_s: Optional[float] = None
     queue_depth: int = 1024
     default_timeout_s: Optional[float] = None
+    #: Cache eviction policy: ``"lru"`` or ``"cost"`` (value-weighted).
+    cache_eviction: str = "lru"
+    #: Optional byte budget on the worker's cache.
+    cache_max_bytes: Optional[int] = None
+    #: Drift threshold for estimate-epoch invalidation; ``None`` disables
+    #: drift tracking entirely.
+    drift_threshold: Optional[float] = None
+    #: EMA window of the drift tracker's per-structure estimate.
+    drift_window: int = 16
+    #: Accept cross-shard donor hints (and publish converged solves back).
+    lookaside: bool = False
+
+
+class _PipeLookaside:
+    """The worker half of the lookaside protocol: a service ``lookaside``
+    hook fed by per-dispatch hints, collecting donor records to ship back.
+
+    ``get`` serves the hint the server attached for this request (only
+    consulted on a local cache miss — the service's hook contract), and
+    ``publish`` queues the solve's donor record for the reply."""
+
+    def __init__(self):
+        self._hints: Dict[str, object] = {}
+        self._outbox: List[Dict] = []
+
+    def load_hints(self, hints: Dict[str, object]) -> None:
+        self._hints = hints
+
+    def get(self, request):
+        return self._hints.get(request.request_id)
+
+    def publish(self, request, result) -> None:
+        from repro.net.lookaside import donor_record
+
+        record = donor_record(request, result)
+        if record is not None:
+            self._outbox.append(record)
+
+    def drain(self) -> List[Dict]:
+        out, self._outbox = self._outbox, []
+        self._hints = {}
+        return out
 
 
 def _build_service(config: WorkerConfig):
     from repro.obs import MetricsRegistry
-    from repro.service import AdmissionController, AllocationService, SolutionCache
+    from repro.service import (
+        AdmissionController,
+        AllocationService,
+        DriftTracker,
+        SolutionCache,
+    )
 
     registry = MetricsRegistry()
+    drift = (
+        DriftTracker(
+            threshold=config.drift_threshold,
+            window=config.drift_window,
+            registry=registry,
+        )
+        if config.drift_threshold is not None
+        else None
+    )
     service = AllocationService(
         max_batch=config.max_batch,
         cache=SolutionCache(
-            config.cache_size, ttl_s=config.cache_ttl_s, registry=registry
+            config.cache_size,
+            ttl_s=config.cache_ttl_s,
+            eviction=config.cache_eviction,
+            max_bytes=config.cache_max_bytes,
+            drift=drift,
+            registry=registry,
         ),
+        lookaside=_PipeLookaside() if config.lookaside else None,
         admission=AdmissionController(
             max_queue_depth=config.queue_depth,
             default_timeout_s=config.default_timeout_s,
@@ -74,23 +142,34 @@ def _build_service(config: WorkerConfig):
     return service, registry
 
 
-def solve_payloads(service, payloads: List[Dict]) -> List[Dict]:
+def solve_payloads(
+    service, payloads: List[Dict], hints: Optional[List[object]] = None
+) -> List[Dict]:
     """Solve one group of wire-format payloads; responses in input order.
 
     Parse failures become in-band error dicts; an unexpected dispatch
     exception becomes an error dict on every still-unresolved slot —
     the worker never dies because one payload was poisonous.
+
+    ``hints`` (aligned with ``payloads``) carries the server's lookaside
+    donors; they are loaded into the service's pipe-lookaside hook so a
+    local cache miss can warm-start from another shard's solution.
     """
     from repro.service.codec import safe_parse
 
     slots: List[Optional[Dict]] = [None] * len(payloads)
     tickets: List[Tuple[int, object]] = []
+    hint_map: Dict[str, object] = {}
     for i, payload in enumerate(payloads):
         request, error = safe_parse(payload)
         if error is not None:
             slots[i] = error
             continue
+        if hints is not None and i < len(hints) and hints[i] is not None:
+            hint_map[request.request_id] = hints[i]
         tickets.append((i, service.submit(request)))
+    if isinstance(getattr(service, "lookaside", None), _PipeLookaside):
+        service.lookaside.load_hints(hint_map)
     try:
         if any(not ticket.done() for _, ticket in tickets):
             service.pump()
@@ -126,7 +205,12 @@ def worker_main(conn, config: WorkerConfig) -> None:
             if kind == "stats":
                 reply = ("stats", registry.snapshot())
             elif kind == "solve":
-                reply = ("results", solve_payloads(service, message[1]))
+                hints = message[2] if len(message) > 2 else None
+                results = solve_payloads(service, message[1], hints)
+                if isinstance(service.lookaside, _PipeLookaside):
+                    reply = ("results", results, service.lookaside.drain())
+                else:
+                    reply = ("results", results)
             else:
                 reply = ("error", f"unknown worker message {kind!r}")
             conn.send(reply)

@@ -42,7 +42,7 @@ from repro.service.batcher import (
     batch_key,
     continuous_batch_key,
 )
-from repro.service.cache import CacheEntry, SolutionCache
+from repro.service.cache import EVICTION_POLICIES, CacheEntry, SolutionCache
 from repro.service.codec import (
     iter_request_payloads,
     parse_request,
@@ -51,9 +51,12 @@ from repro.service.codec import (
     response_to_dict,
     safe_parse,
 )
+from repro.service.drift import DriftState, DriftTracker
 from repro.service.fingerprint import (
     parameter_distance,
+    parameter_vector,
     problem_fingerprint,
+    relative_distance,
     request_fingerprint,
     structural_key,
     structural_key_from_matrix,
@@ -79,6 +82,9 @@ __all__ = [
     "CacheEntry",
     "CacheLookup",
     "ContinuousBatchKey",
+    "DriftState",
+    "DriftTracker",
+    "EVICTION_POLICIES",
     "MicroBatch",
     "MicroBatcher",
     "PendingSolve",
@@ -95,8 +101,10 @@ __all__ = [
     "continuous_batch_key",
     "iter_request_payloads",
     "parameter_distance",
+    "parameter_vector",
     "parse_request",
     "problem_fingerprint",
+    "relative_distance",
     "request_fingerprint",
     "request_to_payload",
     "response_from_dict",

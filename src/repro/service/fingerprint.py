@@ -39,6 +39,8 @@ __all__ = [
     "structural_key",
     "structural_key_from_matrix",
     "parameter_distance",
+    "parameter_vector",
+    "relative_distance",
 ]
 
 
@@ -115,6 +117,40 @@ def structural_key_from_matrix(cost_matrix) -> str:
     return h.hexdigest()
 
 
+def parameter_vector(problem: FileAllocationProblem) -> Optional[np.ndarray]:
+    """The problem's parameters as one flat float64 vector.
+
+    Concatenates the access-rate vector, the M/M/1 service-rate vector,
+    and ``k`` — the exact components :func:`parameter_distance` compares.
+    Precomputing this at cache-store time is what lets the donor search
+    rank a whole structural bucket in one vectorized pass instead of
+    rebuilding per-entry arrays per probe.  ``None`` for non-M/M/1
+    problems (which are uncacheable anyway).
+    """
+    if not problem.has_vectorized_evaluate:
+        return None
+    return np.concatenate(
+        [problem.access_rates, problem.mm1_service_rates(), [problem.k]]
+    ).astype(float, copy=False)
+
+
+def relative_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Relative L2 distance between two flat parameter vectors.
+
+    The scalar form of the bucket-wide computation in
+    :meth:`~repro.service.cache.SolutionCache._nearest`: each component
+    is scaled by ``max(|a|, |b|)`` so the result reads as "fractions of
+    the operating point".  ``inf`` on shape mismatch.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        return float("inf")
+    scale = np.maximum(np.maximum(np.abs(a), np.abs(b)), 1e-300)
+    rel = (a - b) / scale
+    return float(np.sqrt(np.sum(rel * rel)))
+
+
 def parameter_distance(
     a: FileAllocationProblem, b: FileAllocationProblem
 ) -> float:
@@ -128,14 +164,7 @@ def parameter_distance(
     """
     if a.n != b.n:
         return float("inf")
-    if not (a.has_vectorized_evaluate and b.has_vectorized_evaluate):
+    va, vb = parameter_vector(a), parameter_vector(b)
+    if va is None or vb is None:
         return float("inf")
-    pieces = []
-    for va, vb in (
-        (a.access_rates, b.access_rates),
-        (a.mm1_service_rates(), b.mm1_service_rates()),
-        (np.array([a.k]), np.array([b.k])),
-    ):
-        scale = np.maximum(np.maximum(np.abs(va), np.abs(vb)), 1e-300)
-        pieces.append((va - vb) / scale)
-    return float(np.sqrt(sum(float(np.sum(p * p)) for p in pieces)))
+    return relative_distance(va, vb)

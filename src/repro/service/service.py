@@ -56,6 +56,7 @@ from repro.service.batcher import (
     continuous_batch_key,
 )
 from repro.service.cache import SolutionCache
+from repro.service.drift import DriftTracker
 from repro.service.types import (
     REJECT_SHUTDOWN,
     REJECT_SOLVER_ERROR,
@@ -76,10 +77,17 @@ class PendingSolve:
     def __init__(self, request: SolveRequest, submitted_at: float):
         self.request = request
         self.submitted_at = submitted_at
-        #: Cache disposition attached during the pump ("hit"/"warm"/"miss").
+        #: Cache disposition attached during the pump
+        #: ("hit"/"warm"/"lookaside"/"miss").
         self.cache_status = "miss"
         #: Donor allocation for warm starts (set during the pump).
         self.warm_allocation: Optional[np.ndarray] = None
+        #: Fingerprint of the local donor entry (for crediting the donor
+        #: with the iterations its warm start saved, once known).
+        self.warm_donor_fp: Optional[str] = None
+        #: The donor's own solve cost — the baseline the warm solve is
+        #: credited against.
+        self.warm_donor_iterations: int = 0
         self._event = threading.Event()
         self._response: Optional[SolveResponse] = None
 
@@ -143,12 +151,39 @@ class AllocationService:
         by synchronous :meth:`pump` (whatever is pending is the batch).
     cache:
         A :class:`~repro.service.cache.SolutionCache` to use, or ``None``
-        to build one from ``cache_size`` / ``max_warm_distance``.
+        to build one from the ``cache_*`` / ``max_warm_distance`` /
+        ``drift`` knobs below (all of which are ignored when an explicit
+        cache is passed — configure it directly instead).
     cache_size:
         Capacity of the built-in cache; 0 disables caching.
     max_warm_distance:
         Donor-eligibility radius for warm starts (see
         :class:`~repro.service.cache.SolutionCache`).
+    cache_ttl_s:
+        TTL of built-in cache entries; ``None`` (default) disables
+        expiry.
+    cache_eviction:
+        Eviction policy of the built-in cache: ``"lru"`` (default) or
+        ``"cost"`` (value-weighted by solver iterations saved).
+    cache_max_bytes:
+        Optional byte budget of the built-in cache.
+    drift:
+        Optional :class:`~repro.service.drift.DriftTracker` threaded into
+        the built-in cache: every request feeds the per-structure traffic
+        estimate, and exact hits stored under a drifted epoch are demoted
+        to warm-start re-solves.  Built automatically when
+        ``drift_threshold`` is set instead.
+    drift_threshold / drift_window:
+        Shorthand for ``drift=DriftTracker(threshold=..., window=...)``
+        when no tracker (and no explicit cache) is passed.
+    lookaside:
+        Optional cross-shard donor tier — any object with
+        ``get(request) -> Optional[np.ndarray]`` and
+        ``publish(request, result) -> None`` (see
+        :class:`~repro.net.lookaside.LookasideTier`).  Consulted only on
+        local cache misses; a donor it returns warm-starts the solve and
+        the response reports ``cache="lookaside"``.  Converged solves are
+        published back so other shards can draw from them.
     admission:
         An :class:`~repro.service.admission.AdmissionController`, or
         ``None`` for the defaults (depth 1024, no shedding, no deadline).
@@ -169,6 +204,13 @@ class AllocationService:
         cache: Optional[SolutionCache] = None,
         cache_size: int = 256,
         max_warm_distance: float = 1.0,
+        cache_ttl_s: Optional[float] = None,
+        cache_eviction: str = "lru",
+        cache_max_bytes: Optional[int] = None,
+        drift: Optional[DriftTracker] = None,
+        drift_threshold: Optional[float] = None,
+        drift_window: int = 16,
+        lookaside=None,
         admission: Optional[AdmissionController] = None,
         registry: Optional[MetricsRegistry] = None,
         clock=time.monotonic,
@@ -178,13 +220,23 @@ class AllocationService:
         self.batcher = MicroBatcher(max_batch=max_batch, mode=batch_mode)
         self.batch_window_s = float(batch_window_s)
         self.admission = admission if admission is not None else AdmissionController()
-        self.cache = (
-            cache
-            if cache is not None
-            else SolutionCache(
-                cache_size, max_warm_distance=max_warm_distance, registry=registry
+        if cache is None:
+            if drift is None and drift_threshold is not None:
+                drift = DriftTracker(
+                    threshold=drift_threshold, window=drift_window, registry=registry
+                )
+            cache = SolutionCache(
+                cache_size,
+                max_warm_distance=max_warm_distance,
+                ttl_s=cache_ttl_s,
+                eviction=cache_eviction,
+                max_bytes=cache_max_bytes,
+                drift=drift,
+                registry=registry,
+                clock=clock,
             )
-        )
+        self.cache = cache
+        self.lookaside = lookaside
         self._pending: List[PendingSolve] = []
         self._cond = threading.Condition()
         self._latencies: deque = deque(maxlen=4096)
@@ -282,6 +334,19 @@ class AllocationService:
             item.cache_status = lookup.status
             if lookup.status == "warm":
                 item.warm_allocation = lookup.entry.allocation.copy()
+                item.warm_donor_fp = lookup.entry.fingerprint
+                item.warm_donor_iterations = lookup.entry.iterations
+            elif self.lookaside is not None:
+                donor = self.lookaside.get(item.request)
+                if donor is not None:
+                    # A cross-shard donor: same warm-start mechanics as a
+                    # local near-miss (and therefore the same parity —
+                    # the effective request is identical either way),
+                    # just sourced from another shard's converged solve.
+                    item.cache_status = "lookaside"
+                    item.warm_allocation = np.array(donor, dtype=float, copy=True)
+                    if self.registry is not None:
+                        self.registry.counter_inc("service.cache.lookaside")
             to_solve.append(item)
         return to_solve, resolved
 
@@ -417,6 +482,14 @@ class AllocationService:
 
     def _finish_solved(self, item: PendingSolve, result, *, batch_size: int) -> None:
         self.cache.store(item.effective_request, result)
+        if item.warm_donor_fp is not None:
+            # Credit the donor with the iterations its warm start saved
+            # (its own solve cost stands in for the cold solve avoided).
+            self.cache.credit_warm(
+                item.warm_donor_fp, item.warm_donor_iterations - result.iterations
+            )
+        if self.lookaside is not None and result.converged:
+            self.lookaside.publish(item.effective_request, result)
         if self.registry is not None:
             self.registry.counter_inc("service.solved")
             self.registry.counter_inc("service.solver_iterations", result.iterations)

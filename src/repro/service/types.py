@@ -121,7 +121,9 @@ class SolveResponse:
     ``status`` is ``"ok"`` or ``"rejected"``.  For solves, ``cache``
     records the cache disposition (``"hit"`` — returned straight from the
     cache, no solver run; ``"warm"`` — solved, but started from a nearby
-    cached allocation; ``"miss"`` — solved cold) and ``batch_size`` how
+    cached allocation; ``"lookaside"`` — solved, warm-started from a
+    donor another shard published to the cross-shard lookaside tier;
+    ``"miss"`` — solved cold) and ``batch_size`` how
     many requests shared the dispatch (1 = singleton fast path).  For
     rejections, ``reason`` is one of the ``REJECT_*`` codes and
     ``detail`` a one-line human explanation.
@@ -208,9 +210,14 @@ class CacheLookup:
 
     ``status`` is ``"hit"`` (exact fingerprint match — ``entry`` holds the
     finished solve), ``"warm"`` (``entry`` is the nearest structural
-    neighbor, usable as a starting iterate), or ``"miss"``.
+    neighbor, usable as a starting iterate), or ``"miss"``.  ``demoted``
+    marks a warm result that *would* have been an exact hit, but whose
+    entry was solved under a traffic-estimate epoch that has since
+    drifted (see :class:`~repro.service.drift.DriftTracker`) — the entry
+    is served as a donor and re-solved instead of answered verbatim.
     """
 
     status: str
     entry: Optional["CacheEntry"] = None  # noqa: F821 - defined in cache.py
     distance: float = field(default=float("inf"))
+    demoted: bool = False

@@ -561,3 +561,207 @@ class TestNetCli:
         final = json.loads(metrics_path.read_text())
         assert final["counters"]["net.requests"] == 3
         assert final["draining"] is True
+
+
+class TestLookasideTier:
+    """Unit semantics of the cross-shard donor tier."""
+
+    @staticmethod
+    def solved(payload):
+        from repro.core.algorithm import solve
+
+        request = parse_request(payload)
+        result = solve(
+            request.problem,
+            alpha=request.alpha,
+            epsilon=request.epsilon,
+            max_iterations=request.max_iterations,
+            initial_allocation=request.initial_allocation,
+        )
+        return request, result
+
+    def test_publish_get_and_replace_on_republish(self):
+        from repro.net import LookasideTier, donor_record
+
+        tier = LookasideTier(capacity=4)
+        request, result = self.solved(ring_payload())
+        record = donor_record(request, result)
+        assert record["n"] == 4
+        tier.insert(record)
+        assert len(tier) == 1
+        donor = tier.get(request)
+        assert np.array_equal(donor, result.allocation)
+        donor[0] = 99.0  # a copy: the tier's record is untouched
+        assert np.array_equal(tier.get(request), result.allocation)
+        tier.publish(request, result)  # same problem: replaced, not duplicated
+        assert len(tier) == 1
+
+    def test_capacity_is_fifo_over_publish_order(self):
+        from repro.net import LookasideTier, donor_record
+
+        tier = LookasideTier(capacity=2)
+        records = []
+        for i, payload in enumerate(varied_payloads(3, seed=73)):
+            request, result = self.solved(payload)
+            records.append(donor_record(request, result))
+            tier.insert(records[-1])
+        assert len(tier) == 2
+        assert records[0]["key"] not in tier._records  # oldest evicted
+        assert records[2]["key"] in tier._records
+
+    def test_distance_radius_bounds_donation(self):
+        from repro.net import LookasideTier
+
+        tier = LookasideTier(max_distance=0.05)
+        request, result = self.solved(ring_payload())
+        tier.publish(request, result)
+        near = parse_request(ring_payload(mu=1.5001))
+        far = parse_request(ring_payload(mu=15.0))
+        assert tier.get(near) is not None
+        assert tier.get(far) is None
+
+    def test_params_from_payload_matches_parsed_problem(self):
+        from repro.net import params_from_payload
+        from repro.service import parameter_vector
+
+        payload = varied_payloads(1, seed=74)[0]
+        request = parse_request(payload)
+        assert np.array_equal(
+            params_from_payload(payload), parameter_vector(request.problem)
+        )
+        # Scalar mu broadcasts exactly like the parsed problem's vector.
+        scalar = dict(payload)
+        scalar["problem"] = dict(payload["problem"], mu=1.75)
+        request = parse_request(scalar)
+        assert np.array_equal(
+            params_from_payload(scalar), parameter_vector(request.problem)
+        )
+        # Topology shorthands and malformed payloads get no hint.
+        assert params_from_payload(ring_payload()) is None
+        assert params_from_payload({"id": "x"}) is None
+        assert params_from_payload({"problem": {"access_rates": "zzz", "mu": 1.0}}) is None
+
+    def test_validation(self):
+        from repro.exceptions import ConfigurationError
+        from repro.net import LookasideTier
+
+        with pytest.raises(ConfigurationError):
+            LookasideTier(capacity=0)
+        with pytest.raises(ConfigurationError):
+            LookasideTier(max_distance=0.0)
+
+
+def cross_structure_payloads(*, seed=71, n=4):
+    """Two payloads with identical parameters but perturbed cost
+    matrices: different structural keys (so local caches cannot donate
+    across them), near-zero parameter distance (so the lookaside can)."""
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(0.5, 2.0, size=(n, n))
+    rates = [float(v) for v in rng.uniform(0.05, 0.2, size=n)]
+    mu = [float(v) for v in rng.uniform(1.5, 3.0, size=n)]
+
+    def payload(pid, scale):
+        matrix = base * scale
+        return {
+            "id": pid,
+            "problem": {
+                "cost_matrix": [
+                    [0.0 if r == c else float(matrix[r][c]) for c in range(n)]
+                    for r in range(n)
+                ],
+                "access_rates": rates,
+                "mu": mu,
+                "k": 1.0,
+            },
+            "alpha": 0.25,
+        }
+
+    return payload("origin", 1.0), payload("drifted", 1.01)
+
+
+class TestLookasideParity:
+    """The lookaside contract: a tier-donated warm start is bit-for-bit
+    the local warm start from the same donor."""
+
+    def test_lookaside_matches_local_warm_bit_for_bit(self):
+        from repro.net import LookasideTier
+
+        n = 4
+        rng = np.random.default_rng(79)
+        matrix = rng.uniform(0.5, 2.0, size=(n, n))
+        np.fill_diagonal(matrix, 0.0)
+        rates = rng.uniform(0.05, 0.2, size=n)
+
+        def request(rid, scale):
+            from repro.core.model import FileAllocationProblem
+            from repro.service import SolveRequest
+
+            problem = FileAllocationProblem(matrix, rates * scale, k=1.0, mu=2.5)
+            return SolveRequest(problem=problem, alpha=0.25, request_id=rid)
+
+        tier = LookasideTier()
+        donor_service = AllocationService(lookaside=tier)
+        assert donor_service.solve(request("donor", 1.0)).cache == "miss"
+        assert len(tier) == 1
+
+        # Control: the donor lives in the *local* cache -> plain warm.
+        control = AllocationService()
+        control.solve(request("donor", 1.0))
+        local = control.solve(request("probe", 1.02))
+        assert local.cache == "warm"
+
+        # Same probe against a service whose local cache is empty but
+        # which shares the tier -> lookaside, same effective request.
+        shared = AllocationService(lookaside=tier)
+        look = shared.solve(request("probe", 1.02))
+        assert look.cache == "lookaside"
+        assert np.array_equal(look.allocation, local.allocation)
+        assert look.cost == local.cost
+        assert look.iterations == local.iterations
+
+    def test_lookaside_crosses_structure_boundaries_over_the_wire(self):
+        from repro.core.algorithm import solve
+
+        origin, drifted = cross_structure_payloads()
+        with NetServer(port=0, workers=2, lookaside=True) as server:
+            host, port = server.address
+            with NetClient(host, port) as client:
+                first = client.solve_payload(dict(origin))
+                repeat = client.solve_payload(dict(origin))
+                crossed = client.solve_payload(dict(drifted))
+                stats = client.stats()
+        assert first["cache"] == "miss"
+        # The tier never shadows a local exact hit.
+        assert repeat["cache"] == "hit"
+        # The drifted structure solves nowhere locally -- its donor came
+        # through the tier, whichever shard it landed on.
+        assert crossed["cache"] == "lookaside"
+        counters = stats["counters"]
+        assert counters["net.lookaside.published"] >= 1
+        assert counters["net.lookaside.hits"] >= 1
+        assert counters["service.cache.lookaside"] == 1
+        assert stats["lookaside"] >= 1
+        # Parity: bit-for-bit the solve of the drifted problem started
+        # from the origin's converged allocation.
+        request = parse_request(drifted)
+        ref = solve(
+            request.problem,
+            alpha=request.alpha,
+            epsilon=request.epsilon,
+            max_iterations=request.max_iterations,
+            initial_allocation=np.array(first["allocation"], dtype=float),
+        )
+        assert np.array_equal(np.array(crossed["allocation"]), ref.allocation)
+        assert crossed["cost"] == ref.cost
+        assert crossed["iterations"] == ref.iterations
+
+    def test_lookaside_off_by_default_keeps_shards_disjoint(self):
+        origin, drifted = cross_structure_payloads(seed=83)
+        with NetServer(port=0, workers=2) as server:
+            host, port = server.address
+            with NetClient(host, port) as client:
+                client.solve_payload(dict(origin))
+                crossed = client.solve_payload(dict(drifted))
+                stats = client.stats()
+        assert crossed["cache"] == "miss"  # no tier: cold re-solve
+        assert stats["lookaside"] is None

@@ -602,3 +602,67 @@ class TestWireCodecRoundTrip:
     def test_error_marker_has_no_typed_form(self):
         with pytest.raises(ConfigurationError, match="no typed form"):
             response_from_dict({"status": "error", "detail": "boom"})
+
+
+class TestCheckMetrics:
+    """The docs-vs-emissions checker: every service.*/net.* metric the
+    docs promise must be emitted somewhere in src/."""
+
+    @staticmethod
+    def run_checker(docs_dir, src_dir):
+        import importlib.util
+        from pathlib import Path
+
+        spec = importlib.util.spec_from_file_location(
+            "check_metrics",
+            Path(__file__).resolve().parent.parent / "tools" / "check_metrics.py",
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module.main(["--docs", str(docs_dir), "--src", str(src_dir)])
+
+    def test_real_docs_pass_against_real_src(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        assert self.run_checker(root / "docs", root / "src") == 0
+
+    def test_documented_but_unemitted_metric_fails(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "OPS.md").write_text(
+            "Watch `net.requests` and `net.bogus.counter` on the dashboard.\n"
+        )
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "emit.py").write_text(
+            'registry.counter_inc("net.requests")\n'
+        )
+        assert self.run_checker(docs, src) == 1
+
+    def test_fstring_placeholders_match_as_wildcards(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "OPS.md").write_text(
+            "Dispositions land on `service.cache.hit` and "
+            "`service.cache.demoted`.\n"
+        )
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "emit.py").write_text(
+            'registry.counter_inc(f"service.cache.{status}")\n'
+        )
+        assert self.run_checker(docs, src) == 0
+
+    def test_paths_calls_and_globs_are_not_mentions(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "OPS.md").write_text(
+            "See repro.net.binary and service.py; call service.solve(req) "
+            "or net.stats(); the whole `service.*` family is merged. "
+            "Config lives in service.cache.json for now.\n"
+        )
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "emit.py").write_text("x = 1\n")
+        assert self.run_checker(docs, src) == 0

@@ -14,6 +14,7 @@ from repro.network.builders import line_graph, ring_graph
 from repro.obs import MetricsRegistry
 from repro.queueing import MD1Delay
 from repro.service import (
+    EVICTION_POLICIES,
     REJECT_DEADLINE,
     REJECT_LOAD_SHED,
     REJECT_QUEUE_FULL,
@@ -21,13 +22,16 @@ from repro.service import (
     REJECT_SOLVER_ERROR,
     AdmissionController,
     AllocationService,
+    DriftTracker,
     MicroBatcher,
     ServiceClient,
     SolutionCache,
     SolveRequest,
     batch_key,
     parameter_distance,
+    parameter_vector,
     problem_fingerprint,
+    relative_distance,
     request_fingerprint,
     structural_key,
 )
@@ -846,3 +850,348 @@ class TestContinuousDispatch:
             assert response.ok
             assert np.array_equal(response.allocation, ref.allocation)
             assert response.iterations == ref.iterations
+
+
+def varied_ring_requests(count, *, n=4, seed=0, alpha=None):
+    """`count` distinct same-structure requests with random parameters."""
+    rng = np.random.default_rng(seed)
+    requests = []
+    for i in range(count):
+        problem = FileAllocationProblem.from_topology(
+            ring_graph(n),
+            rng.uniform(0.05, 1.0 / n, size=n),
+            k=float(rng.uniform(0.5, 2.0)),
+            mu=float(rng.uniform(1.2, 3.0)),
+        )
+        requests.append(
+            SolveRequest(
+                problem=problem,
+                alpha=alpha if alpha is not None else float(rng.uniform(0.1, 0.4)),
+                request_id=f"varied-{n}-{i}",
+            )
+        )
+    return requests
+
+
+class TestCacheSweep:
+    """Satellite: amortized TTL sweeping bounds the live set even when
+    nobody ever looks up the expired keys again."""
+
+    def test_explicit_sweep_evicts_all_expired(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        cache = SolutionCache(32, ttl_s=10.0, clock=clock, registry=registry)
+        for request in varied_ring_requests(3, seed=21):
+            cache.store(request, reference_solve(request))
+        clock.advance(11.0)
+        fresh = varied_ring_requests(2, n=5, seed=22)
+        for request in fresh:
+            cache.store(request, reference_solve(request))
+        assert cache.sweep() == 3
+        assert len(cache) == 2  # only the fresh entries survive
+        assert registry.counters["service.cache.swept"] == 3
+        for request in fresh:
+            assert cache.lookup(request).status == "hit"
+
+    def test_amortized_sweep_reclaims_untouched_keys(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        cache = SolutionCache(
+            64, ttl_s=10.0, sweep_interval=4, clock=clock, registry=registry
+        )
+        stale = varied_ring_requests(6, seed=23)
+        for request in stale:
+            cache.store(request, reference_solve(request))
+        clock.advance(11.0)
+        # Traffic that never touches the stale fingerprints (different
+        # structure, all misses) still triggers the amortized sweep.
+        probe = SolveRequest(problem=ring_problem(5))
+        for _ in range(4):
+            cache.lookup(probe)
+        assert len(cache) == 0
+        assert registry.counters["service.cache.swept"] == 6
+
+    def test_sweep_noop_without_ttl(self):
+        cache = SolutionCache(8)
+        request = SolveRequest(problem=ring_problem())
+        cache.store(request, reference_solve(request))
+        assert cache.sweep() == 0
+        assert len(cache) == 1
+
+    def test_bad_sweep_interval_rejected(self):
+        with pytest.raises(ConfigurationError, match="sweep_interval"):
+            SolutionCache(8, ttl_s=5.0, sweep_interval=0)
+
+
+def hot_request():
+    """An expensive recurring solve (~230 iterations — costlier than any
+    of the one-off scans the eviction tests flood the cache with)."""
+    problem = FileAllocationProblem.from_topology(
+        ring_graph(4), np.array([0.5, 0.1, 0.1, 0.1]), k=1.0, mu=1.5
+    )
+    return SolveRequest(problem=problem, alpha=0.05, epsilon=1e-9)
+
+
+class TestCostAwareEviction:
+    """Tentpole: value-weighted eviction keeps what saves solver work."""
+
+    def test_policy_validation(self):
+        assert set(EVICTION_POLICIES) == {"lru", "cost"}
+        with pytest.raises(ConfigurationError, match="eviction"):
+            SolutionCache(8, eviction="mru")
+        with pytest.raises(ConfigurationError, match="max_bytes"):
+            SolutionCache(8, max_bytes=0)
+        with pytest.raises(ConfigurationError, match="value_halflife_s"):
+            SolutionCache(8, value_halflife_s=-1.0)
+
+    def test_hot_entry_survives_scan_flood(self):
+        """Repeated hits make an entry valuable; a flood of one-off
+        stores must evict the one-offs around it, not the hot entry —
+        the exact pattern that flushes an LRU."""
+        cache = SolutionCache(4, eviction="cost")
+        # Skewed rates + small step + tight tolerance: the hot solve
+        # costs more iterations than any scan, and every hit credits
+        # that cost back.
+        hot = hot_request()
+        cache.store(hot, reference_solve(hot))
+        for _ in range(5):
+            assert cache.lookup(hot).status == "hit"
+        for scan in varied_ring_requests(12, seed=31):
+            cache.store(scan, reference_solve(scan))
+        assert len(cache) == 4
+        assert cache.lookup(hot).status == "hit"
+
+    def test_lru_flushes_the_same_hot_entry(self):
+        """The control for the test above: recency eviction loses the
+        hot entry to the same scan flood."""
+        cache = SolutionCache(4, eviction="lru")
+        hot = hot_request()
+        cache.store(hot, reference_solve(hot))
+        for _ in range(5):
+            assert cache.lookup(hot).status == "hit"
+        for scan in varied_ring_requests(12, seed=31):
+            cache.store(scan, reference_solve(scan))
+        assert cache.lookup(hot).status != "hit"
+
+    def test_credit_warm_raises_donor_value(self):
+        cache = SolutionCache(8, eviction="cost")
+        donor = SolveRequest(problem=ring_problem(k=1.0))
+        entry = cache.store(donor, reference_solve(donor))
+        seeded = entry.value
+        cache.credit_warm(entry.fingerprint, 40.0)
+        assert entry.warm_uses == 1
+        assert entry.value == pytest.approx(seeded + 40.0)
+        cache.credit_warm("not-a-fingerprint", 10.0)  # silently ignored
+
+    def test_value_decays_with_halflife(self):
+        clock = FakeClock()
+        cache = SolutionCache(
+            8, eviction="cost", value_halflife_s=10.0, clock=clock
+        )
+        donor = SolveRequest(problem=ring_problem(k=1.0))
+        entry = cache.store(donor, reference_solve(donor))
+        seeded = entry.value
+        clock.advance(10.0)  # one half-life
+        assert cache._decayed_value(entry, clock()) == pytest.approx(seeded / 2)
+
+    def test_max_bytes_budget_evicts(self):
+        registry = MetricsRegistry()
+        requests = varied_ring_requests(4, seed=33)
+        probe = SolutionCache(8)
+        entry = probe.store(requests[0], reference_solve(requests[0]))
+        budget = entry.nbytes * 2  # room for two entries, not four
+        cache = SolutionCache(8, max_bytes=budget, registry=registry)
+        for request in requests:
+            cache.store(request, reference_solve(request))
+        assert cache.total_bytes <= budget
+        assert len(cache) == 2
+        assert registry.counters["service.cache.evicted"] == 2
+
+    def test_expired_entry_loses_every_value_comparison(self):
+        """TTL x budget: under cost eviction an expired entry is the
+        victim even when its accumulated value dwarfs everyone else's."""
+        clock = FakeClock()
+        cache = SolutionCache(2, eviction="cost", ttl_s=10.0, clock=clock)
+        hot = SolveRequest(
+            problem=ring_problem(), initial_allocation=paper_skewed_allocation(4)
+        )
+        cache.store(hot, reference_solve(hot))
+        for _ in range(50):
+            cache.lookup(hot)  # enormous accumulated value
+        clock.advance(11.0)  # ...but now expired
+        fresh = varied_ring_requests(2, seed=35)
+        for request in fresh:
+            cache.store(request, reference_solve(request))
+        # The expired entry lost both evictions; the fresh pair survived
+        # (a fresh same-structure entry may still donate warm starts).
+        assert len(cache) == 2
+        assert cache.lookup(hot).status != "hit"
+        for request in fresh:
+            assert cache.lookup(request).status == "hit"
+
+    def test_expired_entry_cannot_donate_under_cost_policy(self):
+        clock = FakeClock()
+        cache = SolutionCache(8, eviction="cost", ttl_s=5.0, clock=clock)
+        skewed = paper_skewed_allocation(4)
+        donor = SolveRequest(problem=ring_problem(k=1.0), initial_allocation=skewed)
+        cache.store(donor, reference_solve(donor))
+        near = SolveRequest(problem=ring_problem(k=1.001), initial_allocation=skewed)
+        assert cache.lookup(near).status == "warm"
+        clock.advance(6.0)
+        assert cache.lookup(near).status == "miss"
+        assert len(cache) == 0
+
+
+class TestNearestDonorProperty:
+    """Satellite: the vectorized bucket-indexed donor search picks the
+    same donor as a brute-force parameter_distance scan."""
+
+    @staticmethod
+    def brute_force(cache, request):
+        """The pre-index semantics: sequential `<=` scan over the
+        structural bucket, so the latest equal-distance entry wins."""
+        bucket = cache._buckets.get(structural_key(request.problem))
+        if not bucket:
+            return None
+        best, best_distance = None, np.inf
+        for entry in bucket.values():
+            distance = parameter_distance(request.problem, entry.problem)
+            if distance <= best_distance:
+                best, best_distance = entry, distance
+        if best is None or best_distance > cache.max_warm_distance:
+            return None
+        return best
+
+    def test_donor_choice_matches_brute_force(self):
+        cache = SolutionCache(256, max_warm_distance=5.0)
+        # Mixed sizes: 4- and 5-node entries land in different buckets,
+        # so shape-incompatible donors never reach the distance math.
+        for seed in (41, 42):
+            for n in (4, 5):
+                for request in varied_ring_requests(8, n=n, seed=seed):
+                    cache.store(request, reference_solve(request))
+        rng = np.random.default_rng(43)
+        for i in range(24):
+            n = 4 if i % 2 == 0 else 5
+            probe = SolveRequest(
+                problem=FileAllocationProblem.from_topology(
+                    ring_graph(n),
+                    rng.uniform(0.05, 1.0 / n, size=n),
+                    k=float(rng.uniform(0.5, 2.0)),
+                    mu=float(rng.uniform(1.2, 3.0)),
+                ),
+                request_id=f"probe-{i}",
+            )
+            expected = self.brute_force(cache, probe)
+            got = cache._nearest(probe)
+            if expected is None:
+                assert got is None
+            else:
+                entry, distance = got
+                assert entry is expected
+                assert distance == pytest.approx(
+                    parameter_distance(probe.problem, expected.problem)
+                )
+
+    def test_tight_radius_matches_brute_force_misses(self):
+        cache = SolutionCache(64, max_warm_distance=0.05)
+        for request in varied_ring_requests(8, seed=44):
+            cache.store(request, reference_solve(request))
+        for probe in varied_ring_requests(8, seed=45):
+            expected = self.brute_force(cache, probe)
+            got = cache._nearest(probe)
+            assert (got is None) == (expected is None)
+            if expected is not None:
+                assert got[0] is expected
+
+    def test_parameter_vector_and_relative_distance(self):
+        problem = ring_problem()
+        vector = parameter_vector(problem)
+        assert vector.shape == (2 * problem.n + 1,)
+        assert relative_distance(vector, vector) == 0.0
+        assert relative_distance(vector, vector[:-1]) == np.inf
+        assert parameter_distance(problem, problem) == 0.0
+
+
+class TestDriftInvalidation:
+    """Tentpole: estimate drift demotes stale exact hits to warm starts."""
+
+    def base_rates(self, n=4):
+        # Deliberately non-uniform: the optimum differs from the default
+        # starting iterate, so warm re-solves never alias the cold path.
+        return 0.2 * np.arange(1, n + 1, dtype=float) / (n * (n + 1) / 2)
+
+    def request(self, rates, rid):
+        problem = FileAllocationProblem.from_topology(
+            ring_graph(len(rates)), rates, k=1.0, mu=1.5
+        )
+        return SolveRequest(problem=problem, request_id=rid)
+
+    def test_drifted_exact_hit_demotes_to_warm(self):
+        registry = MetricsRegistry()
+        service = AllocationService(
+            drift_threshold=0.25, drift_window=2, registry=registry
+        )
+        base = self.base_rates()
+        cold = service.solve(self.request(base, "a-cold"))
+        assert cold.cache == "miss"
+        assert service.solve(self.request(base, "a-hot")).cache == "hit"
+        # Same structure, rates shifted 50%: the EMA crosses the 0.25
+        # threshold and the epoch advances.
+        for i in range(3):
+            service.solve(self.request(base * 1.5, f"shift-{i}"))
+        assert registry.counters["service.drift.epoch_advance"] >= 1
+        demoted_before = registry.counters.get("service.cache.demoted", 0)
+        replay_request = self.request(base, "a-replay")
+        replay = service.solve(replay_request)
+        assert replay.cache == "warm"  # demoted: re-solved, not served verbatim
+        assert registry.counters["service.cache.demoted"] == demoted_before + 1
+        # Parity: the demoted answer is exactly the reference solve of
+        # the effective request (old allocation as the starting iterate).
+        ref = solve(
+            replay_request.problem,
+            alpha=replay_request.alpha,
+            epsilon=replay_request.epsilon,
+            max_iterations=replay_request.max_iterations,
+            initial_allocation=cold.allocation,
+        )
+        assert np.array_equal(replay.allocation, ref.allocation)
+        assert replay.iterations == ref.iterations
+
+    def test_small_drift_never_thrashes(self):
+        """Perturbations below the threshold must not advance the epoch:
+        the exact entry keeps hitting (the switching-cost guard)."""
+        registry = MetricsRegistry()
+        service = AllocationService(
+            drift_threshold=0.5, drift_window=2, registry=registry
+        )
+        base = self.base_rates()
+        service.solve(self.request(base, "b-cold"))
+        rng = np.random.default_rng(51)
+        for i in range(6):
+            jitter = base * (1.0 + rng.uniform(-0.02, 0.02, size=base.size))
+            service.solve(self.request(jitter, f"jitter-{i}"))
+            assert service.solve(self.request(base, f"b-{i}")).cache == "hit"
+        assert registry.counters.get("service.cache.demoted", 0) == 0
+        assert registry.counters.get("service.drift.epoch_advance", 0) == 0
+
+    def test_tracker_epochs_per_structure(self):
+        tracker = DriftTracker(threshold=0.25, window=2)
+        base = self.base_rates()
+        ring = self.request(base, "t0").problem
+        structure = structural_key(ring)
+        assert tracker.observe(ring) == 0
+        assert tracker.epoch_of(structure) == 0
+        shifted = self.request(base * 1.6, "t1").problem
+        epochs = {tracker.observe(shifted) for _ in range(4)}
+        assert tracker.epoch_of(structure) >= 1
+        assert max(epochs) == tracker.epoch_of(structure)
+        # A different structure has its own independent estimate.
+        other = ring_problem(5)
+        assert tracker.observe(other) == 0
+
+    def test_tracker_validation(self):
+        with pytest.raises(ConfigurationError):
+            DriftTracker(threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            DriftTracker(window=0)

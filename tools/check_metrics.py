@@ -1,0 +1,128 @@
+"""Check that every ``service.*`` / ``net.*`` metric named in the docs
+is actually emitted somewhere in ``src/``.
+
+Docs rot in a specific way: a counter gets renamed (or never lands) and
+the operations guide keeps promising a series nobody emits.  This tool
+closes the loop:
+
+* **emissions** — every string literal in ``src/**/*.py`` that looks
+  like a metric name (``service.`` / ``net.`` prefix, inside quotes).
+  f-string placeholders become wildcards, so
+  ``f"service.cache.{status}"`` emits the pattern ``service.cache.*``;
+* **mentions** — every concrete metric token in ``README.md`` and
+  ``docs/*.md``.  Family globs (``service.*``), attribute/method
+  references (``service.solve(...)``), dotted module paths
+  (``repro.net.binary``) and file names (``service.py``) are not metric
+  mentions and are skipped.
+
+Every mention must match an emission (exactly, or via a placeholder
+wildcard).  Exits non-zero listing each unemitted metric.  Run
+standalone or as the CI docs step:
+
+    python tools/check_metrics.py
+
+``--docs`` / ``--src`` override the scanned roots (the negative test in
+``tests/test_net_unit.py`` points them at fixtures).
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: A quoted string whose content is a service./net. metric name; group 1
+#: is an optional f-prefix, group 3 the name itself.
+EMISSION = re.compile(
+    r"""(f?)(['"])((?:service|net)\.[A-Za-z0-9_.{}\[\]]+)\2"""
+)
+
+#: A concrete metric token in prose: not part of a dotted path
+#: (``repro.net.binary``), not a call (``service.solve(...)``), not a
+#: family glob (``service.*``) and not a file name (``service.py``).
+MENTION = re.compile(
+    r"(?<![\w.])((?:service|net)\.[a-z][a-z0-9_]*(?:\.[a-z][a-z0-9_]*)+)(?![\w.(*])"
+)
+
+#: Extensions that mark a token as a file name, not a metric.
+FILE_SUFFIXES = (".py", ".json", ".jsonl", ".md", ".yml", ".yaml")
+
+
+def emitted_patterns(src_root: Path) -> set[str]:
+    """All metric-name literals in the tree, placeholders wildcarded."""
+    patterns: set[str] = set()
+    for path in sorted(src_root.rglob("*.py")):
+        for match in EMISSION.finditer(path.read_text()):
+            name = match.group(3)
+            if match.group(1):  # f-string: {anything} matches anything
+                name = re.sub(r"\{[^}]*\}", "*", name)
+            patterns.add(name)
+    return patterns
+
+
+def doc_mentions(doc_paths: list[Path]) -> dict[str, list[str]]:
+    """Metric tokens per doc, as ``{metric: ["file:line", ...]}``."""
+    mentions: dict[str, list[str]] = {}
+    for path in doc_paths:
+        rel = path.relative_to(ROOT) if path.is_relative_to(ROOT) else path
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            for match in MENTION.finditer(line):
+                token = match.group(1)
+                if token.endswith(FILE_SUFFIXES):
+                    continue
+                mentions.setdefault(token, []).append(f"{rel}:{lineno}")
+    return mentions
+
+
+def unemitted(mentions: dict[str, list[str]], patterns: set[str]) -> dict[str, list[str]]:
+    missing = {}
+    for metric, sites in mentions.items():
+        if metric in patterns:
+            continue
+        if any("*" in p and fnmatch.fnmatchcase(metric, p) for p in patterns):
+            continue
+        missing[metric] = sites
+    return missing
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--docs", type=Path, default=None,
+        help="directory of *.md files to scan (default: README.md + docs/)",
+    )
+    parser.add_argument(
+        "--src", type=Path, default=ROOT / "src",
+        help="python source root whose emissions count (default: src/)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.docs is not None:
+        docs = sorted(args.docs.glob("*.md"))
+    else:
+        docs = [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
+    docs = [d for d in docs if d.exists()]
+
+    patterns = emitted_patterns(args.src)
+    mentions = doc_mentions(docs)
+    missing = unemitted(mentions, patterns)
+
+    if missing:
+        print(f"{len(missing)} documented metric(s) never emitted:")
+        for metric in sorted(missing):
+            sites = ", ".join(missing[metric][:3])
+            print(f"  {metric} (mentioned at {sites})")
+        return 1
+    print(
+        f"metrics OK ({len(mentions)} documented metrics checked against "
+        f"{len(patterns)} emission patterns in {args.src.name}/)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
