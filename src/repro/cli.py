@@ -297,6 +297,30 @@ def _build_parser() -> argparse.ArgumentParser:
              "converged solutions)",
     )
     net_serve.add_argument(
+        "--lookaside-ttl", type=float, default=None, metavar="SECONDS",
+        help="lifetime of lookaside donor records (default: no expiry); "
+             "expired records are never handed out or gossiped",
+    )
+    net_serve.add_argument(
+        "--peers", default=None, metavar="HOST:PORT,...",
+        help="static gossip mesh: comma-separated addresses of the other "
+             "servers; donor records replicate across the mesh "
+             "(requires --lookaside; peer links reuse --secret)",
+    )
+    net_serve.add_argument(
+        "--gossip-interval", type=float, default=1.0, metavar="SECONDS",
+        help="gossip round period (heartbeat + rumor push per round)",
+    )
+    net_serve.add_argument(
+        "--gossip-budget", type=int, default=262144, metavar="BYTES",
+        help="outbound gossip byte budget per second",
+    )
+    net_serve.add_argument(
+        "--server-id", default=None, metavar="ID",
+        help="mesh identity stamped on published donor records "
+             "(default: the bound host:port)",
+    )
+    net_serve.add_argument(
         "--queue-depth", type=int, default=1024,
         help="per-worker admission bound on pending requests",
     )
@@ -669,27 +693,37 @@ def _cmd_net_serve(args: argparse.Namespace) -> int:
     """
     import json
 
+    from repro.exceptions import ConfigurationError
     from repro.net import NetServer
 
-    server = NetServer(
-        args.host,
-        args.port,
-        workers=args.workers,
-        shards=args.shards,
-        routing=args.routing,
-        codec=args.codec,
-        secret=args.secret,
-        max_batch=args.max_batch,
-        cache_size=args.cache_size,
-        cache_ttl_s=args.cache_ttl,
-        cache_eviction=args.cache_eviction,
-        cache_max_bytes=args.cache_budget,
-        drift_threshold=args.drift_threshold,
-        drift_window=args.drift_window,
-        lookaside=args.lookaside,
-        queue_depth=args.queue_depth,
-        default_timeout_s=args.timeout,
-    )
+    try:
+        server = NetServer(
+            args.host,
+            args.port,
+            workers=args.workers,
+            shards=args.shards,
+            routing=args.routing,
+            codec=args.codec,
+            secret=args.secret,
+            max_batch=args.max_batch,
+            cache_size=args.cache_size,
+            cache_ttl_s=args.cache_ttl,
+            cache_eviction=args.cache_eviction,
+            cache_max_bytes=args.cache_budget,
+            drift_threshold=args.drift_threshold,
+            drift_window=args.drift_window,
+            lookaside=args.lookaside,
+            lookaside_ttl_s=args.lookaside_ttl,
+            peers=args.peers,
+            gossip_interval_s=args.gossip_interval,
+            gossip_budget=args.gossip_budget,
+            server_id=args.server_id,
+            queue_depth=args.queue_depth,
+            default_timeout_s=args.timeout,
+        )
+    except ConfigurationError as exc:
+        print(f"net-serve: {exc}", file=sys.stderr)
+        return 2
     server.start()
     server.install_signal_handlers()
     host, port = server.address
@@ -704,6 +738,8 @@ def _cmd_net_serve(args: argparse.Namespace) -> int:
                 "routing": args.routing,
                 "codec": args.codec,
                 "auth": args.secret is not None,
+                "server_id": server.server_id,
+                "peers": [f"{h}:{p}" for h, p in server.peer_addresses],
             }
         ),
         flush=True,
@@ -728,6 +764,17 @@ def _cmd_net_serve(args: argparse.Namespace) -> int:
             ),
             file=sys.stderr,
         )
+        if stats.get("gossip") is not None:
+            print(
+                "gossip: {rounds} round(s), {sent} record(s) sent, "
+                "{merged} merged, {down} peer-down event(s)".format(
+                    rounds=int(counters.get("net.gossip.rounds", 0)),
+                    sent=int(counters.get("net.gossip.records_sent", 0)),
+                    merged=int(counters.get("net.gossip.records_merged", 0)),
+                    down=int(counters.get("net.gossip.peer_down", 0)),
+                ),
+                file=sys.stderr,
+            )
     return 0
 
 

@@ -25,7 +25,15 @@ processes without giving up what makes the service fast:
   connection, responses matched by request id), per-request deadlines,
   one bounded retry budget, optional shared-secret HMAC authentication;
   typed and dict-shaped surfaces mirroring
-  :class:`~repro.service.ServiceClient`.
+  :class:`~repro.service.ServiceClient`;
+* :class:`GossipAgent` (:mod:`repro.net.gossip`) — with ``--peers``,
+  servers form a static mesh and epidemically replicate their
+  :class:`LookasideTier` donor records: rumor pushes spread fresh
+  converged solutions in one round, periodic digest/pull anti-entropy
+  repairs whatever rumors missed, all under a bytes/second budget.
+  Records carry TTL, origin server id and a per-key epoch
+  (newest-epoch-wins), so one server's convergence becomes every
+  server's warm start.
 
 Robustness is part of the contract: SIGTERM drains gracefully
 (in-flight work finishes; queued work gets structured ``shutting_down``
@@ -78,7 +86,14 @@ from repro.net.framing import (
     encode_frame,
     send_frame,
 )
-from repro.net.lookaside import LookasideTier, donor_record, params_from_payload
+from repro.net.gossip import GOSSIP_OPS, GossipAgent
+from repro.net.lookaside import (
+    LookasideTier,
+    donor_record,
+    params_from_payload,
+    wire_record,
+)
+from repro.net.peers import PeerState, parse_peers
 from repro.net.router import ShardRouter, shard_of_key
 from repro.net.server import (
     REJECT_OVERLOADED,
@@ -96,6 +111,8 @@ __all__ = [
     "CLIENT_CODECS",
     "FrameError",
     "FrameReader",
+    "GOSSIP_OPS",
+    "GossipAgent",
     "LookasideTier",
     "MAX_FRAME_BYTES",
     "NetAuthError",
@@ -104,6 +121,7 @@ __all__ = [
     "NetError",
     "NetServer",
     "NetTimeout",
+    "PeerState",
     "REJECT_OVERLOADED",
     "REJECT_SHUTTING_DOWN",
     "SERVER_CODECS",
@@ -117,8 +135,10 @@ __all__ = [
     "encode_binary_frame",
     "encode_frame",
     "params_from_payload",
+    "parse_peers",
     "send_binary_frame",
     "send_frame",
     "shard_of_key",
+    "wire_record",
     "worker_main",
 ]

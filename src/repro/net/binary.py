@@ -20,7 +20,12 @@ module is the same frame stream with that cost removed:
 * everything else (control verbs, hellos, errors, rejections, payloads
   with fields the packed layout does not know) rides as
   :data:`KIND_JSON` — a JSON body inside a binary frame — so the binary
-  connection can carry *any* dict the JSON protocol can.
+  connection can carry *any* dict the JSON protocol can;
+* the gossip mesh (:mod:`repro.net.gossip`) reuses the same 20-byte
+  header: :data:`KIND_GOSSIP_DIGEST` and :data:`KIND_GOSSIP_PULL` carry
+  compact JSON control bodies, while :data:`KIND_GOSSIP_RECORDS` packs
+  batches of lookaside donor records — raw float64 parameter and
+  allocation vectors — the same way solve bodies pack their arrays.
 
 The first bytes on a connection negotiate the protocol: binary frames
 open with :data:`BINARY_MAGIC` (never an ASCII digit), JSON frames open
@@ -70,6 +75,13 @@ KIND_JSON = 0
 KIND_SOLVE = 1
 #: Body is a packed completed solve (scalars + raw float64 allocation).
 KIND_RESULT = 2
+#: Body is a JSON gossip digest (per-bucket tier fingerprints).
+KIND_GOSSIP_DIGEST = 3
+#: Body is a JSON gossip pull (per-bucket epoch vectors).
+KIND_GOSSIP_PULL = 4
+#: Body is a packed batch of lookaside donor records (raw float64
+#: parameter/allocation vectors — the bulk bytes of the gossip mesh).
+KIND_GOSSIP_RECORDS = 5
 
 _HEADER = struct.Struct("<4sBBHQI")
 HEADER_BYTES = _HEADER.size
@@ -90,6 +102,17 @@ _CACHE_CODES = {"miss": 0, "hit": 1, "warm": 2}
 _CACHE_NAMES = {code: name for name, code in _CACHE_CODES.items()}
 
 _RECV_CHUNK = 262144
+
+# Packed gossip-record batch: server-id byte length + record count, then
+# per record a front struct — epoch, remaining ttl (NaN = none),
+# iterations, n, key/origin byte lengths — followed by the key and origin
+# strings and the raw float64 params (2n+1) and allocation (n) vectors.
+_GOSSIP_BATCH_FRONT = struct.Struct("<HI")
+_GOSSIP_RECORD_FRONT = struct.Struct("<qdqiHH")
+_GOSSIP_OP_KINDS = {
+    "gossip_digest": KIND_GOSSIP_DIGEST,
+    "gossip_pull": KIND_GOSSIP_PULL,
+}
 
 _PACKED_REQUEST_KEYS = {
     "id", "problem", "alpha", "epsilon", "max_iterations", "start",
@@ -334,6 +357,93 @@ def _unpack_result_body(body: bytes) -> Dict:
     }
 
 
+def _pack_gossip_records_body(payload: Dict) -> bytes:
+    """The packed body of a ``gossip_records`` batch.  Unlike the solve
+    and result layouts there is no JSON fallback — records carry ndarray
+    fields JSON cannot represent — so a malformed record raises."""
+    records = payload.get("records", [])
+    server = str(payload.get("server", "")).encode("utf-8")
+    if len(server) > 0xFFFF:
+        raise BinaryFrameError("gossip server id exceeds 65535 bytes")
+    parts = [_GOSSIP_BATCH_FRONT.pack(len(server), len(records)), server]
+    for record in records:
+        try:
+            key = str(record["key"]).encode("utf-8")
+            origin = str(record.get("origin", "")).encode("utf-8")
+            n = int(record["n"])
+            params = _f64(record["params"]).ravel()
+            allocation = _f64(record["allocation"]).ravel()
+            ttl = record.get("ttl_s")
+            front = _GOSSIP_RECORD_FRONT.pack(
+                int(record.get("epoch", 0)),
+                float("nan") if ttl is None else float(ttl),
+                int(record.get("iterations", 0)),
+                n,
+                len(key),
+                len(origin),
+            )
+        except (KeyError, TypeError, ValueError, struct.error) as exc:
+            raise BinaryFrameError(f"unpackable gossip record: {exc}") from None
+        if params.size != 2 * n + 1 or allocation.size != n:
+            raise BinaryFrameError(
+                f"gossip record for n={n} carries {params.size} params and "
+                f"{allocation.size} allocation entries"
+            )
+        parts += [front, key, origin, params.tobytes(), allocation.tobytes()]
+    return b"".join(parts)
+
+
+def _unpack_gossip_records_body(body: bytes) -> Dict:
+    """The packed batch back into ``{"op": "gossip_records", ...}`` with
+    ``np.frombuffer`` views for the float64 vectors."""
+    if len(body) < _GOSSIP_BATCH_FRONT.size:
+        raise BinaryFrameError(
+            f"gossip batch of {len(body)} bytes is shorter than its header"
+        )
+    server_len, count = _GOSSIP_BATCH_FRONT.unpack_from(body)
+    pos = _GOSSIP_BATCH_FRONT.size
+    server = body[pos : pos + server_len].decode("utf-8")
+    pos += server_len
+    records = []
+    for _ in range(count):
+        if len(body) - pos < _GOSSIP_RECORD_FRONT.size:
+            raise BinaryFrameError("gossip batch truncated mid-record")
+        epoch, ttl, iterations, n, key_len, origin_len = (
+            _GOSSIP_RECORD_FRONT.unpack_from(body, pos)
+        )
+        if n < 0:
+            raise BinaryFrameError(f"gossip record declares negative size {n}")
+        pos += _GOSSIP_RECORD_FRONT.size
+        key = body[pos : pos + key_len].decode("utf-8")
+        pos += key_len
+        origin = body[pos : pos + origin_len].decode("utf-8")
+        pos += origin_len
+        want = 8 * (3 * n + 1)
+        if len(body) - pos < want:
+            raise BinaryFrameError(
+                f"gossip record for n={n} is missing its float64 vectors"
+            )
+        params = np.frombuffer(body, dtype=np.float64, count=2 * n + 1, offset=pos)
+        pos += 8 * (2 * n + 1)
+        allocation = np.frombuffer(body, dtype=np.float64, count=n, offset=pos)
+        pos += 8 * n
+        records.append({
+            "key": key,
+            "n": n,
+            "params": params,
+            "allocation": allocation,
+            "iterations": iterations,
+            "origin": origin,
+            "epoch": epoch,
+            "ttl_s": None if np.isnan(ttl) else ttl,
+        })
+    if pos != len(body):
+        raise BinaryFrameError(
+            f"gossip batch has {len(body) - pos} trailing bytes"
+        )
+    return {"op": "gossip_records", "server": server, "records": records}
+
+
 def encode_binary_frame(payload: Dict, request_id: int = 0) -> bytes:
     """One payload dict as a binary frame stamped with ``request_id``.
 
@@ -343,7 +453,14 @@ def encode_binary_frame(payload: Dict, request_id: int = 0) -> bytes:
     """
     kind = KIND_JSON
     body: Optional[bytes] = None
-    if "problem" in payload:
+    op = payload.get("op")
+    if op == "gossip_records":
+        kind = KIND_GOSSIP_RECORDS
+        body = _pack_gossip_records_body(payload)
+    elif op in _GOSSIP_OP_KINDS:
+        kind = _GOSSIP_OP_KINDS[op]
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    elif "problem" in payload:
         body = _pack_solve_body(payload)
         if body is not None:
             kind = KIND_SOLVE
@@ -369,7 +486,9 @@ def _decode_body(kind: int, body: bytes) -> Dict:
         return _unpack_solve_body(body)
     if kind == KIND_RESULT:
         return _unpack_result_body(body)
-    if kind == KIND_JSON:
+    if kind == KIND_GOSSIP_RECORDS:
+        return _unpack_gossip_records_body(body)
+    if kind in (KIND_JSON, KIND_GOSSIP_DIGEST, KIND_GOSSIP_PULL):
         try:
             payload = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:

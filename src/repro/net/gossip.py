@@ -1,0 +1,409 @@
+"""Epidemic exchange of lookaside donor records between servers.
+
+PR 8 ended with each :class:`~repro.net.NetServer` holding its own
+:class:`~repro.net.lookaside.LookasideTier`: a converged solve published
+in one server warm-starts later requests *there*, while a second server
+in another region solves the same drifting workload cold.  The paper's
+algorithm is already a decentralized exchange of marginal information
+between nodes; this module lifts that exchange one level up — servers
+trading *converged solutions* instead of gradients — in the classic
+epidemic style (local information, bounded messages, eventual
+agreement):
+
+* **rumor push** — every gossip round, fresh tier records (anything past
+  the per-peer sequence cursor) are pushed to each live peer in
+  size-bounded batches, so the common case (one server converges, the
+  mesh learns) propagates in one round;
+* **anti-entropy** — every ``anti_entropy_every``-th round, one peer
+  (round-robin) receives this tier's per-bucket digest.  The peer
+  compares fingerprints, answers with its *epoch vectors* for the
+  buckets that differ (a **pull**: exactly what it might be missing),
+  and gets back only the records it lacks or holds older.  Buckets the
+  digesting side has and the peer lacks entirely are pushed outright —
+  which is also how a respawned, empty peer is refilled;
+* **budget** — rumor batches, digests, and record transfers all draw on
+  one token bucket of ``budget_bytes_per_s``; when it runs dry the send
+  is deferred to a later round (``net.gossip.deferred``), so a busy
+  mesh degrades to slower convergence, never to unbounded bandwidth;
+* **convergence** — records carry their origin server id, a per-key
+  epoch, and remaining TTL; :meth:`LookasideTier.merge
+  <repro.net.lookaside.LookasideTier.merge>` applies newest-epoch-wins
+  (origin id breaks ties deterministically), so however records race
+  around the mesh every tier settles on the same winner and the tier
+  stays read-mostly.
+
+:class:`GossipAgent` is deliberately transport-free: the server's event
+loop calls :meth:`tick` on its timer, hands inbound gossip payloads to
+:meth:`handle_remote`, and provides a ``sender`` callback that frames a
+payload onto a peer link (returning the bytes queued).  Liveness is
+per-peer (:mod:`repro.net.peers`): heartbeats every round, failure
+counters with exponential backoff on dead peers, and a staleness check
+that declares a silent link down.
+
+Metrics (``net.gossip.*``): ``rounds``, ``anti_entropy``,
+``records_sent``, ``records_merged``, ``bytes``, ``deferred``,
+``peer_down``, the ``peers_live`` gauge, and per-peer
+``net.gossip.peer.{i}.lag_s`` gauges (seconds since each peer was last
+heard from).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.net.lookaside import LookasideTier, _record_bytes
+from repro.net.peers import PeerState
+
+__all__ = ["GossipAgent", "GOSSIP_OPS"]
+
+#: Control verbs the agent speaks (all carried as ``op`` fields; the
+#: server routes any inbound op in this set to its agent).
+GOSSIP_OPS = (
+    "gossip_ping",
+    "gossip_pong",
+    "gossip_digest",
+    "gossip_pull",
+    "gossip_records",
+)
+
+
+def _payload_bytes(payload: Dict) -> int:
+    """Wire-size estimate of one gossip payload for budget accounting
+    (records by the tier's per-record estimator, control frames by their
+    JSON length)."""
+    if payload.get("op") == "gossip_records":
+        return 64 + sum(_record_bytes(r) for r in payload.get("records", ()))
+    try:
+        return 20 + len(json.dumps(payload, separators=(",", ":")))
+    except (TypeError, ValueError):
+        return 256
+
+
+class GossipAgent:
+    """The per-server gossip protocol state machine (see module docstring).
+
+    Parameters
+    ----------
+    server_id:
+        This server's mesh identity — stamped as ``origin`` on records it
+        publishes and carried in every gossip frame.
+    tier:
+        The :class:`~repro.net.lookaside.LookasideTier` being replicated.
+    peers:
+        Static peer addresses as ``(host, port)`` pairs.
+    interval_s:
+        Gossip round period: each round heartbeats every live peer and
+        rumor-pushes fresh records to it.
+    anti_entropy_every:
+        A digest goes to one peer (round-robin) every this-many rounds.
+    budget_bytes_per_s:
+        Token-bucket rate shared by rumors, digests, pulls, and record
+        transfers; heartbeats are exempt (they are what detects a dead
+        peer, and starving them under load would amplify the failure).
+    rumor_max_bytes:
+        Cap on a single rumor batch, inside whatever the bucket allows.
+    heartbeat_timeout_s:
+        A live peer silent this long is declared down (default: three
+        intervals plus one second).
+    registry:
+        Optional metrics registry for the ``net.gossip.*`` family.
+    clock:
+        Injectable monotonic clock for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        server_id: str,
+        tier: LookasideTier,
+        peers: List[Tuple[str, int]],
+        *,
+        interval_s: float = 1.0,
+        anti_entropy_every: int = 4,
+        budget_bytes_per_s: int = 262144,
+        rumor_max_bytes: int = 65536,
+        heartbeat_timeout_s: Optional[float] = None,
+        registry=None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        if interval_s <= 0:
+            raise ConfigurationError("interval_s must be positive")
+        if anti_entropy_every < 1:
+            raise ConfigurationError("anti_entropy_every must be >= 1")
+        if budget_bytes_per_s <= 0:
+            raise ConfigurationError("budget_bytes_per_s must be positive")
+        self.server_id = str(server_id)
+        self.tier = tier
+        self.peers = [PeerState(i, h, p) for i, (h, p) in enumerate(peers)]
+        self.interval_s = float(interval_s)
+        self.anti_entropy_every = int(anti_entropy_every)
+        self.budget_bytes_per_s = int(budget_bytes_per_s)
+        self.rumor_max_bytes = int(rumor_max_bytes)
+        self.heartbeat_timeout_s = (
+            float(heartbeat_timeout_s)
+            if heartbeat_timeout_s is not None
+            else 3.0 * self.interval_s + 1.0
+        )
+        self.registry = registry
+        self.clock = clock if clock is not None else time.monotonic
+        #: ``sender(peer_index, payload) -> Optional[int]`` — frames the
+        #: payload onto the peer's link, returning bytes queued, or
+        #: ``None`` when the link is not ready.  Installed by the server.
+        self.sender: Optional[Callable[[int, Dict], Optional[int]]] = None
+        self.rounds = 0
+        self._next_round = 0.0
+        self._ae_cursor = 0
+        self._tokens = float(self.budget_bytes_per_s)
+        self._last_refill = self.clock()
+
+    # -- budget ----------------------------------------------------------------
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._last_refill
+        if elapsed > 0:
+            self._tokens = min(
+                2.0 * self.budget_bytes_per_s,
+                self._tokens + elapsed * self.budget_bytes_per_s,
+            )
+            self._last_refill = now
+
+    @property
+    def budget_remaining(self) -> int:
+        """Tokens currently in the bucket (bytes)."""
+        self._refill(self.clock())
+        return max(0, int(self._tokens))
+
+    def _count(self, name: str, value: float = 1.0) -> None:
+        if self.registry is not None:
+            self.registry.counter_inc(name, value)
+
+    def _budgeted_send(
+        self, send: Callable[[Dict], Optional[int]], payload: Dict
+    ) -> bool:
+        """Send one budget-covered payload; defers (and counts) when the
+        bucket is dry.  Debits the sender-reported bytes when available,
+        the estimate otherwise."""
+        estimate = _payload_bytes(payload)
+        if self._tokens < estimate:
+            self._count("net.gossip.deferred")
+            return False
+        queued = send(payload)
+        if queued is None:
+            return False
+        spent = queued if queued > 0 else estimate
+        self._tokens -= spent
+        self._count("net.gossip.bytes", spent)
+        return True
+
+    # -- liveness (called by the owning server) --------------------------------
+
+    def peer_connected(self, index: int) -> None:
+        """The outbound link to ``peers[index]`` completed its handshake."""
+        self.peers[index].mark_ready(self.clock())
+        self._gauge_live()
+
+    def peer_failed(self, index: int) -> bool:
+        """The link failed (connect error, EOF, handshake rejection).
+        Returns whether a *live* peer went down (vs. one more refusal)."""
+        went_down = self.peers[index].mark_failed(self.clock())
+        if went_down:
+            self._count("net.gossip.peer_down")
+            if self.registry is not None:
+                self.registry.event(
+                    "net_gossip_peer_down",
+                    peer=self.peers[index].address,
+                    failures=self.peers[index].failures,
+                )
+        self._gauge_live()
+        return went_down
+
+    def note_peer_frame(self, index: int) -> None:
+        """Any frame from a peer link proves liveness."""
+        self.peers[index].last_heard = self.clock()
+
+    def peer_stale(self, index: int, now: float) -> bool:
+        peer = self.peers[index]
+        return peer.ready and peer.lag_s(now) > self.heartbeat_timeout_s
+
+    def _gauge_live(self) -> None:
+        if self.registry is not None:
+            self.registry.gauge_set(
+                "net.gossip.peers_live",
+                float(sum(1 for p in self.peers if p.ready)),
+            )
+
+    # -- the round timer -------------------------------------------------------
+
+    def seconds_until_due(self, now: float) -> float:
+        """How long the event loop may sleep before the next round."""
+        return max(0.0, self._next_round - now)
+
+    def tick(self, now: Optional[float] = None) -> None:
+        """Run one gossip round if due: heartbeat + rumor-push every live
+        peer, and every ``anti_entropy_every``-th round send one peer the
+        tier digest.  Cheap no-op between rounds."""
+        if now is None:
+            now = self.clock()
+        if now < self._next_round:
+            return
+        self._next_round = now + self.interval_s
+        self._refill(now)
+        sender = self.sender
+        if sender is None:
+            return
+        self.rounds += 1
+        self._count("net.gossip.rounds")
+        live = [p for p in self.peers if p.ready]
+        for peer in self.peers:
+            if self.registry is not None:
+                lag = peer.lag_s(now)
+                self.registry.gauge_set(
+                    f"net.gossip.peer.{peer.index}.lag_s",
+                    lag if lag != float("inf") else -1.0,
+                )
+        for peer in live:
+            # Heartbeat: budget-exempt (see class docstring).
+            sent = sender(peer.index, {"op": "gossip_ping", "server": self.server_id})
+            if sent:
+                self._count("net.gossip.bytes", sent)
+            self._rumor(sender, peer)
+        if live and self.rounds % self.anti_entropy_every == 0:
+            peer = live[self._ae_cursor % len(live)]
+            self._ae_cursor += 1
+            if self._budgeted_send(
+                lambda p: sender(peer.index, p),
+                {
+                    "op": "gossip_digest",
+                    "server": self.server_id,
+                    "buckets": self.tier.digest(),
+                },
+            ):
+                self._count("net.gossip.anti_entropy")
+
+    def _rumor(self, sender, peer: PeerState) -> None:
+        """Push records newer than this peer's cursor, budget permitting."""
+        window = min(self.rumor_max_bytes, max(0, int(self._tokens)))
+        if window <= 0:
+            if self.tier.seq > peer.sent_seq:
+                self._count("net.gossip.deferred")
+            return
+        records, last = self.tier.records_since(peer.sent_seq, max_bytes=window)
+        if not records:
+            if last > peer.sent_seq:
+                peer.sent_seq = last
+            elif self.tier.seq > peer.sent_seq:
+                # Fresh records exist but the first one alone overflows
+                # the window: a deferral, not an empty feed.
+                self._count("net.gossip.deferred")
+            return
+        if self._budgeted_send(
+            lambda p: sender(peer.index, p),
+            {"op": "gossip_records", "server": self.server_id, "records": records},
+        ):
+            peer.sent_seq = last
+            self._count("net.gossip.records_sent", len(records))
+
+    # -- inbound protocol ------------------------------------------------------
+
+    def handle_remote(
+        self, payload: Dict, send: Callable[[Dict], Optional[int]]
+    ) -> None:
+        """Process one inbound gossip payload; ``send`` frames replies
+        back on whatever connection it arrived on (peer link or an
+        accepted server connection — the protocol is symmetric)."""
+        op = payload.get("op")
+        self._refill(self.clock())
+        if op == "gossip_ping":
+            send({"op": "gossip_pong", "server": self.server_id})
+        elif op == "gossip_pong":
+            pass  # liveness was noted at the link layer
+        elif op == "gossip_digest":
+            self._handle_digest(payload, send)
+        elif op == "gossip_pull":
+            buckets = payload.get("buckets")
+            if isinstance(buckets, dict):
+                self._send_records(
+                    send, self.tier.records_missing_from(
+                        buckets, max_bytes=max(0, int(self._tokens))
+                    )
+                )
+        elif op == "gossip_records":
+            records = payload.get("records")
+            if isinstance(records, list):
+                merged = self.tier.merge(records)
+                if merged:
+                    self._count("net.gossip.records_merged", merged)
+        else:
+            send({
+                "op": str(op), "status": "error",
+                "detail": f"unknown gossip verb {op!r}",
+            })
+
+    def _handle_digest(self, payload: Dict, send) -> None:
+        """Answer a peer's digest: pull what we might be missing, push
+        whole buckets the peer does not hold at all."""
+        theirs = payload.get("buckets")
+        if not isinstance(theirs, dict):
+            return
+        mine = self.tier.digest()
+        want = [n for n, fp in theirs.items() if mine.get(n) != fp]
+        if want:
+            self._budgeted_send(send, {
+                "op": "gossip_pull",
+                "server": self.server_id,
+                "buckets": self.tier.epoch_vectors(want),
+            })
+        push = [n for n in mine if n not in theirs]
+        if push:
+            self._send_records(
+                send,
+                self.tier.records_missing_from(
+                    {n: {} for n in push}, max_bytes=max(0, int(self._tokens))
+                ),
+            )
+
+    def _send_records(self, send, records: List[Dict]) -> None:
+        if not records:
+            return
+        if self._budgeted_send(
+            send,
+            {"op": "gossip_records", "server": self.server_id, "records": records},
+        ):
+            self._count("net.gossip.records_sent", len(records))
+
+    # -- observability ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Operational snapshot for the server's ``stats`` verb."""
+        now = self.clock()
+        return {
+            "server_id": self.server_id,
+            "rounds": self.rounds,
+            "interval_s": self.interval_s,
+            "budget_bytes_per_s": self.budget_bytes_per_s,
+            "budget_remaining": self.budget_remaining,
+            "tier_size": len(self.tier),
+            "peers": [
+                {
+                    "address": peer.address,
+                    "ready": peer.ready,
+                    "failures": peer.failures,
+                    "connects": peer.connects,
+                    "lag_s": (
+                        None if peer.lag_s(now) == float("inf")
+                        else round(peer.lag_s(now), 3)
+                    ),
+                    "sent_seq": peer.sent_seq,
+                }
+                for peer in self.peers
+            ],
+        }
+
+    def __repr__(self) -> str:
+        live = sum(1 for p in self.peers if p.ready)
+        return (
+            f"GossipAgent({self.server_id!r}, peers={live}/{len(self.peers)} "
+            f"live, rounds={self.rounds}, interval={self.interval_s:g}s)"
+        )

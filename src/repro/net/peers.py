@@ -1,0 +1,137 @@
+"""Static peer membership for the gossip mesh.
+
+A :class:`~repro.net.NetServer` joins the mesh with a fixed peer list
+(``--peers host:port,host:port``) — no discovery protocol, matching the
+source paper's fixed network of nodes.  What *is* dynamic is liveness:
+each peer carries a failure counter and an exponential backoff schedule,
+so a dead peer costs one cheap reconnect attempt per backoff window
+instead of a connect storm, and a peer that comes back is picked up on
+the next due attempt.
+
+:class:`PeerState` is pure bookkeeping — sockets and frames live in
+:class:`~repro.net.NetServer` (the event loop owns every fd) and the
+protocol lives in :class:`~repro.net.gossip.GossipAgent`.  Keeping the
+three apart is what makes the agent testable with a fake sender.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["PeerState", "parse_peers"]
+
+#: First retry delay after a failure; doubles per consecutive failure.
+BACKOFF_BASE_S = 0.2
+#: Ceiling on the backoff delay, however many failures accumulate.
+BACKOFF_MAX_S = 15.0
+
+
+def parse_peers(spec) -> List[Tuple[str, int]]:
+    """``"host:port,host:port"`` (or an iterable of such strings / of
+    ``(host, port)`` pairs) into a validated, de-duplicated address list.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` on malformed
+    entries — a mistyped peer should fail at startup, not as an eternal
+    reconnect loop.
+    """
+    if spec is None:
+        return []
+    if isinstance(spec, str):
+        entries = [part for part in spec.split(",") if part.strip()]
+    else:
+        entries = list(spec)
+    out: List[Tuple[str, int]] = []
+    seen = set()
+    for entry in entries:
+        if isinstance(entry, tuple):
+            host, port = entry
+        else:
+            host, _, port_text = str(entry).strip().rpartition(":")
+            if not host:
+                raise ConfigurationError(
+                    f"bad peer {entry!r}: expected host:port"
+                )
+            port = port_text
+        try:
+            port = int(port)
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"bad peer {entry!r}: port {port!r} is not an integer"
+            ) from None
+        if not 0 < port < 65536:
+            raise ConfigurationError(
+                f"bad peer {entry!r}: port {port} out of range"
+            )
+        address = (str(host), port)
+        if address not in seen:
+            seen.add(address)
+            out.append(address)
+    return out
+
+
+class PeerState:
+    """Liveness and rumor bookkeeping for one static peer.
+
+    The owning server flips :attr:`ready` as its outbound link comes and
+    goes; :meth:`mark_failed` doubles the backoff (``0.2s · 2^failures``,
+    capped at 15s) and :meth:`mark_ready` resets it.  ``sent_seq`` is the
+    gossip agent's rumor cursor into the local tier — reset on every
+    reconnect so a peer that restarted (and lost its tier) is re-fed from
+    the start rather than from wherever the cursor died.
+    """
+
+    __slots__ = (
+        "index", "host", "port", "ready", "failures", "next_attempt",
+        "last_heard", "sent_seq", "connects",
+    )
+
+    def __init__(self, index: int, host: str, port: int):
+        self.index = index
+        self.host = host
+        self.port = int(port)
+        self.ready = False
+        self.failures = 0
+        self.next_attempt = 0.0  # due immediately
+        self.last_heard = 0.0
+        self.sent_seq = 0
+        self.connects = 0
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def due(self, now: float) -> bool:
+        """Is a (re)connect attempt allowed yet?"""
+        return not self.ready and now >= self.next_attempt
+
+    def mark_ready(self, now: float) -> None:
+        self.ready = True
+        self.failures = 0
+        self.last_heard = now
+        self.connects += 1
+        self.sent_seq = 0  # restart rumor feed from the beginning
+
+    def mark_failed(self, now: float) -> bool:
+        """Record one failure and schedule the next attempt; returns
+        whether the peer was ready (a live link went *down*, as opposed to
+        one more refusal from an already-down peer)."""
+        was_ready = self.ready
+        self.ready = False
+        backoff = min(BACKOFF_BASE_S * (2.0 ** self.failures), BACKOFF_MAX_S)
+        self.failures += 1
+        self.next_attempt = now + backoff
+        return was_ready
+
+    def lag_s(self, now: float) -> float:
+        """Seconds since this peer was last heard from (``inf`` before
+        first contact)."""
+        return now - self.last_heard if self.last_heard else float("inf")
+
+    def __repr__(self) -> str:
+        state = "ready" if self.ready else "down"
+        return (
+            f"PeerState({self.index}: {self.address}, {state}, "
+            f"failures={self.failures}, sent_seq={self.sent_seq})"
+        )

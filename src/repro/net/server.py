@@ -29,6 +29,13 @@ in-process library into something real clients connect to:
   challenge/response** (hello → nonce → ``HMAC-SHA256(secret, nonce)``)
   before any other frame is served; failures are answered in-band and
   the connection is closed;
+* with ``peers``, the loop also runs a
+  :class:`~repro.net.gossip.GossipAgent`: outbound links to the other
+  servers of a static mesh (non-blocking connects, the same HMAC
+  handshake, exponential backoff on dead peers) over which lookaside
+  donor records are rumor-pushed and periodically reconciled by digest
+  exchange — one server's converged solution becomes every server's
+  warm start (see :mod:`repro.net.gossip`);
 * **robustness is structural**: a dead worker is respawned and exactly
   the requests in flight with it get in-band ``worker_restarted``
   errors; a draining server (SIGTERM) finishes in-flight work and
@@ -45,6 +52,7 @@ depth, worker restarts); ``{"op": "ping"}`` is a liveness check;
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import hmac
 import queue
@@ -60,12 +68,15 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.obs.registry import MetricsRegistry
 from repro.net import binary as _binary
 from repro.net import framing as _framing
 from repro.net.binary import BINARY_MAGIC, BinaryFrameError, encode_binary_frame
 from repro.net.framing import FrameError, encode_frame
+from repro.net.gossip import GOSSIP_OPS, GossipAgent
 from repro.net.lookaside import LookasideTier
+from repro.net.peers import parse_peers
 from repro.net.router import ShardRouter
 from repro.net.worker import (
     ERROR_WORKER_RESTARTED,
@@ -113,6 +124,36 @@ class _WorkItem:
     payload: Dict
     request_id: str
     reply: Callable[[Dict], None]
+
+
+#: How long an outbound peer connect/handshake may take before the link
+#: is declared failed and backed off.
+_PEER_CONNECT_TIMEOUT_S = 5.0
+
+
+class _PeerLink:
+    """Event-loop state for one *outbound* gossip connection.
+
+    Shares the buffer/offset layout of :class:`_Connection` (so
+    :meth:`NetServer._extract_frames` works on both), but is loop-thread
+    confined — no out-buffer lock — and walks a small handshake state
+    machine: ``connecting`` → (``hello`` → ``auth``, when the mesh has a
+    shared secret) → ``ready``.
+    """
+
+    __slots__ = ("index", "sock", "codec", "buffer", "pos", "out", "state",
+                 "deadline", "dead")
+
+    def __init__(self, index: int, sock: socket.socket, deadline: float):
+        self.index = index
+        self.sock = sock
+        self.codec = "binary"  # peer links always speak binary frames
+        self.buffer = bytearray()
+        self.pos = 0
+        self.out = bytearray()
+        self.state = "connecting"
+        self.deadline = deadline
+        self.dead = False
 
 
 class _Connection:
@@ -191,6 +232,31 @@ class NetServer:
         boundaries.  Off by default (shards stay fully disjoint).
     lookaside_capacity:
         Donor records retained by the tier.
+    lookaside_ttl_s:
+        Optional lifetime for tier records.  An expired record is never
+        handed out as a hint nor gossiped, and is lazily swept
+        (``net.lookaside.expired``).
+    peers:
+        Static gossip mesh membership: ``"host:port,host:port"`` (or a
+        list of such strings / ``(host, port)`` pairs) naming the *other*
+        servers.  When set, a :class:`~repro.net.gossip.GossipAgent` runs
+        on the event loop: donor records published to this server's
+        lookaside tier are rumor-pushed to every live peer and the tiers
+        are periodically reconciled by digest exchange, so one server's
+        converged solution warm-starts the whole mesh.  Requires
+        ``lookaside=True`` and a non-JSON codec
+        (:class:`~repro.exceptions.ConfigurationError` otherwise).  Peer
+        links reuse the HMAC handshake when ``secret`` is set — every
+        server in a mesh must share the same secret.
+    gossip_interval_s:
+        Gossip round period (heartbeats + rumor pushes per round; a
+        digest to one peer every fourth round).
+    gossip_budget:
+        Outbound gossip byte budget per second (token bucket shared by
+        rumors, digests, and record transfers).
+    server_id:
+        Mesh identity stamped as ``origin`` on records this server
+        publishes (default ``"host:port"`` of the bound listener).
     batch_window_s:
         How long a shard thread lingers collecting further queued
         requests (up to ``max_batch``) before dispatching a group to its
@@ -223,6 +289,11 @@ class NetServer:
         drift_window: int = 16,
         lookaside: bool = False,
         lookaside_capacity: int = 512,
+        lookaside_ttl_s: Optional[float] = None,
+        peers=None,
+        gossip_interval_s: float = 1.0,
+        gossip_budget: int = 262144,
+        server_id: Optional[str] = None,
         queue_depth: int = 1024,
         batch_window_s: float = 0.0,
         default_timeout_s: Optional[float] = None,
@@ -255,10 +326,29 @@ class NetServer:
             lookaside=lookaside,
         )
         self.lookaside = (
-            LookasideTier(lookaside_capacity, registry=self.registry)
+            LookasideTier(
+                lookaside_capacity,
+                ttl_s=lookaside_ttl_s,
+                registry=self.registry,
+            )
             if lookaside
             else None
         )
+        self.peer_addresses = parse_peers(peers)
+        if self.peer_addresses and self.lookaside is None:
+            raise ConfigurationError(
+                "peers require the lookaside tier: gossip replicates donor "
+                "records, and without --lookaside there is nothing to "
+                "replicate (start with --lookaside as well)"
+            )
+        if self.peer_addresses and codec == "json":
+            raise ConfigurationError(
+                "gossip peers speak the binary codec; codec='json' cannot "
+                "join a mesh (use codec='auto' or 'binary')"
+            )
+        self.server_id = server_id
+        self.gossip_interval_s = float(gossip_interval_s)
+        self.gossip_budget = int(gossip_budget)
         self._secret = secret.encode("utf-8") if isinstance(secret, str) else secret
         # Hot-path metric names, built once: the routing path touches two
         # per-shard series per request.
@@ -286,6 +376,8 @@ class NetServer:
         self._draining = False
         self._started = False
         self._stopped = threading.Event()
+        self._gossip: Optional[GossipAgent] = None
+        self._peer_links: List[Optional[_PeerLink]] = []
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -314,6 +406,21 @@ class NetServer:
         listener.setblocking(False)
         self.port = listener.getsockname()[1]
         self._listener = listener
+        if self.server_id is None:
+            self.server_id = f"{self.host}:{self.port}"
+        if self.lookaside is not None:
+            self.lookaside.origin = self.server_id
+        if self.peer_addresses:
+            self._gossip = GossipAgent(
+                self.server_id,
+                self.lookaside,
+                self.peer_addresses,
+                interval_s=self.gossip_interval_s,
+                budget_bytes_per_s=self.gossip_budget,
+                registry=self.registry,
+            )
+            self._gossip.sender = self._gossip_send
+            self._peer_links = [None] * len(self.peer_addresses)
         self._wake_recv, self._wake_send = socket.socketpair()
         self._wake_recv.setblocking(False)
         self._selector = selectors.DefaultSelector()
@@ -394,12 +501,26 @@ class NetServer:
         sel = self._selector
         try:
             while not self._loop_stop.is_set():
-                events = sel.select(timeout=1.0)
+                timeout = 1.0
+                if self._gossip is not None and not self._draining:
+                    # Wake exactly when the next gossip round is due (with
+                    # a small floor so a due round never busy-spins).
+                    timeout = min(1.0, max(
+                        0.005,
+                        self._gossip.seconds_until_due(time.monotonic()),
+                    ))
+                events = sel.select(timeout=timeout)
                 for key, mask in events:
                     if key.data == "listener":
                         self._accept_ready()
                     elif key.data == "wake":
                         self._drain_wake()
+                    elif isinstance(key.data, _PeerLink):
+                        link = key.data
+                        if mask & _WRITE and not link.dead:
+                            self._peer_writable(link)
+                        if mask & _READ and not link.dead:
+                            self._peer_readable(link)
                     else:
                         conn = key.data
                         if mask & _WRITE:
@@ -410,6 +531,8 @@ class NetServer:
                     pending, self._write_pending = self._write_pending, set()
                 for conn in pending:
                     self._flush(conn)
+                if self._gossip is not None and not self._draining:
+                    self._gossip_tick()
         finally:
             self._final_flush()
 
@@ -437,6 +560,9 @@ class NetServer:
                 except OSError:
                     pass
             self._close_conn(conn)
+        for link in self._peer_links:
+            if link is not None and not link.dead:
+                self._peer_fail(link, "server shutting down", quiet=True)
         for sock in (self._listener, self._wake_recv, self._wake_send):
             if sock is not None:
                 try:
@@ -587,15 +713,17 @@ class NetServer:
 
     # -- writing ---------------------------------------------------------------
 
-    def _reply(self, conn: _Connection, corr_id: int, payload: Dict) -> None:
+    def _reply(self, conn: _Connection, corr_id: int, payload: Dict) -> Optional[int]:
         """Queue one response on ``conn`` (thread-safe; shard threads and
-        the loop both land here) and nudge the loop to flush it."""
+        the loop both land here) and nudge the loop to flush it.  Returns
+        the bytes queued (``None`` when nothing was sent) so gossip
+        replies can be budget-accounted."""
         if conn.dead:
-            return
+            return None
         try:
             data = conn.encode(payload, corr_id)
         except FrameError:
-            return  # response too large to frame; nothing useful to send
+            return None  # response too large to frame; nothing useful to send
         with conn.out_lock:
             conn.out += data
         self.registry.counter_inc("net.responses")
@@ -610,6 +738,7 @@ class NetServer:
                 self._write_pending.add(conn)
             if need_wake:
                 self._wake()
+        return len(data)
 
     def _fail_conn(self, conn: _Connection, payload: Dict) -> None:
         """Answer in-band, then close once the reply has been flushed."""
@@ -661,6 +790,182 @@ class NetServer:
             self.registry.gauge_set(
                 "net.connections_active", float(len(self._connections))
             )
+
+    # -- gossip peer links (loop thread only) ----------------------------------
+
+    def _gossip_tick(self) -> None:
+        """Per-iteration gossip housekeeping: (re)connect due peers, fail
+        stalled handshakes and silent links, then let the agent run its
+        round timer."""
+        now = time.monotonic()
+        agent = self._gossip
+        for peer in agent.peers:
+            link = self._peer_links[peer.index]
+            if link is None or link.dead:
+                if peer.due(now):
+                    self._peer_connect(peer.index)
+            elif link.state != "ready" and now > link.deadline:
+                self._peer_fail(link, "connect/handshake timed out")
+            elif link.state == "ready" and agent.peer_stale(peer.index, now):
+                self._peer_fail(link, "heartbeat timeout")
+        agent.tick(now)
+
+    def _peer_connect(self, index: int) -> None:
+        peer = self._gossip.peers[index]
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setblocking(False)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        link = _PeerLink(index, sock, time.monotonic() + _PEER_CONNECT_TIMEOUT_S)
+        try:
+            err = sock.connect_ex((peer.host, peer.port))
+        except OSError:
+            err = -1
+        if err not in (0, errno.EINPROGRESS, errno.EWOULDBLOCK):
+            try:
+                sock.close()
+            except OSError:
+                pass
+            self._gossip.peer_failed(index)
+            return
+        self._peer_links[index] = link
+        self._selector.register(sock, _READ | _WRITE, data=link)
+
+    def _peer_writable(self, link: _PeerLink) -> None:
+        if link.state == "connecting":
+            err = link.sock.getsockopt(socket.SOL_SOCKET, socket.SO_ERROR)
+            if err:
+                self._peer_fail(link, f"connect failed (errno {err})")
+                return
+            if self._secret is not None:
+                link.state = "hello"
+                self._link_queue(link, {"op": "hello"})
+            else:
+                self._link_ready(link)
+        self._link_flush(link)
+
+    def _peer_readable(self, link: _PeerLink) -> None:
+        try:
+            chunk = link.sock.recv(_RECV_CHUNK)
+        except BlockingIOError:
+            return
+        except OSError as exc:
+            self._peer_fail(link, f"read failed ({exc})")
+            return
+        if not chunk:
+            self._peer_fail(link, "peer closed the connection")
+            return
+        self.registry.counter_inc("net.bytes_in", len(chunk))
+        link.buffer += chunk
+        frames, error = self._extract_frames(link)
+        for payload, _corr_id in frames:
+            self._gossip.note_peer_frame(link.index)
+            self._link_frame(link, payload)
+            if link.dead:
+                return
+        if error is not None:
+            self._peer_fail(link, f"bad frame from peer ({error})")
+
+    def _link_frame(self, link: _PeerLink, payload: Dict) -> None:
+        """Walk the handshake, then hand gossip traffic to the agent."""
+        status = payload.get("status")
+        if link.state == "hello":
+            if status == "challenge" and isinstance(payload.get("nonce"), str):
+                mac = hmac.new(
+                    self._secret,
+                    bytes.fromhex(payload["nonce"]),
+                    hashlib.sha256,
+                ).hexdigest()
+                link.state = "auth"
+                self._link_queue(link, {"op": "auth", "mac": mac})
+            elif status == "ok":
+                self._link_ready(link)  # peer runs with no secret
+            else:
+                self._peer_fail(link, f"handshake refused ({status!r})")
+        elif link.state == "auth":
+            if status == "ok":
+                self._link_ready(link)
+            else:
+                self._peer_fail(link, f"authentication failed ({status!r})")
+        elif status == "error":
+            # The peer answered a gossip frame with a protocol error —
+            # e.g. gossip disabled over there.  Back off rather than spin.
+            self._peer_fail(
+                link, f"peer rejected gossip ({payload.get('reason') or payload.get('detail')})"
+            )
+        else:
+            self._gossip.handle_remote(
+                payload, partial(self._link_queue, link)
+            )
+
+    def _link_ready(self, link: _PeerLink) -> None:
+        link.state = "ready"
+        self._gossip.peer_connected(link.index)
+
+    def _gossip_send(self, index: int, payload: Dict) -> Optional[int]:
+        """The agent's ``sender``: frame onto the ready link, or ``None``."""
+        link = self._peer_links[index] if index < len(self._peer_links) else None
+        if link is None or link.dead or link.state != "ready":
+            return None
+        return self._link_queue(link, payload)
+
+    def _link_queue(self, link: _PeerLink, payload: Dict) -> Optional[int]:
+        """Encode and queue one frame on a peer link (loop thread only).
+        Returns the bytes queued, or ``None`` when framing failed."""
+        if link.dead:
+            return None
+        try:
+            data = encode_binary_frame(payload, 0)
+        except FrameError as exc:
+            self.registry.counter_inc("net.bad_frames")
+            self.registry.event(
+                "net_gossip_encode_error",
+                peer=self._gossip.peers[link.index].address,
+                detail=str(exc),
+            )
+            return None
+        link.out += data
+        self._link_flush(link)
+        return len(data)
+
+    def _link_flush(self, link: _PeerLink) -> None:
+        if link.dead:
+            return
+        while link.out:
+            try:
+                sent = link.sock.send(link.out)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError as exc:
+                self._peer_fail(link, f"write failed ({exc})")
+                return
+            self.registry.counter_inc("net.bytes_out", sent)
+            del link.out[:sent]
+        want = _READ | _WRITE if (link.out or link.state == "connecting") else _READ
+        try:
+            self._selector.modify(link.sock, want, data=link)
+        except (KeyError, ValueError, OSError):
+            pass
+
+    def _peer_fail(self, link: _PeerLink, reason: str, *, quiet: bool = False) -> None:
+        """Tear down one peer link and let the agent schedule the retry."""
+        if link.dead:
+            return
+        link.dead = True
+        try:
+            self._selector.unregister(link.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        try:
+            link.sock.close()
+        except OSError:
+            pass
+        if link.index < len(self._peer_links):
+            self._peer_links[link.index] = None
+        if self._gossip is not None and not quiet:
+            self._gossip.peer_failed(link.index)
 
     # -- frame handling --------------------------------------------------------
 
@@ -751,6 +1056,24 @@ class NetServer:
             ).start()
         elif op == "ping":
             self._reply(conn, corr_id, {"op": "ping", "status": "ok"})
+        elif op in GOSSIP_OPS:
+            if self._gossip is None:
+                self._reply(conn, corr_id, {
+                    "op": op, "status": "error", "reason": "gossip_disabled",
+                    "detail": "this server is not in a gossip mesh "
+                              "(start it with --peers)",
+                })
+            elif conn.codec != "binary":
+                self._reply(conn, corr_id, {
+                    "op": op, "status": "error",
+                    "reason": "gossip_requires_binary",
+                    "detail": "gossip records are packed float64 arrays; "
+                              "connect with the binary codec",
+                })
+            else:
+                self._gossip.handle_remote(
+                    payload, partial(self._reply, conn, corr_id)
+                )
         else:
             self._reply(conn, corr_id, {
                 "op": op, "status": "error",
@@ -956,6 +1279,10 @@ class NetServer:
         )
         snapshot["codec"] = self.codec
         snapshot["auth"] = self._secret is not None
+        snapshot["server_id"] = self.server_id
+        snapshot["gossip"] = (
+            self._gossip.stats() if self._gossip is not None else None
+        )
         snapshot["draining"] = self._draining
         return snapshot
 

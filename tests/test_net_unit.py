@@ -666,3 +666,55 @@ class TestCheckMetrics:
         src.mkdir()
         (src / "emit.py").write_text("x = 1\n")
         assert self.run_checker(docs, src) == 0
+
+    def test_gossip_family_is_covered(self, tmp_path):
+        """The net.gossip.* names match literal emissions and the
+        per-peer f-string gauge; a misspelled one still fails."""
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "OPS.md").write_text(
+            "Watch `net.gossip.rounds`, `net.gossip.records_merged` and "
+            "the per-peer `net.gossip.peer.0.lag_s` gauge.\n"
+        )
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "emit.py").write_text(
+            'registry.counter_inc("net.gossip.rounds")\n'
+            'registry.counter_inc("net.gossip.records_merged")\n'
+            'registry.gauge_set(f"net.gossip.peer.{peer.index}.lag_s", lag)\n'
+        )
+        assert self.run_checker(docs, src) == 0
+        (docs / "OPS.md").write_text("Watch `net.gossip.roundz`.\n")
+        assert self.run_checker(docs, src) == 1
+
+    def test_real_gossip_metrics_are_emission_patterns(self):
+        """Every metric the gossip subsystem claims to emit really shows
+        up as an emission pattern in src/ (guards against renames)."""
+        import importlib.util
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        spec = importlib.util.spec_from_file_location(
+            "check_metrics", root / "tools" / "check_metrics.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        patterns = module.emitted_patterns(root / "src")
+        for name in (
+            "net.gossip.rounds",
+            "net.gossip.anti_entropy",
+            "net.gossip.records_sent",
+            "net.gossip.records_merged",
+            "net.gossip.bytes",
+            "net.gossip.deferred",
+            "net.gossip.peer_down",
+            "net.gossip.peers_live",
+            "net.lookaside.expired",
+        ):
+            assert name in patterns, name
+        import fnmatch
+
+        assert any(
+            "*" in p and fnmatch.fnmatchcase("net.gossip.peer.3.lag_s", p)
+            for p in patterns
+        )
